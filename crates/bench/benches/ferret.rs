@@ -1,0 +1,44 @@
+//! Criterion benchmark for full two-party Ferret extensions (toy-scale:
+//! the same code path as Table 4, sized for a benchmark loop).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ironman_ot::channel::run_protocol;
+use ironman_ot::dealer::Dealer;
+use ironman_ot::ferret::{run_extension, FerretConfig};
+use ironman_ot::iknp::{iknp_recv, iknp_send, setup_base};
+use ironman_ot::params::FerretParams;
+use std::time::Duration;
+
+fn bench_ferret(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ferret_extension");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let params = FerretParams::toy();
+    g.throughput(Throughput::Elements(params.n as u64));
+
+    let ironman = FerretConfig::new(params);
+    g.bench_function("ironman_4ary_chacha", |b| b.iter(|| run_extension(&ironman, 1).z[0]));
+
+    let baseline = FerretConfig::ferret_baseline(params);
+    g.bench_function("baseline_2ary_aes", |b| b.iter(|| run_extension(&baseline, 1).z[0]));
+
+    // The pre-PCG baseline for the same output count: linear communication,
+    // less computation.
+    g.bench_function("iknp_same_outputs", |b| {
+        b.iter(|| {
+            let mut dealer = Dealer::new(1);
+            let delta = dealer.random_delta();
+            let (seeds, pairs) = setup_base(&mut dealer, delta);
+            let n = params.n;
+            let x: Vec<bool> = (0..n).map(|j| j % 2 == 0).collect();
+            let (s, _, _, _) = run_protocol(
+                move |ch| iknp_send(ch, delta, &seeds, n).unwrap(),
+                move |ch| iknp_recv(ch, &pairs, &x).unwrap(),
+            );
+            s.r0()[0]
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ferret);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark for the pipeline-schedule simulator (Fig. 8) and
+//! the rank-level LPN simulator — the two cycle models the figures lean
+//! on hardest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ironman_ggm::schedule::simulate;
+use ironman_ggm::{Arity, ExpansionSchedule, PipelineModel};
+use ironman_nmp::rank_lpn::{simulate_rank, LpnWork};
+use ironman_nmp::NmpConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycle_models");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    for s in ExpansionSchedule::ALL {
+        g.bench_function(format!("schedule_{s}_16trees_l1024"), |b| {
+            b.iter(|| simulate(s, PipelineModel::CHACHA8, 16, Arity::QUAD, 1024).cycles)
+        });
+    }
+
+    let cfg = NmpConfig::with_ranks_and_cache(2, 256 * 1024);
+    let trace: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(7919) % 1_000_000).collect();
+    g.bench_function("rank_lpn_100k_accesses", |b| {
+        b.iter(|| simulate_rank(&cfg, black_box(&LpnWork::exact(trace.clone()))).cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

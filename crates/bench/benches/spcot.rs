@@ -1,0 +1,41 @@
+//! Criterion benchmark for full two-party SPCOT executions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ironman_ggm::Arity;
+use ironman_ot::channel::run_protocol;
+use ironman_ot::dealer::Dealer;
+use ironman_ot::spcot::{spcot_recv, spcot_send, SpcotConfig};
+use ironman_prg::{Block, PrgKind};
+use std::time::Duration;
+
+fn run_spcot(arity: Arity, prg: PrgKind, leaves: usize) {
+    let cfg = SpcotConfig { arity, prg, leaves, session_key: Block::from(3u128) };
+    let mut dealer = Dealer::new(42);
+    let delta = dealer.random_delta();
+    let (mut sb, mut rb) = dealer.deal_cot(delta, cfg.base_cots_needed());
+    let seed = dealer.random_block();
+    run_protocol(
+        move |ch| {
+            let mut tweak = 0;
+            spcot_send(ch, &cfg, &mut sb, seed, &mut tweak).unwrap()
+        },
+        move |ch| {
+            let mut tweak = 0;
+            spcot_recv(ch, &cfg, &mut rb, 100, &mut tweak).unwrap()
+        },
+    );
+}
+
+fn bench_spcot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spcot");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("2ary_aes_l1024", |b| b.iter(|| run_spcot(Arity::BINARY, PrgKind::Aes, 1024)));
+    g.bench_function("4ary_chacha_l1024", |b| {
+        b.iter(|| run_spcot(Arity::QUAD, PrgKind::CHACHA8, 1024))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spcot);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Extension experiment: energy per COT across backends, combining the
+//! paper's power figures (Table 6, §6.1) with this workspace's measured
+//! latencies. The paper reports the power ratio (84.5× vs GPU); this
+//! harness completes the picture with energy.
+
+use ironman_bench::{f2, f3, header, row};
+use ironman_core::speedup::speedup_cell;
+use ironman_ot::params::FerretParams;
+use ironman_perf::energy::{energy_comparison, PowerEnvelope};
+
+fn main() {
+    let p = FerretParams::OT_2POW20;
+    let total_ots = 1u64 << 25;
+    let execs = (total_ots as f64 / p.n as f64).ceil();
+
+    let cell_1m = speedup_cell(p, 16, 1024 * 1024, 77);
+    let cell_256k = speedup_cell(p, 16, 256 * 1024, 77);
+
+    let backends = [
+        (PowerEnvelope::CPU_XEON, cell_1m.cpu_ms / 1e3 * execs),
+        (PowerEnvelope::gpu_a6000(), cell_1m.gpu_ms / 1e3 * execs),
+        (PowerEnvelope::IRONMAN_256KB, cell_256k.ironman_ms / 1e3 * execs),
+        (PowerEnvelope::IRONMAN_1MB, cell_1m.ironman_ms / 1e3 * execs),
+    ];
+    header(
+        "energy to generate 2^25 COTs (2^20 set, 16 ranks)",
+        &["backend", "latency s", "power W", "energy J", "nJ/COT"],
+    );
+    let rows = energy_comparison(&backends, total_ots);
+    for r in &rows {
+        row(&[
+            r.envelope.name.to_string(),
+            f3(r.latency_s),
+            f2(r.envelope.watts),
+            f2(r.energy_j),
+            f3(r.nj_per_cot),
+        ]);
+    }
+    let cpu = rows[0].energy_j;
+    let gpu = rows[1].energy_j;
+    let iron = rows[3].energy_j;
+    println!(
+        "\nenergy reduction: {:.0}x vs CPU, {:.0}x vs GPU (paper reports 84.5x *power* vs GPU)",
+        cpu / iron,
+        gpu / iron
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates **Figure 1(a)**: execution-time breakdown per PPML
+//! framework and model — the motivating observation that OT extension
+//! consumes 51–69% of end-to-end private inference.
+
+use ironman_bench::{header, pct, row};
+use ironman_ppml::zoo::FIG1A_EXTRA;
+use ironman_ppml::TABLE5_WORKLOADS;
+
+fn main() {
+    header(
+        "Fig. 1(a): execution-time breakdown",
+        &["framework", "model", "other", "HE", "OTE", "comm"],
+    );
+    let mut min_ote = f64::MAX;
+    let mut max_ote: f64 = 0.0;
+    for w in TABLE5_WORKLOADS.iter().chain(FIG1A_EXTRA.iter()) {
+        let [other, he, ote, comm] = w.breakdown();
+        min_ote = min_ote.min(ote);
+        max_ote = max_ote.max(ote);
+        row(&[
+            w.framework.to_string(),
+            w.model.to_string(),
+            pct(other),
+            pct(he),
+            pct(ote),
+            pct(comm),
+        ]);
+    }
+    println!(
+        "\nOT extension accounts for {} to {} of execution time (paper: 51%-69%)",
+        pct(min_ote),
+        pct(max_ote)
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Figure 1(b)**: Ferret protocol latency split
+//! (Init / SPCOT / LPN) per Table 4 parameter set on the CPU baseline.
+
+use ironman_bench::{f2, header, row};
+use ironman_core::engine::spcot_aes_equiv_ops;
+use ironman_ot::params::FerretParams;
+use ironman_perf::{CpuModel, OteWorkload};
+use ironman_prg::PrgKind;
+
+fn main() {
+    let cpu = CpuModel::xeon_single_thread();
+    header(
+        "Fig. 1(b): CPU Ferret latency split (s)",
+        &["#OTs", "init", "SPCOT", "LPN", "total"],
+    );
+    for p in FerretParams::TABLE4 {
+        let w = OteWorkload::from_counts(
+            p.t as u64,
+            spcot_aes_equiv_ops(PrgKind::Aes, 2, p.leaves),
+            p.n as u64,
+            10,
+        );
+        let l = cpu.execution_latency(&w, true);
+        row(&[
+            format!("2^{}", p.log_target),
+            f2(l.init_s),
+            f2(l.spcot_s),
+            f2(l.lpn_s),
+            f2(l.total_s()),
+        ]);
+    }
+    println!("\nshape check: SPCOT+LPN dominate and grow with the OT count (Fig. 1b)");
+}

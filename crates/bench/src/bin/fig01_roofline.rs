@@ -1,0 +1,39 @@
+//! Regenerates **Figure 1(c)**: the roofline placing SPCOT above the ridge
+//! (compute-bound) and LPN far below it (memory-bandwidth-bound).
+
+use ironman_bench::{f3, header, row};
+use ironman_core::engine::spcot_aes_equiv_ops;
+use ironman_ot::params::FerretParams;
+use ironman_perf::roofline::{lpn_ops, lpn_traffic_bytes, spcot_traffic_bytes};
+use ironman_perf::Roofline;
+use ironman_prg::PrgKind;
+
+fn main() {
+    let r = Roofline::xeon_5220r();
+    println!("peak {} GAES/s, mem {} GB/s, ridge {:.4} AES/byte", r.peak_ops_per_s / 1e9, r.mem_bw_bytes_per_s / 1e9, r.ridge_intensity());
+    header(
+        "Fig. 1(c): roofline points",
+        &["kernel", "#OTs", "AES/byte", "GAES/s", "bound"],
+    );
+    for p in FerretParams::TABLE4 {
+        let spcot_ops = p.t as u64 * spcot_aes_equiv_ops(PrgKind::Aes, 2, p.leaves);
+        let sp = r.point(spcot_ops as f64, spcot_traffic_bytes(spcot_ops));
+        row(&[
+            "SPCOT".to_string(),
+            format!("2^{}", p.log_target),
+            f3(sp.intensity),
+            f3(sp.attainable_ops_per_s / 1e9),
+            if sp.compute_bound { "compute" } else { "memory" }.to_string(),
+        ]);
+    }
+    for p in FerretParams::TABLE4 {
+        let lp = r.point(lpn_ops(p.n as u64, 10), lpn_traffic_bytes(p.n as u64, 10));
+        row(&[
+            "LPN".to_string(),
+            format!("2^{}", p.log_target),
+            f3(lp.intensity),
+            f3(lp.attainable_ops_per_s / 1e9),
+            if lp.compute_bound { "compute" } else { "memory" }.to_string(),
+        ]);
+    }
+}

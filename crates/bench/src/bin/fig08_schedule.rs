@@ -1,0 +1,34 @@
+//! Regenerates **Figure 8**: GGM expansion schedules on the 8-stage
+//! ChaCha pipeline — depth-first bubbles vs. the hybrid strategy's full
+//! utilization, plus the buffer cost of pure breadth-first.
+
+use ironman_bench::{header, pct, row};
+use ironman_ggm::schedule::simulate;
+use ironman_ggm::{Arity, ExpansionSchedule, PipelineModel};
+
+fn main() {
+    header(
+        "Fig. 8: expansion schedules (4 trees, 4-ary, l=1024, ChaCha8)",
+        &["schedule", "cycles", "calls", "bubbles", "util", "peak buf"],
+    );
+    for s in ExpansionSchedule::ALL {
+        let r = simulate(s, PipelineModel::CHACHA8, 4, Arity::QUAD, 1024);
+        row(&[
+            s.to_string(),
+            r.cycles.to_string(),
+            r.calls.to_string(),
+            r.bubbles.to_string(),
+            pct(r.utilization()),
+            r.peak_buffer.to_string(),
+        ]);
+    }
+
+    header(
+        "hybrid utilization vs in-flight trees (100% target, paper 4.3)",
+        &["trees", "util", "cycles"],
+    );
+    for trees in [1usize, 2, 4, 8, 16, 32] {
+        let r = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, trees, Arity::QUAD, 1024);
+        row(&[trees.to_string(), pct(r.utilization()), r.cycles.to_string()]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Figure 12**: OTE latency on CPU, GPU and Ironman across
+//! memory configurations (2–16 ranks × 256 KB/1 MB caches) and Table 4
+//! parameter sets, normalized to the CPU baseline.
+
+use ironman_bench::{f2, header, row, times};
+use ironman_core::speedup::speedup_cell;
+use ironman_ot::params::FerretParams;
+
+fn main() {
+    for cache in [256 * 1024usize, 1024 * 1024] {
+        header(
+            &format!("Fig. 12: OTE latency & speedup, {} KB cache", cache / 1024),
+            &["ranks", "#OTs", "iron ms", "cpu ms", "gpu ms", "vs CPU", "vs GPU", "hit"],
+        );
+        let mut band: (f64, f64) = (f64::MAX, 0.0);
+        for ranks in [2usize, 4, 8, 16] {
+            for p in FerretParams::TABLE4 {
+                let c = speedup_cell(p, ranks, cache, 0xF16);
+                let s = c.speedup_vs_cpu();
+                band.0 = band.0.min(s);
+                band.1 = band.1.max(s);
+                row(&[
+                    ranks.to_string(),
+                    format!("2^{}", c.log_target),
+                    f2(c.ironman_ms),
+                    f2(c.cpu_ms),
+                    f2(c.gpu_ms),
+                    times(s),
+                    times(c.speedup_vs_gpu()),
+                    f2(c.cache_hit_rate),
+                ]);
+            }
+        }
+        println!(
+            "\nspeedup band at {} KB: {:.2}x - {:.2}x (paper: {})",
+            cache / 1024,
+            band.0,
+            band.1,
+            if cache == 256 * 1024 { "3.66x - 39.26x" } else { "5.03x - 237.04x" }
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 13**: (a) the m-ary × PRG ablation of SPCOT
+//! latency and (b) SPCOT vs. LPN latency across rank counts.
+
+use ironman_bench::{f2, header, row, times};
+use ironman_ggm::Arity;
+use ironman_nmp::dimm::{simulate_spcot, SpcotWork};
+use ironman_nmp::{NmpConfig, OteSimulator, OteWork, Role};
+use ironman_ot::params::FerretParams;
+use ironman_prg::PrgKind;
+
+fn main() {
+    let p = FerretParams::OT_2POW20;
+    let cfg = NmpConfig::with_ranks_and_cache(8, 256 * 1024);
+
+    header(
+        "Fig. 13(a): SPCOT ablation (2^20 set, 8 ranks)",
+        &["tree", "PRG", "cycles", "ms", "gain"],
+    );
+    let combos = [
+        (Arity::BINARY, PrgKind::Aes, "2-ary", "AES"),
+        (Arity::QUAD, PrgKind::Aes, "4-ary", "AES"),
+        (Arity::BINARY, PrgKind::CHACHA8, "2-ary", "ChaCha"),
+        (Arity::QUAD, PrgKind::CHACHA8, "4-ary", "ChaCha"),
+    ];
+    let mut base_cycles = 0u64;
+    for (arity, prg, tname, pname) in combos {
+        let r = simulate_spcot(
+            &cfg,
+            &SpcotWork { trees: p.t, leaves: p.leaves, arity, prg, role: Role::Sender },
+        );
+        if base_cycles == 0 {
+            base_cycles = r.cycles;
+        }
+        row(&[
+            tname.to_string(),
+            pname.to_string(),
+            r.cycles.to_string(),
+            f2(cfg.cycles_to_ms(r.cycles)),
+            times(base_cycles as f64 / r.cycles as f64),
+        ]);
+    }
+    println!("(paper: 4-ary/AES 1.5x, 2-ary/ChaCha 2x, 4-ary/ChaCha 6x)");
+
+    header(
+        "Fig. 13(b): SPCOT vs LPN latency across ranks (ms)",
+        &["ranks", "2ary-AES", "4ary-AES", "2ary-CC", "4ary-CC", "LPN"],
+    );
+    for ranks in [2usize, 4, 8, 16] {
+        let c = NmpConfig::with_ranks_and_cache(ranks, 256 * 1024);
+        let mut cells = vec![ranks.to_string()];
+        for (arity, prg, _, _) in combos {
+            let r = simulate_spcot(
+                &c,
+                &SpcotWork { trees: p.t, leaves: p.leaves, arity, prg, role: Role::Sender },
+            );
+            cells.push(f2(c.cycles_to_ms(r.cycles)));
+        }
+        let sim = OteSimulator::new(c);
+        let work = OteWork::ironman(p.n, p.leaves, p.t, p.k, 10);
+        let rep = sim.simulate(&work, 1);
+        cells.push(f2(c.cycles_to_ms(rep.lpn_cycles)));
+        row(&cells);
+    }
+    println!("\nshape check: 4-ary ChaCha SPCOT stays below LPN; AES variants are the slowest SPCOTs");
+}

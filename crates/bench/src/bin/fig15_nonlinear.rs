@@ -1,0 +1,34 @@
+//! Regenerates **Figure 15**: nonlinear-operator latency (LayerNorm, GeLU,
+//! Softmax, ReLU) in EzPC-SiRNN and Bolt, with and without Ironman.
+
+use ironman_bench::{f2, header, row, times};
+use ironman_core::speedup::speedup_cell;
+use ironman_ot::params::FerretParams;
+use ironman_ppml::nonlinear::FIG15_PROFILES;
+
+fn main() {
+    // OT speedup measured from the flagship NMP configuration.
+    let s = speedup_cell(FerretParams::OT_2POW20, 16, 1024 * 1024, 15).speedup_vs_cpu();
+    println!("measured OT-extension speedup (16 ranks, 1MB): {s:.1}x");
+
+    header(
+        "Fig. 15: nonlinear operators",
+        &["framework", "op", "base s", "ours s", "reduction"],
+    );
+    let mut min_r = f64::MAX;
+    let mut max_r: f64 = 0.0;
+    for p in &FIG15_PROFILES {
+        let ours = p.accelerated_s(s);
+        let r = p.reduction(s);
+        min_r = min_r.min(r);
+        max_r = max_r.max(r);
+        row(&[
+            p.framework.to_string(),
+            p.op.name().to_string(),
+            f2(p.base_s),
+            f2(ours),
+            times(r),
+        ]);
+    }
+    println!("\nreduction band: {min_r:.2}x - {max_r:.2}x (paper: 3.9x - 4.4x)");
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Figure 16**: OT-based MatMul communication and latency
+//! with vs. without the unified (role-switching) architecture.
+
+use ironman_bench::{f2, header, pct, row, times};
+use ironman_perf::NetworkModel;
+use ironman_ppml::matmul::FIG16_DIMS;
+
+fn main() {
+    header(
+        "Fig. 16: OT-based MatMul with/without unified architecture",
+        &["dims", "comm w/o MB", "comm w/ MB", "norm", "lat red LAN", "lat red WAN"],
+    );
+    for d in FIG16_DIMS {
+        let without = d.comm_without_unified_bytes();
+        let with = d.comm_with_unified_bytes();
+        row(&[
+            format!("({},{},{})", d.input, d.hidden, d.output),
+            f2(without as f64 / 1e6),
+            f2(with as f64 / 1e6),
+            pct(with as f64 / without as f64),
+            times(d.latency_reduction(&NetworkModel::LAN)),
+            times(d.latency_reduction(&NetworkModel::WAN)),
+        ]);
+    }
+    println!("\nshape check: 2x communication reduction, ~1.4x LAN latency reduction (paper Fig. 16)");
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table 3**: the simulated system configuration.
+
+use ironman_bench::{f2, header, row};
+use ironman_dram::DramConfig;
+
+fn main() {
+    let cfg = DramConfig::ddr4_2400();
+    let t = cfg.timing;
+    header("Table 3: system configuration", &["parameter", "value"]);
+    row(&["DRAM", "DDR4-2400"]);
+    row(&["channels*dimms".to_string(), "4 x 2 x 2 ranks".to_string()]);
+    row(&["scheduler".to_string(), "FR-FCFS".to_string()]);
+    row(&["banks/rank".to_string(), cfg.banks().to_string()]);
+    row(&["row bytes".to_string(), cfg.row_bytes.to_string()]);
+    row(&["clock MHz".to_string(), f2(cfg.clock_mhz)]);
+    for (name, v) in [
+        ("tRCD", t.t_rcd),
+        ("tCL", t.t_cl),
+        ("tRP", t.t_rp),
+        ("tRC", t.t_rc),
+        ("tRRD_S", t.t_rrd_s),
+        ("tRRD_L", t.t_rrd_l),
+        ("tFAW", t.t_faw),
+        ("tCCD_S", t.t_ccd_s),
+        ("tCCD_L", t.t_ccd_l),
+        ("tBL", t.t_bl),
+    ] {
+        row(&[name.to_string(), v.to_string()]);
+    }
+    row(&["peak GB/s/rank".to_string(), f2(cfg.peak_bandwidth_gbps())]);
+}

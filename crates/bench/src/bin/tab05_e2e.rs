@@ -1,0 +1,41 @@
+//! Regenerates **Table 5**: end-to-end PPML inference latency under two
+//! network settings, composing the paper's measured baselines with the
+//! OT-extension speedup measured from this workspace's NMP simulator.
+
+use ironman_bench::{f2, header, pct, row, times};
+use ironman_core::speedup::speedup_cell;
+use ironman_ot::params::FerretParams;
+use ironman_ppml::e2e::{reproduce_table5, SpeedupAssumptions};
+
+fn main() {
+    let hw = speedup_cell(FerretParams::OT_2POW20, 16, 1024 * 1024, 5).speedup_vs_cpu();
+    let assumptions = SpeedupAssumptions { hardware: hw, ..SpeedupAssumptions::default() };
+    println!("measured hardware OTE speedup: {hw:.1}x (flagship config)");
+
+    header(
+        "Table 5: end-to-end latency (s)",
+        &[
+            "framework", "model", "baseWAN", "oursWAN", "spdW", "baseLAN", "oursLAN", "spdL", "dev",
+        ],
+    );
+    let rows = reproduce_table5(&assumptions);
+    let mut mean_dev = 0.0;
+    for r in &rows {
+        let (sw, sl) = r.speedups();
+        let (dw, dl) = r.deviation_vs_paper();
+        mean_dev += (dw + dl) / 2.0 / rows.len() as f64;
+        row(&[
+            r.workload.framework.to_string(),
+            r.workload.model.to_string(),
+            f2(r.workload.base_wan_s),
+            f2(r.ours_wan_s),
+            times(sw),
+            f2(r.workload.base_lan_s),
+            f2(r.ours_lan_s),
+            times(sl),
+            pct((dw + dl) / 2.0),
+        ]);
+    }
+    println!("\nmean deviation vs paper-reported latencies: {}", pct(mean_dev));
+    println!("paper bands: WAN 1.32x-1.83x, LAN 1.95x-3.40x");
+}

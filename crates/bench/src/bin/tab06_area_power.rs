@@ -1,0 +1,29 @@
+//! Regenerates **Table 6**: the Ironman-NMP design overhead.
+
+use ironman_bench::{f2, f3, header, row};
+use ironman_perf::area_power::{nmp_cost_for_cache, CHACHA8_CORE, DRAM_CHIP, NMP_1MB, NMP_256KB};
+
+fn main() {
+    header(
+        "Table 6: design overhead of Ironman-NMP",
+        &["component", "area mm2", "power W"],
+    );
+    row(&[
+        "ChaCha8 core".to_string(),
+        f3(CHACHA8_CORE.area_mm2),
+        f3(CHACHA8_CORE.power_mw / 1000.0),
+    ]);
+    row(&["NMP (256KB)".to_string(), f3(NMP_256KB.area_mm2), f3(NMP_256KB.power_w)]);
+    row(&["NMP (1MB)".to_string(), f3(NMP_1MB.area_mm2), f3(NMP_1MB.power_w)]);
+    row(&["DRAM chip".to_string(), f2(DRAM_CHIP.area_mm2), f2(DRAM_CHIP.power_w)]);
+
+    header("interpolated PU cost per cache size (Fig. 14 area axis)", &["cache KB", "area mm2"]);
+    for kb in [32usize, 64, 128, 256, 512, 1024, 2048] {
+        row(&[kb.to_string(), f3(nmp_cost_for_cache(kb * 1024).area_mm2)]);
+    }
+    println!(
+        "\narea share of a typical DRAM chip: {:.1}% (256KB) / {:.1}% (1MB)",
+        100.0 * NMP_256KB.area_mm2 / DRAM_CHIP.area_mm2,
+        100.0 * NMP_1MB.area_mm2 / DRAM_CHIP.area_mm2
+    );
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the memory-side cache model.
+
+use ironman_cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Accounting invariants: hits + misses = accesses, hit rate bounded.
+    #[test]
+    fn accounting_invariants(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut c = Cache::new(CacheConfig::kb(32));
+        for a in &addrs {
+            c.access(*a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&s.hit_rate()));
+    }
+
+    /// Immediately repeated accesses always hit.
+    #[test]
+    fn repeat_hits(addr in any::<u64>()) {
+        let mut c = Cache::new(CacheConfig::kb(32));
+        c.access(addr);
+        prop_assert!(c.access(addr));
+        prop_assert!(c.access(addr ^ 1)); // same line for even addr...
+    }
+
+    /// A trace touching at most `lines` distinct lines fits in a cache of
+    /// that many lines: second pass is all hits.
+    #[test]
+    fn working_set_fits(offsets in proptest::collection::vec(0u64..64, 1..64)) {
+        let cfg = CacheConfig::kb(64); // 1024 lines >> 64 distinct lines
+        let mut c = Cache::new(cfg);
+        for o in &offsets {
+            c.access(o * 64);
+        }
+        c.reset_stats();
+        for o in &offsets {
+            prop_assert!(c.access(o * 64), "warm access to line {o} missed");
+        }
+    }
+
+    /// Monotonicity: a strictly larger cache never produces more misses on
+    /// the same trace (holds for LRU with nested capacities at the same
+    /// associativity discipline when sets double).
+    #[test]
+    fn bigger_is_not_worse(seed in any::<u64>()) {
+        let trace: Vec<u64> =
+            (0..4000u64).map(|i| (i.wrapping_mul(seed | 1)) % 2_000_000 / 64 * 64).collect();
+        let (small, _) = Cache::new(CacheConfig::kb(64)).run_trace(trace.iter().copied());
+        let (large, _) = Cache::new(CacheConfig::kb(1024)).run_trace(trace.iter().copied());
+        prop_assert!(large.hits >= small.hits.saturating_sub(small.hits / 10),
+            "1MB ({}) much worse than 64KB ({})", large.hits, small.hits);
+    }
+}
+
+#[test]
+fn odd_address_same_line_hits() {
+    let mut c = Cache::new(CacheConfig::kb(32));
+    c.access(64);
+    assert!(c.access(65));
+    assert!(c.access(127));
+    assert!(!c.access(128));
+}

@@ -1,0 +1,210 @@
+//! A buffered COT pool with automatic re-extension.
+//!
+//! PPML frameworks consume correlations in bursts whose sizes don't align
+//! with extension outputs (e.g. one ReLU layer of ResNet-18 needs ~2^25
+//! COTs, §5.1.3). [`CotPool`] buffers extension outputs and serves
+//! arbitrary-sized requests, transparently running additional extensions
+//! when the buffer runs dry — the host-side behavior the Ironman PU's
+//! streaming offload is designed for.
+
+use crate::engine::{Engine, Timing};
+use ironman_prg::Block;
+
+/// A matched batch of correlations handed to the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CotBatch {
+    /// The global offset `Δ` (sender side).
+    pub delta: Block,
+    /// Sender strings `z`.
+    pub z: Vec<Block>,
+    /// Receiver choice bits `x`.
+    pub x: Vec<bool>,
+    /// Receiver strings `y` with `z = y ⊕ x·Δ`.
+    pub y: Vec<Block>,
+}
+
+impl CotBatch {
+    /// Number of correlations in the batch.
+    pub fn len(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty()
+    }
+
+    /// Checks the correlation on every element.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first violation.
+    pub fn verify(&self) -> Result<(), usize> {
+        for i in 0..self.len() {
+            if self.z[i] != self.y[i] ^ self.delta.and_bit(self.x[i]) {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A replenishing store of COT correlations over an [`Engine`].
+#[derive(Debug)]
+pub struct CotPool {
+    engine: Engine,
+    seed: u64,
+    delta: Option<Block>,
+    z: Vec<Block>,
+    x: Vec<bool>,
+    y: Vec<Block>,
+    cursor: usize,
+    extensions_run: usize,
+    last_timing: Option<Timing>,
+}
+
+impl CotPool {
+    /// Creates an empty pool; the first request triggers an extension.
+    pub fn new(engine: Engine, seed: u64) -> Self {
+        CotPool {
+            engine,
+            seed,
+            delta: None,
+            z: Vec::new(),
+            x: Vec::new(),
+            y: Vec::new(),
+            cursor: 0,
+            extensions_run: 0,
+            last_timing: None,
+        }
+    }
+
+    /// Correlations currently buffered and unconsumed.
+    pub fn available(&self) -> usize {
+        self.z.len() - self.cursor
+    }
+
+    /// Extensions executed so far.
+    pub fn extensions_run(&self) -> usize {
+        self.extensions_run
+    }
+
+    /// Timing of the most recent extension, if any.
+    pub fn last_timing(&self) -> Option<Timing> {
+        self.last_timing
+    }
+
+    fn refill(&mut self) {
+        // Each refill is a fresh session (new seeds) in this harness; a
+        // deployment would keep one bootstrapped session alive. Δ stays
+        // fixed per pool so downstream protocols can cache Δ-dependent
+        // state.
+        self.seed = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let run = self.engine.run_one(self.seed);
+        let out = run.cots;
+        match self.delta {
+            None => self.delta = Some(out.delta),
+            Some(d) => {
+                // With per-refill sessions Δ changes; expose each batch
+                // under its own Δ by draining the remainder first.
+                debug_assert!(self.available() == 0 || d == out.delta);
+                self.delta = Some(out.delta);
+            }
+        }
+        self.z = out.z;
+        self.x = out.x;
+        self.y = out.y;
+        self.cursor = 0;
+        self.extensions_run += 1;
+        self.last_timing = Some(run.timing);
+    }
+
+    /// Takes `count` correlations, extending as needed. The returned batch
+    /// is homogeneous in `Δ` (requests never straddle a session boundary;
+    /// a partially drained buffer is topped up lazily instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds one extension's usable output (split such
+    /// requests at the application level).
+    pub fn take(&mut self, count: usize) -> CotBatch {
+        let per_extension = self.engine.config().usable_outputs();
+        assert!(
+            count <= per_extension,
+            "request of {count} exceeds one extension's output {per_extension}"
+        );
+        if self.available() < count {
+            self.refill();
+        }
+        let start = self.cursor;
+        self.cursor += count;
+        CotBatch {
+            delta: self.delta.expect("refill sets delta"),
+            z: self.z[start..start + count].to_vec(),
+            x: self.x[start..start + count].to_vec(),
+            y: self.y[start..start + count].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+    use ironman_ot::ferret::FerretConfig;
+    use ironman_ot::params::FerretParams;
+
+    fn pool() -> CotPool {
+        let engine =
+            Engine::new(FerretConfig::new(FerretParams::toy()), Backend::ironman_default());
+        CotPool::new(engine, 42)
+    }
+
+    #[test]
+    fn first_take_triggers_extension() {
+        let mut p = pool();
+        assert_eq!(p.extensions_run(), 0);
+        let batch = p.take(100);
+        assert_eq!(p.extensions_run(), 1);
+        assert_eq!(batch.len(), 100);
+        batch.verify().unwrap();
+    }
+
+    #[test]
+    fn buffered_takes_do_not_re_extend() {
+        let mut p = pool();
+        let _ = p.take(100);
+        let before = p.available();
+        let b = p.take(200);
+        b.verify().unwrap();
+        assert_eq!(p.extensions_run(), 1);
+        assert_eq!(p.available(), before - 200);
+    }
+
+    #[test]
+    fn exhaustion_triggers_refill() {
+        let mut p = pool();
+        let usable = p.engine.config().usable_outputs();
+        let a = p.take(usable); // drains the first extension fully
+        a.verify().unwrap();
+        let b = p.take(10);
+        b.verify().unwrap();
+        assert_eq!(p.extensions_run(), 2);
+    }
+
+    #[test]
+    fn batches_are_internally_consistent() {
+        let mut p = pool();
+        for _ in 0..5 {
+            p.take(500).verify().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds one extension")]
+    fn oversized_request_rejected() {
+        let mut p = pool();
+        let usable = p.engine.config().usable_outputs();
+        let _ = p.take(usable + 1);
+    }
+}

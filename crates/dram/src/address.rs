@@ -1,0 +1,106 @@
+//! Physical-address decomposition for the rank simulator.
+//!
+//! Addresses are byte addresses within one rank's capacity. The interleave
+//! order is `row : bank : bank-group : column : offset` (bank-group bits
+//! lowest among the bank bits so that consecutive lines rotate across bank
+//! groups — the standard BG-interleaved mapping that lets back-to-back
+//! reads use the shorter `tCCD_S`).
+
+use crate::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// A decoded rank-local address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodedAddr {
+    /// Bank group index.
+    pub group: usize,
+    /// Bank index within the group.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column (line) index within the row.
+    pub column: usize,
+}
+
+impl DecodedAddr {
+    /// Flat bank identifier (`group * banks_per_group + bank`).
+    pub fn flat_bank(&self, cfg: &DramConfig) -> usize {
+        self.group * cfg.banks_per_group + self.bank
+    }
+}
+
+/// Maps byte addresses to (group, bank, row, column).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AddressMapping {
+    cfg: DramConfig,
+}
+
+impl AddressMapping {
+    /// Creates the mapping for a configuration.
+    pub fn new(cfg: DramConfig) -> Self {
+        AddressMapping { cfg }
+    }
+
+    /// Decodes a byte address.
+    pub fn decode(&self, addr: u64) -> DecodedAddr {
+        let line = addr / self.cfg.access_bytes as u64;
+        let lines_per_row = (self.cfg.row_bytes / self.cfg.access_bytes) as u64;
+        let group = (line % self.cfg.bank_groups as u64) as usize;
+        let line = line / self.cfg.bank_groups as u64;
+        let bank = (line % self.cfg.banks_per_group as u64) as usize;
+        let line = line / self.cfg.banks_per_group as u64;
+        let column = (line % lines_per_row) as usize;
+        let row = line / lines_per_row;
+        DecodedAddr { group, bank, row, column }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(DramConfig::ddr4_2400())
+    }
+
+    #[test]
+    fn consecutive_lines_rotate_groups() {
+        let m = mapping();
+        let a = m.decode(0);
+        let b = m.decode(64);
+        let c = m.decode(128);
+        assert_eq!(a.group, 0);
+        assert_eq!(b.group, 1);
+        assert_eq!(c.group, 2);
+    }
+
+    #[test]
+    fn same_line_same_decode() {
+        let m = mapping();
+        assert_eq!(m.decode(100), m.decode(64)); // both in line 1
+    }
+
+    #[test]
+    fn row_changes_after_full_stripe() {
+        let m = mapping();
+        let cfg = DramConfig::ddr4_2400();
+        // One full row across all banks: 16 banks × 128 lines/row × 64 B.
+        let stride = (cfg.banks() * (cfg.row_bytes / cfg.access_bytes) * cfg.access_bytes) as u64;
+        let a = m.decode(0);
+        let b = m.decode(stride);
+        assert_eq!(a.group, b.group);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.row, a.row + 1);
+    }
+
+    #[test]
+    fn flat_bank_unique() {
+        let cfg = DramConfig::ddr4_2400();
+        let m = mapping();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..cfg.banks() as u64 {
+            let d = m.decode(i * 64);
+            assert!(seen.insert(d.flat_bank(&cfg)));
+        }
+    }
+}

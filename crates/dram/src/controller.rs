@@ -1,0 +1,187 @@
+//! Channel-level memory controller: the full Table 3 hierarchy
+//! (4 channels × 2 DIMMs × 2 ranks).
+//!
+//! The Rank-NMP modules never need this view — their whole point is to
+//! stay below it — but the *CPU baseline* does: host LPN gathers traverse
+//! the controller, where channel count bounds aggregate bandwidth. This
+//! module interleaves a request stream across channels and reports the
+//! aggregate, quantifying the gap between external (4-channel) and
+//! internal (16-rank) bandwidth that motivates NMP.
+
+use crate::dimm::DimmSim;
+use crate::rank::Request;
+use crate::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// System geometry above the rank level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemGeometry {
+    /// Independent memory channels.
+    pub channels: usize,
+    /// DIMMs per channel.
+    pub dimms_per_channel: usize,
+}
+
+impl SystemGeometry {
+    /// The paper's system: 4 channels × 2 DIMMs (× 2 ranks each).
+    pub const TABLE3: SystemGeometry = SystemGeometry { channels: 4, dimms_per_channel: 2 };
+
+    /// Total ranks in the system.
+    pub fn ranks(&self) -> usize {
+        self.channels * self.dimms_per_channel * 2
+    }
+}
+
+/// Aggregate result of a controller-level run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Completion cycle of the slowest channel.
+    pub total_cycles: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Aggregate sustained bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Per-channel completion cycles.
+    pub channel_cycles: [u64; 8],
+}
+
+/// The host-side memory controller.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryController {
+    cfg: DramConfig,
+    geometry: SystemGeometry,
+}
+
+impl MemoryController {
+    /// Creates the controller for a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry exceeds 8 channels (fixed report width).
+    pub fn new(cfg: DramConfig, geometry: SystemGeometry) -> Self {
+        assert!(geometry.channels <= 8, "at most 8 channels supported");
+        MemoryController { cfg, geometry }
+    }
+
+    /// The paper's configuration.
+    pub fn table3() -> Self {
+        MemoryController::new(DramConfig::ddr4_2400(), SystemGeometry::TABLE3)
+    }
+
+    /// Runs a request stream, line-interleaved across channels (the
+    /// standard XOR-free channel hash: consecutive lines rotate channels),
+    /// each channel serving its share through a shared-bus [`DimmSim`].
+    pub fn run(&self, requests: &[Request]) -> ControllerStats {
+        let ch_count = self.geometry.channels;
+        let mut per_channel: Vec<Vec<Request>> = vec![Vec::new(); ch_count];
+        for req in requests {
+            let line = req.addr / self.cfg.access_bytes as u64;
+            let ch = (line % ch_count as u64) as usize;
+            per_channel[ch].push(Request { addr: req.addr / ch_count as u64, ..*req });
+        }
+        let mut channel_cycles = [0u64; 8];
+        let mut total = 0u64;
+        let mut reads = 0u64;
+        for (ch, reqs) in per_channel.iter().enumerate() {
+            let stats = DimmSim::new(self.cfg).run(reqs);
+            // One DIMM active per channel in this model; the host sees the
+            // shared-bus discipline.
+            channel_cycles[ch] = stats.shared_bus_cycles;
+            total = total.max(stats.shared_bus_cycles);
+            reads += stats.rank0.reads + stats.rank1.reads;
+        }
+        let seconds = total as f64 / (self.cfg.clock_mhz * 1e6);
+        let bandwidth_gbps = if total == 0 {
+            0.0
+        } else {
+            reads as f64 * self.cfg.access_bytes as f64 / seconds / 1e9
+        };
+        ControllerStats { total_cycles: total, reads, bandwidth_gbps, channel_cycles }
+    }
+
+    /// The external-vs-internal bandwidth ratio for a request stream: how
+    /// much aggregate bandwidth rank-level NMP exposes beyond what the
+    /// host controller can extract from the same devices.
+    pub fn nmp_bandwidth_advantage(&self, requests: &[Request]) -> f64 {
+        let host = self.run(requests);
+        // Internal view: every rank serves its own share locally.
+        let ranks = self.geometry.ranks();
+        let mut per_rank: Vec<Vec<Request>> = vec![Vec::new(); ranks];
+        for req in requests {
+            let line = req.addr / self.cfg.access_bytes as u64;
+            let r = (line % ranks as u64) as usize;
+            per_rank[r].push(Request { addr: req.addr / ranks as u64, ..*req });
+        }
+        let internal_cycles = per_rank
+            .iter()
+            .map(|reqs| crate::RankSim::new(self.cfg).run(reqs).total_cycles)
+            .max()
+            .unwrap_or(0);
+        if internal_cycles == 0 {
+            return 1.0;
+        }
+        host.total_cycles as f64 / internal_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: u64) -> Vec<Request> {
+        (0..n).map(|i| Request::read(i * 64)).collect()
+    }
+
+    #[test]
+    fn geometry_totals() {
+        assert_eq!(SystemGeometry::TABLE3.ranks(), 16);
+    }
+
+    #[test]
+    fn all_requests_served() {
+        let mc = MemoryController::table3();
+        let s = mc.run(&stream(1024));
+        assert_eq!(s.reads, 1024);
+    }
+
+    #[test]
+    fn channels_balance_interleaved_stream() {
+        let mc = MemoryController::table3();
+        let s = mc.run(&stream(4096));
+        let active: Vec<u64> =
+            s.channel_cycles.iter().copied().filter(|&c| c > 0).collect();
+        assert_eq!(active.len(), 4);
+        let max = *active.iter().max().unwrap() as f64;
+        let min = *active.iter().min().unwrap() as f64;
+        assert!(max / min < 1.2, "imbalance {max}/{min}");
+    }
+
+    #[test]
+    fn aggregate_bandwidth_scales_with_channels() {
+        // 4 channels must beat 1 channel on the same stream.
+        let cfg = DramConfig::ddr4_2400();
+        let four = MemoryController::new(cfg, SystemGeometry { channels: 4, dimms_per_channel: 2 });
+        let one = MemoryController::new(cfg, SystemGeometry { channels: 1, dimms_per_channel: 2 });
+        let reqs = stream(4096);
+        assert!(four.run(&reqs).total_cycles < one.run(&reqs).total_cycles);
+    }
+
+    #[test]
+    fn nmp_bandwidth_advantage_is_real() {
+        // 16 ranks computing locally vs 4 external channels: the §5.1
+        // argument. For a balanced stream the advantage approaches
+        // ranks/channels × shared-bus overheads.
+        let mc = MemoryController::table3();
+        let adv = mc.nmp_bandwidth_advantage(&stream(8192));
+        assert!(adv > 2.0, "advantage {adv}");
+        assert!(adv < 16.0, "advantage {adv} implausibly high");
+    }
+
+    #[test]
+    fn bandwidth_bounded_by_system_peak() {
+        let mc = MemoryController::table3();
+        let s = mc.run(&stream(16384));
+        let peak = 4.0 * 19.2; // 4 channels × per-channel DDR4-2400 peak
+        assert!(s.bandwidth_gbps <= peak + 0.5, "bw {} vs peak {peak}", s.bandwidth_gbps);
+    }
+}

@@ -1,0 +1,137 @@
+//! DIMM-level simulation: two ranks behind one shared data bus.
+//!
+//! The Ironman PU's two Rank-NMP modules compute independently against
+//! their own ranks (that is the whole point of rank-level parallelism),
+//! but host-visible phases — broadcasting the pre-generated vector,
+//! streaming COTs back — cross the DIMM's shared bus, where rank-to-rank
+//! switching costs turnaround cycles. This module models that shared-bus
+//! view and quantifies the §5.1 claim that internal rank parallelism
+//! yields bandwidth the external bus cannot see.
+
+use crate::rank::{RankSim, Request};
+use crate::{DramConfig, DramStats};
+use serde::{Deserialize, Serialize};
+
+/// Bus turnaround penalty between accesses to different ranks, cycles
+/// (standard DDR4 rank-switch bubble).
+pub const RANK_SWITCH_CYCLES: u64 = 2;
+
+/// Result of a DIMM-level run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DimmStats {
+    /// Per-rank statistics.
+    pub rank0: DramStats,
+    /// Per-rank statistics.
+    pub rank1: DramStats,
+    /// Cycles when the shared external bus is the constraint.
+    pub shared_bus_cycles: u64,
+    /// Cycles when the two ranks run internally in parallel.
+    pub parallel_cycles: u64,
+}
+
+impl DimmStats {
+    /// The rank-level-parallelism advantage: shared-bus time over
+    /// parallel-internal time for the same request mix.
+    pub fn parallelism_gain(&self) -> f64 {
+        if self.parallel_cycles == 0 {
+            return 1.0;
+        }
+        self.shared_bus_cycles as f64 / self.parallel_cycles as f64
+    }
+}
+
+/// A two-rank DIMM with a shared external data bus.
+#[derive(Clone, Debug)]
+pub struct DimmSim {
+    cfg: DramConfig,
+}
+
+impl DimmSim {
+    /// Creates the DIMM model.
+    pub fn new(cfg: DramConfig) -> Self {
+        DimmSim { cfg }
+    }
+
+    /// Runs a request mix where bit 6 of the line address selects the
+    /// rank, under both execution disciplines:
+    ///
+    /// * **shared-bus** — all data crosses the external bus; a rank switch
+    ///   between consecutive bursts costs [`RANK_SWITCH_CYCLES`], and the
+    ///   two ranks' transfers serialize (the host's view of the DIMM);
+    /// * **parallel** — each rank's requests are served by its own
+    ///   Rank-NMP locally; the DIMM finishes when the slower rank does
+    ///   (Ironman's view).
+    pub fn run(&self, requests: &[Request]) -> DimmStats {
+        let mut r0 = Vec::new();
+        let mut r1 = Vec::new();
+        let mut switches = 0u64;
+        let mut last_rank = None;
+        for req in requests {
+            let rank = (req.addr / self.cfg.access_bytes as u64) & 1;
+            if last_rank.is_some() && last_rank != Some(rank) {
+                switches += 1;
+            }
+            last_rank = Some(rank);
+            let local = Request { addr: req.addr / 2, ..*req };
+            if rank == 0 {
+                r0.push(local);
+            } else {
+                r1.push(local);
+            }
+        }
+        let stats0 = RankSim::new(self.cfg).run(&r0);
+        let stats1 = RankSim::new(self.cfg).run(&r1);
+        let parallel_cycles = stats0.total_cycles.max(stats1.total_cycles);
+        let shared_bus_cycles =
+            stats0.total_cycles + stats1.total_cycles + switches * RANK_SWITCH_CYCLES;
+        DimmStats { rank0: stats0, rank1: stats1, shared_bus_cycles, parallel_cycles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interleaved(n: u64) -> Vec<Request> {
+        (0..n).map(|i| Request::read(i * 64)).collect()
+    }
+
+    #[test]
+    fn requests_split_across_ranks() {
+        let dimm = DimmSim::new(DramConfig::ddr4_2400());
+        let s = dimm.run(&interleaved(256));
+        assert_eq!(s.rank0.reads + s.rank1.reads, 256);
+        assert_eq!(s.rank0.reads, 128);
+    }
+
+    #[test]
+    fn parallel_faster_than_shared_bus() {
+        // The §5.1 argument: rank-level parallelism roughly doubles
+        // effective bandwidth for a balanced mix.
+        let dimm = DimmSim::new(DramConfig::ddr4_2400());
+        let s = dimm.run(&interleaved(1024));
+        assert!(s.parallel_cycles < s.shared_bus_cycles);
+        // 2× from parallel ranks plus the turnaround bubbles of the
+        // perfectly interleaved worst case.
+        let gain = s.parallelism_gain();
+        assert!((1.5..=3.5).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn single_rank_mix_has_no_gain() {
+        let dimm = DimmSim::new(DramConfig::ddr4_2400());
+        // All requests land on rank 0 (even line addresses).
+        let reqs: Vec<Request> = (0..128u64).map(|i| Request::read(i * 128)).collect();
+        let s = dimm.run(&reqs);
+        assert_eq!(s.rank1.reads, 0);
+        assert!((s.parallelism_gain() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mix() {
+        let dimm = DimmSim::new(DramConfig::ddr4_2400());
+        let s = dimm.run(&[]);
+        assert_eq!(s.parallel_cycles, 0);
+        assert_eq!(s.parallelism_gain(), 1.0);
+    }
+}

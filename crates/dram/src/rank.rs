@@ -1,0 +1,457 @@
+//! The per-rank DDR4 simulator with FR-FCFS scheduling.
+//!
+//! One [`RankSim`] models the banks of a single rank — the unit the
+//! Ironman Rank-NMP module owns. Scheduling is First-Ready FCFS over a
+//! bounded reorder window: among outstanding requests, prefer row-buffer
+//! hits; break ties by age. Commands (PRE, ACT, READ) respect the Table 3
+//! timing constraints tracked per bank, per bank group, and rank-wide
+//! (tFAW, tRRD, tCCD).
+
+use crate::address::AddressMapping;
+use crate::{DramConfig, DramStats};
+use std::collections::VecDeque;
+
+/// Request direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Column read (the LPN gather's element fetches).
+    Read,
+    /// Column write (the host's vector-broadcast phase).
+    Write,
+}
+
+/// A memory request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Byte address within the rank.
+    pub addr: u64,
+    /// Earliest cycle at which the request exists (0 = trace start).
+    pub arrival: u64,
+    /// Direction.
+    pub kind: RequestKind,
+}
+
+impl Request {
+    /// A read arriving at cycle 0.
+    pub fn read(addr: u64) -> Self {
+        Request { addr, arrival: 0, kind: RequestKind::Read }
+    }
+
+    /// A read arriving at a given cycle.
+    pub fn read_at(addr: u64, arrival: u64) -> Self {
+        Request { addr, arrival, kind: RequestKind::Read }
+    }
+
+    /// A write arriving at cycle 0.
+    pub fn write(addr: u64) -> Self {
+        Request { addr, arrival: 0, kind: RequestKind::Write }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BankState {
+    open_row: Option<u64>,
+    /// Earliest cycle the next ACT may issue (tRC / tRP constraints).
+    next_act: u64,
+    /// Earliest cycle the next READ may issue on this bank (tRCD).
+    next_read: u64,
+    /// Earliest cycle a PRE may issue (tRAS after ACT).
+    next_pre: u64,
+}
+
+impl BankState {
+    fn closed() -> Self {
+        BankState { open_row: None, next_act: 0, next_read: 0, next_pre: 0 }
+    }
+}
+
+/// Cycle-level model of one DDR4 rank.
+#[derive(Clone, Debug)]
+pub struct RankSim {
+    cfg: DramConfig,
+    mapping: AddressMapping,
+    banks: Vec<BankState>,
+    /// Last ACT cycle per bank group (tRRD_L) and rank-wide (tRRD_S);
+    /// `None` until the first activation.
+    last_act_group: Vec<Option<u64>>,
+    last_act_rank: Option<u64>,
+    /// Sliding window of the last four ACT cycles (tFAW).
+    act_history: VecDeque<u64>,
+    /// Last READ cycle and its bank group (tCCD_S/L).
+    last_read: Option<(u64, usize)>,
+    /// Data-bus free cycle.
+    bus_free: u64,
+    /// Start of the next refresh window.
+    next_refresh: u64,
+    /// Refreshes performed.
+    refreshes: u64,
+    now: u64,
+}
+
+impl RankSim {
+    /// Creates an idle rank.
+    pub fn new(cfg: DramConfig) -> Self {
+        RankSim {
+            mapping: AddressMapping::new(cfg),
+            banks: vec![BankState::closed(); cfg.banks()],
+            last_act_group: vec![None; cfg.bank_groups],
+            last_act_rank: None,
+            act_history: VecDeque::new(),
+            last_read: None,
+            bus_free: 0,
+            next_refresh: cfg.timing.t_refi,
+            refreshes: 0,
+            cfg,
+            now: 0,
+        }
+    }
+
+    /// Defers `t` past any refresh window it lands in and advances the
+    /// refresh schedule. All banks are blocked for `tRFC` every `tREFI`.
+    fn refresh_adjust(&mut self, mut t: u64) -> u64 {
+        let timing = self.cfg.timing;
+        while t >= self.next_refresh {
+            let end = self.next_refresh + timing.t_rfc;
+            if t < end {
+                t = end;
+            }
+            self.next_refresh += timing.t_refi;
+            self.refreshes += 1;
+        }
+        t
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Refresh operations performed so far.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Earliest cycle an ACT may issue, given group/rank/FAW constraints.
+    fn act_ready(&self, bank: &BankState, group: usize) -> u64 {
+        let t = &self.cfg.timing;
+        let mut ready = bank.next_act;
+        if let Some(last) = self.last_act_group[group] {
+            ready = ready.max(last + t.t_rrd_l);
+        }
+        if let Some(last) = self.last_act_rank {
+            ready = ready.max(last + t.t_rrd_s);
+        }
+        if self.act_history.len() == 4 {
+            ready = ready.max(self.act_history[0] + t.t_faw);
+        }
+        ready
+    }
+
+    /// Earliest cycle a READ may issue on an open bank.
+    fn read_ready(&self, bank: &BankState, group: usize) -> u64 {
+        let t = &self.cfg.timing;
+        let mut ready = bank.next_read;
+        if let Some((last, last_group)) = self.last_read {
+            let ccd = if last_group == group { t.t_ccd_l } else { t.t_ccd_s };
+            ready = ready.max(last + ccd);
+        }
+        ready.max(self.bus_free.saturating_sub(t.t_cl))
+    }
+
+    /// Estimates the completion cycle of `req` *without* mutating state —
+    /// the FR-FCFS scoring function.
+    fn estimate(&self, req: &Request) -> (bool, u64) {
+        let d = self.mapping.decode(req.addr);
+        let bank = &self.banks[d.flat_bank(&self.cfg)];
+        let t = &self.cfg.timing;
+        let base = self.now.max(req.arrival);
+        match bank.open_row {
+            Some(row) if row == d.row => {
+                let read = self.read_ready(bank, d.group).max(base);
+                (true, read + t.t_cl + t.t_bl)
+            }
+            Some(_) => {
+                let pre = bank.next_pre.max(base);
+                let act = self.act_ready(bank, d.group).max(pre + t.t_rp);
+                let read = (act + t.t_rcd).max(base);
+                (false, read + t.t_cl + t.t_bl)
+            }
+            None => {
+                let act = self.act_ready(bank, d.group).max(base);
+                let read = act + t.t_rcd;
+                (false, read + t.t_cl + t.t_bl)
+            }
+        }
+    }
+
+    /// Executes `req`, updating all timing state; returns the cycle of the
+    /// last data beat.
+    fn execute(&mut self, req: &Request, stats: &mut DramStats) -> u64 {
+        let d = self.mapping.decode(req.addr);
+        let flat = d.flat_bank(&self.cfg);
+        let t = self.cfg.timing;
+        let base = self.now.max(req.arrival);
+
+        let (hit_kind, read_cycle) = match self.banks[flat].open_row {
+            Some(row) if row == d.row => {
+                let read = self.read_ready(&self.banks[flat], d.group).max(base);
+                (0u8, read)
+            }
+            Some(_) => {
+                let pre = self.banks[flat].next_pre.max(base);
+                let act = self.act_ready(&self.banks[flat], d.group).max(pre + t.t_rp);
+                self.record_act(flat, d.group, d.row, act);
+                (1, act + t.t_rcd)
+            }
+            None => {
+                let act = self.act_ready(&self.banks[flat], d.group).max(base);
+                self.record_act(flat, d.group, d.row, act);
+                (2, act + t.t_rcd)
+            }
+        };
+        let read_cycle = read_cycle.max(self.read_ready(&self.banks[flat], d.group));
+        let read_cycle = self.refresh_adjust(read_cycle);
+        let cas = match req.kind {
+            RequestKind::Read => t.t_cl,
+            RequestKind::Write => t.t_cwl,
+        };
+        let done = read_cycle + cas + t.t_bl;
+
+        self.last_read = Some((read_cycle, d.group));
+        self.bus_free = done;
+        let bank = &mut self.banks[flat];
+        bank.next_read = read_cycle + t.t_ccd_l;
+        // READ→PRE spacing folded into tRAS tracking (next_pre set at ACT);
+        // writes additionally respect the write-recovery window.
+        let recovery = match req.kind {
+            RequestKind::Read => t.t_bl,
+            RequestKind::Write => t.t_cwl + t.t_bl + t.t_wr,
+        };
+        bank.next_pre = bank.next_pre.max(read_cycle + recovery);
+
+        match hit_kind {
+            0 => stats.row_hits += 1,
+            1 => stats.row_misses += 1,
+            _ => stats.row_empty += 1,
+        }
+        stats.reads += 1;
+        stats.latency_sum += done - req.arrival.min(done);
+        done
+    }
+
+    fn record_act(&mut self, flat: usize, group: usize, row: u64, act: u64) {
+        let t = self.cfg.timing;
+        let bank = &mut self.banks[flat];
+        bank.open_row = Some(row);
+        bank.next_act = act + t.t_rc;
+        bank.next_read = act + t.t_rcd;
+        bank.next_pre = act + t.t_ras();
+        self.last_act_group[group] = Some(act);
+        self.last_act_rank = Some(act);
+        self.act_history.push_back(act);
+        if self.act_history.len() > 4 {
+            self.act_history.pop_front();
+        }
+    }
+
+    /// Runs a request trace through the rank with FR-FCFS scheduling and
+    /// returns aggregate statistics. The simulator keeps the configured
+    /// reorder window of outstanding requests; within the window, row hits
+    /// are served before misses (first-ready), ties broken by age (FCFS).
+    pub fn run(&mut self, requests: &[Request]) -> DramStats {
+        let mut stats = DramStats::default();
+        let mut window: VecDeque<Request> = VecDeque::new();
+        let mut next = 0usize;
+        let mut last_done = 0u64;
+
+        while next < requests.len() || !window.is_empty() {
+            while window.len() < self.cfg.window && next < requests.len() {
+                window.push_back(requests[next]);
+                next += 1;
+            }
+            // FR-FCFS pick: oldest row hit, else oldest.
+            let mut pick = 0usize;
+            let mut picked_hit = false;
+            for (i, req) in window.iter().enumerate() {
+                let (hit, _) = self.estimate(req);
+                if hit {
+                    pick = i;
+                    picked_hit = true;
+                    break;
+                }
+            }
+            if !picked_hit {
+                pick = 0;
+            }
+            let req = window.remove(pick).expect("window nonempty");
+            let done = self.execute(&req, &mut stats);
+            last_done = last_done.max(done);
+            // Advance time to when the command stream can accept more work;
+            // issuing back-to-back is allowed, so only move `now` forward
+            // modestly (the data bus constraint serializes reads anyway).
+            self.now = self.now.max(req.arrival);
+        }
+        stats.total_cycles = last_done;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> RankSim {
+        RankSim::new(DramConfig::ddr4_2400())
+    }
+
+    #[test]
+    fn sequential_reads_mostly_hit() {
+        let mut s = sim();
+        // 256 sequential lines: after each bank's first access, subsequent
+        // same-row accesses hit.
+        let reqs: Vec<Request> = (0..256u64).map(|i| Request::read(i * 64)).collect();
+        let stats = s.run(&reqs);
+        assert_eq!(stats.reads, 256);
+        assert!(stats.row_hit_rate() > 0.8, "hit rate {}", stats.row_hit_rate());
+    }
+
+    #[test]
+    fn random_rows_mostly_miss() {
+        let mut s = sim();
+        let cfg = DramConfig::ddr4_2400();
+        // Stride of one full row stripe: every access opens a new row in
+        // the same bank.
+        let stride = (cfg.banks() * (cfg.row_bytes / cfg.access_bytes) * cfg.access_bytes) as u64;
+        let reqs: Vec<Request> = (0..64u64).map(|i| Request::read(i * stride)).collect();
+        let stats = s.run(&reqs);
+        assert_eq!(stats.row_hits, 0, "row-stride trace cannot hit");
+        assert_eq!(stats.row_misses + stats.row_empty, 64);
+    }
+
+    #[test]
+    fn hits_are_faster_than_misses() {
+        let cfg = DramConfig::ddr4_2400();
+        let stride = (cfg.banks() * (cfg.row_bytes / cfg.access_bytes) * cfg.access_bytes) as u64;
+        let hits = sim().run(&(0..256u64).map(|i| Request::read(i % 4 * 64)).collect::<Vec<_>>());
+        let misses = sim().run(&(0..256u64).map(|i| Request::read(i * stride)).collect::<Vec<_>>());
+        assert!(
+            hits.total_cycles < misses.total_cycles,
+            "hits {} !< misses {}",
+            hits.total_cycles,
+            misses.total_cycles
+        );
+        assert!(hits.avg_latency() < misses.avg_latency());
+    }
+
+    #[test]
+    fn bandwidth_bounded_by_peak() {
+        let cfg = DramConfig::ddr4_2400();
+        let reqs: Vec<Request> = (0..4096u64).map(|i| Request::read(i * 64)).collect();
+        let stats = sim().run(&reqs);
+        let bw = stats.bandwidth_gbps(cfg.access_bytes, cfg.clock_mhz);
+        assert!(bw <= cfg.peak_bandwidth_gbps() + 0.1, "bw {bw} exceeds peak");
+        assert!(bw > 0.5 * cfg.peak_bandwidth_gbps(), "sequential bw {bw} too low");
+    }
+
+    #[test]
+    fn single_access_latency_matches_timing() {
+        let mut s = sim();
+        let stats = s.run(&[Request::read(0)]);
+        let t = DramTimingProbe::table3();
+        // Closed bank: ACT@0 → READ@tRCD → data done at tRCD+tCL+tBL.
+        assert_eq!(stats.total_cycles, t.rcd + t.cl + t.bl);
+    }
+
+    struct DramTimingProbe {
+        rcd: u64,
+        cl: u64,
+        bl: u64,
+    }
+    impl DramTimingProbe {
+        fn table3() -> Self {
+            let t = crate::DramTiming::table3();
+            DramTimingProbe { rcd: t.t_rcd, cl: t.t_cl, bl: t.t_bl }
+        }
+    }
+
+    #[test]
+    fn frfcfs_prefers_hits() {
+        // Interleave two streams: row-hit stream on bank 0 and a row-miss
+        // stream on the same bank. FR-FCFS should finish faster than strict
+        // FIFO would (we verify hits get counted despite interleaving).
+        let cfg = DramConfig::ddr4_2400();
+        let stride = (cfg.banks() * (cfg.row_bytes / cfg.access_bytes) * cfg.access_bytes) as u64;
+        let mut reqs = Vec::new();
+        for i in 0..32u64 {
+            reqs.push(Request::read(i % 2 * 64)); // same row, hits
+            reqs.push(Request::read((i + 2) * stride)); // conflicting rows
+        }
+        let stats = RankSim::new(cfg).run(&reqs);
+        assert!(stats.row_hits >= 20, "FR-FCFS should preserve hits: {stats:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let reqs: Vec<Request> = (0..128u64).map(|i| Request::read(i * 7919 * 64)).collect();
+        let a = sim().run(&reqs);
+        let b = sim().run(&reqs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arrival_times_respected() {
+        let mut s = sim();
+        let stats = s.run(&[Request::read_at(0, 1000)]);
+        assert!(stats.total_cycles >= 1000);
+    }
+}
+
+#[cfg(test)]
+mod refresh_write_tests {
+    use super::*;
+
+    #[test]
+    fn refreshes_occur_on_long_traces() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut sim = RankSim::new(cfg);
+        // Enough sequential reads to run well past several tREFI windows.
+        let reqs: Vec<Request> = (0..8192u64).map(|i| Request::read(i * 64)).collect();
+        let stats = sim.run(&reqs);
+        assert!(sim.refreshes() >= 2, "expected refreshes on a {}-cycle trace", stats.total_cycles);
+    }
+
+    #[test]
+    fn refresh_adds_latency() {
+        let base = DramConfig::ddr4_2400();
+        let mut no_refresh = base;
+        no_refresh.timing.t_refi = u64::MAX;
+        let reqs: Vec<Request> = (0..8192u64).map(|i| Request::read(i * 64)).collect();
+        let with = RankSim::new(base).run(&reqs);
+        let without = RankSim::new(no_refresh).run(&reqs);
+        assert!(with.total_cycles > without.total_cycles);
+        // Refresh overhead is bounded (~tRFC/tREFI ≈ 4.5%).
+        let overhead = with.total_cycles as f64 / without.total_cycles as f64;
+        assert!(overhead < 1.10, "overhead {overhead}");
+    }
+
+    #[test]
+    fn writes_complete_and_block_precharge_longer() {
+        let cfg = DramConfig::ddr4_2400();
+        let stride = (cfg.banks() * (cfg.row_bytes / cfg.access_bytes) * cfg.access_bytes) as u64;
+        // Write then read a conflicting row in the same bank: the write
+        // recovery window delays the precharge.
+        let rw = RankSim::new(cfg).run(&[Request::write(0), Request::read(stride)]);
+        let rr = RankSim::new(cfg).run(&[Request::read(0), Request::read(stride)]);
+        assert_eq!(rw.reads, 2);
+        assert!(rw.total_cycles > rr.total_cycles, "write recovery must cost cycles");
+    }
+
+    #[test]
+    fn sequential_writes_stream() {
+        let cfg = DramConfig::ddr4_2400();
+        let reqs: Vec<Request> = (0..256u64).map(|i| Request::write(i * 64)).collect();
+        let stats = RankSim::new(cfg).run(&reqs);
+        assert_eq!(stats.reads, 256);
+        assert!(stats.row_hit_rate() > 0.8);
+    }
+}

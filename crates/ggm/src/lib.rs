@@ -1,0 +1,53 @@
+//! GGM trees for the Ironman OT-extension reproduction.
+//!
+//! The SPCOT sub-protocol (paper §2.3.1) has both parties build
+//! Goldreich–Goldwasser–Micali trees: the sender expands a random seed into
+//! `ℓ` leaves; the receiver reconstructs every leaf *except* one punctured
+//! position `α` from per-level XOR sums obtained through OT.
+//!
+//! This crate provides:
+//!
+//! * [`Arity`] — validated tree arity `m ∈ {2, 4, 8, 16, 32}` (§4.1's sweep).
+//! * [`GgmTree`] — the sender's full local expansion with level sums
+//!   (`K^i_j`, Table 1) and primitive-call accounting.
+//! * [`PuncturedTree`] — the receiver's reconstruction from level sums,
+//!   generic over arity.
+//! * [`schedule`] — the hardware expansion schedules of §4.3 (depth-first,
+//!   breadth-first, hybrid) with an 8-stage-pipeline cycle model that
+//!   reproduces the bubble/utilization arithmetic of Fig. 8.
+//!
+//! # Example
+//!
+//! ```
+//! use ironman_ggm::{Arity, GgmTree, PuncturedTree};
+//! use ironman_prg::{Block, ChaChaTreePrg};
+//!
+//! let prg = ChaChaTreePrg::new(Block::from(7u128), 8);
+//! let tree = GgmTree::expand(&prg, Block::from(1u128), Arity::QUAD, 64);
+//! let alpha = 17;
+//! let sums = tree.level_sums();
+//! let punct = PuncturedTree::reconstruct(&prg, Arity::QUAD, 64, alpha, |lvl, j| {
+//!     // The receiver obtains every sum except the punctured branch via OT.
+//!     sums[lvl][j]
+//! });
+//! for (i, leaf) in punct.leaves().iter().enumerate() {
+//!     if i != alpha {
+//!         assert_eq!(*leaf, tree.leaves()[i]);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arity;
+pub mod halftree;
+pub mod punctured;
+pub mod schedule;
+pub mod tree;
+
+pub use arity::Arity;
+pub use halftree::HalfTreePrg;
+pub use punctured::PuncturedTree;
+pub use schedule::{ExpansionSchedule, PipelineModel, ScheduleReport};
+pub use tree::{GgmTree, LevelShape};

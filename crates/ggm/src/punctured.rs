@@ -1,0 +1,224 @@
+//! Receiver-side punctured GGM tree reconstruction (Step ③ of Fig. 3(b)).
+//!
+//! The receiver knows the branch digits of the punctured index `α` and, for
+//! each level `i`, obtains through OT the branch sums `K^i_j` for every
+//! branch `j ≠ α_i`. From those it reconstructs all nodes of the tree except
+//! the ones on the punctured path; in particular, all leaves except leaf `α`.
+
+use crate::{Arity, LevelShape};
+use ironman_prg::{Block, PrgCounter, PrgKind, TreePrg};
+
+/// A GGM tree with one unknown (punctured) leaf.
+#[derive(Clone, Debug)]
+pub struct PuncturedTree {
+    shape: LevelShape,
+    alpha: usize,
+    leaves: Vec<Block>,
+    counter: PrgCounter,
+}
+
+impl PuncturedTree {
+    /// Reconstructs the tree from per-level branch sums.
+    ///
+    /// `sum_for(level, branch)` must return the sender's `K^level_branch`
+    /// for every `branch != α_level`; it is never called with
+    /// `branch == α_level` (the receiver cannot learn that sum — this is
+    /// what hides the punctured leaf). In the protocol those values arrive
+    /// via (m−1)-out-of-m OT; tests pass a closure over the sender's sums.
+    ///
+    /// The punctured leaf position holds [`Block::ZERO`] until
+    /// [`Self::recover_punctured`] fills it in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha >= leaves` or `leaves` is not a power of two `>= 2`.
+    pub fn reconstruct<P, F>(prg: &P, arity: Arity, leaves: usize, alpha: usize, sum_for: F) -> Self
+    where
+        P: TreePrg + ?Sized,
+        F: Fn(usize, usize) -> Block,
+    {
+        let shape = LevelShape::new(arity, leaves);
+        assert!(alpha < leaves, "alpha {alpha} out of range for {leaves} leaves");
+        let digits = shape.digits(alpha);
+        let mut counter = PrgCounter::new();
+
+        // `known[idx]` for the current level; the punctured node's slot is
+        // ZERO and tracked by `punct_idx`.
+        let mut current: Vec<Block> = Vec::new();
+        let mut punct_idx = 0usize;
+
+        for (lvl, (&fanout, &width)) in
+            shape.fanouts().iter().zip(shape.widths().iter()).enumerate()
+        {
+            let mut next = vec![Block::ZERO; width];
+            let mut calls = 0u64;
+            // Expand all known parents.
+            if lvl == 0 {
+                // Root is never known to the receiver; level 0 comes
+                // entirely from sums.
+            } else {
+                for (p, parent) in current.iter().enumerate() {
+                    if p == punct_idx {
+                        continue;
+                    }
+                    let start = p * fanout;
+                    calls += prg.expand(*parent, &mut next[start..start + fanout]);
+                }
+            }
+            // Recover the punctured parent's children (except branch α_lvl)
+            // from the branch sums: sibling_j = K^lvl_j ⊕ XOR(all known
+            // level nodes at branch j).
+            let a = digits[lvl];
+            let new_punct_parent = if lvl == 0 { 0 } else { punct_idx };
+            for j in 0..fanout {
+                if j == a {
+                    continue;
+                }
+                let mut acc = sum_for(lvl, j);
+                for (idx, node) in next.iter().enumerate() {
+                    if idx % fanout == j && idx / fanout != new_punct_parent {
+                        acc ^= *node;
+                    }
+                }
+                next[new_punct_parent * fanout + j] = acc;
+            }
+            punct_idx = new_punct_parent * fanout + a;
+            match prg.kind() {
+                PrgKind::Aes => counter.add_aes(calls),
+                PrgKind::ChaCha { .. } => counter.add_chacha(calls),
+            }
+            current = next;
+        }
+
+        debug_assert_eq!(punct_idx, alpha);
+        PuncturedTree { shape, alpha, leaves: current, counter }
+    }
+
+    /// The punctured leaf index `α`.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// The tree's level shape.
+    pub fn shape(&self) -> &LevelShape {
+        &self.shape
+    }
+
+    /// The leaf layer; position [`Self::alpha`] is ZERO (or the recovered
+    /// value after [`Self::recover_punctured`]).
+    pub fn leaves(&self) -> &[Block] {
+        &self.leaves
+    }
+
+    /// Consumes the tree, returning the leaf vector.
+    pub fn into_leaves(self) -> Vec<Block> {
+        self.leaves
+    }
+
+    /// PRG primitive calls consumed by the reconstruction.
+    pub fn counter(&self) -> PrgCounter {
+        self.counter
+    }
+
+    /// XOR of all *known* leaves (everything except `α`).
+    pub fn known_leaf_sum(&self) -> Block {
+        Block::xor_all(
+            self.leaves.iter().enumerate().filter(|(i, _)| *i != self.alpha).map(|(_, b)| *b),
+        )
+    }
+
+    /// Step ④ (α-th node recovery): given the sender's `c = Δ ⊕ ⊕_i w_i`,
+    /// fills in the punctured leaf with `v_α = c ⊕ ⊕_{i≠α} v_i`, which
+    /// satisfies `w_α = v_α ⊕ Δ`.
+    pub fn recover_punctured(&mut self, masked_leaf_sum: Block) {
+        self.leaves[self.alpha] = masked_leaf_sum ^ self.known_leaf_sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GgmTree;
+    use ironman_prg::{AesTreePrg, ChaChaTreePrg};
+
+    fn check_reconstruction<P: TreePrg>(prg: &P, arity: Arity, leaves: usize, alpha: usize) {
+        let tree = GgmTree::expand(prg, Block::from(99u128), arity, leaves);
+        let sums = tree.level_sums();
+        let digits = tree.shape().digits(alpha);
+        let punct = PuncturedTree::reconstruct(prg, arity, leaves, alpha, |lvl, j| {
+            assert_ne!(j, digits[lvl], "receiver asked for the hidden branch sum");
+            sums[lvl][j]
+        });
+        for (i, leaf) in punct.leaves().iter().enumerate() {
+            if i == alpha {
+                assert_eq!(*leaf, Block::ZERO);
+            } else {
+                assert_eq!(*leaf, tree.leaves()[i], "leaf {i} mismatched (alpha={alpha})");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_reconstruction_all_alphas() {
+        let prg = AesTreePrg::new(Block::from(7u128), 2);
+        for alpha in 0..16 {
+            check_reconstruction(&prg, Arity::BINARY, 16, alpha);
+        }
+    }
+
+    #[test]
+    fn quad_reconstruction_all_alphas() {
+        let prg = ChaChaTreePrg::new(Block::from(8u128), 8);
+        for alpha in 0..64 {
+            check_reconstruction(&prg, Arity::QUAD, 64, alpha);
+        }
+    }
+
+    #[test]
+    fn wide_arity_reconstruction() {
+        let prg = ChaChaTreePrg::new(Block::from(13u128), 8);
+        for arity in Arity::SWEEP {
+            check_reconstruction(&prg, arity, 1024, 513);
+        }
+    }
+
+    #[test]
+    fn mixed_fanout_reconstruction() {
+        let prg = ChaChaTreePrg::new(Block::from(17u128), 8);
+        // 8192 = 4^6 * 2 exercises the partial final level.
+        for alpha in [0usize, 1, 4095, 4096, 8191] {
+            check_reconstruction(&prg, Arity::QUAD, 8192, alpha);
+        }
+    }
+
+    #[test]
+    fn recover_punctured_satisfies_correlation() {
+        let prg = ChaChaTreePrg::new(Block::from(5u128), 8);
+        let delta = Block::from(0xabcdefu128);
+        let tree = GgmTree::expand(&prg, Block::from(3u128), Arity::QUAD, 64);
+        let sums = tree.level_sums();
+        let alpha = 37;
+        let mut punct =
+            PuncturedTree::reconstruct(&prg, Arity::QUAD, 64, alpha, |lvl, j| sums[lvl][j]);
+        punct.recover_punctured(delta ^ tree.leaf_sum());
+        // w_α = v_α ⊕ Δ
+        assert_eq!(tree.leaves()[alpha], punct.leaves()[alpha] ^ delta);
+    }
+
+    #[test]
+    fn receiver_does_fewer_expansions_than_sender() {
+        let prg = ChaChaTreePrg::new(Block::from(5u128), 8);
+        let tree = GgmTree::expand(&prg, Block::from(3u128), Arity::QUAD, 4096);
+        let sums = tree.level_sums();
+        let punct =
+            PuncturedTree::reconstruct(&prg, Arity::QUAD, 4096, 100, |lvl, j| sums[lvl][j]);
+        assert!(punct.counter().total() < tree.counter().total());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn alpha_out_of_range_panics() {
+        let prg = AesTreePrg::new(Block::from(7u128), 2);
+        let _ = PuncturedTree::reconstruct(&prg, Arity::BINARY, 8, 8, |_, _| Block::ZERO);
+    }
+}

@@ -1,0 +1,288 @@
+//! Sender-side full GGM tree expansion.
+
+use crate::Arity;
+use ironman_prg::{Block, PrgCounter, PrgKind, TreePrg};
+
+/// The per-level structure of a tree: fanout and width of every level.
+///
+/// # Example
+///
+/// ```
+/// use ironman_ggm::{Arity, LevelShape};
+///
+/// let shape = LevelShape::new(Arity::QUAD, 64);
+/// assert_eq!(shape.depth(), 3);
+/// assert_eq!(shape.widths(), &[4, 16, 64]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelShape {
+    fanouts: Vec<usize>,
+    widths: Vec<usize>,
+}
+
+impl LevelShape {
+    /// Computes the shape for a tree of the given arity and leaf count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is not a power of two `>= 2` (see
+    /// [`Arity::level_fanouts`]).
+    pub fn new(arity: Arity, leaves: usize) -> Self {
+        let fanouts = arity.level_fanouts(leaves);
+        let mut widths = Vec::with_capacity(fanouts.len());
+        let mut w = 1usize;
+        for f in &fanouts {
+            w *= f;
+            widths.push(w);
+        }
+        LevelShape { fanouts, widths }
+    }
+
+    /// Number of levels below the root.
+    pub fn depth(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Fanout of each level (root's children are level 0).
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+
+    /// Width (node count) of each level.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Leaf count (width of the last level).
+    pub fn leaves(&self) -> usize {
+        *self.widths.last().expect("shape has at least one level")
+    }
+
+    /// Decomposes a leaf index into per-level branch digits
+    /// (most-significant level first). Digit `i` is the branch taken at
+    /// level `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf >= leaves()`.
+    pub fn digits(&self, leaf: usize) -> Vec<usize> {
+        assert!(leaf < self.leaves(), "leaf index {} out of range {}", leaf, self.leaves());
+        let mut digits = vec![0usize; self.depth()];
+        let mut rem = leaf;
+        for (i, f) in self.fanouts.iter().enumerate().rev() {
+            digits[i] = rem % f;
+            rem /= f;
+        }
+        digits
+    }
+
+    /// Recomposes a leaf index from branch digits; inverse of [`Self::digits`].
+    pub fn index_from_digits(&self, digits: &[usize]) -> usize {
+        assert_eq!(digits.len(), self.depth());
+        let mut idx = 0usize;
+        for (d, f) in digits.iter().zip(self.fanouts.iter()) {
+            debug_assert!(d < f);
+            idx = idx * f + d;
+        }
+        idx
+    }
+}
+
+/// A fully expanded GGM tree (sender side, Step ① of Fig. 3(b)).
+///
+/// All levels are retained so that level sums — the `K^i_j` values fed into
+/// the per-level OTs — can be computed, and so tests can cross-check the
+/// receiver's reconstruction node by node.
+#[derive(Clone, Debug)]
+pub struct GgmTree {
+    shape: LevelShape,
+    levels: Vec<Vec<Block>>,
+    counter: PrgCounter,
+}
+
+impl GgmTree {
+    /// Expands `seed` into a tree with `leaves` leaves using `prg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is not a power of two `>= 2`, or if the PRG cannot
+    /// produce the required fanout (AES PRGs are built with a fixed key
+    /// count).
+    pub fn expand<P: TreePrg + ?Sized>(prg: &P, seed: Block, arity: Arity, leaves: usize) -> Self {
+        let shape = LevelShape::new(arity, leaves);
+        let mut levels: Vec<Vec<Block>> = Vec::with_capacity(shape.depth());
+        let mut counter = PrgCounter::new();
+        let mut current = vec![seed];
+        for (&fanout, &width) in shape.fanouts().iter().zip(shape.widths().iter()) {
+            let mut next = vec![Block::ZERO; width];
+            let mut calls = 0u64;
+            for (parent, chunk) in current.iter().zip(next.chunks_mut(fanout)) {
+                calls += prg.expand(*parent, chunk);
+            }
+            match prg.kind() {
+                PrgKind::Aes => counter.add_aes(calls),
+                PrgKind::ChaCha { .. } => counter.add_chacha(calls),
+            }
+            levels.push(next.clone());
+            current = next;
+        }
+        GgmTree { shape, levels, counter }
+    }
+
+    /// The tree's level shape.
+    pub fn shape(&self) -> &LevelShape {
+        &self.shape
+    }
+
+    /// Nodes of level `i` (level 0 = root's children).
+    pub fn level(&self, i: usize) -> &[Block] {
+        &self.levels[i]
+    }
+
+    /// The leaf layer (the sender's SPCOT output vector `w`).
+    pub fn leaves(&self) -> &[Block] {
+        self.levels.last().expect("tree has at least one level")
+    }
+
+    /// PRG primitive calls consumed by the expansion.
+    pub fn counter(&self) -> PrgCounter {
+        self.counter
+    }
+
+    /// Per-level branch sums `K^i_j`: the XOR of all level-`i` nodes whose
+    /// within-parent branch position is `j` (Step ② of Fig. 3(b); for the
+    /// binary case these are the paper's "even" and "odd" sums).
+    pub fn level_sums(&self) -> Vec<Vec<Block>> {
+        self.shape
+            .fanouts()
+            .iter()
+            .zip(self.levels.iter())
+            .map(|(&fanout, nodes)| {
+                let mut sums = vec![Block::ZERO; fanout];
+                for (idx, node) in nodes.iter().enumerate() {
+                    sums[idx % fanout] ^= *node;
+                }
+                sums
+            })
+            .collect()
+    }
+
+    /// XOR of all leaves — the value the sender masks with `Δ` and transmits
+    /// for the receiver's α-th node recovery (Step ④).
+    pub fn leaf_sum(&self) -> Block {
+        Block::xor_all(self.leaves().iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironman_prg::{AesTreePrg, ChaChaTreePrg};
+
+    fn chacha() -> ChaChaTreePrg {
+        ChaChaTreePrg::new(Block::from(11u128), 8)
+    }
+
+    #[test]
+    fn shape_binary() {
+        let s = LevelShape::new(Arity::BINARY, 16);
+        assert_eq!(s.depth(), 4);
+        assert_eq!(s.widths(), &[2, 4, 8, 16]);
+        assert_eq!(s.leaves(), 16);
+    }
+
+    #[test]
+    fn digits_round_trip() {
+        let s = LevelShape::new(Arity::QUAD, 8192);
+        for leaf in [0usize, 1, 17, 4095, 8191] {
+            let d = s.digits(leaf);
+            assert_eq!(s.index_from_digits(&d), leaf);
+        }
+    }
+
+    #[test]
+    fn digits_binary_match_bits() {
+        let s = LevelShape::new(Arity::BINARY, 16);
+        // 13 = 0b1101
+        assert_eq!(s.digits(13), vec![1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn expansion_deterministic() {
+        let prg = chacha();
+        let a = GgmTree::expand(&prg, Block::from(1u128), Arity::QUAD, 64);
+        let b = GgmTree::expand(&prg, Block::from(1u128), Arity::QUAD, 64);
+        assert_eq!(a.leaves(), b.leaves());
+    }
+
+    #[test]
+    fn leaf_count_matches() {
+        let prg = chacha();
+        for leaves in [2usize, 4, 64, 256, 8192] {
+            let t = GgmTree::expand(&prg, Block::from(3u128), Arity::QUAD, leaves);
+            assert_eq!(t.leaves().len(), leaves);
+        }
+    }
+
+    #[test]
+    fn chacha_quad_counts_match_formula() {
+        // 4-ary ChaCha: one call per parent → (ℓ−1)/(m−1) calls for exact trees.
+        let prg = chacha();
+        let t = GgmTree::expand(&prg, Block::from(5u128), Arity::QUAD, 4096);
+        assert_eq!(t.counter().chacha_calls, (4096 - 1) / 3);
+        assert_eq!(t.counter().aes_calls, 0);
+    }
+
+    #[test]
+    fn aes_binary_counts_match_paper() {
+        // 2-ary AES: 2(ℓ−1) AES calls for ℓ leaves (paper's 2ℓ−2; their
+        // "2ℓ−1" in §3.1 includes the root seed sampling).
+        let prg = AesTreePrg::new(Block::from(2u128), 2);
+        let t = GgmTree::expand(&prg, Block::from(5u128), Arity::BINARY, 4096);
+        assert_eq!(t.counter().aes_calls, 2 * (4096 - 1));
+    }
+
+    #[test]
+    fn level_sums_are_branch_xors() {
+        let prg = chacha();
+        let t = GgmTree::expand(&prg, Block::from(9u128), Arity::QUAD, 64);
+        let sums = t.level_sums();
+        assert_eq!(sums.len(), 3);
+        for (lvl, s) in sums.iter().enumerate() {
+            assert_eq!(s.len(), 4);
+            let mut expect = vec![Block::ZERO; 4];
+            for (idx, node) in t.level(lvl).iter().enumerate() {
+                expect[idx % 4] ^= *node;
+            }
+            assert_eq!(*s, expect);
+        }
+    }
+
+    #[test]
+    fn binary_level_sums_are_even_odd() {
+        let prg = AesTreePrg::new(Block::from(4u128), 2);
+        let t = GgmTree::expand(&prg, Block::from(5u128), Arity::BINARY, 8);
+        let sums = t.level_sums();
+        let leaves = t.leaves();
+        let even = Block::xor_all(leaves.iter().step_by(2).copied());
+        let odd = Block::xor_all(leaves.iter().skip(1).step_by(2).copied());
+        assert_eq!(sums[2], vec![even, odd]);
+    }
+
+    #[test]
+    fn leaf_sum_is_total_xor() {
+        let prg = chacha();
+        let t = GgmTree::expand(&prg, Block::from(9u128), Arity::QUAD, 16);
+        assert_eq!(t.leaf_sum(), Block::xor_all(t.leaves().iter().copied()));
+    }
+
+    #[test]
+    fn mixed_fanout_tree() {
+        // 8192 with 4-ary → final binary level must still be well-formed.
+        let prg = chacha();
+        let t = GgmTree::expand(&prg, Block::from(21u128), Arity::QUAD, 8192);
+        assert_eq!(t.leaves().len(), 8192);
+        let sums = t.level_sums();
+        assert_eq!(sums.last().unwrap().len(), 2);
+    }
+}

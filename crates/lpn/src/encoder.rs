@@ -1,0 +1,138 @@
+//! The LPN encoder: sparse matrix–vector products over GF(2) and
+//! GF(2^128).
+//!
+//! Each output element is the XOR of `d` randomly indexed input elements,
+//! accumulated onto the SPCOT output in place. The same routine serves:
+//!
+//! * the sender (`z = r·A ⊕ w`, blocks),
+//! * the receiver's block half (`y = s·A ⊕ v`), and
+//! * the receiver's bit half (`x = e·A ⊕ u`).
+
+use crate::LpnMatrix;
+use ironman_prg::Block;
+
+/// Accumulates `A·input` onto `acc` (blocks): `acc[j] ^= ⊕_{i∈row_j} input[i]`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != matrix.cols()` or `acc.len() != matrix.rows()`.
+pub fn encode_blocks(matrix: &LpnMatrix, input: &[Block], acc: &mut [Block]) {
+    assert_eq!(input.len(), matrix.cols(), "input length must equal k");
+    assert_eq!(acc.len(), matrix.rows(), "accumulator length must equal n");
+    for (j, out) in acc.iter_mut().enumerate() {
+        let mut x = *out;
+        for &c in matrix.row(j) {
+            x ^= input[c as usize];
+        }
+        *out = x;
+    }
+}
+
+/// Accumulates `A·input` onto `acc` (bits): `acc[j] ^= ⊕_{i∈row_j} input[i]`.
+///
+/// # Panics
+///
+/// Panics if lengths do not match the matrix dimensions.
+pub fn encode_bits(matrix: &LpnMatrix, input: &[bool], acc: &mut [bool]) {
+    assert_eq!(input.len(), matrix.cols(), "input length must equal k");
+    assert_eq!(acc.len(), matrix.rows(), "accumulator length must equal n");
+    for (j, out) in acc.iter_mut().enumerate() {
+        let mut x = *out;
+        for &c in matrix.row(j) {
+            x ^= input[c as usize];
+        }
+        *out = x;
+    }
+}
+
+/// The random-access address trace of one encode pass: the sequence of
+/// input-vector element indices touched, in execution order. This is the
+/// exact stream the Rank-NMP module replays against its memory-side cache
+/// (§5.3); one trace entry corresponds to one 16-byte element read.
+pub fn access_trace(matrix: &LpnMatrix) -> impl Iterator<Item = u32> + '_ {
+    matrix.colidx().iter().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_matrix() -> LpnMatrix {
+        LpnMatrix::generate(64, 32, 4, Block::from(9u128))
+    }
+
+    #[test]
+    fn encode_blocks_matches_naive() {
+        let m = toy_matrix();
+        let input: Vec<Block> = (0..32u128).map(|i| Block::from(i * 0x77 + 1)).collect();
+        let mut acc = vec![Block::from(0xAAu128); 64];
+        let orig = acc.clone();
+        encode_blocks(&m, &input, &mut acc);
+        for j in 0..64 {
+            let mut expect = orig[j];
+            for &c in m.row(j) {
+                expect ^= input[c as usize];
+            }
+            assert_eq!(acc[j], expect, "row {j}");
+        }
+    }
+
+    #[test]
+    fn encode_bits_matches_naive() {
+        let m = toy_matrix();
+        let input: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        let mut acc: Vec<bool> = (0..64).map(|j| j % 5 == 0).collect();
+        let orig = acc.clone();
+        encode_bits(&m, &input, &mut acc);
+        for j in 0..64 {
+            let mut expect = orig[j];
+            for &c in m.row(j) {
+                expect ^= input[c as usize];
+            }
+            assert_eq!(acc[j], expect, "row {j}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_linear() {
+        // A·(p ⊕ q) == A·p ⊕ A·q — the property the COT bootstrap relies on.
+        let m = toy_matrix();
+        let p: Vec<Block> = (0..32u128).map(|i| Block::from(i + 5)).collect();
+        let q: Vec<Block> = (0..32u128).map(|i| Block::from(i * i + 3)).collect();
+        let pq: Vec<Block> = p.iter().zip(&q).map(|(&a, &b)| a ^ b).collect();
+
+        let mut acc_p = vec![Block::ZERO; 64];
+        let mut acc_q = vec![Block::ZERO; 64];
+        let mut acc_pq = vec![Block::ZERO; 64];
+        encode_blocks(&m, &p, &mut acc_p);
+        encode_blocks(&m, &q, &mut acc_q);
+        encode_blocks(&m, &pq, &mut acc_pq);
+        for j in 0..64 {
+            assert_eq!(acc_pq[j], acc_p[j] ^ acc_q[j]);
+        }
+    }
+
+    #[test]
+    fn zero_input_is_identity() {
+        let m = toy_matrix();
+        let input = vec![Block::ZERO; 32];
+        let mut acc: Vec<Block> = (0..64u128).map(Block::from).collect();
+        let orig = acc.clone();
+        encode_blocks(&m, &input, &mut acc);
+        assert_eq!(acc, orig);
+    }
+
+    #[test]
+    fn trace_length_is_rows_times_weight() {
+        let m = toy_matrix();
+        assert_eq!(access_trace(&m).count(), 64 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn wrong_input_length_panics() {
+        let m = toy_matrix();
+        let mut acc = vec![Block::ZERO; 64];
+        encode_blocks(&m, &[Block::ZERO; 3], &mut acc);
+    }
+}

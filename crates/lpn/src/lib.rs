@@ -1,0 +1,43 @@
+//! LPN encoding for the Ironman OT-extension reproduction.
+//!
+//! §2.3.2 of the paper: after SPCOT, both parties locally multiply their
+//! length-`k` pre-generated vectors by a fixed sparse binary matrix `A`
+//! (each row has exactly `d = 10` nonzero entries) and XOR the result onto
+//! their length-`n` SPCOT outputs:
+//!
+//! * sender:   `z = r·A ⊕ w`
+//! * receiver: `x = e·A ⊕ u` (bits), `y = s·A ⊕ v` (blocks)
+//!
+//! Because `A`'s entries are bits, each output element is the XOR of `d`
+//! randomly indexed elements of the input vector — a pure random-access
+//! workload, which is why LPN is memory-bandwidth-bound (Fig. 1c) and why
+//! Ironman sorts the index matrix at compile time (§5.3).
+//!
+//! This crate provides the matrix ([`LpnMatrix`]), the encoder
+//! ([`encoder`]), and the locality-improving sorting pass
+//! ([`sorting::SortedLpnMatrix`]: column swapping + row look-ahead).
+//!
+//! # Example
+//!
+//! ```
+//! use ironman_lpn::{LpnMatrix, encoder};
+//! use ironman_prg::Block;
+//!
+//! let m = LpnMatrix::generate(100, 40, 10, Block::from(1u128));
+//! let r: Vec<Block> = (0..40u128).map(Block::from).collect();
+//! let mut w = vec![Block::ZERO; 100];
+//! encoder::encode_blocks(&m, &r, &mut w);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encoder;
+pub mod matrix;
+pub mod sorting;
+
+pub use matrix::LpnMatrix;
+pub use sorting::SortedLpnMatrix;
+
+/// The paper's row weight: every row of `A` has exactly ten nonzeros.
+pub const DEFAULT_ROW_WEIGHT: usize = 10;

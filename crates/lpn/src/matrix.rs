@@ -1,0 +1,186 @@
+//! The fixed sparse LPN index matrix.
+//!
+//! `A` is an `n × k` binary matrix with exactly `d` nonzeros per row,
+//! stored as a flat column-index array (the degenerate CSR of §5.3: all
+//! values are 1 and all rows have the same length, so only `Colidx` is
+//! needed). Indices are generated deterministically from a seed with
+//! AES in counter mode — mirroring the paper's observation that on CPUs
+//! "LPN uses AES to generate indices of random access" — and the matrix is
+//! generated **once** and reused across all OTE executions.
+
+use ironman_prg::{Aes128, Block};
+use serde::{Deserialize, Serialize};
+
+/// A fixed `n × k` sparse binary matrix with `d` nonzeros per row.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LpnMatrix {
+    rows: usize,
+    cols: usize,
+    weight: usize,
+    colidx: Vec<u32>,
+}
+
+impl LpnMatrix {
+    /// Generates the matrix from `seed` (deterministic).
+    ///
+    /// Duplicate indices within a row are avoided by linear probing so each
+    /// row has exactly `weight` *distinct* columns; XOR of a duplicated
+    /// index would silently cancel and lower the effective row weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight > cols`, `cols == 0`, `rows == 0`, or
+    /// `cols > u32::MAX as usize`.
+    pub fn generate(rows: usize, cols: usize, weight: usize, seed: Block) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert!(weight <= cols, "row weight {weight} exceeds column count {cols}");
+        assert!(cols <= u32::MAX as usize, "column count must fit in u32");
+        let aes = Aes128::new(seed ^ Block::from(MATRIX_DOMAIN));
+        let mut colidx = Vec::with_capacity(rows * weight);
+        let mut ctr = 0u128;
+        let mut row_buf: Vec<u32> = Vec::with_capacity(weight);
+        for _ in 0..rows {
+            row_buf.clear();
+            while row_buf.len() < weight {
+                ctr += 1;
+                let blk = aes.encrypt_block(Block::from(ctr));
+                let (hi, lo) = blk.to_halves();
+                for half in [hi, lo] {
+                    if row_buf.len() >= weight {
+                        break;
+                    }
+                    let mut idx = (half % cols as u64) as u32;
+                    // Linear probe past duplicates within the row.
+                    while row_buf.contains(&idx) {
+                        idx = (idx + 1) % cols as u32;
+                    }
+                    row_buf.push(idx);
+                }
+            }
+            colidx.extend_from_slice(&row_buf);
+        }
+        LpnMatrix { rows, cols, weight, colidx }
+    }
+
+    /// Number of rows (`n`, the LPN output length).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`k`, the input vector length).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Nonzeros per row (`d`).
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+
+    /// The column indices of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.colidx[i * self.weight..(i + 1) * self.weight]
+    }
+
+    /// The full flat `Colidx` array (row-major).
+    pub fn colidx(&self) -> &[u32] {
+        &self.colidx
+    }
+
+    /// Builds a matrix directly from a flat index array (used by the
+    /// sorting pass and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colidx.len() != rows * weight` or any index is out of
+    /// range.
+    pub fn from_colidx(rows: usize, cols: usize, weight: usize, colidx: Vec<u32>) -> Self {
+        assert_eq!(colidx.len(), rows * weight, "flat index array has the wrong length");
+        assert!(colidx.iter().all(|&c| (c as usize) < cols), "column index out of range");
+        LpnMatrix { rows, cols, weight, colidx }
+    }
+
+    /// The memory footprint of the matrix plus a `k`-vector of blocks in
+    /// bytes — the quantity the paper notes exceeds 900 MB for 2^24 outputs,
+    /// defeating CPU caches.
+    pub fn working_set_bytes(&self) -> u64 {
+        (self.colidx.len() * std::mem::size_of::<u32>()) as u64
+            + (self.cols * Block::BYTES) as u64
+    }
+}
+
+/// Domain-separation constant mixed into the matrix-generation seed
+/// (ASCII "LPN_MATRIX").
+const MATRIX_DOMAIN: u128 = 0x4c50_4e5f_4d41_5452_4958;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = LpnMatrix::generate(50, 32, 10, Block::from(1u128));
+        let b = LpnMatrix::generate(50, 32, 10, Block::from(1u128));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = LpnMatrix::generate(50, 32, 10, Block::from(1u128));
+        let b = LpnMatrix::generate(50, 32, 10, Block::from(2u128));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rows_have_distinct_indices() {
+        let m = LpnMatrix::generate(200, 64, 10, Block::from(3u128));
+        for i in 0..m.rows() {
+            let mut row = m.row(i).to_vec();
+            row.sort_unstable();
+            row.dedup();
+            assert_eq!(row.len(), 10, "row {i} has duplicate indices");
+        }
+    }
+
+    #[test]
+    fn indices_in_range() {
+        let m = LpnMatrix::generate(100, 17, 10, Block::from(4u128));
+        assert!(m.colidx().iter().all(|&c| (c as usize) < 17));
+    }
+
+    #[test]
+    fn indices_spread_over_columns() {
+        let m = LpnMatrix::generate(1000, 256, 10, Block::from(5u128));
+        let mut hist = vec![0u32; 256];
+        for &c in m.colidx() {
+            hist[c as usize] += 1;
+        }
+        let used = hist.iter().filter(|&&h| h > 0).count();
+        assert!(used > 240, "only {used}/256 columns used — not random enough");
+    }
+
+    #[test]
+    #[should_panic(expected = "row weight")]
+    fn weight_larger_than_cols_rejected() {
+        let _ = LpnMatrix::generate(10, 5, 10, Block::ZERO);
+    }
+
+    #[test]
+    fn from_colidx_round_trip() {
+        let m = LpnMatrix::generate(20, 16, 4, Block::from(6u128));
+        let m2 = LpnMatrix::from_colidx(20, 16, 4, m.colidx().to_vec());
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn working_set_scales() {
+        let small = LpnMatrix::generate(100, 64, 10, Block::ZERO);
+        let large = LpnMatrix::generate(1000, 64, 10, Block::ZERO);
+        assert!(large.working_set_bytes() > small.working_set_bytes());
+    }
+}

@@ -1,0 +1,208 @@
+//! Instruction-driven execution: the host side of Fig. 9(a).
+//!
+//! The memory controller drives the PU with NMP instructions; this module
+//! provides the compiler (an OTE work description → instruction program)
+//! and the interpreter (program → cycle counts through the same DIMM/rank
+//! models the direct simulator uses). It exists to demonstrate that the
+//! ISA of [`crate::inst`] is sufficient to express a full OTE execution,
+//! and to model the host-visible phases the direct simulator folds away
+//! (vector broadcast, result streaming).
+
+use crate::dimm::{simulate_dimm, SpcotWork};
+use crate::inst::{partition_gather, NmpInst, NmpOp};
+use crate::rank_lpn::{simulate_rank, LpnWork};
+use crate::{NmpConfig, Role};
+use ironman_lpn::LpnMatrix;
+use ironman_prg::Block;
+use serde::{Deserialize, Serialize};
+
+/// Everything the interpreter needs besides the instruction stream: the
+/// geometry of the OTE execution being driven.
+#[derive(Clone, Debug)]
+pub struct ProgramContext {
+    /// LPN output rows `n`.
+    pub n: usize,
+    /// LPN input length `k`.
+    pub k: usize,
+    /// LPN row weight.
+    pub weight: usize,
+    /// GGM tree shape.
+    pub leaves: usize,
+    /// Tree arity.
+    pub arity: ironman_ggm::Arity,
+    /// PRG kind.
+    pub prg: ironman_prg::PrgKind,
+    /// Matrix seed (drives the gather traces).
+    pub seed: Block,
+    /// Rows actually simulated per gather instruction (sampled).
+    pub sample_rows: usize,
+}
+
+/// Per-phase cycle accounting of one interpreted program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramReport {
+    /// Instructions executed.
+    pub instructions: usize,
+    /// Cycles broadcasting the pre-generated vector to the ranks.
+    pub write_cycles: u64,
+    /// Cycles of the slowest LPN gather (ranks run in parallel).
+    pub gather_cycles: u64,
+    /// Cycles of the slowest SPCOT expansion (DIMMs run in parallel).
+    pub spcot_cycles: u64,
+    /// Cycles streaming results back (overlapped; residual only).
+    pub read_cycles: u64,
+}
+
+impl ProgramReport {
+    /// End-to-end cycles with the §5.1 overlap of SPCOT and LPN.
+    pub fn total_cycles(&self) -> u64 {
+        self.write_cycles + self.gather_cycles.max(self.spcot_cycles) + self.read_cycles
+    }
+}
+
+/// Compiles an OTE execution into an instruction program: one vector
+/// broadcast, one gather per rank, one SPCOT batch per DIMM, one result
+/// stream per rank.
+pub fn compile_ote(cfg: &NmpConfig, n: usize, trees: usize) -> Vec<NmpInst> {
+    let mut program = Vec::new();
+    for rank in 0..cfg.ranks.min(16) as u8 {
+        program.push(NmpInst::new(NmpOp::WriteVector, rank, 0, 0));
+    }
+    program.extend(partition_gather(n as u32, cfg.ranks.min(16) as u8));
+    let dimms = cfg.dimms().max(1);
+    let per_dimm = trees.div_ceil(dimms) as u32;
+    for d in 0..dimms.min(16) as u8 {
+        program.push(NmpInst::new(NmpOp::SpcotExpand, d, per_dimm, 0));
+    }
+    for rank in 0..cfg.ranks.min(16) as u8 {
+        let per_rank = (n / cfg.ranks) as u32;
+        program.push(NmpInst::new(NmpOp::ReadCot, rank, per_rank.min(NmpInst::MAX_COUNT), 0));
+    }
+    program
+}
+
+/// Interprets a program against the cycle models.
+///
+/// # Panics
+///
+/// Panics if the program contains counts inconsistent with the context
+/// (e.g. a gather larger than `ctx.n`).
+pub fn execute(cfg: &NmpConfig, ctx: &ProgramContext, program: &[NmpInst]) -> ProgramReport {
+    let mut report = ProgramReport { instructions: program.len(), ..Default::default() };
+    let bytes_per_cycle = (cfg.dram.access_bytes as u64 / cfg.dram.timing.t_bl).max(1);
+
+    for inst in program {
+        match inst.op {
+            NmpOp::WriteVector => {
+                // Broadcast the k-vector to one rank's DRAM, sequential.
+                let bytes = (ctx.k * Block::BYTES) as u64;
+                report.write_cycles = report.write_cycles.max(bytes.div_ceil(bytes_per_cycle));
+            }
+            NmpOp::LpnGather => {
+                assert!(
+                    (inst.count as usize) <= ctx.n,
+                    "gather of {} rows exceeds n = {}",
+                    inst.count,
+                    ctx.n
+                );
+                let rows = (inst.count as usize).min(ctx.sample_rows).max(1);
+                let matrix = LpnMatrix::generate(rows, ctx.k, ctx.weight, ctx.seed);
+                let work = LpnWork {
+                    trace: matrix.colidx().to_vec(),
+                    represented_accesses: inst.count as u64 * ctx.weight as u64,
+                };
+                let r = simulate_rank(cfg, &work);
+                report.gather_cycles = report.gather_cycles.max(r.cycles);
+            }
+            NmpOp::SpcotExpand => {
+                let work = SpcotWork {
+                    trees: inst.count as usize,
+                    leaves: ctx.leaves,
+                    arity: ctx.arity,
+                    prg: ctx.prg,
+                    role: Role::Sender,
+                };
+                let r = simulate_dimm(cfg, &work, inst.count as usize);
+                report.spcot_cycles = report.spcot_cycles.max(r.cycles);
+            }
+            NmpOp::ReadCot => {
+                // Overlapped streaming: only the residual tail shows.
+                let bytes = inst.count as u64 * Block::BYTES as u64;
+                report.read_cycles =
+                    report.read_cycles.max((bytes.div_ceil(bytes_per_cycle) / 100).max(16));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironman_ggm::Arity;
+    use ironman_prg::PrgKind;
+
+    fn ctx() -> ProgramContext {
+        ProgramContext {
+            n: 100_000,
+            k: 16_384,
+            weight: 10,
+            leaves: 1024,
+            arity: Arity::QUAD,
+            prg: PrgKind::CHACHA8,
+            seed: Block::from(3u128),
+            sample_rows: 2048,
+        }
+    }
+
+    #[test]
+    fn compiled_program_shape() {
+        let cfg = NmpConfig::with_ranks_and_cache(8, 256 * 1024);
+        let program = compile_ote(&cfg, 100_000, 48);
+        let gathers = program.iter().filter(|i| i.op == NmpOp::LpnGather).count();
+        let spcots = program.iter().filter(|i| i.op == NmpOp::SpcotExpand).count();
+        assert_eq!(gathers, 8);
+        assert_eq!(spcots, 4);
+        // Round-trip through the wire format.
+        for inst in &program {
+            assert_eq!(NmpInst::decode(inst.encode()).unwrap(), *inst);
+        }
+    }
+
+    #[test]
+    fn interpreter_matches_direct_simulator_shape() {
+        // The program-driven path must agree with the direct OTE simulator
+        // on the dominant phase and the overlap arithmetic.
+        let cfg = NmpConfig::with_ranks_and_cache(4, 256 * 1024);
+        let c = ctx();
+        let program = compile_ote(&cfg, c.n, 48);
+        let report = execute(&cfg, &c, &program);
+        assert!(report.gather_cycles > report.spcot_cycles, "{report:?}");
+        assert!(report.total_cycles() >= report.gather_cycles);
+        // Write-in and read-back are minor next to the gather.
+        assert!(report.write_cycles + report.read_cycles < report.gather_cycles);
+    }
+
+    #[test]
+    fn more_ranks_shrink_gather() {
+        let c = ctx();
+        let few = {
+            let cfg = NmpConfig::with_ranks_and_cache(2, 256 * 1024);
+            execute(&cfg, &c, &compile_ote(&cfg, c.n, 48))
+        };
+        let many = {
+            let cfg = NmpConfig::with_ranks_and_cache(16, 256 * 1024);
+            execute(&cfg, &c, &compile_ote(&cfg, c.n, 48))
+        };
+        assert!(many.gather_cycles < few.gather_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds n")]
+    fn oversized_gather_rejected() {
+        let cfg = NmpConfig::with_ranks_and_cache(2, 256 * 1024);
+        let c = ctx();
+        let bad = [NmpInst::new(NmpOp::LpnGather, 0, (c.n + 1) as u32, 0)];
+        execute(&cfg, &c, &bad);
+    }
+}

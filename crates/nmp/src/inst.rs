@@ -1,0 +1,161 @@
+//! The NMP instruction set (Fig. 9).
+//!
+//! The memory controller drives the PU with NMP instructions; the DIMM
+//! module dispatches them to rank modules by rank address (Fig. 9(a–b)).
+//! The encoding is 64 bits: `[op:4 | rank:4 | count:24 | addr:32]`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operation kinds understood by the Ironman-NMP PU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NmpOp {
+    /// Broadcast a segment of the pre-generated vector to a rank's DRAM.
+    WriteVector,
+    /// Execute an LPN gather over `count` rows starting at the Colidx
+    /// address `addr` on the addressed rank.
+    LpnGather,
+    /// Run SPCOT tree expansions on the DIMM module (`count` trees).
+    SpcotExpand,
+    /// Stream `count` finished COT correlations back to the host.
+    ReadCot,
+}
+
+impl NmpOp {
+    const ALL: [NmpOp; 4] =
+        [NmpOp::WriteVector, NmpOp::LpnGather, NmpOp::SpcotExpand, NmpOp::ReadCot];
+
+    fn code(self) -> u8 {
+        match self {
+            NmpOp::WriteVector => 0,
+            NmpOp::LpnGather => 1,
+            NmpOp::SpcotExpand => 2,
+            NmpOp::ReadCot => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<NmpOp> {
+        NmpOp::ALL.iter().copied().find(|op| op.code() == code)
+    }
+}
+
+/// One decoded NMP instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NmpInst {
+    /// Operation.
+    pub op: NmpOp,
+    /// Target rank within the DIMM (ignored by DIMM-level ops).
+    pub rank: u8,
+    /// Work-item count (rows, trees or correlations).
+    pub count: u32,
+    /// Base address operand.
+    pub addr: u32,
+}
+
+/// Error returned when decoding an invalid instruction word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeInstError(u64);
+
+impl fmt::Display for DecodeInstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid NMP instruction word {:#018x}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeInstError {}
+
+impl NmpInst {
+    /// Maximum encodable count (24 bits).
+    pub const MAX_COUNT: u32 = (1 << 24) - 1;
+
+    /// Creates an instruction, validating field widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds [`Self::MAX_COUNT`] or `rank >= 16`.
+    pub fn new(op: NmpOp, rank: u8, count: u32, addr: u32) -> Self {
+        assert!(count <= Self::MAX_COUNT, "count {count} exceeds 24 bits");
+        assert!(rank < 16, "rank {rank} exceeds 4 bits");
+        NmpInst { op, rank, count, addr }
+    }
+
+    /// Encodes to the 64-bit wire format.
+    pub fn encode(&self) -> u64 {
+        (self.op.code() as u64) << 60
+            | (self.rank as u64) << 56
+            | (self.count as u64) << 32
+            | self.addr as u64
+    }
+
+    /// Decodes from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeInstError`] for unknown opcodes.
+    pub fn decode(word: u64) -> Result<Self, DecodeInstError> {
+        let op = NmpOp::from_code((word >> 60) as u8).ok_or(DecodeInstError(word))?;
+        Ok(NmpInst {
+            op,
+            rank: (word >> 56) as u8 & 0xf,
+            count: (word >> 32) as u32 & 0xff_ffff,
+            addr: word as u32,
+        })
+    }
+}
+
+/// Splits an LPN gather over `rows` rows evenly across `ranks` rank
+/// modules, producing one instruction per rank (the host-side partitioning
+/// of §5.1: "evenly partitions the index matrix and distributes them
+/// across the ranks").
+pub fn partition_gather(rows: u32, ranks: u8) -> Vec<NmpInst> {
+    assert!(ranks > 0, "need at least one rank");
+    let per = rows.div_ceil(ranks as u32);
+    (0..ranks)
+        .map(|r| {
+            let start = r as u32 * per;
+            let count = per.min(rows.saturating_sub(start));
+            NmpInst::new(NmpOp::LpnGather, r, count, start)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for op in NmpOp::ALL {
+            let inst = NmpInst::new(op, 3, 123_456, 0xdead_beef);
+            assert_eq!(NmpInst::decode(inst.encode()).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let word = 0xF000_0000_0000_0000u64;
+        assert!(NmpInst::decode(word).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "24 bits")]
+    fn oversized_count_rejected() {
+        let _ = NmpInst::new(NmpOp::LpnGather, 0, 1 << 24, 0);
+    }
+
+    #[test]
+    fn partition_covers_all_rows() {
+        let insts = partition_gather(1000, 3);
+        assert_eq!(insts.len(), 3);
+        let total: u32 = insts.iter().map(|i| i.count).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(insts[0].addr, 0);
+        assert_eq!(insts[1].addr, insts[0].count);
+    }
+
+    #[test]
+    fn partition_balanced() {
+        let insts = partition_gather(16_000, 16);
+        assert!(insts.iter().all(|i| i.count == 1000));
+    }
+}

@@ -1,0 +1,48 @@
+//! The Ironman-NMP architecture model (paper §5, Fig. 9).
+//!
+//! Ironman places one processing unit on each DIMM's buffer chip:
+//!
+//! * a **DIMM-NMP module** with pipelined ChaCha8 cores (GGM tree
+//!   expansion), a **unified unit** (an XOR tree acting as Key Generator
+//!   for the sender or Message Decoder for the receiver) and a node
+//!   buffer — this executes SPCOT;
+//! * two **Rank-NMP modules**, each owning one DRAM rank, with an index
+//!   address generator and a **memory-side cache** — these execute the LPN
+//!   gather with rank-level parallelism.
+//!
+//! This crate is the *timing* model: it consumes work descriptions and
+//! access traces from the functional crates and produces cycle counts by
+//! composing `ironman-ggm`'s pipeline schedules, `ironman-cache` and
+//! `ironman-dram`. Figures 12, 13 and 14 are regenerated from
+//! [`OteSimulator`].
+//!
+//! # Example
+//!
+//! ```
+//! use ironman_nmp::{NmpConfig, OteSimulator, OteWork};
+//!
+//! let cfg = NmpConfig::with_ranks_and_cache(16, 1024 * 1024);
+//! let sim = OteSimulator::new(cfg);
+//! let work = OteWork::ferret_2ary_aes(1 << 14, 64, 24, 1024, 10);
+//! let report = sim.simulate(&work, 0x5eed);
+//! assert!(report.total_cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dimm;
+pub mod driver;
+pub mod inst;
+pub mod ote;
+pub mod rank_lpn;
+pub mod unified;
+
+pub use config::NmpConfig;
+pub use dimm::{DimmSpcotReport, SpcotWork};
+pub use driver::{compile_ote, execute, ProgramContext, ProgramReport};
+pub use inst::{NmpInst, NmpOp};
+pub use ote::{OteReport, OteSimulator, OteWork};
+pub use rank_lpn::{LpnWork, RankLpnReport};
+pub use unified::{Role, UnifiedUnit};

@@ -1,0 +1,343 @@
+//! End-to-end OTE simulation on the Ironman-NMP architecture.
+//!
+//! Composes the DIMM-level SPCOT model and the rank-level LPN model into
+//! one protocol-execution latency. SPCOT and LPN are decoupled and
+//! overlapped (§5.1), so the execution takes
+//! `max(SPCOT cycles, LPN cycles)`; COT offload to the host is streamed
+//! concurrently with generation and per §5.1.3 contributes no extra
+//! latency beyond a drain term.
+
+use crate::dimm::{simulate_spcot, SpcotWork};
+use crate::rank_lpn::{simulate_rank, LpnWork, RankLpnReport};
+use crate::{DimmSpcotReport, NmpConfig, Role};
+use ironman_ggm::Arity;
+use ironman_lpn::sorting::SortConfig;
+use ironman_lpn::{LpnMatrix, SortedLpnMatrix};
+use ironman_prg::{Block, PrgKind};
+use serde::{Deserialize, Serialize};
+
+/// Work content of one OTE protocol execution.
+#[derive(Clone, Debug)]
+pub struct OteWork {
+    /// LPN output length `n`.
+    pub n: usize,
+    /// GGM leaves `ℓ`.
+    pub leaves: usize,
+    /// Tree count `t`.
+    pub trees: usize,
+    /// LPN input length `k`.
+    pub k: usize,
+    /// LPN row weight `d`.
+    pub weight: usize,
+    /// Tree arity.
+    pub arity: Arity,
+    /// PRG kind.
+    pub prg: PrgKind,
+    /// Protocol role being accelerated.
+    pub role: Role,
+    /// Compile-time index sorting for the LPN matrix (§5.3).
+    pub sort: Option<SortConfig>,
+    /// LPN rows actually simulated per rank (the rest is extrapolated);
+    /// `None` simulates every row.
+    pub sample_rows: Option<usize>,
+}
+
+impl OteWork {
+    /// The Ferret CPU-style workload: binary AES trees, unsorted matrix.
+    pub fn ferret_2ary_aes(n: usize, leaves: usize, trees: usize, k: usize, weight: usize) -> Self {
+        OteWork {
+            n,
+            leaves,
+            trees,
+            k,
+            weight,
+            arity: Arity::BINARY,
+            prg: PrgKind::Aes,
+            role: Role::Sender,
+            sort: None,
+            sample_rows: Some(16_384),
+        }
+    }
+
+    /// The Ironman workload: 4-ary ChaCha8 trees with sorted indices.
+    pub fn ironman(n: usize, leaves: usize, trees: usize, k: usize, weight: usize) -> Self {
+        OteWork {
+            arity: Arity::QUAD,
+            prg: PrgKind::CHACHA8,
+            sort: Some(SortConfig::default()),
+            ..OteWork::ferret_2ary_aes(n, leaves, trees, k, weight)
+        }
+    }
+}
+
+/// Simulation result of one OTE execution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OteReport {
+    /// SPCOT-phase cycles (critical-path DIMM).
+    pub spcot_cycles: u64,
+    /// LPN-phase cycles (critical-path rank).
+    pub lpn_cycles: u64,
+    /// COT offload drain cycles not hidden by overlap.
+    pub offload_cycles: u64,
+    /// Total execution cycles (phases overlap).
+    pub total_cycles: u64,
+    /// Memory-side cache hit rate observed by the simulated rank.
+    pub cache_hit_rate: f64,
+    /// DIMM-level SPCOT details.
+    pub spcot: DimmSpcotReport,
+    /// Rank-level LPN details.
+    pub lpn: RankLpnReport,
+}
+
+impl OteReport {
+    /// Execution latency in milliseconds at the NMP clock.
+    pub fn latency_ms(&self, cfg: &NmpConfig) -> f64 {
+        cfg.cycles_to_ms(self.total_cycles)
+    }
+}
+
+/// The end-to-end simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct OteSimulator {
+    cfg: NmpConfig,
+}
+
+impl OteSimulator {
+    /// Creates a simulator for a deployment configuration.
+    pub fn new(cfg: NmpConfig) -> Self {
+        OteSimulator { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NmpConfig {
+        &self.cfg
+    }
+
+    /// Builds the per-rank LPN trace: the first simulated rank's row
+    /// partition, optionally index-sorted, sampled to `sample_rows`.
+    fn lpn_work(&self, work: &OteWork, seed: u64) -> LpnWork {
+        let rows_per_rank = work.n.div_ceil(self.cfg.ranks);
+        let sim_rows = work.sample_rows.unwrap_or(rows_per_rank).min(rows_per_rank).max(1);
+        let matrix =
+            LpnMatrix::generate(sim_rows, work.k, work.weight, Block::from(seed as u128 | 1));
+        let trace: Vec<u32> = match &work.sort {
+            Some(cfg) => {
+                let sorted = SortedLpnMatrix::sort(&matrix, *cfg);
+                sorted.access_trace().collect()
+            }
+            None => matrix.colidx().to_vec(),
+        };
+        LpnWork { trace, represented_accesses: (rows_per_rank * work.weight) as u64 }
+    }
+
+    /// Simulates one OTE execution.
+    pub fn simulate(&self, work: &OteWork, seed: u64) -> OteReport {
+        let spcot = simulate_spcot(
+            &self.cfg,
+            &SpcotWork {
+                trees: work.trees,
+                leaves: work.leaves,
+                arity: work.arity,
+                prg: work.prg,
+                role: work.role,
+            },
+        );
+        let lpn = simulate_rank(&self.cfg, &self.lpn_work(work, seed));
+
+        // Offload: n × 16 bytes stream back to the host over the channel
+        // at DDR4 burst rate, overlapped with generation; only the tail of
+        // the last burst group is exposed (§5.1.3 — "the offloading cost
+        // becomes negligible").
+        let bytes_per_cycle = self.cfg.dram.access_bytes as u64 / self.cfg.dram.timing.t_bl;
+        let full_drain = (work.n as u64 * 16).div_ceil(bytes_per_cycle * self.cfg.ranks as u64);
+        let offload_cycles = (full_drain / 100).max(16); // ≥99% hidden by overlap
+
+        let total_cycles = spcot.cycles.max(lpn.cycles) + offload_cycles;
+        OteReport {
+            spcot_cycles: spcot.cycles,
+            lpn_cycles: lpn.cycles,
+            offload_cycles,
+            total_cycles,
+            cache_hit_rate: lpn.hit_rate(),
+            spcot,
+            lpn,
+        }
+    }
+
+    /// Latency in milliseconds to generate `total_ots` correlations by
+    /// repeating executions of `work`.
+    pub fn batch_latency_ms(&self, work: &OteWork, total_ots: u64, seed: u64) -> f64 {
+        let report = self.simulate(work, seed);
+        let per_exec_outputs = work.n as u64;
+        let execs = (total_ots as f64 / per_exec_outputs as f64).ceil();
+        execs * report.latency_ms(&self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_work() -> OteWork {
+        OteWork {
+            sample_rows: Some(2048),
+            ..OteWork::ironman(100_000, 1024, 48, 16_384, 10)
+        }
+    }
+
+    #[test]
+    fn lpn_dominates_with_ironman_spcot() {
+        // Fig. 13(b): with 4-ary ChaCha, SPCOT stays below LPN.
+        let sim = OteSimulator::new(NmpConfig::with_ranks_and_cache(4, 256 * 1024));
+        let r = sim.simulate(&toy_work(), 1);
+        assert!(
+            r.spcot_cycles < r.lpn_cycles,
+            "SPCOT {} should be under LPN {}",
+            r.spcot_cycles,
+            r.lpn_cycles
+        );
+    }
+
+    #[test]
+    fn aes_binary_spcot_exceeds_lpn() {
+        // Fig. 13(b)'s counterpart: with the unoptimized 2-ary AES trees
+        // the SPCOT phase dominates once the cache keeps LPN fast (here:
+        // full Table-4-scale tree workload against an in-cache k-vector).
+        let sim = OteSimulator::new(NmpConfig::with_ranks_and_cache(16, 256 * 1024));
+        let work = OteWork {
+            sample_rows: Some(2048),
+            ..OteWork::ferret_2ary_aes(100_000, 4096, 480, 16_384, 10)
+        };
+        let r = sim.simulate(&work, 1);
+        assert!(
+            r.spcot_cycles > r.lpn_cycles,
+            "AES SPCOT {} should exceed LPN {}",
+            r.spcot_cycles,
+            r.lpn_cycles
+        );
+    }
+
+    #[test]
+    fn more_ranks_faster() {
+        let w = toy_work();
+        let two = OteSimulator::new(NmpConfig::with_ranks_and_cache(2, 256 * 1024));
+        let sixteen = OteSimulator::new(NmpConfig::with_ranks_and_cache(16, 256 * 1024));
+        let a = two.simulate(&w, 2);
+        let b = sixteen.simulate(&w, 2);
+        assert!(b.total_cycles < a.total_cycles);
+    }
+
+    #[test]
+    fn sorting_helps_latency() {
+        let sim = OteSimulator::new(NmpConfig::with_ranks_and_cache(4, 256 * 1024));
+        let sorted = toy_work();
+        let unsorted = OteWork { sort: None, ..toy_work() };
+        let rs = sim.simulate(&sorted, 3);
+        let ru = sim.simulate(&unsorted, 3);
+        assert!(rs.cache_hit_rate > ru.cache_hit_rate);
+        assert!(rs.lpn_cycles <= ru.lpn_cycles);
+    }
+
+    #[test]
+    fn offload_is_negligible() {
+        let sim = OteSimulator::new(NmpConfig::ironman_max());
+        let r = sim.simulate(&toy_work(), 4);
+        assert!(r.offload_cycles * 20 < r.total_cycles, "offload must be hidden: {r:?}");
+    }
+
+    #[test]
+    fn batch_scales_with_target() {
+        let sim = OteSimulator::new(NmpConfig::ironman_max());
+        let w = toy_work();
+        let one = sim.batch_latency_ms(&w, 100_000, 5);
+        let ten = sim.batch_latency_ms(&w, 1_000_000, 5);
+        assert!((ten / one - 10.0).abs() < 0.01);
+    }
+}
+
+/// Result of executing *two* OTE protocols concurrently with swapped roles
+/// (§1: "two parties execute two OTE protocols in parallel when switching
+/// roles ... The parallel OTE execution allows us to reduce the protocol
+/// latency"). The unified unit (§5.2) is what makes this possible on one
+/// PU: the same XOR-tree datapath serves the Key-Generator and
+/// Message-Decoder passes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DualRoleReport {
+    /// This party acting as sender.
+    pub as_sender: OteReport,
+    /// This party acting as receiver (the swapped-role session).
+    pub as_receiver: OteReport,
+    /// Total cycles when both sessions share the PU (resources interleave;
+    /// LPN gathers serialize on the ranks, SPCOT passes share the cores).
+    pub shared_cycles: u64,
+    /// Total cycles if the two sessions ran back-to-back instead.
+    pub sequential_cycles: u64,
+}
+
+impl DualRoleReport {
+    /// Latency saved by overlapping the two sessions.
+    pub fn overlap_gain(&self) -> f64 {
+        if self.shared_cycles == 0 {
+            return 1.0;
+        }
+        self.sequential_cycles as f64 / self.shared_cycles as f64
+    }
+}
+
+impl OteSimulator {
+    /// Simulates one party running both directions of a role-switched
+    /// protocol pair on its PU. The rank-side LPN work doubles (two
+    /// gathers over the same ranks, serialized), while the DIMM-side SPCOT
+    /// work overlaps the cheaper Message-Decoder pass under the
+    /// Key-Generator pass.
+    pub fn simulate_dual_role(&self, work: &OteWork, seed: u64) -> DualRoleReport {
+        let as_sender = self.simulate(&OteWork { role: Role::Sender, ..work.clone() }, seed);
+        let as_receiver =
+            self.simulate(&OteWork { role: Role::Receiver, ..work.clone() }, seed ^ 0xD0A1);
+        // Shared execution: both LPN gathers contend for the same ranks
+        // (serialize); the two SPCOT passes time-share the PRG cores
+        // (serialize) but overlap with the combined LPN.
+        let lpn = as_sender.lpn_cycles + as_receiver.lpn_cycles;
+        let spcot = as_sender.spcot_cycles + as_receiver.spcot_cycles;
+        let offload = as_sender.offload_cycles.max(as_receiver.offload_cycles);
+        let shared_cycles = lpn.max(spcot) + offload;
+        let sequential_cycles = as_sender.total_cycles + as_receiver.total_cycles;
+        DualRoleReport { as_sender, as_receiver, shared_cycles, sequential_cycles }
+    }
+}
+
+#[cfg(test)]
+mod dual_role_tests {
+    use super::*;
+
+    fn work() -> OteWork {
+        OteWork {
+            sample_rows: Some(2048),
+            ..OteWork::ironman(100_000, 1024, 48, 16_384, 10)
+        }
+    }
+
+    #[test]
+    fn dual_role_overlap_saves_latency() {
+        let sim = OteSimulator::new(NmpConfig::with_ranks_and_cache(8, 256 * 1024));
+        let r = sim.simulate_dual_role(&work(), 11);
+        assert!(r.shared_cycles < r.sequential_cycles);
+        let gain = r.overlap_gain();
+        assert!((1.0..=2.0).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn receiver_role_is_cheaper_on_spcot() {
+        // Message Decoder does half the XOR-tree work (Fig. 10).
+        let sim = OteSimulator::new(NmpConfig::with_ranks_and_cache(8, 256 * 1024));
+        let r = sim.simulate_dual_role(&work(), 12);
+        assert!(r.as_receiver.spcot_cycles <= r.as_sender.spcot_cycles);
+    }
+
+    #[test]
+    fn shared_never_below_single_session() {
+        let sim = OteSimulator::new(NmpConfig::with_ranks_and_cache(4, 256 * 1024));
+        let r = sim.simulate_dual_role(&work(), 13);
+        assert!(r.shared_cycles >= r.as_sender.total_cycles.max(r.as_receiver.total_cycles));
+    }
+}

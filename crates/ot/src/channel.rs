@@ -1,0 +1,382 @@
+//! Byte-counting duplex channels and a two-thread protocol executor.
+//!
+//! Every protocol in this workspace speaks through [`Transport`], so the
+//! bytes and round trips of each execution are measured directly. The
+//! paper's Fig. 7(b–c) (communication/latency vs. tree arity) and Fig. 16
+//! (unified-architecture communication reduction) are regenerated from
+//! these counters combined with the `ironman-perf` network model.
+
+use ironman_prg::Block;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::mpsc;
+
+/// Error type for channel operations.
+#[derive(Debug)]
+pub enum ChannelError {
+    /// The peer hung up before the expected message arrived.
+    Disconnected,
+    /// A received message had an unexpected length.
+    Malformed {
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::Disconnected => write!(f, "channel peer disconnected"),
+            ChannelError::Malformed { expected, actual } => {
+                write!(f, "malformed message: expected {expected} bytes, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Communication statistics of one endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Bytes sent by this endpoint.
+    pub bytes_sent: u64,
+    /// Bytes received by this endpoint.
+    pub bytes_received: u64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Communication rounds: number of send→receive direction switches
+    /// observed at this endpoint (a proxy for RTT count).
+    pub rounds: u64,
+}
+
+impl ChannelStats {
+    /// Total traffic through this endpoint in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// A duplex message transport with accounting.
+///
+/// Blanket helpers serialize [`Block`]s, bit vectors and integers; all
+/// protocol messages go through [`Transport::send_bytes`] /
+/// [`Transport::recv_bytes`] so accounting is exact.
+pub trait Transport {
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Disconnected`] if the peer is gone.
+    fn send_bytes(&mut self, bytes: Vec<u8>) -> Result<(), ChannelError>;
+
+    /// Receives one message (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Disconnected`] if the peer is gone.
+    fn recv_bytes(&mut self) -> Result<Vec<u8>, ChannelError>;
+
+    /// Accounting snapshot.
+    fn stats(&self) -> ChannelStats;
+
+    /// Sends a single block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    fn send_block(&mut self, b: Block) -> Result<(), ChannelError> {
+        self.send_bytes(b.to_le_bytes().to_vec())
+    }
+
+    /// Receives a single block.
+    ///
+    /// # Errors
+    ///
+    /// Fails on disconnect or if the message is not exactly 16 bytes.
+    fn recv_block(&mut self) -> Result<Block, ChannelError> {
+        let bytes = self.recv_bytes()?;
+        let arr: [u8; 16] = bytes
+            .as_slice()
+            .try_into()
+            .map_err(|_| ChannelError::Malformed { expected: 16, actual: bytes.len() })?;
+        Ok(Block::from_le_bytes(arr))
+    }
+
+    /// Sends a slice of blocks as one message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), ChannelError> {
+        let mut bytes = Vec::with_capacity(blocks.len() * 16);
+        for b in blocks {
+            bytes.extend_from_slice(&b.to_le_bytes());
+        }
+        self.send_bytes(bytes)
+    }
+
+    /// Receives a block vector sent with [`Transport::send_blocks`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on disconnect or if the payload is not a multiple of 16 bytes.
+    fn recv_blocks(&mut self) -> Result<Vec<Block>, ChannelError> {
+        let bytes = self.recv_bytes()?;
+        if bytes.len() % 16 != 0 {
+            return Err(ChannelError::Malformed {
+                expected: bytes.len().div_ceil(16) * 16,
+                actual: bytes.len(),
+            });
+        }
+        Ok(bytes
+            .chunks_exact(16)
+            .map(|c| Block::from_le_bytes(c.try_into().expect("16-byte chunk")))
+            .collect())
+    }
+
+    /// Sends one bit (as one byte; the paper's comm model also rounds bits
+    /// up to transport granularity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    fn send_bit(&mut self, bit: bool) -> Result<(), ChannelError> {
+        self.send_bytes(vec![bit as u8])
+    }
+
+    /// Receives one bit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on disconnect or wrong length.
+    fn recv_bit(&mut self) -> Result<bool, ChannelError> {
+        let bytes = self.recv_bytes()?;
+        if bytes.len() != 1 {
+            return Err(ChannelError::Malformed { expected: 1, actual: bytes.len() });
+        }
+        Ok(bytes[0] != 0)
+    }
+
+    /// Sends a packed bit vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    fn send_bits(&mut self, bits: &[bool]) -> Result<(), ChannelError> {
+        let mut bytes = vec![0u8; bits.len().div_ceil(8) + 8];
+        bytes[..8].copy_from_slice(&(bits.len() as u64).to_le_bytes());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bytes[8 + i / 8] |= 1 << (i % 8);
+            }
+        }
+        self.send_bytes(bytes)
+    }
+
+    /// Receives a packed bit vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails on disconnect or malformed framing.
+    fn recv_bits(&mut self) -> Result<Vec<bool>, ChannelError> {
+        let bytes = self.recv_bytes()?;
+        if bytes.len() < 8 {
+            return Err(ChannelError::Malformed { expected: 8, actual: bytes.len() });
+        }
+        let len = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte header")) as usize;
+        if bytes.len() != len.div_ceil(8) + 8 {
+            return Err(ChannelError::Malformed { expected: len.div_ceil(8) + 8, actual: bytes.len() });
+        }
+        Ok((0..len).map(|i| bytes[8 + i / 8] >> (i % 8) & 1 == 1).collect())
+    }
+}
+
+/// In-memory transport endpoint (one half of a duplex pair).
+#[derive(Debug)]
+pub struct LocalChannel {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+    stats: ChannelStats,
+    sent_since_recv: bool,
+}
+
+impl LocalChannel {
+    /// Creates a connected duplex pair.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ironman_ot::channel::{LocalChannel, Transport};
+    /// use ironman_prg::Block;
+    ///
+    /// let (mut a, mut b) = LocalChannel::pair();
+    /// a.send_block(Block::from(7u128)).unwrap();
+    /// assert_eq!(b.recv_block().unwrap(), Block::from(7u128));
+    /// ```
+    pub fn pair() -> (LocalChannel, LocalChannel) {
+        let (tx_ab, rx_ab) = mpsc::channel();
+        let (tx_ba, rx_ba) = mpsc::channel();
+        (
+            LocalChannel {
+                tx: tx_ab,
+                rx: rx_ba,
+                stats: ChannelStats::default(),
+                sent_since_recv: false,
+            },
+            LocalChannel {
+                tx: tx_ba,
+                rx: rx_ab,
+                stats: ChannelStats::default(),
+                sent_since_recv: false,
+            },
+        )
+    }
+}
+
+impl Transport for LocalChannel {
+    fn send_bytes(&mut self, bytes: Vec<u8>) -> Result<(), ChannelError> {
+        self.stats.bytes_sent += bytes.len() as u64;
+        self.stats.messages_sent += 1;
+        self.sent_since_recv = true;
+        self.tx.send(bytes).map_err(|_| ChannelError::Disconnected)
+    }
+
+    fn recv_bytes(&mut self) -> Result<Vec<u8>, ChannelError> {
+        let bytes = self.rx.recv().map_err(|_| ChannelError::Disconnected)?;
+        self.stats.bytes_received += bytes.len() as u64;
+        if self.sent_since_recv {
+            self.stats.rounds += 1;
+            self.sent_since_recv = false;
+        }
+        Ok(bytes)
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
+/// Runs a two-party protocol: `sender_fn` and `receiver_fn` execute on their
+/// own threads with connected channel endpoints, and the results plus both
+/// endpoints' communication statistics are returned as
+/// `(sender_out, receiver_out, sender_stats, receiver_stats)`.
+///
+/// # Panics
+///
+/// Panics if either party panics (the panic is propagated).
+pub fn run_protocol<S, R, FS, FR>(sender_fn: FS, receiver_fn: FR) -> (S, R, ChannelStats, ChannelStats)
+where
+    S: Send,
+    R: Send,
+    FS: FnOnce(&mut LocalChannel) -> S + Send,
+    FR: FnOnce(&mut LocalChannel) -> R + Send,
+{
+    let (mut cs, mut cr) = LocalChannel::pair();
+    std::thread::scope(|scope| {
+        let sender_handle = scope.spawn(move || {
+            let out = sender_fn(&mut cs);
+            (out, cs.stats())
+        });
+        let receiver_handle = scope.spawn(move || {
+            let out = receiver_fn(&mut cr);
+            (out, cr.stats())
+        });
+        let (s_out, s_stats) = sender_handle.join().expect("sender thread panicked");
+        let (r_out, r_stats) = receiver_handle.join().expect("receiver thread panicked");
+        (s_out, r_out, s_stats, r_stats)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trip() {
+        let (mut a, mut b) = LocalChannel::pair();
+        a.send_block(Block::from(0x1234u128)).unwrap();
+        assert_eq!(b.recv_block().unwrap(), Block::from(0x1234u128));
+    }
+
+    #[test]
+    fn blocks_round_trip() {
+        let (mut a, mut b) = LocalChannel::pair();
+        let v = vec![Block::from(1u128), Block::from(2u128), Block::from(3u128)];
+        a.send_blocks(&v).unwrap();
+        assert_eq!(b.recv_blocks().unwrap(), v);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let (mut a, mut b) = LocalChannel::pair();
+        let bits = vec![true, false, true, true, false, false, false, true, true];
+        a.send_bits(&bits).unwrap();
+        assert_eq!(b.recv_bits().unwrap(), bits);
+    }
+
+    #[test]
+    fn empty_bits_round_trip() {
+        let (mut a, mut b) = LocalChannel::pair();
+        a.send_bits(&[]).unwrap();
+        assert_eq!(b.recv_bits().unwrap(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let (mut a, mut b) = LocalChannel::pair();
+        a.send_block(Block::ZERO).unwrap();
+        b.recv_block().unwrap();
+        assert_eq!(a.stats().bytes_sent, 16);
+        assert_eq!(b.stats().bytes_received, 16);
+        assert_eq!(a.stats().messages_sent, 1);
+    }
+
+    #[test]
+    fn round_counting() {
+        let (mut a, mut b) = LocalChannel::pair();
+        // a: send, send, recv => 1 round.
+        a.send_bit(true).unwrap();
+        a.send_bit(false).unwrap();
+        b.recv_bit().unwrap();
+        b.recv_bit().unwrap();
+        b.send_bit(true).unwrap();
+        a.recv_bit().unwrap();
+        assert_eq!(a.stats().rounds, 1);
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (mut a, b) = LocalChannel::pair();
+        drop(b);
+        assert!(matches!(a.recv_bytes(), Err(ChannelError::Disconnected)));
+    }
+
+    #[test]
+    fn run_protocol_exchanges() {
+        let (s, r, ss, rs) = run_protocol(
+            |ch| {
+                ch.send_block(Block::from(5u128)).unwrap();
+                ch.recv_block().unwrap()
+            },
+            |ch| {
+                let x = ch.recv_block().unwrap();
+                ch.send_block(x ^ Block::from(1u128)).unwrap();
+                x
+            },
+        );
+        assert_eq!(r, Block::from(5u128));
+        assert_eq!(s, Block::from(4u128));
+        assert_eq!(ss.bytes_sent, 16);
+        assert_eq!(rs.bytes_sent, 16);
+    }
+
+    #[test]
+    fn malformed_block_detected() {
+        let (mut a, mut b) = LocalChannel::pair();
+        a.send_bytes(vec![0u8; 3]).unwrap();
+        assert!(matches!(b.recv_block(), Err(ChannelError::Malformed { .. })));
+    }
+}

@@ -1,0 +1,225 @@
+//! Correlated-OT (COT) correlation types.
+//!
+//! A COT correlation (Fig. 2 of the paper) gives the sender two strings
+//! `r0, r1` with `r1 = r0 ⊕ Δ` for a global offset `Δ`, and gives the
+//! receiver a random bit `b` together with `r_b = r0 ⊕ b·Δ`. The sender
+//! side is fully described by `(Δ, r0)`; the receiver side by `(b, r_b)`.
+
+use ironman_prg::Block;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The sender's share of a batch of COT correlations: the global `Δ` and
+/// one `r0` block per correlation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CotSender {
+    delta: Block,
+    r0: Vec<Block>,
+}
+
+/// The receiver's share of a batch of COT correlations: choice bits and the
+/// corresponding `r_b` blocks.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CotReceiver {
+    bits: Vec<bool>,
+    rb: Vec<Block>,
+}
+
+/// Error returned when a COT batch fails its correlation check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorrelationError {
+    /// Index of the first violating correlation.
+    pub index: usize,
+}
+
+impl fmt::Display for CorrelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "COT correlation violated at index {}", self.index)
+    }
+}
+
+impl std::error::Error for CorrelationError {}
+
+impl CotSender {
+    /// Wraps the sender's share of a COT batch.
+    pub fn new(delta: Block, r0: Vec<Block>) -> Self {
+        CotSender { delta, r0 }
+    }
+
+    /// The global correlation offset `Δ`.
+    pub fn delta(&self) -> Block {
+        self.delta
+    }
+
+    /// The `r0` strings.
+    pub fn r0(&self) -> &[Block] {
+        &self.r0
+    }
+
+    /// Number of correlations in the batch.
+    pub fn len(&self) -> usize {
+        self.r0.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.r0.is_empty()
+    }
+
+    /// The message pair `(r0, r1 = r0 ⊕ Δ)` of correlation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn pair(&self, i: usize) -> (Block, Block) {
+        let r0 = self.r0[i];
+        (r0, r0 ^ self.delta)
+    }
+
+    /// Splits off the first `count` correlations into a new batch
+    /// (consuming them from `self`). Used to feed sub-protocols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > len()`.
+    pub fn split_off_front(&mut self, count: usize) -> CotSender {
+        assert!(count <= self.r0.len(), "cannot split {count} of {}", self.r0.len());
+        let rest = self.r0.split_off(count);
+        let front = std::mem::replace(&mut self.r0, rest);
+        CotSender { delta: self.delta, r0: front }
+    }
+}
+
+impl CotReceiver {
+    /// Wraps the receiver's share of a COT batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` and `rb` lengths differ.
+    pub fn new(bits: Vec<bool>, rb: Vec<Block>) -> Self {
+        assert_eq!(bits.len(), rb.len(), "choice bits and blocks must align");
+        CotReceiver { bits, rb }
+    }
+
+    /// The choice bits `b`.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The received strings `r_b`.
+    pub fn rb(&self) -> &[Block] {
+        &self.rb
+    }
+
+    /// Number of correlations in the batch.
+    pub fn len(&self) -> usize {
+        self.rb.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rb.is_empty()
+    }
+
+    /// Splits off the first `count` correlations (see
+    /// [`CotSender::split_off_front`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > len()`.
+    pub fn split_off_front(&mut self, count: usize) -> CotReceiver {
+        assert!(count <= self.rb.len(), "cannot split {count} of {}", self.rb.len());
+        let rest_bits = self.bits.split_off(count);
+        let rest_rb = self.rb.split_off(count);
+        let front_bits = std::mem::replace(&mut self.bits, rest_bits);
+        let front_rb = std::mem::replace(&mut self.rb, rest_rb);
+        CotReceiver { bits: front_bits, rb: front_rb }
+    }
+}
+
+/// Checks the COT correlation `r_b = r0 ⊕ b·Δ` across a batch pair.
+///
+/// # Errors
+///
+/// Returns the index of the first violation.
+///
+/// # Example
+///
+/// ```
+/// use ironman_ot::cot::{verify_correlation, CotReceiver, CotSender};
+/// use ironman_prg::Block;
+///
+/// let delta = Block::from(0xffu128);
+/// let s = CotSender::new(delta, vec![Block::from(1u128)]);
+/// let r = CotReceiver::new(vec![true], vec![Block::from(1u128) ^ delta]);
+/// assert!(verify_correlation(&s, &r).is_ok());
+/// ```
+pub fn verify_correlation(s: &CotSender, r: &CotReceiver) -> Result<(), CorrelationError> {
+    assert_eq!(s.len(), r.len(), "batch sizes must match");
+    for i in 0..s.len() {
+        let expect = s.r0[i] ^ s.delta.and_bit(r.bits[i]);
+        if r.rb[i] != expect {
+            return Err(CorrelationError { index: i });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(delta: u128, n: usize) -> (CotSender, CotReceiver) {
+        let delta = Block::from(delta);
+        let r0: Vec<Block> = (0..n as u128).map(|i| Block::from(i * 0x1111 + 7)).collect();
+        let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let rb: Vec<Block> =
+            r0.iter().zip(&bits).map(|(&r, &b)| r ^ delta.and_bit(b)).collect();
+        (CotSender::new(delta, r0), CotReceiver::new(bits, rb))
+    }
+
+    #[test]
+    fn valid_batch_verifies() {
+        let (s, r) = sample(0xdead, 16);
+        assert!(verify_correlation(&s, &r).is_ok());
+    }
+
+    #[test]
+    fn corrupted_batch_detected() {
+        let (s, mut r) = sample(0xdead, 16);
+        r.rb[5] ^= Block::from(1u128);
+        assert_eq!(verify_correlation(&s, &r).unwrap_err().index, 5);
+    }
+
+    #[test]
+    fn pair_has_delta_offset() {
+        let (s, _) = sample(0xabc, 4);
+        let (r0, r1) = s.pair(2);
+        assert_eq!(r0 ^ r1, s.delta());
+    }
+
+    #[test]
+    fn split_preserves_correlation() {
+        let (mut s, mut r) = sample(0x77, 10);
+        let sf = s.split_off_front(4);
+        let rf = r.split_off_front(4);
+        assert_eq!(sf.len(), 4);
+        assert_eq!(s.len(), 6);
+        assert!(verify_correlation(&sf, &rf).is_ok());
+        assert!(verify_correlation(&s, &r).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn oversplit_panics() {
+        let (mut s, _) = sample(1, 3);
+        let _ = s.split_off_front(4);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let (s, r) = sample(1, 0);
+        assert!(s.is_empty() && r.is_empty());
+        assert!(verify_correlation(&s, &r).is_ok());
+    }
+}

@@ -1,0 +1,132 @@
+//! Ideal base-correlation dealer.
+//!
+//! PCG-style OTE bootstraps from a small number of base COT correlations
+//! produced once by public-key OT in the paper's initialization phase
+//! (excluded from every measurement in §6, as is standard). We substitute
+//! an ideal trusted dealer that samples correlations with exactly the right
+//! distribution; see DESIGN.md's substitution table.
+//!
+//! The dealer is deterministic in its seed so experiments are reproducible.
+
+use crate::cot::{CotReceiver, CotSender};
+use ironman_prg::{Aes128, Block};
+
+/// A deterministic dealer of base COT correlations.
+///
+/// # Example
+///
+/// ```
+/// use ironman_ot::dealer::Dealer;
+/// use ironman_ot::cot::verify_correlation;
+///
+/// let mut dealer = Dealer::new(1234);
+/// let delta = dealer.random_delta();
+/// let (s, r) = dealer.deal_cot(delta, 32);
+/// assert!(verify_correlation(&s, &r).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dealer {
+    prf: Aes128,
+    counter: u128,
+}
+
+impl Dealer {
+    /// Creates a dealer with a reproducible seed.
+    pub fn new(seed: u64) -> Self {
+        Dealer { prf: Aes128::new(Block::from(seed as u128 | 1 << 127)), counter: 0 }
+    }
+
+    /// Draws the next pseudorandom block.
+    pub fn random_block(&mut self) -> Block {
+        self.counter += 1;
+        self.prf.encrypt_block(Block::from(self.counter))
+    }
+
+    /// Draws a pseudorandom bit.
+    pub fn random_bit(&mut self) -> bool {
+        self.random_block().lsb()
+    }
+
+    /// Draws a uniformly-ish random index in `0..bound` (rejection-free
+    /// modular reduction; the tiny bias is irrelevant for workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn random_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        (self.random_block().mix() % bound as u64) as usize
+    }
+
+    /// Draws a global correlation offset `Δ` (forced nonzero).
+    pub fn random_delta(&mut self) -> Block {
+        loop {
+            let d = self.random_block();
+            if d != Block::ZERO {
+                return d;
+            }
+        }
+    }
+
+    /// Deals `count` COT correlations under `delta` with random choice bits.
+    pub fn deal_cot(&mut self, delta: Block, count: usize) -> (CotSender, CotReceiver) {
+        let mut r0 = Vec::with_capacity(count);
+        let mut bits = Vec::with_capacity(count);
+        let mut rb = Vec::with_capacity(count);
+        for _ in 0..count {
+            let r = self.random_block();
+            let b = self.random_bit();
+            r0.push(r);
+            bits.push(b);
+            rb.push(r ^ delta.and_bit(b));
+        }
+        (CotSender::new(delta, r0), CotReceiver::new(bits, rb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cot::verify_correlation;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Dealer::new(7);
+        let mut b = Dealer::new(7);
+        assert_eq!(a.random_block(), b.random_block());
+        assert_eq!(a.random_block(), b.random_block());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Dealer::new(7);
+        let mut b = Dealer::new(8);
+        assert_ne!(a.random_block(), b.random_block());
+    }
+
+    #[test]
+    fn dealt_cots_verify() {
+        let mut d = Dealer::new(3);
+        let delta = d.random_delta();
+        let (s, r) = d.deal_cot(delta, 128);
+        assert!(verify_correlation(&s, &r).is_ok());
+        assert_eq!(s.len(), 128);
+    }
+
+    #[test]
+    fn choice_bits_are_mixed() {
+        let mut d = Dealer::new(3);
+        let delta = d.random_delta();
+        let (_, r) = d.deal_cot(delta, 256);
+        let ones = r.bits().iter().filter(|&&b| b).count();
+        assert!((64..192).contains(&ones), "bits look non-random: {ones}/256");
+    }
+
+    #[test]
+    fn random_index_in_bounds() {
+        let mut d = Dealer::new(5);
+        for _ in 0..100 {
+            assert!(d.random_index(10) < 10);
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The Ferret-style PCG OT-extension main loop (paper §2.3, Fig. 3a).
+//!
+//! One extension turns `k + t·log2(ℓ)` base COT correlations into `n` fresh
+//! correlations:
+//!
+//! 1. **SPCOT phase** — `t` GGM trees are built and punctured interactively
+//!    ([`crate::spcot`]); tree `i` contributes a one-hot stripe of the
+//!    length-`n` noise vector `u` and the corresponding `w`/`v` blocks.
+//! 2. **LPN phase** — both parties locally encode their pre-generated
+//!    vectors through the fixed sparse matrix `A` and XOR onto the SPCOT
+//!    outputs: sender `z = r·A ⊕ w`; receiver `x = e·A ⊕ u`,
+//!    `y = s·A ⊕ v`. The result is `n` COTs with `z = y ⊕ x·Δ`.
+//! 3. **Bootstrap** — the first `k + t·log2(ℓ)` outputs are retained as the
+//!    next iteration's base correlations; the rest are handed to the
+//!    application.
+//!
+//! Both the plain and the locality-sorted LPN matrices are supported; they
+//! produce bit-identical outputs (§5.3's correctness argument is checked in
+//! the tests).
+
+use crate::channel::{ChannelError, ChannelStats, Transport};
+use crate::cot::{CotReceiver, CotSender};
+use crate::dealer::Dealer;
+use crate::params::FerretParams;
+use crate::spcot::{spcot_recv, spcot_send, SpcotConfig};
+use crate::spcot_batch::{spcot_batch_recv, spcot_batch_send};
+use ironman_ggm::Arity;
+use ironman_lpn::sorting::SortConfig;
+use ironman_lpn::{encoder, LpnMatrix, SortedLpnMatrix, DEFAULT_ROW_WEIGHT};
+use ironman_prg::{Block, PrgCounter, PrgKind};
+
+/// Full configuration of a Ferret session (must be identical on both
+/// parties: it pins the LPN matrix, tree shape and PRG).
+#[derive(Clone, Debug)]
+pub struct FerretConfig {
+    /// Table 4 parameter set.
+    pub params: FerretParams,
+    /// GGM tree arity.
+    pub arity: Arity,
+    /// PRG kind for tree expansion.
+    pub prg: PrgKind,
+    /// Session key (drives all PRG keys).
+    pub session_key: Block,
+    /// Seed of the fixed LPN matrix.
+    pub lpn_seed: Block,
+    /// Row weight `d` of the LPN matrix (the paper uses 10).
+    pub row_weight: usize,
+    /// Optional compile-time index sorting (§5.3). `None` = plain CSR.
+    pub sort: Option<SortConfig>,
+    /// Level-batched SPCOT (one message per GGM level across all `t`
+    /// trees, as production Ferret implementations do) instead of one
+    /// conversation per tree. Outputs are identical either way.
+    pub batched_spcot: bool,
+}
+
+impl FerretConfig {
+    /// Ironman defaults (4-ary ChaCha8 trees, unsorted matrix) for a
+    /// parameter set.
+    pub fn new(params: FerretParams) -> Self {
+        FerretConfig {
+            params,
+            arity: Arity::QUAD,
+            prg: PrgKind::CHACHA8,
+            session_key: Block::from(0x1203_4567u128),
+            lpn_seed: Block::from(0x4c50_4eu128),
+            row_weight: DEFAULT_ROW_WEIGHT,
+            sort: None,
+            batched_spcot: true,
+        }
+    }
+
+    /// The CPU-baseline configuration (binary AES trees), as profiled in
+    /// Fig. 1(b).
+    pub fn ferret_baseline(params: FerretParams) -> Self {
+        FerretConfig { arity: Arity::BINARY, prg: PrgKind::Aes, ..FerretConfig::new(params) }
+    }
+
+    /// Base COTs each party must hold before an extension:
+    /// `k` LPN inputs + `t · log2(ℓ)` SPCOT consumptions.
+    pub fn base_cots_required(&self) -> usize {
+        self.params.k + self.params.t * self.params.leaves.trailing_zeros() as usize
+    }
+
+    /// Outputs available to the application per extension.
+    pub fn usable_outputs(&self) -> usize {
+        self.params.n - self.base_cots_required()
+    }
+
+    fn spcot_config(&self) -> SpcotConfig {
+        SpcotConfig {
+            arity: self.arity,
+            prg: self.prg,
+            leaves: self.params.leaves,
+            session_key: self.session_key,
+        }
+    }
+
+    fn build_matrix(&self) -> MatrixKind {
+        let plain =
+            LpnMatrix::generate(self.params.n, self.params.k, self.row_weight, self.lpn_seed);
+        match self.sort {
+            Some(cfg) => MatrixKind::Sorted(Box::new(SortedLpnMatrix::sort(&plain, cfg))),
+            None => MatrixKind::Plain(plain),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum MatrixKind {
+    Plain(LpnMatrix),
+    Sorted(Box<SortedLpnMatrix>),
+}
+
+impl MatrixKind {
+    fn encode_blocks(&self, input: &[Block], acc: &mut [Block]) {
+        match self {
+            MatrixKind::Plain(m) => encoder::encode_blocks(m, input, acc),
+            MatrixKind::Sorted(s) => s.encode_blocks(input, acc),
+        }
+    }
+
+    fn encode_bits(&self, input: &[bool], acc: &mut [bool]) {
+        match self {
+            MatrixKind::Plain(m) => encoder::encode_bits(m, input, acc),
+            MatrixKind::Sorted(s) => s.encode_bits(input, acc),
+        }
+    }
+}
+
+/// The sender's long-lived extension state.
+#[derive(Debug)]
+pub struct FerretSender {
+    cfg: FerretConfig,
+    base: CotSender,
+    matrix: MatrixKind,
+    seeds: Dealer,
+    tweak: u64,
+    prg_counter: PrgCounter,
+}
+
+impl FerretSender {
+    /// Creates the sender from its base correlations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base.len() != cfg.base_cots_required()`.
+    pub fn new(cfg: FerretConfig, base: CotSender, seed: u64) -> Self {
+        assert_eq!(
+            base.len(),
+            cfg.base_cots_required(),
+            "sender base must hold exactly k + t*log2(l) correlations"
+        );
+        let matrix = cfg.build_matrix();
+        FerretSender {
+            cfg,
+            base,
+            matrix,
+            seeds: Dealer::new(seed ^ 0x5e4d),
+            tweak: 0,
+            prg_counter: PrgCounter::new(),
+        }
+    }
+
+    /// The global correlation offset.
+    pub fn delta(&self) -> Block {
+        self.base.delta()
+    }
+
+    /// PRG calls consumed so far (all extensions).
+    pub fn prg_counter(&self) -> PrgCounter {
+        self.prg_counter
+    }
+
+    /// Runs one extension, returning the application's `n − k − t·log2(ℓ)`
+    /// fresh `r0` blocks (new correlations under the same `Δ`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures.
+    pub fn extend<T: Transport + ?Sized>(&mut self, ch: &mut T) -> Result<Vec<Block>, ChannelError> {
+        let p = self.cfg.params;
+        let spcot_cfg = self.cfg.spcot_config();
+        let spcot_budget = p.t * p.leaves.trailing_zeros() as usize;
+        let mut spcot_base = self.base.split_off_front(spcot_budget);
+        // What remains in self.base are the k LPN inputs.
+        let r: Vec<Block> = self.base.r0().to_vec();
+        debug_assert_eq!(r.len(), p.k);
+
+        // SPCOT phase: t trees, stripes assigned round-robin.
+        let stripes = p.stripes();
+        let mut w_full = vec![Block::ZERO; p.n];
+        let outs = if self.cfg.batched_spcot {
+            let seeds: Vec<Block> = (0..p.t).map(|_| self.seeds.random_block()).collect();
+            spcot_batch_send(ch, &spcot_cfg, &mut spcot_base, &seeds, &mut self.tweak)?
+        } else {
+            let mut outs = Vec::with_capacity(p.t);
+            for _ in 0..p.t {
+                let seed = self.seeds.random_block();
+                outs.push(spcot_send(ch, &spcot_cfg, &mut spcot_base, seed, &mut self.tweak)?);
+            }
+            outs
+        };
+        for (i, out) in outs.into_iter().enumerate() {
+            self.prg_counter += out.counter;
+            let stripe = i % stripes;
+            let start = stripe * p.leaves;
+            let width = p.leaves.min(p.n - start);
+            for (j, &leaf) in out.w[..width].iter().enumerate() {
+                w_full[start + j] ^= leaf;
+            }
+        }
+
+        // LPN phase: z = r·A ⊕ w.
+        let mut z = w_full;
+        self.matrix.encode_blocks(&r, &mut z);
+
+        // Bootstrap: retain the front as next iteration's base.
+        let required = self.cfg.base_cots_required();
+        let output = z.split_off(required);
+        self.base = CotSender::new(self.base.delta(), z);
+        Ok(output)
+    }
+}
+
+/// The receiver's long-lived extension state.
+#[derive(Debug)]
+pub struct FerretReceiver {
+    cfg: FerretConfig,
+    base: CotReceiver,
+    matrix: MatrixKind,
+    alphas: Dealer,
+    tweak: u64,
+    prg_counter: PrgCounter,
+}
+
+impl FerretReceiver {
+    /// Creates the receiver from its base correlations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base.len() != cfg.base_cots_required()`.
+    pub fn new(cfg: FerretConfig, base: CotReceiver, seed: u64) -> Self {
+        assert_eq!(
+            base.len(),
+            cfg.base_cots_required(),
+            "receiver base must hold exactly k + t*log2(l) correlations"
+        );
+        let matrix = cfg.build_matrix();
+        FerretReceiver {
+            cfg,
+            base,
+            matrix,
+            alphas: Dealer::new(seed ^ 0xa1fa),
+            tweak: 0,
+            prg_counter: PrgCounter::new(),
+        }
+    }
+
+    /// PRG calls consumed so far (all extensions).
+    pub fn prg_counter(&self) -> PrgCounter {
+        self.prg_counter
+    }
+
+    /// Runs one extension, returning the application's fresh `(x, y)`
+    /// correlations: `z = y ⊕ x·Δ` against the sender's output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures.
+    pub fn extend<T: Transport + ?Sized>(
+        &mut self,
+        ch: &mut T,
+    ) -> Result<(Vec<bool>, Vec<Block>), ChannelError> {
+        let p = self.cfg.params;
+        let spcot_cfg = self.cfg.spcot_config();
+        let spcot_budget = p.t * p.leaves.trailing_zeros() as usize;
+        let mut spcot_base = self.base.split_off_front(spcot_budget);
+        let e: Vec<bool> = self.base.bits().to_vec();
+        let s: Vec<Block> = self.base.rb().to_vec();
+        debug_assert_eq!(e.len(), p.k);
+
+        let stripes = p.stripes();
+        let mut u_full = vec![false; p.n];
+        let mut v_full = vec![Block::ZERO; p.n];
+        let stripe_width = |i: usize| {
+            let start = (i % stripes) * p.leaves;
+            (start, p.leaves.min(p.n - start))
+        };
+        let outs = if self.cfg.batched_spcot {
+            let alphas: Vec<usize> =
+                (0..p.t).map(|i| self.alphas.random_index(stripe_width(i).1)).collect();
+            spcot_batch_recv(ch, &spcot_cfg, &mut spcot_base, &alphas, &mut self.tweak)?
+        } else {
+            let mut outs = Vec::with_capacity(p.t);
+            for i in 0..p.t {
+                let alpha = self.alphas.random_index(stripe_width(i).1);
+                outs.push(spcot_recv(ch, &spcot_cfg, &mut spcot_base, alpha, &mut self.tweak)?);
+            }
+            outs
+        };
+        for (i, out) in outs.into_iter().enumerate() {
+            let (start, width) = stripe_width(i);
+            self.prg_counter += out.counter;
+            u_full[start + out.alpha] ^= true;
+            for (j, &leaf) in out.v[..width].iter().enumerate() {
+                v_full[start + j] ^= leaf;
+            }
+        }
+
+        // LPN phase: x = e·A ⊕ u, y = s·A ⊕ v.
+        let mut x = u_full;
+        let mut y = v_full;
+        self.matrix.encode_bits(&e, &mut x);
+        self.matrix.encode_blocks(&s, &mut y);
+
+        let required = self.cfg.base_cots_required();
+        let out_x = x.split_off(required);
+        let out_y = y.split_off(required);
+        self.base = CotReceiver::new(x, y);
+        Ok((out_x, out_y))
+    }
+}
+
+/// The result of [`run_extension`]: matched sender/receiver outputs plus
+/// accounting, for tests and benches.
+#[derive(Clone, Debug)]
+pub struct FerretOutput {
+    /// The global offset `Δ`.
+    pub delta: Block,
+    /// Sender outputs `z` (one per usable COT).
+    pub z: Vec<Block>,
+    /// Receiver choice bits `x`.
+    pub x: Vec<bool>,
+    /// Receiver blocks `y` with `z = y ⊕ x·Δ`.
+    pub y: Vec<Block>,
+    /// Sender communication stats.
+    pub sender_stats: ChannelStats,
+    /// Receiver communication stats.
+    pub receiver_stats: ChannelStats,
+    /// Sender PRG calls.
+    pub sender_prg: PrgCounter,
+    /// Receiver PRG calls.
+    pub receiver_prg: PrgCounter,
+}
+
+impl FerretOutput {
+    /// Checks `z = y ⊕ x·Δ` on every output correlation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first violation.
+    pub fn verify(&self) -> Result<(), usize> {
+        for i in 0..self.z.len() {
+            if self.z[i] != self.y[i] ^ self.delta.and_bit(self.x[i]) {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of usable output COTs.
+    pub fn len(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Whether the output batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty()
+    }
+}
+
+/// Convenience harness: deals fresh bases, runs one extension on two
+/// threads, and returns the matched outputs.
+pub fn run_extension(cfg: &FerretConfig, seed: u64) -> FerretOutput {
+    run_extensions(cfg, seed, 1).pop().expect("one iteration requested")
+}
+
+/// Runs `iterations` consecutive extensions over one session (exercising
+/// the bootstrap) and returns each iteration's outputs.
+///
+/// # Panics
+///
+/// Panics if `iterations == 0` or a protocol thread fails.
+pub fn run_extensions(cfg: &FerretConfig, seed: u64, iterations: usize) -> Vec<FerretOutput> {
+    assert!(iterations > 0, "need at least one iteration");
+    let mut dealer = Dealer::new(seed);
+    let delta = dealer.random_delta();
+    let required = cfg.base_cots_required();
+    let (s_base, r_base) = dealer.deal_cot(delta, required);
+    let cfg_s = cfg.clone();
+    let cfg_r = cfg.clone();
+
+    let (sender_iters, receiver_iters, s_stats, r_stats) = crate::channel::run_protocol(
+        move |ch| {
+            let mut sender = FerretSender::new(cfg_s, s_base, seed);
+            let mut outs = Vec::with_capacity(iterations);
+            for _ in 0..iterations {
+                outs.push((sender.extend(ch).expect("sender extension failed"), sender.prg_counter()));
+            }
+            outs
+        },
+        move |ch| {
+            let mut receiver = FerretReceiver::new(cfg_r, r_base, seed);
+            let mut outs = Vec::with_capacity(iterations);
+            for _ in 0..iterations {
+                outs.push((
+                    receiver.extend(ch).expect("receiver extension failed"),
+                    receiver.prg_counter(),
+                ));
+            }
+            outs
+        },
+    );
+
+    sender_iters
+        .into_iter()
+        .zip(receiver_iters)
+        .map(|((z, s_prg), ((x, y), r_prg))| FerretOutput {
+            delta,
+            z,
+            x,
+            y,
+            sender_stats: s_stats,
+            receiver_stats: r_stats,
+            sender_prg: s_prg,
+            receiver_prg: r_prg,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_extension_verifies() {
+        let cfg = FerretConfig::new(FerretParams::toy());
+        let out = run_extension(&cfg, 1);
+        assert_eq!(out.len(), cfg.usable_outputs());
+        out.verify().expect("output COTs must be correlated");
+    }
+
+    #[test]
+    fn baseline_binary_aes_verifies() {
+        let cfg = FerretConfig::ferret_baseline(FerretParams::toy());
+        run_extension(&cfg, 2).verify().unwrap();
+    }
+
+    #[test]
+    fn all_arities_verify() {
+        for arity in Arity::SWEEP {
+            let cfg = FerretConfig { arity, ..FerretConfig::new(FerretParams::toy()) };
+            run_extension(&cfg, 3).verify().unwrap_or_else(|i| panic!("{arity}: COT {i} broken"));
+        }
+    }
+
+    #[test]
+    fn sorted_matrix_matches_plain() {
+        let plain_cfg = FerretConfig::new(FerretParams::toy());
+        let sorted_cfg = FerretConfig { sort: Some(SortConfig::default()), ..plain_cfg.clone() };
+        let plain = run_extension(&plain_cfg, 4);
+        let sorted = run_extension(&sorted_cfg, 4);
+        // Same randomness → bit-identical outputs despite reordered memory
+        // accesses (the §5.3 correctness claim).
+        assert_eq!(plain.z, sorted.z);
+        assert_eq!(plain.x, sorted.x);
+        assert_eq!(plain.y, sorted.y);
+        sorted.verify().unwrap();
+    }
+
+    #[test]
+    fn multi_iteration_bootstrap() {
+        let cfg = FerretConfig::new(FerretParams::toy());
+        let outs = run_extensions(&cfg, 5, 3);
+        assert_eq!(outs.len(), 3);
+        for (i, out) in outs.iter().enumerate() {
+            out.verify().unwrap_or_else(|j| panic!("iteration {i}, COT {j} broken"));
+            assert_eq!(out.len(), cfg.usable_outputs());
+        }
+        // Outputs across iterations must differ (fresh randomness).
+        assert_ne!(outs[0].z, outs[1].z);
+    }
+
+    #[test]
+    fn mixed_fanout_params_verify() {
+        // toy_large uses ℓ=512 (4^4·2 with quad trees → mixed final level).
+        let cfg = FerretConfig::new(FerretParams::toy_large());
+        run_extension(&cfg, 6).verify().unwrap();
+    }
+
+    #[test]
+    fn noise_bits_present() {
+        let cfg = FerretConfig::new(FerretParams::toy());
+        let out = run_extension(&cfg, 7);
+        let ones = out.x.iter().filter(|&&b| b).count();
+        // x = e·A ⊕ u is pseudorandom: expect a roughly balanced bit vector.
+        let n = out.x.len();
+        assert!(ones > n / 4 && ones < 3 * n / 4, "x looks degenerate: {ones}/{n}");
+    }
+
+    #[test]
+    fn quad_chacha_much_cheaper_than_binary_aes() {
+        let quad = run_extension(&FerretConfig::new(FerretParams::toy()), 8);
+        let bin = run_extension(&FerretConfig::ferret_baseline(FerretParams::toy()), 8);
+        assert!(
+            bin.sender_prg.total() > 5 * quad.sender_prg.total(),
+            "expected ~6x call reduction: binary {} vs quad {}",
+            bin.sender_prg.total(),
+            quad.sender_prg.total()
+        );
+    }
+}

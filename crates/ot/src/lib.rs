@@ -1,0 +1,52 @@
+//! Two-party OT-extension protocols for the Ironman reproduction.
+//!
+//! This crate implements the *functional* (cryptographic) layer of the
+//! paper's PCG-style OT extension, faithfully to §2 of the paper:
+//!
+//! * [`channel`] — byte-counting duplex channels plus a two-thread protocol
+//!   executor, so every protocol's communication cost is *measured*, not
+//!   assumed (Fig. 7b depends on this).
+//! * [`dealer`] — the ideal base-correlation dealer standing in for the
+//!   one-time PKC initialization phase (excluded from all of the paper's
+//!   measurements).
+//! * [`cot`] — COT correlation types and the `w = v ⊕ u·Δ` invariant.
+//! * [`chosen`] — chosen-message 1-out-of-2 OT from a COT correlation plus
+//!   the correlation-robust hash (Fig. 2's online phase).
+//! * [`mot`] — (m−1)-out-of-m OT from an m-leaf GGM tree (§4.2), consuming
+//!   only `log2(m)` base COTs.
+//! * [`spcot`] — the single-point COT sub-protocol over GGM trees, generic
+//!   over arity and PRG (the §4.1 optimization space).
+//! * [`ferret`] — the Ferret-style OTE main loop: `t` SPCOTs + LPN encoding
+//!   per extension, with bootstrapping of the next iteration's base COTs.
+//! * [`params`] — Table 4's parameter sets with the bit-security estimate.
+//!
+//! # Example: one full extension
+//!
+//! ```
+//! use ironman_ot::ferret::{self, FerretConfig};
+//! use ironman_ot::params::FerretParams;
+//!
+//! let params = FerretParams::toy(); // scaled-down set for tests/docs
+//! let cfg = FerretConfig::new(params);
+//! let out = ferret::run_extension(&cfg, 0xfeed);
+//! out.verify().unwrap(); // checks w = v ⊕ u·Δ on every output COT
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod chosen;
+pub mod cot;
+pub mod dealer;
+pub mod ferret;
+pub mod iknp;
+pub mod mot;
+pub mod params;
+pub mod spcot;
+pub mod spcot_batch;
+
+pub use channel::{run_protocol, ChannelStats, LocalChannel, Transport};
+pub use cot::{CotReceiver, CotSender};
+pub use dealer::Dealer;
+pub use params::FerretParams;

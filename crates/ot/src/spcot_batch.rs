@@ -1,0 +1,337 @@
+//! Level-batched SPCOT: all `t` trees of an extension advance through
+//! their GGM levels together, with one message per level instead of one
+//! conversation per tree.
+//!
+//! Production Ferret implementations batch this way; it collapses the
+//! round count from `O(t · depth)` to `O(depth)` — decisive under WAN RTTs
+//! (Fig. 7(c)'s regime) and exactly the execution shape the Ironman DIMM
+//! module's inter-tree parallelism (§4.3) assumes. The per-tree *outputs*
+//! are identical to the sequential protocol of [`crate::spcot`]: batching
+//! only reorders messages.
+
+use crate::channel::{ChannelError, Transport};
+use crate::chosen::{recv_chosen, send_chosen};
+use crate::cot::{CotReceiver, CotSender};
+use crate::spcot::{SpcotConfig, SpcotReceiverOutput, SpcotSenderOutput};
+use ironman_ggm::{Arity, GgmTree, LevelShape, PuncturedTree};
+use ironman_prg::{tree_prg::build_tree_prg, Aes128, Block, PrgCounter};
+
+/// Inner pad-tree PRG (shared with the sequential (m−1)-out-of-m OT).
+fn pad_prg(session_key: Block) -> ironman_prg::AesTreePrg {
+    ironman_prg::AesTreePrg::new(session_key ^ Block::from(0x6d6f74u128), 2)
+}
+
+fn level_seed(session_key: Block, outer_seed: Block, lvl: usize) -> Block {
+    Aes128::new(session_key ^ Block::from(0x1e7e1u128))
+        .encrypt_block(outer_seed ^ Block::from(lvl as u128))
+}
+
+/// Sender side: runs `seeds.len()` SPCOTs with per-level batching.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn spcot_batch_send<T: Transport + ?Sized>(
+    ch: &mut T,
+    cfg: &SpcotConfig,
+    base: &mut CotSender,
+    seeds: &[Block],
+    tweak: &mut u64,
+) -> Result<Vec<SpcotSenderOutput>, ChannelError> {
+    let prg = build_tree_prg(cfg.prg, cfg.session_key, cfg.arity.get());
+    let trees: Vec<GgmTree> =
+        seeds.iter().map(|&s| GgmTree::expand(prg.as_ref(), s, cfg.arity, cfg.leaves)).collect();
+    let sums: Vec<Vec<Vec<Block>>> = trees.iter().map(|t| t.level_sums()).collect();
+    let shape = LevelShape::new(cfg.arity, cfg.leaves);
+
+    for (lvl, &fanout) in shape.fanouts().iter().enumerate() {
+        if fanout == 2 {
+            // One chosen-OT batch covering every tree's (K0, K1).
+            let pairs: Vec<(Block, Block)> =
+                sums.iter().map(|s| (s[lvl][0], s[lvl][1])).collect();
+            send_chosen(ch, base, &pairs, *tweak)?;
+            *tweak += pairs.len() as u64;
+        } else {
+            // Batched (f−1)-out-of-f OT: per inner level one chosen-OT
+            // batch across trees, then one message with all masked sums.
+            let inner = pad_prg(cfg.session_key);
+            let pad_trees: Vec<GgmTree> = seeds
+                .iter()
+                .map(|&s| {
+                    GgmTree::expand(&inner, level_seed(cfg.session_key, s, lvl), Arity::BINARY, fanout)
+                })
+                .collect();
+            let inner_depth = fanout.trailing_zeros() as usize;
+            for inner_lvl in 0..inner_depth {
+                let pairs: Vec<(Block, Block)> = pad_trees
+                    .iter()
+                    .map(|t| {
+                        let s = t.level_sums();
+                        (s[inner_lvl][0], s[inner_lvl][1])
+                    })
+                    .collect();
+                send_chosen(ch, base, &pairs, *tweak)?;
+                *tweak += pairs.len() as u64;
+            }
+            let mut masked = Vec::with_capacity(seeds.len() * fanout);
+            for (sum, pad) in sums.iter().zip(pad_trees.iter()) {
+                for (j, &k) in sum[lvl].iter().enumerate() {
+                    masked.push(k ^ pad.leaves()[j]);
+                }
+            }
+            ch.send_blocks(&masked)?;
+        }
+    }
+    // One message with every tree's masked leaf sum (step ④, batched).
+    let finals: Vec<Block> = trees.iter().map(|t| base.delta() ^ t.leaf_sum()).collect();
+    ch.send_blocks(&finals)?;
+
+    Ok(trees
+        .into_iter()
+        .map(|t| SpcotSenderOutput { w: t.leaves().to_vec(), counter: t.counter() })
+        .collect())
+}
+
+/// Receiver side of the batched protocol.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+///
+/// # Panics
+///
+/// Panics if any `alpha` is out of range for `cfg.leaves`.
+pub fn spcot_batch_recv<T: Transport + ?Sized>(
+    ch: &mut T,
+    cfg: &SpcotConfig,
+    base: &mut CotReceiver,
+    alphas: &[usize],
+    tweak: &mut u64,
+) -> Result<Vec<SpcotReceiverOutput>, ChannelError> {
+    let prg = build_tree_prg(cfg.prg, cfg.session_key, cfg.arity.get());
+    let shape = LevelShape::new(cfg.arity, cfg.leaves);
+    let digits: Vec<Vec<usize>> = alphas.iter().map(|&a| shape.digits(a)).collect();
+    let inner_shape_cache: Vec<usize> = shape.fanouts().to_vec();
+
+    // Collected per-tree, per-level branch sums.
+    let mut level_sums: Vec<Vec<Vec<Block>>> =
+        alphas.iter().map(|_| Vec::with_capacity(shape.depth())).collect();
+
+    for (lvl, &fanout) in inner_shape_cache.iter().enumerate() {
+        if fanout == 2 {
+            let choices: Vec<bool> = digits.iter().map(|d| d[lvl] == 0).collect();
+            let got = recv_chosen(ch, base, &choices, *tweak)?;
+            *tweak += choices.len() as u64;
+            for (t, sums) in level_sums.iter_mut().enumerate() {
+                let mut s = vec![Block::ZERO; 2];
+                s[1 - digits[t][lvl]] = got[t];
+                sums.push(s);
+            }
+        } else {
+            let inner = pad_prg(cfg.session_key);
+            let inner_depth = fanout.trailing_zeros() as usize;
+            let inner_shape = LevelShape::new(Arity::BINARY, fanout);
+            let inner_digits: Vec<Vec<usize>> =
+                digits.iter().map(|d| inner_shape.digits(d[lvl])).collect();
+            // Per inner level, one chosen-OT batch across trees.
+            let mut inner_sums: Vec<Vec<Block>> = vec![Vec::new(); alphas.len()];
+            for inner_lvl in 0..inner_depth {
+                let choices: Vec<bool> =
+                    inner_digits.iter().map(|d| d[inner_lvl] == 0).collect();
+                let got = recv_chosen(ch, base, &choices, *tweak)?;
+                *tweak += choices.len() as u64;
+                for (t, s) in inner_sums.iter_mut().enumerate() {
+                    s.push(got[t]);
+                }
+            }
+            let masked = ch.recv_blocks()?;
+            assert_eq!(masked.len(), alphas.len() * fanout, "masked sum batch size");
+            for (t, sums) in level_sums.iter_mut().enumerate() {
+                let pads = PuncturedTree::reconstruct(
+                    &inner,
+                    Arity::BINARY,
+                    fanout,
+                    digits[t][lvl],
+                    |l, j| {
+                        debug_assert_ne!(j, inner_digits[t][l]);
+                        inner_sums[t][l]
+                    },
+                );
+                let mut s = vec![Block::ZERO; fanout];
+                for j in 0..fanout {
+                    if j != digits[t][lvl] {
+                        s[j] = masked[t * fanout + j] ^ pads.leaves()[j];
+                    }
+                }
+                sums.push(s);
+            }
+        }
+    }
+
+    let finals = ch.recv_blocks()?;
+    assert_eq!(finals.len(), alphas.len(), "final masked-sum batch size");
+    let mut outputs = Vec::with_capacity(alphas.len());
+    let mut counter_total = PrgCounter::new();
+    for (t, &alpha) in alphas.iter().enumerate() {
+        let mut punct =
+            PuncturedTree::reconstruct(prg.as_ref(), cfg.arity, cfg.leaves, alpha, |l, j| {
+                debug_assert_ne!(j, digits[t][l]);
+                level_sums[t][l][j]
+            });
+        punct.recover_punctured(finals[t]);
+        counter_total += punct.counter();
+        let counter = punct.counter();
+        outputs.push(SpcotReceiverOutput { alpha, v: punct.into_leaves(), counter });
+    }
+    let _ = counter_total;
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::run_protocol;
+    use crate::dealer::Dealer;
+    use crate::spcot::{spcot_recv, spcot_send, verify_spcot};
+    use ironman_prg::PrgKind;
+
+    fn setup(cfg: &SpcotConfig, trees: usize, seed: u64) -> (Block, CotSender, CotReceiver, Vec<Block>, Vec<usize>) {
+        let mut dealer = Dealer::new(seed);
+        let delta = dealer.random_delta();
+        let (sb, rb) = dealer.deal_cot(delta, trees * cfg.base_cots_needed());
+        let seeds: Vec<Block> = (0..trees).map(|_| dealer.random_block()).collect();
+        let alphas: Vec<usize> = (0..trees).map(|_| dealer.random_index(cfg.leaves)).collect();
+        (delta, sb, rb, seeds, alphas)
+    }
+
+    fn run_batched(
+        cfg: SpcotConfig,
+        trees: usize,
+        seed: u64,
+    ) -> (Block, Vec<SpcotSenderOutput>, Vec<SpcotReceiverOutput>, u64, u64) {
+        let (delta, mut sb, mut rb, seeds, alphas) = setup(&cfg, trees, seed);
+        let (s_out, r_out, s_stats, _) = run_protocol(
+            move |ch| {
+                let mut tweak = 0;
+                spcot_batch_send(ch, &cfg, &mut sb, &seeds, &mut tweak).unwrap()
+            },
+            move |ch| {
+                let mut tweak = 0;
+                spcot_batch_recv(ch, &cfg, &mut rb, &alphas, &mut tweak).unwrap()
+            },
+        );
+        (delta, s_out, r_out, s_stats.messages_sent, s_stats.rounds)
+    }
+
+    #[test]
+    fn batched_outputs_are_correlated_binary() {
+        let cfg = SpcotConfig::ferret_baseline(128, Block::from(1u128));
+        let (delta, s, r, _, _) = run_batched(cfg, 12, 1);
+        for (so, ro) in s.iter().zip(r.iter()) {
+            verify_spcot(delta, so, ro).unwrap();
+        }
+    }
+
+    #[test]
+    fn batched_outputs_are_correlated_quad() {
+        let cfg = SpcotConfig::ironman(256, Block::from(2u128));
+        let (delta, s, r, _, _) = run_batched(cfg, 16, 2);
+        for (so, ro) in s.iter().zip(r.iter()) {
+            verify_spcot(delta, so, ro).unwrap();
+        }
+    }
+
+    #[test]
+    fn batched_equals_sequential_outputs() {
+        // Same seeds/alphas through both protocol shapes: identical w and v.
+        let cfg = SpcotConfig::ironman(64, Block::from(3u128));
+        let trees = 6;
+        let (_, mut sb, mut rb, seeds, alphas) = setup(&cfg, trees, 3);
+        let seeds2 = seeds.clone();
+        let alphas2 = alphas.clone();
+        let (batch_s, batch_r, _, _) = run_protocol(
+            {
+                let mut sb = sb.clone();
+                let seeds = seeds.clone();
+                move |ch| {
+                    let mut tweak = 0;
+                    spcot_batch_send(ch, &cfg, &mut sb, &seeds, &mut tweak).unwrap()
+                }
+            },
+            {
+                let mut rb = rb.clone();
+                let alphas = alphas.clone();
+                move |ch| {
+                    let mut tweak = 0;
+                    spcot_batch_recv(ch, &cfg, &mut rb, &alphas, &mut tweak).unwrap()
+                }
+            },
+        );
+        let (seq_s, seq_r, _, _) = run_protocol(
+            move |ch| {
+                let mut tweak = 0;
+                seeds2
+                    .iter()
+                    .map(|&s| spcot_send(ch, &cfg, &mut sb, s, &mut tweak).unwrap())
+                    .collect::<Vec<_>>()
+            },
+            move |ch| {
+                let mut tweak = 0;
+                alphas2
+                    .iter()
+                    .map(|&a| spcot_recv(ch, &cfg, &mut rb, a, &mut tweak).unwrap())
+                    .collect::<Vec<_>>()
+            },
+        );
+        for t in 0..trees {
+            assert_eq!(batch_s[t].w, seq_s[t].w, "tree {t} sender output");
+            assert_eq!(batch_r[t].v, seq_r[t].v, "tree {t} receiver output");
+        }
+    }
+
+    #[test]
+    fn batching_collapses_message_count() {
+        let cfg = SpcotConfig::ironman(256, Block::from(4u128));
+        let trees = 16;
+        let (_, batch_msgs) = {
+            let (_, _, _, msgs, _) = run_batched(cfg, trees, 4);
+            ((), msgs)
+        };
+        // Sequential: every tree repeats the per-level conversation.
+        let (_, mut sb, mut rb, seeds, alphas) = setup(&cfg, trees, 4);
+        let (_, _, s_stats, _) = run_protocol(
+            move |ch| {
+                let mut tweak = 0;
+                for &s in &seeds {
+                    spcot_send(ch, &cfg, &mut sb, s, &mut tweak).unwrap();
+                }
+            },
+            move |ch| {
+                let mut tweak = 0;
+                for &a in &alphas {
+                    spcot_recv(ch, &cfg, &mut rb, a, &mut tweak).unwrap();
+                }
+            },
+        );
+        assert!(
+            batch_msgs * 4 < s_stats.messages_sent,
+            "batched {batch_msgs} messages vs sequential {}",
+            s_stats.messages_sent
+        );
+    }
+
+    #[test]
+    fn mixed_fanout_batch() {
+        // ℓ = 512 with quad trees: four 4-ary levels + one binary level.
+        let cfg = SpcotConfig {
+            arity: Arity::QUAD,
+            prg: PrgKind::CHACHA8,
+            leaves: 512,
+            session_key: Block::from(5u128),
+        };
+        let (delta, s, r, _, _) = run_batched(cfg, 8, 5);
+        for (so, ro) in s.iter().zip(r.iter()) {
+            verify_spcot(delta, so, ro).unwrap();
+        }
+    }
+}

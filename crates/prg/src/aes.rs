@@ -1,0 +1,245 @@
+//! A from-scratch FIPS-197 AES-128 implementation (encryption only).
+//!
+//! The paper's baseline PRG instantiates the GGM double-length PRG with
+//! AES-NI: `G(s) = (AES_{k0}(s) ⊕ s, AES_{k1}(s) ⊕ s)`. This module provides
+//! a portable, table-based software equivalent. Performance of the CPU
+//! baseline is modeled analytically in `ironman-perf`; what must be *exact*
+//! here is the cipher itself (verified against the FIPS-197 and NIST
+//! test vectors below) so that GGM trees, LPN index generation and CRHF
+//! outputs are reproducible bit-for-bit across backends.
+
+use crate::Block;
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Round constants for the AES-128 key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply by `x` in GF(2^8) with the AES reduction polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// An expanded AES-128 encryption key (11 round keys).
+///
+/// # Example
+///
+/// ```
+/// use ironman_prg::{Aes128, Block};
+///
+/// let key = Aes128::new(Block::from(0u128));
+/// let ct = key.encrypt_block(Block::from(0u128));
+/// // Deterministic: encrypting the same plaintext twice is identical.
+/// assert_eq!(ct, key.encrypt_block(Block::from(0u128)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys of AES-128.
+    ///
+    /// The key block is interpreted in little-endian byte order (consistent
+    /// with [`Block::to_le_bytes`]); test vectors below fix the convention.
+    pub fn new(key: Block) -> Self {
+        Self::from_key_bytes(key.to_le_bytes())
+    }
+
+    /// Expands a raw 16-byte key (as written in FIPS-197: `bytes[0]` is the
+    /// first key byte).
+    pub fn from_key_bytes(key: [u8; 16]) -> Self {
+        let mut rk = [[0u8; 16]; 11];
+        rk[0] = key;
+        for round in 1..11 {
+            let prev = rk[round - 1];
+            // Rotate + substitute the last word, XOR with round constant.
+            let mut temp = [prev[13], prev[14], prev[15], prev[12]];
+            for t in temp.iter_mut() {
+                *t = SBOX[*t as usize];
+            }
+            temp[0] ^= RCON[round - 1];
+            for i in 0..4 {
+                rk[round][i] = prev[i] ^ temp[i];
+            }
+            for i in 4..16 {
+                rk[round][i] = prev[i] ^ rk[round][i - 4];
+            }
+        }
+        Aes128 { round_keys: rk }
+    }
+
+    /// Encrypts one 16-byte state in place.
+    fn encrypt_bytes(&self, state: &mut [u8; 16]) {
+        add_round_key(state, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(state);
+            shift_rows(state);
+            mix_columns(state);
+            add_round_key(state, &self.round_keys[round]);
+        }
+        sub_bytes(state);
+        shift_rows(state);
+        add_round_key(state, &self.round_keys[10]);
+    }
+
+    /// Encrypts a [`Block`] (little-endian byte interpretation).
+    #[inline]
+    pub fn encrypt_block(&self, block: Block) -> Block {
+        let mut state = block.to_le_bytes();
+        self.encrypt_bytes(&mut state);
+        Block::from_le_bytes(state)
+    }
+
+    /// The fixed-key "pi" permutation `π(x) = AES_0(x)` used by the
+    /// correlation-robust hash; see [`crate::crhf`].
+    pub fn fixed() -> Self {
+        Aes128::new(Block::from(0x0123_4567_89ab_cdef_0f1e_2d3c_4b5a_6978u128))
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = SBOX[*s as usize];
+    }
+}
+
+/// AES organizes the 16 bytes column-major: byte `i` is row `i % 4`,
+/// column `i / 4`. ShiftRows rotates row `r` left by `r`.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    // Row 1: left rotate by 1.
+    state[1] = s[5];
+    state[5] = s[9];
+    state[9] = s[13];
+    state[13] = s[1];
+    // Row 2: left rotate by 2.
+    state[2] = s[10];
+    state[6] = s[14];
+    state[10] = s[2];
+    state[14] = s[6];
+    // Row 3: left rotate by 3.
+    state[3] = s[15];
+    state[7] = s[3];
+    state[11] = s[7];
+    state[15] = s[11];
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let base = col * 4;
+        let a0 = state[base];
+        let a1 = state[base + 1];
+        let a2 = state[base + 2];
+        let a3 = state[base + 3];
+        let all = a0 ^ a1 ^ a2 ^ a3;
+        state[base] = a0 ^ all ^ xtime(a0 ^ a1);
+        state[base + 1] = a1 ^ all ^ xtime(a1 ^ a2);
+        state[base + 2] = a2 ^ all ^ xtime(a2 ^ a3);
+        state[base + 3] = a3 ^ all ^ xtime(a3 ^ a0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    /// FIPS-197 Appendix B: key 2b7e1516..., plaintext 3243f6a8...
+    #[test]
+    fn fips197_appendix_b() {
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let expected = hex16("3925841d02dc09fbdc118597196a0b32");
+        let aes = Aes128::from_key_bytes(key);
+        let mut state = pt;
+        aes.encrypt_bytes(&mut state);
+        assert_eq!(state, expected);
+    }
+
+    /// FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key = hex16("000102030405060708090a0b0c0d0e0f");
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let expected = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+        let aes = Aes128::from_key_bytes(key);
+        let mut state = pt;
+        aes.encrypt_bytes(&mut state);
+        assert_eq!(state, expected);
+    }
+
+    /// NIST SP 800-38A ECB-AES128 vector #1.
+    #[test]
+    fn nist_sp800_38a_ecb1() {
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex16("6bc1bee22e409f96e93d7e117393172a");
+        let expected = hex16("3ad77bb40d7a3660a89ecaf32466ef97");
+        let aes = Aes128::from_key_bytes(key);
+        let mut state = pt;
+        aes.encrypt_bytes(&mut state);
+        assert_eq!(state, expected);
+    }
+
+    #[test]
+    fn block_interface_matches_bytes() {
+        let key = hex16("000102030405060708090a0b0c0d0e0f");
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let aes = Aes128::from_key_bytes(key);
+        let ct = aes.encrypt_block(Block::from_le_bytes(pt));
+        assert_eq!(ct.to_le_bytes(), hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = Aes128::new(Block::from(1u128));
+        let b = Aes128::new(Block::from(2u128));
+        let pt = Block::from(99u128);
+        assert_ne!(a.encrypt_block(pt), b.encrypt_block(pt));
+    }
+
+    #[test]
+    fn xtime_matches_table() {
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x80), 0x1b);
+    }
+}

@@ -1,0 +1,266 @@
+//! The 128-bit [`Block`] type.
+//!
+//! Every value that flows through the Ironman pipeline — GGM tree nodes, COT
+//! correlation strings, LPN vector elements, the global offset `Δ` — is a
+//! 128-bit block (`λ = 128` in the paper's notation, Table 1). The type is a
+//! thin newtype over `u128` with XOR-centric arithmetic, because all protocol
+//! algebra happens in GF(2)^128.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitXor, BitXorAssign, Not};
+
+/// A 128-bit block, the universal data unit of the OT-extension pipeline.
+///
+/// `Block` is `Copy` and cheap; protocol code passes it by value.
+///
+/// # Example
+///
+/// ```
+/// use ironman_prg::Block;
+///
+/// let delta = Block::from(0xdead_beefu128);
+/// let r0 = Block::from(17u128);
+/// let r1 = r0 ^ delta; // a COT correlation pair: r1 = r0 ⊕ Δ
+/// assert_eq!(r0 ^ r1, delta);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Block(pub u128);
+
+impl Block {
+    /// The all-zero block.
+    pub const ZERO: Block = Block(0);
+    /// The all-one block.
+    pub const ONES: Block = Block(u128::MAX);
+    /// Size of a block in bytes.
+    pub const BYTES: usize = 16;
+    /// Size of a block in bits (the security parameter λ).
+    pub const BITS: usize = 128;
+
+    /// Creates a block from its little-endian byte representation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ironman_prg::Block;
+    /// let b = Block::from_le_bytes([1u8; 16]);
+    /// assert_eq!(b.to_le_bytes(), [1u8; 16]);
+    /// ```
+    #[inline]
+    pub fn from_le_bytes(bytes: [u8; 16]) -> Self {
+        Block(u128::from_le_bytes(bytes))
+    }
+
+    /// Returns the little-endian byte representation.
+    #[inline]
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Builds a block from two 64-bit halves (`hi`, `lo`).
+    #[inline]
+    pub fn from_halves(hi: u64, lo: u64) -> Self {
+        Block(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// Splits the block into `(hi, lo)` 64-bit halves.
+    #[inline]
+    pub fn to_halves(self) -> (u64, u64) {
+        ((self.0 >> 64) as u64, self.0 as u64)
+    }
+
+    /// Returns the least-significant bit, used as the "choice bit" carrier in
+    /// COT-to-bit conversions.
+    #[inline]
+    pub fn lsb(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the block with the least-significant bit forced to `bit`.
+    #[inline]
+    pub fn with_lsb(self, bit: bool) -> Self {
+        Block((self.0 & !1) | bit as u128)
+    }
+
+    /// Conditionally selects `self` when `bit` is set, otherwise zero.
+    ///
+    /// This is the `u·Δ` operation of the COT correlation `w = v ⊕ u·Δ`
+    /// (constant-time by construction: a mask, not a branch).
+    #[inline]
+    pub fn and_bit(self, bit: bool) -> Self {
+        Block(self.0 & (bit as u128).wrapping_neg())
+    }
+
+    /// XOR-accumulates an iterator of blocks (the "XOR tree" reduction used
+    /// by the unified unit and LPN encoder).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ironman_prg::Block;
+    /// let blocks = [Block::from(1u128), Block::from(2u128), Block::from(4u128)];
+    /// assert_eq!(Block::xor_all(blocks.iter().copied()), Block::from(7u128));
+    /// ```
+    #[inline]
+    pub fn xor_all<I: IntoIterator<Item = Block>>(iter: I) -> Block {
+        iter.into_iter().fold(Block::ZERO, |a, b| a ^ b)
+    }
+
+    /// Interprets the block as a pair of `u64`s and mixes them with an
+    /// avalanche step. Used only for non-cryptographic hashing in tests and
+    /// workload generators.
+    #[inline]
+    pub fn mix(self) -> u64 {
+        let (hi, lo) = self.to_halves();
+        let mut x = hi ^ lo.rotate_left(31);
+        x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 32;
+        x
+    }
+}
+
+impl From<u128> for Block {
+    #[inline]
+    fn from(v: u128) -> Self {
+        Block(v)
+    }
+}
+
+impl From<Block> for u128 {
+    #[inline]
+    fn from(b: Block) -> Self {
+        b.0
+    }
+}
+
+impl From<[u8; 16]> for Block {
+    #[inline]
+    fn from(bytes: [u8; 16]) -> Self {
+        Block::from_le_bytes(bytes)
+    }
+}
+
+impl BitXor for Block {
+    type Output = Block;
+    #[inline]
+    fn bitxor(self, rhs: Block) -> Block {
+        Block(self.0 ^ rhs.0)
+    }
+}
+
+impl BitXorAssign for Block {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: Block) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl BitAnd for Block {
+    type Output = Block;
+    #[inline]
+    fn bitand(self, rhs: Block) -> Block {
+        Block(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for Block {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Block) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Not for Block {
+    type Output = Block;
+    #[inline]
+    fn not(self) -> Block {
+        Block(!self.0)
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_xor_identity() {
+        let b = Block::from(0x1234_5678_9abc_def0u128);
+        assert_eq!(b ^ Block::ZERO, b);
+        assert_eq!(b ^ b, Block::ZERO);
+    }
+
+    #[test]
+    fn and_bit_selects() {
+        let b = Block::from(0xffu128);
+        assert_eq!(b.and_bit(true), b);
+        assert_eq!(b.and_bit(false), Block::ZERO);
+    }
+
+    #[test]
+    fn halves_round_trip() {
+        let b = Block::from_halves(0xdead_beef, 0xcafe_babe);
+        assert_eq!(b.to_halves(), (0xdead_beef, 0xcafe_babe));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut bytes = [0u8; 16];
+        for (i, byte) in bytes.iter_mut().enumerate() {
+            *byte = i as u8;
+        }
+        assert_eq!(Block::from_le_bytes(bytes).to_le_bytes(), bytes);
+    }
+
+    #[test]
+    fn lsb_manipulation() {
+        let b = Block::from(6u128);
+        assert!(!b.lsb());
+        assert!(b.with_lsb(true).lsb());
+        assert_eq!(b.with_lsb(true).with_lsb(false), b);
+    }
+
+    #[test]
+    fn xor_all_empty_is_zero() {
+        assert_eq!(Block::xor_all(std::iter::empty()), Block::ZERO);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", Block::from(0xabu128)), format!("{:032x}", 0xabu128));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Block::ZERO).is_empty());
+    }
+}

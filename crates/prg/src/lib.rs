@@ -1,0 +1,49 @@
+//! Cryptographic primitives for the Ironman OT-extension reproduction.
+//!
+//! This crate provides the building blocks that every other crate in the
+//! workspace consumes:
+//!
+//! * [`Block`] — a 128-bit block (the unit of all COT correlations, GGM tree
+//!   nodes and LPN vector elements; `λ = 128` throughout the paper).
+//! * [`aes::Aes128`] — a from-scratch, table-based FIPS-197 AES-128
+//!   implementation used to instantiate the paper's baseline double-length
+//!   PRG `G(s) = (AES_{k0}(s) ⊕ s, AES_{k1}(s) ⊕ s)`.
+//! * [`chacha::ChaCha`] — a from-scratch ChaCha permutation with a
+//!   configurable round count (ChaCha8 is the paper's hardware PRG of
+//!   choice; it emits 512 bits — four blocks — per call).
+//! * [`TreePrg`] — the *m*-output PRG abstraction the GGM-tree layer builds
+//!   on, with primitive-call accounting so that the paper's operation-count
+//!   arguments (Fig. 6, Fig. 7a) can be measured rather than asserted.
+//! * [`crhf::Crhf`] — the correlation-robust hash used to convert COT
+//!   correlations into standard OTs (Fig. 2).
+//!
+//! # Example
+//!
+//! ```
+//! use ironman_prg::{Block, ChaChaTreePrg, TreePrg};
+//!
+//! let prg = ChaChaTreePrg::new(Block::from(42u128), 8);
+//! let mut children = [Block::ZERO; 4];
+//! let calls = prg.expand(Block::from(7u128), &mut children);
+//! assert_eq!(calls, 1); // one ChaCha8 call yields four child blocks
+//! assert!(children.iter().all(|c| *c != Block::ZERO));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod block;
+pub mod chacha;
+pub mod counter;
+pub mod crhf;
+pub mod stream;
+pub mod tree_prg;
+
+pub use aes::Aes128;
+pub use block::Block;
+pub use chacha::{ChaCha, CHACHA_BLOCK_BYTES};
+pub use counter::PrgCounter;
+pub use crhf::Crhf;
+pub use stream::PrgStream;
+pub use tree_prg::{AesTreePrg, ChaChaTreePrg, PrgKind, TreePrg};

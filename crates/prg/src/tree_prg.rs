@@ -1,0 +1,292 @@
+//! The *m*-output PRG abstraction used by GGM tree expansion.
+//!
+//! §2.3.1 of the paper instantiates the double-length PRG with two AES keys:
+//! `G(s) = (AES_{k0}(s) ⊕ s, AES_{k1}(s) ⊕ s)`. §4.1 generalizes to an
+//! m-output PRG for m-ary trees (m AES keys, or a single ChaCha call per
+//! four children). [`TreePrg`] captures exactly that interface and reports
+//! the primitive-call count of every expansion so the m-ary / ChaCha
+//! operation-reduction claims can be measured.
+
+use crate::chacha::CHACHA_BLOCKS_PER_CALL;
+use crate::{Aes128, Block, ChaCha};
+use serde::{Deserialize, Serialize};
+
+/// Which PRG family instantiates the GGM expansion.
+///
+/// These are the four cells of the paper's Fig. 6 / Fig. 13(a) ablation grid
+/// (combined with the tree arity, which lives in `ironman-ggm`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrgKind {
+    /// AES-128 based: one block-cipher call per child.
+    Aes,
+    /// ChaCha based: one call per four children.
+    ChaCha {
+        /// Round count (the paper uses ChaCha8).
+        rounds: u32,
+    },
+}
+
+impl PrgKind {
+    /// The paper's hardware PRG of choice.
+    pub const CHACHA8: PrgKind = PrgKind::ChaCha { rounds: 8 };
+
+    /// Blocks produced per primitive call.
+    pub fn blocks_per_call(self) -> usize {
+        match self {
+            PrgKind::Aes => 1,
+            PrgKind::ChaCha { .. } => CHACHA_BLOCKS_PER_CALL,
+        }
+    }
+
+    /// Human-readable label used by bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrgKind::Aes => "AES",
+            PrgKind::ChaCha { rounds: 8 } => "ChaCha8",
+            PrgKind::ChaCha { rounds: 12 } => "ChaCha12",
+            PrgKind::ChaCha { rounds: 20 } => "ChaCha20",
+            PrgKind::ChaCha { .. } => "ChaCha",
+        }
+    }
+}
+
+/// An *m*-output length-expanding PRG over 128-bit blocks.
+///
+/// Implementations must be deterministic: the same parent always expands to
+/// the same children. Both the sender's local expansion and the receiver's
+/// tree reconstruction (§2.3.1) rely on this.
+pub trait TreePrg {
+    /// Maximum children obtainable from one primitive call.
+    fn blocks_per_call(&self) -> usize;
+
+    /// Expands `parent` into `children.len()` child blocks, returning the
+    /// number of primitive calls consumed.
+    ///
+    /// Child `j` must depend only on `(parent, j)`, so that a receiver who
+    /// learns `parent` can recompute any subset of children.
+    fn expand(&self, parent: Block, children: &mut [Block]) -> u64;
+
+    /// Primitive calls needed to produce `count` children (without running
+    /// the expansion).
+    fn calls_for(&self, count: usize) -> u64 {
+        (count as u64).div_ceil(self.blocks_per_call() as u64)
+    }
+
+    /// Which family this PRG belongs to (for counter bookkeeping).
+    fn kind(&self) -> PrgKind;
+}
+
+/// AES-based m-output PRG: child `j` is `AES_{k_j}(parent) ⊕ parent`.
+///
+/// With two keys this is exactly the paper's baseline double-length PRG;
+/// with `m` keys it is the m-ary generalization of Fig. 6(b).
+///
+/// # Example
+///
+/// ```
+/// use ironman_prg::{AesTreePrg, Block, TreePrg};
+///
+/// let prg = AesTreePrg::new(Block::from(1u128), 2);
+/// let mut kids = [Block::ZERO; 2];
+/// let calls = prg.expand(Block::from(5u128), &mut kids);
+/// assert_eq!(calls, 2); // one AES call per child
+/// assert_ne!(kids[0], kids[1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AesTreePrg {
+    keys: Vec<Aes128>,
+}
+
+impl AesTreePrg {
+    /// Derives `arity` round-key schedules from a session key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    pub fn new(session_key: Block, arity: usize) -> Self {
+        assert!(arity > 0, "PRG arity must be positive");
+        let keys = (0..arity as u128)
+            .map(|j| Aes128::new(session_key ^ Block::from(j.wrapping_mul(0x9e37_79b9_7f4a_7c15))))
+            .collect();
+        AesTreePrg { keys }
+    }
+
+    /// Number of derived keys (the maximum supported arity).
+    pub fn arity(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl TreePrg for AesTreePrg {
+    fn blocks_per_call(&self) -> usize {
+        1
+    }
+
+    fn expand(&self, parent: Block, children: &mut [Block]) -> u64 {
+        assert!(
+            children.len() <= self.keys.len(),
+            "requested {} children but PRG has {} keys",
+            children.len(),
+            self.keys.len()
+        );
+        for (child, key) in children.iter_mut().zip(self.keys.iter()) {
+            *child = key.encrypt_block(parent) ^ parent;
+        }
+        children.len() as u64
+    }
+
+    fn kind(&self) -> PrgKind {
+        PrgKind::Aes
+    }
+}
+
+/// ChaCha-based m-output PRG: children come from the keystream of
+/// `ChaCha_k(counter‖nonce = parent ⊕ segment)`, four per call.
+///
+/// # Example
+///
+/// ```
+/// use ironman_prg::{Block, ChaChaTreePrg, TreePrg};
+///
+/// let prg = ChaChaTreePrg::new(Block::from(1u128), 8);
+/// let mut kids = [Block::ZERO; 8];
+/// let calls = prg.expand(Block::from(5u128), &mut kids);
+/// assert_eq!(calls, 2); // eight children = two ChaCha calls
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChaChaTreePrg {
+    cipher: ChaCha,
+}
+
+impl ChaChaTreePrg {
+    /// Creates the PRG from a 128-bit session key and a round count
+    /// (the paper's core uses 8).
+    pub fn new(session_key: Block, rounds: u32) -> Self {
+        ChaChaTreePrg { cipher: ChaCha::from_session_key(session_key, rounds) }
+    }
+
+    /// Round count of the underlying permutation.
+    pub fn rounds(&self) -> u32 {
+        self.cipher.rounds()
+    }
+}
+
+impl TreePrg for ChaChaTreePrg {
+    fn blocks_per_call(&self) -> usize {
+        CHACHA_BLOCKS_PER_CALL
+    }
+
+    fn expand(&self, parent: Block, children: &mut [Block]) -> u64 {
+        let mut calls = 0u64;
+        for (segment, chunk) in children.chunks_mut(CHACHA_BLOCKS_PER_CALL).enumerate() {
+            // Distinct keystream per 4-child segment: perturb the parent with
+            // the segment index in the high half (the low 128 bits carry the
+            // node value through counter+nonce).
+            let tweak = Block::from((segment as u128) << 96);
+            let out = self.cipher.expand_block(parent ^ tweak);
+            chunk.copy_from_slice(&out[..chunk.len()]);
+            calls += 1;
+        }
+        calls
+    }
+
+    fn kind(&self) -> PrgKind {
+        PrgKind::ChaCha { rounds: self.cipher.rounds() }
+    }
+}
+
+/// Builds a boxed [`TreePrg`] for a given kind and arity — the factory used
+/// by the GGM layer and the ablation benches.
+pub fn build_tree_prg(kind: PrgKind, session_key: Block, arity: usize) -> Box<dyn TreePrg> {
+    match kind {
+        PrgKind::Aes => Box::new(AesTreePrg::new(session_key, arity)),
+        PrgKind::ChaCha { rounds } => Box::new(ChaChaTreePrg::new(session_key, rounds)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_expand_matches_paper_formula() {
+        let prg = AesTreePrg::new(Block::from(9u128), 4);
+        let mut kids = [Block::ZERO; 4];
+        assert_eq!(prg.expand(Block::from(1u128), &mut kids), 4);
+        // child_j = AES_{k_j}(s) ⊕ s
+        let k0 = Aes128::new(Block::from(9u128));
+        assert_eq!(kids[0], k0.encrypt_block(Block::from(1u128)) ^ Block::from(1u128));
+    }
+
+    #[test]
+    fn chacha_call_counting() {
+        let prg = ChaChaTreePrg::new(Block::from(2u128), 8);
+        assert_eq!(prg.calls_for(1), 1);
+        assert_eq!(prg.calls_for(4), 1);
+        assert_eq!(prg.calls_for(5), 2);
+        assert_eq!(prg.calls_for(32), 8);
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        for kind in [PrgKind::Aes, PrgKind::CHACHA8] {
+            let prg = build_tree_prg(kind, Block::from(5u128), 4);
+            let mut a = [Block::ZERO; 4];
+            let mut b = [Block::ZERO; 4];
+            prg.expand(Block::from(77u128), &mut a);
+            prg.expand(Block::from(77u128), &mut b);
+            assert_eq!(a, b, "{kind:?} expansion must be deterministic");
+        }
+    }
+
+    #[test]
+    fn children_depend_on_parent() {
+        for kind in [PrgKind::Aes, PrgKind::CHACHA8] {
+            let prg = build_tree_prg(kind, Block::from(5u128), 2);
+            let mut a = [Block::ZERO; 2];
+            let mut b = [Block::ZERO; 2];
+            prg.expand(Block::from(1u128), &mut a);
+            prg.expand(Block::from(2u128), &mut b);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn chacha_segments_are_distinct() {
+        let prg = ChaChaTreePrg::new(Block::from(1u128), 8);
+        let mut kids = [Block::ZERO; 16];
+        let calls = prg.expand(Block::from(3u128), &mut kids);
+        assert_eq!(calls, 4);
+        for i in 0..16 {
+            for j in i + 1..16 {
+                assert_ne!(kids[i], kids[j], "children {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_consistency_across_widths() {
+        // Expanding 2 children must agree with the first 2 of an 8-child
+        // expansion (the receiver reconstructs partial levels).
+        let prg = ChaChaTreePrg::new(Block::from(6u128), 8);
+        let mut two = [Block::ZERO; 2];
+        let mut eight = [Block::ZERO; 8];
+        prg.expand(Block::from(10u128), &mut two);
+        prg.expand(Block::from(10u128), &mut eight);
+        assert_eq!(two[..], eight[..2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "children")]
+    fn aes_overflow_arity_panics() {
+        let prg = AesTreePrg::new(Block::from(1u128), 2);
+        let mut kids = [Block::ZERO; 3];
+        prg.expand(Block::ZERO, &mut kids);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PrgKind::Aes.label(), "AES");
+        assert_eq!(PrgKind::CHACHA8.label(), "ChaCha8");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the cryptographic primitives.
+
+use ironman_prg::tree_prg::build_tree_prg;
+use ironman_prg::{Aes128, Block, ChaCha, Crhf, PrgKind, PrgStream, TreePrg};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AES is a permutation: distinct plaintexts map to distinct
+    /// ciphertexts under any key.
+    #[test]
+    fn aes_injective(key in any::<u128>(), a in any::<u128>(), b in any::<u128>()) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(Block::from(key));
+        prop_assert_ne!(aes.encrypt_block(Block::from(a)), aes.encrypt_block(Block::from(b)));
+    }
+
+    /// Different keys give different ciphertexts for the same plaintext
+    /// (no accidental key-schedule collapse on random keys).
+    #[test]
+    fn aes_key_separation(k1 in any::<u128>(), k2 in any::<u128>(), pt in any::<u128>()) {
+        prop_assume!(k1 != k2);
+        let a = Aes128::new(Block::from(k1)).encrypt_block(Block::from(pt));
+        let b = Aes128::new(Block::from(k2)).encrypt_block(Block::from(pt));
+        prop_assert_ne!(a, b);
+    }
+
+    /// ChaCha determinism and sensitivity to every input word.
+    #[test]
+    fn chacha_counter_sensitivity(key in any::<[u8; 32]>(), ctr in any::<u32>()) {
+        let c = ChaCha::new(key, 8);
+        let a = c.block(ctr, [0u8; 12]);
+        let b = c.block(ctr.wrapping_add(1), [0u8; 12]);
+        prop_assert_eq!(a, c.block(ctr, [0u8; 12]));
+        prop_assert_ne!(a, b);
+    }
+
+    /// σ is linear and σ(x) ⊕ x is injective on random samples — the two
+    /// properties the MMO proof requires of the orthomorphism.
+    #[test]
+    fn sigma_orthomorphism(x in any::<u128>(), y in any::<u128>()) {
+        let sx = Crhf::sigma(Block::from(x));
+        let sy = Crhf::sigma(Block::from(y));
+        prop_assert_eq!(sx ^ sy, Crhf::sigma(Block::from(x ^ y)));
+        if x != y {
+            prop_assert_ne!(sx ^ Block::from(x), sy ^ Block::from(y));
+        }
+    }
+
+    /// Tree PRGs are deterministic functions of (kind, session key, parent).
+    #[test]
+    fn tree_prg_determinism(session in any::<u128>(), parent in any::<u128>(), aes in any::<bool>()) {
+        let kind = if aes { PrgKind::Aes } else { PrgKind::CHACHA8 };
+        let prg = build_tree_prg(kind, Block::from(session), 4);
+        let mut x = [Block::ZERO; 4];
+        let mut y = [Block::ZERO; 4];
+        prg.expand(Block::from(parent), &mut x);
+        prg.expand(Block::from(parent), &mut y);
+        prop_assert_eq!(x, y);
+    }
+
+    /// Stream splitting: with_offset(k) equals skipping k elements.
+    #[test]
+    fn stream_offset_equivalence(seed in any::<u128>(), skip in 0usize..64) {
+        let direct: Vec<Block> = PrgStream::new(Block::from(seed)).skip(skip).take(4).collect();
+        let offset: Vec<Block> =
+            PrgStream::with_offset(Block::from(seed), skip as u128).take(4).collect();
+        prop_assert_eq!(direct, offset);
+    }
+
+    /// Block algebra: XOR forms an abelian group with and_bit as scalar
+    /// multiplication by GF(2).
+    #[test]
+    fn block_algebra(a in any::<u128>(), b in any::<u128>(), bit in any::<bool>()) {
+        let (x, y) = (Block::from(a), Block::from(b));
+        prop_assert_eq!(x ^ y, y ^ x);
+        prop_assert_eq!((x ^ y) ^ y, x);
+        prop_assert_eq!((x ^ y).and_bit(bit), x.and_bit(bit) ^ y.and_bit(bit));
+    }
+}

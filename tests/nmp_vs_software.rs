@@ -1,0 +1,96 @@
+//! Cross-checks between the timing models and the functional layer, plus
+//! coarse calibration guards that keep the reproduced figures in the
+//! paper's qualitative bands.
+
+use ironman_cache::{Cache, CacheConfig};
+use ironman_core::speedup::{speedup_cell, speedup_table};
+use ironman_dram::{DramConfig, RankSim, Request};
+use ironman_ggm::schedule::simulate;
+use ironman_ggm::{Arity, ExpansionSchedule, PipelineModel};
+use ironman_lpn::{encoder, LpnMatrix};
+use ironman_nmp::rank_lpn::{simulate_rank, LpnWork};
+use ironman_nmp::NmpConfig;
+use ironman_ot::params::FerretParams;
+use ironman_prg::Block;
+
+#[test]
+fn schedule_sim_matches_functional_call_count() {
+    // The cycle model must issue exactly the calls the real expansion
+    // makes.
+    let prg = ironman_prg::ChaChaTreePrg::new(Block::from(1u128), 8);
+    let tree = ironman_ggm::GgmTree::expand(&prg, Block::from(2u128), Arity::QUAD, 1024);
+    let sim = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, 1, Arity::QUAD, 1024);
+    assert_eq!(sim.calls, tree.counter().chacha_calls);
+}
+
+#[test]
+fn nmp_cache_model_agrees_with_direct_cache_replay() {
+    // Replaying the same trace through the cache directly must produce
+    // the same hit statistics the rank simulator reports.
+    let cfg = NmpConfig::with_ranks_and_cache(2, 256 * 1024);
+    let matrix = LpnMatrix::generate(2000, 40_000, 10, Block::from(5u128));
+    let trace: Vec<u32> = encoder::access_trace(&matrix).collect();
+
+    let report = simulate_rank(&cfg, &LpnWork::exact(trace.clone()));
+    let mut cache = Cache::new(cfg.cache);
+    for idx in &trace {
+        cache.access(*idx as u64 * 16);
+    }
+    assert_eq!(report.cache.hits, cache.stats().hits);
+    assert_eq!(report.cache.misses, cache.stats().misses);
+}
+
+#[test]
+fn dram_row_hits_beat_misses_under_both_cache_sizes() {
+    for kb in [256usize, 1024] {
+        let cfg = CacheConfig::kb(kb);
+        assert!(cfg.lines() >= 4096 * kb / 256 / 64 * 64 / 64); // monotone sanity
+    }
+    let cfg = DramConfig::ddr4_2400();
+    let seq: Vec<Request> = (0..512u64).map(|i| Request::read(i % 8 * 64)).collect();
+    let stride = (cfg.banks() * (cfg.row_bytes / cfg.access_bytes) * cfg.access_bytes) as u64;
+    let rand: Vec<Request> = (0..512u64).map(|i| Request::read(i * stride)).collect();
+    let hits = RankSim::new(cfg).run(&seq);
+    let misses = RankSim::new(cfg).run(&rand);
+    assert!(hits.avg_latency() < misses.avg_latency());
+}
+
+#[test]
+fn fig12_monotonicities_hold() {
+    // More ranks → faster; larger cache → not slower; every simulated
+    // config beats the CPU baseline.
+    let p = FerretParams::OT_2POW21;
+    let mut prev_ms = f64::MAX;
+    for ranks in [2usize, 4, 8, 16] {
+        let c = speedup_cell(p, ranks, 256 * 1024, 7);
+        assert!(c.ironman_ms < prev_ms, "{ranks} ranks: {} !< {prev_ms}", c.ironman_ms);
+        assert!(c.speedup_vs_cpu() > 1.0);
+        prev_ms = c.ironman_ms;
+    }
+    let small = speedup_cell(p, 8, 256 * 1024, 7);
+    let large = speedup_cell(p, 8, 1024 * 1024, 7);
+    assert!(large.cache_hit_rate >= small.cache_hit_rate);
+}
+
+#[test]
+fn fig12_grid_covers_paper_shape() {
+    let rows = speedup_table(&[2, 16], &[256 * 1024, 1024 * 1024], 3);
+    assert_eq!(rows.len(), 2 * 2 * 5);
+    // Best cell should be an order of magnitude above the worst.
+    let best = rows.iter().map(|r| r.speedup_vs_cpu()).fold(0.0f64, f64::max);
+    let worst = rows.iter().map(|r| r.speedup_vs_cpu()).fold(f64::MAX, f64::min);
+    assert!(best / worst > 5.0, "dynamic range {best}/{worst}");
+    assert!(worst > 1.5, "even the worst config must beat the CPU");
+}
+
+#[test]
+fn hybrid_schedule_dominates_depth_first_everywhere() {
+    for trees in [2usize, 8, 16] {
+        for leaves in [256usize, 1024] {
+            let df = simulate(ExpansionSchedule::DepthFirst, PipelineModel::CHACHA8, trees, Arity::QUAD, leaves);
+            let hy = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, trees, Arity::QUAD, leaves);
+            assert!(hy.cycles <= df.cycles, "trees={trees} leaves={leaves}");
+            assert_eq!(hy.calls, df.calls);
+        }
+    }
+}
