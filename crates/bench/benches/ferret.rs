@@ -11,15 +11,21 @@ use std::time::Duration;
 
 fn bench_ferret(c: &mut Criterion) {
     let mut g = c.benchmark_group("ferret_extension");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let params = FerretParams::toy();
     g.throughput(Throughput::Elements(params.n as u64));
 
     let ironman = FerretConfig::new(params);
-    g.bench_function("ironman_4ary_chacha", |b| b.iter(|| run_extension(&ironman, 1).z[0]));
+    g.bench_function("ironman_4ary_chacha", |b| {
+        b.iter(|| run_extension(&ironman, 1).z[0])
+    });
 
     let baseline = FerretConfig::ferret_baseline(params);
-    g.bench_function("baseline_2ary_aes", |b| b.iter(|| run_extension(&baseline, 1).z[0]));
+    g.bench_function("baseline_2ary_aes", |b| {
+        b.iter(|| run_extension(&baseline, 1).z[0])
+    });
 
     // The pre-PCG baseline for the same output count: linear communication,
     // less computation.

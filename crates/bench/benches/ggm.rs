@@ -11,30 +11,42 @@ const LEAVES: usize = 4096;
 
 fn bench_ggm(c: &mut Criterion) {
     let mut g = c.benchmark_group("ggm_expand");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     g.throughput(Throughput::Elements(LEAVES as u64));
 
     let aes2 = AesTreePrg::new(Block::from(1u128), 2);
     g.bench_function("2ary_aes_l4096", |b| {
-        b.iter(|| GgmTree::expand(&aes2, black_box(Block::from(5u128)), Arity::BINARY, LEAVES).leaf_sum())
+        b.iter(|| {
+            GgmTree::expand(&aes2, black_box(Block::from(5u128)), Arity::BINARY, LEAVES).leaf_sum()
+        })
     });
 
     let aes4 = AesTreePrg::new(Block::from(1u128), 4);
     g.bench_function("4ary_aes_l4096", |b| {
-        b.iter(|| GgmTree::expand(&aes4, black_box(Block::from(5u128)), Arity::QUAD, LEAVES).leaf_sum())
+        b.iter(|| {
+            GgmTree::expand(&aes4, black_box(Block::from(5u128)), Arity::QUAD, LEAVES).leaf_sum()
+        })
     });
 
     let cc = ChaChaTreePrg::new(Block::from(1u128), 8);
     g.bench_function("2ary_chacha_l4096", |b| {
-        b.iter(|| GgmTree::expand(&cc, black_box(Block::from(5u128)), Arity::BINARY, LEAVES).leaf_sum())
+        b.iter(|| {
+            GgmTree::expand(&cc, black_box(Block::from(5u128)), Arity::BINARY, LEAVES).leaf_sum()
+        })
     });
     g.bench_function("4ary_chacha_l4096", |b| {
-        b.iter(|| GgmTree::expand(&cc, black_box(Block::from(5u128)), Arity::QUAD, LEAVES).leaf_sum())
+        b.iter(|| {
+            GgmTree::expand(&cc, black_box(Block::from(5u128)), Arity::QUAD, LEAVES).leaf_sum()
+        })
     });
 
     let ht = HalfTreePrg::new(Block::from(1u128));
     g.bench_function("halftree_2ary_l4096", |b| {
-        b.iter(|| GgmTree::expand(&ht, black_box(Block::from(5u128)), Arity::BINARY, LEAVES).leaf_sum())
+        b.iter(|| {
+            GgmTree::expand(&ht, black_box(Block::from(5u128)), Arity::BINARY, LEAVES).leaf_sum()
+        })
     });
     g.finish();
 }

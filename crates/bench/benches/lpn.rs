@@ -15,7 +15,9 @@ const K: usize = 65_536;
 
 fn bench_lpn(c: &mut Criterion) {
     let mut g = c.benchmark_group("lpn_encode");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     g.throughput(Throughput::Elements(N as u64));
 
     let matrix = LpnMatrix::generate(N, K, 10, Block::from(1u128));

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_prg(c: &mut Criterion) {
     let mut g = c.benchmark_group("prg");
-    g.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
 
     let aes = Aes128::new(Block::from(1u128));
     g.throughput(Throughput::Bytes(16));

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_models(c: &mut Criterion) {
     let mut g = c.benchmark_group("cycle_models");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     for s in ExpansionSchedule::ALL {
         g.bench_function(format!("schedule_{s}_16trees_l1024"), |b| {
@@ -21,7 +23,9 @@ fn bench_models(c: &mut Criterion) {
     }
 
     let cfg = NmpConfig::with_ranks_and_cache(2, 256 * 1024);
-    let trace: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(7919) % 1_000_000).collect();
+    let trace: Vec<u32> = (0..100_000u32)
+        .map(|i| i.wrapping_mul(7919) % 1_000_000)
+        .collect();
     g.bench_function("rank_lpn_100k_accesses", |b| {
         b.iter(|| simulate_rank(&cfg, black_box(&LpnWork::exact(trace.clone()))).cycles)
     });

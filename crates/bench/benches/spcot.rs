@@ -9,7 +9,12 @@ use ironman_prg::{Block, PrgKind};
 use std::time::Duration;
 
 fn run_spcot(arity: Arity, prg: PrgKind, leaves: usize) {
-    let cfg = SpcotConfig { arity, prg, leaves, session_key: Block::from(3u128) };
+    let cfg = SpcotConfig {
+        arity,
+        prg,
+        leaves,
+        session_key: Block::from(3u128),
+    };
     let mut dealer = Dealer::new(42);
     let delta = dealer.random_delta();
     let (mut sb, mut rb) = dealer.deal_cot(delta, cfg.base_cots_needed());
@@ -28,9 +33,13 @@ fn run_spcot(arity: Arity, prg: PrgKind, leaves: usize) {
 
 fn bench_spcot(c: &mut Criterion) {
     let mut g = c.benchmark_group("spcot");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     g.throughput(Throughput::Elements(1024));
-    g.bench_function("2ary_aes_l1024", |b| b.iter(|| run_spcot(Arity::BINARY, PrgKind::Aes, 1024)));
+    g.bench_function("2ary_aes_l1024", |b| {
+        b.iter(|| run_spcot(Arity::BINARY, PrgKind::Aes, 1024))
+    });
     g.bench_function("4ary_chacha_l1024", |b| {
         b.iter(|| run_spcot(Arity::QUAD, PrgKind::CHACHA8, 1024))
     });

@@ -17,7 +17,11 @@ fn main() {
 
     for cache_kb in [256usize, 1024] {
         let cache_lines = cache_kb * 1024 / 64;
-        let cfg = SortConfig { cache_lines, window: 32, block_rows: 4096 };
+        let cfg = SortConfig {
+            cache_lines,
+            window: 32,
+            block_rows: 4096,
+        };
         header(
             &format!("index-sorting ablation, {cache_kb} KB cache (2^20-set geometry)"),
             &["strategy", "hit rate"],
@@ -30,7 +34,10 @@ fn main() {
             (SortStrategy::Full, "both (deployed)"),
         ] {
             let sorted = SortedLpnMatrix::sort_with(&matrix, cfg, strategy);
-            row(&[name.to_string(), pct(trace_hit_rate(sorted.access_trace(), cache_lines))]);
+            row(&[
+                name.to_string(),
+                pct(trace_hit_rate(sorted.access_trace(), cache_lines)),
+            ]);
         }
     }
     println!("\nshape check (paper 5.3): each transformation helps; the combination is deployed");

@@ -20,8 +20,13 @@ const BINS: [&str; 13] = [
     "fig16_matmul",
 ];
 
-const BINS_TAIL: [&str; 5] =
-    ["tab05_e2e", "tab06_area_power", "ablation_sorting", "energy_comparison", "comm_comparison"];
+const BINS_TAIL: [&str; 5] = [
+    "tab05_e2e",
+    "tab06_area_power",
+    "ablation_sorting",
+    "energy_comparison",
+    "comm_comparison",
+];
 
 fn main() {
     let exe = std::env::current_exe().expect("current exe path");
@@ -32,7 +37,17 @@ fn main() {
             Command::new(&path).status()
         } else {
             // Fall back to cargo when siblings aren't built yet.
-            Command::new("cargo").args(["run", "-q", "--release", "-p", "ironman-bench", "--bin", bin]).status()
+            Command::new("cargo")
+                .args([
+                    "run",
+                    "-q",
+                    "--release",
+                    "-p",
+                    "ironman-bench",
+                    "--bin",
+                    bin,
+                ])
+                .status()
         };
         match status {
             Ok(s) if s.success() => {}

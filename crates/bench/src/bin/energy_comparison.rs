@@ -19,7 +19,10 @@ fn main() {
     let backends = [
         (PowerEnvelope::CPU_XEON, cell_1m.cpu_ms / 1e3 * execs),
         (PowerEnvelope::gpu_a6000(), cell_1m.gpu_ms / 1e3 * execs),
-        (PowerEnvelope::IRONMAN_256KB, cell_256k.ironman_ms / 1e3 * execs),
+        (
+            PowerEnvelope::IRONMAN_256KB,
+            cell_256k.ironman_ms / 1e3 * execs,
+        ),
         (PowerEnvelope::IRONMAN_1MB, cell_1m.ironman_ms / 1e3 * execs),
     ];
     header(

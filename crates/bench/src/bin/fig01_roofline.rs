@@ -10,7 +10,12 @@ use ironman_prg::PrgKind;
 
 fn main() {
     let r = Roofline::xeon_5220r();
-    println!("peak {} GAES/s, mem {} GB/s, ridge {:.4} AES/byte", r.peak_ops_per_s / 1e9, r.mem_bw_bytes_per_s / 1e9, r.ridge_intensity());
+    println!(
+        "peak {} GAES/s, mem {} GB/s, ridge {:.4} AES/byte",
+        r.peak_ops_per_s / 1e9,
+        r.mem_bw_bytes_per_s / 1e9,
+        r.ridge_intensity()
+    );
     header(
         "Fig. 1(c): roofline points",
         &["kernel", "#OTs", "AES/byte", "GAES/s", "bound"],
@@ -23,7 +28,12 @@ fn main() {
             format!("2^{}", p.log_target),
             f3(sp.intensity),
             f3(sp.attainable_ops_per_s / 1e9),
-            if sp.compute_bound { "compute" } else { "memory" }.to_string(),
+            if sp.compute_bound {
+                "compute"
+            } else {
+                "memory"
+            }
+            .to_string(),
         ]);
     }
     for p in FerretParams::TABLE4 {
@@ -33,7 +43,12 @@ fn main() {
             format!("2^{}", p.log_target),
             f3(lp.intensity),
             f3(lp.attainable_ops_per_s / 1e9),
-            if lp.compute_bound { "compute" } else { "memory" }.to_string(),
+            if lp.compute_bound {
+                "compute"
+            } else {
+                "memory"
+            }
+            .to_string(),
         ]);
     }
 }

@@ -61,8 +61,12 @@ fn main() {
         ]);
     }
     println!("\ncolumns 5-6 are milliseconds (bytes term + per-level rounds).");
-    println!("shape check (paper Fig. 7): ops fall ~3x from m=2 to m=4 and saturate (~3.9x at 32);");
-    println!("communication grows with m, so bandwidth-limited (WAN) latency degrades for large m;");
+    println!(
+        "shape check (paper Fig. 7): ops fall ~3x from m=2 to m=4 and saturate (~3.9x at 32);"
+    );
+    println!(
+        "communication grows with m, so bandwidth-limited (WAN) latency degrades for large m;"
+    );
     println!("m=4 is the sweet spot the paper selects. In this measurement the per-level round");
     println!("count also shrinks with m, which partly offsets the byte growth at high RTT.");
 }

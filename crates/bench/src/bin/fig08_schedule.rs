@@ -28,7 +28,17 @@ fn main() {
         &["trees", "util", "cycles"],
     );
     for trees in [1usize, 2, 4, 8, 16, 32] {
-        let r = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, trees, Arity::QUAD, 1024);
-        row(&[trees.to_string(), pct(r.utilization()), r.cycles.to_string()]);
+        let r = simulate(
+            ExpansionSchedule::Hybrid,
+            PipelineModel::CHACHA8,
+            trees,
+            Arity::QUAD,
+            1024,
+        );
+        row(&[
+            trees.to_string(),
+            pct(r.utilization()),
+            r.cycles.to_string(),
+        ]);
     }
 }

@@ -10,7 +10,9 @@ fn main() {
     for cache in [256 * 1024usize, 1024 * 1024] {
         header(
             &format!("Fig. 12: OTE latency & speedup, {} KB cache", cache / 1024),
-            &["ranks", "#OTs", "iron ms", "cpu ms", "gpu ms", "vs CPU", "vs GPU", "hit"],
+            &[
+                "ranks", "#OTs", "iron ms", "cpu ms", "gpu ms", "vs CPU", "vs GPU", "hit",
+            ],
         );
         let mut band: (f64, f64) = (f64::MAX, 0.0);
         for ranks in [2usize, 4, 8, 16] {
@@ -36,7 +38,11 @@ fn main() {
             cache / 1024,
             band.0,
             band.1,
-            if cache == 256 * 1024 { "3.66x - 39.26x" } else { "5.03x - 237.04x" }
+            if cache == 256 * 1024 {
+                "3.66x - 39.26x"
+            } else {
+                "5.03x - 237.04x"
+            }
         );
     }
 }

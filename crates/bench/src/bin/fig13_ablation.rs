@@ -26,7 +26,13 @@ fn main() {
     for (arity, prg, tname, pname) in combos {
         let r = simulate_spcot(
             &cfg,
-            &SpcotWork { trees: p.t, leaves: p.leaves, arity, prg, role: Role::Sender },
+            &SpcotWork {
+                trees: p.t,
+                leaves: p.leaves,
+                arity,
+                prg,
+                role: Role::Sender,
+            },
         );
         if base_cycles == 0 {
             base_cycles = r.cycles;
@@ -51,7 +57,13 @@ fn main() {
         for (arity, prg, _, _) in combos {
             let r = simulate_spcot(
                 &c,
-                &SpcotWork { trees: p.t, leaves: p.leaves, arity, prg, role: Role::Sender },
+                &SpcotWork {
+                    trees: p.t,
+                    leaves: p.leaves,
+                    arity,
+                    prg,
+                    role: Role::Sender,
+                },
             );
             cells.push(f2(c.cycles_to_ms(r.cycles)));
         }
@@ -61,5 +73,7 @@ fn main() {
         cells.push(f2(c.cycles_to_ms(rep.lpn_cycles)));
         row(&cells);
     }
-    println!("\nshape check: 4-ary ChaCha SPCOT stays below LPN; AES variants are the slowest SPCOTs");
+    println!(
+        "\nshape check: 4-ary ChaCha SPCOT stays below LPN; AES variants are the slowest SPCOTs"
+    );
 }

@@ -10,8 +10,12 @@ use ironman_ot::params::FerretParams;
 const CACHES_KB: [usize; 7] = [32, 64, 128, 256, 512, 1024, 2048];
 
 fn main() {
-    let sets =
-        [FerretParams::OT_2POW20, FerretParams::OT_2POW21, FerretParams::OT_2POW22, FerretParams::OT_2POW23];
+    let sets = [
+        FerretParams::OT_2POW20,
+        FerretParams::OT_2POW21,
+        FerretParams::OT_2POW22,
+        FerretParams::OT_2POW23,
+    ];
     let mut avg_hit = vec![0.0f64; CACHES_KB.len()];
 
     for p in sets {
@@ -43,7 +47,11 @@ fn main() {
         &["cache KB", "avg hit", "area mm2"],
     );
     for (ci, &kb) in CACHES_KB.iter().enumerate() {
-        row(&[kb.to_string(), pct(avg_hit[ci]), f2(sram_area_mm2(kb * 1024))]);
+        row(&[
+            kb.to_string(),
+            pct(avg_hit[ci]),
+            f2(sram_area_mm2(kb * 1024)),
+        ]);
     }
     println!("\nshape check: hit rate saturates while area keeps growing; 256KB/1MB are the knees");
 }

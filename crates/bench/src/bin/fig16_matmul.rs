@@ -8,7 +8,14 @@ use ironman_ppml::matmul::FIG16_DIMS;
 fn main() {
     header(
         "Fig. 16: OT-based MatMul with/without unified architecture",
-        &["dims", "comm w/o MB", "comm w/ MB", "norm", "lat red LAN", "lat red WAN"],
+        &[
+            "dims",
+            "comm w/o MB",
+            "comm w/ MB",
+            "norm",
+            "lat red LAN",
+            "lat red WAN",
+        ],
     );
     for d in FIG16_DIMS {
         let without = d.comm_without_unified_bytes();
@@ -22,5 +29,7 @@ fn main() {
             times(d.latency_reduction(&NetworkModel::WAN)),
         ]);
     }
-    println!("\nshape check: 2x communication reduction, ~1.4x LAN latency reduction (paper Fig. 16)");
+    println!(
+        "\nshape check: 2x communication reduction, ~1.4x LAN latency reduction (paper Fig. 16)"
+    );
 }

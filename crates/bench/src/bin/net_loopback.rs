@@ -1,0 +1,147 @@
+//! Serving-layer experiment: COT throughput over a real TCP loopback
+//! socket vs. the in-process `LocalChannel`, for the raw two-party FERRET
+//! protocol and for the multi-client `CotService` path.
+//!
+//! Emits the human table plus machine-readable JSON to
+//! `BENCH_net_loopback.json` (`{"bench": ..., "results": [{name,
+//! cots_per_sec, ...}]}`) so sweeps can diff runs.
+
+use ironman_bench::{f2, header, row};
+use ironman_core::{Backend, Engine};
+use ironman_net::{tcp_loopback_pair, CotClient, CotService, CotServiceConfig};
+use ironman_ot::ferret::{run_extensions, run_extensions_over, FerretConfig};
+use ironman_ot::params::FerretParams;
+use std::time::Instant;
+
+struct Result {
+    name: &'static str,
+    cots: u64,
+    secs: f64,
+    payload_bytes: u64,
+}
+
+impl Result {
+    fn cots_per_sec(&self) -> f64 {
+        self.cots as f64 / self.secs
+    }
+}
+
+fn bench_raw_protocol(cfg: &FerretConfig, iters: usize, tcp: bool) -> Result {
+    let start = Instant::now();
+    let outs = if tcp {
+        let (cs, cr) = tcp_loopback_pair().expect("loopback pair");
+        run_extensions_over(cfg, 5, iters, cs, cr)
+    } else {
+        run_extensions(cfg, 5, iters)
+    };
+    let secs = start.elapsed().as_secs_f64();
+    let cots: u64 = outs.iter().map(|o| o.len() as u64).sum();
+    // Both directions, counted once: everything the sender sent plus
+    // everything it received (= everything the receiver sent).
+    let payload_bytes: u64 = outs.iter().map(|o| o.sender_stats.total_bytes()).sum();
+    Result {
+        name: if tcp {
+            "ferret_tcp_loopback"
+        } else {
+            "ferret_local_channel"
+        },
+        cots,
+        secs,
+        payload_bytes,
+    }
+}
+
+fn bench_service(engine: &Engine, clients: usize, requests: usize, batch: usize) -> Result {
+    let service = CotService::serve(
+        "127.0.0.1:0",
+        engine,
+        CotServiceConfig {
+            shards: clients.min(4),
+            seed: 77,
+        },
+    )
+    .expect("bind loopback service");
+    let addr = service.addr();
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|id| {
+            std::thread::spawn(move || {
+                let mut client = CotClient::connect(addr, &format!("bench-{id}")).expect("connect");
+                let mut cots = 0u64;
+                for _ in 0..requests {
+                    let b = client.request_cots(batch).expect("request");
+                    b.verify().expect("verified");
+                    cots += b.len() as u64;
+                }
+                (cots, client.transport_stats().total_bytes())
+            })
+        })
+        .collect();
+    let mut cots = 0u64;
+    let mut payload_bytes = 0u64;
+    for t in threads {
+        let (c, b) = t.join().expect("bench client");
+        cots += c;
+        payload_bytes += b;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    service.shutdown();
+    Result {
+        name: "cot_service_4_clients",
+        cots,
+        secs,
+        payload_bytes,
+    }
+}
+
+fn main() {
+    let params = FerretParams::toy();
+    let cfg = FerretConfig::new(params);
+    let engine = Engine::new(cfg.clone(), Backend::ironman_default());
+    let iters = 6;
+
+    let results = vec![
+        bench_raw_protocol(&cfg, iters, false),
+        bench_raw_protocol(&cfg, iters, true),
+        bench_service(&engine, 4, 8, 500),
+    ];
+
+    header(
+        "COT serving throughput, loopback TCP vs in-process",
+        &["path", "COTs", "secs", "COTs/s", "payload B"],
+    );
+    for r in &results {
+        row(&[
+            r.name.to_string(),
+            r.cots.to_string(),
+            f2(r.secs),
+            format!("{:.0}", r.cots_per_sec()),
+            r.payload_bytes.to_string(),
+        ]);
+    }
+    let local = results[0].cots_per_sec();
+    let tcp = results[1].cots_per_sec();
+    println!(
+        "\nTCP loopback achieves {:.1}% of LocalChannel throughput",
+        100.0 * tcp / local
+    );
+
+    // Machine-readable output (hand-rolled JSON; no serde in this build).
+    let mut json = String::from("{\n  \"bench\": \"net_loopback\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cots\": {}, \"secs\": {:.6}, \
+             \"cots_per_sec\": {:.1}, \"payload_bytes\": {}}}{}\n",
+            r.name,
+            r.cots,
+            r.secs,
+            r.cots_per_sec(),
+            r.payload_bytes,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_net_loopback.json";
+    std::fs::write(path, &json).expect("write bench json");
+    println!("wrote {path}");
+}

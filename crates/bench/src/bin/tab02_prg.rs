@@ -10,7 +10,14 @@ use std::time::Instant;
 fn main() {
     header(
         "Table 2: PRG comparison",
-        &["PRG", "out bits", "area mm2", "perf/area", "power mW", "pwr/blk gain"],
+        &[
+            "PRG",
+            "out bits",
+            "area mm2",
+            "perf/area",
+            "power mW",
+            "pwr/blk gain",
+        ],
     );
     for core in [AES_CORE, CHACHA8_CORE] {
         row(&[

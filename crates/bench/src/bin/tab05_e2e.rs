@@ -9,13 +9,24 @@ use ironman_ppml::e2e::{reproduce_table5, SpeedupAssumptions};
 
 fn main() {
     let hw = speedup_cell(FerretParams::OT_2POW20, 16, 1024 * 1024, 5).speedup_vs_cpu();
-    let assumptions = SpeedupAssumptions { hardware: hw, ..SpeedupAssumptions::default() };
+    let assumptions = SpeedupAssumptions {
+        hardware: hw,
+        ..SpeedupAssumptions::default()
+    };
     println!("measured hardware OTE speedup: {hw:.1}x (flagship config)");
 
     header(
         "Table 5: end-to-end latency (s)",
         &[
-            "framework", "model", "baseWAN", "oursWAN", "spdW", "baseLAN", "oursLAN", "spdL", "dev",
+            "framework",
+            "model",
+            "baseWAN",
+            "oursWAN",
+            "spdW",
+            "baseLAN",
+            "oursLAN",
+            "spdL",
+            "dev",
         ],
     );
     let rows = reproduce_table5(&assumptions);
@@ -36,6 +47,9 @@ fn main() {
             pct((dw + dl) / 2.0),
         ]);
     }
-    println!("\nmean deviation vs paper-reported latencies: {}", pct(mean_dev));
+    println!(
+        "\nmean deviation vs paper-reported latencies: {}",
+        pct(mean_dev)
+    );
     println!("paper bands: WAN 1.32x-1.83x, LAN 1.95x-3.40x");
 }

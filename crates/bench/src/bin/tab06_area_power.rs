@@ -13,11 +13,26 @@ fn main() {
         f3(CHACHA8_CORE.area_mm2),
         f3(CHACHA8_CORE.power_mw / 1000.0),
     ]);
-    row(&["NMP (256KB)".to_string(), f3(NMP_256KB.area_mm2), f3(NMP_256KB.power_w)]);
-    row(&["NMP (1MB)".to_string(), f3(NMP_1MB.area_mm2), f3(NMP_1MB.power_w)]);
-    row(&["DRAM chip".to_string(), f2(DRAM_CHIP.area_mm2), f2(DRAM_CHIP.power_w)]);
+    row(&[
+        "NMP (256KB)".to_string(),
+        f3(NMP_256KB.area_mm2),
+        f3(NMP_256KB.power_w),
+    ]);
+    row(&[
+        "NMP (1MB)".to_string(),
+        f3(NMP_1MB.area_mm2),
+        f3(NMP_1MB.power_w),
+    ]);
+    row(&[
+        "DRAM chip".to_string(),
+        f2(DRAM_CHIP.area_mm2),
+        f2(DRAM_CHIP.power_w),
+    ]);
 
-    header("interpolated PU cost per cache size (Fig. 14 area axis)", &["cache KB", "area mm2"]);
+    header(
+        "interpolated PU cost per cache size (Fig. 14 area axis)",
+        &["cache KB", "area mm2"],
+    );
     for kb in [32usize, 64, 128, 256, 512, 1024, 2048] {
         row(&[kb.to_string(), f3(nmp_cost_for_cache(kb * 1024).area_mm2)]);
     }

@@ -49,7 +49,12 @@ impl CacheConfig {
     pub fn kb(kb: usize) -> Self {
         let capacity = kb * 1024;
         let hit_latency = 1 + (capacity / (64 * 1024)).max(1).ilog2() as u64;
-        let cfg = CacheConfig { capacity_bytes: capacity, line_bytes: 64, ways: 8, hit_latency };
+        let cfg = CacheConfig {
+            capacity_bytes: capacity,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency,
+        };
         assert!(cfg.sets() >= 1, "cache too small for its associativity");
         cfg
     }
@@ -111,7 +116,14 @@ impl Cache {
     /// Creates an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
         Cache {
-            ways: vec![Way { tag: 0, valid: false, last_use: 0 }; cfg.sets() * cfg.ways],
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    last_use: 0
+                };
+                cfg.sets() * cfg.ways
+            ],
             cfg,
             stats: CacheStats::default(),
             clock: 0,
@@ -174,7 +186,10 @@ impl Cache {
         }
         let after = self.stats;
         (
-            CacheStats { hits: after.hits - before.hits, misses: after.misses - before.misses },
+            CacheStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+            },
             misses,
         )
     }
@@ -214,10 +229,15 @@ mod tests {
     #[test]
     fn lru_within_set() {
         // Build a tiny direct-mapped-ish config: 2 ways, 2 sets.
-        let cfg = CacheConfig { capacity_bytes: 256, line_bytes: 64, ways: 2, hit_latency: 1 };
+        let cfg = CacheConfig {
+            capacity_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 1,
+        };
         let mut c = Cache::new(cfg);
         let sets = cfg.sets() as u64; // 2
-        // Three distinct tags mapping to set 0.
+                                      // Three distinct tags mapping to set 0.
         let a = 0;
         let b = 64 * sets;
         let d = 2 * 64 * sets;

@@ -7,6 +7,10 @@ use ironman_prg::PrgKind;
 use serde::{Deserialize, Serialize};
 
 /// Which hardware executes (or is simulated to execute) the extension.
+// The NmpConfig payload makes the variant large, but Backend must stay
+// Copy for the existing engine-construction call sites; boxing would
+// change that API for no measurable gain at engine-count scales.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Backend {
     /// Pure software execution, timed by the analytical CPU model.
@@ -66,7 +70,11 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine.
     pub fn new(cfg: FerretConfig, backend: Backend) -> Self {
-        Engine { cfg, backend, cpu: CpuModel::ferret_reference() }
+        Engine {
+            cfg,
+            backend,
+            cpu: CpuModel::ferret_reference(),
+        }
     }
 
     /// Overrides the CPU reference model (for sensitivity studies).
@@ -84,7 +92,12 @@ impl Engine {
     pub fn workload(&self) -> OteWorkload {
         let p = self.cfg.params;
         let ops_per_tree = spcot_aes_equiv_ops(self.cfg.prg, self.cfg.arity.get(), p.leaves);
-        OteWorkload::from_counts(p.t as u64, ops_per_tree, p.n as u64, self.cfg.row_weight as u64)
+        OteWorkload::from_counts(
+            p.t as u64,
+            ops_per_tree,
+            p.n as u64,
+            self.cfg.row_weight as u64,
+        )
     }
 
     /// Runs `iterations` extensions (two real protocol parties on two
@@ -119,7 +132,12 @@ impl Engine {
                 Some(report.latency_ms(&nmp_cfg))
             }
         };
-        Timing { cpu_model_ms: cpu_ms, ironman_ms, sender_bytes: 0, receiver_bytes: 0 }
+        Timing {
+            cpu_model_ms: cpu_ms,
+            ironman_ms,
+            sender_bytes: 0,
+            receiver_bytes: 0,
+        }
     }
 
     /// The NMP-simulator work description for one execution.
@@ -192,7 +210,11 @@ mod tests {
     #[test]
     fn ironman_beats_cpu_model() {
         let run = toy_engine(Backend::ironman_default()).run_one(9);
-        assert!(run.timing.speedup() > 1.0, "speedup {}", run.timing.speedup());
+        assert!(
+            run.timing.speedup() > 1.0,
+            "speedup {}",
+            run.timing.speedup()
+        );
     }
 
     #[test]

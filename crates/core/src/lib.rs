@@ -29,9 +29,11 @@
 pub mod engine;
 pub mod pool;
 pub mod rot;
+pub mod shared_pool;
 pub mod speedup;
 
 pub use engine::{Backend, Engine, ExtensionRun, Timing};
 pub use pool::{CotBatch, CotPool};
 pub use rot::{RotReceiver, RotSender};
+pub use shared_pool::SharedCotPool;
 pub use speedup::{speedup_table, SpeedupRow};

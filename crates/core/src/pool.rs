@@ -79,6 +79,11 @@ impl CotPool {
         }
     }
 
+    /// The engine this pool extends with.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
     /// Correlations currently buffered and unconsumed.
     pub fn available(&self) -> usize {
         self.z.len() - self.cursor
@@ -99,7 +104,10 @@ impl CotPool {
         // deployment would keep one bootstrapped session alive. Δ stays
         // fixed per pool so downstream protocols can cache Δ-dependent
         // state.
-        self.seed = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(1);
         let run = self.engine.run_one(self.seed);
         let out = run.cots;
         match self.delta {
@@ -134,6 +142,10 @@ impl CotPool {
             "request of {count} exceeds one extension's output {per_extension}"
         );
         if self.available() < count {
+            // Requests never straddle a session boundary: the remnant's Δ
+            // dies with its session, so drop it before refilling (also
+            // what refill's drained-buffer invariant expects).
+            self.cursor = self.z.len();
             self.refill();
         }
         let start = self.cursor;
@@ -155,8 +167,10 @@ mod tests {
     use ironman_ot::params::FerretParams;
 
     fn pool() -> CotPool {
-        let engine =
-            Engine::new(FerretConfig::new(FerretParams::toy()), Backend::ironman_default());
+        let engine = Engine::new(
+            FerretConfig::new(FerretParams::toy()),
+            Backend::ironman_default(),
+        );
         CotPool::new(engine, 42)
     }
 
@@ -179,6 +193,21 @@ mod tests {
         b.verify().unwrap();
         assert_eq!(p.extensions_run(), 1);
         assert_eq!(p.available(), before - 200);
+    }
+
+    #[test]
+    fn partial_drain_then_refill_discards_remnant() {
+        // Regression: a refill with a partially drained buffer used to
+        // trip refill's drained-buffer invariant (the remnant's Δ differs
+        // from the new session's).
+        let mut p = pool();
+        let usable = p.engine.config().usable_outputs();
+        let a = p.take(usable - 10); // leaves a 10-correlation remnant
+        a.verify().unwrap();
+        let b = p.take(20); // cannot be served from the remnant
+        b.verify().unwrap();
+        assert_eq!(p.extensions_run(), 2);
+        assert_eq!(b.len(), 20);
     }
 
     #[test]

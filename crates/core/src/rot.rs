@@ -79,7 +79,10 @@ impl RotReceiver {
             .enumerate()
             .map(|(i, &yi)| crhf.hash(tweak_base + i as u64, yi))
             .collect();
-        RotReceiver { choices: x.to_vec(), pads }
+        RotReceiver {
+            choices: x.to_vec(),
+            pads,
+        }
     }
 
     /// Number of OTs available.
@@ -105,7 +108,11 @@ impl RotReceiver {
     /// Panics if `desired.len()` exceeds the available OTs.
     pub fn derandomize(&self, desired: &[bool]) -> Vec<bool> {
         assert!(desired.len() <= self.choices.len(), "not enough OTs");
-        desired.iter().zip(self.choices.iter()).map(|(&c, &b)| c ^ b).collect()
+        desired
+            .iter()
+            .zip(self.choices.iter())
+            .map(|(&c, &b)| c ^ b)
+            .collect()
     }
 
     /// Unmasks the chosen message of each pair.
@@ -170,14 +177,19 @@ mod tests {
     fn chosen_message_transfer_end_to_end() {
         let (s, r) = rots();
         let n = 32;
-        let messages: Vec<(Block, Block)> =
-            (0..n as u128).map(|i| (Block::from(i * 2), Block::from(i * 2 + 1))).collect();
+        let messages: Vec<(Block, Block)> = (0..n as u128)
+            .map(|i| (Block::from(i * 2), Block::from(i * 2 + 1)))
+            .collect();
         let desired: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
         let flips = r.derandomize(&desired);
         let masked = s.mask(&messages, &flips);
         let got = r.unmask(&masked, &desired);
         for i in 0..n {
-            let expect = if desired[i] { messages[i].1 } else { messages[i].0 };
+            let expect = if desired[i] {
+                messages[i].1
+            } else {
+                messages[i].0
+            };
             assert_eq!(got[i], expect, "OT {i}");
         }
     }

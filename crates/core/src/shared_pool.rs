@@ -1,0 +1,157 @@
+//! A thread-safe, mutex-sharded [`CotPool`] for multi-client serving.
+//!
+//! A single `Mutex<CotPool>` would serialize every client behind each
+//! FERRET refill (one extension at toy scale is already milliseconds, and
+//! Table-4 scale is seconds). [`SharedCotPool`] instead keeps `S`
+//! independent pools, each behind its own lock, and spreads requests
+//! round-robin with lock-stealing: a request first tries every shard
+//! without blocking and only then parks on its home shard. Refills on one
+//! shard thus overlap with serving on the others — the host-side analogue
+//! of the Ironman PU streaming extensions while the CPU consumes.
+//!
+//! Each shard is an independent FERRET session with its own `Δ`; a batch
+//! never straddles shards, so every [`CotBatch`] stays homogeneous in `Δ`
+//! (the invariant [`CotPool::take`] already guarantees per session).
+
+use crate::engine::Engine;
+use crate::pool::{CotBatch, CotPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Recovers a poisoned shard: a panic mid-`take` (e.g. an oversized
+/// request's assert) leaves the pool state consistent, so serving must
+/// continue rather than cascade the panic to every other client.
+fn lock_shard(shard: &Mutex<CotPool>) -> MutexGuard<'_, CotPool> {
+    shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A fixed set of independently locked [`CotPool`] shards.
+#[derive(Debug)]
+pub struct SharedCotPool {
+    shards: Vec<Mutex<CotPool>>,
+    next: AtomicUsize,
+    max_request: usize,
+}
+
+impl SharedCotPool {
+    /// Builds `shards` pools over clones of `engine`, with per-shard seeds
+    /// derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(engine: &Engine, shards: usize, seed: u64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let shards = (0..shards)
+            .map(|i| {
+                let shard_seed =
+                    seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+                Mutex::new(CotPool::new(engine.clone(), shard_seed))
+            })
+            .collect();
+        SharedCotPool {
+            shards,
+            next: AtomicUsize::new(0),
+            max_request: engine.config().usable_outputs(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Largest request a single call can serve (one extension's output).
+    pub fn max_request(&self) -> usize {
+        self.max_request
+    }
+
+    /// Takes `count` correlations from one shard (the batch is always
+    /// homogeneous in `Δ`).
+    ///
+    /// Tries each shard without blocking first (starting at this request's
+    /// round-robin home), so a shard mid-refill never stalls requests that
+    /// another shard could serve from its buffer; blocks on the home shard
+    /// only when every shard is busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds [`SharedCotPool::max_request`].
+    pub fn take(&self, count: usize) -> CotBatch {
+        let n = self.shards.len();
+        let home = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        for offset in 0..n {
+            match self.shards[(home + offset) % n].try_lock() {
+                Ok(mut pool) => return pool.take(count),
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                    return poisoned.into_inner().take(count)
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {}
+            }
+        }
+        lock_shard(&self.shards[home]).take(count)
+    }
+
+    /// Total correlations buffered across all shards right now.
+    pub fn available(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).available()).sum()
+    }
+
+    /// Total extensions executed across all shards.
+    pub fn extensions_run(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_shard(s).extensions_run())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+    use ironman_ot::ferret::FerretConfig;
+    use ironman_ot::params::FerretParams;
+    use std::sync::Arc;
+
+    fn shared(shards: usize) -> SharedCotPool {
+        let engine = Engine::new(
+            FerretConfig::new(FerretParams::toy()),
+            Backend::ironman_default(),
+        );
+        SharedCotPool::new(&engine, shards, 7)
+    }
+
+    #[test]
+    fn serves_verified_batches() {
+        let pool = shared(2);
+        for _ in 0..4 {
+            pool.take(200).verify().unwrap();
+        }
+        assert!(pool.extensions_run() >= 1);
+    }
+
+    #[test]
+    fn concurrent_takes_all_verify() {
+        let pool = Arc::new(shared(4));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        pool.take(100).verify().unwrap();
+                    }
+                });
+            }
+        });
+        assert!(pool.available() > 0 || pool.extensions_run() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = shared(0);
+    }
+}

@@ -75,7 +75,10 @@ pub fn speedup_cell(
         10,
     );
     let cpu_ms = cpu.execution_latency(&cpu_work, false).total_s() * 1e3;
-    let gpu_ms = GpuModel::a6000().execution_latency(&cpu, &cpu_work).total_s() * 1e3;
+    let gpu_ms = GpuModel::a6000()
+        .execution_latency(&cpu, &cpu_work)
+        .total_s()
+        * 1e3;
 
     SpeedupRow {
         log_target: params.log_target,
@@ -125,8 +128,16 @@ mod tests {
         // wider tolerance band; EXPERIMENTS.md reports exact values.
         let worst = speedup_cell(FerretParams::OT_2POW24, 2, 256 * 1024, 2);
         let best = speedup_cell(FerretParams::OT_2POW20, 16, 1024 * 1024, 2);
-        assert!(worst.speedup_vs_cpu() > 1.5, "worst cell {}", worst.speedup_vs_cpu());
-        assert!(best.speedup_vs_cpu() > 25.0, "best cell {}", best.speedup_vs_cpu());
+        assert!(
+            worst.speedup_vs_cpu() > 1.5,
+            "worst cell {}",
+            worst.speedup_vs_cpu()
+        );
+        assert!(
+            best.speedup_vs_cpu() > 25.0,
+            "best cell {}",
+            best.speedup_vs_cpu()
+        );
         assert!(best.speedup_vs_cpu() > 4.0 * worst.speedup_vs_cpu());
     }
 
@@ -134,6 +145,11 @@ mod tests {
     fn gpu_between_cpu_and_best_ironman() {
         let row = speedup_cell(FerretParams::OT_2POW20, 16, 1024 * 1024, 3);
         assert!(row.gpu_ms < row.cpu_ms);
-        assert!(row.ironman_ms < row.gpu_ms, "ironman {} !< gpu {}", row.ironman_ms, row.gpu_ms);
+        assert!(
+            row.ironman_ms < row.gpu_ms,
+            "ironman {} !< gpu {}",
+            row.ironman_ms,
+            row.gpu_ms
+        );
     }
 }

@@ -51,7 +51,12 @@ impl AddressMapping {
         let line = line / self.cfg.banks_per_group as u64;
         let column = (line % lines_per_row) as usize;
         let row = line / lines_per_row;
-        DecodedAddr { group, bank, row, column }
+        DecodedAddr {
+            group,
+            bank,
+            row,
+            column,
+        }
     }
 }
 

@@ -24,7 +24,10 @@ pub struct SystemGeometry {
 
 impl SystemGeometry {
     /// The paper's system: 4 channels × 2 DIMMs (× 2 ranks each).
-    pub const TABLE3: SystemGeometry = SystemGeometry { channels: 4, dimms_per_channel: 2 };
+    pub const TABLE3: SystemGeometry = SystemGeometry {
+        channels: 4,
+        dimms_per_channel: 2,
+    };
 
     /// Total ranks in the system.
     pub fn ranks(&self) -> usize {
@@ -77,7 +80,10 @@ impl MemoryController {
         for req in requests {
             let line = req.addr / self.cfg.access_bytes as u64;
             let ch = (line % ch_count as u64) as usize;
-            per_channel[ch].push(Request { addr: req.addr / ch_count as u64, ..*req });
+            per_channel[ch].push(Request {
+                addr: req.addr / ch_count as u64,
+                ..*req
+            });
         }
         let mut channel_cycles = [0u64; 8];
         let mut total = 0u64;
@@ -96,7 +102,12 @@ impl MemoryController {
         } else {
             reads as f64 * self.cfg.access_bytes as f64 / seconds / 1e9
         };
-        ControllerStats { total_cycles: total, reads, bandwidth_gbps, channel_cycles }
+        ControllerStats {
+            total_cycles: total,
+            reads,
+            bandwidth_gbps,
+            channel_cycles,
+        }
     }
 
     /// The external-vs-internal bandwidth ratio for a request stream: how
@@ -110,7 +121,10 @@ impl MemoryController {
         for req in requests {
             let line = req.addr / self.cfg.access_bytes as u64;
             let r = (line % ranks as u64) as usize;
-            per_rank[r].push(Request { addr: req.addr / ranks as u64, ..*req });
+            per_rank[r].push(Request {
+                addr: req.addr / ranks as u64,
+                ..*req
+            });
         }
         let internal_cycles = per_rank
             .iter()
@@ -148,8 +162,12 @@ mod tests {
     fn channels_balance_interleaved_stream() {
         let mc = MemoryController::table3();
         let s = mc.run(&stream(4096));
-        let active: Vec<u64> =
-            s.channel_cycles.iter().copied().filter(|&c| c > 0).collect();
+        let active: Vec<u64> = s
+            .channel_cycles
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .collect();
         assert_eq!(active.len(), 4);
         let max = *active.iter().max().unwrap() as f64;
         let min = *active.iter().min().unwrap() as f64;
@@ -160,8 +178,20 @@ mod tests {
     fn aggregate_bandwidth_scales_with_channels() {
         // 4 channels must beat 1 channel on the same stream.
         let cfg = DramConfig::ddr4_2400();
-        let four = MemoryController::new(cfg, SystemGeometry { channels: 4, dimms_per_channel: 2 });
-        let one = MemoryController::new(cfg, SystemGeometry { channels: 1, dimms_per_channel: 2 });
+        let four = MemoryController::new(
+            cfg,
+            SystemGeometry {
+                channels: 4,
+                dimms_per_channel: 2,
+            },
+        );
+        let one = MemoryController::new(
+            cfg,
+            SystemGeometry {
+                channels: 1,
+                dimms_per_channel: 2,
+            },
+        );
         let reqs = stream(4096);
         assert!(four.run(&reqs).total_cycles < one.run(&reqs).total_cycles);
     }
@@ -182,6 +212,10 @@ mod tests {
         let mc = MemoryController::table3();
         let s = mc.run(&stream(16384));
         let peak = 4.0 * 19.2; // 4 channels × per-channel DDR4-2400 peak
-        assert!(s.bandwidth_gbps <= peak + 0.5, "bw {} vs peak {peak}", s.bandwidth_gbps);
+        assert!(
+            s.bandwidth_gbps <= peak + 0.5,
+            "bw {} vs peak {peak}",
+            s.bandwidth_gbps
+        );
     }
 }

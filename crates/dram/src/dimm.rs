@@ -72,7 +72,10 @@ impl DimmSim {
                 switches += 1;
             }
             last_rank = Some(rank);
-            let local = Request { addr: req.addr / 2, ..*req };
+            let local = Request {
+                addr: req.addr / 2,
+                ..*req
+            };
             if rank == 0 {
                 r0.push(local);
             } else {
@@ -84,7 +87,12 @@ impl DimmSim {
         let parallel_cycles = stats0.total_cycles.max(stats1.total_cycles);
         let shared_bus_cycles =
             stats0.total_cycles + stats1.total_cycles + switches * RANK_SWITCH_CYCLES;
-        DimmStats { rank0: stats0, rank1: stats1, shared_bus_cycles, parallel_cycles }
+        DimmStats {
+            rank0: stats0,
+            rank1: stats1,
+            shared_bus_cycles,
+            parallel_cycles,
+        }
     }
 }
 

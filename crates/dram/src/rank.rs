@@ -34,17 +34,29 @@ pub struct Request {
 impl Request {
     /// A read arriving at cycle 0.
     pub fn read(addr: u64) -> Self {
-        Request { addr, arrival: 0, kind: RequestKind::Read }
+        Request {
+            addr,
+            arrival: 0,
+            kind: RequestKind::Read,
+        }
     }
 
     /// A read arriving at a given cycle.
     pub fn read_at(addr: u64, arrival: u64) -> Self {
-        Request { addr, arrival, kind: RequestKind::Read }
+        Request {
+            addr,
+            arrival,
+            kind: RequestKind::Read,
+        }
     }
 
     /// A write arriving at cycle 0.
     pub fn write(addr: u64) -> Self {
-        Request { addr, arrival: 0, kind: RequestKind::Write }
+        Request {
+            addr,
+            arrival: 0,
+            kind: RequestKind::Write,
+        }
     }
 }
 
@@ -61,7 +73,12 @@ struct BankState {
 
 impl BankState {
     fn closed() -> Self {
-        BankState { open_row: None, next_act: 0, next_read: 0, next_pre: 0 }
+        BankState {
+            open_row: None,
+            next_act: 0,
+            next_read: 0,
+            next_pre: 0,
+        }
     }
 }
 
@@ -152,7 +169,11 @@ impl RankSim {
         let t = &self.cfg.timing;
         let mut ready = bank.next_read;
         if let Some((last, last_group)) = self.last_read {
-            let ccd = if last_group == group { t.t_ccd_l } else { t.t_ccd_s };
+            let ccd = if last_group == group {
+                t.t_ccd_l
+            } else {
+                t.t_ccd_s
+            };
             ready = ready.max(last + ccd);
         }
         ready.max(self.bus_free.saturating_sub(t.t_cl))
@@ -312,7 +333,11 @@ mod tests {
         let reqs: Vec<Request> = (0..256u64).map(|i| Request::read(i * 64)).collect();
         let stats = s.run(&reqs);
         assert_eq!(stats.reads, 256);
-        assert!(stats.row_hit_rate() > 0.8, "hit rate {}", stats.row_hit_rate());
+        assert!(
+            stats.row_hit_rate() > 0.8,
+            "hit rate {}",
+            stats.row_hit_rate()
+        );
     }
 
     #[test]
@@ -332,8 +357,16 @@ mod tests {
     fn hits_are_faster_than_misses() {
         let cfg = DramConfig::ddr4_2400();
         let stride = (cfg.banks() * (cfg.row_bytes / cfg.access_bytes) * cfg.access_bytes) as u64;
-        let hits = sim().run(&(0..256u64).map(|i| Request::read(i % 4 * 64)).collect::<Vec<_>>());
-        let misses = sim().run(&(0..256u64).map(|i| Request::read(i * stride)).collect::<Vec<_>>());
+        let hits = sim().run(
+            &(0..256u64)
+                .map(|i| Request::read(i % 4 * 64))
+                .collect::<Vec<_>>(),
+        );
+        let misses = sim().run(
+            &(0..256u64)
+                .map(|i| Request::read(i * stride))
+                .collect::<Vec<_>>(),
+        );
         assert!(
             hits.total_cycles < misses.total_cycles,
             "hits {} !< misses {}",
@@ -349,8 +382,14 @@ mod tests {
         let reqs: Vec<Request> = (0..4096u64).map(|i| Request::read(i * 64)).collect();
         let stats = sim().run(&reqs);
         let bw = stats.bandwidth_gbps(cfg.access_bytes, cfg.clock_mhz);
-        assert!(bw <= cfg.peak_bandwidth_gbps() + 0.1, "bw {bw} exceeds peak");
-        assert!(bw > 0.5 * cfg.peak_bandwidth_gbps(), "sequential bw {bw} too low");
+        assert!(
+            bw <= cfg.peak_bandwidth_gbps() + 0.1,
+            "bw {bw} exceeds peak"
+        );
+        assert!(
+            bw > 0.5 * cfg.peak_bandwidth_gbps(),
+            "sequential bw {bw} too low"
+        );
     }
 
     #[test]
@@ -370,7 +409,11 @@ mod tests {
     impl DramTimingProbe {
         fn table3() -> Self {
             let t = crate::DramTiming::table3();
-            DramTimingProbe { rcd: t.t_rcd, cl: t.t_cl, bl: t.t_bl }
+            DramTimingProbe {
+                rcd: t.t_rcd,
+                cl: t.t_cl,
+                bl: t.t_bl,
+            }
         }
     }
 
@@ -387,7 +430,10 @@ mod tests {
             reqs.push(Request::read((i + 2) * stride)); // conflicting rows
         }
         let stats = RankSim::new(cfg).run(&reqs);
-        assert!(stats.row_hits >= 20, "FR-FCFS should preserve hits: {stats:?}");
+        assert!(
+            stats.row_hits >= 20,
+            "FR-FCFS should preserve hits: {stats:?}"
+        );
     }
 
     #[test]
@@ -417,7 +463,11 @@ mod refresh_write_tests {
         // Enough sequential reads to run well past several tREFI windows.
         let reqs: Vec<Request> = (0..8192u64).map(|i| Request::read(i * 64)).collect();
         let stats = sim.run(&reqs);
-        assert!(sim.refreshes() >= 2, "expected refreshes on a {}-cycle trace", stats.total_cycles);
+        assert!(
+            sim.refreshes() >= 2,
+            "expected refreshes on a {}-cycle trace",
+            stats.total_cycles
+        );
     }
 
     #[test]
@@ -443,7 +493,10 @@ mod refresh_write_tests {
         let rw = RankSim::new(cfg).run(&[Request::write(0), Request::read(stride)]);
         let rr = RankSim::new(cfg).run(&[Request::read(0), Request::read(stride)]);
         assert_eq!(rw.reads, 2);
-        assert!(rw.total_cycles > rr.total_cycles, "write recovery must cost cycles");
+        assert!(
+            rw.total_cycles > rr.total_cycles,
+            "write recovery must cost cycles"
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ mod tests {
 
     #[test]
     fn bandwidth_math() {
-        let s = DramStats { reads: 1000, total_cycles: 4000, ..Default::default() };
+        let s = DramStats {
+            reads: 1000,
+            total_cycles: 4000,
+            ..Default::default()
+        };
         // 1000 × 64 B in 4000 cycles @1200 MHz = 64000 B / 3.333 µs = 19.2 GB/s.
         assert!((s.bandwidth_gbps(64, 1200.0) - 19.2).abs() < 0.1);
     }

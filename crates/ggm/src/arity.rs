@@ -29,7 +29,11 @@ pub struct InvalidArityError(usize);
 
 impl fmt::Display for InvalidArityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid GGM arity {}: must be a power of two in 2..=32", self.0)
+        write!(
+            f,
+            "invalid GGM arity {}: must be a power of two in 2..=32",
+            self.0
+        )
     }
 }
 
@@ -81,7 +85,10 @@ impl Arity {
     ///
     /// Panics if `leaves` is not a power of two or is `< 2`.
     pub fn level_fanouts(self, leaves: usize) -> Vec<usize> {
-        assert!(leaves.is_power_of_two() && leaves >= 2, "leaf count must be a power of two >= 2");
+        assert!(
+            leaves.is_power_of_two() && leaves >= 2,
+            "leaf count must be a power of two >= 2"
+        );
         let total_bits = leaves.trailing_zeros();
         let per_level = self.log2();
         let full = (total_bits / per_level) as usize;

@@ -29,7 +29,9 @@ pub struct HalfTreePrg {
 impl HalfTreePrg {
     /// Creates the half-tree PRG from a session key.
     pub fn new(session_key: Block) -> Self {
-        HalfTreePrg { hash: Aes128::new(session_key ^ Block::from(0x4a1f_7265u128)) }
+        HalfTreePrg {
+            hash: Aes128::new(session_key ^ Block::from(0x4a1f_7265u128)),
+        }
     }
 
     /// The arity this PRG supports (binary only).

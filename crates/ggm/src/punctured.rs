@@ -38,7 +38,10 @@ impl PuncturedTree {
         F: Fn(usize, usize) -> Block,
     {
         let shape = LevelShape::new(arity, leaves);
-        assert!(alpha < leaves, "alpha {alpha} out of range for {leaves} leaves");
+        assert!(
+            alpha < leaves,
+            "alpha {alpha} out of range for {leaves} leaves"
+        );
         let digits = shape.digits(alpha);
         let mut counter = PrgCounter::new();
 
@@ -47,8 +50,11 @@ impl PuncturedTree {
         let mut current: Vec<Block> = Vec::new();
         let mut punct_idx = 0usize;
 
-        for (lvl, (&fanout, &width)) in
-            shape.fanouts().iter().zip(shape.widths().iter()).enumerate()
+        for (lvl, (&fanout, &width)) in shape
+            .fanouts()
+            .iter()
+            .zip(shape.widths().iter())
+            .enumerate()
         {
             let mut next = vec![Block::ZERO; width];
             let mut calls = 0u64;
@@ -91,7 +97,12 @@ impl PuncturedTree {
         }
 
         debug_assert_eq!(punct_idx, alpha);
-        PuncturedTree { shape, alpha, leaves: current, counter }
+        PuncturedTree {
+            shape,
+            alpha,
+            leaves: current,
+            counter,
+        }
     }
 
     /// The punctured leaf index `α`.
@@ -123,7 +134,11 @@ impl PuncturedTree {
     /// XOR of all *known* leaves (everything except `α`).
     pub fn known_leaf_sum(&self) -> Block {
         Block::xor_all(
-            self.leaves.iter().enumerate().filter(|(i, _)| *i != self.alpha).map(|(_, b)| *b),
+            self.leaves
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != self.alpha)
+                .map(|(_, b)| *b),
         )
     }
 
@@ -153,7 +168,11 @@ mod tests {
             if i == alpha {
                 assert_eq!(*leaf, Block::ZERO);
             } else {
-                assert_eq!(*leaf, tree.leaves()[i], "leaf {i} mismatched (alpha={alpha})");
+                assert_eq!(
+                    *leaf,
+                    tree.leaves()[i],
+                    "leaf {i} mismatched (alpha={alpha})"
+                );
             }
         }
     }
@@ -210,8 +229,7 @@ mod tests {
         let prg = ChaChaTreePrg::new(Block::from(5u128), 8);
         let tree = GgmTree::expand(&prg, Block::from(3u128), Arity::QUAD, 4096);
         let sums = tree.level_sums();
-        let punct =
-            PuncturedTree::reconstruct(&prg, Arity::QUAD, 4096, 100, |lvl, j| sums[lvl][j]);
+        let punct = PuncturedTree::reconstruct(&prg, Arity::QUAD, 4096, 100, |lvl, j| sums[lvl][j]);
         assert!(punct.counter().total() < tree.counter().total());
     }
 

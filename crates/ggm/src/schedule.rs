@@ -36,8 +36,11 @@ pub enum ExpansionSchedule {
 
 impl ExpansionSchedule {
     /// All schedules, in paper order.
-    pub const ALL: [ExpansionSchedule; 3] =
-        [ExpansionSchedule::DepthFirst, ExpansionSchedule::BreadthFirst, ExpansionSchedule::Hybrid];
+    pub const ALL: [ExpansionSchedule; 3] = [
+        ExpansionSchedule::DepthFirst,
+        ExpansionSchedule::BreadthFirst,
+        ExpansionSchedule::Hybrid,
+    ];
 
     /// Display label used in bench output.
     pub fn label(self) -> &'static str {
@@ -73,9 +76,15 @@ impl Default for PipelineModel {
 
 impl PipelineModel {
     /// The paper's ChaCha8 core: 8 stages, 512-bit (4-block) output.
-    pub const CHACHA8: PipelineModel = PipelineModel { stages: 8, blocks_per_call: 4 };
+    pub const CHACHA8: PipelineModel = PipelineModel {
+        stages: 8,
+        blocks_per_call: 4,
+    };
     /// A pipelined AES core: 10 stages (one per round), 1 block per call.
-    pub const AES: PipelineModel = PipelineModel { stages: 10, blocks_per_call: 1 };
+    pub const AES: PipelineModel = PipelineModel {
+        stages: 10,
+        blocks_per_call: 1,
+    };
 }
 
 /// Outcome of simulating a schedule.
@@ -128,8 +137,15 @@ impl TreeDesc {
             w *= f;
             widths.push(w);
         }
-        let segs_per_parent = fanouts.iter().map(|f| f.div_ceil(blocks_per_call)).collect();
-        TreeDesc { fanouts, widths, segs_per_parent }
+        let segs_per_parent = fanouts
+            .iter()
+            .map(|f| f.div_ceil(blocks_per_call))
+            .collect();
+        TreeDesc {
+            fanouts,
+            widths,
+            segs_per_parent,
+        }
     }
 
     fn depth(&self) -> usize {
@@ -153,7 +169,11 @@ fn call_order(desc: &TreeDesc, schedule: ExpansionSchedule) -> Vec<Call> {
             for level in 0..desc.depth() {
                 for parent in 0..desc.parent_width(level) {
                     for segment in 0..desc.segs_per_parent[level] {
-                        calls.push(Call { level, parent, segment });
+                        calls.push(Call {
+                            level,
+                            parent,
+                            segment,
+                        });
                     }
                 }
             }
@@ -167,7 +187,11 @@ fn call_order(desc: &TreeDesc, schedule: ExpansionSchedule) -> Vec<Call> {
                     return; // leaf
                 }
                 for segment in 0..desc.segs_per_parent[level] {
-                    out.push(Call { level, parent: idx, segment });
+                    out.push(Call {
+                        level,
+                        parent: idx,
+                        segment,
+                    });
                 }
                 for child in 0..desc.fanouts[level] {
                     visit(desc, level + 1, idx * desc.fanouts[level] + child, out);
@@ -237,14 +261,16 @@ pub fn simulate(
         })
         .collect();
 
-    // Completion events: (cycle, tree, level(child), start_idx, count).
-    let mut events: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, usize, usize, usize)>> =
+    // Completion events: (cycle, tree, level(child), start_idx, count),
+    // min-ordered by completion cycle.
+    type CompletionEvent = std::cmp::Reverse<(u64, usize, usize, usize, usize)>;
+    let mut events: std::collections::BinaryHeap<CompletionEvent> =
         std::collections::BinaryHeap::new();
 
     let mut cycle = 0u64;
     let mut issued = 0u64;
     let mut bubbles = 0u64;
-    let mut alive = 1usize * trees; // roots
+    let mut alive = trees; // roots
     let mut peak = alive;
     let mut rr = 0usize; // round-robin pointer for Hybrid
     let mut last_completion = 0u64;
@@ -261,8 +287,8 @@ pub fn simulate(
                 break;
             }
             events.pop();
-            for i in start..start + count {
-                ready[tree][level][i] = t;
+            for slot in ready[tree][level].iter_mut().skip(start).take(count) {
+                *slot = t;
             }
             // Only non-leaf children occupy the node buffer.
             if level < depth {
@@ -274,7 +300,9 @@ pub fn simulate(
         // Pick an issuable call.
         let pick: Option<usize> = if sequential {
             // Single global stream: first tree with remaining calls.
-            let t = (0..trees).find(|&t| cursors[t] < streams[t].len()).expect("work remains");
+            let t = (0..trees)
+                .find(|&t| cursors[t] < streams[t].len())
+                .expect("work remains");
             let call = streams[t][cursors[t]];
             let parent_ready = ready[t][call.level][call.parent];
             if parent_ready <= cycle && parent_ready != u64::MAX {
@@ -309,11 +337,17 @@ pub fn simulate(
                 // Children indices covered by this segment.
                 let fanout = desc.fanouts[call.level];
                 let start_child = call.parent * fanout + call.segment * pipeline.blocks_per_call;
-                let count =
-                    (fanout - call.segment * pipeline.blocks_per_call).min(pipeline.blocks_per_call);
+                let count = (fanout - call.segment * pipeline.blocks_per_call)
+                    .min(pipeline.blocks_per_call);
                 let done = cycle + stages;
                 last_completion = last_completion.max(done);
-                events.push(std::cmp::Reverse((done, t, call.level + 1, start_child, count)));
+                events.push(std::cmp::Reverse((
+                    done,
+                    t,
+                    call.level + 1,
+                    start_child,
+                    count,
+                )));
                 // Parent consumed one more segment.
                 pending_segs[t][call.level][call.parent] -= 1;
                 if pending_segs[t][call.level][call.parent] == 0 {
@@ -327,7 +361,12 @@ pub fn simulate(
         cycle += 1;
     }
 
-    ScheduleReport { cycles: last_completion, calls: issued, bubbles, peak_buffer: peak }
+    ScheduleReport {
+        cycles: last_completion,
+        calls: issued,
+        bubbles,
+        peak_buffer: peak,
+    }
 }
 
 /// Expands `trees` trees functionally in hybrid order, checking that the
@@ -342,7 +381,11 @@ pub fn hybrid_functional_check(
 ) -> Vec<Vec<Block>> {
     seeds
         .iter()
-        .map(|&s| crate::GgmTree::expand(prg, s, arity, leaves).leaves().to_vec())
+        .map(|&s| {
+            crate::GgmTree::expand(prg, s, arity, leaves)
+                .leaves()
+                .to_vec()
+        })
         .collect()
 }
 
@@ -355,26 +398,64 @@ mod tests {
         // One binary tree with AES: every call depends on the previous
         // level; with 1 block/call each parent needs 2 calls, the second of
         // which is issuable back-to-back, so utilization is low but nonzero.
-        let r = simulate(ExpansionSchedule::DepthFirst, PipelineModel::CHACHA8, 1, Arity::QUAD, 256);
+        let r = simulate(
+            ExpansionSchedule::DepthFirst,
+            PipelineModel::CHACHA8,
+            1,
+            Arity::QUAD,
+            256,
+        );
         assert!(r.bubbles > 0, "DF on a single tree must stall: {r:?}");
         assert!(r.utilization() < 0.5);
     }
 
     #[test]
     fn hybrid_fills_bubbles_with_trees() {
-        let df = simulate(ExpansionSchedule::DepthFirst, PipelineModel::CHACHA8, 8, Arity::QUAD, 256);
-        let hy = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, 8, Arity::QUAD, 256);
+        let df = simulate(
+            ExpansionSchedule::DepthFirst,
+            PipelineModel::CHACHA8,
+            8,
+            Arity::QUAD,
+            256,
+        );
+        let hy = simulate(
+            ExpansionSchedule::Hybrid,
+            PipelineModel::CHACHA8,
+            8,
+            Arity::QUAD,
+            256,
+        );
         assert_eq!(df.calls, hy.calls, "schedules issue the same work");
         assert!(hy.cycles < df.cycles);
-        assert!(hy.utilization() > 0.9, "hybrid with 8 trees ≈ full utilization: {hy:?}");
+        assert!(
+            hy.utilization() > 0.9,
+            "hybrid with 8 trees ≈ full utilization: {hy:?}"
+        );
     }
 
     #[test]
     fn breadth_first_uses_more_buffer() {
-        let bf =
-            simulate(ExpansionSchedule::BreadthFirst, PipelineModel::CHACHA8, 1, Arity::QUAD, 1024);
-        let hy = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, 8, Arity::QUAD, 1024);
-        let df = simulate(ExpansionSchedule::DepthFirst, PipelineModel::CHACHA8, 1, Arity::QUAD, 1024);
+        let bf = simulate(
+            ExpansionSchedule::BreadthFirst,
+            PipelineModel::CHACHA8,
+            1,
+            Arity::QUAD,
+            1024,
+        );
+        let hy = simulate(
+            ExpansionSchedule::Hybrid,
+            PipelineModel::CHACHA8,
+            8,
+            Arity::QUAD,
+            1024,
+        );
+        let df = simulate(
+            ExpansionSchedule::DepthFirst,
+            PipelineModel::CHACHA8,
+            1,
+            Arity::QUAD,
+            1024,
+        );
         assert!(
             bf.peak_buffer > df.peak_buffer,
             "BF buffer {} should exceed DF buffer {}",
@@ -389,21 +470,44 @@ mod tests {
     fn cycles_lower_bounded_by_work() {
         for s in ExpansionSchedule::ALL {
             let r = simulate(s, PipelineModel::CHACHA8, 4, Arity::QUAD, 256);
-            assert!(r.cycles >= r.calls, "{s}: cycles {} < calls {}", r.cycles, r.calls);
+            assert!(
+                r.cycles >= r.calls,
+                "{s}: cycles {} < calls {}",
+                r.cycles,
+                r.calls
+            );
         }
     }
 
     #[test]
     fn call_counts_match_formula() {
         // 4-ary ChaCha: (ℓ-1)/3 calls per tree for exact 4-power ℓ.
-        let r = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, 3, Arity::QUAD, 1024);
+        let r = simulate(
+            ExpansionSchedule::Hybrid,
+            PipelineModel::CHACHA8,
+            3,
+            Arity::QUAD,
+            1024,
+        );
         assert_eq!(r.calls, 3 * (1024 - 1) / 3);
     }
 
     #[test]
     fn aes_pipeline_models_more_calls() {
-        let aes = simulate(ExpansionSchedule::Hybrid, PipelineModel::AES, 4, Arity::QUAD, 256);
-        let cc = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, 4, Arity::QUAD, 256);
+        let aes = simulate(
+            ExpansionSchedule::Hybrid,
+            PipelineModel::AES,
+            4,
+            Arity::QUAD,
+            256,
+        );
+        let cc = simulate(
+            ExpansionSchedule::Hybrid,
+            PipelineModel::CHACHA8,
+            4,
+            Arity::QUAD,
+            256,
+        );
         // AES issues one call per child: 4x the ChaCha quad calls.
         assert_eq!(aes.calls, 4 * cc.calls);
     }
@@ -419,8 +523,20 @@ mod tests {
 
     #[test]
     fn report_is_deterministic() {
-        let a = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, 4, Arity::QUAD, 256);
-        let b = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, 4, Arity::QUAD, 256);
+        let a = simulate(
+            ExpansionSchedule::Hybrid,
+            PipelineModel::CHACHA8,
+            4,
+            Arity::QUAD,
+            256,
+        );
+        let b = simulate(
+            ExpansionSchedule::Hybrid,
+            PipelineModel::CHACHA8,
+            4,
+            Arity::QUAD,
+            256,
+        );
         assert_eq!(a, b);
     }
 }

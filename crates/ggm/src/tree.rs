@@ -66,7 +66,12 @@ impl LevelShape {
     ///
     /// Panics if `leaf >= leaves()`.
     pub fn digits(&self, leaf: usize) -> Vec<usize> {
-        assert!(leaf < self.leaves(), "leaf index {} out of range {}", leaf, self.leaves());
+        assert!(
+            leaf < self.leaves(),
+            "leaf index {} out of range {}",
+            leaf,
+            self.leaves()
+        );
         let mut digits = vec![0usize; self.depth()];
         let mut rem = leaf;
         for (i, f) in self.fanouts.iter().enumerate().rev() {
@@ -126,7 +131,11 @@ impl GgmTree {
             levels.push(next.clone());
             current = next;
         }
-        GgmTree { shape, levels, counter }
+        GgmTree {
+            shape,
+            levels,
+            counter,
+        }
     }
 
     /// The tree's level shape.

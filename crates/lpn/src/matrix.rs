@@ -33,7 +33,10 @@ impl LpnMatrix {
     /// `cols > u32::MAX as usize`.
     pub fn generate(rows: usize, cols: usize, weight: usize, seed: Block) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        assert!(weight <= cols, "row weight {weight} exceeds column count {cols}");
+        assert!(
+            weight <= cols,
+            "row weight {weight} exceeds column count {cols}"
+        );
         assert!(cols <= u32::MAX as usize, "column count must fit in u32");
         let aes = Aes128::new(seed ^ Block::from(MATRIX_DOMAIN));
         let mut colidx = Vec::with_capacity(rows * weight);
@@ -59,7 +62,12 @@ impl LpnMatrix {
             }
             colidx.extend_from_slice(&row_buf);
         }
-        LpnMatrix { rows, cols, weight, colidx }
+        LpnMatrix {
+            rows,
+            cols,
+            weight,
+            colidx,
+        }
     }
 
     /// Number of rows (`n`, the LPN output length).
@@ -100,17 +108,28 @@ impl LpnMatrix {
     /// Panics if `colidx.len() != rows * weight` or any index is out of
     /// range.
     pub fn from_colidx(rows: usize, cols: usize, weight: usize, colidx: Vec<u32>) -> Self {
-        assert_eq!(colidx.len(), rows * weight, "flat index array has the wrong length");
-        assert!(colidx.iter().all(|&c| (c as usize) < cols), "column index out of range");
-        LpnMatrix { rows, cols, weight, colidx }
+        assert_eq!(
+            colidx.len(),
+            rows * weight,
+            "flat index array has the wrong length"
+        );
+        assert!(
+            colidx.iter().all(|&c| (c as usize) < cols),
+            "column index out of range"
+        );
+        LpnMatrix {
+            rows,
+            cols,
+            weight,
+            colidx,
+        }
     }
 
     /// The memory footprint of the matrix plus a `k`-vector of blocks in
     /// bytes — the quantity the paper notes exceeds 900 MB for 2^24 outputs,
     /// defeating CPU caches.
     pub fn working_set_bytes(&self) -> u64 {
-        (self.colidx.len() * std::mem::size_of::<u32>()) as u64
-            + (self.cols * Block::BYTES) as u64
+        (self.colidx.len() * std::mem::size_of::<u32>()) as u64 + (self.cols * Block::BYTES) as u64
     }
 }
 
@@ -161,7 +180,10 @@ mod tests {
             hist[c as usize] += 1;
         }
         let used = hist.iter().filter(|&&h| h > 0).count();
-        assert!(used > 240, "only {used}/256 columns used — not random enough");
+        assert!(
+            used > 240,
+            "only {used}/256 columns used — not random enough"
+        );
     }
 
     #[test]

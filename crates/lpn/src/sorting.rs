@@ -42,7 +42,11 @@ pub struct SortConfig {
 
 impl Default for SortConfig {
     fn default() -> Self {
-        SortConfig { cache_lines: 4096, window: 16, block_rows: 4096 }
+        SortConfig {
+            cache_lines: 4096,
+            window: 16,
+            block_rows: 4096,
+        }
     }
 }
 
@@ -83,7 +87,11 @@ impl SortedLpnMatrix {
             _ => first_use_permutation(matrix),
         };
         // Apply the column relabeling.
-        let relabeled: Vec<u32> = matrix.colidx().iter().map(|&c| col_perm[c as usize]).collect();
+        let relabeled: Vec<u32> = matrix
+            .colidx()
+            .iter()
+            .map(|&c| col_perm[c as usize])
+            .collect();
         let relabeled =
             LpnMatrix::from_colidx(matrix.rows(), matrix.cols(), matrix.weight(), relabeled);
         // Row look-ahead per block.
@@ -98,9 +106,12 @@ impl SortedLpnMatrix {
         for &r in &row_order {
             sorted_idx.extend_from_slice(relabeled.row(r as usize));
         }
-        let matrix =
-            LpnMatrix::from_colidx(relabeled.rows(), relabeled.cols(), weight, sorted_idx);
-        SortedLpnMatrix { matrix, row_order, col_perm }
+        let matrix = LpnMatrix::from_colidx(relabeled.rows(), relabeled.cols(), weight, sorted_idx);
+        SortedLpnMatrix {
+            matrix,
+            row_order,
+            col_perm,
+        }
     }
 
     /// The sorted matrix: row `pos` holds the indices executed at position
@@ -126,7 +137,11 @@ impl SortedLpnMatrix {
     ///
     /// Panics if `input.len() != cols`.
     pub fn permute_input<T: Copy + Default>(&self, input: &[T]) -> Vec<T> {
-        assert_eq!(input.len(), self.col_perm.len(), "input length must equal k");
+        assert_eq!(
+            input.len(),
+            self.col_perm.len(),
+            "input length must equal k"
+        );
         let mut out = vec![T::default(); input.len()];
         for (i, &x) in input.iter().enumerate() {
             out[self.col_perm[i] as usize] = x;
@@ -142,7 +157,11 @@ impl SortedLpnMatrix {
     ///
     /// Panics if lengths do not match the matrix dimensions.
     pub fn encode_blocks(&self, input: &[Block], acc: &mut [Block]) {
-        assert_eq!(acc.len(), self.matrix.rows(), "accumulator length must equal n");
+        assert_eq!(
+            acc.len(),
+            self.matrix.rows(),
+            "accumulator length must equal n"
+        );
         let permuted = self.permute_input(input);
         for (pos, &orig_row) in self.row_order.iter().enumerate() {
             let mut x = acc[orig_row as usize];
@@ -159,7 +178,11 @@ impl SortedLpnMatrix {
     ///
     /// Panics if lengths do not match the matrix dimensions.
     pub fn encode_bits(&self, input: &[bool], acc: &mut [bool]) {
-        assert_eq!(acc.len(), self.matrix.rows(), "accumulator length must equal n");
+        assert_eq!(
+            acc.len(),
+            self.matrix.rows(),
+            "accumulator length must equal n"
+        );
         let permuted = self.permute_input(input);
         for (pos, &orig_row) in self.row_order.iter().enumerate() {
             let mut x = acc[orig_row as usize];
@@ -208,7 +231,12 @@ struct LruLines {
 
 impl LruLines {
     fn new(capacity: usize) -> Self {
-        LruLines { capacity: capacity.max(1), stamp: 0, lines: HashMap::new(), queue: VecDeque::new() }
+        LruLines {
+            capacity: capacity.max(1),
+            stamp: 0,
+            lines: HashMap::new(),
+            queue: VecDeque::new(),
+        }
     }
 
     fn contains(&self, line: u32) -> bool {
@@ -326,8 +354,17 @@ mod tests {
     #[test]
     fn sorted_encode_matches_unsorted_blocks() {
         let m = toy();
-        let sorted = SortedLpnMatrix::sort(&m, SortConfig { cache_lines: 64, window: 8, block_rows: 128 });
-        let input: Vec<Block> = (0..m.cols() as u128).map(|i| Block::from(i * 3 + 1)).collect();
+        let sorted = SortedLpnMatrix::sort(
+            &m,
+            SortConfig {
+                cache_lines: 64,
+                window: 8,
+                block_rows: 128,
+            },
+        );
+        let input: Vec<Block> = (0..m.cols() as u128)
+            .map(|i| Block::from(i * 3 + 1))
+            .collect();
         let mut plain = vec![Block::from(7u128); m.rows()];
         let mut via_sorted = plain.clone();
         encoder::encode_blocks(&m, &input, &mut plain);
@@ -353,7 +390,11 @@ mod tests {
         let m = LpnMatrix::generate(2048, 16384, 10, Block::from(5u128));
         let cache_lines = 256;
         let base = trace_hit_rate(encoder::access_trace(&m), cache_lines);
-        let cfg = SortConfig { cache_lines, window: 32, block_rows: 2048 };
+        let cfg = SortConfig {
+            cache_lines,
+            window: 32,
+            block_rows: 2048,
+        };
         let sorted = SortedLpnMatrix::sort(&m, cfg);
         let improved = trace_hit_rate(sorted.access_trace(), cache_lines);
         assert!(
@@ -435,10 +476,16 @@ mod strategy_tests {
     #[test]
     fn every_strategy_preserves_encoding() {
         let m = matrix();
-        let input: Vec<Block> = (0..m.cols() as u128).map(|i| Block::from(i * 5 + 2)).collect();
+        let input: Vec<Block> = (0..m.cols() as u128)
+            .map(|i| Block::from(i * 5 + 2))
+            .collect();
         let mut reference = vec![Block::ZERO; m.rows()];
         encoder::encode_blocks(&m, &input, &mut reference);
-        for strategy in [SortStrategy::ColumnOnly, SortStrategy::RowOnly, SortStrategy::Full] {
+        for strategy in [
+            SortStrategy::ColumnOnly,
+            SortStrategy::RowOnly,
+            SortStrategy::Full,
+        ] {
             let s = SortedLpnMatrix::sort_with(&m, SortConfig::default(), strategy);
             let mut out = vec![Block::ZERO; m.rows()];
             s.encode_blocks(&input, &mut out);
@@ -451,7 +498,11 @@ mod strategy_tests {
         // §5.3's argument: column swapping alone is capped; the combination
         // wins.
         let m = matrix();
-        let cfg = SortConfig { cache_lines: 256, window: 32, block_rows: 2048 };
+        let cfg = SortConfig {
+            cache_lines: 256,
+            window: 32,
+            block_rows: 2048,
+        };
         let hit = |strategy| {
             let s = SortedLpnMatrix::sort_with(&m, cfg, strategy);
             trace_hit_rate(s.access_trace(), cfg.cache_lines)

@@ -1,0 +1,301 @@
+//! Length-prefixed, versioned wire framing.
+//!
+//! Every message on a socket transport is one *frame*:
+//!
+//! ```text
+//! +----------------+=====================+
+//! | len: u32 LE    | payload (len bytes) |
+//! +----------------+=====================+
+//! ```
+//!
+//! and every connection opens with a symmetric 6-byte *handshake* before
+//! the first frame (each side writes, then reads and validates):
+//!
+//! ```text
+//! +-------------------+----------------+
+//! | magic "IRNM" (4B) | version u32→u16 LE |
+//! +-------------------+----------------+
+//! ```
+//!
+//! Versioning rule: the version is bumped whenever the frame layout or the
+//! `proto` opcodes change incompatibly; peers with different versions
+//! refuse the connection at handshake time rather than misparse frames.
+//! Malformed-input hardening: frames longer than [`MAX_FRAME_LEN`] are
+//! rejected before any allocation, truncated streams surface as
+//! [`FrameError::Truncated`], and a bad magic aborts the handshake — none
+//! of these panic.
+
+use ironman_ot::channel::ChannelError;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Connection magic: identifies the Ironman wire protocol.
+pub const MAGIC: [u8; 4] = *b"IRNM";
+
+/// Current wire-format version.
+pub const VERSION: u16 = 1;
+
+/// Per-frame header size (the `u32` length prefix).
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Handshake size in bytes (magic + version).
+pub const HANDSHAKE_LEN: usize = 6;
+
+/// Upper bound on one frame's payload (1 GiB): a corrupt or hostile
+/// length prefix must not drive a multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Errors of the wire codec.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying stream failure.
+    Io(io::Error),
+    /// The stream ended inside a header or payload.
+    Truncated,
+    /// The peer's handshake did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks an incompatible wire version.
+    VersionMismatch {
+        /// Our version ([`VERSION`]).
+        ours: u16,
+        /// The peer's advertised version.
+        theirs: u16,
+    },
+    /// A frame declared a payload longer than [`MAX_FRAME_LEN`].
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Truncated => write!(f, "stream truncated mid-frame"),
+            FrameError::BadMagic(m) => write!(f, "bad connection magic {m:02x?}"),
+            FrameError::VersionMismatch { ours, theirs } => {
+                write!(f, "wire version mismatch: ours {ours}, peer {theirs}")
+            }
+            FrameError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds limit {MAX_FRAME_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+impl From<FrameError> for ChannelError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io_err) => ChannelError::from(io_err),
+            FrameError::Truncated => ChannelError::Disconnected,
+            other => ChannelError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                other.to_string(),
+            )),
+        }
+    }
+}
+
+/// Writes one frame (header + payload). Does not flush.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] when the payload exceeds [`MAX_FRAME_LEN`];
+/// otherwise propagates stream errors.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(FrameError::Oversized {
+            len: payload.len() as u32,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame's payload (blocking).
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] on EOF mid-frame, [`FrameError::Oversized`]
+/// on a hostile length prefix, [`FrameError::Io`] on stream failure.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Encodes one frame into a standalone byte vector (header + payload).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one frame from the front of `bytes`, returning the payload and
+/// the total bytes consumed.
+///
+/// # Errors
+///
+/// Same failure classes as [`read_frame`], on in-memory input.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Vec<u8>, usize), FrameError> {
+    let mut cursor = bytes;
+    let payload = read_frame(&mut cursor)?;
+    Ok((payload, bytes.len() - cursor.len()))
+}
+
+/// Runs the symmetric handshake: sends our magic+version, then validates
+/// the peer's. Returns the peer's version (equal to ours on success).
+///
+/// # Errors
+///
+/// [`FrameError::BadMagic`] / [`FrameError::VersionMismatch`] on protocol
+/// disagreement; stream errors otherwise.
+pub fn handshake<S: Read + Write>(stream: &mut S) -> Result<u16, FrameError> {
+    let mut ours = [0u8; HANDSHAKE_LEN];
+    ours[..4].copy_from_slice(&MAGIC);
+    ours[4..].copy_from_slice(&VERSION.to_le_bytes());
+    stream.write_all(&ours)?;
+    stream.flush()?;
+
+    let mut theirs = [0u8; HANDSHAKE_LEN];
+    stream.read_exact(&mut theirs)?;
+    let magic: [u8; 4] = theirs[..4].try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(theirs[4..].try_into().expect("2-byte slice"));
+    if version != VERSION {
+        return Err(FrameError::VersionMismatch {
+            ours: VERSION,
+            theirs: version,
+        });
+    }
+    Ok(version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = b"hello ironman".to_vec();
+        let encoded = encode_frame(&payload);
+        let (decoded, consumed) = decode_frame(&encoded).unwrap();
+        assert_eq!(decoded, payload);
+        assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn empty_frame_round_trip() {
+        let (decoded, consumed) = decode_frame(&encode_frame(&[])).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(consumed, FRAME_HEADER_LEN);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(matches!(decode_frame(&[1, 2]), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut bytes = encode_frame(b"abcdef");
+        bytes.truncate(bytes.len() - 2);
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let bytes = u32::MAX.to_le_bytes().to_vec();
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    /// In-memory duplex: reads come from a pre-loaded peer script, writes
+    /// land in `outgoing`.
+    struct Loopback {
+        incoming: std::io::Cursor<Vec<u8>>,
+        outgoing: Vec<u8>,
+    }
+
+    impl Loopback {
+        fn scripted(peer_bytes: Vec<u8>) -> Self {
+            Loopback {
+                incoming: std::io::Cursor::new(peer_bytes),
+                outgoing: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Loopback {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.incoming.read(buf)
+        }
+    }
+
+    impl Write for Loopback {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.outgoing.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn handshake_matches_itself() {
+        let mut hello = MAGIC.to_vec();
+        hello.extend_from_slice(&VERSION.to_le_bytes());
+        let mut peer = Loopback::scripted(hello);
+        assert_eq!(handshake(&mut peer).unwrap(), VERSION);
+        assert_eq!(peer.outgoing.len(), HANDSHAKE_LEN);
+    }
+
+    #[test]
+    fn handshake_rejects_bad_magic() {
+        let mut peer = Loopback::scripted(b"XXXX\x01\x00".to_vec());
+        assert!(matches!(handshake(&mut peer), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn handshake_rejects_version_mismatch() {
+        let mut hello = MAGIC.to_vec();
+        hello.extend_from_slice(&(VERSION + 1).to_le_bytes());
+        let mut peer = Loopback::scripted(hello);
+        assert!(matches!(
+            handshake(&mut peer),
+            Err(FrameError::VersionMismatch { theirs, .. }) if theirs == VERSION + 1
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+//! # `ironman-net` — real networked transports and the COT service layer
+//!
+//! Everything else in this workspace speaks through the abstract
+//! [`Transport`](ironman_ot::channel::Transport) trait; this crate makes
+//! that trait real over the operating system's sockets and adds a serving
+//! substrate on top, so the workspace can hand correlations to processes
+//! that are not in this address space:
+//!
+//! * [`frame`] — the length-prefixed, versioned wire codec and the
+//!   magic/version handshake.
+//! * [`transport`] — [`TcpTransport`] / `UnixTransport`: buffered,
+//!   write-coalescing socket transports with exact byte/round accounting.
+//!   Every protocol in `ironman-ot` (IKNP, SPCOT, FERRET) runs over them
+//!   unmodified.
+//! * [`proto`] — the small request/response protocol of the COT service
+//!   (`Hello`, `RequestCot{n}`, `Stats`, `Shutdown`).
+//! * [`service`] — [`CotService`]: a thread-per-connection server over a
+//!   mutex-sharded [`SharedCotPool`](ironman_core::SharedCotPool) that
+//!   replenishes via FERRET extension on demand, and [`CotClient`].
+//!
+//! # Wire format
+//!
+//! A connection begins with one symmetric 6-byte handshake; every message
+//! after it is a length-prefixed frame:
+//!
+//! ```text
+//! handshake   +--------------------+----------------+
+//! (once)      | magic "IRNM" (4 B) | version u16 LE |
+//!             +--------------------+----------------+
+//!
+//! frame       +---------------+==========================+
+//! (repeated)  | len u32 LE    | payload (len bytes)      |
+//!             +---------------+==========================+
+//! ```
+//!
+//! **Versioning rules:** the version is bumped on any incompatible change
+//! to the frame layout or the `proto` opcodes; peers advertising
+//! different versions refuse the connection during the handshake instead
+//! of misparsing frames. **Hardening:** frames above
+//! [`frame::MAX_FRAME_LEN`] (1 GiB) are rejected before allocation,
+//! truncation and bad magic are errors (never panics), and a session that
+//! sends garbage gets an error response and its connection — only its
+//! connection — closed.
+//!
+//! Payload-byte accounting is identical to the in-process
+//! `LocalChannel`, so a protocol run over TCP reports the same
+//! `bytes_sent`; the real wire adds exactly 4 bytes per message plus the
+//! 6-byte handshake (see [`StreamTransport::wire_bytes_sent`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ironman_core::{Backend, Engine};
+//! use ironman_net::{CotClient, CotService, CotServiceConfig};
+//! use ironman_ot::ferret::FerretConfig;
+//! use ironman_ot::params::FerretParams;
+//!
+//! let engine = Engine::new(FerretConfig::new(FerretParams::toy()), Backend::ironman_default());
+//! let service = CotService::serve("127.0.0.1:0", &engine, CotServiceConfig::default()).unwrap();
+//!
+//! let mut client = CotClient::connect(service.addr(), "ppml-worker-0").unwrap();
+//! let batch = client.request_cots(1024).unwrap();
+//! batch.verify().unwrap();
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod proto;
+pub mod service;
+pub mod transport;
+
+pub use frame::{FrameError, MAGIC, MAX_FRAME_LEN, VERSION};
+pub use proto::{Request, Response, ServiceStats};
+pub use service::{CotClient, CotService, CotServiceConfig};
+#[cfg(unix)]
+pub use transport::UnixTransport;
+pub use transport::{tcp_loopback_pair, StreamTransport, TcpTransport};

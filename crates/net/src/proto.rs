@@ -1,0 +1,375 @@
+//! The COT service's request/response protocol.
+//!
+//! One request frame, one response frame, both `opcode || fields` with
+//! little-endian integers. Blocks are 16-byte little-endian; bit vectors
+//! use the same `encode_bits` framing as every transport helper, so a
+//! message parses identically whether it crossed a socket or an
+//! in-process channel.
+//!
+//! ```text
+//! requests                         responses
+//! 0x01 Hello   { name: lp-bytes }  0x81 Welcome { version: u16, max_request: u64 }
+//! 0x02 Request { n: u64 }          0x82 Cots    { delta, n, z[n], y[n], bits(x) }
+//! 0x03 Stats                       0x83 Stats   { 5 × u64 }
+//! 0x04 Shutdown                    0x84 Goodbye
+//!                                  0xFF Error   { message: lp-bytes }
+//! ```
+//!
+//! (`lp-bytes` = `u64` length + raw bytes; `bits(..)` = shared
+//! [`encode_bits`] layout.)
+
+use ironman_core::CotBatch;
+use ironman_ot::channel::{decode_bits, encode_bits, ChannelError};
+use ironman_prg::Block;
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Opens a session (client self-identification, for server logs/stats).
+    Hello {
+        /// Client display name.
+        name: String,
+    },
+    /// Asks for `n` fresh correlations.
+    RequestCot {
+        /// Batch size.
+        n: u64,
+    },
+    /// Asks for a service statistics snapshot.
+    Stats,
+    /// Asks the server to stop accepting new sessions and exit.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Session accepted.
+    Welcome {
+        /// Server wire version.
+        version: u16,
+        /// Largest `RequestCot::n` one request may carry.
+        max_request: u64,
+    },
+    /// A correlation batch (trusted-dealer style: both endpoints' shares).
+    Cots(CotBatch),
+    /// Service statistics snapshot.
+    Stats(ServiceStats),
+    /// Acknowledges a shutdown; the connection closes after this.
+    Goodbye,
+    /// The request could not be served.
+    Error(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+/// A point-in-time view of the service's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Sessions accepted since start.
+    pub clients_served: u64,
+    /// Correlations handed out since start.
+    pub cots_served: u64,
+    /// FERRET extensions executed across all pool shards.
+    pub extensions_run: u64,
+    /// Correlations currently buffered across all shards.
+    pub available: u64,
+    /// Pool shard count.
+    pub shards: u64,
+}
+
+const OP_HELLO: u8 = 0x01;
+const OP_REQUEST_COT: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+const OP_WELCOME: u8 = 0x81;
+const OP_COTS: u8 = 0x82;
+const OP_STATS_REPLY: u8 = 0x83;
+const OP_GOODBYE: u8 = 0x84;
+const OP_ERROR: u8 = 0xFF;
+
+fn put_lp_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ChannelError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| ChannelError::Malformed {
+                expected: self.pos.saturating_add(n),
+                actual: self.bytes.len(),
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, ChannelError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    fn u16(&mut self) -> Result<u16, ChannelError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2-byte slice"),
+        ))
+    }
+
+    fn block(&mut self) -> Result<Block, ChannelError> {
+        Ok(Block::from_le_bytes(
+            self.take(16)?.try_into().expect("16-byte slice"),
+        ))
+    }
+
+    fn blocks(&mut self, n: usize) -> Result<Vec<Block>, ChannelError> {
+        (0..n).map(|_| self.block()).collect()
+    }
+
+    fn lp_bytes(&mut self) -> Result<&'a [u8], ChannelError> {
+        let len = self.u64()? as usize;
+        self.take(len)
+    }
+
+    fn finish(self) -> Result<(), ChannelError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ChannelError::Malformed {
+                expected: self.pos,
+                actual: self.bytes.len(),
+            })
+        }
+    }
+}
+
+fn malformed(expected: usize, actual: usize) -> ChannelError {
+    ChannelError::Malformed { expected, actual }
+}
+
+impl Request {
+    /// Serializes to one message payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hello { name } => {
+                let mut out = vec![OP_HELLO];
+                put_lp_bytes(&mut out, name.as_bytes());
+                out
+            }
+            Request::RequestCot { n } => {
+                let mut out = vec![OP_REQUEST_COT];
+                out.extend_from_slice(&n.to_le_bytes());
+                out
+            }
+            Request::Stats => vec![OP_STATS],
+            Request::Shutdown => vec![OP_SHUTDOWN],
+        }
+    }
+
+    /// Parses one message payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Malformed`] on unknown opcodes, truncation, or
+    /// trailing garbage.
+    pub fn decode(bytes: &[u8]) -> Result<Request, ChannelError> {
+        let (&op, rest) = bytes.split_first().ok_or_else(|| malformed(1, 0))?;
+        let mut r = Reader::new(rest);
+        let req = match op {
+            OP_HELLO => Request::Hello {
+                name: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
+            },
+            OP_REQUEST_COT => Request::RequestCot { n: r.u64()? },
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            _ => return Err(malformed(OP_HELLO as usize, op as usize)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes to one message payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Welcome {
+                version,
+                max_request,
+            } => {
+                let mut out = vec![OP_WELCOME];
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&max_request.to_le_bytes());
+                out
+            }
+            Response::Cots(batch) => {
+                let mut out =
+                    Vec::with_capacity(1 + 16 + 8 + 32 * batch.len() + batch.len() / 8 + 8);
+                out.push(OP_COTS);
+                out.extend_from_slice(&batch.delta.to_le_bytes());
+                out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+                for b in &batch.z {
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+                for b in &batch.y {
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+                out.extend_from_slice(&encode_bits(&batch.x));
+                out
+            }
+            Response::Stats(s) => {
+                let mut out = vec![OP_STATS_REPLY];
+                for v in [
+                    s.clients_served,
+                    s.cots_served,
+                    s.extensions_run,
+                    s.available,
+                    s.shards,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
+            Response::Goodbye => vec![OP_GOODBYE],
+            Response::Error(msg) => {
+                let mut out = vec![OP_ERROR];
+                put_lp_bytes(&mut out, msg.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses one message payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Malformed`] on unknown opcodes, truncation,
+    /// trailing garbage, or an inconsistent COT batch.
+    pub fn decode(bytes: &[u8]) -> Result<Response, ChannelError> {
+        let (&op, rest) = bytes.split_first().ok_or_else(|| malformed(1, 0))?;
+        let mut r = Reader::new(rest);
+        let resp = match op {
+            OP_WELCOME => Response::Welcome {
+                version: r.u16()?,
+                max_request: r.u64()?,
+            },
+            OP_COTS => {
+                let delta = r.block()?;
+                let n = r.u64()? as usize;
+                // A hostile count must not drive allocation past the
+                // actual payload: n blocks of z and y still have to fit.
+                let remaining = rest.len().saturating_sub(r.pos);
+                if n.checked_mul(32).is_none_or(|need| need > remaining) {
+                    return Err(malformed(n.saturating_mul(32), remaining));
+                }
+                let z = r.blocks(n)?;
+                let y = r.blocks(n)?;
+                let x = decode_bits(r.take(rest.len() - r.pos)?)?;
+                if x.len() != n {
+                    return Err(malformed(n, x.len()));
+                }
+                Response::Cots(CotBatch { delta, z, x, y })
+            }
+            OP_STATS_REPLY => Response::Stats(ServiceStats {
+                clients_served: r.u64()?,
+                cots_served: r.u64()?,
+                extensions_run: r.u64()?,
+                available: r.u64()?,
+                shards: r.u64()?,
+            }),
+            OP_GOODBYE => Response::Goodbye,
+            OP_ERROR => Response::Error(String::from_utf8_lossy(r.lp_bytes()?).into_owned()),
+            _ => return Err(malformed(OP_WELCOME as usize, op as usize)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Hello {
+            name: "resnet-worker-3".into(),
+        });
+        round_trip_request(Request::RequestCot { n: 1 << 20 });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Welcome {
+            version: 1,
+            max_request: 9000,
+        });
+        round_trip_response(Response::Goodbye);
+        round_trip_response(Response::Error("pool exhausted".into()));
+        round_trip_response(Response::Stats(ServiceStats {
+            clients_served: 4,
+            cots_served: 1 << 22,
+            extensions_run: 3,
+            available: 77,
+            shards: 4,
+        }));
+        let batch = CotBatch {
+            delta: Block::from(0xD5u128),
+            z: vec![Block::from(1u128), Block::from(2u128), Block::from(3u128)],
+            x: vec![true, false, true],
+            y: vec![Block::from(4u128), Block::from(5u128), Block::from(6u128)],
+        };
+        round_trip_response(Response::Cots(batch));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(Request::decode(&[0x7E]).is_err());
+        assert!(Response::decode(&[0x7E]).is_err());
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Response::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Request::Stats.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_cot_count_rejected_without_allocation() {
+        let mut bytes = vec![OP_COTS];
+        bytes.extend_from_slice(&Block::ZERO.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Response::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! The multi-client COT service: a thread-per-connection server over a
+//! shared, sharded pool, plus the matching client.
+//!
+//! The server plays the paper's host-side role: FERRET extensions (timed
+//! by whichever backend the [`Engine`] carries) refill a
+//! [`SharedCotPool`], and any number of concurrent PPML consumers drain
+//! it over TCP sessions speaking the [`crate::proto`] protocol. Sessions
+//! are independent: a slow client never blocks another except through
+//! pool-shard contention, which the lock-stealing `take` keeps off the
+//! fast path.
+
+use crate::frame::VERSION;
+use crate::proto::{Request, Response, ServiceStats};
+use crate::transport::TcpTransport;
+use ironman_core::{CotBatch, Engine, SharedCotPool};
+use ironman_ot::channel::{ChannelError, ChannelStats, Transport};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+#[derive(Debug, Default)]
+struct Counters {
+    clients_served: AtomicU64,
+    cots_served: AtomicU64,
+}
+
+/// State shared by the accept loop, every session thread, and the
+/// [`CotService`] handle.
+#[derive(Debug)]
+struct ServiceShared {
+    addr: SocketAddr,
+    stop: AtomicBool,
+    counters: Counters,
+    pool: Arc<SharedCotPool>,
+    sessions: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ServiceShared {
+    /// Stops the service from any thread: raises the flag, kicks every
+    /// live session out of its blocking read, and pokes the listener so
+    /// the accept loop observes the flag. Idempotent.
+    fn initiate_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for stream in self.sessions.lock().expect("session stream lock").values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            clients_served: self.counters.clients_served.load(Ordering::Relaxed),
+            cots_served: self.counters.cots_served.load(Ordering::Relaxed),
+            extensions_run: self.pool.extensions_run() as u64,
+            available: self.pool.available() as u64,
+            shards: self.pool.shard_count() as u64,
+        }
+    }
+}
+
+/// Configuration of a [`CotService`].
+#[derive(Clone, Debug)]
+pub struct CotServiceConfig {
+    /// Pool shard count (concurrent refill lanes).
+    pub shards: usize,
+    /// Seed for the per-shard FERRET sessions.
+    pub seed: u64,
+}
+
+impl Default for CotServiceConfig {
+    fn default() -> Self {
+        CotServiceConfig { shards: 4, seed: 1 }
+    }
+}
+
+/// A running COT server; dropping the handle does **not** stop it — call
+/// [`CotService::shutdown`] (or send [`Request::Shutdown`] from a client).
+#[derive(Debug)]
+pub struct CotService {
+    shared: Arc<ServiceShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl CotService {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), builds a
+    /// sharded pool over `engine`, and starts accepting sessions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve<A: ToSocketAddrs>(
+        addr: A,
+        engine: &Engine,
+        cfg: CotServiceConfig,
+    ) -> std::io::Result<CotService> {
+        let listener = TcpListener::bind(addr)?;
+        let pool = Arc::new(SharedCotPool::new(engine, cfg.shards, cfg.seed));
+        Ok(Self::serve_on(listener, pool))
+    }
+
+    /// Starts the accept loop on an already-bound listener over an
+    /// existing pool (lets tests and embedders share pools across
+    /// services).
+    pub fn serve_on(listener: TcpListener, pool: Arc<SharedCotPool>) -> CotService {
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let shared = Arc::new(ServiceShared {
+            addr,
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            pool,
+            sessions: Mutex::new(HashMap::new()),
+        });
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        CotService {
+            shared,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared pool backing this service.
+    pub fn pool(&self) -> &Arc<SharedCotPool> {
+        &self.shared.pool
+    }
+
+    /// Current statistics snapshot (same data a [`Request::Stats`] gets).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, waits for the accept loop (and through it all
+    /// session threads) to finish, and returns the final statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shared.initiate_shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread panicked");
+        }
+        self.stats()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServiceShared>) {
+    let mut threads: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_session_id = 0u64;
+    let mut consecutive_errors = 0u32;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                consecutive_errors = 0;
+                stream
+            }
+            // Transient failures (ECONNABORTED, fd exhaustion under load)
+            // must not kill the whole service; only a persistent error
+            // storm does.
+            Err(_) => {
+                consecutive_errors += 1;
+                if consecutive_errors >= 100 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break; // the shutdown poke itself
+        }
+        shared
+            .counters
+            .clients_served
+            .fetch_add(1, Ordering::Relaxed);
+        // Register a handle to the raw socket so a shutdown can unblock
+        // this session's reads; registration failure is not fatal.
+        let session_id = next_session_id;
+        next_session_id += 1;
+        if let Ok(raw) = stream.try_clone() {
+            shared
+                .sessions
+                .lock()
+                .expect("session stream lock")
+                .insert(session_id, raw);
+        }
+        // Reap finished sessions so `threads` tracks live connections, not
+        // the server's lifetime total.
+        threads.retain(|t| !t.is_finished());
+        let shared = Arc::clone(shared);
+        threads.push(std::thread::spawn(move || {
+            // A client that fails its handshake (or drops mid-session) only
+            // kills its own session thread.
+            if let Ok(transport) = TcpTransport::from_stream(stream) {
+                let _ = serve_session(transport, &shared);
+            }
+            // Deregister (dropping the last socket handle closes the fd,
+            // so a departed session's peer sees EOF immediately).
+            shared
+                .sessions
+                .lock()
+                .expect("session stream lock")
+                .remove(&session_id);
+        }));
+    }
+    // A session accepted concurrently with a shutdown may have registered
+    // after the initiator's sweep; sweeping again here (the accept thread
+    // runs strictly after every registration it performed) guarantees no
+    // session thread is left blocked before the joins below.
+    for stream in shared
+        .sessions
+        .lock()
+        .expect("session stream lock")
+        .values()
+    {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    for handle in threads {
+        let _ = handle.join();
+    }
+}
+
+fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), ChannelError> {
+    let max_request = shared.pool.max_request() as u64;
+    loop {
+        let request = match Request::decode(&ch.recv_bytes()?) {
+            Ok(r) => r,
+            Err(e) => {
+                // Answer garbage with an Error frame, then drop the session.
+                let _ = ch.send_bytes(Response::Error(e.to_string()).encode());
+                let _ = ch.flush();
+                return Err(e);
+            }
+        };
+        let response = match request {
+            Request::Hello { .. } => Response::Welcome {
+                version: VERSION,
+                max_request,
+            },
+            Request::RequestCot { n } => {
+                if n == 0 || n > max_request {
+                    Response::Error(format!("batch size {n} outside 1..={max_request}"))
+                } else {
+                    // A panicking take must answer this client, not kill its
+                    // session silently (and through the hung socket, the
+                    // client).
+                    let take = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        shared.pool.take(n as usize)
+                    }));
+                    match take {
+                        Ok(batch) => {
+                            shared
+                                .counters
+                                .cots_served
+                                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                            Response::Cots(batch)
+                        }
+                        Err(_) => Response::Error("internal pool failure".to_string()),
+                    }
+                }
+            }
+            Request::Stats => Response::Stats(shared.stats()),
+            Request::Shutdown => {
+                // Answer first (the requester deserves its Goodbye), then
+                // actually stop the server: flag + session sweep + listener
+                // poke, exactly as CotService::shutdown does.
+                ch.send_bytes(Response::Goodbye.encode())?;
+                ch.flush()?;
+                shared.initiate_shutdown();
+                return Ok(());
+            }
+        };
+        ch.send_bytes(response.encode())?;
+        ch.flush()?;
+    }
+}
+
+/// A client session against a [`CotService`].
+#[derive(Debug)]
+pub struct CotClient {
+    ch: TcpTransport,
+    max_request: u64,
+}
+
+impl CotClient {
+    /// Connects, handshakes, and exchanges `Hello`/`Welcome`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection/handshake errors or an unexpected first
+    /// response.
+    pub fn connect<A: ToSocketAddrs>(addr: A, name: &str) -> Result<CotClient, ChannelError> {
+        let mut ch = TcpTransport::connect(addr).map_err(ChannelError::from)?;
+        ch.send_bytes(
+            Request::Hello {
+                name: name.to_string(),
+            }
+            .encode(),
+        )?;
+        match Response::decode(&ch.recv_bytes()?)? {
+            Response::Welcome { max_request, .. } => Ok(CotClient { ch, max_request }),
+            Response::Error(msg) => Err(service_error(&msg)),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+
+    /// Largest batch one [`CotClient::request_cots`] call may ask for.
+    pub fn max_request(&self) -> u64 {
+        self.max_request
+    }
+
+    /// Fetches `n` fresh correlations.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side [`Response::Error`].
+    pub fn request_cots(&mut self, n: usize) -> Result<CotBatch, ChannelError> {
+        self.ch
+            .send_bytes(Request::RequestCot { n: n as u64 }.encode())?;
+        match Response::decode(&self.ch.recv_bytes()?)? {
+            Response::Cots(batch) => Ok(batch),
+            Response::Error(msg) => Err(service_error(&msg)),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+
+    /// Fetches a service statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response.
+    pub fn stats(&mut self) -> Result<ServiceStats, ChannelError> {
+        self.ch.send_bytes(Request::Stats.encode())?;
+        match Response::decode(&self.ch.recv_bytes()?)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(msg) => Err(service_error(&msg)),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+
+    /// Asks the server to shut down and consumes this session.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response.
+    pub fn shutdown_server(mut self) -> Result<(), ChannelError> {
+        self.ch.send_bytes(Request::Shutdown.encode())?;
+        match Response::decode(&self.ch.recv_bytes()?)? {
+            Response::Goodbye => Ok(()),
+            Response::Error(msg) => Err(service_error(&msg)),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+
+    /// This session's transport accounting.
+    pub fn transport_stats(&self) -> ChannelStats {
+        self.ch.stats()
+    }
+}
+
+fn service_error(msg: &str) -> ChannelError {
+    ChannelError::Io(std::io::Error::other(format!("service error: {msg}")))
+}
+
+fn unexpected_response(resp: &Response) -> ChannelError {
+    ChannelError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironman_core::Backend;
+    use ironman_ot::ferret::FerretConfig;
+    use ironman_ot::params::FerretParams;
+
+    fn toy_engine() -> Engine {
+        Engine::new(
+            FerretConfig::new(FerretParams::toy()),
+            Backend::ironman_default(),
+        )
+    }
+
+    fn toy_service(shards: usize) -> CotService {
+        let cfg = CotServiceConfig { shards, seed: 11 };
+        CotService::serve("127.0.0.1:0", &toy_engine(), cfg).expect("bind loopback")
+    }
+
+    #[test]
+    fn single_client_session() {
+        let service = toy_service(1);
+        let mut client = CotClient::connect(service.addr(), "t1").unwrap();
+        assert!(client.max_request() > 0);
+        let batch = client.request_cots(64).unwrap();
+        assert_eq!(batch.len(), 64);
+        batch.verify().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cots_served, 64);
+        assert_eq!(stats.clients_served, 1);
+        let final_stats = service.shutdown();
+        assert_eq!(final_stats.cots_served, 64);
+    }
+
+    #[test]
+    fn oversized_request_gets_error_not_disconnect() {
+        let service = toy_service(1);
+        let mut client = CotClient::connect(service.addr(), "greedy").unwrap();
+        let too_big = client.max_request() as usize + 1;
+        assert!(client.request_cots(too_big).is_err());
+        // Session survives the rejected request.
+        client.request_cots(8).unwrap().verify().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_request_stops_server() {
+        let service = toy_service(1);
+        let addr = service.addr();
+        // An idle session must not keep the server alive past a shutdown
+        // request: the sweep kicks its blocked read.
+        let mut idle = CotClient::connect(addr, "idle").unwrap();
+        let client = CotClient::connect(addr, "admin").unwrap();
+        client.shutdown_server().unwrap();
+        service.shutdown(); // idempotent: already stopping
+        assert!(CotClient::connect(addr, "late").is_err());
+        assert!(idle.request_cots(8).is_err());
+    }
+}

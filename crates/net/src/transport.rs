@@ -1,0 +1,306 @@
+//! Socket-backed [`Transport`] implementations.
+//!
+//! [`StreamTransport`] wraps any split `Read`/`Write` pair in
+//! `BufReader`/`BufWriter` with **write coalescing**: sends only fill the
+//! write buffer, and the buffer is flushed lazily — on the first receive
+//! after a send (a direction switch, which is also when the round counter
+//! ticks) or explicitly. A protocol that sends ten messages before
+//! listening therefore pays one syscall, not ten, matching how production
+//! OT libraries batch their socket writes.
+//!
+//! Accounting: [`ChannelStats`] counts *payload* bytes — identical
+//! semantics to `LocalChannel`, so a protocol run over TCP reports the
+//! same `bytes_sent` as the same run in-process. The extra wire bytes
+//! (4-byte frame headers and the 6-byte handshake) are tracked separately
+//! via [`StreamTransport::wire_bytes_sent`].
+
+use crate::frame::{self, FrameError, FRAME_HEADER_LEN, HANDSHAKE_LEN};
+use ironman_ot::channel::{ChannelError, ChannelStats, Transport};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+/// A framed, buffered transport over a split byte stream.
+#[derive(Debug)]
+pub struct StreamTransport<R: Read, W: Write> {
+    reader: BufReader<R>,
+    writer: BufWriter<W>,
+    stats: ChannelStats,
+    sent_since_recv: bool,
+    pending_flush: bool,
+    wire_sent: u64,
+    wire_received: u64,
+}
+
+impl<R: Read, W: Write> StreamTransport<R, W> {
+    /// Wraps a pre-connected reader/writer pair and runs the
+    /// magic/version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the peer is not speaking the Ironman wire protocol (bad
+    /// magic / version) or on stream errors.
+    pub fn from_split(reader: R, writer: W) -> Result<Self, FrameError> {
+        let mut t = StreamTransport {
+            reader: BufReader::new(reader),
+            writer: BufWriter::new(writer),
+            stats: ChannelStats::default(),
+            sent_since_recv: false,
+            pending_flush: false,
+            wire_sent: 0,
+            wire_received: 0,
+        };
+        t.run_handshake()?;
+        Ok(t)
+    }
+
+    fn run_handshake(&mut self) -> Result<(), FrameError> {
+        // The symmetric handshake, inlined over the split halves: write
+        // ours, flush, then validate theirs.
+        struct Duplex<'a, R: Read, W: Write>(&'a mut BufReader<R>, &'a mut BufWriter<W>);
+        impl<R: Read, W: Write> Read for Duplex<'_, R, W> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.0.read(buf)
+            }
+        }
+        impl<R: Read, W: Write> Write for Duplex<'_, R, W> {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.1.write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.1.flush()
+            }
+        }
+        frame::handshake(&mut Duplex(&mut self.reader, &mut self.writer))?;
+        self.wire_sent += HANDSHAKE_LEN as u64;
+        self.wire_received += HANDSHAKE_LEN as u64;
+        Ok(())
+    }
+
+    /// Forces any coalesced writes onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub fn flush(&mut self) -> Result<(), ChannelError> {
+        if self.pending_flush {
+            self.writer.flush()?;
+            self.pending_flush = false;
+        }
+        Ok(())
+    }
+
+    /// Bytes actually written to the wire (payload + frame headers +
+    /// handshake).
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.wire_sent
+    }
+
+    /// Bytes actually read off the wire (payload + frame headers +
+    /// handshake).
+    pub fn wire_bytes_received(&self) -> u64 {
+        self.wire_received
+    }
+}
+
+impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
+    fn send_bytes(&mut self, bytes: Vec<u8>) -> Result<(), ChannelError> {
+        frame::write_frame(&mut self.writer, &bytes).map_err(ChannelError::from)?;
+        self.stats.bytes_sent += bytes.len() as u64;
+        self.stats.messages_sent += 1;
+        self.wire_sent += (FRAME_HEADER_LEN + bytes.len()) as u64;
+        self.sent_since_recv = true;
+        self.pending_flush = true;
+        Ok(())
+    }
+
+    fn recv_bytes(&mut self) -> Result<Vec<u8>, ChannelError> {
+        // Direction switch: everything coalesced so far must hit the wire
+        // before we block on the peer (who may be waiting on it).
+        self.flush()?;
+        let payload = frame::read_frame(&mut self.reader).map_err(ChannelError::from)?;
+        self.stats.bytes_received += payload.len() as u64;
+        self.wire_received += (FRAME_HEADER_LEN + payload.len()) as u64;
+        if self.sent_since_recv {
+            self.stats.rounds += 1;
+            self.sent_since_recv = false;
+        }
+        Ok(payload)
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
+/// [`StreamTransport`] over a TCP socket.
+pub type TcpTransport = StreamTransport<TcpStream, TcpStream>;
+
+impl TcpTransport {
+    /// Wraps an accepted/connected socket (enables `TCP_NODELAY`; the
+    /// transport does its own coalescing) and handshakes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and handshake failures.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, FrameError> {
+        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        let reader = stream.try_clone().map_err(FrameError::Io)?;
+        StreamTransport::from_split(reader, stream)
+    }
+
+    /// Connects to a listening peer and handshakes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and handshake failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, FrameError> {
+        Self::from_stream(TcpStream::connect(addr).map_err(FrameError::Io)?)
+    }
+
+    /// Accepts one connection from `listener` and handshakes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept and handshake failures.
+    pub fn accept(listener: &TcpListener) -> Result<Self, FrameError> {
+        let (stream, _) = listener.accept().map_err(FrameError::Io)?;
+        Self::from_stream(stream)
+    }
+}
+
+/// [`StreamTransport`] over a unix domain socket.
+#[cfg(unix)]
+pub type UnixTransport = StreamTransport<UnixStream, UnixStream>;
+
+#[cfg(unix)]
+impl UnixTransport {
+    /// Wraps a connected unix socket and handshakes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and handshake failures.
+    pub fn from_stream(stream: UnixStream) -> Result<Self, FrameError> {
+        let reader = stream.try_clone().map_err(FrameError::Io)?;
+        StreamTransport::from_split(reader, stream)
+    }
+
+    /// Creates a connected, handshaked transport pair over an anonymous
+    /// unix socketpair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and handshake failures.
+    pub fn pair() -> Result<(Self, Self), FrameError> {
+        let (a, b) = UnixStream::pair().map_err(FrameError::Io)?;
+        // Each handshake writes, then blocks reading the peer's hello, so
+        // the two ends must run concurrently.
+        let b_thread = std::thread::spawn(move || Self::from_stream(b));
+        let ta = Self::from_stream(a)?;
+        let tb = b_thread.join().expect("handshake thread panicked")?;
+        Ok((ta, tb))
+    }
+}
+
+/// Creates a connected, handshaked TCP transport pair over a loopback
+/// listener (for tests and benchmarks).
+///
+/// # Errors
+///
+/// Propagates socket and handshake failures.
+pub fn tcp_loopback_pair() -> Result<(TcpTransport, TcpTransport), FrameError> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(FrameError::Io)?;
+    let addr = listener.local_addr().map_err(FrameError::Io)?;
+    // Connect-side handshake bytes sit in kernel buffers until the accept
+    // side drains them, so a single thread can set up both ends.
+    let connect_thread = std::thread::spawn(move || TcpTransport::connect(addr));
+    let accepted = TcpTransport::accept(&listener)?;
+    let connected = connect_thread.join().expect("connect thread panicked")?;
+    Ok((accepted, connected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironman_prg::Block;
+
+    #[test]
+    fn tcp_round_trip_and_accounting() {
+        let (mut a, mut b) = tcp_loopback_pair().unwrap();
+        a.send_block(Block::from(0xfeedu128)).unwrap();
+        a.flush().unwrap();
+        assert_eq!(b.recv_block().unwrap(), Block::from(0xfeedu128));
+        // Payload accounting matches LocalChannel semantics...
+        assert_eq!(a.stats().bytes_sent, 16);
+        assert_eq!(b.stats().bytes_received, 16);
+        // ...while wire accounting includes header + handshake.
+        assert_eq!(
+            a.wire_bytes_sent(),
+            16 + FRAME_HEADER_LEN as u64 + HANDSHAKE_LEN as u64
+        );
+    }
+
+    #[test]
+    fn tcp_coalesced_sends_arrive_in_order() {
+        let (mut a, mut b) = tcp_loopback_pair().unwrap();
+        for i in 0..100u128 {
+            a.send_block(Block::from(i)).unwrap();
+        }
+        a.flush().unwrap();
+        for i in 0..100u128 {
+            assert_eq!(b.recv_block().unwrap(), Block::from(i));
+        }
+    }
+
+    #[test]
+    fn tcp_disconnect_detected() {
+        let (mut a, b) = tcp_loopback_pair().unwrap();
+        drop(b);
+        assert!(matches!(a.recv_bytes(), Err(ChannelError::Disconnected)));
+    }
+
+    #[test]
+    fn tcp_round_counting_matches_local_semantics() {
+        let (mut a, mut b) = tcp_loopback_pair().unwrap();
+        a.send_bit(true).unwrap();
+        a.send_bit(false).unwrap();
+        let t = std::thread::spawn(move || {
+            b.recv_bit().unwrap();
+            b.recv_bit().unwrap();
+            b.send_bit(true).unwrap();
+            b.flush().unwrap();
+            b.stats()
+        });
+        a.recv_bit().unwrap();
+        assert_eq!(a.stats().rounds, 1);
+        // b never received after sending, so its direction-switch counter
+        // stays at zero — the same as LocalChannel's round_counting test.
+        let b_stats = t.join().unwrap();
+        assert_eq!(b_stats.rounds, 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_round_trip() {
+        let (mut a, mut b) = UnixTransport::pair().unwrap();
+        let blocks = vec![Block::from(1u128), Block::from(2u128)];
+        a.send_blocks(&blocks).unwrap();
+        a.flush().unwrap();
+        assert_eq!(b.recv_blocks().unwrap(), blocks);
+    }
+
+    #[test]
+    fn bits_serialize_identically_to_local_channel() {
+        use ironman_ot::channel::LocalChannel;
+        let bits = vec![true, false, true, true, false, true, false, false, true];
+        let (mut la, mut lb) = LocalChannel::pair();
+        la.send_bits(&bits).unwrap();
+        let (mut ta, mut tb) = tcp_loopback_pair().unwrap();
+        ta.send_bits(&bits).unwrap();
+        ta.flush().unwrap();
+        assert_eq!(lb.recv_bits().unwrap(), tb.recv_bits().unwrap());
+        // Same payload byte count on both paths: shared encode_bits framing.
+        assert_eq!(la.stats().bytes_sent, ta.stats().bytes_sent);
+    }
+}

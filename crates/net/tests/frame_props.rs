@@ -1,0 +1,70 @@
+//! Property-based tests for the wire codec (proptest).
+
+use ironman_net::frame::{decode_frame, encode_frame, FrameError, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary payloads survive an encode/decode round trip, and the
+    /// consumed length is exactly header + payload.
+    #[test]
+    fn round_trip(payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let encoded = encode_frame(&payload);
+        let (decoded, consumed) = decode_frame(&encoded).unwrap();
+        prop_assert_eq!(decoded, payload);
+        prop_assert_eq!(consumed, encoded.len());
+    }
+
+    /// Decoding ignores trailing bytes (frames are streamable): the first
+    /// frame parses identically with any suffix attached.
+    #[test]
+    fn trailing_bytes_ignored(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        suffix in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut bytes = encode_frame(&payload);
+        let frame_len = bytes.len();
+        bytes.extend_from_slice(&suffix);
+        let (decoded, consumed) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(decoded, payload);
+        prop_assert_eq!(consumed, frame_len);
+    }
+
+    /// Any strict prefix of a valid frame is rejected as truncated — never
+    /// a panic, never a bogus success.
+    #[test]
+    fn truncation_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        cut in 0usize..512,
+    ) {
+        let mut bytes = encode_frame(&payload);
+        let cut = cut % bytes.len();
+        bytes.truncate(cut);
+        prop_assert!(matches!(decode_frame(&bytes), Err(FrameError::Truncated)));
+    }
+
+    /// Hostile length prefixes above the limit are rejected before any
+    /// payload allocation, whatever garbage follows.
+    #[test]
+    fn oversized_rejected(
+        over in 1u32..1_000_000,
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let len = MAX_FRAME_LEN + over;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&garbage);
+        prop_assert!(matches!(decode_frame(&bytes), Err(FrameError::Oversized { .. })));
+    }
+
+    /// A corrupted header that still declares an in-range length either
+    /// truncates or decodes to the declared size — decode_frame never
+    /// panics on arbitrary input.
+    #[test]
+    fn arbitrary_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok((payload, consumed)) = decode_frame(&bytes) {
+            prop_assert_eq!(consumed, FRAME_HEADER_LEN + payload.len());
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+}

@@ -43,7 +43,10 @@ impl NmpConfig {
     ///
     /// Panics if `ranks` is zero or odd (ranks come in pairs per DIMM).
     pub fn with_ranks_and_cache(ranks: usize, cache_bytes: usize) -> Self {
-        assert!(ranks > 0 && ranks % 2 == 0, "ranks must be a positive even count");
+        assert!(
+            ranks > 0 && ranks.is_multiple_of(2),
+            "ranks must be a positive even count"
+        );
         NmpConfig {
             ranks,
             ranks_per_dimm: 2,

@@ -32,7 +32,13 @@ pub struct SpcotWork {
 impl SpcotWork {
     /// The Ironman configuration: 4-ary ChaCha8 trees.
     pub fn ironman(trees: usize, leaves: usize, role: Role) -> Self {
-        SpcotWork { trees, leaves, arity: Arity::QUAD, prg: PrgKind::CHACHA8, role }
+        SpcotWork {
+            trees,
+            leaves,
+            arity: Arity::QUAD,
+            prg: PrgKind::CHACHA8,
+            role,
+        }
     }
 }
 
@@ -56,9 +62,10 @@ pub struct DimmSpcotReport {
 pub fn pipeline_for(prg: PrgKind) -> PipelineModel {
     match prg {
         PrgKind::Aes => PipelineModel::AES,
-        PrgKind::ChaCha { rounds } => {
-            PipelineModel { stages: rounds as usize, blocks_per_call: 4 }
-        }
+        PrgKind::ChaCha { rounds } => PipelineModel {
+            stages: rounds as usize,
+            blocks_per_call: 4,
+        },
     }
 }
 
@@ -72,12 +79,23 @@ pub fn simulate_dimm(cfg: &NmpConfig, work: &SpcotWork, trees_on_dimm: usize) ->
     let cores = cfg.prg_cores_per_dimm.max(1);
     let trees_per_core = trees_on_dimm.div_ceil(cores);
     if trees_per_core == 0 {
-        return DimmSpcotReport { cycles: 0, calls: 0, utilization: 0.0, xor_cycles: 0 };
+        return DimmSpcotReport {
+            cycles: 0,
+            calls: 0,
+            utilization: 0.0,
+            xor_cycles: 0,
+        };
     }
 
     // Sample the schedule: enough trees to reach steady state.
     let sample = trees_per_core.min(16);
-    let sim = schedule::simulate(ExpansionSchedule::Hybrid, pipeline, sample, work.arity, work.leaves);
+    let sim = schedule::simulate(
+        ExpansionSchedule::Hybrid,
+        pipeline,
+        sample,
+        work.arity,
+        work.leaves,
+    );
     let scale = trees_per_core as f64 / sample as f64;
     let expansion_cycles = (sim.cycles as f64 * scale).round() as u64;
     let calls_per_core = (sim.calls as f64 * scale).round() as u64;
@@ -134,11 +152,23 @@ mod tests {
         let c = cfg();
         let quad = simulate_spcot(
             &c,
-            &SpcotWork { trees: 32, leaves: 1024, arity: Arity::QUAD, prg: PrgKind::CHACHA8, role: Role::Sender },
+            &SpcotWork {
+                trees: 32,
+                leaves: 1024,
+                arity: Arity::QUAD,
+                prg: PrgKind::CHACHA8,
+                role: Role::Sender,
+            },
         );
         let bin = simulate_spcot(
             &c,
-            &SpcotWork { trees: 32, leaves: 1024, arity: Arity::BINARY, prg: PrgKind::Aes, role: Role::Sender },
+            &SpcotWork {
+                trees: 32,
+                leaves: 1024,
+                arity: Arity::BINARY,
+                prg: PrgKind::Aes,
+                role: Role::Sender,
+            },
         );
         assert!(
             bin.cycles > 4 * quad.cycles,
@@ -163,7 +193,12 @@ mod tests {
         let w = SpcotWork::ironman(128, 1024, Role::Sender);
         let a = simulate_spcot(&small, &w);
         let b = simulate_spcot(&large, &w);
-        assert!(b.cycles < a.cycles, "16-rank {} !< 2-rank {}", b.cycles, a.cycles);
+        assert!(
+            b.cycles < a.cycles,
+            "16-rank {} !< 2-rank {}",
+            b.cycles,
+            a.cycles
+        );
     }
 
     #[test]

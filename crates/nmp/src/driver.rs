@@ -76,7 +76,12 @@ pub fn compile_ote(cfg: &NmpConfig, n: usize, trees: usize) -> Vec<NmpInst> {
     }
     for rank in 0..cfg.ranks.min(16) as u8 {
         let per_rank = (n / cfg.ranks) as u32;
-        program.push(NmpInst::new(NmpOp::ReadCot, rank, per_rank.min(NmpInst::MAX_COUNT), 0));
+        program.push(NmpInst::new(
+            NmpOp::ReadCot,
+            rank,
+            per_rank.min(NmpInst::MAX_COUNT),
+            0,
+        ));
     }
     program
 }
@@ -88,7 +93,10 @@ pub fn compile_ote(cfg: &NmpConfig, n: usize, trees: usize) -> Vec<NmpInst> {
 /// Panics if the program contains counts inconsistent with the context
 /// (e.g. a gather larger than `ctx.n`).
 pub fn execute(cfg: &NmpConfig, ctx: &ProgramContext, program: &[NmpInst]) -> ProgramReport {
-    let mut report = ProgramReport { instructions: program.len(), ..Default::default() };
+    let mut report = ProgramReport {
+        instructions: program.len(),
+        ..Default::default()
+    };
     let bytes_per_cycle = (cfg.dram.access_bytes as u64 / cfg.dram.timing.t_bl).max(1);
 
     for inst in program {
@@ -128,8 +136,9 @@ pub fn execute(cfg: &NmpConfig, ctx: &ProgramContext, program: &[NmpInst]) -> Pr
             NmpOp::ReadCot => {
                 // Overlapped streaming: only the residual tail shows.
                 let bytes = inst.count as u64 * Block::BYTES as u64;
-                report.read_cycles =
-                    report.read_cycles.max((bytes.div_ceil(bytes_per_cycle) / 100).max(16));
+                report.read_cycles = report
+                    .read_cycles
+                    .max((bytes.div_ceil(bytes_per_cycle) / 100).max(16));
             }
         }
     }
@@ -160,7 +169,10 @@ mod tests {
         let cfg = NmpConfig::with_ranks_and_cache(8, 256 * 1024);
         let program = compile_ote(&cfg, 100_000, 48);
         let gathers = program.iter().filter(|i| i.op == NmpOp::LpnGather).count();
-        let spcots = program.iter().filter(|i| i.op == NmpOp::SpcotExpand).count();
+        let spcots = program
+            .iter()
+            .filter(|i| i.op == NmpOp::SpcotExpand)
+            .count();
         assert_eq!(gathers, 8);
         assert_eq!(spcots, 4);
         // Round-trip through the wire format.

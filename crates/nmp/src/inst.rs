@@ -22,8 +22,12 @@ pub enum NmpOp {
 }
 
 impl NmpOp {
-    const ALL: [NmpOp; 4] =
-        [NmpOp::WriteVector, NmpOp::LpnGather, NmpOp::SpcotExpand, NmpOp::ReadCot];
+    const ALL: [NmpOp; 4] = [
+        NmpOp::WriteVector,
+        NmpOp::LpnGather,
+        NmpOp::SpcotExpand,
+        NmpOp::ReadCot,
+    ];
 
     fn code(self) -> u8 {
         match self {
@@ -76,7 +80,12 @@ impl NmpInst {
     pub fn new(op: NmpOp, rank: u8, count: u32, addr: u32) -> Self {
         assert!(count <= Self::MAX_COUNT, "count {count} exceeds 24 bits");
         assert!(rank < 16, "rank {rank} exceeds 4 bits");
-        NmpInst { op, rank, count, addr }
+        NmpInst {
+            op,
+            rank,
+            count,
+            addr,
+        }
     }
 
     /// Encodes to the 64-bit wire format.

@@ -117,7 +117,11 @@ impl OteSimulator {
     /// partition, optionally index-sorted, sampled to `sample_rows`.
     fn lpn_work(&self, work: &OteWork, seed: u64) -> LpnWork {
         let rows_per_rank = work.n.div_ceil(self.cfg.ranks);
-        let sim_rows = work.sample_rows.unwrap_or(rows_per_rank).min(rows_per_rank).max(1);
+        let sim_rows = work
+            .sample_rows
+            .unwrap_or(rows_per_rank)
+            .min(rows_per_rank)
+            .max(1);
         let matrix =
             LpnMatrix::generate(sim_rows, work.k, work.weight, Block::from(seed as u128 | 1));
         let trace: Vec<u32> = match &work.sort {
@@ -127,7 +131,10 @@ impl OteSimulator {
             }
             None => matrix.colidx().to_vec(),
         };
-        LpnWork { trace, represented_accesses: (rows_per_rank * work.weight) as u64 }
+        LpnWork {
+            trace,
+            represented_accesses: (rows_per_rank * work.weight) as u64,
+        }
     }
 
     /// Simulates one OTE execution.
@@ -231,7 +238,10 @@ mod tests {
     fn sorting_helps_latency() {
         let sim = OteSimulator::new(NmpConfig::with_ranks_and_cache(4, 256 * 1024));
         let sorted = toy_work();
-        let unsorted = OteWork { sort: None, ..toy_work() };
+        let unsorted = OteWork {
+            sort: None,
+            ..toy_work()
+        };
         let rs = sim.simulate(&sorted, 3);
         let ru = sim.simulate(&unsorted, 3);
         assert!(rs.cache_hit_rate > ru.cache_hit_rate);
@@ -242,7 +252,10 @@ mod tests {
     fn offload_is_negligible() {
         let sim = OteSimulator::new(NmpConfig::ironman_max());
         let r = sim.simulate(&toy_work(), 4);
-        assert!(r.offload_cycles * 20 < r.total_cycles, "offload must be hidden: {r:?}");
+        assert!(
+            r.offload_cycles * 20 < r.total_cycles,
+            "offload must be hidden: {r:?}"
+        );
     }
 
     #[test]
@@ -291,9 +304,20 @@ impl OteSimulator {
     /// work overlaps the cheaper Message-Decoder pass under the
     /// Key-Generator pass.
     pub fn simulate_dual_role(&self, work: &OteWork, seed: u64) -> DualRoleReport {
-        let as_sender = self.simulate(&OteWork { role: Role::Sender, ..work.clone() }, seed);
-        let as_receiver =
-            self.simulate(&OteWork { role: Role::Receiver, ..work.clone() }, seed ^ 0xD0A1);
+        let as_sender = self.simulate(
+            &OteWork {
+                role: Role::Sender,
+                ..work.clone()
+            },
+            seed,
+        );
+        let as_receiver = self.simulate(
+            &OteWork {
+                role: Role::Receiver,
+                ..work.clone()
+            },
+            seed ^ 0xD0A1,
+        );
         // Shared execution: both LPN gathers contend for the same ranks
         // (serialize); the two SPCOT passes time-share the PRG cores
         // (serialize) but overlap with the combined LPN.
@@ -302,7 +326,12 @@ impl OteSimulator {
         let offload = as_sender.offload_cycles.max(as_receiver.offload_cycles);
         let shared_cycles = lpn.max(spcot) + offload;
         let sequential_cycles = as_sender.total_cycles + as_receiver.total_cycles;
-        DualRoleReport { as_sender, as_receiver, shared_cycles, sequential_cycles }
+        DualRoleReport {
+            as_sender,
+            as_receiver,
+            shared_cycles,
+            sequential_cycles,
+        }
     }
 }
 

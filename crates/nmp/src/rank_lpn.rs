@@ -28,7 +28,10 @@ impl LpnWork {
     /// Work that is fully materialized (no sampling).
     pub fn exact(trace: Vec<u32>) -> Self {
         let represented = trace.len() as u64;
-        LpnWork { trace, represented_accesses: represented }
+        LpnWork {
+            trace,
+            represented_accesses: represented,
+        }
     }
 
     /// The scale factor applied to simulated cycles.
@@ -100,7 +103,12 @@ pub fn simulate_rank(cfg: &NmpConfig, work: &LpnWork) -> RankLpnReport {
     let sample_cycles = issue_cycles.max(memory_cycles);
     let cycles = (sample_cycles as f64 * work.scale()).round() as u64;
 
-    RankLpnReport { cycles, cache: cache_stats, dram: dram_stats, index_stream_cycles }
+    RankLpnReport {
+        cycles,
+        cache: cache_stats,
+        dram: dram_stats,
+        index_stream_cycles,
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +140,9 @@ mod tests {
     #[test]
     fn cold_random_trace_is_dram_bound() {
         // Strided accesses over a vector far larger than the cache.
-        let trace: Vec<u32> = (0..50_000u32).map(|i| (i.wrapping_mul(7919)) % 4_000_000).collect();
+        let trace: Vec<u32> = (0..50_000u32)
+            .map(|i| (i.wrapping_mul(7919)) % 4_000_000)
+            .collect();
         let r = simulate_rank(&cfg(), &LpnWork::exact(trace));
         assert!(r.hit_rate() < 0.2, "hit rate {}", r.hit_rate());
         assert!(r.dram.total_cycles > 0);
@@ -154,14 +164,22 @@ mod tests {
             &LpnWork::exact(trace),
         );
         assert!(large.hit_rate() > small.hit_rate());
-        assert!(large.cycles < small.cycles, "large {} !< small {}", large.cycles, small.cycles);
+        assert!(
+            large.cycles < small.cycles,
+            "large {} !< small {}",
+            large.cycles,
+            small.cycles
+        );
     }
 
     #[test]
     fn sampling_scales_cycles() {
         let trace: Vec<u32> = (0..10_000u32).map(|i| i * 131 % 100_000).collect();
         let exact = LpnWork::exact(trace.clone());
-        let sampled = LpnWork { trace, represented_accesses: 100_000 };
+        let sampled = LpnWork {
+            trace,
+            represented_accesses: 100_000,
+        };
         let a = simulate_rank(&cfg(), &exact);
         let b = simulate_rank(&cfg(), &sampled);
         assert!((b.cycles as f64 / a.cycles as f64 - 10.0).abs() < 0.5);

@@ -37,7 +37,10 @@ impl UnifiedUnit {
     /// Panics if `prg_cores == 0`.
     pub fn for_cores(prg_cores: usize) -> Self {
         assert!(prg_cores > 0, "need at least one PRG core");
-        UnifiedUnit { width: 4 * prg_cores, cycles: 0 }
+        UnifiedUnit {
+            width: 4 * prg_cores,
+            cycles: 0,
+        }
     }
 
     /// Input width of the XOR tree.
@@ -95,10 +98,15 @@ mod tests {
         let mut u = UnifiedUnit::for_cores(4);
         let values: Vec<Block> = (0..32u128).map(|i| Block::from(i * 11 + 3)).collect();
         let sums = u.branch_sums(Role::Sender, &values, 4);
-        for j in 0..4 {
-            let expect =
-                Block::xor_all(values.iter().enumerate().filter(|(i, _)| i % 4 == j).map(|(_, &b)| b));
-            assert_eq!(sums[j], expect);
+        for (j, &sum) in sums.iter().enumerate().take(4) {
+            let expect = Block::xor_all(
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 4 == j)
+                    .map(|(_, &b)| b),
+            );
+            assert_eq!(sum, expect);
         }
     }
 
@@ -109,7 +117,12 @@ mod tests {
         let mut r = UnifiedUnit::for_cores(2);
         s.branch_sums(Role::Sender, &values, 2);
         r.branch_sums(Role::Receiver, &values, 2);
-        assert!(r.cycles() < s.cycles(), "receiver {} !< sender {}", r.cycles(), s.cycles());
+        assert!(
+            r.cycles() < s.cycles(),
+            "receiver {} !< sender {}",
+            r.cycles(),
+            s.cycles()
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub enum ChannelError {
         /// Actual byte length.
         actual: usize,
     },
+    /// An underlying socket/stream failure (networked transports).
+    Io(std::io::Error),
 }
 
 impl fmt::Display for ChannelError {
@@ -30,13 +32,79 @@ impl fmt::Display for ChannelError {
         match self {
             ChannelError::Disconnected => write!(f, "channel peer disconnected"),
             ChannelError::Malformed { expected, actual } => {
-                write!(f, "malformed message: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "malformed message: expected {expected} bytes, got {actual}"
+                )
             }
+            ChannelError::Io(e) => write!(f, "channel I/O error: {e}"),
         }
     }
 }
 
-impl std::error::Error for ChannelError {}
+impl std::error::Error for ChannelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChannelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ChannelError {
+    fn from(e: std::io::Error) -> Self {
+        // A peer closing its socket surfaces as EOF/broken-pipe; fold those
+        // into the logical Disconnected case the protocols already handle.
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => ChannelError::Disconnected,
+            _ => ChannelError::Io(e),
+        }
+    }
+}
+
+/// Packs a bit vector into the canonical framing shared by every transport:
+/// an 8-byte little-endian bit count followed by the LSB-first packed bits.
+///
+/// [`Transport::send_bits`] and the `ironman-net` wire codec both use this
+/// layout, so local and socket paths serialize identically.
+pub fn encode_bits(bits: &[bool]) -> Vec<u8> {
+    let mut bytes = vec![0u8; bits.len().div_ceil(8) + 8];
+    bytes[..8].copy_from_slice(&(bits.len() as u64).to_le_bytes());
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            bytes[8 + i / 8] |= 1 << (i % 8);
+        }
+    }
+    bytes
+}
+
+/// Inverse of [`encode_bits`].
+///
+/// # Errors
+///
+/// Returns [`ChannelError::Malformed`] when the header is truncated or the
+/// payload length disagrees with the declared bit count.
+pub fn decode_bits(bytes: &[u8]) -> Result<Vec<bool>, ChannelError> {
+    if bytes.len() < 8 {
+        return Err(ChannelError::Malformed {
+            expected: 8,
+            actual: bytes.len(),
+        });
+    }
+    let len = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte header")) as usize;
+    if bytes.len() != len.div_ceil(8) + 8 {
+        return Err(ChannelError::Malformed {
+            expected: len.div_ceil(8) + 8,
+            actual: bytes.len(),
+        });
+    }
+    Ok((0..len)
+        .map(|i| bytes[8 + i / 8] >> (i % 8) & 1 == 1)
+        .collect())
+}
 
 /// Communication statistics of one endpoint.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,7 +169,10 @@ pub trait Transport {
         let arr: [u8; 16] = bytes
             .as_slice()
             .try_into()
-            .map_err(|_| ChannelError::Malformed { expected: 16, actual: bytes.len() })?;
+            .map_err(|_| ChannelError::Malformed {
+                expected: 16,
+                actual: bytes.len(),
+            })?;
         Ok(Block::from_le_bytes(arr))
     }
 
@@ -155,7 +226,10 @@ pub trait Transport {
     fn recv_bit(&mut self) -> Result<bool, ChannelError> {
         let bytes = self.recv_bytes()?;
         if bytes.len() != 1 {
-            return Err(ChannelError::Malformed { expected: 1, actual: bytes.len() });
+            return Err(ChannelError::Malformed {
+                expected: 1,
+                actual: bytes.len(),
+            });
         }
         Ok(bytes[0] != 0)
     }
@@ -166,14 +240,7 @@ pub trait Transport {
     ///
     /// Propagates transport errors.
     fn send_bits(&mut self, bits: &[bool]) -> Result<(), ChannelError> {
-        let mut bytes = vec![0u8; bits.len().div_ceil(8) + 8];
-        bytes[..8].copy_from_slice(&(bits.len() as u64).to_le_bytes());
-        for (i, &b) in bits.iter().enumerate() {
-            if b {
-                bytes[8 + i / 8] |= 1 << (i % 8);
-            }
-        }
-        self.send_bytes(bytes)
+        self.send_bytes(encode_bits(bits))
     }
 
     /// Receives a packed bit vector.
@@ -182,15 +249,7 @@ pub trait Transport {
     ///
     /// Fails on disconnect or malformed framing.
     fn recv_bits(&mut self) -> Result<Vec<bool>, ChannelError> {
-        let bytes = self.recv_bytes()?;
-        if bytes.len() < 8 {
-            return Err(ChannelError::Malformed { expected: 8, actual: bytes.len() });
-        }
-        let len = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte header")) as usize;
-        if bytes.len() != len.div_ceil(8) + 8 {
-            return Err(ChannelError::Malformed { expected: len.div_ceil(8) + 8, actual: bytes.len() });
-        }
-        Ok((0..len).map(|i| bytes[8 + i / 8] >> (i % 8) & 1 == 1).collect())
+        decode_bits(&self.recv_bytes()?)
     }
 }
 
@@ -267,22 +326,53 @@ impl Transport for LocalChannel {
 /// # Panics
 ///
 /// Panics if either party panics (the panic is propagated).
-pub fn run_protocol<S, R, FS, FR>(sender_fn: FS, receiver_fn: FR) -> (S, R, ChannelStats, ChannelStats)
+pub fn run_protocol<S, R, FS, FR>(
+    sender_fn: FS,
+    receiver_fn: FR,
+) -> (S, R, ChannelStats, ChannelStats)
 where
     S: Send,
     R: Send,
     FS: FnOnce(&mut LocalChannel) -> S + Send,
     FR: FnOnce(&mut LocalChannel) -> R + Send,
 {
-    let (mut cs, mut cr) = LocalChannel::pair();
+    let (cs, cr) = LocalChannel::pair();
+    run_protocol_over(cs, cr, sender_fn, receiver_fn)
+}
+
+/// Runs a two-party protocol over an arbitrary pre-connected transport
+/// pair — in-process channels, TCP sockets, unix sockets — returning
+/// `(sender_out, receiver_out, sender_stats, receiver_stats)`.
+///
+/// This is the transport-generic form of [`run_protocol`]; the two
+/// endpoints need not even be the same transport type (e.g. one side over
+/// a socket, a loopback harness on the other).
+///
+/// # Panics
+///
+/// Panics if either party panics (the panic is propagated).
+pub fn run_protocol_over<TS, TR, S, R, FS, FR>(
+    mut sender_ch: TS,
+    mut receiver_ch: TR,
+    sender_fn: FS,
+    receiver_fn: FR,
+) -> (S, R, ChannelStats, ChannelStats)
+where
+    TS: Transport + Send,
+    TR: Transport + Send,
+    S: Send,
+    R: Send,
+    FS: FnOnce(&mut TS) -> S + Send,
+    FR: FnOnce(&mut TR) -> R + Send,
+{
     std::thread::scope(|scope| {
         let sender_handle = scope.spawn(move || {
-            let out = sender_fn(&mut cs);
-            (out, cs.stats())
+            let out = sender_fn(&mut sender_ch);
+            (out, sender_ch.stats())
         });
         let receiver_handle = scope.spawn(move || {
-            let out = receiver_fn(&mut cr);
-            (out, cr.stats())
+            let out = receiver_fn(&mut receiver_ch);
+            (out, receiver_ch.stats())
         });
         let (s_out, s_stats) = sender_handle.join().expect("sender thread panicked");
         let (r_out, r_stats) = receiver_handle.join().expect("receiver thread panicked");
@@ -377,6 +467,9 @@ mod tests {
     fn malformed_block_detected() {
         let (mut a, mut b) = LocalChannel::pair();
         a.send_bytes(vec![0u8; 3]).unwrap();
-        assert!(matches!(b.recv_block(), Err(ChannelError::Malformed { .. })));
+        assert!(matches!(
+            b.recv_block(),
+            Err(ChannelError::Malformed { .. })
+        ));
     }
 }

@@ -61,11 +61,18 @@ pub fn recv_chosen<T: Transport + ?Sized>(
 ) -> Result<Vec<Block>, ChannelError> {
     let batch = base.split_off_front(choices.len());
     let crhf = Crhf::new();
-    let flips: Vec<bool> =
-        choices.iter().zip(batch.bits()).map(|(&c, &b)| c ^ b).collect();
+    let flips: Vec<bool> = choices
+        .iter()
+        .zip(batch.bits())
+        .map(|(&c, &b)| c ^ b)
+        .collect();
     ch.send_bits(&flips)?;
     let payload = ch.recv_blocks()?;
-    assert_eq!(payload.len(), 2 * choices.len(), "sender payload size mismatch");
+    assert_eq!(
+        payload.len(),
+        2 * choices.len(),
+        "sender payload size mismatch"
+    );
     Ok(choices
         .iter()
         .enumerate()
@@ -133,8 +140,9 @@ mod tests {
         let delta = dealer.random_delta();
         let n = 16;
         let (mut s_base, mut r_base) = dealer.deal_cot(delta, n);
-        let pairs: Vec<(Block, Block)> =
-            (0..n as u128).map(|i| (Block::from(i), Block::from(i + 100))).collect();
+        let pairs: Vec<(Block, Block)> = (0..n as u128)
+            .map(|i| (Block::from(i), Block::from(i + 100)))
+            .collect();
         let choices = vec![true; n];
         let (_, _, s_stats, r_stats) = run_protocol(
             move |ch| send_chosen(ch, &mut s_base, &pairs, 0).unwrap(),

@@ -83,10 +83,17 @@ impl CotSender {
     ///
     /// Panics if `count > len()`.
     pub fn split_off_front(&mut self, count: usize) -> CotSender {
-        assert!(count <= self.r0.len(), "cannot split {count} of {}", self.r0.len());
+        assert!(
+            count <= self.r0.len(),
+            "cannot split {count} of {}",
+            self.r0.len()
+        );
         let rest = self.r0.split_off(count);
         let front = std::mem::replace(&mut self.r0, rest);
-        CotSender { delta: self.delta, r0: front }
+        CotSender {
+            delta: self.delta,
+            r0: front,
+        }
     }
 }
 
@@ -128,12 +135,19 @@ impl CotReceiver {
     ///
     /// Panics if `count > len()`.
     pub fn split_off_front(&mut self, count: usize) -> CotReceiver {
-        assert!(count <= self.rb.len(), "cannot split {count} of {}", self.rb.len());
+        assert!(
+            count <= self.rb.len(),
+            "cannot split {count} of {}",
+            self.rb.len()
+        );
         let rest_bits = self.bits.split_off(count);
         let rest_rb = self.rb.split_off(count);
         let front_bits = std::mem::replace(&mut self.bits, rest_bits);
         let front_rb = std::mem::replace(&mut self.rb, rest_rb);
-        CotReceiver { bits: front_bits, rb: front_rb }
+        CotReceiver {
+            bits: front_bits,
+            rb: front_rb,
+        }
     }
 }
 
@@ -171,10 +185,15 @@ mod tests {
 
     fn sample(delta: u128, n: usize) -> (CotSender, CotReceiver) {
         let delta = Block::from(delta);
-        let r0: Vec<Block> = (0..n as u128).map(|i| Block::from(i * 0x1111 + 7)).collect();
+        let r0: Vec<Block> = (0..n as u128)
+            .map(|i| Block::from(i * 0x1111 + 7))
+            .collect();
         let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
-        let rb: Vec<Block> =
-            r0.iter().zip(&bits).map(|(&r, &b)| r ^ delta.and_bit(b)).collect();
+        let rb: Vec<Block> = r0
+            .iter()
+            .zip(&bits)
+            .map(|(&r, &b)| r ^ delta.and_bit(b))
+            .collect();
         (CotSender::new(delta, r0), CotReceiver::new(bits, rb))
     }
 

@@ -33,7 +33,10 @@ pub struct Dealer {
 impl Dealer {
     /// Creates a dealer with a reproducible seed.
     pub fn new(seed: u64) -> Self {
-        Dealer { prf: Aes128::new(Block::from(seed as u128 | 1 << 127)), counter: 0 }
+        Dealer {
+            prf: Aes128::new(Block::from(seed as u128 | 1 << 127)),
+            counter: 0,
+        }
     }
 
     /// Draws the next pseudorandom block.
@@ -119,7 +122,10 @@ mod tests {
         let delta = d.random_delta();
         let (_, r) = d.deal_cot(delta, 256);
         let ones = r.bits().iter().filter(|&&b| b).count();
-        assert!((64..192).contains(&ones), "bits look non-random: {ones}/256");
+        assert!(
+            (64..192).contains(&ones),
+            "bits look non-random: {ones}/256"
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl FerretConfig {
             arity: Arity::QUAD,
             prg: PrgKind::CHACHA8,
             session_key: Block::from(0x1203_4567u128),
-            lpn_seed: Block::from(0x4c50_4eu128),
+            lpn_seed: Block::from(0x004c_504e_u128),
             row_weight: DEFAULT_ROW_WEIGHT,
             sort: None,
             batched_spcot: true,
@@ -72,7 +72,11 @@ impl FerretConfig {
     /// The CPU-baseline configuration (binary AES trees), as profiled in
     /// Fig. 1(b).
     pub fn ferret_baseline(params: FerretParams) -> Self {
-        FerretConfig { arity: Arity::BINARY, prg: PrgKind::Aes, ..FerretConfig::new(params) }
+        FerretConfig {
+            arity: Arity::BINARY,
+            prg: PrgKind::Aes,
+            ..FerretConfig::new(params)
+        }
     }
 
     /// Base COTs each party must hold before an extension:
@@ -177,7 +181,10 @@ impl FerretSender {
     /// # Errors
     ///
     /// Propagates channel failures.
-    pub fn extend<T: Transport + ?Sized>(&mut self, ch: &mut T) -> Result<Vec<Block>, ChannelError> {
+    pub fn extend<T: Transport + ?Sized>(
+        &mut self,
+        ch: &mut T,
+    ) -> Result<Vec<Block>, ChannelError> {
         let p = self.cfg.params;
         let spcot_cfg = self.cfg.spcot_config();
         let spcot_budget = p.t * p.leaves.trailing_zeros() as usize;
@@ -196,7 +203,13 @@ impl FerretSender {
             let mut outs = Vec::with_capacity(p.t);
             for _ in 0..p.t {
                 let seed = self.seeds.random_block();
-                outs.push(spcot_send(ch, &spcot_cfg, &mut spcot_base, seed, &mut self.tweak)?);
+                outs.push(spcot_send(
+                    ch,
+                    &spcot_cfg,
+                    &mut spcot_base,
+                    seed,
+                    &mut self.tweak,
+                )?);
             }
             outs
         };
@@ -287,14 +300,21 @@ impl FerretReceiver {
             (start, p.leaves.min(p.n - start))
         };
         let outs = if self.cfg.batched_spcot {
-            let alphas: Vec<usize> =
-                (0..p.t).map(|i| self.alphas.random_index(stripe_width(i).1)).collect();
+            let alphas: Vec<usize> = (0..p.t)
+                .map(|i| self.alphas.random_index(stripe_width(i).1))
+                .collect();
             spcot_batch_recv(ch, &spcot_cfg, &mut spcot_base, &alphas, &mut self.tweak)?
         } else {
             let mut outs = Vec::with_capacity(p.t);
             for i in 0..p.t {
                 let alpha = self.alphas.random_index(stripe_width(i).1);
-                outs.push(spcot_recv(ch, &spcot_cfg, &mut spcot_base, alpha, &mut self.tweak)?);
+                outs.push(spcot_recv(
+                    ch,
+                    &spcot_cfg,
+                    &mut spcot_base,
+                    alpha,
+                    &mut self.tweak,
+                )?);
             }
             outs
         };
@@ -372,7 +392,9 @@ impl FerretOutput {
 /// Convenience harness: deals fresh bases, runs one extension on two
 /// threads, and returns the matched outputs.
 pub fn run_extension(cfg: &FerretConfig, seed: u64) -> FerretOutput {
-    run_extensions(cfg, seed, 1).pop().expect("one iteration requested")
+    run_extensions(cfg, seed, 1)
+        .pop()
+        .expect("one iteration requested")
 }
 
 /// Runs `iterations` consecutive extensions over one session (exercising
@@ -382,6 +404,30 @@ pub fn run_extension(cfg: &FerretConfig, seed: u64) -> FerretOutput {
 ///
 /// Panics if `iterations == 0` or a protocol thread fails.
 pub fn run_extensions(cfg: &FerretConfig, seed: u64, iterations: usize) -> Vec<FerretOutput> {
+    let (cs, cr) = crate::channel::LocalChannel::pair();
+    run_extensions_over(cfg, seed, iterations, cs, cr)
+}
+
+/// [`run_extensions`] over an arbitrary pre-connected transport pair (e.g.
+/// `ironman-net`'s TCP loopback endpoints): deals fresh bases, runs the
+/// two parties on their own threads across the given transports, and
+/// returns each iteration's matched outputs with that transport's real
+/// byte/round accounting.
+///
+/// # Panics
+///
+/// Panics if `iterations == 0` or a protocol thread fails.
+pub fn run_extensions_over<TS, TR>(
+    cfg: &FerretConfig,
+    seed: u64,
+    iterations: usize,
+    sender_ch: TS,
+    receiver_ch: TR,
+) -> Vec<FerretOutput>
+where
+    TS: crate::channel::Transport + Send,
+    TR: crate::channel::Transport + Send,
+{
     assert!(iterations > 0, "need at least one iteration");
     let mut dealer = Dealer::new(seed);
     let delta = dealer.random_delta();
@@ -390,12 +436,17 @@ pub fn run_extensions(cfg: &FerretConfig, seed: u64, iterations: usize) -> Vec<F
     let cfg_s = cfg.clone();
     let cfg_r = cfg.clone();
 
-    let (sender_iters, receiver_iters, s_stats, r_stats) = crate::channel::run_protocol(
+    let (sender_iters, receiver_iters, s_stats, r_stats) = crate::channel::run_protocol_over(
+        sender_ch,
+        receiver_ch,
         move |ch| {
             let mut sender = FerretSender::new(cfg_s, s_base, seed);
             let mut outs = Vec::with_capacity(iterations);
             for _ in 0..iterations {
-                outs.push((sender.extend(ch).expect("sender extension failed"), sender.prg_counter()));
+                outs.push((
+                    sender.extend(ch).expect("sender extension failed"),
+                    sender.prg_counter(),
+                ));
             }
             outs
         },
@@ -449,15 +500,23 @@ mod tests {
     #[test]
     fn all_arities_verify() {
         for arity in Arity::SWEEP {
-            let cfg = FerretConfig { arity, ..FerretConfig::new(FerretParams::toy()) };
-            run_extension(&cfg, 3).verify().unwrap_or_else(|i| panic!("{arity}: COT {i} broken"));
+            let cfg = FerretConfig {
+                arity,
+                ..FerretConfig::new(FerretParams::toy())
+            };
+            run_extension(&cfg, 3)
+                .verify()
+                .unwrap_or_else(|i| panic!("{arity}: COT {i} broken"));
         }
     }
 
     #[test]
     fn sorted_matrix_matches_plain() {
         let plain_cfg = FerretConfig::new(FerretParams::toy());
-        let sorted_cfg = FerretConfig { sort: Some(SortConfig::default()), ..plain_cfg.clone() };
+        let sorted_cfg = FerretConfig {
+            sort: Some(SortConfig::default()),
+            ..plain_cfg.clone()
+        };
         let plain = run_extension(&plain_cfg, 4);
         let sorted = run_extension(&sorted_cfg, 4);
         // Same randomness → bit-identical outputs despite reordered memory
@@ -474,7 +533,8 @@ mod tests {
         let outs = run_extensions(&cfg, 5, 3);
         assert_eq!(outs.len(), 3);
         for (i, out) in outs.iter().enumerate() {
-            out.verify().unwrap_or_else(|j| panic!("iteration {i}, COT {j} broken"));
+            out.verify()
+                .unwrap_or_else(|j| panic!("iteration {i}, COT {j} broken"));
             assert_eq!(out.len(), cfg.usable_outputs());
         }
         // Outputs across iterations must differ (fresh randomness).
@@ -495,7 +555,10 @@ mod tests {
         let ones = out.x.iter().filter(|&&b| b).count();
         // x = e·A ⊕ u is pseudorandom: expect a roughly balanced bit vector.
         let n = out.x.len();
-        assert!(ones > n / 4 && ones < 3 * n / 4, "x looks degenerate: {ones}/{n}");
+        assert!(
+            ones > n / 4 && ones < 3 * n / 4,
+            "x looks degenerate: {ones}/{n}"
+        );
     }
 
     #[test]

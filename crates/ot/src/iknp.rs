@@ -35,7 +35,11 @@ struct BitColumns {
 impl BitColumns {
     fn new(n: usize, cols: usize) -> Self {
         let words_per_col = n.div_ceil(64);
-        BitColumns { words_per_col, n, data: vec![0; words_per_col * cols] }
+        BitColumns {
+            words_per_col,
+            n,
+            data: vec![0; words_per_col * cols],
+        }
     }
 
     fn col_mut(&mut self, c: usize) -> &mut [u64] {
@@ -65,9 +69,9 @@ impl BitColumns {
         let words_per_col = self.words_per_col;
         let tail = self.n % 64;
         let col = self.col_mut(c);
-        for w in 0..words_per_col {
+        for (w, word) in col.iter_mut().enumerate().take(words_per_col) {
             let block = aes.encrypt_block(Block::from(w as u128));
-            col[w] = block.to_halves().1;
+            *word = block.to_halves().1;
         }
         // Mask tail bits beyond n for cleanliness.
         if tail != 0 {
@@ -92,8 +96,8 @@ pub fn iknp_send<T: Transport + ?Sized>(
     n: usize,
 ) -> Result<CotSender, ChannelError> {
     let mut q = BitColumns::new(n, 128);
-    for c in 0..128 {
-        q.fill_from_seed(c, base_seeds[c]);
+    for (c, &seed) in base_seeds.iter().enumerate() {
+        q.fill_from_seed(c, seed);
     }
     // Receive the masked columns and fold them in where Δ_i = 1.
     let delta_bits = u128::from(delta);
@@ -136,13 +140,13 @@ pub fn iknp_recv<T: Transport + ?Sized>(
     }
     let mut t0 = BitColumns::new(n, 128);
     let mut t1 = BitColumns::new(n, 128);
-    for c in 0..128 {
-        t0.fill_from_seed(c, base_pairs[c].0);
-        t1.fill_from_seed(c, base_pairs[c].1);
+    for (c, &(s0, s1)) in base_pairs.iter().enumerate() {
+        t0.fill_from_seed(c, s0);
+        t1.fill_from_seed(c, s1);
         // u = t0 ⊕ t1 ⊕ x, sent per column.
         let mut u_bytes = Vec::with_capacity(words_per_col * 8);
-        for w in 0..words_per_col {
-            let u = t0.col(c)[w] ^ t1.col(c)[w] ^ x_words[w];
+        for (w, &xw) in x_words.iter().enumerate().take(words_per_col) {
+            let u = t0.col(c)[w] ^ t1.col(c)[w] ^ xw;
             u_bytes.extend_from_slice(&u.to_le_bytes());
         }
         ch.send_bytes(u_bytes)?;
@@ -223,8 +227,8 @@ mod tests {
 
         let cfg = crate::ferret::FerretConfig::new(crate::params::FerretParams::toy());
         let out = crate::ferret::run_extension(&cfg, 4);
-        let pcg_per_ot = (out.sender_stats.bytes_sent + out.receiver_stats.bytes_sent) as f64
-            / out.len() as f64;
+        let pcg_per_ot =
+            (out.sender_stats.bytes_sent + out.receiver_stats.bytes_sent) as f64 / out.len() as f64;
         assert!(
             pcg_per_ot < iknp_per_ot / 2.0,
             "PCG {pcg_per_ot:.2} B/OT should be well below IKNP {iknp_per_ot:.2} B/OT"

@@ -17,7 +17,10 @@ use ironman_prg::{AesTreePrg, Block};
 
 /// Number of base COTs one (m−1)-out-of-m OT consumes.
 pub fn base_cots_needed(m: usize) -> usize {
-    assert!(m.is_power_of_two() && m >= 2, "m must be a power of two >= 2");
+    assert!(
+        m.is_power_of_two() && m >= 2,
+        "m must be a power of two >= 2"
+    );
     m.trailing_zeros() as usize
 }
 
@@ -57,8 +60,11 @@ pub fn send_all_but_one<T: Transport + ?Sized>(
     let pairs: Vec<(Block, Block)> = sums.iter().map(|s| (s[0], s[1])).collect();
     send_chosen(ch, base, &pairs, tweak_base)?;
     // Mask each message with its pad (leaf).
-    let masked: Vec<Block> =
-        messages.iter().zip(tree.leaves()).map(|(&msg, &pad)| msg ^ pad).collect();
+    let masked: Vec<Block> = messages
+        .iter()
+        .zip(tree.leaves())
+        .map(|(&msg, &pad)| msg ^ pad)
+        .collect();
     ch.send_blocks(&masked)
 }
 
@@ -93,7 +99,12 @@ pub fn recv_all_but_one<T: Transport + ?Sized>(
         sums[lvl]
     });
     let masked = ch.recv_blocks()?;
-    assert_eq!(masked.len(), m, "sender sent {} masked messages, expected {m}", masked.len());
+    assert_eq!(
+        masked.len(),
+        m,
+        "sender sent {} masked messages, expected {m}",
+        masked.len()
+    );
     Ok(masked
         .iter()
         .zip(punct.leaves())

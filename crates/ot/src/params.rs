@@ -48,7 +48,10 @@ impl fmt::Display for ParamError {
                 write!(f, "n, k, t and leaves must be positive with n > k")
             }
             ParamError::InsecureLpn { estimated_bits } => {
-                write!(f, "LPN instance estimated at {estimated_bits:.1} bits, below 128")
+                write!(
+                    f,
+                    "LPN instance estimated at {estimated_bits:.1} bits, below 128"
+                )
             }
         }
     }
@@ -58,20 +61,45 @@ impl std::error::Error for ParamError {}
 
 impl FerretParams {
     /// Table 4, row for 2^20 output OTs.
-    pub const OT_2POW20: FerretParams =
-        FerretParams { log_target: 20, n: 1_221_516, leaves: 4096, k: 168_000, t: 480 };
+    pub const OT_2POW20: FerretParams = FerretParams {
+        log_target: 20,
+        n: 1_221_516,
+        leaves: 4096,
+        k: 168_000,
+        t: 480,
+    };
     /// Table 4, row for 2^21 output OTs.
-    pub const OT_2POW21: FerretParams =
-        FerretParams { log_target: 21, n: 2_365_652, leaves: 4096, k: 262_000, t: 600 };
+    pub const OT_2POW21: FerretParams = FerretParams {
+        log_target: 21,
+        n: 2_365_652,
+        leaves: 4096,
+        k: 262_000,
+        t: 600,
+    };
     /// Table 4, row for 2^22 output OTs.
-    pub const OT_2POW22: FerretParams =
-        FerretParams { log_target: 22, n: 4_531_924, leaves: 8192, k: 328_000, t: 740 };
+    pub const OT_2POW22: FerretParams = FerretParams {
+        log_target: 22,
+        n: 4_531_924,
+        leaves: 8192,
+        k: 328_000,
+        t: 740,
+    };
     /// Table 4, row for 2^23 output OTs.
-    pub const OT_2POW23: FerretParams =
-        FerretParams { log_target: 23, n: 8_866_608, leaves: 8192, k: 452_000, t: 1024 };
+    pub const OT_2POW23: FerretParams = FerretParams {
+        log_target: 23,
+        n: 8_866_608,
+        leaves: 8192,
+        k: 452_000,
+        t: 1024,
+    };
     /// Table 4, row for 2^24 output OTs.
-    pub const OT_2POW24: FerretParams =
-        FerretParams { log_target: 24, n: 17_262_496, leaves: 8192, k: 480_000, t: 2100 };
+    pub const OT_2POW24: FerretParams = FerretParams {
+        log_target: 24,
+        n: 17_262_496,
+        leaves: 8192,
+        k: 480_000,
+        t: 2100,
+    };
 
     /// All Table 4 rows in order.
     pub const TABLE4: [FerretParams; 5] = [
@@ -86,12 +114,24 @@ impl FerretParams {
     /// at a size that executes in milliseconds. **Not secure** — the
     /// security guard is deliberately skipped for toy sets.
     pub fn toy() -> FerretParams {
-        FerretParams { log_target: 12, n: 5000, leaves: 256, k: 1024, t: 24 }
+        FerretParams {
+            log_target: 12,
+            n: 5000,
+            leaves: 256,
+            k: 1024,
+            t: 24,
+        }
     }
 
     /// A slightly larger test set exercising the mixed-fanout tree shape.
     pub fn toy_large() -> FerretParams {
-        FerretParams { log_target: 14, n: 20_000, leaves: 512, t: 48, k: 3000 }
+        FerretParams {
+            log_target: 14,
+            n: 20_000,
+            leaves: 512,
+            t: 48,
+            k: 3000,
+        }
     }
 
     /// Validates the structural invariants and the 128-bit LPN security of
@@ -112,7 +152,9 @@ impl FerretParams {
         // ([59]) to within ~±5 bits; reject only sets clearly below the
         // 128-bit target.
         if bits < 125.0 {
-            return Err(ParamError::InsecureLpn { estimated_bits: bits });
+            return Err(ParamError::InsecureLpn {
+                estimated_bits: bits,
+            });
         }
         Ok(())
     }
@@ -196,19 +238,34 @@ mod tests {
 
     #[test]
     fn insecure_set_rejected() {
-        let weak = FerretParams { log_target: 10, n: 2048, leaves: 64, k: 512, t: 32 };
-        assert!(matches!(weak.validate(), Err(ParamError::InsecureLpn { .. })));
+        let weak = FerretParams {
+            log_target: 10,
+            n: 2048,
+            leaves: 64,
+            k: 512,
+            t: 32,
+        };
+        assert!(matches!(
+            weak.validate(),
+            Err(ParamError::InsecureLpn { .. })
+        ));
     }
 
     #[test]
     fn bad_leaves_rejected() {
-        let bad = FerretParams { leaves: 100, ..FerretParams::OT_2POW20 };
+        let bad = FerretParams {
+            leaves: 100,
+            ..FerretParams::OT_2POW20
+        };
         assert_eq!(bad.validate(), Err(ParamError::LeavesNotPowerOfTwo));
     }
 
     #[test]
     fn degenerate_rejected() {
-        let bad = FerretParams { n: 1000, ..FerretParams::OT_2POW20 };
+        let bad = FerretParams {
+            n: 1000,
+            ..FerretParams::OT_2POW20
+        };
         assert_eq!(bad.validate(), Err(ParamError::DegenerateDimensions));
     }
 

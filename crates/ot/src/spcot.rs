@@ -37,12 +37,22 @@ pub struct SpcotConfig {
 impl SpcotConfig {
     /// The paper's optimized configuration: 4-ary tree, ChaCha8 PRG.
     pub fn ironman(leaves: usize, session_key: Block) -> Self {
-        SpcotConfig { arity: Arity::QUAD, prg: PrgKind::CHACHA8, leaves, session_key }
+        SpcotConfig {
+            arity: Arity::QUAD,
+            prg: PrgKind::CHACHA8,
+            leaves,
+            session_key,
+        }
     }
 
     /// The CPU-baseline configuration: binary tree, AES PRG.
     pub fn ferret_baseline(leaves: usize, session_key: Block) -> Self {
-        SpcotConfig { arity: Arity::BINARY, prg: PrgKind::Aes, leaves, session_key }
+        SpcotConfig {
+            arity: Arity::BINARY,
+            prg: PrgKind::Aes,
+            leaves,
+            session_key,
+        }
     }
 
     /// Base COTs consumed by one execution (`log2(ℓ)` regardless of arity,
@@ -116,7 +126,10 @@ pub fn spcot_send<T: Transport + ?Sized>(
     }
     // Step ④: masked leaf sum for the receiver's α-th node recovery.
     ch.send_block(base.delta() ^ tree.leaf_sum())?;
-    Ok(SpcotSenderOutput { w: tree.leaves().to_vec(), counter: tree.counter() })
+    Ok(SpcotSenderOutput {
+        w: tree.leaves().to_vec(),
+        counter: tree.counter(),
+    })
 }
 
 /// Runs the receiver side of one SPCOT over `ch`.
@@ -154,14 +167,19 @@ pub fn spcot_recv<T: Transport + ?Sized>(
             level_sums.push(got);
         }
     }
-    let mut punct = PuncturedTree::reconstruct(prg.as_ref(), cfg.arity, cfg.leaves, alpha, |lvl, j| {
-        debug_assert_ne!(j, digits[lvl], "path branch sum must never be read");
-        level_sums[lvl][j]
-    });
+    let mut punct =
+        PuncturedTree::reconstruct(prg.as_ref(), cfg.arity, cfg.leaves, alpha, |lvl, j| {
+            debug_assert_ne!(j, digits[lvl], "path branch sum must never be read");
+            level_sums[lvl][j]
+        });
     let masked_sum = ch.recv_block()?;
     punct.recover_punctured(masked_sum);
     let counter = punct.counter();
-    Ok(SpcotReceiverOutput { alpha, v: punct.into_leaves(), counter })
+    Ok(SpcotReceiverOutput {
+        alpha,
+        v: punct.into_leaves(),
+        counter,
+    })
 }
 
 /// Verifies the SPCOT correlation `w = v ⊕ u·Δ` (test/diagnostic helper).
@@ -190,7 +208,11 @@ mod tests {
     use crate::channel::run_protocol;
     use crate::dealer::Dealer;
 
-    fn run_spcot(cfg: SpcotConfig, alpha: usize, seed_val: u64) -> (Block, SpcotSenderOutput, SpcotReceiverOutput) {
+    fn run_spcot(
+        cfg: SpcotConfig,
+        alpha: usize,
+        seed_val: u64,
+    ) -> (Block, SpcotSenderOutput, SpcotReceiverOutput) {
         let mut dealer = Dealer::new(seed_val);
         let delta = dealer.random_delta();
         let (mut s_base, mut r_base) = dealer.deal_cot(delta, cfg.base_cots_needed());
@@ -297,6 +319,9 @@ mod tests {
             );
             bytes.push(s_stats.bytes_sent);
         }
-        assert!(bytes[0] < bytes[1] && bytes[1] < bytes[2], "comm should grow with m: {bytes:?}");
+        assert!(
+            bytes[0] < bytes[1] && bytes[1] < bytes[2],
+            "comm should grow with m: {bytes:?}"
+        );
     }
 }

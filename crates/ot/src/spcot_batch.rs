@@ -39,16 +39,17 @@ pub fn spcot_batch_send<T: Transport + ?Sized>(
     tweak: &mut u64,
 ) -> Result<Vec<SpcotSenderOutput>, ChannelError> {
     let prg = build_tree_prg(cfg.prg, cfg.session_key, cfg.arity.get());
-    let trees: Vec<GgmTree> =
-        seeds.iter().map(|&s| GgmTree::expand(prg.as_ref(), s, cfg.arity, cfg.leaves)).collect();
+    let trees: Vec<GgmTree> = seeds
+        .iter()
+        .map(|&s| GgmTree::expand(prg.as_ref(), s, cfg.arity, cfg.leaves))
+        .collect();
     let sums: Vec<Vec<Vec<Block>>> = trees.iter().map(|t| t.level_sums()).collect();
     let shape = LevelShape::new(cfg.arity, cfg.leaves);
 
     for (lvl, &fanout) in shape.fanouts().iter().enumerate() {
         if fanout == 2 {
             // One chosen-OT batch covering every tree's (K0, K1).
-            let pairs: Vec<(Block, Block)> =
-                sums.iter().map(|s| (s[lvl][0], s[lvl][1])).collect();
+            let pairs: Vec<(Block, Block)> = sums.iter().map(|s| (s[lvl][0], s[lvl][1])).collect();
             send_chosen(ch, base, &pairs, *tweak)?;
             *tweak += pairs.len() as u64;
         } else {
@@ -58,7 +59,12 @@ pub fn spcot_batch_send<T: Transport + ?Sized>(
             let pad_trees: Vec<GgmTree> = seeds
                 .iter()
                 .map(|&s| {
-                    GgmTree::expand(&inner, level_seed(cfg.session_key, s, lvl), Arity::BINARY, fanout)
+                    GgmTree::expand(
+                        &inner,
+                        level_seed(cfg.session_key, s, lvl),
+                        Arity::BINARY,
+                        fanout,
+                    )
                 })
                 .collect();
             let inner_depth = fanout.trailing_zeros() as usize;
@@ -88,7 +94,10 @@ pub fn spcot_batch_send<T: Transport + ?Sized>(
 
     Ok(trees
         .into_iter()
-        .map(|t| SpcotSenderOutput { w: t.leaves().to_vec(), counter: t.counter() })
+        .map(|t| SpcotSenderOutput {
+            w: t.leaves().to_vec(),
+            counter: t.counter(),
+        })
         .collect())
 }
 
@@ -114,8 +123,10 @@ pub fn spcot_batch_recv<T: Transport + ?Sized>(
     let inner_shape_cache: Vec<usize> = shape.fanouts().to_vec();
 
     // Collected per-tree, per-level branch sums.
-    let mut level_sums: Vec<Vec<Vec<Block>>> =
-        alphas.iter().map(|_| Vec::with_capacity(shape.depth())).collect();
+    let mut level_sums: Vec<Vec<Vec<Block>>> = alphas
+        .iter()
+        .map(|_| Vec::with_capacity(shape.depth()))
+        .collect();
 
     for (lvl, &fanout) in inner_shape_cache.iter().enumerate() {
         if fanout == 2 {
@@ -136,8 +147,7 @@ pub fn spcot_batch_recv<T: Transport + ?Sized>(
             // Per inner level, one chosen-OT batch across trees.
             let mut inner_sums: Vec<Vec<Block>> = vec![Vec::new(); alphas.len()];
             for inner_lvl in 0..inner_depth {
-                let choices: Vec<bool> =
-                    inner_digits.iter().map(|d| d[inner_lvl] == 0).collect();
+                let choices: Vec<bool> = inner_digits.iter().map(|d| d[inner_lvl] == 0).collect();
                 let got = recv_chosen(ch, base, &choices, *tweak)?;
                 *tweak += choices.len() as u64;
                 for (t, s) in inner_sums.iter_mut().enumerate() {
@@ -181,7 +191,11 @@ pub fn spcot_batch_recv<T: Transport + ?Sized>(
         punct.recover_punctured(finals[t]);
         counter_total += punct.counter();
         let counter = punct.counter();
-        outputs.push(SpcotReceiverOutput { alpha, v: punct.into_leaves(), counter });
+        outputs.push(SpcotReceiverOutput {
+            alpha,
+            v: punct.into_leaves(),
+            counter,
+        });
     }
     let _ = counter_total;
     Ok(outputs)
@@ -195,12 +209,18 @@ mod tests {
     use crate::spcot::{spcot_recv, spcot_send, verify_spcot};
     use ironman_prg::PrgKind;
 
-    fn setup(cfg: &SpcotConfig, trees: usize, seed: u64) -> (Block, CotSender, CotReceiver, Vec<Block>, Vec<usize>) {
+    fn setup(
+        cfg: &SpcotConfig,
+        trees: usize,
+        seed: u64,
+    ) -> (Block, CotSender, CotReceiver, Vec<Block>, Vec<usize>) {
         let mut dealer = Dealer::new(seed);
         let delta = dealer.random_delta();
         let (sb, rb) = dealer.deal_cot(delta, trees * cfg.base_cots_needed());
         let seeds: Vec<Block> = (0..trees).map(|_| dealer.random_block()).collect();
-        let alphas: Vec<usize> = (0..trees).map(|_| dealer.random_index(cfg.leaves)).collect();
+        let alphas: Vec<usize> = (0..trees)
+            .map(|_| dealer.random_index(cfg.leaves))
+            .collect();
         (delta, sb, rb, seeds, alphas)
     }
 
@@ -208,7 +228,13 @@ mod tests {
         cfg: SpcotConfig,
         trees: usize,
         seed: u64,
-    ) -> (Block, Vec<SpcotSenderOutput>, Vec<SpcotReceiverOutput>, u64, u64) {
+    ) -> (
+        Block,
+        Vec<SpcotSenderOutput>,
+        Vec<SpcotReceiverOutput>,
+        u64,
+        u64,
+    ) {
         let (delta, mut sb, mut rb, seeds, alphas) = setup(&cfg, trees, seed);
         let (s_out, r_out, s_stats, _) = run_protocol(
             move |ch| {

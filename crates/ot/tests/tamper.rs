@@ -48,13 +48,16 @@ fn run_tampered_spcot(target: usize) -> Result<(), usize> {
     let seed = dealer.random_block();
 
     let (a, b) = LocalChannel::pair();
-    let mut sender_ch = Tamper { inner: a, sent: 0, target };
+    let mut sender_ch = Tamper {
+        inner: a,
+        sent: 0,
+        target,
+    };
     let mut receiver_ch = b;
     let (s_out, r_out) = std::thread::scope(|scope| {
         let s = scope.spawn(move || {
             let mut tweak = 0;
-            let out = spcot_send(&mut sender_ch, &cfg, &mut sb, seed, &mut tweak).unwrap();
-            out
+            spcot_send(&mut sender_ch, &cfg, &mut sb, seed, &mut tweak).unwrap()
         });
         let r = scope.spawn(move || {
             let mut tweak = 0;
@@ -88,7 +91,10 @@ fn untampered_control_case_passes() {
 fn truncated_block_message_is_a_framing_error() {
     let (mut a, mut b) = LocalChannel::pair();
     a.send_bytes(vec![0u8; 15]).unwrap(); // one byte short of a block
-    assert!(matches!(b.recv_block(), Err(ChannelError::Malformed { .. })));
+    assert!(matches!(
+        b.recv_block(),
+        Err(ChannelError::Malformed { .. })
+    ));
 }
 
 #[test]

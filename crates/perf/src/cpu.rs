@@ -83,13 +83,21 @@ pub struct CpuModel {
 impl CpuModel {
     /// Full-thread 24-core Xeon Gold 5220R (Fig. 12's CPU baseline).
     pub fn xeon_full_thread() -> Self {
-        CpuModel { aes_ops_per_s: 5.0e9, random_access_bw: 11.5e9, init_s: 0.15 }
+        CpuModel {
+            aes_ops_per_s: 5.0e9,
+            random_access_bw: 11.5e9,
+            init_s: 0.15,
+        }
     }
 
     /// Single-thread variant (Fig. 1(b)'s profiling is closer to this
     /// operating point).
     pub fn xeon_single_thread() -> Self {
-        CpuModel { aes_ops_per_s: 5.0e9 / 16.0, random_access_bw: 3.0e9, init_s: 0.3 }
+        CpuModel {
+            aes_ops_per_s: 5.0e9 / 16.0,
+            random_access_bw: 3.0e9,
+            init_s: 0.3,
+        }
     }
 
     /// The Ferret-implementation reference point used as the Fig. 12
@@ -99,7 +107,11 @@ impl CpuModel {
     /// execution ≈1.5 s, reproducing the per-execution latencies implied by
     /// Fig. 1(b) and the speedup bands of Fig. 12 (see EXPERIMENTS.md).
     pub fn ferret_reference() -> Self {
-        CpuModel { aes_ops_per_s: 0.6e9, random_access_bw: 2.4e9, init_s: 0.2 }
+        CpuModel {
+            aes_ops_per_s: 0.6e9,
+            random_access_bw: 2.4e9,
+            init_s: 0.2,
+        }
     }
 
     /// Latency of one OTE execution.
@@ -151,7 +163,10 @@ mod tests {
         let m = CpuModel::xeon_full_thread();
         for w in [wl_2pow20(), wl_2pow24()] {
             let s = m.batch_latency_s(&w, 1 << 25);
-            assert!((0.4..1.0).contains(&s), "batch latency {s} outside anchor range");
+            assert!(
+                (0.4..1.0).contains(&s),
+                "batch latency {s} outside anchor range"
+            );
         }
     }
 

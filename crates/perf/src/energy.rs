@@ -18,20 +18,30 @@ pub struct PowerEnvelope {
 
 impl PowerEnvelope {
     /// The 24-core Xeon under full OTE load (TDP-class draw).
-    pub const CPU_XEON: PowerEnvelope = PowerEnvelope { name: "CPU (Xeon 5220R)", watts: 150.0 };
+    pub const CPU_XEON: PowerEnvelope = PowerEnvelope {
+        name: "CPU (Xeon 5220R)",
+        watts: 150.0,
+    };
 
     /// The A6000 under the OTE workload (calibrated to §6.1's 84.5× claim).
     pub fn gpu_a6000() -> PowerEnvelope {
-        PowerEnvelope { name: "GPU (A6000)", watts: GpuModel::a6000().power_w }
+        PowerEnvelope {
+            name: "GPU (A6000)",
+            watts: GpuModel::a6000().power_w,
+        }
     }
 
     /// Ironman-NMP with 256 KB caches (Table 6).
-    pub const IRONMAN_256KB: PowerEnvelope =
-        PowerEnvelope { name: "Ironman (256KB)", watts: NMP_256KB.power_w };
+    pub const IRONMAN_256KB: PowerEnvelope = PowerEnvelope {
+        name: "Ironman (256KB)",
+        watts: NMP_256KB.power_w,
+    };
 
     /// Ironman-NMP with 1 MB caches (Table 6).
-    pub const IRONMAN_1MB: PowerEnvelope =
-        PowerEnvelope { name: "Ironman (1MB)", watts: NMP_1MB.power_w };
+    pub const IRONMAN_1MB: PowerEnvelope = PowerEnvelope {
+        name: "Ironman (1MB)",
+        watts: NMP_1MB.power_w,
+    };
 
     /// Energy in joules for a run of `latency_s` seconds.
     pub fn energy_j(&self, latency_s: f64) -> f64 {
@@ -64,10 +74,7 @@ pub struct EnergyRow {
 
 /// Builds the energy comparison for a batch of `outputs` COTs produced at
 /// the given per-backend latencies.
-pub fn energy_comparison(
-    backends: &[(PowerEnvelope, f64)],
-    outputs: u64,
-) -> Vec<EnergyRow> {
+pub fn energy_comparison(backends: &[(PowerEnvelope, f64)], outputs: u64) -> Vec<EnergyRow> {
     backends
         .iter()
         .map(|&(envelope, latency_s)| EnergyRow {

@@ -26,7 +26,12 @@ pub struct GpuModel {
 impl GpuModel {
     /// The paper's A6000 operating point.
     pub fn a6000() -> Self {
-        GpuModel { speedup_vs_cpu: 5.88, spcot_share: 0.441, lpn_share: 0.502, power_w: 120.8 }
+        GpuModel {
+            speedup_vs_cpu: 5.88,
+            spcot_share: 0.441,
+            lpn_share: 0.502,
+            power_w: 120.8,
+        }
     }
 
     /// Latency of one OTE execution: CPU latency scaled by the measured

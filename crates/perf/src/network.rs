@@ -22,12 +22,18 @@ pub struct NetworkModel {
 
 impl NetworkModel {
     /// The paper's LAN setting: 3 Gbps, 0.15 ms.
-    pub const LAN: NetworkModel =
-        NetworkModel { bandwidth_bps: 3.0e9, rtt_s: 0.15e-3, name: "LAN (3Gbps, 0.15ms)" };
+    pub const LAN: NetworkModel = NetworkModel {
+        bandwidth_bps: 3.0e9,
+        rtt_s: 0.15e-3,
+        name: "LAN (3Gbps, 0.15ms)",
+    };
 
     /// The paper's WAN setting: 400 Mbps, 20 ms.
-    pub const WAN: NetworkModel =
-        NetworkModel { bandwidth_bps: 400.0e6, rtt_s: 20e-3, name: "WAN (400Mbps, 20ms)" };
+    pub const WAN: NetworkModel = NetworkModel {
+        bandwidth_bps: 400.0e6,
+        rtt_s: 20e-3,
+        name: "WAN (400Mbps, 20ms)",
+    };
 
     /// Time to complete a protocol that moves `bytes` and takes `rounds`
     /// sequential round trips, in seconds.

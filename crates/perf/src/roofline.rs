@@ -34,7 +34,10 @@ impl Roofline {
     /// (≈5 G AES-equivalents/s across all threads) and 4-channel DDR4-2400
     /// (76.8 GB/s peak).
     pub fn xeon_5220r() -> Self {
-        Roofline { peak_ops_per_s: 5.0e9, mem_bw_bytes_per_s: 76.8e9 }
+        Roofline {
+            peak_ops_per_s: 5.0e9,
+            mem_bw_bytes_per_s: 76.8e9,
+        }
     }
 
     /// The ridge point: intensity at which compute and memory roofs meet.
@@ -48,7 +51,10 @@ impl Roofline {
     ///
     /// Panics if `bytes == 0.0`.
     pub fn point(&self, ops: f64, bytes: f64) -> RooflinePoint {
-        assert!(bytes > 0.0, "a kernel that moves zero bytes has undefined intensity");
+        assert!(
+            bytes > 0.0,
+            "a kernel that moves zero bytes has undefined intensity"
+        );
         let intensity = ops / bytes;
         let mem_roof = intensity * self.mem_bw_bytes_per_s;
         let attainable = mem_roof.min(self.peak_ops_per_s);
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn ridge_point_math() {
-        let r = Roofline { peak_ops_per_s: 100.0, mem_bw_bytes_per_s: 50.0 };
+        let r = Roofline {
+            peak_ops_per_s: 100.0,
+            mem_bw_bytes_per_s: 50.0,
+        };
         assert_eq!(r.ridge_intensity(), 2.0);
     }
 
@@ -115,8 +124,16 @@ mod tests {
         let r = Roofline::xeon_5220r();
         let spcot = r.point(1e6, spcot_traffic_bytes(1_000_000));
         let lpn = r.point(lpn_ops(1 << 20, 10), lpn_traffic_bytes(1 << 20, 10));
-        assert!((0.01..=1.0).contains(&spcot.intensity), "SPCOT {}", spcot.intensity);
-        assert!((0.001..=0.1).contains(&lpn.intensity), "LPN {}", lpn.intensity);
+        assert!(
+            (0.01..=1.0).contains(&spcot.intensity),
+            "SPCOT {}",
+            spcot.intensity
+        );
+        assert!(
+            (0.001..=0.1).contains(&lpn.intensity),
+            "LPN {}",
+            lpn.intensity
+        );
         assert!(spcot.intensity > 5.0 * lpn.intensity);
     }
 

@@ -33,14 +33,21 @@ pub struct SpeedupAssumptions {
 
 impl Default for SpeedupAssumptions {
     fn default() -> Self {
-        SpeedupAssumptions { hardware: 90.0, wan_comm_floor: 0.34 }
+        SpeedupAssumptions {
+            hardware: 90.0,
+            wan_comm_floor: 0.34,
+        }
     }
 }
 
 impl SpeedupAssumptions {
     /// Effective OTE speedup on a link.
     pub fn effective(&self, net: &NetworkModel) -> f64 {
-        let floor = if net.bandwidth_bps < 1.0e9 { self.wan_comm_floor } else { 0.0 };
+        let floor = if net.bandwidth_bps < 1.0e9 {
+            self.wan_comm_floor
+        } else {
+            0.0
+        };
         1.0 / (floor + (1.0 - floor) / self.hardware)
     }
 }
@@ -59,7 +66,10 @@ pub struct E2eRow {
 impl E2eRow {
     /// Computed speedups (WAN, LAN).
     pub fn speedups(&self) -> (f64, f64) {
-        (self.workload.base_wan_s / self.ours_wan_s, self.workload.base_lan_s / self.ours_lan_s)
+        (
+            self.workload.base_wan_s / self.ours_wan_s,
+            self.workload.base_lan_s / self.ours_lan_s,
+        )
     }
 
     /// Relative error of our computed latency vs. the paper's reported
@@ -103,10 +113,18 @@ mod tests {
             let (_, lan) = row.speedups();
             match row.workload.kind {
                 ModelKind::Cnn => {
-                    assert!((1.7..=3.0).contains(&lan), "{}: LAN {lan}", row.workload.model)
+                    assert!(
+                        (1.7..=3.0).contains(&lan),
+                        "{}: LAN {lan}",
+                        row.workload.model
+                    )
                 }
                 ModelKind::Transformer => {
-                    assert!((2.5..=3.6).contains(&lan), "{}: LAN {lan}", row.workload.model)
+                    assert!(
+                        (2.5..=3.6).contains(&lan),
+                        "{}: LAN {lan}",
+                        row.workload.model
+                    )
                 }
             }
         }
@@ -117,7 +135,11 @@ mod tests {
         // Paper: 1.32–1.83× under WAN.
         for row in reproduce_table5(&SpeedupAssumptions::default()) {
             let (wan, _) = row.speedups();
-            assert!((1.2..=2.0).contains(&wan), "{}: WAN {wan}", row.workload.model);
+            assert!(
+                (1.2..=2.0).contains(&wan),
+                "{}: WAN {wan}",
+                row.workload.model
+            );
         }
     }
 
@@ -126,9 +148,11 @@ mod tests {
         // The composition should land within ~15% of the paper's reported
         // latencies on average.
         let rows = reproduce_table5(&SpeedupAssumptions::default());
-        let mean_dev: f64 =
-            rows.iter().map(|r| (r.deviation_vs_paper().0 + r.deviation_vs_paper().1) / 2.0).sum::<f64>()
-                / rows.len() as f64;
+        let mean_dev: f64 = rows
+            .iter()
+            .map(|r| (r.deviation_vs_paper().0 + r.deviation_vs_paper().1) / 2.0)
+            .sum::<f64>()
+            / rows.len() as f64;
         assert!(mean_dev < 0.15, "mean deviation {mean_dev}");
     }
 
@@ -161,7 +185,10 @@ mod tests {
         // Once OTE is ~eliminated, doubling hardware speedup barely moves
         // end-to-end latency (Amdahl).
         let base = SpeedupAssumptions::default();
-        let double = SpeedupAssumptions { hardware: 180.0, ..base };
+        let double = SpeedupAssumptions {
+            hardware: 180.0,
+            ..base
+        };
         let a = reproduce_table5(&base);
         let b = reproduce_table5(&double);
         for (x, y) in a.iter().zip(b.iter()) {

@@ -10,9 +10,9 @@
 //! * §5.1.3: "the first layer of ResNet-50 requires over 4×10^7 COT
 //!   correlations, totaling over 500 MB".
 //!
-//! Both hold with [`OTS_PER_RELU`] = 50 (the CrypTFlow2-style millionaire
-//! + truncation protocol cost for 32-bit activations), since both models
-//! open with a 64-channel 112×112 feature map.
+//! Both hold with [`OTS_PER_RELU`] = 50 (the CrypTFlow2-style
+//! millionaire-plus-truncation protocol cost for 32-bit activations),
+//! since both models open with a 64-channel 112×112 feature map.
 
 use serde::Serialize;
 
@@ -63,11 +63,11 @@ impl CnnArch {
         CnnArch {
             name: "ResNet18",
             relu_stages: vec![
-                64 * 112 * 112,      // stem
-                4 * 64 * 56 * 56,    // stage 1: 2 blocks × 2 ReLUs
-                4 * 128 * 28 * 28,   // stage 2
-                4 * 256 * 14 * 14,   // stage 3
-                4 * 512 * 7 * 7,     // stage 4
+                64 * 112 * 112,    // stem
+                4 * 64 * 56 * 56,  // stage 1: 2 blocks × 2 ReLUs
+                4 * 128 * 28 * 28, // stage 2
+                4 * 256 * 14 * 14, // stage 3
+                4 * 512 * 7 * 7,   // stage 4
             ],
         }
     }
@@ -165,22 +165,50 @@ impl CnnArch {
 impl TransformerArch {
     /// BERT-base: 12 × 768, seq 128.
     pub fn bert_base() -> Self {
-        TransformerArch { name: "BERT-Base", layers: 12, hidden: 768, heads: 12, ffn: 3072, seq: 128 }
+        TransformerArch {
+            name: "BERT-Base",
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ffn: 3072,
+            seq: 128,
+        }
     }
 
     /// BERT-large: 24 × 1024, seq 128.
     pub fn bert_large() -> Self {
-        TransformerArch { name: "BERT-Large", layers: 24, hidden: 1024, heads: 16, ffn: 4096, seq: 128 }
+        TransformerArch {
+            name: "BERT-Large",
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            ffn: 4096,
+            seq: 128,
+        }
     }
 
     /// ViT-base: 12 × 768 over 197 patch tokens.
     pub fn vit() -> Self {
-        TransformerArch { name: "ViT", layers: 12, hidden: 768, heads: 12, ffn: 3072, seq: 197 }
+        TransformerArch {
+            name: "ViT",
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ffn: 3072,
+            seq: 197,
+        }
     }
 
     /// GPT-2 large: 36 × 1280, seq 128.
     pub fn gpt2_large() -> Self {
-        TransformerArch { name: "GPT2-Large", layers: 36, hidden: 1280, heads: 20, ffn: 5120, seq: 128 }
+        TransformerArch {
+            name: "GPT2-Large",
+            layers: 36,
+            hidden: 1280,
+            heads: 20,
+            ffn: 5120,
+            seq: 128,
+        }
     }
 
     /// GeLU elements per forward pass.
@@ -257,6 +285,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the paper's cost ordering
     fn transformer_nonlinearities_cost_more_per_element() {
         // §6.5 observation (2)'s root cause: GeLU/Softmax are pricier per
         // element than ReLU.

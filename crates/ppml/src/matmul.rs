@@ -29,9 +29,21 @@ pub struct MatMulDims {
 /// Fig. 16's three layer shapes (BERT-base and LLAMA with sequence
 /// length 32).
 pub const FIG16_DIMS: [MatMulDims; 3] = [
-    MatMulDims { input: 64, hidden: 768, output: 768 },
-    MatMulDims { input: 64, hidden: 768, output: 64 },
-    MatMulDims { input: 64, hidden: 4096, output: 64 },
+    MatMulDims {
+        input: 64,
+        hidden: 768,
+        output: 768,
+    },
+    MatMulDims {
+        input: 64,
+        hidden: 768,
+        output: 64,
+    },
+    MatMulDims {
+        input: 64,
+        hidden: 4096,
+        output: 64,
+    },
 ];
 
 /// Fixed-point bit width of the secret-shared values.
@@ -125,8 +137,16 @@ mod tests {
 
     #[test]
     fn comm_scales_with_smaller_operand() {
-        let wide = MatMulDims { input: 64, hidden: 768, output: 768 };
-        let narrow = MatMulDims { input: 64, hidden: 768, output: 64 };
+        let wide = MatMulDims {
+            input: 64,
+            hidden: 768,
+            output: 768,
+        };
+        let narrow = MatMulDims {
+            input: 64,
+            hidden: 768,
+            output: 64,
+        };
         assert!(wide.comm_with_unified_bytes() >= narrow.comm_with_unified_bytes());
     }
 

@@ -25,8 +25,12 @@ pub enum NonlinearOp {
 
 impl NonlinearOp {
     /// All operators in figure order.
-    pub const ALL: [NonlinearOp; 4] =
-        [NonlinearOp::LayerNorm, NonlinearOp::Gelu, NonlinearOp::Softmax, NonlinearOp::Relu];
+    pub const ALL: [NonlinearOp; 4] = [
+        NonlinearOp::LayerNorm,
+        NonlinearOp::Gelu,
+        NonlinearOp::Softmax,
+        NonlinearOp::Relu,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -57,14 +61,54 @@ pub struct OpProfile {
 /// numbers) with OT-computation shares near 77%, which is what makes the
 /// ~4× end-to-end operator reduction possible.
 pub const FIG15_PROFILES: [OpProfile; 8] = [
-    OpProfile { op: NonlinearOp::LayerNorm, framework: Framework::EzpcSirnn, base_s: 62.0, ot_fraction: 0.77 },
-    OpProfile { op: NonlinearOp::Gelu, framework: Framework::EzpcSirnn, base_s: 78.0, ot_fraction: 0.78 },
-    OpProfile { op: NonlinearOp::Softmax, framework: Framework::EzpcSirnn, base_s: 70.0, ot_fraction: 0.77 },
-    OpProfile { op: NonlinearOp::Relu, framework: Framework::EzpcSirnn, base_s: 40.0, ot_fraction: 0.75 },
-    OpProfile { op: NonlinearOp::LayerNorm, framework: Framework::Bolt, base_s: 12.0, ot_fraction: 0.77 },
-    OpProfile { op: NonlinearOp::Gelu, framework: Framework::Bolt, base_s: 18.0, ot_fraction: 0.78 },
-    OpProfile { op: NonlinearOp::Softmax, framework: Framework::Bolt, base_s: 16.0, ot_fraction: 0.77 },
-    OpProfile { op: NonlinearOp::Relu, framework: Framework::Bolt, base_s: 7.0, ot_fraction: 0.74 },
+    OpProfile {
+        op: NonlinearOp::LayerNorm,
+        framework: Framework::EzpcSirnn,
+        base_s: 62.0,
+        ot_fraction: 0.77,
+    },
+    OpProfile {
+        op: NonlinearOp::Gelu,
+        framework: Framework::EzpcSirnn,
+        base_s: 78.0,
+        ot_fraction: 0.78,
+    },
+    OpProfile {
+        op: NonlinearOp::Softmax,
+        framework: Framework::EzpcSirnn,
+        base_s: 70.0,
+        ot_fraction: 0.77,
+    },
+    OpProfile {
+        op: NonlinearOp::Relu,
+        framework: Framework::EzpcSirnn,
+        base_s: 40.0,
+        ot_fraction: 0.75,
+    },
+    OpProfile {
+        op: NonlinearOp::LayerNorm,
+        framework: Framework::Bolt,
+        base_s: 12.0,
+        ot_fraction: 0.77,
+    },
+    OpProfile {
+        op: NonlinearOp::Gelu,
+        framework: Framework::Bolt,
+        base_s: 18.0,
+        ot_fraction: 0.78,
+    },
+    OpProfile {
+        op: NonlinearOp::Softmax,
+        framework: Framework::Bolt,
+        base_s: 16.0,
+        ot_fraction: 0.77,
+    },
+    OpProfile {
+        op: NonlinearOp::Relu,
+        framework: Framework::Bolt,
+        base_s: 7.0,
+        ot_fraction: 0.74,
+    },
 ];
 
 impl OpProfile {
@@ -134,7 +178,9 @@ mod tests {
         for op in NonlinearOp::ALL {
             for fw in [Framework::EzpcSirnn, Framework::Bolt] {
                 assert!(
-                    FIG15_PROFILES.iter().any(|p| p.op == op && p.framework == fw),
+                    FIG15_PROFILES
+                        .iter()
+                        .any(|p| p.op == op && p.framework == fw),
                     "{} missing in {fw}",
                     op.name()
                 );

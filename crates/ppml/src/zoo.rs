@@ -79,12 +79,30 @@ macro_rules! wl {
 /// execution time for each workload, consistent with Fig. 1(a)'s 51–69%
 /// band (slightly below it for the most linear-heavy CNNs).
 pub const TABLE5_WORKLOADS: [Workload; 16] = [
-    wl!(CrypTFlow2, "MobileNetV2", Cnn, 46.3, 29.6, 32.0, 16.4, 0.488),
+    wl!(
+        CrypTFlow2,
+        "MobileNetV2",
+        Cnn,
+        46.3,
+        29.6,
+        32.0,
+        16.4,
+        0.488
+    ),
     wl!(CrypTFlow2, "SqueezeNet", Cnn, 71.0, 38.8, 61.8, 27.7, 0.552),
     wl!(CrypTFlow2, "ResNet18", Cnn, 130.6, 80.1, 113.6, 57.6, 0.493),
     wl!(CrypTFlow2, "ResNet34", Cnn, 287.4, 168.1, 217.0, 100.5, 0.537),
     wl!(CrypTFlow2, "ResNet50", Cnn, 357.4, 223.5, 252.4, 119.7, 0.526),
-    wl!(CrypTFlow2, "DenseNet121", Cnn, 629.0, 411.0, 452.5, 201.3, 0.555),
+    wl!(
+        CrypTFlow2,
+        "DenseNet121",
+        Cnn,
+        629.0,
+        411.0,
+        452.5,
+        201.3,
+        0.555
+    ),
     wl!(Cheetah, "MobileNetV2", Cnn, 31.6, 22.4, 12.9, 5.3, 0.589),
     wl!(Cheetah, "SqueezeNet", Cnn, 29.9, 20.5, 15.6, 6.4, 0.590),
     wl!(Cheetah, "ResNet18", Cnn, 39.7, 27.4, 21.3, 9.1, 0.573),
@@ -92,23 +110,71 @@ pub const TABLE5_WORKLOADS: [Workload; 16] = [
     wl!(Cheetah, "ResNet50", Cnn, 83.8, 63.3, 48.3, 21.4, 0.557),
     wl!(Cheetah, "DenseNet121", Cnn, 126.9, 96.5, 62.1, 23.3, 0.625),
     wl!(Bolt, "ViT", Transformer, 1026.8, 693.8, 812.2, 272.6, 0.664),
-    wl!(Bolt, "BERT-Base", Transformer, 667.2, 436.8, 527.7, 190.0, 0.640),
-    wl!(Bolt, "BERT-Large", Transformer, 1543.2, 923.9, 1392.8, 421.6, 0.697),
-    wl!(Bolt, "GPT2-Large", Transformer, 2538.0, 1555.2, 2349.4, 739.4, 0.685),
+    wl!(
+        Bolt,
+        "BERT-Base",
+        Transformer,
+        667.2,
+        436.8,
+        527.7,
+        190.0,
+        0.640
+    ),
+    wl!(
+        Bolt,
+        "BERT-Large",
+        Transformer,
+        1543.2,
+        923.9,
+        1392.8,
+        421.6,
+        0.697
+    ),
+    wl!(
+        Bolt,
+        "GPT2-Large",
+        Transformer,
+        2538.0,
+        1555.2,
+        2349.4,
+        739.4,
+        0.685
+    ),
 ];
 
 /// Additional Fig. 1(a) workloads that have no Table 5 row (the paper's
 /// breakdown chart also profiles GPT-2 small and medium on Bolt). Baseline
 /// latencies interpolate the Bolt family; only the breakdown is used.
 pub const FIG1A_EXTRA: [Workload; 2] = [
-    wl!(Bolt, "GPT2-Small", Transformer, 520.0, 330.0, 470.0, 165.0, 0.655),
-    wl!(Bolt, "GPT2-Medium", Transformer, 1180.0, 740.0, 1080.0, 370.0, 0.670),
+    wl!(
+        Bolt,
+        "GPT2-Small",
+        Transformer,
+        520.0,
+        330.0,
+        470.0,
+        165.0,
+        0.655
+    ),
+    wl!(
+        Bolt,
+        "GPT2-Medium",
+        Transformer,
+        1180.0,
+        740.0,
+        1080.0,
+        370.0,
+        0.670
+    ),
 ];
 
 impl Workload {
     /// The paper's reported speedups for this row.
     pub fn paper_speedups(&self) -> (f64, f64) {
-        (self.base_wan_s / self.paper_ours_wan_s, self.base_lan_s / self.paper_ours_lan_s)
+        (
+            self.base_wan_s / self.paper_ours_wan_s,
+            self.base_lan_s / self.paper_ours_lan_s,
+        )
     }
 
     /// Fig. 1(a)-style component breakdown of the LAN baseline: fractions
@@ -134,7 +200,10 @@ mod tests {
     #[test]
     fn sixteen_rows() {
         assert_eq!(TABLE5_WORKLOADS.len(), 16);
-        let cnn = TABLE5_WORKLOADS.iter().filter(|w| w.kind == ModelKind::Cnn).count();
+        let cnn = TABLE5_WORKLOADS
+            .iter()
+            .filter(|w| w.kind == ModelKind::Cnn)
+            .count();
         assert_eq!(cnn, 12);
     }
 
@@ -142,8 +211,18 @@ mod tests {
     fn paper_speedups_match_printed_ranges() {
         for w in &TABLE5_WORKLOADS {
             let (wan, lan) = w.paper_speedups();
-            assert!((1.3..=1.9).contains(&wan), "{} {}: WAN speedup {wan}", w.framework, w.model);
-            assert!((1.9..=3.5).contains(&lan), "{} {}: LAN speedup {lan}", w.framework, w.model);
+            assert!(
+                (1.3..=1.9).contains(&wan),
+                "{} {}: WAN speedup {wan}",
+                w.framework,
+                w.model
+            );
+            assert!(
+                (1.9..=3.5).contains(&lan),
+                "{} {}: LAN speedup {lan}",
+                w.framework,
+                w.model
+            );
         }
     }
 
@@ -164,7 +243,12 @@ mod tests {
     fn breakdown_sums_to_one() {
         for w in &TABLE5_WORKLOADS {
             let sum: f64 = w.breakdown().iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "{} {}: {sum}", w.framework, w.model);
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{} {}: {sum}",
+                w.framework,
+                w.model
+            );
         }
     }
 

@@ -256,7 +256,10 @@ mod tests {
 
     #[test]
     fn display_is_hex() {
-        assert_eq!(format!("{}", Block::from(0xabu128)), format!("{:032x}", 0xabu128));
+        assert_eq!(
+            format!("{}", Block::from(0xabu128)),
+            format!("{:032x}", 0xabu128)
+        );
     }
 
     #[test]

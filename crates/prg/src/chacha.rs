@@ -43,7 +43,10 @@ impl ChaCha {
     /// Panics if `rounds` is not even or is zero. (The original ChaCha family
     /// is defined for even round counts; the paper uses ChaCha8.)
     pub fn new(key: [u8; 32], rounds: u32) -> Self {
-        assert!(rounds > 0 && rounds % 2 == 0, "ChaCha round count must be even and nonzero");
+        assert!(
+            rounds > 0 && rounds.is_multiple_of(2),
+            "ChaCha round count must be even and nonzero"
+        );
         let mut words = [0u32; 8];
         for (i, word) in words.iter_mut().enumerate() {
             *word = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
@@ -145,7 +148,9 @@ mod tests {
         for (i, byte) in key.iter_mut().enumerate() {
             *byte = i as u8;
         }
-        let nonce = [0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00];
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
         let c = ChaCha::new(key, 20);
         let out = c.block(1, nonce);
         let expected_start = [0x10u8, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];

@@ -83,7 +83,11 @@ impl AddAssign for PrgCounter {
 
 impl fmt::Display for PrgCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} AES + {} ChaCha calls", self.aes_calls, self.chacha_calls)
+        write!(
+            f,
+            "{} AES + {} ChaCha calls",
+            self.aes_calls, self.chacha_calls
+        )
     }
 }
 
@@ -93,8 +97,14 @@ mod tests {
 
     #[test]
     fn add_combines() {
-        let a = PrgCounter { aes_calls: 3, chacha_calls: 1 };
-        let b = PrgCounter { aes_calls: 2, chacha_calls: 4 };
+        let a = PrgCounter {
+            aes_calls: 3,
+            chacha_calls: 1,
+        };
+        let b = PrgCounter {
+            aes_calls: 2,
+            chacha_calls: 4,
+        };
         let c = a + b;
         assert_eq!(c.aes_calls, 5);
         assert_eq!(c.chacha_calls, 5);
@@ -103,7 +113,10 @@ mod tests {
 
     #[test]
     fn aes_equivalents_weighting() {
-        let c = PrgCounter { aes_calls: 2, chacha_calls: 3 };
+        let c = PrgCounter {
+            aes_calls: 2,
+            chacha_calls: 3,
+        };
         assert_eq!(c.aes_equivalents(), 2 + 12);
     }
 }

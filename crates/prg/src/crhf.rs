@@ -37,13 +37,17 @@ impl Default for Crhf {
 impl Crhf {
     /// Creates the CRHF with the workspace's fixed permutation key.
     pub fn new() -> Self {
-        Crhf { pi: Aes128::fixed() }
+        Crhf {
+            pi: Aes128::fixed(),
+        }
     }
 
     /// Creates a CRHF with a caller-chosen permutation key (useful for
     /// domain separation between protocol instances).
     pub fn with_key(key: Block) -> Self {
-        Crhf { pi: Aes128::new(key) }
+        Crhf {
+            pi: Aes128::new(key),
+        }
     }
 
     /// The linear orthomorphism `σ(a ‖ b) = (a ⊕ b) ‖ a` (halves swapped and
@@ -66,7 +70,10 @@ impl Crhf {
     /// Hashes a slice of correlated blocks with their positions as tweaks —
     /// the bulk COT→ROT conversion of the online phase.
     pub fn hash_all(&self, base_index: u64, xs: &[Block]) -> Vec<Block> {
-        xs.iter().enumerate().map(|(i, &x)| self.hash(base_index + i as u64, x)).collect()
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| self.hash(base_index + i as u64, x))
+            .collect()
     }
 }
 

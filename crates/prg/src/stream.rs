@@ -31,13 +31,19 @@ pub struct PrgStream {
 impl PrgStream {
     /// Creates a stream from a seed.
     pub fn new(seed: Block) -> Self {
-        PrgStream { cipher: Aes128::new(seed), counter: 0 }
+        PrgStream {
+            cipher: Aes128::new(seed),
+            counter: 0,
+        }
     }
 
     /// Creates a stream starting at a given counter (for splitting one
     /// seed's stream into disjoint domains).
     pub fn with_offset(seed: Block, offset: u128) -> Self {
-        PrgStream { cipher: Aes128::new(seed), counter: offset }
+        PrgStream {
+            cipher: Aes128::new(seed),
+            counter: offset,
+        }
     }
 
     /// The next counter value (how many blocks have been drawn plus the
@@ -79,7 +85,9 @@ mod tests {
     #[test]
     fn offset_streams_are_disjoint_continuations() {
         let full: Vec<Block> = PrgStream::new(Block::from(2u128)).take(10).collect();
-        let tail: Vec<Block> = PrgStream::with_offset(Block::from(2u128), 5).take(5).collect();
+        let tail: Vec<Block> = PrgStream::with_offset(Block::from(2u128), 5)
+            .take(5)
+            .collect();
         assert_eq!(&full[5..], tail.as_slice());
     }
 

@@ -162,7 +162,9 @@ impl ChaChaTreePrg {
     /// Creates the PRG from a 128-bit session key and a round count
     /// (the paper's core uses 8).
     pub fn new(session_key: Block, rounds: u32) -> Self {
-        ChaChaTreePrg { cipher: ChaCha::from_session_key(session_key, rounds) }
+        ChaChaTreePrg {
+            cipher: ChaCha::from_session_key(session_key, rounds),
+        }
     }
 
     /// Round count of the underlying permutation.
@@ -191,7 +193,9 @@ impl TreePrg for ChaChaTreePrg {
     }
 
     fn kind(&self) -> PrgKind {
-        PrgKind::ChaCha { rounds: self.cipher.rounds() }
+        PrgKind::ChaCha {
+            rounds: self.cipher.rounds(),
+        }
     }
 }
 
@@ -215,7 +219,10 @@ mod tests {
         assert_eq!(prg.expand(Block::from(1u128), &mut kids), 4);
         // child_j = AES_{k_j}(s) ⊕ s
         let k0 = Aes128::new(Block::from(9u128));
-        assert_eq!(kids[0], k0.encrypt_block(Block::from(1u128)) ^ Block::from(1u128));
+        assert_eq!(
+            kids[0],
+            k0.encrypt_block(Block::from(1u128)) ^ Block::from(1u128)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the cryptographic primitives.
 
 use ironman_prg::tree_prg::build_tree_prg;
-use ironman_prg::{Aes128, Block, ChaCha, Crhf, PrgKind, PrgStream, TreePrg};
+use ironman_prg::{Aes128, Block, ChaCha, Crhf, PrgKind, PrgStream};
 use proptest::prelude::*;
 
 proptest! {

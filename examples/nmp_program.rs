@@ -26,25 +26,44 @@ fn main() {
 
     // 1. Compile: host → instruction program.
     let program = compile_ote(&cfg, ctx.n, 480);
-    println!("compiled {} NMP instructions for one 2^20-set execution:", program.len());
+    println!(
+        "compiled {} NMP instructions for one 2^20-set execution:",
+        program.len()
+    );
     for inst in program.iter().take(4) {
         println!("  {:?} -> wire {:#018x}", inst.op, inst.encode());
     }
-    println!("  ... ({} gathers, {} SPCOT batches, {} streams)",
+    println!(
+        "  ... ({} gathers, {} SPCOT batches, {} streams)",
         program.iter().filter(|i| i.op == NmpOp::LpnGather).count(),
-        program.iter().filter(|i| i.op == NmpOp::SpcotExpand).count(),
-        program.iter().filter(|i| i.op == NmpOp::ReadCot).count());
+        program
+            .iter()
+            .filter(|i| i.op == NmpOp::SpcotExpand)
+            .count(),
+        program.iter().filter(|i| i.op == NmpOp::ReadCot).count()
+    );
 
     // 2. Interpret: program → cycles through the same DIMM/rank models the
     //    figure harnesses use.
     let report = execute(&cfg, &ctx, &program);
     println!("\nphase cycles:");
     println!("  vector broadcast {:>12}", report.write_cycles);
-    println!("  LPN gather       {:>12}  (slowest rank)", report.gather_cycles);
-    println!("  SPCOT expansion  {:>12}  (slowest DIMM)", report.spcot_cycles);
-    println!("  COT streaming    {:>12}  (overlap residual)", report.read_cycles);
-    println!("  total            {:>12}  = {:.3} ms at {} MHz",
+    println!(
+        "  LPN gather       {:>12}  (slowest rank)",
+        report.gather_cycles
+    );
+    println!(
+        "  SPCOT expansion  {:>12}  (slowest DIMM)",
+        report.spcot_cycles
+    );
+    println!(
+        "  COT streaming    {:>12}  (overlap residual)",
+        report.read_cycles
+    );
+    println!(
+        "  total            {:>12}  = {:.3} ms at {} MHz",
         report.total_cycles(),
         cfg.cycles_to_ms(report.total_cycles()),
-        cfg.clock_mhz());
+        cfg.clock_mhz()
+    );
 }

@@ -24,7 +24,12 @@ fn main() {
     // of each pair by secret choice.
     let n = 8usize;
     let messages: Vec<(Block, Block)> = (0..n)
-        .map(|i| (Block::from(0x1000 + i as u128), Block::from(0x2000 + i as u128)))
+        .map(|i| {
+            (
+                Block::from(0x1000 + i as u128),
+                Block::from(0x2000 + i as u128),
+            )
+        })
         .collect();
     let choices: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
 
@@ -36,7 +41,11 @@ fn main() {
     let got = receiver.unmask(&masked, &choices);
 
     for i in 0..n {
-        let want = if choices[i] { messages[i].1 } else { messages[i].0 };
+        let want = if choices[i] {
+            messages[i].1
+        } else {
+            messages[i].0
+        };
         assert_eq!(got[i], want);
         println!("OT {i}: choice {} -> {:x}", choices[i] as u8, got[i]);
     }

@@ -21,8 +21,10 @@ fn main() {
         cell.cpu_ms,
         cell.speedup_vs_cpu()
     );
-    let assumptions =
-        SpeedupAssumptions { hardware: cell.speedup_vs_cpu(), ..SpeedupAssumptions::default() };
+    let assumptions = SpeedupAssumptions {
+        hardware: cell.speedup_vs_cpu(),
+        ..SpeedupAssumptions::default()
+    };
 
     // Apply it to a few representative inference workloads.
     for name in ["ResNet50", "BERT-Large"] {
@@ -42,5 +44,7 @@ fn main() {
             );
         }
     }
-    println!("\n(the full sixteen-row Table 5 regeneration: cargo run -p ironman-bench --bin tab05_e2e)");
+    println!(
+        "\n(the full sixteen-row Table 5 regeneration: cargo run -p ironman-bench --bin tab05_e2e)"
+    );
 }

@@ -24,10 +24,15 @@ fn main() {
     // 3. Run one extension: two real protocol parties exchange SPCOT and
     //    LPN messages over in-memory channels.
     let run = engine.run_one(0xC0FFEE);
-    run.cots.verify().expect("every COT must satisfy z = y xor x*delta");
+    run.cots
+        .verify()
+        .expect("every COT must satisfy z = y xor x*delta");
 
     println!("produced {} correlated OTs", run.cots.len());
-    println!("sender sent {} bytes, receiver sent {} bytes", run.timing.sender_bytes, run.timing.receiver_bytes);
+    println!(
+        "sender sent {} bytes, receiver sent {} bytes",
+        run.timing.sender_bytes, run.timing.receiver_bytes
+    );
     println!(
         "simulated Ironman latency {:.3} ms vs CPU model {:.3} ms -> {:.1}x",
         run.timing.ironman_ms.unwrap_or(f64::NAN),
@@ -37,7 +42,10 @@ fn main() {
 
     // 4. Scale the timing estimate to a production set without running the
     //    full-size protocol.
-    let prod = Engine::new(FerretConfig::new(FerretParams::OT_2POW20), Backend::ironman_default());
+    let prod = Engine::new(
+        FerretConfig::new(FerretParams::OT_2POW20),
+        Backend::ironman_default(),
+    );
     let t = prod.estimate_timing(1);
     println!(
         "2^20 production set estimate: {:.2} ms on Ironman vs {:.2} ms on CPU ({:.0}x)",

@@ -36,7 +36,10 @@ fn main() {
 
     // --- Hardware view: both roles sharing one PU (paper 1 / 5.2) -------
     let sim = OteSimulator::new(NmpConfig::with_ranks_and_cache(8, 256 * 1024));
-    let work = OteWork { sample_rows: Some(4096), ..OteWork::ironman(100_000, 1024, 48, 16_384, 10) };
+    let work = OteWork {
+        sample_rows: Some(4096),
+        ..OteWork::ironman(100_000, 1024, 48, 16_384, 10)
+    };
     let dual = sim.simulate_dual_role(&work, 7);
     println!(
         "dual-role PU: shared {} cycles vs back-to-back {} cycles ({:.2}x from overlap)",

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Workspace CI: build, test (including the ironman-net TCP-loopback e2e),
+# formatting, and lints. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo test -q --test net_loopback (TCP loopback e2e)"
+cargo test -q --test net_loopback
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

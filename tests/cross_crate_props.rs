@@ -74,7 +74,7 @@ proptest! {
         let m = LpnMatrix::generate(150, 64, 6, Block::from(seed as u128 | 1));
         let cfg = SortConfig { cache_lines: 32, window: 8, block_rows };
         let sorted = SortedLpnMatrix::sort(&m, cfg);
-        let mut seen = vec![false; 150];
+        let mut seen = [false; 150];
         for &r in sorted.row_order() {
             prop_assert!(!seen[r as usize]);
             seen[r as usize] = true;

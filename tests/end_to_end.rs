@@ -27,7 +27,8 @@ fn every_table4_structure_verifies_at_scale() {
         let small = scaled(p, 512);
         let cfg = FerretConfig::new(small);
         let out = ironman_ot::ferret::run_extension(&cfg, p.log_target as u64);
-        out.verify().unwrap_or_else(|i| panic!("2^{} structure: COT {i} violated", p.log_target));
+        out.verify()
+            .unwrap_or_else(|i| panic!("2^{} structure: COT {i} violated", p.log_target));
         assert_eq!(out.len(), cfg.usable_outputs());
     }
 }
@@ -47,8 +48,9 @@ fn engine_end_to_end_with_nmp_backend() {
 fn cot_to_chosen_message_pipeline() {
     let out = ironman_ot::ferret::run_extension(&FerretConfig::new(FerretParams::toy()), 3);
     let (s, r) = rot_from_extension(&out, 500);
-    let msgs: Vec<(Block, Block)> =
-        (0..100u128).map(|i| (Block::from(i), Block::from(i + 1_000_000))).collect();
+    let msgs: Vec<(Block, Block)> = (0..100u128)
+        .map(|i| (Block::from(i), Block::from(i + 1_000_000)))
+        .collect();
     let choices: Vec<bool> = (0..100).map(|i| (i * 7) % 3 == 0).collect();
     let flips = r.derandomize(&choices);
     let masked = s.mask(&msgs, &flips);
@@ -67,7 +69,8 @@ fn five_iteration_bootstrap_stays_correlated() {
     let delta = outs[0].delta;
     for (i, out) in outs.iter().enumerate() {
         assert_eq!(out.delta, delta, "delta must be global across iterations");
-        out.verify().unwrap_or_else(|j| panic!("iteration {i}: COT {j} violated"));
+        out.verify()
+            .unwrap_or_else(|j| panic!("iteration {i}: COT {j} violated"));
     }
 }
 
@@ -75,9 +78,14 @@ fn five_iteration_bootstrap_stays_correlated() {
 fn arity_and_prg_grid_all_verify() {
     for arity in [Arity::BINARY, Arity::QUAD, Arity::new(8).unwrap()] {
         for prg in [PrgKind::Aes, PrgKind::CHACHA8] {
-            let cfg = FerretConfig { arity, prg, ..FerretConfig::new(FerretParams::toy()) };
+            let cfg = FerretConfig {
+                arity,
+                prg,
+                ..FerretConfig::new(FerretParams::toy())
+            };
             let out = ironman_ot::ferret::run_extension(&cfg, 11);
-            out.verify().unwrap_or_else(|i| panic!("{arity} {prg:?}: COT {i}"));
+            out.verify()
+                .unwrap_or_else(|i| panic!("{arity} {prg:?}: COT {i}"));
         }
     }
 }

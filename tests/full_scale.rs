@@ -15,7 +15,8 @@ fn full_2pow20_extension_verifies() {
     let cfg = FerretConfig::new(FerretParams::OT_2POW20);
     let out = run_extension(&cfg, 2020);
     assert_eq!(out.len(), cfg.usable_outputs());
-    out.verify().expect("every one of the ~1.2M output COTs must be correlated");
+    out.verify()
+        .expect("every one of the ~1.2M output COTs must be correlated");
 
     // The PCG property at production scale: sub-byte communication per OT.
     let total = out.sender_stats.bytes_sent + out.receiver_stats.bytes_sent;

@@ -19,7 +19,13 @@ fn schedule_sim_matches_functional_call_count() {
     // makes.
     let prg = ironman_prg::ChaChaTreePrg::new(Block::from(1u128), 8);
     let tree = ironman_ggm::GgmTree::expand(&prg, Block::from(2u128), Arity::QUAD, 1024);
-    let sim = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, 1, Arity::QUAD, 1024);
+    let sim = simulate(
+        ExpansionSchedule::Hybrid,
+        PipelineModel::CHACHA8,
+        1,
+        Arity::QUAD,
+        1024,
+    );
     assert_eq!(sim.calls, tree.counter().chacha_calls);
 }
 
@@ -63,7 +69,11 @@ fn fig12_monotonicities_hold() {
     let mut prev_ms = f64::MAX;
     for ranks in [2usize, 4, 8, 16] {
         let c = speedup_cell(p, ranks, 256 * 1024, 7);
-        assert!(c.ironman_ms < prev_ms, "{ranks} ranks: {} !< {prev_ms}", c.ironman_ms);
+        assert!(
+            c.ironman_ms < prev_ms,
+            "{ranks} ranks: {} !< {prev_ms}",
+            c.ironman_ms
+        );
         assert!(c.speedup_vs_cpu() > 1.0);
         prev_ms = c.ironman_ms;
     }
@@ -77,8 +87,14 @@ fn fig12_grid_covers_paper_shape() {
     let rows = speedup_table(&[2, 16], &[256 * 1024, 1024 * 1024], 3);
     assert_eq!(rows.len(), 2 * 2 * 5);
     // Best cell should be an order of magnitude above the worst.
-    let best = rows.iter().map(|r| r.speedup_vs_cpu()).fold(0.0f64, f64::max);
-    let worst = rows.iter().map(|r| r.speedup_vs_cpu()).fold(f64::MAX, f64::min);
+    let best = rows
+        .iter()
+        .map(|r| r.speedup_vs_cpu())
+        .fold(0.0f64, f64::max);
+    let worst = rows
+        .iter()
+        .map(|r| r.speedup_vs_cpu())
+        .fold(f64::MAX, f64::min);
     assert!(best / worst > 5.0, "dynamic range {best}/{worst}");
     assert!(worst > 1.5, "even the worst config must beat the CPU");
 }
@@ -87,8 +103,20 @@ fn fig12_grid_covers_paper_shape() {
 fn hybrid_schedule_dominates_depth_first_everywhere() {
     for trees in [2usize, 8, 16] {
         for leaves in [256usize, 1024] {
-            let df = simulate(ExpansionSchedule::DepthFirst, PipelineModel::CHACHA8, trees, Arity::QUAD, leaves);
-            let hy = simulate(ExpansionSchedule::Hybrid, PipelineModel::CHACHA8, trees, Arity::QUAD, leaves);
+            let df = simulate(
+                ExpansionSchedule::DepthFirst,
+                PipelineModel::CHACHA8,
+                trees,
+                Arity::QUAD,
+                leaves,
+            );
+            let hy = simulate(
+                ExpansionSchedule::Hybrid,
+                PipelineModel::CHACHA8,
+                trees,
+                Arity::QUAD,
+                leaves,
+            );
             assert!(hy.cycles <= df.cycles, "trees={trees} leaves={leaves}");
             assert_eq!(hy.calls, df.calls);
         }

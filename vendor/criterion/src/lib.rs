@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-facing subset the workspace uses —
+//! `benchmark_group`, `bench_function`, `Throughput`, `b.iter(..)` and the
+//! `criterion_group!`/`criterion_main!` macros — as a simple wall-clock
+//! harness: warm up briefly, pick an iteration count that fills the
+//! measurement window, report mean time per iteration (and derived
+//! throughput when declared).
+
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration work, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: 10,
+            measurement_time: None,
+            warm_up_time: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            name.as_ref(),
+            self.warm_up_time,
+            self.measurement_time,
+            None,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing sizing/throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Declares per-iteration work for throughput lines.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        let warm = self.warm_up_time.unwrap_or(self.criterion.warm_up_time);
+        let measure = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        run_one(name.as_ref(), warm, measure, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up: repeat single iterations until the window elapses, and use
+    // the observed rate to size the measurement batch.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < warm_up || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let iters = ((measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_secs_f64() * 1e9 / iters as f64;
+    let line = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 * iters as f64 / b.elapsed.as_secs_f64();
+            format!("  {name:<32} {mean_ns:>14.1} ns/iter {rate:>16.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 * iters as f64 / b.elapsed.as_secs_f64();
+            format!(
+                "  {name:<32} {mean_ns:>14.1} ns/iter {:>16.1} MiB/s",
+                rate / (1 << 20) as f64
+            )
+        }
+        None => format!("  {name:<32} {mean_ns:>14.1} ns/iter"),
+    };
+    println!("{line}");
+}
+
+/// Per-benchmark timing handle passed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Prevents the optimizer from deleting a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

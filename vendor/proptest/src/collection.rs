@@ -1,0 +1,25 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{SampleUniform, Strategy};
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Vector of `element` samples with a length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = usize::sample_range(self.len.start, self.len.end, rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,111 @@
+//! Value-generation strategies (sampling only, no shrinking).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom};
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// `any::<T>()` — the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical full-domain sampler.
+pub trait Arbitrary {
+    /// Draws a uniform value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        })+
+    };
+}
+arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let w = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+        out
+    }
+}
+
+/// Integers that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)`; `lo < hi` is the caller's contract.
+    fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Uniform draw from `[lo, MAX]` (approximately; negligible bias).
+    fn sample_from(lo: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! sample_uniform {
+    ($($t:ty),+) => {
+        $(impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_range(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                debug_assert!(lo < hi, "empty range");
+                let span = (hi - lo) as u128;
+                lo + (rng.next_u128() % span) as $t
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_from(lo: $t, rng: &mut TestRng) -> $t {
+                if lo == 0 {
+                    return rng.next_u128() as $t;
+                }
+                // Span <Self as max> - lo + 1 can overflow Self::MAX; a
+                // modulus of (MAX - lo) covers all but MAX itself, which is
+                // an acceptable (2^-w) sampling gap for tests.
+                let span = (<$t>::MAX - lo) as u128;
+                lo + (rng.next_u128() % span.max(1)) as $t
+            }
+        })+
+    };
+}
+sample_uniform!(u8, u16, u32, u64, u128, usize);
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeFrom<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_from(self.start, rng)
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! just enough surface for the workspace to compile: the two marker traits
+//! with blanket impls (every type trivially "implements" them) and the
+//! no-op derive macros from the sibling `serde_derive` stand-in. Nothing
+//! in the workspace serializes through serde at runtime — JSON output is
+//! hand-rolled where needed — so no behavior is lost.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
