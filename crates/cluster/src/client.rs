@@ -1,0 +1,435 @@
+//! The fleet-aware client: one handle that routes COT demand across every
+//! server in a [`ClusterDirectory`].
+//!
+//! Routing policy, in order:
+//!
+//! 1. **Consistent-hash home** — the first chunk of every request goes to
+//!    the session's home server (sticky routing keeps one `Δ` stream per
+//!    consumer where possible).
+//! 2. **Least-outstanding spill** — a request larger than one server's
+//!    `max_request` is transparently split, and the spill chunks go to
+//!    whichever healthy servers have served this session the fewest
+//!    correlations so far.
+//! 3. **Failover** — a connect or I/O error marks the server failed and
+//!    moves on to the next server in the session's ring order; only when
+//!    every server has failed does the caller see the error. Semantic
+//!    errors (e.g. a server-side rejection) are *not* failed over: they
+//!    would recur on every server.
+
+use crate::directory::ClusterDirectory;
+use ironman_core::CotBatch;
+use ironman_net::{CotClient, CotSubscription, ServiceStats, StreamSummary};
+use ironman_ot::channel::ChannelError;
+use std::net::SocketAddr;
+
+#[derive(Debug, Default)]
+struct Slot {
+    client: Option<CotClient>,
+    /// Correlations this session has received from this server.
+    served: u64,
+    failed: bool,
+}
+
+/// A session's view of the fleet: lazily connected per-server sessions,
+/// the routing state, and per-server load counters.
+#[derive(Debug)]
+pub struct ClusterClient {
+    directory: ClusterDirectory,
+    session: String,
+    slots: Vec<Slot>,
+    /// The session's ring order (home first); the failover walk.
+    route: Vec<usize>,
+}
+
+impl ClusterClient {
+    /// Creates a client for `session` and connects to its home server
+    /// (or, if the home is down, the first reachable server in ring
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Fails only when *no* server in the directory is reachable.
+    pub fn connect(directory: ClusterDirectory, session: &str) -> Result<Self, ChannelError> {
+        let route = directory.route(session);
+        let mut client = ClusterClient {
+            slots: (0..directory.len()).map(|_| Slot::default()).collect(),
+            directory,
+            session: session.to_string(),
+            route,
+        };
+        client.first_available()?;
+        Ok(client)
+    }
+
+    /// The session's home server (directory index).
+    pub fn home(&self) -> usize {
+        self.route[0]
+    }
+
+    /// Correlations served to this session, per server (directory order) —
+    /// the observable effect of the routing policy.
+    pub fn served_per_server(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.served).collect()
+    }
+
+    /// The most conservative single-server request limit: the minimum
+    /// `max_request` across currently-connected servers (`None` before
+    /// any connection succeeds). The value can tighten as split requests
+    /// connect more servers of a heterogeneous fleet; requests above it
+    /// are still served — they split.
+    pub fn max_request(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.client.as_ref())
+            .map(CotClient::max_request)
+            .min()
+    }
+
+    /// Fetches `n` correlations, transparently splitting requests larger
+    /// than one server's `max_request` across the fleet. Each returned
+    /// batch is homogeneous in `Δ` (batches from different servers carry
+    /// different `Δ`s; that is inherent to a sharded fleet).
+    ///
+    /// # Errors
+    ///
+    /// Fails when every server is unreachable, or on a semantic
+    /// (non-connectivity) server error.
+    pub fn request_cots(&mut self, n: usize) -> Result<Vec<CotBatch>, ChannelError> {
+        let mut batches = Vec::new();
+        let mut remaining = n as u64;
+        while remaining > 0 {
+            let preferred = if batches.is_empty() {
+                self.home()
+            } else {
+                self.least_served_healthy()
+            };
+            let batch = self.issue(preferred, remaining)?;
+            remaining -= batch.len() as u64;
+            batches.push(batch);
+        }
+        Ok(batches)
+    }
+
+    /// Streams `total` correlations in chunks of `batch` through one
+    /// server's credit-controlled subscription (plus one one-shot request
+    /// for any remainder), invoking `consume` on every batch. Returns the
+    /// exact accounting.
+    ///
+    /// Server choice follows the routing policy (home first, failover on
+    /// connect error). A mid-stream failure is surfaced, not failed over:
+    /// correlations already consumed cannot be replayed on another
+    /// server.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no server is reachable, on mid-stream transport or
+    /// accounting errors, and with [`ChannelError::Disconnected`] when
+    /// the server ended the stream early (fewer than `total`
+    /// correlations were delivered; `consume` saw exactly what arrived).
+    pub fn stream_cots(
+        &mut self,
+        total: u64,
+        batch: usize,
+        mut consume: impl FnMut(CotBatch),
+    ) -> Result<StreamSummary, ChannelError> {
+        if total == 0 {
+            return Ok(StreamSummary { chunks: 0, cots: 0 });
+        }
+        if batch == 0 {
+            // Same typed rejection CotClient::subscribe gives this
+            // misuse, raised before the chunk-count division below.
+            return Err(ChannelError::RequestTooLarge {
+                max: self.max_request().unwrap_or(0),
+                requested: 0,
+            });
+        }
+        let chunks = total / batch as u64;
+        let remainder = (total % batch as u64) as usize;
+        loop {
+            let idx = self.first_available()?;
+            let client = self.slots[idx].client.as_mut().expect("connected slot");
+            match stream_on(client, batch, chunks, remainder, &mut consume) {
+                Ok(summary) => {
+                    self.slots[idx].served += summary.cots;
+                    // A server may end the stream early (it is shutting
+                    // down); `consume` already saw `summary.cots`
+                    // correlations, but silent truncation would break the
+                    // "streams `total`" contract — surface it.
+                    if summary.cots != total {
+                        return Err(ChannelError::Disconnected);
+                    }
+                    return Ok(summary);
+                }
+                // Only a connectivity failure while *opening* retries on
+                // the next server; anything mid-stream is surfaced.
+                Err(StreamAttemptError::OpenFailed(e)) if is_connectivity(&e) => {
+                    self.mark_failed(idx);
+                }
+                Err(StreamAttemptError::OpenFailed(e)) | Err(StreamAttemptError::MidStream(e)) => {
+                    return Err(e)
+                }
+            }
+        }
+    }
+
+    /// Opens a raw streaming subscription on the session's first
+    /// reachable server (for callers that want chunk-by-chunk control;
+    /// [`ClusterClient::stream_cots`] is the managed path). Chunks pulled
+    /// through the returned handle still feed this session's per-server
+    /// load counters, so later spill routing sees the streamed load.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no server is reachable or the subscription is rejected.
+    pub fn subscribe(
+        &mut self,
+        batch: usize,
+        chunks: u64,
+    ) -> Result<ClusterSubscription<'_>, ChannelError> {
+        let idx = self.first_available()?;
+        let slot = &mut self.slots[idx];
+        let sub = slot
+            .client
+            .as_mut()
+            .expect("connected slot")
+            .subscribe(batch, chunks)?;
+        Ok(ClusterSubscription {
+            sub,
+            served: &mut slot.served,
+            counted: 0,
+        })
+    }
+
+    /// Fetches a statistics snapshot from every reachable server
+    /// (`None` for servers that are failed or unreachable).
+    pub fn stats_all(&mut self) -> Vec<(SocketAddr, Option<ServiceStats>)> {
+        (0..self.directory.len())
+            .map(|idx| {
+                let addr = self.directory.server(idx).addr;
+                let stats = if self.ensure_connected(idx).is_ok() {
+                    self.slots[idx]
+                        .client
+                        .as_mut()
+                        .expect("connected slot")
+                        .stats()
+                        .ok()
+                } else {
+                    self.mark_failed(idx);
+                    None
+                };
+                (addr, stats)
+            })
+            .collect()
+    }
+
+    /// Clears failure marks, letting previously failed servers be retried
+    /// (e.g. after an operator restarted one).
+    pub fn heal(&mut self) {
+        for slot in &mut self.slots {
+            slot.failed = false;
+        }
+    }
+
+    /// Issues one chunk of at most `want` correlations, starting at
+    /// `preferred` and walking the session's ring order on connectivity
+    /// failures.
+    fn issue(&mut self, preferred: usize, want: u64) -> Result<CotBatch, ChannelError> {
+        let route = self.route.clone();
+        let start = route.iter().position(|&i| i == preferred).unwrap_or(0);
+        let mut last_err: Option<ChannelError> = None;
+        for k in 0..route.len() {
+            let idx = route[(start + k) % route.len()];
+            if self.slots[idx].failed {
+                continue;
+            }
+            if let Err(e) = self.ensure_connected(idx) {
+                self.mark_failed(idx);
+                last_err = Some(e);
+                continue;
+            }
+            let client = self.slots[idx].client.as_mut().expect("connected slot");
+            let chunk = want.min(client.max_request()).max(1);
+            match client.request_cots(chunk as usize) {
+                Ok(batch) => {
+                    self.slots[idx].served += batch.len() as u64;
+                    return Ok(batch);
+                }
+                Err(e) if is_connectivity(&e) => {
+                    self.mark_failed(idx);
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(ChannelError::Disconnected))
+    }
+
+    /// The healthy server that has served this session the least (ties
+    /// break toward ring order) — the spill target for split requests.
+    fn least_served_healthy(&self) -> usize {
+        self.route
+            .iter()
+            .copied()
+            .filter(|&idx| !self.slots[idx].failed)
+            .min_by_key(|&idx| self.slots[idx].served)
+            .unwrap_or(self.route[0])
+    }
+
+    /// First reachable server in ring order, connecting as needed.
+    fn first_available(&mut self) -> Result<usize, ChannelError> {
+        let route = self.route.clone();
+        let mut last_err: Option<ChannelError> = None;
+        for idx in route {
+            if self.slots[idx].failed {
+                continue;
+            }
+            match self.ensure_connected(idx) {
+                Ok(()) => return Ok(idx),
+                Err(e) => {
+                    self.mark_failed(idx);
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or(ChannelError::Disconnected))
+    }
+
+    fn ensure_connected(&mut self, idx: usize) -> Result<(), ChannelError> {
+        if self.slots[idx].failed {
+            return Err(ChannelError::Disconnected);
+        }
+        if self.slots[idx].client.is_some() {
+            return Ok(());
+        }
+        let server = self.directory.server(idx);
+        let name = format!("{}@{}", self.session, server.name);
+        self.slots[idx].client = Some(CotClient::connect(server.addr, &name)?);
+        Ok(())
+    }
+
+    fn mark_failed(&mut self, idx: usize) {
+        self.slots[idx].failed = true;
+        self.slots[idx].client = None;
+    }
+}
+
+/// A raw subscription handle from [`ClusterClient::subscribe`]: the
+/// underlying [`CotSubscription`] plus the owning server's load counter,
+/// kept current as chunks arrive.
+#[derive(Debug)]
+pub struct ClusterSubscription<'a> {
+    sub: CotSubscription<'a>,
+    served: &'a mut u64,
+    /// Correlations already added to `served` by `next_chunk`.
+    counted: u64,
+}
+
+impl ClusterSubscription<'_> {
+    /// Receives the next chunk (see [`CotSubscription::next_chunk`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CotSubscription::next_chunk`].
+    pub fn next_chunk(&mut self) -> Result<Option<CotBatch>, ChannelError> {
+        let chunk = self.sub.next_chunk()?;
+        if let Some(batch) = &chunk {
+            *self.served += batch.len() as u64;
+            self.counted += batch.len() as u64;
+        }
+        Ok(chunk)
+    }
+
+    /// Credits granted but not yet consumed by an arrived chunk.
+    pub fn credits_outstanding(&self) -> u64 {
+        self.sub.credits_outstanding()
+    }
+
+    /// Chunks still expected by this subscription.
+    pub fn chunks_remaining(&self) -> u64 {
+        self.sub.chunks_remaining()
+    }
+
+    /// Ends the subscription and returns the server's accounting trailer
+    /// (see [`CotSubscription::finish`]). Chunks the early-end drain
+    /// discards still count toward the server's load.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CotSubscription::finish`].
+    pub fn finish(mut self) -> Result<StreamSummary, ChannelError> {
+        let summary = self.sub.end()?;
+        *self.served += summary.cots.saturating_sub(self.counted);
+        self.counted = summary.cots;
+        Ok(summary)
+    }
+}
+
+impl Drop for ClusterSubscription<'_> {
+    /// A dropped handle still settles the load accounting: the inner
+    /// subscription's close drains in-flight chunks, and those drained
+    /// correlations were server work the spill routing must see.
+    fn drop(&mut self) {
+        if let Ok(summary) = self.sub.end() {
+            *self.served += summary.cots.saturating_sub(self.counted);
+        }
+    }
+}
+
+/// Connectivity failures trigger failover; anything else would recur on
+/// every server and is surfaced instead.
+fn is_connectivity(e: &ChannelError) -> bool {
+    matches!(e, ChannelError::Io(_) | ChannelError::Disconnected)
+}
+
+/// Where one streaming attempt failed — at open (retryable on another
+/// server: nothing was consumed yet) or mid-stream (not retryable:
+/// already-consumed correlations cannot be replayed elsewhere).
+enum StreamAttemptError {
+    OpenFailed(ChannelError),
+    MidStream(ChannelError),
+}
+
+/// One complete streaming attempt against one server: subscription,
+/// chunk loop, trailer, and the one-shot remainder.
+fn stream_on(
+    client: &mut CotClient,
+    batch: usize,
+    chunks: u64,
+    remainder: usize,
+    consume: &mut impl FnMut(CotBatch),
+) -> Result<StreamSummary, StreamAttemptError> {
+    let mut pushed = 0u64;
+    let mut cots = 0u64;
+    // A total below one chunk needs no subscription at all — the
+    // remainder one-shot below covers it in a single round trip.
+    if chunks > 0 {
+        let mut sub = client
+            .subscribe(batch, chunks)
+            .map_err(StreamAttemptError::OpenFailed)?;
+        while let Some(b) = sub.next_chunk().map_err(StreamAttemptError::MidStream)? {
+            cots += b.len() as u64;
+            consume(b);
+        }
+        let summary = sub.finish().map_err(StreamAttemptError::MidStream)?;
+        debug_assert_eq!(summary.cots, cots);
+        pushed = summary.chunks;
+    }
+    if remainder > 0 {
+        // Served one-shot, so it does not count toward `chunks` (that
+        // field means chunks the server *pushed*). Before the
+        // subscription ran nothing was consumed, so a failure here may
+        // still fail over to another server.
+        let wrap: fn(ChannelError) -> StreamAttemptError = if chunks > 0 {
+            StreamAttemptError::MidStream
+        } else {
+            StreamAttemptError::OpenFailed
+        };
+        let b = client.request_cots(remainder).map_err(wrap)?;
+        cots += b.len() as u64;
+        consume(b);
+    }
+    Ok(StreamSummary {
+        chunks: pushed,
+        cots,
+    })
+}

@@ -1,0 +1,211 @@
+//! The cluster directory: which servers exist, and which one owns a
+//! session.
+//!
+//! Routing is a consistent-hash ring: each server contributes
+//! [`VIRTUAL_NODES`] points (hashes of `addr#replica`), and a session
+//! lands on the first point clockwise of its own hash. Two properties
+//! matter for a COT fleet:
+//!
+//! * **Stickiness** — a session always resolves to the same *home*
+//!   server, so its correlations keep coming from one pool (one `Δ`
+//!   stream per server session, warm state stays warm).
+//! * **Minimal reshuffle** — adding or removing a server moves only the
+//!   sessions whose arc it owned, not the whole fleet's routing table.
+//!
+//! [`ClusterDirectory::route`] additionally yields the deterministic
+//! failover order (the ring walked clockwise from the home, deduplicated)
+//! that [`ClusterClient`](crate::ClusterClient) uses when a server is
+//! unreachable.
+
+use std::net::SocketAddr;
+
+/// Virtual nodes per server on the hash ring; enough that a 3-server
+/// directory spreads sessions within a few percent of evenly.
+pub const VIRTUAL_NODES: usize = 64;
+
+/// FNV-1a with a murmur-style finalizer: plain FNV does not avalanche
+/// its high bits on short, similar strings (all `session-N` names would
+/// land on one arc of the ring), so the mix step is load-bearing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// One server known to the directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerEntry {
+    /// The server's listening address.
+    pub addr: SocketAddr,
+    /// Display name (logs, stats).
+    pub name: String,
+}
+
+/// An immutable snapshot of the fleet: N [`CotService`](ironman_net::CotService)
+/// endpoints and the consistent-hash ring over them.
+#[derive(Clone, Debug)]
+pub struct ClusterDirectory {
+    servers: Vec<ServerEntry>,
+    /// Sorted `(ring point, server index)` pairs.
+    ring: Vec<(u64, usize)>,
+}
+
+impl ClusterDirectory {
+    /// Builds a directory over `servers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty server list — a cluster of zero servers can
+    /// route nothing.
+    pub fn new(servers: Vec<ServerEntry>) -> Self {
+        assert!(!servers.is_empty(), "directory needs at least one server");
+        let mut ring = Vec::with_capacity(servers.len() * VIRTUAL_NODES);
+        for (idx, server) in servers.iter().enumerate() {
+            for replica in 0..VIRTUAL_NODES {
+                let point = fnv1a(format!("{}#{replica}", server.addr).as_bytes());
+                ring.push((point, idx));
+            }
+        }
+        ring.sort_unstable();
+        ClusterDirectory { servers, ring }
+    }
+
+    /// Builds a directory from bare addresses (names derived from them).
+    pub fn from_addrs<I: IntoIterator<Item = SocketAddr>>(addrs: I) -> Self {
+        Self::new(
+            addrs
+                .into_iter()
+                .map(|addr| ServerEntry {
+                    addr,
+                    name: format!("cot-server@{addr}"),
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the directory is empty (never true; see [`ClusterDirectory::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// All servers, in directory order.
+    pub fn servers(&self) -> &[ServerEntry] {
+        &self.servers
+    }
+
+    /// The server at directory index `idx`.
+    pub fn server(&self, idx: usize) -> &ServerEntry {
+        &self.servers[idx]
+    }
+
+    /// The session's home server: the first ring point clockwise of the
+    /// session's hash.
+    pub fn home(&self, session: &str) -> usize {
+        let h = fnv1a(session.as_bytes());
+        let at = self.ring.partition_point(|&(point, _)| point < h);
+        self.ring[at % self.ring.len()].1
+    }
+
+    /// The session's full routing order: home first, then each remaining
+    /// server in the order the ring walk first reaches it. Every server
+    /// appears exactly once, so walking this list is the deterministic
+    /// failover policy.
+    pub fn route(&self, session: &str) -> Vec<usize> {
+        let h = fnv1a(session.as_bytes());
+        let start = self.ring.partition_point(|&(point, _)| point < h);
+        let mut order = Vec::with_capacity(self.servers.len());
+        for offset in 0..self.ring.len() {
+            let idx = self.ring[(start + offset) % self.ring.len()].1;
+            if !order.contains(&idx) {
+                order.push(idx);
+                if order.len() == self.servers.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(n: usize) -> ClusterDirectory {
+        ClusterDirectory::from_addrs((0..n).map(|i| {
+            format!("10.0.0.{}:7000", i + 1)
+                .parse()
+                .expect("valid addr")
+        }))
+    }
+
+    #[test]
+    fn home_is_deterministic_and_sticky() {
+        let d = dir(3);
+        for session in ["alice", "bob", "resnet-worker-17", ""] {
+            assert_eq!(d.home(session), d.home(session));
+            assert!(d.home(session) < 3);
+        }
+    }
+
+    #[test]
+    fn route_covers_every_server_once_starting_at_home() {
+        let d = dir(5);
+        for session in ["a", "b", "c", "worker-9000"] {
+            let route = d.route(session);
+            assert_eq!(route[0], d.home(session));
+            let mut sorted = route.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn sessions_spread_across_servers() {
+        let d = dir(3);
+        let mut hits = [0usize; 3];
+        for i in 0..300 {
+            hits[d.home(&format!("session-{i}"))] += 1;
+        }
+        // Consistent hashing with 64 vnodes/server is not perfectly even,
+        // but nothing should be starved or dominant.
+        for &h in &hits {
+            assert!(h > 30, "server starved: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_moves_few_sessions() {
+        let small = dir(3);
+        let big = dir(4);
+        let moved = (0..1000)
+            .filter(|i| {
+                let s = format!("session-{i}");
+                // Servers 0..3 have identical addresses in both
+                // directories, so a changed home means the session moved.
+                small.home(&s) != big.home(&s)
+            })
+            .count();
+        // Ideal consistent hashing moves ~1/4 of sessions; allow slack
+        // but rule out the "everything rehashed" failure mode.
+        assert!(moved < 500, "consistent hashing reshuffled {moved}/1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_directory_rejected() {
+        let _ = ClusterDirectory::new(Vec::new());
+    }
+}

@@ -1,0 +1,92 @@
+//! # `ironman-cluster` — sharded multi-server COT pools
+//!
+//! `ironman-net` (PR 1) made one process serve correlations over sockets;
+//! this crate makes a *fleet* of them behave like one elastic pool. It is
+//! the serving-layer translation of the Ironman paper's core idea — keep
+//! extension output streaming toward the consumer instead of computing it
+//! on the demand path — applied at datacenter shape:
+//!
+//! * [`ClusterDirectory`] — the fleet snapshot: N `CotService` endpoints
+//!   and a consistent-hash ring (sticky session→server homes, minimal
+//!   reshuffle when the fleet grows).
+//! * [`ClusterClient`] — one handle that routes demand: consistent-hash
+//!   home first, transparent splitting of oversized requests with
+//!   least-outstanding spill, and automatic failover to the next ring
+//!   server on connect/IO errors.
+//! * [`Warmup`] — a background refiller per server that keeps every
+//!   [`SharedCotPool`](ironman_core::SharedCotPool) shard above a
+//!   low-watermark *before* demand arrives, so requests drain buffers
+//!   instead of waiting on inline FERRET extensions.
+//! * [`ClusterServer`] / [`LocalCluster`] — service + warm-up composed,
+//!   and a whole loopback fleet in one call for tests and benches.
+//! * Streaming rides the `ironman-net` v2 protocol: a
+//!   [`ClusterClient::stream_cots`] subscription pulls chunk pushes with
+//!   credit-based backpressure instead of per-request round trips.
+//!
+//! # Topology
+//!
+//! ```text
+//!                        ClusterDirectory
+//!                 (addresses + consistent-hash ring)
+//!                               |
+//!            +------------------+------------------+
+//!            v                  v                  v
+//!      ClusterClient      ClusterClient      ClusterClient      (sessions)
+//!       "alice"            "bob"              "carol"
+//!          |  home(alice)     |  home(bob)       |  home(carol)
+//!          |  + spill/failover|                  |
+//!     =====+==================+==================+=====  TCP, framed v2
+//!          v                  v                  v
+//!     +---------+        +---------+        +---------+
+//!     | CotSvc  |        | CotSvc  |        | CotSvc  |    (servers)
+//!     | shards: |        | shards: |        | shards: |
+//!     | [p0..p3]|        | [p0..p3]|        | [p0..p3]|
+//!     +----^----+        +----^----+        +----^----+
+//!          |                  |                  |
+//!       Warmup             Warmup             Warmup      (background
+//!     (refill below      (refill below      (refill below  FERRET
+//!      low-watermark)     low-watermark)     low-watermark) extensions)
+//! ```
+//!
+//! Each server is an independent FERRET dealer (its own `Δ` stream per
+//! pool shard); a batch therefore never straddles servers, and a split
+//! request returns one Δ-homogeneous batch per contacted server.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ironman_cluster::{ClusterClient, ClusterServerConfig, LocalCluster, WarmupConfig};
+//! use ironman_core::{Backend, Engine};
+//! use ironman_ot::ferret::FerretConfig;
+//! use ironman_ot::params::FerretParams;
+//!
+//! let engine = Engine::new(FerretConfig::new(FerretParams::toy()), Backend::ironman_default());
+//! let cluster = LocalCluster::spawn(
+//!     3,
+//!     &engine,
+//!     &ClusterServerConfig {
+//!         warmup: Some(WarmupConfig::default()),
+//!         ..ClusterServerConfig::default()
+//!     },
+//! )
+//! .unwrap();
+//!
+//! let mut client = ClusterClient::connect(cluster.directory(), "ppml-worker-0").unwrap();
+//! for batch in client.request_cots(1024).unwrap() {
+//!     batch.verify().unwrap();
+//! }
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod directory;
+pub mod server;
+pub mod warmup;
+
+pub use client::{ClusterClient, ClusterSubscription};
+pub use directory::{ClusterDirectory, ServerEntry, VIRTUAL_NODES};
+pub use server::{ClusterServer, ClusterServerConfig, LocalCluster};
+pub use warmup::{Warmup, WarmupConfig};

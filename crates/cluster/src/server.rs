@@ -1,0 +1,183 @@
+//! Cluster-side server composition: a [`CotService`] plus its [`Warmup`]
+//! refiller, and the [`LocalCluster`] helper that spins a whole fleet in
+//! one process for tests, benches, and demos.
+
+use crate::directory::{ClusterDirectory, ServerEntry};
+use crate::warmup::{Warmup, WarmupConfig};
+use ironman_core::{Engine, SharedCotPool};
+use ironman_net::{CotService, CotServiceConfig, ServiceStats};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one [`ClusterServer`].
+#[derive(Clone, Debug, Default)]
+pub struct ClusterServerConfig {
+    /// The underlying service configuration (shards, seed).
+    pub service: CotServiceConfig,
+    /// Warm-up refiller; `None` serves cold (extensions inline on
+    /// demand), the PR-1 behavior.
+    pub warmup: Option<WarmupConfig>,
+}
+
+/// One member of the fleet: a running COT service with an optional
+/// background warm-up refiller over its pool.
+#[derive(Debug)]
+pub struct ClusterServer {
+    service: CotService,
+    warmup: Option<Warmup>,
+}
+
+impl ClusterServer {
+    /// Binds `addr` and starts the service (and, if configured, its
+    /// warm-up refiller).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn<A: ToSocketAddrs>(
+        addr: A,
+        engine: &Engine,
+        cfg: ClusterServerConfig,
+    ) -> std::io::Result<ClusterServer> {
+        let listener = TcpListener::bind(addr)?;
+        let pool = Arc::new(SharedCotPool::new(
+            engine,
+            cfg.service.shards,
+            cfg.service.seed,
+        ));
+        let service = CotService::serve_on(listener, Arc::clone(&pool));
+        let warmup = cfg.warmup.map(|wcfg| Warmup::spawn(pool, wcfg));
+        Ok(ClusterServer { service, warmup })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.service.addr()
+    }
+
+    /// The pool backing this server.
+    pub fn pool(&self) -> &Arc<SharedCotPool> {
+        self.service.pool()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        self.service.stats()
+    }
+
+    /// Stops the warm-up refiller (if any) and the service; returns the
+    /// final statistics.
+    pub fn shutdown(self) -> ServiceStats {
+        if let Some(warmup) = self.warmup {
+            warmup.stop();
+        }
+        self.service.shutdown()
+    }
+}
+
+/// A whole fleet on loopback: N [`ClusterServer`]s with per-server seeds
+/// (each server is an independent FERRET dealer with its own `Δ` stream)
+/// and the matching [`ClusterDirectory`].
+#[derive(Debug)]
+pub struct LocalCluster {
+    /// Slot `i` is directory index `i` for the fleet's whole lifetime; a
+    /// shut-down server leaves a `None` behind so later indices stay
+    /// valid (failover tests kill servers by directory index).
+    servers: Vec<Option<ClusterServer>>,
+    entries: Vec<ServerEntry>,
+}
+
+impl LocalCluster {
+    /// Spawns `n` servers on ephemeral loopback ports. Server `i` uses
+    /// `cfg.service.seed` offset by `i`, so no two servers share a
+    /// correlation stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn spawn(n: usize, engine: &Engine, cfg: &ClusterServerConfig) -> std::io::Result<Self> {
+        assert!(n > 0, "cluster needs at least one server");
+        let servers = (0..n)
+            .map(|i| {
+                let mut server_cfg = cfg.clone();
+                server_cfg.service.seed = cfg
+                    .service
+                    .seed
+                    .wrapping_add(0x517c_c1b7_2722_0a95u64.wrapping_mul(i as u64 + 1));
+                ClusterServer::spawn("127.0.0.1:0", engine, server_cfg).map(Some)
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let entries = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ServerEntry {
+                addr: s.as_ref().expect("just spawned").addr(),
+                name: format!("local-{i}"),
+            })
+            .collect();
+        Ok(LocalCluster { servers, entries })
+    }
+
+    /// The directory describing this fleet. Indices are stable: a server
+    /// shut down via [`LocalCluster::shutdown_server`] keeps its entry
+    /// (clients discover it is dead by failing to connect — the failover
+    /// scenario).
+    pub fn directory(&self) -> ClusterDirectory {
+        ClusterDirectory::new(self.entries.clone())
+    }
+
+    /// The individual servers, by directory index (`None` where one has
+    /// been shut down).
+    pub fn servers(&self) -> &[Option<ClusterServer>] {
+        &self.servers
+    }
+
+    /// Shuts down one server by directory index (for failover tests);
+    /// returns its final statistics. Other indices remain valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server at `idx` was already shut down.
+    pub fn shutdown_server(&mut self, idx: usize) -> ServiceStats {
+        self.servers[idx]
+            .take()
+            .expect("server already shut down")
+            .shutdown()
+    }
+
+    /// Blocks until every live server's pool holds at least `per_server`
+    /// buffered correlations, or `timeout` passes. Returns whether the
+    /// fleet got warm.
+    pub fn wait_warm(&self, per_server: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self
+                .servers
+                .iter()
+                .flatten()
+                .all(|s| s.pool().available() >= per_server)
+            {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Shuts the whole fleet down; returns final statistics of the
+    /// servers that were still live.
+    pub fn shutdown(self) -> Vec<ServiceStats> {
+        self.servers
+            .into_iter()
+            .flatten()
+            .map(ClusterServer::shutdown)
+            .collect()
+    }
+}

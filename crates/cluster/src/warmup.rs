@@ -1,0 +1,143 @@
+//! Background pool warm-up: extensions run *before* demand arrives.
+//!
+//! The Ironman pipeline wins by keeping OT extension output streaming
+//! toward the compute side instead of computing it on the critical path;
+//! [`Warmup`] is the serving-layer version of that idea. A refiller
+//! thread sweeps a [`SharedCotPool`] and tops up any shard whose buffer
+//! has fallen below the configured low-watermark, so a client request
+//! that arrives later is served from the buffer instead of paying a full
+//! FERRET extension inline.
+//!
+//! The sweep uses [`SharedCotPool::warm`], which skips busy shards
+//! rather than blocking behind them: warm-up never adds latency to the
+//! demand path it exists to protect. Effectiveness is observable through
+//! the service's `Stats` reply (`warmup_refills` and the per-shard
+//! occupancy/refill counters).
+
+use ironman_core::SharedCotPool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`Warmup`] refiller.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmupConfig {
+    /// Refill a shard when its buffered correlations drop below this.
+    ///
+    /// Resolved against the pool at spawn time: values above **half** of
+    /// one extension's output are clamped to that half. The cap is
+    /// load-bearing, not cosmetic — a refill *replaces* a shard's buffer
+    /// rather than appending to it (each session has its own `Δ`), so a
+    /// higher watermark would discard an up-to-watermark remnant of live
+    /// correlations on every post-drain sweep; capping at half bounds
+    /// the discard to at most half the work each refill buys.
+    pub low_watermark: usize,
+    /// Pause between sweeps.
+    pub interval: Duration,
+}
+
+impl Default for WarmupConfig {
+    fn default() -> Self {
+        WarmupConfig {
+            // As warm as the half-buffer cap allows.
+            low_watermark: usize::MAX,
+            interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// A running background refiller over one server's [`SharedCotPool`].
+///
+/// Stops (and joins its thread) on [`Warmup::stop`] or drop.
+#[derive(Debug)]
+pub struct Warmup {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Warmup {
+    /// Starts the refiller thread over `pool` (the watermark is resolved
+    /// against the pool here; see [`WarmupConfig::low_watermark`]).
+    pub fn spawn(pool: Arc<SharedCotPool>, cfg: WarmupConfig) -> Warmup {
+        let stop = Arc::new(AtomicBool::new(false));
+        let low_watermark = cfg.low_watermark.min(pool.max_request() / 2).max(1);
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    // A panicking refill must not poison shutdown (the
+                    // serve paths guard their pool calls the same way);
+                    // the refiller retires and the service degrades to
+                    // inline extensions, which `warmup_refills` stalling
+                    // makes observable.
+                    let sweep = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        pool.warm(low_watermark)
+                    }));
+                    if sweep.is_err() {
+                        break;
+                    }
+                    // park_timeout (not sleep) so stop() interrupts the
+                    // pause instead of waiting it out.
+                    std::thread::park_timeout(cfg.interval);
+                }
+            })
+        };
+        Warmup {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the refiller and waits for its thread to exit.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            thread.thread().unpark();
+            // Never panic out of halt(): it also runs from Drop, where a
+            // second panic would abort the process and mask the original
+            // error.
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Warmup {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironman_core::{Backend, Engine};
+    use ironman_ot::ferret::FerretConfig;
+    use ironman_ot::params::FerretParams;
+    use std::time::Instant;
+
+    #[test]
+    fn warmup_fills_pool_before_demand() {
+        let engine = Engine::new(
+            FerretConfig::new(FerretParams::toy()),
+            Backend::ironman_default(),
+        );
+        let pool = Arc::new(SharedCotPool::new(&engine, 2, 3));
+        let warmup = Warmup::spawn(Arc::clone(&pool), WarmupConfig::default());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while pool.available() < 2 * pool.max_request() {
+            assert!(Instant::now() < deadline, "warm-up never filled the pool");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        warmup.stop();
+        assert!(pool.warmup_refills() >= 2);
+        // Demand after warm-up is pure buffer drain.
+        let extensions_before = pool.extensions_run();
+        pool.take(100).verify().unwrap();
+        assert_eq!(pool.extensions_run(), extensions_before);
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-server loopback end-to-end: a 3-server fleet with warm-up, a
+//! routed client doing one-shot, split, and streaming requests, and
+//! failover when the home server dies.
+
+use ironman_cluster::{ClusterClient, ClusterServerConfig, LocalCluster, WarmupConfig};
+use ironman_core::{Backend, Engine};
+use ironman_net::CotServiceConfig;
+use ironman_ot::channel::ChannelError;
+use ironman_ot::ferret::FerretConfig;
+use ironman_ot::params::FerretParams;
+use std::time::Duration;
+
+fn toy_engine() -> Engine {
+    Engine::new(
+        FerretConfig::new(FerretParams::toy()),
+        Backend::ironman_default(),
+    )
+}
+
+fn warm_cluster_cfg() -> ClusterServerConfig {
+    ClusterServerConfig {
+        service: CotServiceConfig {
+            shards: 2,
+            seed: 0x0C1u64,
+        },
+        warmup: Some(WarmupConfig::default()),
+    }
+}
+
+#[test]
+fn three_server_fleet_serves_routed_and_split_requests() {
+    let engine = toy_engine();
+    let cluster = LocalCluster::spawn(3, &engine, &warm_cluster_cfg()).expect("spawn fleet");
+    let directory = cluster.directory();
+
+    let mut client = ClusterClient::connect(directory, "e2e-router").expect("connect");
+    let max = client.max_request().expect("connected") as usize;
+
+    // In-limit request: single batch, single (home) server.
+    let small = client.request_cots(max / 2).unwrap();
+    assert_eq!(small.len(), 1);
+    assert_eq!(small[0].len(), max / 2);
+    small[0].verify().unwrap();
+    let after_small = client.served_per_server();
+    assert_eq!(after_small[client.home()], (max / 2) as u64);
+
+    // Oversized request: transparently split across servers, every chunk
+    // within the per-server limit, total exact, every batch verified.
+    let want = 2 * max + 7;
+    let split = client.request_cots(want).unwrap();
+    assert!(
+        split.len() >= 3,
+        "expected >= 3 chunks, got {}",
+        split.len()
+    );
+    let mut total = 0usize;
+    for batch in &split {
+        assert!(batch.len() <= max);
+        batch.verify().unwrap();
+        total += batch.len();
+    }
+    assert_eq!(total, want);
+    // The spill actually spread beyond the home server.
+    let spread = client
+        .served_per_server()
+        .iter()
+        .filter(|&&cots| cots > 0)
+        .count();
+    assert!(spread >= 2, "spill never left the home server");
+
+    // Per-shard observability: the stats request reports every shard and
+    // the warm-up refills that filled them.
+    let mut warm_refills = 0;
+    for (_, stats) in client.stats_all() {
+        let stats = stats.expect("all servers reachable");
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.shard_stats.len(), 2);
+        assert_eq!(
+            stats.available,
+            stats.shard_stats.iter().map(|s| s.available).sum::<u64>()
+        );
+        warm_refills += stats.warmup_refills;
+    }
+    assert!(warm_refills > 0, "warm-up never refilled any server");
+
+    cluster.shutdown();
+}
+
+#[test]
+fn streaming_subscription_over_the_fleet() {
+    let engine = toy_engine();
+    let cluster = LocalCluster::spawn(3, &engine, &warm_cluster_cfg()).expect("spawn fleet");
+
+    let mut client = ClusterClient::connect(cluster.directory(), "e2e-streamer").expect("connect");
+    // A total that is deliberately not a multiple of the chunk size, so
+    // the remainder path is exercised too.
+    let total = 10 * 256 + 99;
+    let mut seen = 0u64;
+    let summary = client
+        .stream_cots(total, 256, |batch| {
+            batch.verify().unwrap();
+            seen += batch.len() as u64;
+        })
+        .unwrap();
+    assert_eq!(summary.cots, total);
+    assert_eq!(seen, total);
+    // 10 pushed chunks; the 99-COT remainder is served one-shot and does
+    // not count as a pushed chunk.
+    assert_eq!(summary.chunks, 10);
+
+    // Regression: a zero-sized chunk is a typed rejection, not a
+    // divide-by-zero panic.
+    assert!(matches!(
+        client.stream_cots(100, 0, |_| {}),
+        Err(ChannelError::RequestTooLarge { .. })
+    ));
+
+    // The raw subscription handle also feeds the per-server load
+    // counters (spill routing must see streamed load).
+    let served_before: u64 = client.served_per_server().iter().sum();
+    let mut sub = client.subscribe(128, 4).unwrap();
+    while let Some(batch) = sub.next_chunk().unwrap() {
+        batch.verify().unwrap();
+    }
+    let sub_summary = sub.finish().unwrap();
+    assert_eq!(sub_summary.cots, 4 * 128);
+    let served_after: u64 = client.served_per_server().iter().sum();
+    assert_eq!(served_after, served_before + 4 * 128);
+
+    cluster.shutdown();
+}
+
+#[test]
+fn failover_routes_around_a_dead_home_server() {
+    let engine = toy_engine();
+    // No warm-up: this test is about routing, not refill.
+    let cfg = ClusterServerConfig {
+        service: CotServiceConfig {
+            shards: 1,
+            seed: 0xDEAD,
+        },
+        warmup: None,
+    };
+    let mut cluster = LocalCluster::spawn(3, &engine, &cfg).expect("spawn fleet");
+    let directory = cluster.directory();
+    let session = "failover-session";
+    let home = directory.home(session);
+
+    // Kill the session's home server before the client ever connects.
+    cluster.shutdown_server(home);
+
+    let mut client = ClusterClient::connect(directory.clone(), session).expect("connect");
+    let batches = client.request_cots(100).unwrap();
+    assert_eq!(batches.len(), 1);
+    batches[0].verify().unwrap();
+    // The correlations came from a fallback, not the dead home.
+    let served = client.served_per_server();
+    assert_eq!(served[home], 0);
+    assert_eq!(served.iter().sum::<u64>(), 100);
+
+    // Streaming also routes around the dead home.
+    let summary = client
+        .stream_cots(500, 100, |b| b.verify().unwrap())
+        .unwrap();
+    assert_eq!(summary.cots, 500);
+
+    cluster.shutdown();
+}
+
+#[test]
+fn shutting_down_multiple_servers_keeps_indices_stable() {
+    let engine = toy_engine();
+    let cfg = ClusterServerConfig::default();
+    let mut cluster = LocalCluster::spawn(3, &engine, &cfg).expect("spawn fleet");
+    let directory = cluster.directory();
+    // Regression: killing index 0 then index 2 used to shift the vec and
+    // panic (or kill the wrong server).
+    cluster.shutdown_server(0);
+    cluster.shutdown_server(2);
+    // Only directory index 1 is left; any session must end up there.
+    let mut client = ClusterClient::connect(directory.clone(), "survivor").expect("connect");
+    let batches = client.request_cots(64).unwrap();
+    batches[0].verify().unwrap();
+    assert_eq!(client.served_per_server()[1], 64);
+    cluster.shutdown();
+}
+
+#[test]
+fn fleet_wide_outage_surfaces_an_error() {
+    let engine = toy_engine();
+    let cfg = ClusterServerConfig::default();
+    let cluster = LocalCluster::spawn(2, &engine, &cfg).expect("spawn fleet");
+    let directory = cluster.directory();
+    cluster.shutdown();
+
+    // Every server is gone: connect must fail with a connectivity error,
+    // not hang or panic.
+    match ClusterClient::connect(directory, "doomed") {
+        Err(ChannelError::Io(_) | ChannelError::Disconnected) => {}
+        other => panic!("expected connectivity error, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_clients_share_the_fleet() {
+    let engine = toy_engine();
+    let cluster = LocalCluster::spawn(3, &engine, &warm_cluster_cfg()).expect("spawn fleet");
+    cluster.wait_warm(1, Duration::from_secs(30));
+    let directory = cluster.directory();
+
+    let threads: Vec<_> = (0..2)
+        .map(|id| {
+            let directory = directory.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    ClusterClient::connect(directory, &format!("shared-{id}")).expect("connect");
+                let mut got = 0u64;
+                for _ in 0..4 {
+                    for batch in client.request_cots(700).expect("request") {
+                        batch.verify().expect("verified");
+                        got += batch.len() as u64;
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    let total: u64 = threads.into_iter().map(|t| t.join().expect("client")).sum();
+    assert_eq!(total, 2 * 4 * 700);
+
+    let final_stats = cluster.shutdown();
+    let cots_served: u64 = final_stats.iter().map(|s| s.cots_served).sum();
+    assert_eq!(cots_served, total);
+}

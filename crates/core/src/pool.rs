@@ -127,6 +127,25 @@ impl CotPool {
         self.last_timing = Some(run.timing);
     }
 
+    /// Tops the buffer up to at least `min_available` correlations,
+    /// running one extension if it is currently below that watermark.
+    /// Returns whether a refill happened.
+    ///
+    /// Because a batch never straddles a session boundary (each refill is
+    /// a fresh session with its own `Δ`), a below-watermark remnant is
+    /// discarded rather than merged — the same rule [`CotPool::take`]
+    /// applies. Watermarks above one extension's output are clamped, as a
+    /// single refill can never exceed it.
+    pub fn ensure(&mut self, min_available: usize) -> bool {
+        let min = min_available.min(self.engine.config().usable_outputs());
+        if self.available() >= min {
+            return false;
+        }
+        self.cursor = self.z.len();
+        self.refill();
+        true
+    }
+
     /// Takes `count` correlations, extending as needed. The returned batch
     /// is homogeneous in `Δ` (requests never straddle a session boundary;
     /// a partially drained buffer is topped up lazily instead).

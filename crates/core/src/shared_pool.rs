@@ -15,7 +15,7 @@
 
 use crate::engine::Engine;
 use crate::pool::{CotBatch, CotPool};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 /// Recovers a poisoned shard: a panic mid-`take` (e.g. an oversized
@@ -33,6 +33,7 @@ pub struct SharedCotPool {
     shards: Vec<Mutex<CotPool>>,
     next: AtomicUsize,
     max_request: usize,
+    warmup_refills: AtomicU64,
 }
 
 impl SharedCotPool {
@@ -55,6 +56,7 @@ impl SharedCotPool {
             shards,
             next: AtomicUsize::new(0),
             max_request: engine.config().usable_outputs(),
+            warmup_refills: AtomicU64::new(0),
         }
     }
 
@@ -106,6 +108,69 @@ impl SharedCotPool {
             .map(|s| lock_shard(s).extensions_run())
             .sum()
     }
+
+    /// Correlations currently buffered, per shard (in shard order).
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| lock_shard(s).available())
+            .collect()
+    }
+
+    /// Extensions executed so far, per shard (in shard order).
+    pub fn shard_extensions(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| lock_shard(s).extensions_run())
+            .collect()
+    }
+
+    /// Per-shard `(buffered, extensions_run)` pairs, each read under a
+    /// single lock acquisition so the pair is self-consistent (separate
+    /// [`SharedCotPool::shard_occupancy`]/[`SharedCotPool::shard_extensions`]
+    /// sweeps can interleave with a refill and report a shard as both
+    /// empty and freshly extended).
+    pub fn shard_stats(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let pool = lock_shard(s);
+                (pool.available(), pool.extensions_run())
+            })
+            .collect()
+    }
+
+    /// Refills performed by [`SharedCotPool::warm`] since construction.
+    pub fn warmup_refills(&self) -> u64 {
+        self.warmup_refills.load(Ordering::Relaxed)
+    }
+
+    /// One warm-up sweep: refills every shard whose buffered correlations
+    /// have fallen below `low_watermark`, so demand that arrives later is
+    /// served from the buffer instead of paying an inline extension — the
+    /// host-side analogue of the Ironman PU extending ahead of the CPU's
+    /// consumption. Returns the number of shards refilled.
+    ///
+    /// The sweep never blocks behind a busy shard: a shard currently
+    /// serving (or already being refilled by) another thread is skipped
+    /// and caught on the next sweep, so warm-up never adds latency to the
+    /// demand path it exists to protect.
+    pub fn warm(&self, low_watermark: usize) -> usize {
+        let mut refills = 0;
+        for shard in &self.shards {
+            let mut pool = match shard.try_lock() {
+                Ok(pool) => pool,
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => continue,
+            };
+            if pool.ensure(low_watermark) {
+                refills += 1;
+            }
+        }
+        self.warmup_refills
+            .fetch_add(refills as u64, Ordering::Relaxed);
+        refills
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +218,33 @@ mod tests {
     #[should_panic(expected = "need at least one shard")]
     fn zero_shards_rejected() {
         let _ = shared(0);
+    }
+
+    #[test]
+    fn warm_fills_every_shard_to_watermark() {
+        let pool = shared(3);
+        assert_eq!(pool.shard_occupancy(), vec![0, 0, 0]);
+        let refilled = pool.warm(pool.max_request());
+        assert_eq!(refilled, 3);
+        assert_eq!(pool.warmup_refills(), 3);
+        for occupancy in pool.shard_occupancy() {
+            assert_eq!(occupancy, pool.max_request());
+        }
+        // A warm pool is a no-op to warm again.
+        assert_eq!(pool.warm(pool.max_request()), 0);
+        assert_eq!(pool.warmup_refills(), 3);
+        // Demand after warm-up is served without an inline extension.
+        let before = pool.extensions_run();
+        pool.take(100).verify().unwrap();
+        assert_eq!(pool.extensions_run(), before);
+    }
+
+    #[test]
+    fn per_shard_counters_track_refills() {
+        let pool = shared(2);
+        pool.warm(1);
+        let ext = pool.shard_extensions();
+        assert_eq!(ext.iter().sum::<usize>(), pool.extensions_run());
+        assert!(ext.iter().all(|&e| e == 1));
     }
 }

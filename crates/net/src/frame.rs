@@ -33,7 +33,12 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = *b"IRNM";
 
 /// Current wire-format version.
-pub const VERSION: u16 = 1;
+///
+/// History: **1** — initial one-shot protocol (`Hello`/`RequestCot`/
+/// `Stats`/`Shutdown`); **2** — streaming subscriptions with credit-based
+/// backpressure (`Subscribe`/`Credit`/`Unsubscribe`, `CotChunk`/
+/// `StreamEnd`) and the per-shard `Stats` reply layout.
+pub const VERSION: u16 = 2;
 
 /// Per-frame header size (the `u32` length prefix).
 pub const FRAME_HEADER_LEN: usize = 4;

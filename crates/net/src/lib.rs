@@ -12,11 +12,27 @@
 //!   write-coalescing socket transports with exact byte/round accounting.
 //!   Every protocol in `ironman-ot` (IKNP, SPCOT, FERRET) runs over them
 //!   unmodified.
-//! * [`proto`] — the small request/response protocol of the COT service
-//!   (`Hello`, `RequestCot{n}`, `Stats`, `Shutdown`).
+//! * [`proto`] — the request/response protocol of the COT service:
+//!   one-shot (`Hello`, `RequestCot{n}`, `Stats`, `Shutdown`) plus the v2
+//!   streaming mode (`Subscribe{batch, credits}`, `Credit{n}`,
+//!   `Unsubscribe` answered by pushed `CotChunk`s and a `StreamEnd`
+//!   accounting trailer) with credit-based backpressure.
 //! * [`service`] — [`CotService`]: a thread-per-connection server over a
 //!   mutex-sharded [`SharedCotPool`](ironman_core::SharedCotPool) that
-//!   replenishes via FERRET extension on demand, and [`CotClient`].
+//!   replenishes via FERRET extension on demand, [`CotClient`], and
+//!   [`CotSubscription`] (the client half of a stream: it manages the
+//!   credit window and enforces exact chunk/credit/byte accounting).
+//!
+//! One process serving many sockets is the smallest deployment; the
+//! fleet-shaped one — a directory of these services with client-side
+//! consistent-hash routing, failover, and background pool warm-up — lives
+//! in `ironman-cluster` and speaks exactly this protocol:
+//!
+//! ```text
+//!   ClusterClient ──┬─> CotService (pool shards + Warmup refiller)
+//!   (routing,       ├─> CotService      ...
+//!    failover)      └─> CotService      ...
+//! ```
 //!
 //! # Wire format
 //!
@@ -36,7 +52,8 @@
 //! **Versioning rules:** the version is bumped on any incompatible change
 //! to the frame layout or the `proto` opcodes; peers advertising
 //! different versions refuse the connection during the handshake instead
-//! of misparsing frames. **Hardening:** frames above
+//! of misparsing frames. Version **2** added the streaming subscription
+//! opcodes and the per-shard `Stats` reply layout. **Hardening:** frames above
 //! [`frame::MAX_FRAME_LEN`] (1 GiB) are rejected before allocation,
 //! truncation and bad magic are errors (never panics), and a session that
 //! sends garbage gets an error response and its connection — only its
@@ -73,8 +90,8 @@ pub mod service;
 pub mod transport;
 
 pub use frame::{FrameError, MAGIC, MAX_FRAME_LEN, VERSION};
-pub use proto::{Request, Response, ServiceStats};
-pub use service::{CotClient, CotService, CotServiceConfig};
+pub use proto::{Request, Response, ServiceStats, ShardStat};
+pub use service::{CotClient, CotService, CotServiceConfig, CotSubscription, StreamSummary};
 #[cfg(unix)]
 pub use transport::UnixTransport;
 pub use transport::{tcp_loopback_pair, StreamTransport, TcpTransport};

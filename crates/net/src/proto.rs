@@ -7,16 +7,32 @@
 //! in-process channel.
 //!
 //! ```text
-//! requests                         responses
-//! 0x01 Hello   { name: lp-bytes }  0x81 Welcome { version: u16, max_request: u64 }
-//! 0x02 Request { n: u64 }          0x82 Cots    { delta, n, z[n], y[n], bits(x) }
-//! 0x03 Stats                       0x83 Stats   { 5 × u64 }
-//! 0x04 Shutdown                    0x84 Goodbye
-//!                                  0xFF Error   { message: lp-bytes }
+//! requests                              responses
+//! 0x01 Hello     { name: lp-bytes }     0x81 Welcome   { version: u16, max_request: u64 }
+//! 0x02 Request   { n: u64 }             0x82 Cots      { batch }
+//! 0x03 Stats                            0x83 Stats     { 6 × u64, s, s × {avail, ext} }
+//! 0x04 Shutdown                         0x84 Goodbye
+//! 0x05 Subscribe { batch: u64,          0x85 CotChunk  { seq: u64, batch }
+//!                  credits: u64 }       0x86 StreamEnd { chunks: u64, cots: u64 }
+//! 0x06 Credit    { n: u64 }             0xFF Error     { message: lp-bytes }
+//! 0x07 Unsubscribe
 //! ```
 //!
-//! (`lp-bytes` = `u64` length + raw bytes; `bits(..)` = shared
-//! [`encode_bits`] layout.)
+//! (`lp-bytes` = `u64` length + raw bytes; `batch` = `delta, n, z[n],
+//! y[n], bits(x)` with the shared [`encode_bits`] layout.)
+//!
+//! # Streaming subscriptions (v2)
+//!
+//! `Subscribe{batch, credits}` switches the session into streaming mode:
+//! the server pushes one `CotChunk{seq, ..}` of `batch` correlations per
+//! *credit* and blocks when the granted credits run out. The client
+//! extends the stream by sending `Credit{n}` grants (a full-duplex
+//! transport lets it do so while chunks are still in flight) and ends it
+//! with `Unsubscribe`, which the server acknowledges with a
+//! `StreamEnd{chunks, cots}` accounting trailer. Credits are the
+//! backpressure: the server can never have more chunks in flight than the
+//! client has explicitly granted, so a slow consumer bounds server-side
+//! work and socket buffering instead of being buried.
 
 use ironman_core::CotBatch;
 use ironman_ot::channel::{decode_bits, encode_bits, ChannelError};
@@ -39,6 +55,21 @@ pub enum Request {
     Stats,
     /// Asks the server to stop accepting new sessions and exit.
     Shutdown,
+    /// Opens a credit-controlled stream of correlation chunks.
+    Subscribe {
+        /// Correlations per pushed [`Response::CotChunk`].
+        batch: u64,
+        /// Initial credit grant (chunks the server may push immediately).
+        credits: u64,
+    },
+    /// Grants `n` further chunk credits to the active subscription.
+    Credit {
+        /// Additional chunks the server may push.
+        n: u64,
+    },
+    /// Ends the active subscription; the server answers with
+    /// [`Response::StreamEnd`] once it has stopped pushing.
+    Unsubscribe,
 }
 
 /// Server → client messages.
@@ -57,6 +88,20 @@ pub enum Response {
     Stats(ServiceStats),
     /// Acknowledges a shutdown; the connection closes after this.
     Goodbye,
+    /// One pushed chunk of an active subscription.
+    CotChunk {
+        /// Zero-based chunk sequence number within the subscription.
+        seq: u64,
+        /// The correlations (same layout as [`Response::Cots`]).
+        batch: CotBatch,
+    },
+    /// Accounting trailer ending a subscription.
+    StreamEnd {
+        /// Chunks pushed over the subscription's lifetime.
+        chunks: u64,
+        /// Correlations pushed over the subscription's lifetime.
+        cots: u64,
+    },
     /// The request could not be served.
     Error(
         /// Human-readable reason.
@@ -65,7 +110,13 @@ pub enum Response {
 }
 
 /// A point-in-time view of the service's counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// The aggregate fields (`available`, `extensions_run`, `shards`) are the
+/// server's own sums over `shard_stats`, carried denormalized for cheap
+/// consumption; the decoder does not re-derive or cross-check them, so a
+/// misbehaving server could send disagreeing values — treat `shard_stats`
+/// as the source of truth when both are read.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Sessions accepted since start.
     pub clients_served: u64,
@@ -77,16 +128,37 @@ pub struct ServiceStats {
     pub available: u64,
     /// Pool shard count.
     pub shards: u64,
+    /// Refills performed by the warm-up sweep (extensions run *before*
+    /// demand arrived, rather than inline on a client's request).
+    pub warmup_refills: u64,
+    /// Per-shard occupancy and refill counters (in shard order); the
+    /// spread across shards is what makes warm-up effectiveness and
+    /// routing skew observable from a plain `Stats` request.
+    pub shard_stats: Vec<ShardStat>,
+}
+
+/// One pool shard's occupancy and refill counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Correlations currently buffered in this shard.
+    pub available: u64,
+    /// Extensions this shard has executed (inline or warm-up).
+    pub extensions_run: u64,
 }
 
 const OP_HELLO: u8 = 0x01;
 const OP_REQUEST_COT: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_SUBSCRIBE: u8 = 0x05;
+const OP_CREDIT: u8 = 0x06;
+const OP_UNSUBSCRIBE: u8 = 0x07;
 const OP_WELCOME: u8 = 0x81;
 const OP_COTS: u8 = 0x82;
 const OP_STATS_REPLY: u8 = 0x83;
 const OP_GOODBYE: u8 = 0x84;
+const OP_COT_CHUNK: u8 = 0x85;
+const OP_STREAM_END: u8 = 0x86;
 const OP_ERROR: u8 = 0xFF;
 
 fn put_lp_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -161,6 +233,41 @@ fn malformed(expected: usize, actual: usize) -> ChannelError {
     ChannelError::Malformed { expected, actual }
 }
 
+/// Appends the shared batch layout (`delta, n, z[n], y[n], bits(x)`) used
+/// by both [`Response::Cots`] and [`Response::CotChunk`].
+fn put_batch(out: &mut Vec<u8>, batch: &CotBatch) {
+    out.reserve(16 + 8 + 32 * batch.len() + batch.len() / 8 + 8);
+    out.extend_from_slice(&batch.delta.to_le_bytes());
+    out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+    for b in &batch.z {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    for b in &batch.y {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(&encode_bits(&batch.x));
+}
+
+/// Parses the shared batch layout; the batch is always a message's final
+/// field, so the bit vector consumes the remainder of `rest`.
+fn read_batch<'a>(r: &mut Reader<'a>, rest: &'a [u8]) -> Result<CotBatch, ChannelError> {
+    let delta = r.block()?;
+    let n = r.u64()? as usize;
+    // A hostile count must not drive allocation past the actual payload:
+    // n blocks of z and y still have to fit.
+    let remaining = rest.len().saturating_sub(r.pos);
+    if n.checked_mul(32).is_none_or(|need| need > remaining) {
+        return Err(malformed(n.saturating_mul(32), remaining));
+    }
+    let z = r.blocks(n)?;
+    let y = r.blocks(n)?;
+    let x = decode_bits(r.take(rest.len() - r.pos)?)?;
+    if x.len() != n {
+        return Err(malformed(n, x.len()));
+    }
+    Ok(CotBatch { delta, z, x, y })
+}
+
 impl Request {
     /// Serializes to one message payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -177,6 +284,18 @@ impl Request {
             }
             Request::Stats => vec![OP_STATS],
             Request::Shutdown => vec![OP_SHUTDOWN],
+            Request::Subscribe { batch, credits } => {
+                let mut out = vec![OP_SUBSCRIBE];
+                out.extend_from_slice(&batch.to_le_bytes());
+                out.extend_from_slice(&credits.to_le_bytes());
+                out
+            }
+            Request::Credit { n } => {
+                let mut out = vec![OP_CREDIT];
+                out.extend_from_slice(&n.to_le_bytes());
+                out
+            }
+            Request::Unsubscribe => vec![OP_UNSUBSCRIBE],
         }
     }
 
@@ -196,6 +315,12 @@ impl Request {
             OP_REQUEST_COT => Request::RequestCot { n: r.u64()? },
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_SUBSCRIBE => Request::Subscribe {
+                batch: r.u64()?,
+                credits: r.u64()?,
+            },
+            OP_CREDIT => Request::Credit { n: r.u64()? },
+            OP_UNSUBSCRIBE => Request::Unsubscribe,
             _ => return Err(malformed(OP_HELLO as usize, op as usize)),
         };
         r.finish()?;
@@ -217,18 +342,8 @@ impl Response {
                 out
             }
             Response::Cots(batch) => {
-                let mut out =
-                    Vec::with_capacity(1 + 16 + 8 + 32 * batch.len() + batch.len() / 8 + 8);
-                out.push(OP_COTS);
-                out.extend_from_slice(&batch.delta.to_le_bytes());
-                out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
-                for b in &batch.z {
-                    out.extend_from_slice(&b.to_le_bytes());
-                }
-                for b in &batch.y {
-                    out.extend_from_slice(&b.to_le_bytes());
-                }
-                out.extend_from_slice(&encode_bits(&batch.x));
+                let mut out = vec![OP_COTS];
+                put_batch(&mut out, batch);
                 out
             }
             Response::Stats(s) => {
@@ -239,12 +354,30 @@ impl Response {
                     s.extensions_run,
                     s.available,
                     s.shards,
+                    s.warmup_refills,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.extend_from_slice(&(s.shard_stats.len() as u64).to_le_bytes());
+                for shard in &s.shard_stats {
+                    out.extend_from_slice(&shard.available.to_le_bytes());
+                    out.extend_from_slice(&shard.extensions_run.to_le_bytes());
                 }
                 out
             }
             Response::Goodbye => vec![OP_GOODBYE],
+            Response::CotChunk { seq, batch } => {
+                let mut out = vec![OP_COT_CHUNK];
+                out.extend_from_slice(&seq.to_le_bytes());
+                put_batch(&mut out, batch);
+                out
+            }
+            Response::StreamEnd { chunks, cots } => {
+                let mut out = vec![OP_STREAM_END];
+                out.extend_from_slice(&chunks.to_le_bytes());
+                out.extend_from_slice(&cots.to_le_bytes());
+                out
+            }
             Response::Error(msg) => {
                 let mut out = vec![OP_ERROR];
                 put_lp_bytes(&mut out, msg.as_bytes());
@@ -267,31 +400,51 @@ impl Response {
                 version: r.u16()?,
                 max_request: r.u64()?,
             },
-            OP_COTS => {
-                let delta = r.block()?;
-                let n = r.u64()? as usize;
-                // A hostile count must not drive allocation past the
-                // actual payload: n blocks of z and y still have to fit.
+            OP_COTS => Response::Cots(read_batch(&mut r, rest)?),
+            OP_STATS_REPLY => {
+                let clients_served = r.u64()?;
+                let cots_served = r.u64()?;
+                let extensions_run = r.u64()?;
+                let available = r.u64()?;
+                let shards = r.u64()?;
+                let warmup_refills = r.u64()?;
+                let count = r.u64()? as usize;
+                // A hostile shard count must not drive allocation past the
+                // actual payload (16 bytes per shard entry).
                 let remaining = rest.len().saturating_sub(r.pos);
-                if n.checked_mul(32).is_none_or(|need| need > remaining) {
-                    return Err(malformed(n.saturating_mul(32), remaining));
+                if count.checked_mul(16).is_none_or(|need| need > remaining) {
+                    return Err(malformed(count.saturating_mul(16), remaining));
                 }
-                let z = r.blocks(n)?;
-                let y = r.blocks(n)?;
-                let x = decode_bits(r.take(rest.len() - r.pos)?)?;
-                if x.len() != n {
-                    return Err(malformed(n, x.len()));
-                }
-                Response::Cots(CotBatch { delta, z, x, y })
+                let shard_stats = (0..count)
+                    .map(|_| {
+                        Ok(ShardStat {
+                            available: r.u64()?,
+                            extensions_run: r.u64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ChannelError>>()?;
+                Response::Stats(ServiceStats {
+                    clients_served,
+                    cots_served,
+                    extensions_run,
+                    available,
+                    shards,
+                    warmup_refills,
+                    shard_stats,
+                })
             }
-            OP_STATS_REPLY => Response::Stats(ServiceStats {
-                clients_served: r.u64()?,
-                cots_served: r.u64()?,
-                extensions_run: r.u64()?,
-                available: r.u64()?,
-                shards: r.u64()?,
-            }),
             OP_GOODBYE => Response::Goodbye,
+            OP_COT_CHUNK => {
+                let seq = r.u64()?;
+                Response::CotChunk {
+                    seq,
+                    batch: read_batch(&mut r, rest)?,
+                }
+            }
+            OP_STREAM_END => Response::StreamEnd {
+                chunks: r.u64()?,
+                cots: r.u64()?,
+            },
             OP_ERROR => Response::Error(String::from_utf8_lossy(r.lp_bytes()?).into_owned()),
             _ => return Err(malformed(OP_WELCOME as usize, op as usize)),
         };
@@ -320,6 +473,12 @@ mod tests {
         round_trip_request(Request::RequestCot { n: 1 << 20 });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Subscribe {
+            batch: 4096,
+            credits: 8,
+        });
+        round_trip_request(Request::Credit { n: 3 });
+        round_trip_request(Request::Unsubscribe);
     }
 
     #[test]
@@ -335,14 +494,33 @@ mod tests {
             cots_served: 1 << 22,
             extensions_run: 3,
             available: 77,
-            shards: 4,
+            shards: 2,
+            warmup_refills: 5,
+            shard_stats: vec![
+                ShardStat {
+                    available: 40,
+                    extensions_run: 2,
+                },
+                ShardStat {
+                    available: 37,
+                    extensions_run: 1,
+                },
+            ],
         }));
+        round_trip_response(Response::StreamEnd {
+            chunks: 12,
+            cots: 12 * 4096,
+        });
         let batch = CotBatch {
             delta: Block::from(0xD5u128),
             z: vec![Block::from(1u128), Block::from(2u128), Block::from(3u128)],
             x: vec![true, false, true],
             y: vec![Block::from(4u128), Block::from(5u128), Block::from(6u128)],
         };
+        round_trip_response(Response::CotChunk {
+            seq: 7,
+            batch: batch.clone(),
+        });
         round_trip_response(Response::Cots(batch));
     }
 
@@ -367,8 +545,23 @@ mod tests {
 
     #[test]
     fn hostile_cot_count_rejected_without_allocation() {
-        let mut bytes = vec![OP_COTS];
-        bytes.extend_from_slice(&Block::ZERO.to_le_bytes());
+        for op in [OP_COTS, OP_COT_CHUNK] {
+            let mut bytes = vec![op];
+            if op == OP_COT_CHUNK {
+                bytes.extend_from_slice(&0u64.to_le_bytes()); // seq
+            }
+            bytes.extend_from_slice(&Block::ZERO.to_le_bytes());
+            bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+            assert!(Response::decode(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn hostile_shard_count_rejected_without_allocation() {
+        let mut bytes = vec![OP_STATS_REPLY];
+        for _ in 0..6 {
+            bytes.extend_from_slice(&0u64.to_le_bytes());
+        }
         bytes.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(Response::decode(&bytes).is_err());
     }

@@ -10,7 +10,7 @@
 //! fast path.
 
 use crate::frame::VERSION;
-use crate::proto::{Request, Response, ServiceStats};
+use crate::proto::{Request, Response, ServiceStats, ShardStat};
 use crate::transport::TcpTransport;
 use ironman_core::{CotBatch, Engine, SharedCotPool};
 use ironman_ot::channel::{ChannelError, ChannelStats, Transport};
@@ -50,12 +50,23 @@ impl ServiceShared {
     }
 
     fn stats(&self) -> ServiceStats {
+        let shard_stats: Vec<ShardStat> = self
+            .pool
+            .shard_stats()
+            .into_iter()
+            .map(|(available, extensions_run)| ShardStat {
+                available: available as u64,
+                extensions_run: extensions_run as u64,
+            })
+            .collect();
         ServiceStats {
             clients_served: self.counters.clients_served.load(Ordering::Relaxed),
             cots_served: self.counters.cots_served.load(Ordering::Relaxed),
-            extensions_run: self.pool.extensions_run() as u64,
-            available: self.pool.available() as u64,
+            extensions_run: shard_stats.iter().map(|s| s.extensions_run).sum(),
+            available: shard_stats.iter().map(|s| s.available).sum(),
             shards: self.pool.shard_count() as u64,
+            warmup_refills: self.pool.warmup_refills(),
+            shard_stats,
         }
     }
 }
@@ -275,9 +286,109 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
                 shared.initiate_shutdown();
                 return Ok(());
             }
+            Request::Subscribe { batch, credits } => {
+                if batch == 0 || batch > max_request {
+                    Response::Error(format!("chunk size {batch} outside 1..={max_request}"))
+                } else {
+                    serve_subscription(&mut ch, shared, batch as usize, credits)?;
+                    continue; // StreamEnd already sent; back to one-shot mode
+                }
+            }
+            // Flow-control messages are only meaningful inside a
+            // subscription; outside one they are a client bug, answered
+            // (session kept) rather than dropped.
+            Request::Credit { .. } | Request::Unsubscribe => {
+                Response::Error("no active subscription".to_string())
+            }
         };
         ch.send_bytes(response.encode())?;
         ch.flush()?;
+    }
+}
+
+/// Runs one credit-controlled subscription to completion: pushes a
+/// [`Response::CotChunk`] per granted credit, blocks for `Credit`/
+/// `Unsubscribe` when the grant is exhausted, and closes with the
+/// [`Response::StreamEnd`] accounting trailer.
+///
+/// The credit discipline is the stream's backpressure: the server never
+/// has more chunks in flight than the client granted, so a slow consumer
+/// bounds pool drain and socket buffering instead of being buried — the
+/// serving-side analogue of the Ironman PU streaming extension outputs at
+/// the rate the compute side absorbs them.
+fn serve_subscription(
+    ch: &mut TcpTransport,
+    shared: &ServiceShared,
+    batch: usize,
+    mut credits: u64,
+) -> Result<(), ChannelError> {
+    let mut chunks = 0u64;
+    let mut cots = 0u64;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            // Server-initiated shutdown ends the stream cleanly: the
+            // trailer tells the client exactly what it was sent.
+            ch.send_bytes(Response::StreamEnd { chunks, cots }.encode())?;
+            ch.flush()?;
+            return Ok(());
+        }
+        if credits == 0 {
+            // Grant exhausted: block until the client extends or ends the
+            // stream (its grants ride the full-duplex socket, so they are
+            // usually already queued by the time we look).
+            match Request::decode(&ch.recv_bytes()?) {
+                Ok(Request::Credit { n }) => credits = credits.saturating_add(n),
+                Ok(Request::Unsubscribe) => {
+                    ch.send_bytes(Response::StreamEnd { chunks, cots }.encode())?;
+                    ch.flush()?;
+                    return Ok(());
+                }
+                Ok(other) => {
+                    let msg = format!("unexpected {other:?} inside a subscription");
+                    let _ = ch.send_bytes(Response::Error(msg.clone()).encode());
+                    let _ = ch.flush();
+                    return Err(ChannelError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        msg,
+                    )));
+                }
+                Err(e) => {
+                    let _ = ch.send_bytes(Response::Error(e.to_string()).encode());
+                    let _ = ch.flush();
+                    return Err(e);
+                }
+            }
+        } else {
+            let take =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.pool.take(batch)));
+            match take {
+                Ok(b) => {
+                    cots += b.len() as u64;
+                    shared
+                        .counters
+                        .cots_served
+                        .fetch_add(b.len() as u64, Ordering::Relaxed);
+                    ch.send_bytes(
+                        Response::CotChunk {
+                            seq: chunks,
+                            batch: b,
+                        }
+                        .encode(),
+                    )?;
+                    ch.flush()?;
+                    chunks += 1;
+                    credits -= 1;
+                }
+                Err(_) => {
+                    let _ = ch
+                        .send_bytes(Response::Error("internal pool failure".to_string()).encode());
+                    let _ = ch.flush();
+                    return Err(ChannelError::Io(std::io::Error::other(
+                        "pool take panicked mid-subscription",
+                    )));
+                }
+            }
+        }
     }
 }
 
@@ -319,8 +430,19 @@ impl CotClient {
     ///
     /// # Errors
     ///
-    /// Fails on transport errors or a server-side [`Response::Error`].
+    /// Fails fast with [`ChannelError::RequestTooLarge`] — before any
+    /// bytes hit the wire — when `n` is zero or exceeds the server's
+    /// advertised [`CotClient::max_request`] (callers that want
+    /// transparent splitting go through `ironman-cluster`'s
+    /// `ClusterClient`); otherwise fails on transport errors or a
+    /// server-side [`Response::Error`].
     pub fn request_cots(&mut self, n: usize) -> Result<CotBatch, ChannelError> {
+        if n == 0 || n as u64 > self.max_request {
+            return Err(ChannelError::RequestTooLarge {
+                max: self.max_request,
+                requested: n as u64,
+            });
+        }
         self.ch
             .send_bytes(Request::RequestCot { n: n as u64 }.encode())?;
         match Response::decode(&self.ch.recv_bytes()?)? {
@@ -362,10 +484,256 @@ impl CotClient {
     pub fn transport_stats(&self) -> ChannelStats {
         self.ch.stats()
     }
+
+    /// Opens a credit-controlled stream of exactly `chunks` batches of
+    /// `batch` correlations each (the streaming analogue of calling
+    /// [`CotClient::request_cots`] `chunks` times, minus the per-request
+    /// round trip: the server pushes ahead of demand, up to the credit
+    /// window).
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with [`ChannelError::RequestTooLarge`] when `batch`
+    /// exceeds [`CotClient::max_request`] (or is zero), and on transport
+    /// errors.
+    pub fn subscribe(
+        &mut self,
+        batch: usize,
+        chunks: u64,
+    ) -> Result<CotSubscription<'_>, ChannelError> {
+        if batch == 0 || batch as u64 > self.max_request {
+            return Err(ChannelError::RequestTooLarge {
+                max: self.max_request,
+                requested: batch as u64,
+            });
+        }
+        let window = CotSubscription::CREDIT_WINDOW;
+        // Only ever grant credits we intend to consume: the grant total
+        // across the subscription's lifetime is exactly `chunks`, so the
+        // stream ends with zero credits outstanding and no discarded work.
+        let initial = window.min(chunks);
+        self.ch.send_bytes(
+            Request::Subscribe {
+                batch: batch as u64,
+                credits: initial,
+            }
+            .encode(),
+        )?;
+        Ok(CotSubscription {
+            client: self,
+            batch: batch as u64,
+            remaining: chunks,
+            granted: initial,
+            next_seq: 0,
+            cots_received: 0,
+            ended: false,
+        })
+    }
+}
+
+/// Final accounting of a completed [`CotSubscription`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Chunks the server pushed (including any drained unconsumed ones).
+    pub chunks: u64,
+    /// Correlations the server pushed.
+    pub cots: u64,
+}
+
+/// An active streaming subscription on a [`CotClient`] session.
+///
+/// Pull chunks with [`CotSubscription::next_chunk`]; the subscription
+/// manages the credit window itself, topping the server up *before*
+/// blocking on the next chunk so the server's push pipeline never drains
+/// between grants. Credits are accounted exactly: the subscription only
+/// ever grants what it will consume, and a server chunk that arrives
+/// without a matching credit is a protocol error, not a negative balance.
+#[derive(Debug)]
+pub struct CotSubscription<'a> {
+    client: &'a mut CotClient,
+    batch: u64,
+    /// Chunks not yet received.
+    remaining: u64,
+    /// Credits granted whose chunks have not yet arrived (`granted <=
+    /// remaining` is the subscription invariant).
+    granted: u64,
+    next_seq: u64,
+    cots_received: u64,
+    ended: bool,
+}
+
+impl CotSubscription<'_> {
+    /// Credit window: chunks the server may have in flight at once. Deep
+    /// enough to hide a refill behind in-flight chunks, small enough that
+    /// a slow consumer holds back the pool drain.
+    pub const CREDIT_WINDOW: u64 = 8;
+
+    /// Credits currently granted but not yet consumed by an arrived chunk.
+    pub fn credits_outstanding(&self) -> u64 {
+        self.granted
+    }
+
+    /// Chunks still expected by this subscription.
+    pub fn chunks_remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Receives the next chunk, or `None` once the stream is over —
+    /// either the subscribed count arrived, or the server ended the
+    /// stream early (e.g. it is shutting down); in both cases the
+    /// accounting trailer has been received and verified. Compare
+    /// [`CotSubscription::chunks_remaining`] against zero (or check the
+    /// [`CotSubscription::finish`] summary) to tell the two apart.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, a server-side error, or any accounting
+    /// violation (out-of-order sequence, wrong chunk size, a chunk without
+    /// a granted credit, or a trailer that disagrees with what arrived).
+    pub fn next_chunk(&mut self) -> Result<Option<CotBatch>, ChannelError> {
+        if self.ended || self.remaining == 0 {
+            self.close()?;
+            return Ok(None);
+        }
+        // Top up the window before blocking: grants ride the full-duplex
+        // socket while earlier chunks are still in flight, so the server
+        // sees them before its balance reaches zero.
+        let half = Self::CREDIT_WINDOW.div_ceil(2);
+        if self.granted <= half && self.granted < self.remaining {
+            let add = Self::CREDIT_WINDOW.min(self.remaining) - self.granted;
+            if add > 0 {
+                self.client
+                    .ch
+                    .send_bytes(Request::Credit { n: add }.encode())?;
+                self.granted += add;
+            }
+        }
+        match Response::decode(&self.client.ch.recv_bytes()?)? {
+            Response::CotChunk { seq, batch } => {
+                if batch.len() as u64 != self.batch {
+                    return Err(stream_violation(&format!(
+                        "chunk of {} correlations, subscribed for {}",
+                        batch.len(),
+                        self.batch
+                    )));
+                }
+                self.account_chunk(seq, &batch)?;
+                Ok(Some(batch))
+            }
+            // The server may end the stream early (shutdown): its trailer
+            // must still agree with every chunk this side observed.
+            // `remaining` is deliberately left non-zero so the truncation
+            // is observable through `chunks_remaining`.
+            Response::StreamEnd { chunks, cots } => {
+                self.ended = true;
+                self.verify_trailer(chunks, cots)?;
+                Ok(None)
+            }
+            Response::Error(msg) => Err(service_error(&msg)),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+
+    /// Ends the subscription (early or after completion), drains any
+    /// in-flight chunks, and returns the server's accounting trailer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a trailer that disagrees with the
+    /// chunks actually observed.
+    pub fn finish(mut self) -> Result<StreamSummary, ChannelError> {
+        self.end()
+    }
+
+    /// Non-consuming form of [`CotSubscription::finish`] (idempotent):
+    /// closes the stream if it is still open and returns the accounting
+    /// observed so far.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CotSubscription::finish`].
+    pub fn end(&mut self) -> Result<StreamSummary, ChannelError> {
+        self.close()?;
+        Ok(StreamSummary {
+            chunks: self.next_seq,
+            cots: self.cots_received,
+        })
+    }
+
+    /// The shared per-chunk bookkeeping of the consume and drain paths:
+    /// sequence order, credit consumption (a chunk without a granted
+    /// credit is the "negative credits" case this subscription exists to
+    /// rule out), and the running totals.
+    fn account_chunk(&mut self, seq: u64, batch: &CotBatch) -> Result<(), ChannelError> {
+        if seq != self.next_seq {
+            return Err(stream_violation(&format!(
+                "chunk out of order: got seq {seq}, expected {}",
+                self.next_seq
+            )));
+        }
+        self.granted = self
+            .granted
+            .checked_sub(1)
+            .ok_or_else(|| stream_violation("server pushed a chunk without a granted credit"))?;
+        self.next_seq += 1;
+        self.remaining = self.remaining.saturating_sub(1);
+        self.cots_received += batch.len() as u64;
+        Ok(())
+    }
+
+    /// Byte-exact accounting: the server's trailer must agree with every
+    /// chunk this side observed.
+    fn verify_trailer(&self, chunks: u64, cots: u64) -> Result<(), ChannelError> {
+        if chunks != self.next_seq || cots != self.cots_received {
+            return Err(stream_violation(&format!(
+                "trailer claims {chunks} chunks/{cots} cots, observed {}/{}",
+                self.next_seq, self.cots_received
+            )));
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), ChannelError> {
+        if self.ended {
+            return Ok(());
+        }
+        self.client.ch.send_bytes(Request::Unsubscribe.encode())?;
+        // Chunks covered by already-granted credits may still be in
+        // flight ahead of the trailer; drain and count them.
+        loop {
+            match Response::decode(&self.client.ch.recv_bytes()?)? {
+                Response::CotChunk { seq, batch } => self.account_chunk(seq, &batch)?,
+                Response::StreamEnd { chunks, cots } => {
+                    self.ended = true;
+                    return self.verify_trailer(chunks, cots);
+                }
+                Response::Error(msg) => return Err(service_error(&msg)),
+                other => return Err(unexpected_response(&other)),
+            }
+        }
+    }
+}
+
+impl Drop for CotSubscription<'_> {
+    /// A dropped subscription still unsubscribes and drains, so the
+    /// underlying session stays usable for one-shot requests afterwards
+    /// (errors are swallowed: the transport may already be gone).
+    fn drop(&mut self) {
+        if !self.ended {
+            let _ = self.close();
+        }
+    }
+}
+
+fn stream_violation(msg: &str) -> ChannelError {
+    ChannelError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("subscription protocol violation: {msg}"),
+    ))
 }
 
 fn service_error(msg: &str) -> ChannelError {
-    ChannelError::Io(std::io::Error::other(format!("service error: {msg}")))
+    ChannelError::Service(msg.to_string())
 }
 
 fn unexpected_response(resp: &Response) -> ChannelError {
@@ -410,12 +778,136 @@ mod tests {
     }
 
     #[test]
-    fn oversized_request_gets_error_not_disconnect() {
+    fn oversized_request_fails_fast_client_side() {
         let service = toy_service(1);
         let mut client = CotClient::connect(service.addr(), "greedy").unwrap();
-        let too_big = client.max_request() as usize + 1;
-        assert!(client.request_cots(too_big).is_err());
+        let max = client.max_request();
+        let sent_before = client.transport_stats().messages_sent;
+        // Regression: an oversized request is rejected with the typed
+        // error *before* any bytes hit the wire, not by a server error.
+        let err = client.request_cots(max as usize + 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ChannelError::RequestTooLarge { max: m, requested } if m == max && requested == max + 1
+        ));
+        assert_eq!(client.transport_stats().messages_sent, sent_before);
         // Session survives the rejected request.
+        client.request_cots(8).unwrap().verify().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn streaming_subscription_delivers_exact_accounting() {
+        let service = toy_service(2);
+        let mut client = CotClient::connect(service.addr(), "streamer").unwrap();
+        const BATCH: usize = 100;
+        const CHUNKS: u64 = 25;
+        let mut sub = client.subscribe(BATCH, CHUNKS).unwrap();
+        let mut got = 0u64;
+        while let Some(batch) = sub.next_chunk().unwrap() {
+            assert_eq!(batch.len(), BATCH);
+            batch.verify().unwrap();
+            got += 1;
+            // The credit discipline is enforced every step: outstanding
+            // grants never exceed the window or the chunks still owed.
+            assert!(sub.credits_outstanding() <= CotSubscription::CREDIT_WINDOW);
+            assert!(sub.credits_outstanding() <= sub.chunks_remaining());
+        }
+        assert_eq!(got, CHUNKS);
+        let summary = sub.finish().unwrap();
+        assert_eq!(summary.chunks, CHUNKS);
+        assert_eq!(summary.cots, CHUNKS * BATCH as u64);
+        // The session drops back to one-shot mode afterwards.
+        client.request_cots(8).unwrap().verify().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cots_served, CHUNKS * BATCH as u64 + 8);
+        service.shutdown();
+    }
+
+    #[test]
+    fn early_finish_drains_in_flight_chunks() {
+        let service = toy_service(1);
+        let mut client = CotClient::connect(service.addr(), "quitter").unwrap();
+        let mut sub = client.subscribe(64, 1000).unwrap();
+        // Take a few chunks, then bail with most of the stream unread.
+        for _ in 0..3 {
+            sub.next_chunk().unwrap().unwrap().verify().unwrap();
+        }
+        let summary = sub.finish().unwrap();
+        // The trailer covers everything pushed, consumed or drained.
+        assert!(summary.chunks >= 3);
+        assert_eq!(summary.cots, summary.chunks * 64);
+        // Session still usable.
+        client.request_cots(8).unwrap().verify().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn server_still_rejects_oversized_requests_on_the_wire() {
+        // The client fails fast now, but the server's own bound check is
+        // the only defense against non-conforming peers — exercise it by
+        // writing raw frames past the client-side check.
+        let service = toy_service(1);
+        let mut client = CotClient::connect(service.addr(), "hostile").unwrap();
+        let max = client.max_request();
+        for bad_n in [0u64, max + 1, u64::MAX] {
+            client
+                .ch
+                .send_bytes(Request::RequestCot { n: bad_n }.encode())
+                .unwrap();
+            match Response::decode(&client.ch.recv_bytes().unwrap()).unwrap() {
+                Response::Error(msg) => assert!(msg.contains("outside")),
+                other => panic!("expected Error for n={bad_n}, got {other:?}"),
+            }
+        }
+        // The session survives every rejection.
+        client.request_cots(8).unwrap().verify().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn dropped_subscription_leaves_session_usable() {
+        let service = toy_service(1);
+        let mut client = CotClient::connect(service.addr(), "dropper").unwrap();
+        {
+            let mut sub = client.subscribe(64, 100).unwrap();
+            sub.next_chunk().unwrap().unwrap().verify().unwrap();
+            // Dropped here without finish(): Drop must unsubscribe and
+            // drain so the session below is not desynchronized.
+        }
+        client.request_cots(8).unwrap().verify().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn oversized_subscription_batch_fails_fast() {
+        let service = toy_service(1);
+        let mut client = CotClient::connect(service.addr(), "greedy-stream").unwrap();
+        let max = client.max_request();
+        assert!(matches!(
+            client.subscribe(max as usize + 1, 4).unwrap_err(),
+            ChannelError::RequestTooLarge { .. }
+        ));
+        assert!(matches!(
+            client.subscribe(0, 4).unwrap_err(),
+            ChannelError::RequestTooLarge { .. }
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn credit_outside_subscription_is_answered_not_fatal() {
+        let service = toy_service(1);
+        let mut client = CotClient::connect(service.addr(), "confused").unwrap();
+        client
+            .ch
+            .send_bytes(Request::Credit { n: 3 }.encode())
+            .unwrap();
+        match Response::decode(&client.ch.recv_bytes().unwrap()).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("no active subscription")),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        // Session survives the stray flow-control message.
         client.request_cots(8).unwrap().verify().unwrap();
         service.shutdown();
     }

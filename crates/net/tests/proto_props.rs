@@ -1,0 +1,113 @@
+//! Property-based round-trips for the COT service protocol (proptest):
+//! every `Request`/`Response` message — including the v2 streaming
+//! `Subscribe`/`Credit`/`Unsubscribe` and `CotChunk`/`StreamEnd` — must
+//! survive encode/decode bit-exactly, and the decoders must never panic
+//! on arbitrary input.
+
+use ironman_core::CotBatch;
+use ironman_net::proto::{Request, Response, ServiceStats, ShardStat};
+use ironman_prg::Block;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request variant round-trips, whatever its field values.
+    #[test]
+    fn requests_round_trip(
+        variant in 0usize..7,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        name in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let req = match variant {
+            0 => Request::Hello {
+                name: String::from_utf8_lossy(&name).into_owned(),
+            },
+            1 => Request::RequestCot { n: a },
+            2 => Request::Stats,
+            3 => Request::Shutdown,
+            4 => Request::Subscribe { batch: a, credits: b },
+            5 => Request::Credit { n: a },
+            _ => Request::Unsubscribe,
+        };
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    /// Batch-carrying responses (`Cots` and the streaming `CotChunk`)
+    /// round-trip for arbitrary batch contents and sizes.
+    #[test]
+    fn cot_responses_round_trip(
+        chunked in any::<bool>(),
+        seq in any::<u64>(),
+        delta in any::<u128>(),
+        n in 0usize..40,
+        z in proptest::collection::vec(any::<u128>(), 40..41),
+        y in proptest::collection::vec(any::<u128>(), 40..41),
+        x in proptest::collection::vec(any::<bool>(), 40..41),
+    ) {
+        let batch = CotBatch {
+            delta: Block::from(delta),
+            z: z[..n].iter().copied().map(Block::from).collect(),
+            x: x[..n].to_vec(),
+            y: y[..n].iter().copied().map(Block::from).collect(),
+        };
+        let resp = if chunked {
+            Response::CotChunk { seq, batch }
+        } else {
+            Response::Cots(batch)
+        };
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// The per-shard stats reply round-trips for any shard count,
+    /// including zero shards.
+    #[test]
+    fn stats_round_trip(
+        fixed in proptest::collection::vec(any::<u64>(), 6..7),
+        shard_words in proptest::collection::vec(any::<u64>(), 0..17),
+    ) {
+        let shard_stats: Vec<ShardStat> = shard_words
+            .chunks_exact(2)
+            .map(|c| ShardStat { available: c[0], extensions_run: c[1] })
+            .collect();
+        let resp = Response::Stats(ServiceStats {
+            clients_served: fixed[0],
+            cots_served: fixed[1],
+            extensions_run: fixed[2],
+            available: fixed[3],
+            shards: fixed[4],
+            warmup_refills: fixed[5],
+            shard_stats,
+        });
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// The remaining fixed-shape responses round-trip.
+    #[test]
+    fn control_responses_round_trip(
+        variant in 0usize..4,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let resp = match variant {
+            0 => Response::Welcome {
+                version: a as u16,
+                max_request: b,
+            },
+            1 => Response::Goodbye,
+            2 => Response::StreamEnd { chunks: a, cots: b },
+            _ => Response::Error(String::from_utf8_lossy(&msg).into_owned()),
+        };
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// Arbitrary bytes never panic either decoder — they parse or they
+    /// error, and hostile counts must not allocate past the payload.
+    #[test]
+    fn arbitrary_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+}

@@ -25,6 +25,17 @@ pub enum ChannelError {
     },
     /// An underlying socket/stream failure (networked transports).
     Io(std::io::Error),
+    /// The peer answered with a service-level rejection (the connection
+    /// itself is healthy; retrying elsewhere would hit the same answer).
+    Service(String),
+    /// A request asked for more than the peer (or a client-side limit)
+    /// can serve in one message; split it instead of sending it.
+    RequestTooLarge {
+        /// Largest size one request may carry.
+        max: u64,
+        /// Size actually requested.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for ChannelError {
@@ -38,6 +49,10 @@ impl fmt::Display for ChannelError {
                 )
             }
             ChannelError::Io(e) => write!(f, "channel I/O error: {e}"),
+            ChannelError::Service(msg) => write!(f, "service error: {msg}"),
+            ChannelError::RequestTooLarge { max, requested } => {
+                write!(f, "request of {requested} exceeds per-request limit {max}")
+            }
         }
     }
 }

@@ -1,0 +1,93 @@
+//! A 3-server COT fleet on loopback: consistent-hash routing, background
+//! warm-up, transparent splitting, and a streaming subscription.
+//!
+//! Run with `cargo run --example cluster_demo --release`. Each server is
+//! an independent FERRET dealer whose `Warmup` refiller keeps its pool
+//! shards full before demand arrives; the routed clients then drain
+//! buffers instead of waiting on inline extensions.
+
+use ironman_cluster::{ClusterClient, ClusterServerConfig, LocalCluster, WarmupConfig};
+use ironman_core::{Backend, Engine};
+use ironman_ot::ferret::FerretConfig;
+use ironman_ot::params::FerretParams;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let engine = Engine::new(
+        FerretConfig::new(FerretParams::toy()),
+        Backend::ironman_default(),
+    );
+    let cluster = LocalCluster::spawn(
+        3,
+        &engine,
+        &ClusterServerConfig {
+            warmup: Some(WarmupConfig::default()),
+            ..ClusterServerConfig::default()
+        },
+    )
+    .expect("spawn fleet");
+    let directory = cluster.directory();
+    for server in directory.servers() {
+        println!("fleet member {} at {}", server.name, server.addr);
+    }
+
+    let warm_target = engine.config().usable_outputs();
+    cluster.wait_warm(warm_target, Duration::from_secs(60));
+    println!("fleet warm (every server >= {warm_target} buffered COTs)\n");
+
+    // Sticky routing: each session hashes to a home server.
+    for session in ["alice", "bob", "carol", "dave"] {
+        println!(
+            "session {session:>6} -> home server {}",
+            directory.home(session)
+        );
+    }
+
+    // An oversized request splits transparently across the fleet.
+    let mut client = ClusterClient::connect(directory, "alice").expect("connect");
+    let max = client.max_request().expect("connected") as usize;
+    let want = 2 * max + 500;
+    let start = Instant::now();
+    let batches = client.request_cots(want).expect("request");
+    let split_elapsed = start.elapsed();
+    let total: usize = batches.iter().map(ironman_core::CotBatch::len).sum();
+    assert_eq!(total, want, "split request must deliver the exact total");
+    for batch in &batches {
+        batch.verify().expect("verified correlation");
+    }
+    println!(
+        "\nsplit request: {want} COTs (> per-server max {max}) arrived as {} verified \
+         batches in {split_elapsed:.2?}; per-server spread {:?}",
+        batches.len(),
+        client.served_per_server()
+    );
+
+    // A streaming subscription pushes chunks under credit backpressure.
+    let start = Instant::now();
+    let summary = client
+        .stream_cots(50_000, 2000, |batch| batch.verify().expect("verified"))
+        .expect("stream");
+    let elapsed = start.elapsed();
+    println!(
+        "streamed {} COTs in {} chunks in {elapsed:.2?} ({:.0} COTs/s), accounting exact",
+        summary.cots,
+        summary.chunks,
+        summary.cots as f64 / elapsed.as_secs_f64()
+    );
+
+    // Warm-up effectiveness is visible in the per-shard stats.
+    println!();
+    for (addr, stats) in client.stats_all() {
+        let stats = stats.expect("reachable");
+        let occupancy: Vec<u64> = stats.shard_stats.iter().map(|s| s.available).collect();
+        println!(
+            "server {addr}: served {} COTs, {} extensions ({} by warm-up), \
+             shard occupancy {occupancy:?}",
+            stats.cots_served, stats.extensions_run, stats.warmup_refills
+        );
+    }
+
+    let final_stats = cluster.shutdown();
+    let served: u64 = final_stats.iter().map(|s| s.cots_served).sum();
+    println!("\nfleet shut down; {served} COTs served in total");
+}

@@ -13,6 +13,12 @@ cargo test -q --workspace
 echo "==> cargo test -q --test net_loopback (TCP loopback e2e)"
 cargo test -q --test net_loopback
 
+echo "==> cluster smoke: 3-server fleet, routed clients, one-shot + streaming paths"
+cargo test -q -p ironman-cluster --test cluster_e2e
+
+echo "==> cluster_loopback bench (--quick; refreshes BENCH_cluster.json)"
+cargo run --release -p ironman-bench --bin cluster_loopback -- --quick
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
