@@ -19,7 +19,7 @@
 //! `BENCH_cluster.json` so sweeps can diff runs. `--quick` shrinks the
 //! demand for CI smoke use.
 
-use ironman_bench::{f2, header, row, times};
+use ironman_bench::{best_of, f2, header, row, times};
 use ironman_cluster::{ClusterClient, ClusterServerConfig, LocalCluster, WarmupConfig};
 use ironman_core::{Backend, Engine};
 use ironman_net::{CotClient, CotService, CotServiceConfig};
@@ -50,6 +50,7 @@ fn bench_single(engine: &Engine, clients: usize, requests: usize, batch: usize) 
         CotServiceConfig {
             shards: 4,
             seed: 77,
+            ..CotServiceConfig::default()
         },
     )
     .expect("bind loopback service");
@@ -92,6 +93,7 @@ fn warmed_cluster(engine: &Engine, servers: usize) -> LocalCluster {
             service: CotServiceConfig {
                 shards: 4,
                 seed: 77,
+                ..CotServiceConfig::default()
             },
             warmup: Some(WarmupConfig {
                 // A calm sweep cadence. Each server buffers 4 shards ×
@@ -168,7 +170,7 @@ fn bench_streaming(engine: &Engine, total: u64, batch: usize) -> Result {
     let start = Instant::now();
     let mut delivered = 0u64;
     let summary = client
-        .stream_cots(total, batch, |b| {
+        .stream_cots(total, batch, |b: &ironman_core::CotBatch| {
             b.verify().expect("verified");
             delivered += b.len() as u64;
         })
@@ -184,22 +186,6 @@ fn bench_streaming(engine: &Engine, total: u64, batch: usize) -> Result {
     }
 }
 
-/// Best-of-N (fresh servers each attempt, both paths measured the same
-/// way): on a small machine the OS scheduler — and, for the fleet, a
-/// warm-up refill landing inside the short timed window — adds tens of
-/// milliseconds of run-to-run noise, so the best attempt is the one that
-/// measures the serving path rather than the interference.
-fn best_of(attempts: usize, mut run: impl FnMut() -> Result) -> Result {
-    let mut best = run();
-    for _ in 1..attempts {
-        let next = run();
-        if next.cots_per_sec() > best.cots_per_sec() {
-            best = next;
-        }
-    }
-    best
-}
-
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = FerretConfig::new(FerretParams::toy());
@@ -212,8 +198,10 @@ fn main() {
     let stream_batch = 2000;
     let attempts = if quick { 3 } else { 5 };
 
-    let single = best_of(attempts, || bench_single(&engine, clients, requests, batch));
-    let cluster = best_of(attempts, || {
+    let single = best_of(attempts, Result::cots_per_sec, || {
+        bench_single(&engine, clients, requests, batch)
+    });
+    let cluster = best_of(attempts, Result::cots_per_sec, || {
         bench_cluster(&engine, 3, clients, requests, batch)
     });
     let streaming = bench_streaming(&engine, stream_total, stream_batch);

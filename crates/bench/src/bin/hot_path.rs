@@ -1,0 +1,206 @@
+//! Hot-path microbenchmarks for the zero-copy COT serving pipeline: each
+//! stage between pool storage and the wire, measured in isolation and
+//! end-to-end, so a regression can be attributed to the stage that caused
+//! it rather than inferred from the fleet bench's aggregate number.
+//!
+//! Stages (all best-of-N on one core, per the bench-noise policy):
+//!
+//! * `pool_take_into` — draining a warmed pipelined [`SharedCotPool`]
+//!   into a reused batch: the cursor-bump-plus-one-memcpy a request costs
+//!   under the shard lock.
+//! * `encode_batch` — [`encode_cot_batch_into`] of one batch into a
+//!   retained scratch buffer: the serving path's single payload copy.
+//! * `service_roundtrip` — full one-shot `RequestCot` round trips over
+//!   loopback TCP with `request_cots_into` (reused batch + frame
+//!   buffers).
+//! * `service_stream` — one credit-controlled subscription drained with
+//!   `next_chunk_into`.
+//!
+//! Emits the human table plus machine-readable JSON to
+//! `BENCH_hot_path.json`. `--quick` shrinks the iteration counts for CI
+//! smoke use.
+
+use ironman_bench::{best_of, f2, header, row};
+use ironman_core::{Backend, CotBatch, Engine, SharedCotPool};
+use ironman_net::proto::encode_cot_batch_into;
+use ironman_net::{CotClient, CotService, CotServiceConfig};
+use ironman_ot::ferret::FerretConfig;
+use ironman_ot::params::FerretParams;
+use std::time::Instant;
+
+struct Result {
+    name: &'static str,
+    cots: u64,
+    secs: f64,
+}
+
+impl Result {
+    fn cots_per_sec(&self) -> f64 {
+        self.cots as f64 / self.secs
+    }
+}
+
+/// Warmed pool drain: every take is served from the buffer (the warm-up
+/// between bursts happens outside the timed window).
+fn bench_pool_take(engine: &Engine, bursts: usize, batch: usize) -> Result {
+    let pool = SharedCotPool::new_pipelined(engine, 2, 404);
+    let per_burst = 2 * pool.max_request() / batch; // well inside the warm buffer
+    let mut reused = CotBatch::default();
+    let mut cots = 0u64;
+    let mut secs = 0.0;
+    for _ in 0..bursts {
+        // Fill both shards to the 2-extension ensure cap before timing, so
+        // every timed take is a pure buffer drain (never a session wait).
+        let full = 2 * pool.shard_count() * pool.max_request();
+        while pool.available() < full {
+            pool.warm(2 * pool.max_request());
+            std::thread::yield_now();
+        }
+        let t = Instant::now();
+        for _ in 0..per_burst {
+            pool.take_into(batch, &mut reused);
+            cots += reused.len() as u64;
+        }
+        secs += t.elapsed().as_secs_f64();
+    }
+    reused.verify().expect("verified");
+    Result {
+        name: "pool_take_into",
+        cots,
+        secs,
+    }
+}
+
+/// Pure serialization: one batch, one retained scratch buffer, no I/O.
+fn bench_encode(engine: &Engine, iters: usize, batch: usize) -> Result {
+    let pool = SharedCotPool::new_pipelined(engine, 1, 505);
+    let owned = pool.take(batch);
+    owned.verify().expect("verified");
+    let mut scratch = Vec::new();
+    let t = Instant::now();
+    for _ in 0..iters {
+        scratch.clear();
+        encode_cot_batch_into(&mut scratch, owned.as_slice());
+        std::hint::black_box(scratch.len());
+    }
+    Result {
+        name: "encode_batch",
+        cots: (iters * batch) as u64,
+        secs: t.elapsed().as_secs_f64(),
+    }
+}
+
+fn service(engine: &Engine) -> CotService {
+    CotService::serve(
+        "127.0.0.1:0",
+        engine,
+        CotServiceConfig {
+            shards: 2,
+            seed: 77,
+            ..CotServiceConfig::default()
+        },
+    )
+    .expect("bind loopback service")
+}
+
+/// End-to-end one-shot round trips with the reusing client path.
+fn bench_roundtrip(engine: &Engine, requests: usize, batch: usize) -> Result {
+    let service = service(engine);
+    let mut client = CotClient::connect(service.addr(), "hot-path").expect("connect");
+    let mut reused = CotBatch::default();
+    client
+        .request_cots_into(batch, &mut reused)
+        .expect("warm the session buffers");
+    let t = Instant::now();
+    for _ in 0..requests {
+        client
+            .request_cots_into(batch, &mut reused)
+            .expect("request");
+    }
+    let secs = t.elapsed().as_secs_f64();
+    reused.verify().expect("verified");
+    service.shutdown();
+    Result {
+        name: "service_roundtrip",
+        cots: (requests * batch) as u64,
+        secs,
+    }
+}
+
+/// End-to-end streaming with the reusing subscription path.
+fn bench_stream(engine: &Engine, chunks: u64, batch: usize) -> Result {
+    let service = service(engine);
+    let mut client = CotClient::connect(service.addr(), "hot-stream").expect("connect");
+    let mut reused = CotBatch::default();
+    let t = Instant::now();
+    let mut sub = client.subscribe(batch, chunks).expect("subscribe");
+    let mut cots = 0u64;
+    while sub.next_chunk_into(&mut reused).expect("chunk") {
+        cots += reused.len() as u64;
+    }
+    let summary = sub.finish().expect("finish");
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(summary.cots, cots, "stream accounting mismatch");
+    reused.verify().expect("verified");
+    service.shutdown();
+    Result {
+        name: "service_stream",
+        cots,
+        secs,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = FerretConfig::new(FerretParams::toy());
+    let engine = Engine::new(cfg, Backend::ironman_default());
+    let batch = 2000;
+    let attempts = if quick { 3 } else { 5 };
+    let (bursts, encode_iters, requests, chunks) = if quick {
+        (2, 200, 20, 20)
+    } else {
+        (4, 2000, 100, 200)
+    };
+
+    let score = Result::cots_per_sec;
+    let results = [
+        best_of(attempts, score, || bench_pool_take(&engine, bursts, batch)),
+        best_of(attempts, score, || {
+            bench_encode(&engine, encode_iters, batch)
+        }),
+        best_of(attempts, score, || {
+            bench_roundtrip(&engine, requests, batch)
+        }),
+        best_of(attempts, score, || bench_stream(&engine, chunks, batch)),
+    ];
+
+    header(
+        "zero-copy hot path, stage by stage",
+        &["stage", "COTs", "secs", "COTs/s"],
+    );
+    for r in &results {
+        row(&[
+            r.name.to_string(),
+            r.cots.to_string(),
+            f2(r.secs),
+            format!("{:.0}", r.cots_per_sec()),
+        ]);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"hot_path\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n  \"results\": [\n"));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cots\": {}, \"secs\": {:.6}, \"cots_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.cots,
+            r.secs,
+            r.cots_per_sec(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_hot_path.json";
+    std::fs::write(path, &json).expect("write bench json");
+    println!("wrote {path}");
+}

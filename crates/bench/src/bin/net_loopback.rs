@@ -58,6 +58,7 @@ fn bench_service(engine: &Engine, clients: usize, requests: usize, batch: usize)
         CotServiceConfig {
             shards: clients.min(4),
             seed: 77,
+            ..CotServiceConfig::default()
         },
     )
     .expect("bind loopback service");

@@ -43,6 +43,22 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
 }
 
+/// Runs `run` `attempts` times and keeps the attempt with the highest
+/// `score` — the bench-noise policy on the one-core CI box, where the OS
+/// scheduler (and background warm-up refills landing inside a short
+/// timed window) add run-to-run noise: the best attempt is the one that
+/// measured the path under test rather than the interference.
+pub fn best_of<T>(attempts: usize, score: impl Fn(&T) -> f64, mut run: impl FnMut() -> T) -> T {
+    let mut best = run();
+    for _ in 1..attempts {
+        let next = run();
+        if score(&next) > score(&best) {
+            best = next;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

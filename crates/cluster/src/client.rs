@@ -115,6 +115,12 @@ impl ClusterClient {
     /// for any remainder), invoking `consume` on every batch. Returns the
     /// exact accounting.
     ///
+    /// Zero-copy receive: every chunk is decoded into **one reused
+    /// batch** (and the session's retained frame buffer), so `consume`
+    /// borrows it for the duration of the call — a steady-state stream
+    /// allocates nothing per chunk. Consumers that need to keep a batch
+    /// clone it explicitly.
+    ///
     /// Server choice follows the routing policy (home first, failover on
     /// connect error). A mid-stream failure is surfaced, not failed over:
     /// correlations already consumed cannot be replayed on another
@@ -130,7 +136,7 @@ impl ClusterClient {
         &mut self,
         total: u64,
         batch: usize,
-        mut consume: impl FnMut(CotBatch),
+        mut consume: impl FnMut(&CotBatch),
     ) -> Result<StreamSummary, ChannelError> {
         if total == 0 {
             return Ok(StreamSummary { chunks: 0, cots: 0 });
@@ -339,6 +345,23 @@ impl ClusterSubscription<'_> {
         Ok(chunk)
     }
 
+    /// Receives the next chunk into a caller-retained batch, reusing its
+    /// allocations (see [`CotSubscription::next_chunk_into`]); returns
+    /// `false` once the stream is over. Load accounting is identical to
+    /// [`ClusterSubscription::next_chunk`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CotSubscription::next_chunk_into`].
+    pub fn next_chunk_into(&mut self, out: &mut CotBatch) -> Result<bool, ChannelError> {
+        let got = self.sub.next_chunk_into(out)?;
+        if got {
+            *self.served += out.len() as u64;
+            self.counted += out.len() as u64;
+        }
+        Ok(got)
+    }
+
     /// Credits granted but not yet consumed by an arrived chunk.
     pub fn credits_outstanding(&self) -> u64 {
         self.sub.credits_outstanding()
@@ -390,25 +413,31 @@ enum StreamAttemptError {
 }
 
 /// One complete streaming attempt against one server: subscription,
-/// chunk loop, trailer, and the one-shot remainder.
+/// chunk loop, trailer, and the one-shot remainder. Every chunk lands in
+/// `reused`, whose allocations (like the session's frame buffer) carry
+/// across the whole stream.
 fn stream_on(
     client: &mut CotClient,
     batch: usize,
     chunks: u64,
     remainder: usize,
-    consume: &mut impl FnMut(CotBatch),
+    consume: &mut impl FnMut(&CotBatch),
 ) -> Result<StreamSummary, StreamAttemptError> {
     let mut pushed = 0u64;
     let mut cots = 0u64;
+    let mut reused = CotBatch::default();
     // A total below one chunk needs no subscription at all — the
     // remainder one-shot below covers it in a single round trip.
     if chunks > 0 {
         let mut sub = client
             .subscribe(batch, chunks)
             .map_err(StreamAttemptError::OpenFailed)?;
-        while let Some(b) = sub.next_chunk().map_err(StreamAttemptError::MidStream)? {
-            cots += b.len() as u64;
-            consume(b);
+        while sub
+            .next_chunk_into(&mut reused)
+            .map_err(StreamAttemptError::MidStream)?
+        {
+            cots += reused.len() as u64;
+            consume(&reused);
         }
         let summary = sub.finish().map_err(StreamAttemptError::MidStream)?;
         debug_assert_eq!(summary.cots, cots);
@@ -424,9 +453,11 @@ fn stream_on(
         } else {
             StreamAttemptError::OpenFailed
         };
-        let b = client.request_cots(remainder).map_err(wrap)?;
-        cots += b.len() as u64;
-        consume(b);
+        client
+            .request_cots_into(remainder, &mut reused)
+            .map_err(wrap)?;
+        cots += reused.len() as u64;
+        consume(&reused);
     }
     Ok(StreamSummary {
         chunks: pushed,

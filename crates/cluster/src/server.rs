@@ -41,11 +41,7 @@ impl ClusterServer {
         cfg: ClusterServerConfig,
     ) -> std::io::Result<ClusterServer> {
         let listener = TcpListener::bind(addr)?;
-        let pool = Arc::new(SharedCotPool::new(
-            engine,
-            cfg.service.shards,
-            cfg.service.seed,
-        ));
+        let pool = Arc::new(cfg.service.build_pool(engine));
         let service = CotService::serve_on(listener, Arc::clone(&pool));
         let warmup = cfg.warmup.map(|wcfg| Warmup::spawn(pool, wcfg));
         Ok(ClusterServer { service, warmup })

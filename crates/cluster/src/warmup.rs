@@ -25,13 +25,14 @@ use std::time::Duration;
 pub struct WarmupConfig {
     /// Refill a shard when its buffered correlations drop below this.
     ///
-    /// Resolved against the pool at spawn time: values above **half** of
-    /// one extension's output are clamped to that half. The cap is
-    /// load-bearing, not cosmetic — a refill *replaces* a shard's buffer
-    /// rather than appending to it (each session has its own `Δ`), so a
-    /// higher watermark would discard an up-to-watermark remnant of live
-    /// correlations on every post-drain sweep; capping at half bounds
-    /// the discard to at most half the work each refill buys.
+    /// The effective value is clamped per shard, per sweep, by
+    /// `SharedCotPool::warm` against the shard's *live* supply mode: up
+    /// to two extensions' output for remnant-merging (pipelined) shards,
+    /// and half an extension for buffer-replacing (inline) shards —
+    /// including a pipelined shard that degraded to inline after its
+    /// session threads died — where a post-drain refill discards the
+    /// live remnant and the half cap bounds the discard to at most half
+    /// the work each refill buys.
     pub low_watermark: usize,
     /// Pause between sweeps.
     pub interval: Duration,
@@ -57,11 +58,13 @@ pub struct Warmup {
 }
 
 impl Warmup {
-    /// Starts the refiller thread over `pool` (the watermark is resolved
-    /// against the pool here; see [`WarmupConfig::low_watermark`]).
+    /// Starts the refiller thread over `pool` (the watermark is clamped
+    /// per shard on every sweep; see [`WarmupConfig::low_watermark`]).
     pub fn spawn(pool: Arc<SharedCotPool>, cfg: WarmupConfig) -> Warmup {
         let stop = Arc::new(AtomicBool::new(false));
-        let low_watermark = cfg.low_watermark.min(pool.max_request() / 2).max(1);
+        // Per-shard, per-sweep supply-mode clamping happens inside
+        // SharedCotPool::warm (see WarmupConfig::low_watermark).
+        let low_watermark = cfg.low_watermark.max(1);
         let thread = {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {

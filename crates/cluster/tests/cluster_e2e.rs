@@ -22,6 +22,7 @@ fn warm_cluster_cfg() -> ClusterServerConfig {
         service: CotServiceConfig {
             shards: 2,
             seed: 0x0C1u64,
+            ..CotServiceConfig::default()
         },
         warmup: Some(WarmupConfig::default()),
     }
@@ -138,6 +139,7 @@ fn failover_routes_around_a_dead_home_server() {
         service: CotServiceConfig {
             shards: 1,
             seed: 0xDEAD,
+            ..CotServiceConfig::default()
         },
         warmup: None,
     };

@@ -33,7 +33,7 @@ pub mod shared_pool;
 pub mod speedup;
 
 pub use engine::{Backend, Engine, ExtensionRun, Timing};
-pub use pool::{CotBatch, CotPool};
+pub use pool::{CotBatch, CotPool, CotSlice};
 pub use rot::{RotReceiver, RotSender};
 pub use shared_pool::SharedCotPool;
 pub use speedup::{speedup_table, SpeedupRow};

@@ -6,8 +6,31 @@
 //! arbitrary-sized requests, transparently running additional extensions
 //! when the buffer runs dry — the host-side behavior the Ironman PU's
 //! streaming offload is designed for.
+//!
+//! # Supply modes
+//!
+//! * **Inline** ([`CotPool::new`]) — each refill bootstraps a fresh FERRET
+//!   session via [`Engine::run_one`]. `Δ` changes per refill, so a batch
+//!   never straddles a refill and a below-request remnant is discarded at
+//!   every session boundary. Simple, but the bootstrap (dealer, LPN
+//!   matrix, thread spawns) costs several times the marginal extension.
+//! * **Pipelined** ([`CotPool::pipelined`]) — one persistent
+//!   [`CotSession`] extends ahead of demand on background threads and a
+//!   refill just drains its staging channel: a cursor bump plus at most
+//!   one memcpy, never a protocol run on the demand path. `Δ` is fixed
+//!   for the pool's lifetime, so remnants are *merged* across refills
+//!   instead of discarded. If the session threads die the pool degrades
+//!   permanently to inline refills.
+//!
+//! # Zero-copy consumption
+//!
+//! [`CotPool::take_slice`] hands out a [`CotSlice`] borrowing the pool's
+//! ring directly; [`CotPool::take_into`] fills a caller-retained
+//! [`CotBatch`], reusing its allocations. [`CotPool::take`] (allocating)
+//! remains for callers that want owned batches.
 
 use crate::engine::{Engine, Timing};
+use ironman_ot::session::{CotSession, SessionBatch};
 use ironman_prg::Block;
 
 /// A matched batch of correlations handed to the application.
@@ -23,6 +46,18 @@ pub struct CotBatch {
     pub y: Vec<Block>,
 }
 
+impl Default for CotBatch {
+    /// An empty batch (useful as a reusable decode/take target).
+    fn default() -> Self {
+        CotBatch {
+            delta: Block::ZERO,
+            z: Vec::new(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+}
+
 impl CotBatch {
     /// Number of correlations in the batch.
     pub fn len(&self) -> usize {
@@ -30,6 +65,53 @@ impl CotBatch {
     }
 
     /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty()
+    }
+
+    /// A borrowed view of the whole batch.
+    pub fn as_slice(&self) -> CotSlice<'_> {
+        CotSlice {
+            delta: self.delta,
+            z: &self.z,
+            x: &self.x,
+            y: &self.y,
+        }
+    }
+
+    /// Checks the correlation on every element.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first violation.
+    pub fn verify(&self) -> Result<(), usize> {
+        self.as_slice().verify()
+    }
+}
+
+/// A borrowed batch view into a pool's ring (or any matched `z`/`x`/`y`
+/// triple): the zero-copy counterpart of [`CotBatch`]. Producers hand it
+/// to encoders so correlation payloads go from pool storage to the wire
+/// scratch buffer in one copy.
+#[derive(Clone, Copy, Debug)]
+pub struct CotSlice<'a> {
+    /// The global offset `Δ`.
+    pub delta: Block,
+    /// Sender strings `z`.
+    pub z: &'a [Block],
+    /// Receiver choice bits `x`.
+    pub x: &'a [bool],
+    /// Receiver strings `y`.
+    pub y: &'a [Block],
+}
+
+impl CotSlice<'_> {
+    /// Number of correlations in the view.
+    pub fn len(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
         self.z.is_empty()
     }
@@ -47,13 +129,49 @@ impl CotBatch {
         }
         Ok(())
     }
+
+    /// Materializes an owned [`CotBatch`] (one copy).
+    pub fn to_batch(&self) -> CotBatch {
+        CotBatch {
+            delta: self.delta,
+            z: self.z.to_vec(),
+            x: self.x.to_vec(),
+            y: self.y.to_vec(),
+        }
+    }
+
+    /// Copies this view into `out`, reusing `out`'s allocations.
+    pub fn copy_into(&self, out: &mut CotBatch) {
+        out.delta = self.delta;
+        out.z.clear();
+        out.z.extend_from_slice(self.z);
+        out.x.clear();
+        out.x.extend_from_slice(self.x);
+        out.y.clear();
+        out.y.extend_from_slice(self.y);
+    }
 }
+
+/// Where refills come from (see the module docs).
+#[derive(Debug)]
+enum Supply {
+    /// Fresh session per refill via [`Engine::run_one`].
+    Inline,
+    /// Persistent pipelined session staging extensions ahead of demand.
+    Session(CotSession),
+}
+
+/// Extensions a pipelined session keeps staged ahead of demand. Two is
+/// enough to hide one extension behind consumption of the previous one
+/// without hoarding memory (each staged extension is one full output).
+const SESSION_LOOKAHEAD: usize = 2;
 
 /// A replenishing store of COT correlations over an [`Engine`].
 #[derive(Debug)]
 pub struct CotPool {
     engine: Engine,
     seed: u64,
+    supply: Supply,
     delta: Option<Block>,
     z: Vec<Block>,
     x: Vec<bool>,
@@ -61,14 +179,19 @@ pub struct CotPool {
     cursor: usize,
     extensions_run: usize,
     last_timing: Option<Timing>,
+    /// Timing template for pipelined refills (the session runs off the
+    /// demand path, so per-refill byte counts are not re-measured).
+    session_timing: Option<Timing>,
 }
 
 impl CotPool {
-    /// Creates an empty pool; the first request triggers an extension.
+    /// Creates an empty inline-mode pool; the first request triggers a
+    /// fresh-session extension.
     pub fn new(engine: Engine, seed: u64) -> Self {
         CotPool {
             engine,
             seed,
+            supply: Supply::Inline,
             delta: None,
             z: Vec::new(),
             x: Vec::new(),
@@ -76,12 +199,41 @@ impl CotPool {
             cursor: 0,
             extensions_run: 0,
             last_timing: None,
+            session_timing: None,
+        }
+    }
+
+    /// Creates a pool over a persistent pipelined session: extensions run
+    /// on background threads ahead of demand, `Δ` is fixed for the pool's
+    /// lifetime, and refills merge with any buffered remnant.
+    pub fn pipelined(engine: Engine, seed: u64) -> Self {
+        let session = CotSession::spawn(engine.config(), seed, SESSION_LOOKAHEAD);
+        let delta = session.delta();
+        let session_timing = engine.estimate_timing(seed);
+        CotPool {
+            engine,
+            seed,
+            supply: Supply::Session(session),
+            delta: Some(delta),
+            z: Vec::new(),
+            x: Vec::new(),
+            y: Vec::new(),
+            cursor: 0,
+            extensions_run: 0,
+            last_timing: None,
+            session_timing: Some(session_timing),
         }
     }
 
     /// The engine this pool extends with.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Whether refills merge with buffered remnants (fixed-`Δ` pipelined
+    /// supply) instead of replacing the buffer (fresh `Δ` per refill).
+    pub fn merges_remnants(&self) -> bool {
+        matches!(self.supply, Supply::Session(_))
     }
 
     /// Correlations currently buffered and unconsumed.
@@ -94,16 +246,16 @@ impl CotPool {
         self.extensions_run
     }
 
-    /// Timing of the most recent extension, if any.
+    /// Timing of the most recent extension, if any (pipelined refills
+    /// report the engine's analytical estimate: the session extends off
+    /// the demand path, so per-refill wall time is not re-measured here).
     pub fn last_timing(&self) -> Option<Timing> {
         self.last_timing
     }
 
     fn refill(&mut self) {
-        // Each refill is a fresh session (new seeds) in this harness; a
-        // deployment would keep one bootstrapped session alive. Δ stays
-        // fixed per pool so downstream protocols can cache Δ-dependent
-        // state.
+        // Each inline refill is a fresh session (new seeds); Δ changes, so
+        // callers drain the remainder before refilling.
         self.seed = self
             .seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -127,54 +279,152 @@ impl CotPool {
         self.last_timing = Some(run.timing);
     }
 
-    /// Tops the buffer up to at least `min_available` correlations,
-    /// running one extension if it is currently below that watermark.
+    /// Merges one staged session batch into the buffer (same `Δ`, so the
+    /// remnant survives). When the buffer is fully drained this is a
+    /// wholesale adoption of the staged vectors — zero copies.
+    fn append(&mut self, batch: SessionBatch) {
+        if self.cursor == self.z.len() {
+            self.z = batch.z;
+            self.x = batch.x;
+            self.y = batch.y;
+        } else {
+            if self.cursor > 0 {
+                // Compact the consumed prefix so the buffer doesn't grow
+                // without bound across merge refills.
+                self.z.drain(..self.cursor);
+                self.x.drain(..self.cursor);
+                self.y.drain(..self.cursor);
+            }
+            self.z.extend_from_slice(&batch.z);
+            self.x.extend_from_slice(&batch.x);
+            self.y.extend_from_slice(&batch.y);
+        }
+        self.cursor = 0;
+        self.extensions_run += 1;
+        self.last_timing = self.session_timing;
+    }
+
+    /// Brings `available()` to at least `count`, blocking on the session
+    /// (pipelined) or running a fresh-session extension (inline; drops
+    /// the remnant first — its `Δ` dies with its session).
+    fn top_up(&mut self, count: usize) {
+        while self.available() < count {
+            let staged = match &self.supply {
+                Supply::Session(session) => session.recv().ok(),
+                Supply::Inline => None,
+            };
+            match staged {
+                Some(batch) => self.append(batch),
+                None => {
+                    if self.merges_remnants() {
+                        // Session threads died: degrade permanently to
+                        // inline refills rather than failing the request.
+                        self.supply = Supply::Inline;
+                    }
+                    self.cursor = self.z.len();
+                    self.refill();
+                }
+            }
+        }
+    }
+
+    /// Tops the buffer up to at least `min_available` correlations.
     /// Returns whether a refill happened.
     ///
-    /// Because a batch never straddles a session boundary (each refill is
-    /// a fresh session with its own `Δ`), a below-watermark remnant is
-    /// discarded rather than merged — the same rule [`CotPool::take`]
-    /// applies. Watermarks above one extension's output are clamped, as a
-    /// single refill can never exceed it.
+    /// Inline mode runs (at most) one fresh-session extension, discarding
+    /// a below-watermark remnant first — the same rule [`CotPool::take`]
+    /// applies — and clamps watermarks to one extension's output.
+    /// Pipelined mode instead drains already-staged session outputs
+    /// **without blocking** (the session threads do the extending) and
+    /// merges them with the remnant; the watermark is clamped to two
+    /// extensions' output so a sweeping refiller cannot grow the buffer
+    /// without bound.
     pub fn ensure(&mut self, min_available: usize) -> bool {
-        let min = min_available.min(self.engine.config().usable_outputs());
+        let per = self.engine.config().usable_outputs();
+        let mut refilled = false;
+        if let Supply::Session(_) = &self.supply {
+            let min = min_available.min(2 * per);
+            while self.available() < min {
+                let staged = match &self.supply {
+                    Supply::Session(session) => session.try_recv(),
+                    Supply::Inline => unreachable!("supply mode fixed in this arm"),
+                };
+                match staged {
+                    Ok(Some(batch)) => {
+                        self.append(batch);
+                        refilled = true;
+                    }
+                    // Staging merely empty: the threads are still
+                    // extending; the next sweep catches the output.
+                    Ok(None) => return refilled,
+                    // Session died: degrade permanently and fall through
+                    // to the inline path below, so a sweeping refiller
+                    // heals the shard instead of leaving the bootstrap
+                    // to the next request's critical path.
+                    Err(_) => {
+                        self.supply = Supply::Inline;
+                        break;
+                    }
+                }
+            }
+            if matches!(self.supply, Supply::Session(_)) {
+                return refilled;
+            }
+        }
+        let min = min_available.min(per);
         if self.available() >= min {
-            return false;
+            return refilled;
         }
         self.cursor = self.z.len();
         self.refill();
         true
     }
 
-    /// Takes `count` correlations, extending as needed. The returned batch
-    /// is homogeneous in `Δ` (requests never straddle a session boundary;
-    /// a partially drained buffer is topped up lazily instead).
+    /// Takes `count` correlations as a borrowed view of the pool's ring —
+    /// the zero-copy primitive behind [`CotPool::take`] and
+    /// [`CotPool::take_into`]. The returned view is homogeneous in `Δ`
+    /// (inline mode never lets a batch straddle a session boundary;
+    /// pipelined mode has a single `Δ` for the pool's lifetime).
     ///
     /// # Panics
     ///
     /// Panics if `count` exceeds one extension's usable output (split such
     /// requests at the application level).
-    pub fn take(&mut self, count: usize) -> CotBatch {
+    pub fn take_slice(&mut self, count: usize) -> CotSlice<'_> {
         let per_extension = self.engine.config().usable_outputs();
         assert!(
             count <= per_extension,
             "request of {count} exceeds one extension's output {per_extension}"
         );
-        if self.available() < count {
-            // Requests never straddle a session boundary: the remnant's Δ
-            // dies with its session, so drop it before refilling (also
-            // what refill's drained-buffer invariant expects).
-            self.cursor = self.z.len();
-            self.refill();
-        }
+        self.top_up(count);
         let start = self.cursor;
         self.cursor += count;
-        CotBatch {
+        CotSlice {
             delta: self.delta.expect("refill sets delta"),
-            z: self.z[start..start + count].to_vec(),
-            x: self.x[start..start + count].to_vec(),
-            y: self.y[start..start + count].to_vec(),
+            z: &self.z[start..start + count],
+            x: &self.x[start..start + count],
+            y: &self.y[start..start + count],
         }
+    }
+
+    /// Takes `count` correlations as an owned batch, extending as needed.
+    ///
+    /// # Panics
+    ///
+    /// Same bound as [`CotPool::take_slice`].
+    pub fn take(&mut self, count: usize) -> CotBatch {
+        self.take_slice(count).to_batch()
+    }
+
+    /// Takes `count` correlations into a caller-retained batch, reusing
+    /// its allocations (same semantics — including the inline-mode
+    /// drop-remnant-on-refill `Δ` rule — as [`CotPool::take`]).
+    ///
+    /// # Panics
+    ///
+    /// Same bound as [`CotPool::take_slice`].
+    pub fn take_into(&mut self, count: usize, out: &mut CotBatch) {
+        self.take_slice(count).copy_into(out);
     }
 }
 
@@ -185,12 +435,15 @@ mod tests {
     use ironman_ot::ferret::FerretConfig;
     use ironman_ot::params::FerretParams;
 
-    fn pool() -> CotPool {
-        let engine = Engine::new(
+    fn engine() -> Engine {
+        Engine::new(
             FerretConfig::new(FerretParams::toy()),
             Backend::ironman_default(),
-        );
-        CotPool::new(engine, 42)
+        )
+    }
+
+    fn pool() -> CotPool {
+        CotPool::new(engine(), 42)
     }
 
     #[test]
@@ -230,6 +483,59 @@ mod tests {
     }
 
     #[test]
+    fn take_into_preserves_drop_remnant_delta_invariant() {
+        // take_into must follow exactly the Δ rule of take: an inline-mode
+        // refill drops the old session's remnant, and the refilled batch
+        // is homogeneous under the *new* session's Δ.
+        let mut p = pool();
+        let usable = p.engine.config().usable_outputs();
+        let mut reused = CotBatch::default();
+        p.take_into(usable - 10, &mut reused);
+        reused.verify().unwrap();
+        let first_delta = reused.delta;
+        let remnant = p.available();
+        assert_eq!(remnant, 10);
+        p.take_into(20, &mut reused); // forces a refill; remnant dropped
+        reused.verify().unwrap();
+        assert_eq!(reused.len(), 20);
+        assert_ne!(
+            reused.delta, first_delta,
+            "fresh session must carry a fresh Δ"
+        );
+        assert_eq!(p.extensions_run(), 2);
+        // The dropped remnant is really gone: a full-buffer drain now
+        // yields exactly one extension's output minus the 20 just taken.
+        assert_eq!(p.available(), usable - 20);
+    }
+
+    #[test]
+    fn take_into_reuses_capacity() {
+        let mut p = pool();
+        let mut reused = CotBatch::default();
+        p.take_into(500, &mut reused);
+        reused.verify().unwrap();
+        let (cz, cx, cy) = (
+            reused.z.capacity(),
+            reused.x.capacity(),
+            reused.y.capacity(),
+        );
+        for _ in 0..4 {
+            p.take_into(500, &mut reused);
+            reused.verify().unwrap();
+            assert_eq!(reused.len(), 500);
+        }
+        assert_eq!(
+            (cz, cx, cy),
+            (
+                reused.z.capacity(),
+                reused.x.capacity(),
+                reused.y.capacity()
+            ),
+            "equal-sized takes must not reallocate the reused batch"
+        );
+    }
+
+    #[test]
     fn exhaustion_triggers_refill() {
         let mut p = pool();
         let usable = p.engine.config().usable_outputs();
@@ -254,5 +560,66 @@ mod tests {
         let mut p = pool();
         let usable = p.engine.config().usable_outputs();
         let _ = p.take(usable + 1);
+    }
+
+    #[test]
+    fn pipelined_pool_merges_remnants_under_fixed_delta() {
+        let mut p = CotPool::pipelined(engine(), 42);
+        assert!(p.merges_remnants());
+        let usable = p.engine.config().usable_outputs();
+        let a = p.take(usable - 10); // leaves a 10-correlation remnant
+        a.verify().unwrap();
+        let b = p.take(20); // straddles the refill: remnant is merged
+        b.verify().unwrap();
+        assert_eq!(b.delta, a.delta, "pipelined Δ is fixed for life");
+        assert_eq!(p.extensions_run(), 2);
+        // Nothing was discarded: two extensions in, (usable - 10) + 20 out.
+        assert_eq!(p.available(), 2 * usable - (usable - 10) - 20);
+    }
+
+    #[test]
+    fn pipelined_matches_inline_delta_contract() {
+        let mut p = CotPool::pipelined(engine(), 7);
+        for _ in 0..5 {
+            p.take(500).verify().unwrap();
+        }
+        let mut reused = CotBatch::default();
+        p.take_into(700, &mut reused);
+        reused.verify().unwrap();
+        assert_eq!(reused.len(), 700);
+    }
+
+    #[test]
+    fn pipelined_ensure_drains_staged_without_blocking() {
+        let mut p = CotPool::pipelined(engine(), 9);
+        let usable = p.engine.config().usable_outputs();
+        // The session stages in the background; ensure() eventually
+        // observes it without ever running an extension on this thread.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while p.available() < usable {
+            p.ensure(usable);
+            assert!(
+                std::time::Instant::now() < deadline,
+                "staged output never arrived"
+            );
+            std::thread::yield_now();
+        }
+        let before = p.extensions_run();
+        p.take(100).verify().unwrap();
+        assert_eq!(p.extensions_run(), before, "served from the buffer");
+    }
+
+    #[test]
+    fn take_slice_is_a_zero_copy_view() {
+        let mut p = pool();
+        let before = p.take(1); // prime the buffer
+        before.verify().unwrap();
+        let available = p.available();
+        let s = p.take_slice(300);
+        assert_eq!(s.len(), 300);
+        s.verify().unwrap();
+        let owned = s.to_batch();
+        owned.verify().unwrap();
+        assert_eq!(p.available(), available - 300);
     }
 }

@@ -14,7 +14,7 @@
 //! (the invariant [`CotPool::take`] already guarantees per session).
 
 use crate::engine::Engine;
-use crate::pool::{CotBatch, CotPool};
+use crate::pool::{CotBatch, CotPool, CotSlice};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -37,19 +37,41 @@ pub struct SharedCotPool {
 }
 
 impl SharedCotPool {
-    /// Builds `shards` pools over clones of `engine`, with per-shard seeds
-    /// derived from `seed`.
+    /// Builds `shards` inline-mode pools over clones of `engine`, with
+    /// per-shard seeds derived from `seed` (each refill bootstraps a
+    /// fresh FERRET session; see [`CotPool::new`]).
     ///
     /// # Panics
     ///
     /// Panics if `shards == 0`.
     pub fn new(engine: &Engine, shards: usize, seed: u64) -> Self {
+        Self::build(engine, shards, seed, false)
+    }
+
+    /// Builds `shards` pipelined pools: each shard owns a persistent
+    /// FERRET session extending ahead of demand on background threads,
+    /// with a fixed per-shard `Δ` and remnant-merging refills (see
+    /// [`CotPool::pipelined`]) — the serving-path configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new_pipelined(engine: &Engine, shards: usize, seed: u64) -> Self {
+        Self::build(engine, shards, seed, true)
+    }
+
+    fn build(engine: &Engine, shards: usize, seed: u64, pipelined: bool) -> Self {
         assert!(shards > 0, "need at least one shard");
         let shards = (0..shards)
             .map(|i| {
                 let shard_seed =
                     seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
-                Mutex::new(CotPool::new(engine.clone(), shard_seed))
+                let pool = if pipelined {
+                    CotPool::pipelined(engine.clone(), shard_seed)
+                } else {
+                    CotPool::new(engine.clone(), shard_seed)
+                };
+                Mutex::new(pool)
             })
             .collect();
         SharedCotPool {
@@ -58,6 +80,16 @@ impl SharedCotPool {
             max_request: engine.config().usable_outputs(),
             warmup_refills: AtomicU64::new(0),
         }
+    }
+
+    /// Whether **every** shard still merges remnants across refills
+    /// (pipelined, fixed-`Δ` supply) instead of replacing its buffer.
+    /// Queried live — a pipelined shard whose session threads died
+    /// degrades to fresh-`Δ` inline refills, and callers caching
+    /// `Δ`-dependent state must see that — so this can flip from `true`
+    /// to `false` over the pool's lifetime (never back).
+    pub fn merges_remnants(&self) -> bool {
+        self.shards.iter().all(|s| lock_shard(s).merges_remnants())
     }
 
     /// Number of shards.
@@ -82,18 +114,42 @@ impl SharedCotPool {
     ///
     /// Panics if `count` exceeds [`SharedCotPool::max_request`].
     pub fn take(&self, count: usize) -> CotBatch {
+        self.take_with(count, |slice| slice.to_batch())
+    }
+
+    /// Takes `count` correlations into a caller-retained batch, reusing
+    /// its allocations (same routing and `Δ` semantics as
+    /// [`SharedCotPool::take`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds [`SharedCotPool::max_request`].
+    pub fn take_into(&self, count: usize, out: &mut CotBatch) {
+        self.take_with(count, |slice| slice.copy_into(out));
+    }
+
+    /// The zero-copy take: locks one shard (same lock-stealing routing as
+    /// [`SharedCotPool::take`]) and hands `f` a [`CotSlice`] borrowing
+    /// the shard's ring directly, so the caller can serialize the batch
+    /// straight into its own buffer with a single copy. The shard lock is
+    /// held for the duration of `f` — keep it to a copy/encode, not I/O.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds [`SharedCotPool::max_request`].
+    pub fn take_with<R>(&self, count: usize, f: impl FnOnce(CotSlice<'_>) -> R) -> R {
         let n = self.shards.len();
         let home = self.next.fetch_add(1, Ordering::Relaxed) % n;
         for offset in 0..n {
             match self.shards[(home + offset) % n].try_lock() {
-                Ok(mut pool) => return pool.take(count),
+                Ok(mut pool) => return f(pool.take_slice(count)),
                 Err(std::sync::TryLockError::Poisoned(poisoned)) => {
-                    return poisoned.into_inner().take(count)
+                    return f(poisoned.into_inner().take_slice(count))
                 }
                 Err(std::sync::TryLockError::WouldBlock) => {}
             }
         }
-        lock_shard(&self.shards[home]).take(count)
+        f(lock_shard(&self.shards[home]).take_slice(count))
     }
 
     /// Total correlations buffered across all shards right now.
@@ -151,6 +207,14 @@ impl SharedCotPool {
     /// host-side analogue of the Ironman PU extending ahead of the CPU's
     /// consumption. Returns the number of shards refilled.
     ///
+    /// The watermark is re-clamped **per shard, per sweep** against that
+    /// shard's *live* supply mode: a remnant-merging (pipelined) shard
+    /// allows up to two extensions' output, while a buffer-replacing
+    /// (inline — by construction or because its session threads died)
+    /// shard is capped at **half** an extension, since a post-drain
+    /// refill there discards the live remnant and the half cap bounds
+    /// the discard to at most half the work each refill buys.
+    ///
     /// The sweep never blocks behind a busy shard: a shard currently
     /// serving (or already being refilled by) another thread is skipped
     /// and caught on the next sweep, so warm-up never adds latency to the
@@ -163,7 +227,12 @@ impl SharedCotPool {
                 Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
                 Err(std::sync::TryLockError::WouldBlock) => continue,
             };
-            if pool.ensure(low_watermark) {
+            let cap = if pool.merges_remnants() {
+                2 * self.max_request
+            } else {
+                self.max_request / 2
+            };
+            if pool.ensure(low_watermark.min(cap.max(1))) {
                 refills += 1;
             }
         }
@@ -246,5 +315,58 @@ mod tests {
         let ext = pool.shard_extensions();
         assert_eq!(ext.iter().sum::<usize>(), pool.extensions_run());
         assert!(ext.iter().all(|&e| e == 1));
+    }
+
+    #[test]
+    fn take_with_encodes_under_the_shard_lock() {
+        let pool = shared(2);
+        let mut sink: Vec<u8> = Vec::new();
+        let n = pool.take_with(300, |slice| {
+            slice.verify().unwrap();
+            for b in slice.z {
+                sink.extend_from_slice(&b.to_le_bytes());
+            }
+            slice.len()
+        });
+        assert_eq!(n, 300);
+        assert_eq!(sink.len(), 300 * 16);
+    }
+
+    #[test]
+    fn pipelined_shared_pool_serves_and_merges() {
+        let engine = Engine::new(
+            FerretConfig::new(FerretParams::toy()),
+            Backend::ironman_default(),
+        );
+        let pool = SharedCotPool::new_pipelined(&engine, 2, 21);
+        assert!(pool.merges_remnants());
+        let mut reused = CotBatch::default();
+        for _ in 0..6 {
+            pool.take_into(1500, &mut reused);
+            reused.verify().unwrap();
+            assert_eq!(reused.len(), 1500);
+        }
+    }
+
+    #[test]
+    fn pipelined_concurrent_takes_all_verify() {
+        let engine = Engine::new(
+            FerretConfig::new(FerretParams::toy()),
+            Backend::ironman_default(),
+        );
+        let pool = Arc::new(SharedCotPool::new_pipelined(&engine, 2, 5));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    let mut reused = CotBatch::default();
+                    for _ in 0..5 {
+                        pool.take_into(400, &mut reused);
+                        reused.verify().unwrap();
+                    }
+                });
+            }
+        });
+        assert!(pool.extensions_run() > 0);
     }
 }

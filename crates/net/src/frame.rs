@@ -37,8 +37,10 @@ pub const MAGIC: [u8; 4] = *b"IRNM";
 /// History: **1** — initial one-shot protocol (`Hello`/`RequestCot`/
 /// `Stats`/`Shutdown`); **2** — streaming subscriptions with credit-based
 /// backpressure (`Subscribe`/`Credit`/`Unsubscribe`, `CotChunk`/
-/// `StreamEnd`) and the per-shard `Stats` reply layout.
-pub const VERSION: u16 = 2;
+/// `StreamEnd`) and the per-shard `Stats` reply layout; **3** — the
+/// `Stats` reply grew the hot-path observability counters
+/// (scratch-buffer reuse/allocation and session-registration failures).
+pub const VERSION: u16 = 3;
 
 /// Per-frame header size (the `u32` length prefix).
 pub const FRAME_HEADER_LEN: usize = 4;
@@ -145,15 +147,69 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError
 /// [`FrameError::Truncated`] on EOF mid-frame, [`FrameError::Oversized`]
 /// on a hostile length prefix, [`FrameError::Io`] on stream failure.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut payload = Vec::new();
+    read_frame_into(r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Starts building a frame in place: clears `buf` and reserves the
+/// 4-byte length prefix. Append the payload directly to `buf`, then call
+/// [`finish_frame`] to patch the prefix — the zero-copy alternative to
+/// encoding a payload `Vec` and wrapping it with [`encode_frame`].
+pub fn begin_frame(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+}
+
+/// Completes a frame started with [`begin_frame`] by writing the payload
+/// length into the reserved prefix. The buffer then holds exactly one
+/// wire-ready frame (header + payload).
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] when the payload exceeds [`MAX_FRAME_LEN`].
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than the reserved prefix (i.e. it was not
+/// started with [`begin_frame`]).
+pub fn finish_frame(buf: &mut [u8]) -> Result<(), FrameError> {
+    let payload_len = buf
+        .len()
+        .checked_sub(FRAME_HEADER_LEN)
+        .expect("frame started with begin_frame");
+    if payload_len > MAX_FRAME_LEN as usize {
+        return Err(FrameError::Oversized {
+            len: payload_len as u32,
+        });
+    }
+    buf[..FRAME_HEADER_LEN].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Reads one frame's payload into a caller-retained buffer (blocking),
+/// reusing its allocation — the buffer-reusing form of [`read_frame`].
+/// On success `buf` holds exactly the payload.
+///
+/// # Errors
+///
+/// Same failure classes as [`read_frame`].
+pub fn read_frame_into<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<(), FrameError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     r.read_exact(&mut header)?;
     let len = u32::from_le_bytes(header);
     if len > MAX_FRAME_LEN {
         return Err(FrameError::Oversized { len });
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
+    let len = len as usize;
+    // Grow-only zeroing: the buffer is zero-initialized only when it has
+    // never been this large; steady-state receives just shrink the view.
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    buf.truncate(len);
+    r.read_exact(buf)?;
+    Ok(())
 }
 
 /// Encodes one frame into a standalone byte vector (header + payload).
@@ -217,6 +273,45 @@ mod tests {
         let (decoded, consumed) = decode_frame(&encoded).unwrap();
         assert_eq!(decoded, payload);
         assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn in_place_frame_matches_encode_frame() {
+        let payload = b"zero copy".to_vec();
+        let mut buf = vec![0xAA; 3]; // stale content must be cleared
+        begin_frame(&mut buf);
+        buf.extend_from_slice(&payload);
+        finish_frame(&mut buf).unwrap();
+        assert_eq!(buf, encode_frame(&payload));
+    }
+
+    #[test]
+    fn read_frame_into_reuses_buffer() {
+        let big = encode_frame(&[7u8; 100]);
+        let small = encode_frame(b"abc");
+        let mut buf = Vec::new();
+        read_frame_into(&mut big.as_slice(), &mut buf).unwrap();
+        assert_eq!(buf.len(), 100);
+        let cap = buf.capacity();
+        read_frame_into(&mut small.as_slice(), &mut buf).unwrap();
+        assert_eq!(buf, b"abc");
+        assert_eq!(buf.capacity(), cap, "smaller frame must not reallocate");
+    }
+
+    #[test]
+    fn read_frame_into_rejects_oversized_and_truncated() {
+        let mut buf = Vec::new();
+        let hostile = u32::MAX.to_le_bytes();
+        assert!(matches!(
+            read_frame_into(&mut hostile.as_slice(), &mut buf),
+            Err(FrameError::Oversized { .. })
+        ));
+        let mut truncated = encode_frame(b"abcdef");
+        truncated.truncate(truncated.len() - 2);
+        assert!(matches!(
+            read_frame_into(&mut truncated.as_slice(), &mut buf),
+            Err(FrameError::Truncated)
+        ));
     }
 
     #[test]

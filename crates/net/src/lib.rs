@@ -34,6 +34,42 @@
 //!    failover)      └─> CotService      ...
 //! ```
 //!
+//! # The hot path: buffer-reuse contract
+//!
+//! Correlation payloads cross this crate **copied exactly once** between
+//! pool storage and the socket write. On the server, a request borrows
+//! the pool shard's ring as a
+//! [`CotSlice`](ironman_core::CotSlice) ([`SharedCotPool::take_with`](ironman_core::SharedCotPool::take_with))
+//! and [`proto::encode_cot_batch_into`] serializes it straight into a
+//! per-session *scratch frame buffer* whose length prefix was reserved by
+//! [`frame::begin_frame`]; [`StreamTransport::send_frame`] then hands the
+//! finished frame to the kernel with one `write_all`. On the client,
+//! [`CotClient::request_cots_into`] / `CotSubscription::next_chunk_into`
+//! receive into a retained frame buffer and decode into a caller-retained
+//! [`CotBatch`](ironman_core::CotBatch), reusing its allocations.
+//!
+//! Ownership rules:
+//!
+//! * **Server scratch buffers** belong to the session thread. Each
+//!   session keeps *two*, used alternately, so the frame most recently
+//!   handed to the kernel stays intact while the next response (chunk
+//!   `n + 1` of a subscription) is encoded into the other buffer. A
+//!   buffer may be reused the moment `send_frame` returns for the frame
+//!   *after* it.
+//! * **Client receive buffers** belong to the `CotClient`; they are
+//!   valid between a receive and the next call on the same session.
+//! * **Caller-retained batches** (`*_into` targets) are cleared and
+//!   refilled on every call; on error their contents are unspecified.
+//!   Consumers that keep a batch past the next call clone it.
+//!
+//! Steady state therefore allocates nothing per request on either side,
+//! and the claim is *observable*, not just benchmarked: the service
+//! counts scratch-buffer reuse hits vs. growths per response
+//! ([`ServiceStats::scratch_reuses`] / [`ServiceStats::scratch_allocs`]),
+//! readable from any session via a `Stats` request. The `hot_path` bench
+//! bin measures each stage (pool take, encode, round trip, stream) in
+//! isolation and writes `BENCH_hot_path.json`.
+//!
 //! # Wire format
 //!
 //! A connection begins with one symmetric 6-byte handshake; every message
@@ -53,7 +89,9 @@
 //! to the frame layout or the `proto` opcodes; peers advertising
 //! different versions refuse the connection during the handshake instead
 //! of misparsing frames. Version **2** added the streaming subscription
-//! opcodes and the per-shard `Stats` reply layout. **Hardening:** frames above
+//! opcodes and the per-shard `Stats` reply layout; version **3** added
+//! the hot-path observability counters (scratch reuse/allocation,
+//! registration failures) to the `Stats` reply. **Hardening:** frames above
 //! [`frame::MAX_FRAME_LEN`] (1 GiB) are rejected before allocation,
 //! truncation and bad magic are errors (never panics), and a session that
 //! sends garbage gets an error response and its connection — only its

@@ -34,8 +34,8 @@
 //! client has explicitly granted, so a slow consumer bounds server-side
 //! work and socket buffering instead of being buried.
 
-use ironman_core::CotBatch;
-use ironman_ot::channel::{decode_bits, encode_bits, ChannelError};
+use ironman_core::{CotBatch, CotSlice};
+use ironman_ot::channel::{decode_bits_into, encode_bits_into, ChannelError};
 use ironman_prg::Block;
 
 /// Client → server messages.
@@ -131,6 +131,20 @@ pub struct ServiceStats {
     /// Refills performed by the warm-up sweep (extensions run *before*
     /// demand arrived, rather than inline on a client's request).
     pub warmup_refills: u64,
+    /// Batch-carrying responses (`Cots`/`CotChunk` — only those; control
+    /// and error replies are not counted) served from an already-sized
+    /// per-session scratch buffer, i.e. with no allocation between pool
+    /// storage and the socket write — the observable half of the
+    /// zero-copy claim.
+    pub scratch_reuses: u64,
+    /// Batch-carrying responses that had to grow a per-session scratch
+    /// buffer (a session's first batches, or a larger batch than any
+    /// before it). Steady state is `scratch_allocs ≪ scratch_reuses`.
+    pub scratch_allocs: u64,
+    /// Sessions refused because their socket handle could not be
+    /// registered for shutdown tracking (`try_clone` failure): serving an
+    /// untracked session would leave its thread unreachable at shutdown.
+    pub register_failures: u64,
     /// Per-shard occupancy and refill counters (in shard order); the
     /// spread across shards is what makes warm-up effectiveness and
     /// routing skew observable from a plain `Stats` request.
@@ -208,8 +222,13 @@ impl<'a> Reader<'a> {
         ))
     }
 
-    fn blocks(&mut self, n: usize) -> Result<Vec<Block>, ChannelError> {
-        (0..n).map(|_| self.block()).collect()
+    /// Bulk block read into a caller-retained vector (cleared first),
+    /// decoding 16-byte words without per-element `Result` plumbing.
+    fn blocks_into(&mut self, n: usize, out: &mut Vec<Block>) -> Result<(), ChannelError> {
+        let raw = self.take(n * Block::BYTES)?;
+        out.clear();
+        Block::extend_from_le_bytes(raw, out);
+        Ok(())
     }
 
     fn lp_bytes(&mut self) -> Result<&'a [u8], ChannelError> {
@@ -234,23 +253,49 @@ fn malformed(expected: usize, actual: usize) -> ChannelError {
 }
 
 /// Appends the shared batch layout (`delta, n, z[n], y[n], bits(x)`) used
-/// by both [`Response::Cots`] and [`Response::CotChunk`].
-fn put_batch(out: &mut Vec<u8>, batch: &CotBatch) {
-    out.reserve(16 + 8 + 32 * batch.len() + batch.len() / 8 + 8);
+/// by both [`Response::Cots`] and [`Response::CotChunk`]: one exact
+/// reservation, then bulk little-endian word writes straight into `out`.
+/// This is the serving hot path's single payload copy — callers hand it a
+/// [`CotSlice`] borrowing pool storage and a retained scratch buffer.
+pub fn encode_cot_batch_into(out: &mut Vec<u8>, batch: CotSlice<'_>) {
+    out.reserve(16 + 8 + 32 * batch.len() + batch.len().div_ceil(8) + 8);
     out.extend_from_slice(&batch.delta.to_le_bytes());
     out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
-    for b in &batch.z {
-        out.extend_from_slice(&b.to_le_bytes());
-    }
-    for b in &batch.y {
-        out.extend_from_slice(&b.to_le_bytes());
-    }
-    out.extend_from_slice(&encode_bits(&batch.x));
+    Block::extend_le_bytes(batch.z, out);
+    Block::extend_le_bytes(batch.y, out);
+    encode_bits_into(batch.x, out);
 }
 
-/// Parses the shared batch layout; the batch is always a message's final
-/// field, so the bit vector consumes the remainder of `rest`.
-fn read_batch<'a>(r: &mut Reader<'a>, rest: &'a [u8]) -> Result<CotBatch, ChannelError> {
+/// Appends a complete [`Response::Cots`] payload built from a borrowed
+/// batch view (no intermediate `CotBatch` or `Vec` materialization).
+pub fn encode_cots_into(out: &mut Vec<u8>, batch: CotSlice<'_>) {
+    out.push(OP_COTS);
+    encode_cot_batch_into(out, batch);
+}
+
+/// Appends a complete [`Response::CotChunk`] payload built from a
+/// borrowed batch view.
+pub fn encode_cot_chunk_into(out: &mut Vec<u8>, seq: u64, batch: CotSlice<'_>) {
+    out.push(OP_COT_CHUNK);
+    out.extend_from_slice(&seq.to_le_bytes());
+    encode_cot_batch_into(out, batch);
+}
+
+/// Appends a complete [`Response::Error`] payload from a borrowed
+/// message (error paths should not clone strings just to encode them).
+pub fn encode_error_into(out: &mut Vec<u8>, message: &str) {
+    out.push(OP_ERROR);
+    put_lp_bytes(out, message.as_bytes());
+}
+
+/// Parses the shared batch layout into a caller-retained batch, reusing
+/// its allocations; the batch is always a message's final field, so the
+/// bit vector consumes the remainder of `rest`.
+fn read_batch_into<'a>(
+    r: &mut Reader<'a>,
+    rest: &'a [u8],
+    out: &mut CotBatch,
+) -> Result<(), ChannelError> {
     let delta = r.block()?;
     let n = r.u64()? as usize;
     // A hostile count must not drive allocation past the actual payload:
@@ -259,13 +304,21 @@ fn read_batch<'a>(r: &mut Reader<'a>, rest: &'a [u8]) -> Result<CotBatch, Channe
     if n.checked_mul(32).is_none_or(|need| need > remaining) {
         return Err(malformed(n.saturating_mul(32), remaining));
     }
-    let z = r.blocks(n)?;
-    let y = r.blocks(n)?;
-    let x = decode_bits(r.take(rest.len() - r.pos)?)?;
-    if x.len() != n {
-        return Err(malformed(n, x.len()));
+    out.delta = delta;
+    r.blocks_into(n, &mut out.z)?;
+    r.blocks_into(n, &mut out.y)?;
+    decode_bits_into(r.take(rest.len() - r.pos)?, &mut out.x)?;
+    if out.x.len() != n {
+        return Err(malformed(n, out.x.len()));
     }
-    Ok(CotBatch { delta, z, x, y })
+    Ok(())
+}
+
+/// Parses the shared batch layout into a fresh [`CotBatch`].
+fn read_batch<'a>(r: &mut Reader<'a>, rest: &'a [u8]) -> Result<CotBatch, ChannelError> {
+    let mut batch = CotBatch::default();
+    read_batch_into(r, rest, &mut batch)?;
+    Ok(batch)
 }
 
 impl Request {
@@ -331,23 +384,26 @@ impl Request {
 impl Response {
     /// Serializes to one message payload.
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends this message's payload to `out` (reusing its allocation);
+    /// byte-identical to [`Response::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Response::Welcome {
                 version,
                 max_request,
             } => {
-                let mut out = vec![OP_WELCOME];
+                out.push(OP_WELCOME);
                 out.extend_from_slice(&version.to_le_bytes());
                 out.extend_from_slice(&max_request.to_le_bytes());
-                out
             }
-            Response::Cots(batch) => {
-                let mut out = vec![OP_COTS];
-                put_batch(&mut out, batch);
-                out
-            }
+            Response::Cots(batch) => encode_cots_into(out, batch.as_slice()),
             Response::Stats(s) => {
-                let mut out = vec![OP_STATS_REPLY];
+                out.push(OP_STATS_REPLY);
                 for v in [
                     s.clients_served,
                     s.cots_served,
@@ -355,6 +411,9 @@ impl Response {
                     s.available,
                     s.shards,
                     s.warmup_refills,
+                    s.scratch_reuses,
+                    s.scratch_allocs,
+                    s.register_failures,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
@@ -363,26 +422,15 @@ impl Response {
                     out.extend_from_slice(&shard.available.to_le_bytes());
                     out.extend_from_slice(&shard.extensions_run.to_le_bytes());
                 }
-                out
             }
-            Response::Goodbye => vec![OP_GOODBYE],
-            Response::CotChunk { seq, batch } => {
-                let mut out = vec![OP_COT_CHUNK];
-                out.extend_from_slice(&seq.to_le_bytes());
-                put_batch(&mut out, batch);
-                out
-            }
+            Response::Goodbye => out.push(OP_GOODBYE),
+            Response::CotChunk { seq, batch } => encode_cot_chunk_into(out, *seq, batch.as_slice()),
             Response::StreamEnd { chunks, cots } => {
-                let mut out = vec![OP_STREAM_END];
+                out.push(OP_STREAM_END);
                 out.extend_from_slice(&chunks.to_le_bytes());
                 out.extend_from_slice(&cots.to_le_bytes());
-                out
             }
-            Response::Error(msg) => {
-                let mut out = vec![OP_ERROR];
-                put_lp_bytes(&mut out, msg.as_bytes());
-                out
-            }
+            Response::Error(msg) => encode_error_into(out, msg),
         }
     }
 
@@ -408,6 +456,9 @@ impl Response {
                 let available = r.u64()?;
                 let shards = r.u64()?;
                 let warmup_refills = r.u64()?;
+                let scratch_reuses = r.u64()?;
+                let scratch_allocs = r.u64()?;
+                let register_failures = r.u64()?;
                 let count = r.u64()? as usize;
                 // A hostile shard count must not drive allocation past the
                 // actual payload (16 bytes per shard entry).
@@ -430,6 +481,9 @@ impl Response {
                     available,
                     shards,
                     warmup_refills,
+                    scratch_reuses,
+                    scratch_allocs,
+                    register_failures,
                     shard_stats,
                 })
             }
@@ -450,6 +504,56 @@ impl Response {
         };
         r.finish()?;
         Ok(resp)
+    }
+}
+
+/// What [`decode_response_into`] found: the batch-carrying hot cases
+/// land in the caller's reused [`CotBatch`], everything else arrives as
+/// an owned [`Response`].
+#[derive(Debug)]
+pub enum HotResponse {
+    /// A [`Response::Cots`] payload; the batch is in the caller's buffer.
+    Cots,
+    /// A [`Response::CotChunk`] payload; the batch is in the caller's
+    /// buffer.
+    CotChunk {
+        /// Zero-based chunk sequence number within the subscription.
+        seq: u64,
+    },
+    /// Any non-batch response, decoded the ordinary (allocating) way.
+    Other(Response),
+}
+
+/// Decodes one response payload, steering the batch-carrying hot cases
+/// (`Cots`/`CotChunk`) into `batch` — reusing its allocations — and
+/// falling back to [`Response::decode`] for everything else. On the hot
+/// cases this is the receive path's only payload copy (wire buffer →
+/// caller's batch). On error (or a non-batch response) `batch`'s
+/// contents are unspecified.
+///
+/// # Errors
+///
+/// Same failure modes as [`Response::decode`].
+pub fn decode_response_into(
+    bytes: &[u8],
+    batch: &mut CotBatch,
+) -> Result<HotResponse, ChannelError> {
+    let (&op, rest) = bytes.split_first().ok_or_else(|| malformed(1, 0))?;
+    match op {
+        OP_COTS => {
+            let mut r = Reader::new(rest);
+            read_batch_into(&mut r, rest, batch)?;
+            r.finish()?;
+            Ok(HotResponse::Cots)
+        }
+        OP_COT_CHUNK => {
+            let mut r = Reader::new(rest);
+            let seq = r.u64()?;
+            read_batch_into(&mut r, rest, batch)?;
+            r.finish()?;
+            Ok(HotResponse::CotChunk { seq })
+        }
+        _ => Response::decode(bytes).map(HotResponse::Other),
     }
 }
 
@@ -496,6 +600,9 @@ mod tests {
             available: 77,
             shards: 2,
             warmup_refills: 5,
+            scratch_reuses: 990,
+            scratch_allocs: 6,
+            register_failures: 1,
             shard_stats: vec![
                 ShardStat {
                     available: 40,
@@ -559,10 +666,67 @@ mod tests {
     #[test]
     fn hostile_shard_count_rejected_without_allocation() {
         let mut bytes = vec![OP_STATS_REPLY];
-        for _ in 0..6 {
+        for _ in 0..9 {
             bytes.extend_from_slice(&0u64.to_le_bytes());
         }
         bytes.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_response_into_reuses_the_batch() {
+        let batch = CotBatch {
+            delta: Block::from(0xD5u128),
+            z: vec![Block::from(1u128), Block::from(2u128)],
+            x: vec![true, false],
+            y: vec![Block::from(4u128), Block::from(5u128)],
+        };
+        let mut reused = CotBatch::default();
+        match decode_response_into(&Response::Cots(batch.clone()).encode(), &mut reused).unwrap() {
+            HotResponse::Cots => assert_eq!(reused, batch),
+            other => panic!("unexpected {other:?}"),
+        }
+        let chunk = Response::CotChunk {
+            seq: 9,
+            batch: batch.clone(),
+        };
+        match decode_response_into(&chunk.encode(), &mut reused).unwrap() {
+            HotResponse::CotChunk { seq } => {
+                assert_eq!(seq, 9);
+                assert_eq!(reused, batch);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Non-batch responses pass through untouched.
+        match decode_response_into(&Response::Goodbye.encode(), &mut reused).unwrap() {
+            HotResponse::Other(Response::Goodbye) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_encoders_match_owned_encoding() {
+        let batch = CotBatch {
+            delta: Block::from(7u128),
+            z: vec![Block::from(1u128); 5],
+            x: vec![true, false, true, false, true],
+            y: vec![Block::from(2u128); 5],
+        };
+        let mut buf = Vec::new();
+        encode_cots_into(&mut buf, batch.as_slice());
+        assert_eq!(buf, Response::Cots(batch.clone()).encode());
+        buf.clear();
+        encode_cot_chunk_into(&mut buf, 3, batch.as_slice());
+        assert_eq!(
+            buf,
+            Response::CotChunk {
+                seq: 3,
+                batch: batch.clone()
+            }
+            .encode()
+        );
+        buf.clear();
+        encode_error_into(&mut buf, "nope");
+        assert_eq!(buf, Response::Error("nope".into()).encode());
     }
 }

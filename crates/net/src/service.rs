@@ -9,8 +9,11 @@
 //! pool-shard contention, which the lock-stealing `take` keeps off the
 //! fast path.
 
-use crate::frame::VERSION;
-use crate::proto::{Request, Response, ServiceStats, ShardStat};
+use crate::frame::{self, VERSION};
+use crate::proto::{
+    decode_response_into, encode_cot_chunk_into, encode_cots_into, encode_error_into, HotResponse,
+    Request, Response, ServiceStats, ShardStat,
+};
 use crate::transport::TcpTransport;
 use ironman_core::{CotBatch, Engine, SharedCotPool};
 use ironman_ot::channel::{ChannelError, ChannelStats, Transport};
@@ -24,6 +27,66 @@ use std::thread::JoinHandle;
 struct Counters {
     clients_served: AtomicU64,
     cots_served: AtomicU64,
+    scratch_reuses: AtomicU64,
+    scratch_allocs: AtomicU64,
+    register_failures: AtomicU64,
+}
+
+/// A session's retained response scratch: two alternating frame buffers
+/// (so the frame just handed to the kernel stays intact while the next
+/// response is encoded into the other buffer) plus the reuse accounting
+/// that makes the zero-copy claim observable through `Stats`.
+///
+/// Ownership contract: a buffer belongs to the encoder from
+/// [`Scratch::begin`] until [`Scratch::finish_and_send`] returns, and to
+/// the transport (conceptually, the in-flight frame) until the *next*
+/// `begin` flips back to it. Nothing else may write to it in between.
+#[derive(Debug, Default)]
+struct Scratch {
+    bufs: [Vec<u8>; 2],
+    which: usize,
+    cap_before: usize,
+}
+
+impl Scratch {
+    /// Flips to the other buffer and starts a frame in it.
+    fn begin(&mut self) -> &mut Vec<u8> {
+        self.which ^= 1;
+        let buf = &mut self.bufs[self.which];
+        self.cap_before = buf.capacity();
+        frame::begin_frame(buf);
+        buf
+    }
+
+    /// The buffer most recently started with [`Scratch::begin`].
+    fn buf(&mut self) -> &mut Vec<u8> {
+        &mut self.bufs[self.which]
+    }
+
+    /// Finishes the current frame and writes it to the socket (one
+    /// `write_all`, then flush). When `counters` is given — only the
+    /// batch-carrying responses pass it, so the reuse counters measure
+    /// exactly the correlation payload path and can *falsify* the
+    /// zero-copy claim — the response is accounted as a buffer reuse or
+    /// a growth.
+    fn finish_and_send(
+        &mut self,
+        ch: &mut TcpTransport,
+        counters: Option<&Counters>,
+    ) -> Result<(), ChannelError> {
+        let cap_before = self.cap_before;
+        let buf = &mut self.bufs[self.which];
+        frame::finish_frame(buf).map_err(ChannelError::from)?;
+        if let Some(counters) = counters {
+            if cap_before > 0 && buf.capacity() == cap_before {
+                counters.scratch_reuses.fetch_add(1, Ordering::Relaxed);
+            } else {
+                counters.scratch_allocs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        ch.send_frame(buf)?;
+        ch.flush()
+    }
 }
 
 /// State shared by the accept loop, every session thread, and the
@@ -66,6 +129,9 @@ impl ServiceShared {
             available: shard_stats.iter().map(|s| s.available).sum(),
             shards: self.pool.shard_count() as u64,
             warmup_refills: self.pool.warmup_refills(),
+            scratch_reuses: self.counters.scratch_reuses.load(Ordering::Relaxed),
+            scratch_allocs: self.counters.scratch_allocs.load(Ordering::Relaxed),
+            register_failures: self.counters.register_failures.load(Ordering::Relaxed),
             shard_stats,
         }
     }
@@ -78,11 +144,35 @@ pub struct CotServiceConfig {
     pub shards: usize,
     /// Seed for the per-shard FERRET sessions.
     pub seed: u64,
+    /// Pipelined supply (the default): each shard keeps one persistent
+    /// FERRET session extending ahead of demand on background threads,
+    /// with a fixed per-shard `Δ` and remnant-merging refills, so a
+    /// request under the shard lock is a cursor bump — never a session
+    /// bootstrap. `false` restores the PR-1 shape (a fresh session per
+    /// refill, inline on the demand path).
+    pub pipelined: bool,
 }
 
 impl Default for CotServiceConfig {
     fn default() -> Self {
-        CotServiceConfig { shards: 4, seed: 1 }
+        CotServiceConfig {
+            shards: 4,
+            seed: 1,
+            pipelined: true,
+        }
+    }
+}
+
+impl CotServiceConfig {
+    /// Builds the [`SharedCotPool`] this configuration describes (the
+    /// single dispatch point on `pipelined`, shared by [`CotService`]
+    /// and `ironman-cluster`'s server composition).
+    pub fn build_pool(&self, engine: &Engine) -> SharedCotPool {
+        if self.pipelined {
+            SharedCotPool::new_pipelined(engine, self.shards, self.seed)
+        } else {
+            SharedCotPool::new(engine, self.shards, self.seed)
+        }
     }
 }
 
@@ -107,7 +197,7 @@ impl CotService {
         cfg: CotServiceConfig,
     ) -> std::io::Result<CotService> {
         let listener = TcpListener::bind(addr)?;
-        let pool = Arc::new(SharedCotPool::new(engine, cfg.shards, cfg.seed));
+        let pool = Arc::new(cfg.build_pool(engine));
         Ok(Self::serve_on(listener, pool))
     }
 
@@ -186,21 +276,36 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServiceShared>) {
         if shared.stop.load(Ordering::SeqCst) {
             break; // the shutdown poke itself
         }
+        // Register a handle to the raw socket so a shutdown can unblock
+        // this session's reads. A session that cannot be registered is
+        // refused (dropping the stream closes it — the tracked close
+        // path): serving it would leave a thread no shutdown can reach,
+        // and the old silent-skip did exactly that.
+        let session_id = next_session_id;
+        next_session_id += 1;
+        match stream.try_clone() {
+            Ok(raw) => {
+                shared
+                    .sessions
+                    .lock()
+                    .expect("session stream lock")
+                    .insert(session_id, raw);
+            }
+            Err(e) => {
+                shared
+                    .counters
+                    .register_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "ironman-net: refusing session {session_id}: socket handle clone failed ({e})"
+                );
+                continue;
+            }
+        }
         shared
             .counters
             .clients_served
             .fetch_add(1, Ordering::Relaxed);
-        // Register a handle to the raw socket so a shutdown can unblock
-        // this session's reads; registration failure is not fatal.
-        let session_id = next_session_id;
-        next_session_id += 1;
-        if let Ok(raw) = stream.try_clone() {
-            shared
-                .sessions
-                .lock()
-                .expect("session stream lock")
-                .insert(session_id, raw);
-        }
         // Reap finished sessions so `threads` tracks live connections, not
         // the server's lifetime total.
         threads.retain(|t| !t.is_finished());
@@ -239,58 +344,98 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServiceShared>) {
 
 fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), ChannelError> {
     let max_request = shared.pool.max_request() as u64;
+    // Per-session retained buffers: requests land in `recv`, responses
+    // are encoded in place into the alternating `scratch` frame buffers.
+    // After the first few exchanges size them, the session's steady state
+    // allocates nothing per request (observable via `Stats`).
+    let mut recv = Vec::new();
+    let mut scratch = Scratch::default();
     loop {
-        let request = match Request::decode(&ch.recv_bytes()?) {
+        ch.recv_bytes_into(&mut recv)?;
+        let request = match Request::decode(&recv) {
             Ok(r) => r,
             Err(e) => {
                 // Answer garbage with an Error frame, then drop the session.
-                let _ = ch.send_bytes(Response::Error(e.to_string()).encode());
-                let _ = ch.flush();
+                scratch.begin();
+                encode_error_into(scratch.buf(), &e.to_string());
+                let _ = scratch.finish_and_send(&mut ch, None);
                 return Err(e);
             }
         };
-        let response = match request {
-            Request::Hello { .. } => Response::Welcome {
-                version: VERSION,
-                max_request,
-            },
+        // Only a successful batch-carrying response is accounted against
+        // the zero-copy reuse counters (see Scratch::finish_and_send).
+        let mut counted = false;
+        match request {
+            Request::Hello { .. } => {
+                scratch.begin();
+                Response::Welcome {
+                    version: VERSION,
+                    max_request,
+                }
+                .encode_into(scratch.buf());
+            }
             Request::RequestCot { n } => {
                 if n == 0 || n > max_request {
-                    Response::Error(format!("batch size {n} outside 1..={max_request}"))
+                    scratch.begin();
+                    encode_error_into(
+                        scratch.buf(),
+                        &format!("batch size {n} outside 1..={max_request}"),
+                    );
                 } else {
-                    // A panicking take must answer this client, not kill its
-                    // session silently (and through the hung socket, the
-                    // client).
+                    // The zero-copy hot path: borrow the shard's ring and
+                    // serialize straight into the retained frame buffer —
+                    // pool storage to socket in one copy. A panicking take
+                    // must answer this client, not kill its session
+                    // silently (and through the hung socket, the client).
+                    scratch.begin();
                     let take = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        shared.pool.take(n as usize)
+                        shared
+                            .pool
+                            .take_with(n as usize, |slice| encode_cots_into(scratch.buf(), slice))
                     }));
                     match take {
-                        Ok(batch) => {
-                            shared
-                                .counters
-                                .cots_served
-                                .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                            Response::Cots(batch)
+                        Ok(()) => {
+                            shared.counters.cots_served.fetch_add(n, Ordering::Relaxed);
+                            counted = true;
                         }
-                        Err(_) => Response::Error("internal pool failure".to_string()),
+                        Err(_) => {
+                            // The frame may be half-written; restart it.
+                            scratch.begin();
+                            encode_error_into(scratch.buf(), "internal pool failure");
+                        }
                     }
                 }
             }
-            Request::Stats => Response::Stats(shared.stats()),
+            Request::Stats => {
+                scratch.begin();
+                Response::Stats(shared.stats()).encode_into(scratch.buf());
+            }
             Request::Shutdown => {
                 // Answer first (the requester deserves its Goodbye), then
                 // actually stop the server: flag + session sweep + listener
                 // poke, exactly as CotService::shutdown does.
-                ch.send_bytes(Response::Goodbye.encode())?;
-                ch.flush()?;
+                scratch.begin();
+                Response::Goodbye.encode_into(scratch.buf());
+                scratch.finish_and_send(&mut ch, None)?;
                 shared.initiate_shutdown();
                 return Ok(());
             }
             Request::Subscribe { batch, credits } => {
                 if batch == 0 || batch > max_request {
-                    Response::Error(format!("chunk size {batch} outside 1..={max_request}"))
+                    scratch.begin();
+                    encode_error_into(
+                        scratch.buf(),
+                        &format!("chunk size {batch} outside 1..={max_request}"),
+                    );
                 } else {
-                    serve_subscription(&mut ch, shared, batch as usize, credits)?;
+                    serve_subscription(
+                        &mut ch,
+                        shared,
+                        batch as usize,
+                        credits,
+                        &mut recv,
+                        &mut scratch,
+                    )?;
                     continue; // StreamEnd already sent; back to one-shot mode
                 }
             }
@@ -298,11 +443,11 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
             // subscription; outside one they are a client bug, answered
             // (session kept) rather than dropped.
             Request::Credit { .. } | Request::Unsubscribe => {
-                Response::Error("no active subscription".to_string())
+                scratch.begin();
+                encode_error_into(scratch.buf(), "no active subscription");
             }
-        };
-        ch.send_bytes(response.encode())?;
-        ch.flush()?;
+        }
+        scratch.finish_and_send(&mut ch, counted.then_some(&shared.counters))?;
     }
 }
 
@@ -316,11 +461,19 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
 /// bounds pool drain and socket buffering instead of being buried — the
 /// serving-side analogue of the Ironman PU streaming extension outputs at
 /// the rate the compute side absorbs them.
+///
+/// Chunks ride the session's two alternating scratch buffers: chunk
+/// `n + 1` is taken and encoded into one buffer while the kernel is
+/// still draining chunk `n`'s bytes from the other (`write_all` returns
+/// once the socket buffer holds the frame, not once the peer read it),
+/// so serialization overlaps transmission without any extra copies.
 fn serve_subscription(
     ch: &mut TcpTransport,
     shared: &ServiceShared,
     batch: usize,
     mut credits: u64,
+    recv: &mut Vec<u8>,
+    scratch: &mut Scratch,
 ) -> Result<(), ChannelError> {
     let mut chunks = 0u64;
     let mut cots = 0u64;
@@ -328,61 +481,63 @@ fn serve_subscription(
         if shared.stop.load(Ordering::SeqCst) {
             // Server-initiated shutdown ends the stream cleanly: the
             // trailer tells the client exactly what it was sent.
-            ch.send_bytes(Response::StreamEnd { chunks, cots }.encode())?;
-            ch.flush()?;
-            return Ok(());
+            scratch.begin();
+            Response::StreamEnd { chunks, cots }.encode_into(scratch.buf());
+            return scratch.finish_and_send(ch, None);
         }
         if credits == 0 {
             // Grant exhausted: block until the client extends or ends the
             // stream (its grants ride the full-duplex socket, so they are
             // usually already queued by the time we look).
-            match Request::decode(&ch.recv_bytes()?) {
+            ch.recv_bytes_into(recv)?;
+            match Request::decode(recv) {
                 Ok(Request::Credit { n }) => credits = credits.saturating_add(n),
                 Ok(Request::Unsubscribe) => {
-                    ch.send_bytes(Response::StreamEnd { chunks, cots }.encode())?;
-                    ch.flush()?;
-                    return Ok(());
+                    scratch.begin();
+                    Response::StreamEnd { chunks, cots }.encode_into(scratch.buf());
+                    return scratch.finish_and_send(ch, None);
                 }
                 Ok(other) => {
                     let msg = format!("unexpected {other:?} inside a subscription");
-                    let _ = ch.send_bytes(Response::Error(msg.clone()).encode());
-                    let _ = ch.flush();
+                    scratch.begin();
+                    encode_error_into(scratch.buf(), &msg);
+                    let _ = scratch.finish_and_send(ch, None);
                     return Err(ChannelError::Io(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
                         msg,
                     )));
                 }
                 Err(e) => {
-                    let _ = ch.send_bytes(Response::Error(e.to_string()).encode());
-                    let _ = ch.flush();
+                    scratch.begin();
+                    encode_error_into(scratch.buf(), &e.to_string());
+                    let _ = scratch.finish_and_send(ch, None);
                     return Err(e);
                 }
             }
         } else {
-            let take =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.pool.take(batch)));
+            // Zero-copy push: borrow the shard's ring and serialize the
+            // chunk straight into the retained frame buffer.
+            scratch.begin();
+            let take = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shared.pool.take_with(batch, |slice| {
+                    encode_cot_chunk_into(scratch.buf(), chunks, slice)
+                })
+            }));
             match take {
-                Ok(b) => {
-                    cots += b.len() as u64;
+                Ok(()) => {
+                    cots += batch as u64;
                     shared
                         .counters
                         .cots_served
-                        .fetch_add(b.len() as u64, Ordering::Relaxed);
-                    ch.send_bytes(
-                        Response::CotChunk {
-                            seq: chunks,
-                            batch: b,
-                        }
-                        .encode(),
-                    )?;
-                    ch.flush()?;
+                        .fetch_add(batch as u64, Ordering::Relaxed);
+                    scratch.finish_and_send(ch, Some(&shared.counters))?;
                     chunks += 1;
                     credits -= 1;
                 }
                 Err(_) => {
-                    let _ = ch
-                        .send_bytes(Response::Error("internal pool failure".to_string()).encode());
-                    let _ = ch.flush();
+                    scratch.begin(); // the chunk frame may be half-written
+                    encode_error_into(scratch.buf(), "internal pool failure");
+                    let _ = scratch.finish_and_send(ch, None);
                     return Err(ChannelError::Io(std::io::Error::other(
                         "pool take panicked mid-subscription",
                     )));
@@ -393,10 +548,19 @@ fn serve_subscription(
 }
 
 /// A client session against a [`CotService`].
+///
+/// The client retains one frame receive buffer for the session's
+/// lifetime; the buffer-reusing request paths
+/// ([`CotClient::request_cots_into`], [`CotSubscription::next_chunk_into`])
+/// decode straight from it into a caller-retained [`CotBatch`], so a
+/// steady-state consumer allocates nothing per batch.
 #[derive(Debug)]
 pub struct CotClient {
     ch: TcpTransport,
     max_request: u64,
+    /// Retained frame receive buffer (the wire side of the zero-copy
+    /// receive path).
+    recv_buf: Vec<u8>,
 }
 
 impl CotClient {
@@ -415,7 +579,11 @@ impl CotClient {
             .encode(),
         )?;
         match Response::decode(&ch.recv_bytes()?)? {
-            Response::Welcome { max_request, .. } => Ok(CotClient { ch, max_request }),
+            Response::Welcome { max_request, .. } => Ok(CotClient {
+                ch,
+                max_request,
+                recv_buf: Vec::new(),
+            }),
             Response::Error(msg) => Err(service_error(&msg)),
             other => Err(unexpected_response(&other)),
         }
@@ -437,6 +605,20 @@ impl CotClient {
     /// `ClusterClient`); otherwise fails on transport errors or a
     /// server-side [`Response::Error`].
     pub fn request_cots(&mut self, n: usize) -> Result<CotBatch, ChannelError> {
+        let mut out = CotBatch::default();
+        self.request_cots_into(n, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fetches `n` fresh correlations into a caller-retained batch,
+    /// reusing its allocations — the zero-copy form of
+    /// [`CotClient::request_cots`]. On error `out`'s contents are
+    /// unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CotClient::request_cots`].
+    pub fn request_cots_into(&mut self, n: usize, out: &mut CotBatch) -> Result<(), ChannelError> {
         if n == 0 || n as u64 > self.max_request {
             return Err(ChannelError::RequestTooLarge {
                 max: self.max_request,
@@ -445,10 +627,14 @@ impl CotClient {
         }
         self.ch
             .send_bytes(Request::RequestCot { n: n as u64 }.encode())?;
-        match Response::decode(&self.ch.recv_bytes()?)? {
-            Response::Cots(batch) => Ok(batch),
-            Response::Error(msg) => Err(service_error(&msg)),
-            other => Err(unexpected_response(&other)),
+        self.ch.recv_bytes_into(&mut self.recv_buf)?;
+        match decode_response_into(&self.recv_buf, out)? {
+            HotResponse::Cots => Ok(()),
+            HotResponse::Other(Response::Error(msg)) => Err(service_error(&msg)),
+            HotResponse::Other(other) => Err(unexpected_response(&other)),
+            HotResponse::CotChunk { seq } => Err(stream_violation(&format!(
+                "chunk seq {seq} outside a subscription"
+            ))),
         }
     }
 
@@ -591,9 +777,22 @@ impl CotSubscription<'_> {
     /// violation (out-of-order sequence, wrong chunk size, a chunk without
     /// a granted credit, or a trailer that disagrees with what arrived).
     pub fn next_chunk(&mut self) -> Result<Option<CotBatch>, ChannelError> {
+        let mut out = CotBatch::default();
+        Ok(self.next_chunk_into(&mut out)?.then_some(out))
+    }
+
+    /// Receives the next chunk into a caller-retained batch, reusing its
+    /// allocations — the zero-copy form of
+    /// [`CotSubscription::next_chunk`]. Returns `false` once the stream
+    /// is over (in which case `out`'s contents are unspecified).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CotSubscription::next_chunk`].
+    pub fn next_chunk_into(&mut self, out: &mut CotBatch) -> Result<bool, ChannelError> {
         if self.ended || self.remaining == 0 {
             self.close()?;
-            return Ok(None);
+            return Ok(false);
         }
         // Top up the window before blocking: grants ride the full-duplex
         // socket while earlier chunks are still in flight, so the server
@@ -608,29 +807,34 @@ impl CotSubscription<'_> {
                 self.granted += add;
             }
         }
-        match Response::decode(&self.client.ch.recv_bytes()?)? {
-            Response::CotChunk { seq, batch } => {
-                if batch.len() as u64 != self.batch {
+        let client = &mut *self.client;
+        client.ch.recv_bytes_into(&mut client.recv_buf)?;
+        match decode_response_into(&client.recv_buf, out)? {
+            HotResponse::CotChunk { seq } => {
+                if out.len() as u64 != self.batch {
                     return Err(stream_violation(&format!(
                         "chunk of {} correlations, subscribed for {}",
-                        batch.len(),
+                        out.len(),
                         self.batch
                     )));
                 }
-                self.account_chunk(seq, &batch)?;
-                Ok(Some(batch))
+                self.account_chunk(seq, out.len() as u64)?;
+                Ok(true)
             }
             // The server may end the stream early (shutdown): its trailer
             // must still agree with every chunk this side observed.
             // `remaining` is deliberately left non-zero so the truncation
             // is observable through `chunks_remaining`.
-            Response::StreamEnd { chunks, cots } => {
+            HotResponse::Other(Response::StreamEnd { chunks, cots }) => {
                 self.ended = true;
                 self.verify_trailer(chunks, cots)?;
-                Ok(None)
+                Ok(false)
             }
-            Response::Error(msg) => Err(service_error(&msg)),
-            other => Err(unexpected_response(&other)),
+            HotResponse::Other(Response::Error(msg)) => Err(service_error(&msg)),
+            HotResponse::Other(other) => Err(unexpected_response(&other)),
+            HotResponse::Cots => Err(stream_violation(
+                "one-shot Cots response inside a subscription",
+            )),
         }
     }
 
@@ -664,7 +868,7 @@ impl CotSubscription<'_> {
     /// sequence order, credit consumption (a chunk without a granted
     /// credit is the "negative credits" case this subscription exists to
     /// rule out), and the running totals.
-    fn account_chunk(&mut self, seq: u64, batch: &CotBatch) -> Result<(), ChannelError> {
+    fn account_chunk(&mut self, seq: u64, len: u64) -> Result<(), ChannelError> {
         if seq != self.next_seq {
             return Err(stream_violation(&format!(
                 "chunk out of order: got seq {seq}, expected {}",
@@ -677,7 +881,7 @@ impl CotSubscription<'_> {
             .ok_or_else(|| stream_violation("server pushed a chunk without a granted credit"))?;
         self.next_seq += 1;
         self.remaining = self.remaining.saturating_sub(1);
-        self.cots_received += batch.len() as u64;
+        self.cots_received += len;
         Ok(())
     }
 
@@ -699,16 +903,25 @@ impl CotSubscription<'_> {
         }
         self.client.ch.send_bytes(Request::Unsubscribe.encode())?;
         // Chunks covered by already-granted credits may still be in
-        // flight ahead of the trailer; drain and count them.
+        // flight ahead of the trailer; drain and count them (into one
+        // reused batch — drained payloads are accounted, not kept).
+        let mut drained = CotBatch::default();
         loop {
-            match Response::decode(&self.client.ch.recv_bytes()?)? {
-                Response::CotChunk { seq, batch } => self.account_chunk(seq, &batch)?,
-                Response::StreamEnd { chunks, cots } => {
+            let client = &mut *self.client;
+            client.ch.recv_bytes_into(&mut client.recv_buf)?;
+            match decode_response_into(&client.recv_buf, &mut drained)? {
+                HotResponse::CotChunk { seq } => self.account_chunk(seq, drained.len() as u64)?,
+                HotResponse::Other(Response::StreamEnd { chunks, cots }) => {
                     self.ended = true;
                     return self.verify_trailer(chunks, cots);
                 }
-                Response::Error(msg) => return Err(service_error(&msg)),
-                other => return Err(unexpected_response(&other)),
+                HotResponse::Other(Response::Error(msg)) => return Err(service_error(&msg)),
+                HotResponse::Other(other) => return Err(unexpected_response(&other)),
+                HotResponse::Cots => {
+                    return Err(stream_violation(
+                        "one-shot Cots response inside a subscription",
+                    ))
+                }
             }
         }
     }
@@ -758,7 +971,11 @@ mod tests {
     }
 
     fn toy_service(shards: usize) -> CotService {
-        let cfg = CotServiceConfig { shards, seed: 11 };
+        let cfg = CotServiceConfig {
+            shards,
+            seed: 11,
+            ..CotServiceConfig::default()
+        };
         CotService::serve("127.0.0.1:0", &toy_engine(), cfg).expect("bind loopback")
     }
 
@@ -775,6 +992,32 @@ mod tests {
         assert_eq!(stats.clients_served, 1);
         let final_stats = service.shutdown();
         assert_eq!(final_stats.cots_served, 64);
+    }
+
+    #[test]
+    fn scratch_reuse_counters_make_zero_copy_observable() {
+        let service = toy_service(2);
+        let mut client = CotClient::connect(service.addr(), "reuser").unwrap();
+        let mut reused = CotBatch::default();
+        for _ in 0..20 {
+            client.request_cots_into(500, &mut reused).unwrap();
+            assert_eq!(reused.len(), 500);
+            reused.verify().unwrap();
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cots_served, 20 * 500);
+        // Only the 20 batch-carrying Cots responses are accounted: the
+        // two alternating scratch buffers grow once each, then every
+        // steady-state batch reuses them.
+        assert_eq!(stats.scratch_allocs + stats.scratch_reuses, 20);
+        assert!(
+            stats.scratch_reuses >= 15,
+            "expected steady-state buffer reuse, got {} reuses / {} allocs",
+            stats.scratch_reuses,
+            stats.scratch_allocs
+        );
+        assert_eq!(stats.register_failures, 0);
+        service.shutdown();
     }
 
     #[test]
@@ -821,6 +1064,13 @@ mod tests {
         client.request_cots(8).unwrap().verify().unwrap();
         let stats = client.stats().unwrap();
         assert_eq!(stats.cots_served, CHUNKS * BATCH as u64 + 8);
+        // Streamed chunks ride the two retained scratch buffers: after
+        // they size themselves, every push is a reuse.
+        assert!(
+            stats.scratch_reuses >= CHUNKS - 4,
+            "expected streamed chunks to reuse scratch buffers, got {} reuses",
+            stats.scratch_reuses
+        );
         service.shutdown();
     }
 

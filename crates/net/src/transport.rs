@@ -91,6 +91,72 @@ impl<R: Read, W: Write> StreamTransport<R, W> {
         Ok(())
     }
 
+    /// Sends one pre-built frame (header + payload, as produced by
+    /// [`frame::begin_frame`]/[`frame::finish_frame`]) with a single
+    /// `write_all` and **no intermediate allocation** — the zero-copy
+    /// counterpart of [`Transport::send_bytes`]. Accounting is identical:
+    /// the payload bytes count toward [`ChannelStats`], the header toward
+    /// the wire totals. Like `send_bytes`, the write is coalesced (frames
+    /// at least as large as the internal buffer go straight to the
+    /// socket); call [`StreamTransport::flush`] to force it out.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Malformed`] when `framed` is shorter than a frame
+    /// header (it was not built with `begin_frame`/`finish_frame`);
+    /// propagates stream errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the header's declared length matches the
+    /// payload actually present.
+    pub fn send_frame(&mut self, framed: &[u8]) -> Result<(), ChannelError> {
+        let payload_len =
+            framed
+                .len()
+                .checked_sub(FRAME_HEADER_LEN)
+                .ok_or(ChannelError::Malformed {
+                    expected: FRAME_HEADER_LEN,
+                    actual: framed.len(),
+                })?;
+        debug_assert_eq!(
+            u32::from_le_bytes(
+                framed[..FRAME_HEADER_LEN]
+                    .try_into()
+                    .expect("4-byte header")
+            ),
+            payload_len as u32,
+            "frame not finished with finish_frame"
+        );
+        self.writer.write_all(framed)?;
+        self.stats.bytes_sent += payload_len as u64;
+        self.stats.messages_sent += 1;
+        self.wire_sent += framed.len() as u64;
+        self.sent_since_recv = true;
+        self.pending_flush = true;
+        Ok(())
+    }
+
+    /// Receives one frame's payload into a caller-retained buffer,
+    /// reusing its allocation — the zero-copy counterpart of
+    /// [`Transport::recv_bytes`] (same flush-on-direction-switch and
+    /// accounting semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub fn recv_bytes_into(&mut self, buf: &mut Vec<u8>) -> Result<(), ChannelError> {
+        self.flush()?;
+        frame::read_frame_into(&mut self.reader, buf).map_err(ChannelError::from)?;
+        self.stats.bytes_received += buf.len() as u64;
+        self.wire_received += (FRAME_HEADER_LEN + buf.len()) as u64;
+        if self.sent_since_recv {
+            self.stats.rounds += 1;
+            self.sent_since_recv = false;
+        }
+        Ok(())
+    }
+
     /// Bytes actually written to the wire (payload + frame headers +
     /// handshake).
     pub fn wire_bytes_sent(&self) -> u64 {

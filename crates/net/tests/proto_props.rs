@@ -5,7 +5,7 @@
 //! on arbitrary input.
 
 use ironman_core::CotBatch;
-use ironman_net::proto::{Request, Response, ServiceStats, ShardStat};
+use ironman_net::proto::{self, Request, Response, ServiceStats, ShardStat};
 use ironman_prg::Block;
 use proptest::prelude::*;
 
@@ -64,7 +64,7 @@ proptest! {
     /// including zero shards.
     #[test]
     fn stats_round_trip(
-        fixed in proptest::collection::vec(any::<u64>(), 6..7),
+        fixed in proptest::collection::vec(any::<u64>(), 9..10),
         shard_words in proptest::collection::vec(any::<u64>(), 0..17),
     ) {
         let shard_stats: Vec<ShardStat> = shard_words
@@ -78,6 +78,9 @@ proptest! {
             available: fixed[3],
             shards: fixed[4],
             warmup_refills: fixed[5],
+            scratch_reuses: fixed[6],
+            scratch_allocs: fixed[7],
+            register_failures: fixed[8],
             shard_stats,
         });
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -109,5 +112,78 @@ proptest! {
     fn arbitrary_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = Request::decode(&bytes);
         let _ = Response::decode(&bytes);
+    }
+
+    /// The zero-copy batch encoder is byte-identical to the original
+    /// element-wise layout (reference re-implemented here) for arbitrary
+    /// batches, and its output decodes back through the buffer-reusing
+    /// hot path — with the scratch and batch buffers dirty from a
+    /// previous, differently-sized message.
+    #[test]
+    fn bulk_batch_encoder_matches_reference_and_round_trips(
+        chunked in any::<bool>(),
+        seq in any::<u64>(),
+        delta in any::<u128>(),
+        n in 0usize..48,
+        z in proptest::collection::vec(any::<u128>(), 48..49),
+        y in proptest::collection::vec(any::<u128>(), 48..49),
+        x in proptest::collection::vec(any::<bool>(), 48..49),
+        prior in 0usize..48,
+    ) {
+        let batch = CotBatch {
+            delta: Block::from(delta),
+            z: z[..n].iter().copied().map(Block::from).collect(),
+            x: x[..n].to_vec(),
+            y: y[..n].iter().copied().map(Block::from).collect(),
+        };
+        // Reference: the pre-zero-copy element-wise encoder.
+        let mut reference = Vec::new();
+        if chunked {
+            reference.push(0x85); // OP_COT_CHUNK
+            reference.extend_from_slice(&seq.to_le_bytes());
+        } else {
+            reference.push(0x82); // OP_COTS
+        }
+        reference.extend_from_slice(&batch.delta.to_le_bytes());
+        reference.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+        for b in &batch.z {
+            reference.extend_from_slice(&b.to_le_bytes());
+        }
+        for b in &batch.y {
+            reference.extend_from_slice(&b.to_le_bytes());
+        }
+        reference.extend_from_slice(&ironman_ot::channel::encode_bits(&batch.x));
+
+        // Reuse shape: the scratch buffer arrives already sized by a
+        // previous, differently-sized encode (the per-session retained
+        // buffer's steady state) and the new encoding must come out
+        // byte-identical to a fresh one.
+        let mut scratch = Vec::new();
+        proto::encode_cots_into(&mut scratch, batch.as_slice()); // prior use
+        scratch.clear();
+        if chunked {
+            proto::encode_cot_chunk_into(&mut scratch, seq, batch.as_slice());
+        } else {
+            proto::encode_cots_into(&mut scratch, batch.as_slice());
+        }
+        prop_assert_eq!(&scratch, &reference);
+
+        // Decode back through the buffer-reusing path, into a batch that
+        // already holds a previous (differently sized) payload.
+        let mut reused = CotBatch {
+            delta: Block::from(1u128),
+            z: vec![Block::from(2u128); prior],
+            x: vec![true; prior],
+            y: vec![Block::from(3u128); prior],
+        };
+        match proto::decode_response_into(&scratch, &mut reused).unwrap() {
+            proto::HotResponse::Cots => prop_assert!(!chunked),
+            proto::HotResponse::CotChunk { seq: got } => {
+                prop_assert!(chunked);
+                prop_assert_eq!(got, seq);
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+        prop_assert_eq!(reused, batch);
     }
 }

@@ -86,14 +86,23 @@ impl From<std::io::Error> for ChannelError {
 /// [`Transport::send_bits`] and the `ironman-net` wire codec both use this
 /// layout, so local and socket paths serialize identically.
 pub fn encode_bits(bits: &[bool]) -> Vec<u8> {
-    let mut bytes = vec![0u8; bits.len().div_ceil(8) + 8];
-    bytes[..8].copy_from_slice(&(bits.len() as u64).to_le_bytes());
+    let mut bytes = Vec::new();
+    encode_bits_into(bits, &mut bytes);
+    bytes
+}
+
+/// Appending form of [`encode_bits`] for serialization hot paths: writes
+/// the identical framing onto the end of `out`, reusing its allocation.
+pub fn encode_bits_into(bits: &[bool], out: &mut Vec<u8>) {
+    let start = out.len();
+    out.resize(start + bits.len().div_ceil(8) + 8, 0);
+    out[start..start + 8].copy_from_slice(&(bits.len() as u64).to_le_bytes());
+    let packed = &mut out[start + 8..];
     for (i, &b) in bits.iter().enumerate() {
         if b {
-            bytes[8 + i / 8] |= 1 << (i % 8);
+            packed[i / 8] |= 1 << (i % 8);
         }
     }
-    bytes
 }
 
 /// Inverse of [`encode_bits`].
@@ -103,6 +112,18 @@ pub fn encode_bits(bits: &[bool]) -> Vec<u8> {
 /// Returns [`ChannelError::Malformed`] when the header is truncated or the
 /// payload length disagrees with the declared bit count.
 pub fn decode_bits(bytes: &[u8]) -> Result<Vec<bool>, ChannelError> {
+    let mut bits = Vec::new();
+    decode_bits_into(bytes, &mut bits)?;
+    Ok(bits)
+}
+
+/// Buffer-reusing form of [`decode_bits`]: clears `out` and fills it with
+/// the decoded bits, keeping its allocation.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode_bits`].
+pub fn decode_bits_into(bytes: &[u8], out: &mut Vec<bool>) -> Result<(), ChannelError> {
     if bytes.len() < 8 {
         return Err(ChannelError::Malformed {
             expected: 8,
@@ -116,9 +137,10 @@ pub fn decode_bits(bytes: &[u8]) -> Result<Vec<bool>, ChannelError> {
             actual: bytes.len(),
         });
     }
-    Ok((0..len)
-        .map(|i| bytes[8 + i / 8] >> (i % 8) & 1 == 1)
-        .collect())
+    out.clear();
+    out.reserve(len);
+    out.extend((0..len).map(|i| bytes[8 + i / 8] >> (i % 8) & 1 == 1));
+    Ok(())
 }
 
 /// Communication statistics of one endpoint.

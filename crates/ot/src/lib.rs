@@ -43,6 +43,7 @@ pub mod ferret;
 pub mod iknp;
 pub mod mot;
 pub mod params;
+pub mod session;
 pub mod spcot;
 pub mod spcot_batch;
 
@@ -50,3 +51,4 @@ pub use channel::{run_protocol, ChannelStats, LocalChannel, Transport};
 pub use cot::{CotReceiver, CotSender};
 pub use dealer::Dealer;
 pub use params::FerretParams;
+pub use session::{CotSession, SessionBatch, SessionStopped};

@@ -1,0 +1,256 @@
+//! A persistent, pipelined two-party FERRET session.
+//!
+//! [`crate::ferret::run_extensions`] bootstraps a fresh session — dealer,
+//! base correlations, LPN matrix, two protocol threads — for every call,
+//! which costs several times the marginal extension itself and forces a
+//! new `Δ` on every refill. [`CotSession`] instead keeps one bootstrapped
+//! session alive (the deployment shape the paper's host-side streaming
+//! assumes): the two party threads run [`crate::ferret::FerretSender`] /
+//! [`crate::ferret::FerretReceiver`] in lockstep over an in-process
+//! channel pair and push each extension's matched output into a **bounded
+//! staging channel**. Consumers drain staged outputs with a plain channel
+//! receive — no protocol work on their critical path — and the bound is
+//! the backpressure: once `lookahead` extensions are staged, the party
+//! threads block until demand drains one, so an idle session costs no CPU.
+//!
+//! Because the session never restarts, `Δ` is fixed for its whole
+//! lifetime: every staged batch carries the same offset, and downstream
+//! buffers may merge outputs across refills instead of discarding
+//! session-boundary remnants.
+
+use crate::channel::LocalChannel;
+use crate::dealer::Dealer;
+use crate::ferret::{FerretConfig, FerretReceiver, FerretSender};
+use ironman_prg::Block;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// One extension's matched output from a [`CotSession`] (all under the
+/// session's fixed `Δ`).
+#[derive(Clone, Debug)]
+pub struct SessionBatch {
+    /// Sender strings `z`.
+    pub z: Vec<Block>,
+    /// Receiver choice bits `x`.
+    pub x: Vec<bool>,
+    /// Receiver strings `y` with `z = y ⊕ x·Δ`.
+    pub y: Vec<Block>,
+}
+
+impl SessionBatch {
+    /// Correlations in the batch.
+    pub fn len(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty()
+    }
+}
+
+/// The session's party threads have exited (panic or teardown); no
+/// further batches will arrive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionStopped;
+
+impl std::fmt::Display for SessionStopped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FERRET session threads stopped")
+    }
+}
+
+impl std::error::Error for SessionStopped {}
+
+/// A live two-party FERRET session producing extension outputs ahead of
+/// demand. Dropping the handle stops both party threads and joins them.
+#[derive(Debug)]
+pub struct CotSession {
+    delta: Block,
+    per_extension: usize,
+    /// `Option` so `Drop` can hang up before joining the threads.
+    out_rx: Option<mpsc::Receiver<SessionBatch>>,
+    sender_thread: Option<JoinHandle<()>>,
+    receiver_thread: Option<JoinHandle<()>>,
+}
+
+impl CotSession {
+    /// Bootstraps a session (dealer, base correlations, both parties) and
+    /// starts its two protocol threads. `seed` drives the dealer exactly
+    /// as in [`crate::ferret::run_extensions`], so the output stream is
+    /// bit-identical to per-call runs with the same seed. `lookahead` is
+    /// the number of extensions staged ahead of demand (clamped to ≥ 1).
+    pub fn spawn(cfg: &FerretConfig, seed: u64, lookahead: usize) -> CotSession {
+        let mut dealer = Dealer::new(seed);
+        let delta = dealer.random_delta();
+        let (s_base, r_base) = dealer.deal_cot(delta, cfg.base_cots_required());
+        let (mut cs, mut cr) = LocalChannel::pair();
+        // Unbounded z hand-off: the protocol's own interactivity already
+        // keeps the sender within one extension of the receiver.
+        let (z_tx, z_rx) = mpsc::channel::<Vec<Block>>();
+        let (out_tx, out_rx) = mpsc::sync_channel::<SessionBatch>(lookahead.max(1));
+        let cfg_s = cfg.clone();
+        let cfg_r = cfg.clone();
+
+        let sender_thread = std::thread::spawn(move || {
+            let mut sender = FerretSender::new(cfg_s, s_base, seed);
+            // A channel error in either direction means the peer thread or
+            // the consumer hung up: exit quietly, teardown is in progress.
+            while let Ok(z) = sender.extend(&mut cs) {
+                if z_tx.send(z).is_err() {
+                    return;
+                }
+            }
+        });
+        let receiver_thread = std::thread::spawn(move || {
+            // The receiver thread also merges: iteration i's (x, y) pairs
+            // with iteration i's z (both sides run extensions in lockstep,
+            // so the z queue is index-aligned).
+            let mut receiver = FerretReceiver::new(cfg_r, r_base, seed);
+            while let Ok((x, y)) = receiver.extend(&mut cr) {
+                let Ok(z) = z_rx.recv() else { return };
+                if out_tx.send(SessionBatch { z, x, y }).is_err() {
+                    return;
+                }
+            }
+        });
+
+        CotSession {
+            delta,
+            per_extension: cfg.usable_outputs(),
+            out_rx: Some(out_rx),
+            sender_thread: Some(sender_thread),
+            receiver_thread: Some(receiver_thread),
+        }
+    }
+
+    /// The session's fixed correlation offset `Δ`.
+    pub fn delta(&self) -> Block {
+        self.delta
+    }
+
+    /// Usable correlations per staged batch.
+    pub fn per_extension(&self) -> usize {
+        self.per_extension
+    }
+
+    /// Blocks for the next staged extension output.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionStopped`] when the party threads have exited.
+    pub fn recv(&self) -> Result<SessionBatch, SessionStopped> {
+        self.out_rx
+            .as_ref()
+            .expect("receiver present until drop")
+            .recv()
+            .map_err(|_| SessionStopped)
+    }
+
+    /// Takes a staged extension output if one is ready; `Ok(None)` when
+    /// the staging buffer is merely empty (the threads are still
+    /// extending), without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionStopped`] when the party threads have exited — distinct
+    /// from the empty case so pollers (e.g. a warm-up sweep) can react
+    /// to a dead session instead of waiting for output that will never
+    /// come.
+    pub fn try_recv(&self) -> Result<Option<SessionBatch>, SessionStopped> {
+        match self
+            .out_rx
+            .as_ref()
+            .expect("receiver present until drop")
+            .try_recv()
+        {
+            Ok(batch) => Ok(Some(batch)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(SessionStopped),
+        }
+    }
+}
+
+impl Drop for CotSession {
+    /// Hangs up the staging channel (which unwinds both party threads:
+    /// the receiver's next staged send fails, and the sender's next
+    /// protocol receive disconnects) and joins them.
+    fn drop(&mut self) {
+        self.out_rx = None;
+        for t in [self.receiver_thread.take(), self.sender_thread.take()]
+            .into_iter()
+            .flatten()
+        {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ferret::run_extensions;
+    use crate::params::FerretParams;
+
+    fn toy_cfg() -> FerretConfig {
+        FerretConfig::new(FerretParams::toy())
+    }
+
+    #[test]
+    fn session_outputs_match_per_call_runs() {
+        // Same seed ⇒ the persistent session's output stream is
+        // bit-identical to the fresh-session API's first iterations.
+        let cfg = toy_cfg();
+        let reference = run_extensions(&cfg, 99, 3);
+        let session = CotSession::spawn(&cfg, 99, 2);
+        assert_eq!(session.delta(), reference[0].delta);
+        for r in &reference {
+            let staged = session.recv().unwrap();
+            assert_eq!(staged.z, r.z);
+            assert_eq!(staged.x, r.x);
+            assert_eq!(staged.y, r.y);
+        }
+    }
+
+    #[test]
+    fn staged_batches_verify_under_fixed_delta() {
+        let cfg = toy_cfg();
+        let session = CotSession::spawn(&cfg, 7, 1);
+        let delta = session.delta();
+        for _ in 0..4 {
+            let b = session.recv().unwrap();
+            assert_eq!(b.len(), cfg.usable_outputs());
+            for i in 0..b.len() {
+                assert_eq!(b.z[i], b.y[i] ^ delta.and_bit(b.x[i]), "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_bounds_staging() {
+        // The party threads stall once `lookahead` batches are staged;
+        // dropping the handle must still tear the session down cleanly.
+        let cfg = toy_cfg();
+        let session = CotSession::spawn(&cfg, 11, 2);
+        let first = session.recv().unwrap();
+        assert_eq!(first.len(), cfg.usable_outputs());
+        drop(session); // joins threads; hangs if backpressure deadlocks
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let cfg = toy_cfg();
+        let session = CotSession::spawn(&cfg, 13, 1);
+        // Eventually a batch is staged; until then try_recv returns None
+        // without blocking.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        loop {
+            if let Some(b) = session.try_recv().unwrap() {
+                assert_eq!(b.len(), cfg.usable_outputs());
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "never staged");
+            std::thread::yield_now();
+        }
+    }
+}

@@ -57,6 +57,34 @@ impl Block {
         self.0.to_le_bytes()
     }
 
+    /// Appends `blocks` to `out` as consecutive 16-byte little-endian
+    /// words with a single up-front reservation — the bulk form of
+    /// [`Block::to_le_bytes`] used by serialization hot paths (one grown
+    /// buffer, no per-element capacity checks).
+    pub fn extend_le_bytes(blocks: &[Block], out: &mut Vec<u8>) {
+        out.reserve(blocks.len() * Block::BYTES);
+        for b in blocks {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+
+    /// Appends consecutive 16-byte little-endian words from `bytes` to
+    /// `out` — the bulk inverse of [`Block::extend_le_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` is not a multiple of [`Block::BYTES`]
+    /// (callers validate lengths before decoding).
+    pub fn extend_from_le_bytes(bytes: &[u8], out: &mut Vec<Block>) {
+        assert_eq!(bytes.len() % Block::BYTES, 0, "partial block");
+        out.reserve(bytes.len() / Block::BYTES);
+        for chunk in bytes.chunks_exact(Block::BYTES) {
+            out.push(Block::from_le_bytes(
+                chunk.try_into().expect("exact 16-byte chunk"),
+            ));
+        }
+    }
+
     /// Builds a block from two 64-bit halves (`hi`, `lo`).
     #[inline]
     pub fn from_halves(hi: u64, lo: u64) -> Self {

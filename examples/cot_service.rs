@@ -21,6 +21,7 @@ fn main() {
         CotServiceConfig {
             shards: 4,
             seed: 2024,
+            ..CotServiceConfig::default()
         },
     )
     .expect("bind loopback service");

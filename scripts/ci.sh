@@ -19,6 +19,28 @@ cargo test -q -p ironman-cluster --test cluster_e2e
 echo "==> cluster_loopback bench (--quick; refreshes BENCH_cluster.json)"
 cargo run --release -p ironman-bench --bin cluster_loopback -- --quick
 
+echo "==> hot-path bench (--quick; refreshes BENCH_hot_path.json)"
+cargo run --release -p ironman-bench --bin hot_path -- --quick
+
+echo "==> serving-throughput floors (quick mode, best-of-N)"
+# Floors derived from the refreshed BENCH_cluster.json after the zero-copy
+# hot-path PR: quick-mode cot_service_single measures ~225-280K COTs/s on
+# the CI box (full mode ~750K) where the pre-zero-copy path managed ~140K
+# quick (~207K full); quick cluster_streaming measures ~4M COTs/s against
+# ~200K before. The floors sit between the two regimes with margin for
+# scheduler noise, so a regression to the old copy-heavy path fails CI
+# while an unlucky run does not.
+check_floor() { # name floor
+  v=$(sed -n "s/.*\"name\": \"$1\".*\"cots_per_sec\": \([0-9.]*\).*/\1/p" BENCH_cluster.json)
+  if [ -z "$v" ]; then echo "FLOOR CHECK: $1 missing from BENCH_cluster.json"; exit 1; fi
+  awk -v v="$v" -v f="$2" -v n="$1" 'BEGIN {
+    if (v + 0 < f + 0) { printf "FLOOR CHECK: %s at %.0f COTs/s is below floor %.0f\n", n, v, f; exit 1 }
+    printf "floor ok: %s at %.0f COTs/s (floor %.0f)\n", n, v, f
+  }'
+}
+check_floor cot_service_single 180000
+check_floor cluster_streaming 1000000
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

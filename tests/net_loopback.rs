@@ -95,6 +95,7 @@ fn cot_service_serves_concurrent_clients() {
         CotServiceConfig {
             shards: 3,
             seed: 0xBEEF,
+            ..CotServiceConfig::default()
         },
     )
     .expect("bind loopback service");
