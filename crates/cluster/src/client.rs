@@ -1,75 +1,135 @@
-//! The fleet-aware client: one handle that routes COT demand across every
-//! server in a [`ClusterDirectory`].
+//! The fleet-aware client: one handle that routes COT demand across the
+//! live membership of a shared [`Directory`].
 //!
 //! Routing policy, in order:
 //!
 //! 1. **Consistent-hash home** — the first chunk of every request goes to
-//!    the session's home server (sticky routing keeps one `Δ` stream per
-//!    consumer where possible).
+//!    the session's home server in the *current ring snapshot* (sticky
+//!    routing keeps one `Δ` stream per consumer where possible).
 //! 2. **Least-outstanding spill** — a request larger than one server's
 //!    `max_request` is transparently split, and the spill chunks go to
 //!    whichever healthy servers have served this session the fewest
 //!    correlations so far.
-//! 3. **Failover** — a connect or I/O error marks the server failed and
-//!    moves on to the next server in the session's ring order; only when
-//!    every server has failed does the caller see the error. Semantic
-//!    errors (e.g. a server-side rejection) are *not* failed over: they
-//!    would recur on every server.
+//! 3. **Failover with cooldown** — a connect or I/O error puts the server
+//!    in a *failure cooldown*: requests skip it without re-paying the
+//!    connect timeout until the cooldown expires, a membership epoch bump
+//!    clears the marks, or [`ClusterClient::heal`] is called. Semantic
+//!    errors are *not* failed over: they would recur on every server.
+//!
+//! # Epoch handling
+//!
+//! The client announces its directory epoch at connect and keeps each
+//! server session current: when the membership changes, a stale session
+//! is fenced with `WrongEpoch`, the client pulls the `DirectoryUpdate`
+//! delta, applies it to its [`Directory`], re-resolves against the fresh
+//! ring snapshot, and retries — transparently to the caller. Streams do
+//! the same mid-flight: [`ClusterClient::stream_cots`] resumes a stream
+//! cut short by a dead or draining server on the new home with exact
+//! accounting (every correlation is consumed exactly once; nothing is
+//! lost or replayed).
 
-use crate::directory::ClusterDirectory;
+use crate::directory::{Directory, RingSnapshot, ServerId};
 use ironman_core::CotBatch;
 use ironman_net::{CotClient, CotSubscription, ServiceStats, StreamSummary};
 use ironman_ot::channel::ChannelError;
+use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a connect/IO failure keeps a server out of this client's
+/// routing before it may be retried (an epoch bump or
+/// [`ClusterClient::heal`] clears the mark earlier).
+pub const FAILOVER_COOLDOWN: Duration = Duration::from_millis(250);
+
+/// Bound on fence→resync→retry rounds per request: each round means the
+/// membership moved *again* while we were retrying; past this the fleet
+/// is churning too fast to route and the caller should see the error.
+const MAX_EPOCH_RETRIES: usize = 8;
 
 #[derive(Debug, Default)]
 struct Slot {
     client: Option<CotClient>,
     /// Correlations this session has received from this server.
     served: u64,
-    failed: bool,
+    /// When this server last failed (connect or I/O); requests skip it
+    /// until [`FAILOVER_COOLDOWN`] elapses.
+    failed_at: Option<Instant>,
+    /// The directory epoch this server session last announced (`Hello`
+    /// or `Sync`); lagging behind the snapshot triggers a proactive
+    /// resync before the server has to fence us.
+    epoch_synced: u64,
 }
 
-/// A session's view of the fleet: lazily connected per-server sessions,
-/// the routing state, and per-server load counters.
+/// A session's view of the fleet: the shared control-plane directory, a
+/// routing snapshot, and lazily connected per-server sessions keyed by
+/// stable [`ServerId`].
 #[derive(Debug)]
 pub struct ClusterClient {
-    directory: ClusterDirectory,
+    directory: Arc<Directory>,
     session: String,
-    slots: Vec<Slot>,
-    /// The session's ring order (home first); the failover walk.
-    route: Vec<usize>,
+    snapshot: Arc<RingSnapshot>,
+    slots: HashMap<ServerId, Slot>,
+    cooldown: Duration,
 }
 
 impl ClusterClient {
-    /// Creates a client for `session` and connects to its home server
-    /// (or, if the home is down, the first reachable server in ring
-    /// order).
+    /// Creates a client for `session` over the shared `directory` and
+    /// connects to its home server (or, if the home is down, the first
+    /// reachable server in ring order).
     ///
     /// # Errors
     ///
-    /// Fails only when *no* server in the directory is reachable.
-    pub fn connect(directory: ClusterDirectory, session: &str) -> Result<Self, ChannelError> {
-        let route = directory.route(session);
+    /// Fails only when *no* member of the directory is reachable (or the
+    /// directory is empty).
+    pub fn connect(directory: Arc<Directory>, session: &str) -> Result<Self, ChannelError> {
+        let snapshot = directory.snapshot();
         let mut client = ClusterClient {
-            slots: (0..directory.len()).map(|_| Slot::default()).collect(),
             directory,
             session: session.to_string(),
-            route,
+            snapshot,
+            slots: HashMap::new(),
+            cooldown: FAILOVER_COOLDOWN,
         };
         client.first_available()?;
         Ok(client)
     }
 
-    /// The session's home server (directory index).
-    pub fn home(&self) -> usize {
-        self.route[0]
+    /// Overrides the failure cooldown (tests mostly; the default is
+    /// [`FAILOVER_COOLDOWN`]).
+    pub fn set_failover_cooldown(&mut self, cooldown: Duration) {
+        self.cooldown = cooldown;
     }
 
-    /// Correlations served to this session, per server (directory order) —
-    /// the observable effect of the routing policy.
-    pub fn served_per_server(&self) -> Vec<u64> {
-        self.slots.iter().map(|s| s.served).collect()
+    /// The session's current home server, per the latest ring snapshot
+    /// this client has observed (`None` on an empty fleet).
+    pub fn home(&self) -> Option<ServerId> {
+        self.snapshot.home(&self.session)
+    }
+
+    /// The membership epoch this client currently routes under.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Correlations served to this session per server, sorted by id —
+    /// the observable effect of the routing policy. Includes servers
+    /// that have since left the fleet.
+    pub fn served_per_server(&self) -> Vec<(ServerId, u64)> {
+        let mut out: Vec<(ServerId, u64)> =
+            self.slots.iter().map(|(id, s)| (*id, s.served)).collect();
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Correlations served to this session by one server.
+    pub fn served_for(&self, id: ServerId) -> u64 {
+        self.slots.get(&id).map_or(0, |s| s.served)
+    }
+
+    /// Total correlations served to this session across the fleet.
+    pub fn served_total(&self) -> u64 {
+        self.slots.values().map(|s| s.served).sum()
     }
 
     /// The most conservative single-server request limit: the minimum
@@ -79,7 +139,7 @@ impl ClusterClient {
     /// are still served — they split.
     pub fn max_request(&self) -> Option<u64> {
         self.slots
-            .iter()
+            .values()
             .filter_map(|s| s.client.as_ref())
             .map(CotClient::max_request)
             .min()
@@ -92,46 +152,75 @@ impl ClusterClient {
     ///
     /// # Errors
     ///
-    /// Fails when every server is unreachable, or on a semantic
-    /// (non-connectivity) server error.
+    /// Fails when every server is unreachable, on a semantic
+    /// (non-connectivity) server error, or when the membership churns
+    /// faster than the client can resync.
     pub fn request_cots(&mut self, n: usize) -> Result<Vec<CotBatch>, ChannelError> {
         let mut batches = Vec::new();
         let mut remaining = n as u64;
         while remaining > 0 {
-            let preferred = if batches.is_empty() {
-                self.home()
-            } else {
-                self.least_served_healthy()
-            };
-            let batch = self.issue(preferred, remaining)?;
+            let mut batch = CotBatch::default();
+            self.issue_into(batches.is_empty(), remaining, &mut batch)?;
             remaining -= batch.len() as u64;
             batches.push(batch);
         }
         Ok(batches)
     }
 
-    /// Streams `total` correlations in chunks of `batch` through one
-    /// server's credit-controlled subscription (plus one one-shot request
-    /// for any remainder), invoking `consume` on every batch. Returns the
-    /// exact accounting.
-    ///
-    /// Zero-copy receive: every chunk is decoded into **one reused
-    /// batch** (and the session's retained frame buffer), so `consume`
-    /// borrows it for the duration of the call — a steady-state stream
-    /// allocates nothing per chunk. Consumers that need to keep a batch
-    /// clone it explicitly.
-    ///
-    /// Server choice follows the routing policy (home first, failover on
-    /// connect error). A mid-stream failure is surfaced, not failed over:
-    /// correlations already consumed cannot be replayed on another
-    /// server.
+    /// The buffer-reusing form of [`ClusterClient::request_cots`]: every
+    /// split chunk lands in **one reused batch** handed to `visit` by
+    /// borrow, so an oversized request crossing the whole fleet
+    /// allocates nothing per chunk — the PR-3 zero-copy contract
+    /// extended across the split path. Returns the number of chunks
+    /// visited. Consumers that keep a batch past the next chunk clone it
+    /// explicitly.
     ///
     /// # Errors
     ///
-    /// Fails when no server is reachable, on mid-stream transport or
-    /// accounting errors, and with [`ChannelError::Disconnected`] when
-    /// the server ended the stream early (fewer than `total`
-    /// correlations were delivered; `consume` saw exactly what arrived).
+    /// Same failure modes as [`ClusterClient::request_cots`]; chunks
+    /// already visited stay visited (the visitor is not replayed).
+    pub fn request_cots_with(
+        &mut self,
+        n: usize,
+        mut visit: impl FnMut(&CotBatch),
+    ) -> Result<u64, ChannelError> {
+        let mut reused = CotBatch::default();
+        let mut chunks = 0u64;
+        let mut remaining = n as u64;
+        while remaining > 0 {
+            self.issue_into(chunks == 0, remaining, &mut reused)?;
+            remaining -= reused.len() as u64;
+            chunks += 1;
+            visit(&reused);
+        }
+        Ok(chunks)
+    }
+
+    /// Streams `total` correlations in chunks of `batch` through
+    /// credit-controlled subscriptions (plus one one-shot request for
+    /// any remainder), invoking `consume` on every batch. Returns the
+    /// exact accounting.
+    ///
+    /// Zero-copy receive: every chunk is decoded into **one reused
+    /// batch** (and each session's retained frame buffer), so `consume`
+    /// borrows it for the duration of the call — a steady-state stream
+    /// allocates nothing per chunk.
+    ///
+    /// **Resumes across membership changes.** Server choice follows the
+    /// routing policy; when the serving server dies mid-stream, ends the
+    /// stream early (drain/shutdown), or fences a stale epoch, the
+    /// client re-resolves against the updated membership and continues
+    /// the stream on the new home for exactly the correlations still
+    /// owed. `consume` sees every correlation exactly once — nothing
+    /// lost, nothing replayed. Only accounting violations and semantic
+    /// errors abort the stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no server is reachable, on accounting violations or
+    /// semantic errors, and with [`ChannelError::Disconnected`] when the
+    /// whole fleet stops making progress before `total` is delivered
+    /// (`consume` saw exactly what arrived).
     pub fn stream_cots(
         &mut self,
         total: u64,
@@ -149,40 +238,95 @@ impl ClusterClient {
                 requested: 0,
             });
         }
-        let chunks = total / batch as u64;
-        let remainder = (total % batch as u64) as usize;
-        loop {
-            let idx = self.first_available()?;
-            let client = self.slots[idx].client.as_mut().expect("connected slot");
-            match stream_on(client, batch, chunks, remainder, &mut consume) {
-                Ok(summary) => {
-                    self.slots[idx].served += summary.cots;
-                    // A server may end the stream early (it is shutting
-                    // down); `consume` already saw `summary.cots`
-                    // correlations, but silent truncation would break the
-                    // "streams `total`" contract — surface it.
-                    if summary.cots != total {
+        let mut progress = StreamProgress::default();
+        let mut reused = CotBatch::default();
+        let mut dry_attempts = 0usize;
+        let mut epoch_retries = 0usize;
+        while progress.cots < total {
+            let id = self.first_available()?;
+            let remaining = total - progress.cots;
+            let chunks = remaining / batch as u64;
+            let remainder = (remaining % batch as u64) as usize;
+            let before = progress.cots;
+            let client = self
+                .slots
+                .get_mut(&id)
+                .and_then(|s| s.client.as_mut())
+                .expect("first_available leaves a connected slot");
+            let outcome = stream_on(
+                client,
+                batch,
+                chunks,
+                remainder,
+                &mut reused,
+                &mut progress,
+                &mut consume,
+            );
+            let gained = progress.cots - before;
+            if let Some(slot) = self.slots.get_mut(&id) {
+                slot.served += gained;
+            }
+            match outcome {
+                Ok(()) if progress.cots == total => {
+                    return Ok(StreamSummary {
+                        chunks: progress.chunks,
+                        cots: progress.cots,
+                    });
+                }
+                // A clean-but-short stream is the server bowing out
+                // (drain or shutdown): cool it down and resume the
+                // remainder elsewhere.
+                Ok(()) => self.mark_failed(id),
+                Err(StreamAttemptError::OpenFailed(ChannelError::WrongEpoch { .. }))
+                | Err(StreamAttemptError::MidStream(ChannelError::WrongEpoch { .. })) => {
+                    // Fenced: the membership moved. Resync and re-route;
+                    // progress so far is preserved.
+                    epoch_retries += 1;
+                    if epoch_retries > MAX_EPOCH_RETRIES {
                         return Err(ChannelError::Disconnected);
                     }
-                    return Ok(summary);
+                    self.resync(id)?;
+                    continue;
                 }
-                // Only a connectivity failure while *opening* retries on
-                // the next server; anything mid-stream is surfaced.
                 Err(StreamAttemptError::OpenFailed(e)) if is_connectivity(&e) => {
-                    self.mark_failed(idx);
+                    self.mark_failed(id);
+                }
+                Err(StreamAttemptError::MidStream(e)) if is_connectivity(&e) => {
+                    // The server died mid-stream. Chunks already consumed
+                    // are counted; the remainder resumes elsewhere.
+                    self.mark_failed(id);
                 }
                 Err(StreamAttemptError::OpenFailed(e)) | Err(StreamAttemptError::MidStream(e)) => {
                     return Err(e)
                 }
             }
+            // Bound attempts that deliver nothing: once every member has
+            // had a dry turn, the fleet is not making progress. Progress
+            // resets both counters — the bounds exist to catch a fleet
+            // churning faster than the client can resync, not to cap how
+            // many membership changes a long-lived stream may ride out.
+            if gained == 0 {
+                dry_attempts += 1;
+                if dry_attempts > self.snapshot.len().max(1) {
+                    return Err(ChannelError::Disconnected);
+                }
+            } else {
+                dry_attempts = 0;
+                epoch_retries = 0;
+            }
         }
+        Ok(StreamSummary {
+            chunks: progress.chunks,
+            cots: progress.cots,
+        })
     }
 
     /// Opens a raw streaming subscription on the session's first
     /// reachable server (for callers that want chunk-by-chunk control;
-    /// [`ClusterClient::stream_cots`] is the managed path). Chunks pulled
-    /// through the returned handle still feed this session's per-server
-    /// load counters, so later spill routing sees the streamed load.
+    /// [`ClusterClient::stream_cots`] is the managed path and the one
+    /// that resumes across membership changes). Chunks pulled through
+    /// the returned handle still feed this session's per-server load
+    /// counters, so later spill routing sees the streamed load.
     ///
     /// # Errors
     ///
@@ -192,8 +336,8 @@ impl ClusterClient {
         batch: usize,
         chunks: u64,
     ) -> Result<ClusterSubscription<'_>, ChannelError> {
-        let idx = self.first_available()?;
-        let slot = &mut self.slots[idx];
+        let id = self.first_available()?;
+        let slot = self.slots.get_mut(&id).expect("connected slot");
         let sub = slot
             .client
             .as_mut()
@@ -206,93 +350,167 @@ impl ClusterClient {
         })
     }
 
-    /// Fetches a statistics snapshot from every reachable server
-    /// (`None` for servers that are failed or unreachable).
-    pub fn stats_all(&mut self) -> Vec<(SocketAddr, Option<ServiceStats>)> {
-        (0..self.directory.len())
-            .map(|idx| {
-                let addr = self.directory.server(idx).addr;
-                let stats = if self.ensure_connected(idx).is_ok() {
-                    self.slots[idx]
-                        .client
-                        .as_mut()
-                        .expect("connected slot")
-                        .stats()
-                        .ok()
-                } else {
-                    self.mark_failed(idx);
-                    None
-                };
-                (addr, stats)
+    /// Fetches a statistics snapshot from every current member (`None`
+    /// for members that are failed, unreachable, or inside their failure
+    /// cooldown — a dead member costs one connect attempt per cooldown,
+    /// not one per call).
+    pub fn stats_all(&mut self) -> Vec<(ServerId, SocketAddr, Option<ServiceStats>)> {
+        self.refresh();
+        let members: Vec<(ServerId, SocketAddr)> = self
+            .snapshot
+            .members()
+            .iter()
+            .map(|m| (m.id, m.addr))
+            .collect();
+        members
+            .into_iter()
+            .map(|(id, addr)| {
+                if self.cooled(id) {
+                    return (id, addr, None);
+                }
+                if self.ensure_connected(id).is_err() {
+                    self.mark_failed(id);
+                    return (id, addr, None);
+                }
+                let stats = self
+                    .slots
+                    .get_mut(&id)
+                    .and_then(|s| s.client.as_mut())
+                    .and_then(|c| c.stats().ok());
+                if stats.is_none() {
+                    self.mark_failed(id);
+                }
+                (id, addr, stats)
             })
             .collect()
     }
 
-    /// Clears failure marks, letting previously failed servers be retried
-    /// (e.g. after an operator restarted one).
+    /// Clears failure cooldowns and re-pulls the ring snapshot, letting
+    /// previously failed servers be retried immediately (e.g. after an
+    /// operator restarted one).
     pub fn heal(&mut self) {
-        for slot in &mut self.slots {
-            slot.failed = false;
+        for slot in self.slots.values_mut() {
+            slot.failed_at = None;
         }
+        self.snapshot = self.directory.snapshot();
     }
 
-    /// Issues one chunk of at most `want` correlations, starting at
-    /// `preferred` and walking the session's ring order on connectivity
-    /// failures.
-    fn issue(&mut self, preferred: usize, want: u64) -> Result<CotBatch, ChannelError> {
-        let route = self.route.clone();
-        let start = route.iter().position(|&i| i == preferred).unwrap_or(0);
-        let mut last_err: Option<ChannelError> = None;
-        for k in 0..route.len() {
-            let idx = route[(start + k) % route.len()];
-            if self.slots[idx].failed {
-                continue;
-            }
-            if let Err(e) = self.ensure_connected(idx) {
-                self.mark_failed(idx);
-                last_err = Some(e);
-                continue;
-            }
-            let client = self.slots[idx].client.as_mut().expect("connected slot");
-            let chunk = want.min(client.max_request()).max(1);
-            match client.request_cots(chunk as usize) {
-                Ok(batch) => {
-                    self.slots[idx].served += batch.len() as u64;
-                    return Ok(batch);
-                }
-                Err(e) if is_connectivity(&e) => {
-                    self.mark_failed(idx);
-                    last_err = Some(e);
-                }
-                Err(e) => return Err(e),
+    /// Re-pulls the ring snapshot when the directory has moved. An epoch
+    /// bump clears every failure cooldown (the marks were made under a
+    /// membership that no longer exists — a rejoined server must not
+    /// inherit its predecessor's cooldown) and drops connections to
+    /// members that left.
+    fn refresh(&mut self) {
+        if self.directory.epoch() == self.snapshot.epoch() {
+            return;
+        }
+        let current = self.directory.snapshot();
+        for (id, slot) in self.slots.iter_mut() {
+            slot.failed_at = None;
+            if current.member(*id).is_none() {
+                slot.client = None;
             }
         }
-        Err(last_err.unwrap_or(ChannelError::Disconnected))
+        self.snapshot = current;
+    }
+
+    /// Whether `id` is inside its failure cooldown right now.
+    fn cooled(&self, id: ServerId) -> bool {
+        self.slots
+            .get(&id)
+            .and_then(|s| s.failed_at)
+            .is_some_and(|at| at.elapsed() < self.cooldown)
+    }
+
+    /// Issues one chunk of at most `want` correlations into `out`
+    /// (reusing its allocations), preferring the home server for a
+    /// request's first chunk and the least-served healthy server for
+    /// spill chunks, walking the ring order on connectivity failures and
+    /// resyncing through epoch fences. Returns the serving server.
+    fn issue_into(
+        &mut self,
+        first_chunk: bool,
+        want: u64,
+        out: &mut CotBatch,
+    ) -> Result<ServerId, ChannelError> {
+        self.refresh();
+        for _ in 0..=MAX_EPOCH_RETRIES {
+            let route = self.snapshot.route(&self.session);
+            let preferred = if first_chunk {
+                self.home()
+            } else {
+                self.least_served_healthy(&route)
+            };
+            let start = preferred
+                .and_then(|p| route.iter().position(|&id| id == p))
+                .unwrap_or(0);
+            let mut last_err: Option<ChannelError> = None;
+            let mut fenced = false;
+            for k in 0..route.len() {
+                let id = route[(start + k) % route.len()];
+                if self.cooled(id) {
+                    continue;
+                }
+                if let Err(e) = self.ensure_connected(id) {
+                    self.mark_failed(id);
+                    last_err = Some(e);
+                    continue;
+                }
+                let client = self
+                    .slots
+                    .get_mut(&id)
+                    .and_then(|s| s.client.as_mut())
+                    .expect("connected slot");
+                let chunk = want.min(client.max_request()).max(1);
+                match client.request_cots_into(chunk as usize, out) {
+                    Ok(()) => {
+                        let slot = self.slots.get_mut(&id).expect("slot exists");
+                        slot.served += out.len() as u64;
+                        return Ok(id);
+                    }
+                    Err(ChannelError::WrongEpoch { .. }) => {
+                        self.resync(id)?;
+                        fenced = true;
+                        break;
+                    }
+                    Err(e) if is_connectivity(&e) => {
+                        self.mark_failed(id);
+                        last_err = Some(e);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !fenced {
+                return Err(last_err.unwrap_or(ChannelError::Disconnected));
+            }
+        }
+        Err(ChannelError::Disconnected)
     }
 
     /// The healthy server that has served this session the least (ties
     /// break toward ring order) — the spill target for split requests.
-    fn least_served_healthy(&self) -> usize {
-        self.route
+    fn least_served_healthy(&self, route: &[ServerId]) -> Option<ServerId> {
+        route
             .iter()
             .copied()
-            .filter(|&idx| !self.slots[idx].failed)
-            .min_by_key(|&idx| self.slots[idx].served)
-            .unwrap_or(self.route[0])
+            .filter(|&id| !self.cooled(id))
+            .min_by_key(|&id| self.served_for(id))
+            .or_else(|| route.first().copied())
     }
 
     /// First reachable server in ring order, connecting as needed.
-    fn first_available(&mut self) -> Result<usize, ChannelError> {
-        let route = self.route.clone();
+    fn first_available(&mut self) -> Result<ServerId, ChannelError> {
+        self.refresh();
+        let route = self.snapshot.route(&self.session);
         let mut last_err: Option<ChannelError> = None;
-        for idx in route {
-            if self.slots[idx].failed {
+        for id in route {
+            if self.cooled(id) {
                 continue;
             }
-            match self.ensure_connected(idx) {
-                Ok(()) => return Ok(idx),
+            match self.ensure_connected(id) {
+                Ok(()) => return Ok(id),
                 Err(e) => {
-                    self.mark_failed(idx);
+                    self.mark_failed(id);
                     last_err = Some(e);
                 }
             }
@@ -300,22 +518,60 @@ impl ClusterClient {
         Err(last_err.unwrap_or(ChannelError::Disconnected))
     }
 
-    fn ensure_connected(&mut self, idx: usize) -> Result<(), ChannelError> {
-        if self.slots[idx].failed {
-            return Err(ChannelError::Disconnected);
+    /// Connects the slot if needed (announcing the current epoch) and
+    /// proactively resyncs a session whose announced epoch fell behind
+    /// the snapshot, so the server does not have to fence it.
+    fn ensure_connected(&mut self, id: ServerId) -> Result<(), ChannelError> {
+        let member = self
+            .snapshot
+            .member(id)
+            .cloned()
+            .ok_or(ChannelError::Disconnected)?;
+        let epoch = self.snapshot.epoch();
+        let slot = self.slots.entry(id).or_default();
+        if slot.client.is_none() {
+            let name = format!("{}@{}", self.session, member.name);
+            slot.client = Some(CotClient::connect_with_epoch(member.addr, &name, epoch)?);
+            slot.epoch_synced = epoch;
+            slot.failed_at = None;
         }
-        if self.slots[idx].client.is_some() {
-            return Ok(());
+        if slot.epoch_synced < epoch {
+            self.resync(id)?;
         }
-        let server = self.directory.server(idx);
-        let name = format!("{}@{}", self.session, server.name);
-        self.slots[idx].client = Some(CotClient::connect(server.addr, &name)?);
         Ok(())
     }
 
-    fn mark_failed(&mut self, idx: usize) {
-        self.slots[idx].failed = true;
-        self.slots[idx].client = None;
+    /// Pulls the membership delta from server `id`, applies it to the
+    /// shared directory, records the session as current, and re-pulls
+    /// the routing snapshot. Connectivity failures cool the server down
+    /// (the caller's walk moves on); semantic failures surface.
+    fn resync(&mut self, id: ServerId) -> Result<(), ChannelError> {
+        let have = self.directory.epoch();
+        if let Some(client) = self.slots.get_mut(&id).and_then(|s| s.client.as_mut()) {
+            match client.sync_directory(have) {
+                Ok(delta) => {
+                    self.directory.apply_delta(&delta);
+                    if let Some(slot) = self.slots.get_mut(&id) {
+                        slot.epoch_synced = delta.epoch.max(have);
+                    }
+                }
+                Err(e) if is_connectivity(&e) => self.mark_failed(id),
+                Err(e) => return Err(e),
+            }
+        }
+        // Unconditional re-pull: the delta (or another actor) may have
+        // moved the directory past our snapshot.
+        let current = self.directory.snapshot();
+        if current.epoch() != self.snapshot.epoch() {
+            self.refresh();
+        }
+        Ok(())
+    }
+
+    fn mark_failed(&mut self, id: ServerId) {
+        let slot = self.slots.entry(id).or_default();
+        slot.failed_at = Some(Instant::now());
+        slot.client = None;
     }
 }
 
@@ -404,63 +660,81 @@ fn is_connectivity(e: &ChannelError) -> bool {
     matches!(e, ChannelError::Io(_) | ChannelError::Disconnected)
 }
 
-/// Where one streaming attempt failed — at open (retryable on another
-/// server: nothing was consumed yet) or mid-stream (not retryable:
-/// already-consumed correlations cannot be replayed elsewhere).
+/// Where one streaming attempt failed — before any chunk was consumed
+/// (retryable on another server with nothing owed) or after (resumable:
+/// consumed chunks are counted and only the remainder moves).
 enum StreamAttemptError {
     OpenFailed(ChannelError),
     MidStream(ChannelError),
 }
 
-/// One complete streaming attempt against one server: subscription,
-/// chunk loop, trailer, and the one-shot remainder. Every chunk lands in
-/// `reused`, whose allocations (like the session's frame buffer) carry
-/// across the whole stream.
+/// Consumed-so-far accounting carried across stream attempts.
+#[derive(Debug, Default)]
+struct StreamProgress {
+    /// Correlations consumed (chunks + remainder one-shots).
+    cots: u64,
+    /// Subscription chunks consumed (remainder one-shots not counted).
+    chunks: u64,
+}
+
+/// One streaming attempt against one server: subscription, chunk loop,
+/// trailer, and the one-shot remainder. Every consumed chunk updates
+/// `progress` *before* anything can fail, so the caller resumes from the
+/// exact correlation where this attempt stopped. `Ok(())` with
+/// `progress` short of the target means the server ended the stream
+/// early (cleanly); the caller decides where to resume.
 fn stream_on(
     client: &mut CotClient,
     batch: usize,
     chunks: u64,
     remainder: usize,
+    reused: &mut CotBatch,
+    progress: &mut StreamProgress,
     consume: &mut impl FnMut(&CotBatch),
-) -> Result<StreamSummary, StreamAttemptError> {
-    let mut pushed = 0u64;
-    let mut cots = 0u64;
-    let mut reused = CotBatch::default();
+) -> Result<(), StreamAttemptError> {
+    let mut got_any = false;
     // A total below one chunk needs no subscription at all — the
     // remainder one-shot below covers it in a single round trip.
     if chunks > 0 {
         let mut sub = client
             .subscribe(batch, chunks)
             .map_err(StreamAttemptError::OpenFailed)?;
-        while sub
-            .next_chunk_into(&mut reused)
-            .map_err(StreamAttemptError::MidStream)?
-        {
-            cots += reused.len() as u64;
-            consume(&reused);
+        loop {
+            match sub.next_chunk_into(reused) {
+                Ok(true) => {
+                    got_any = true;
+                    progress.cots += reused.len() as u64;
+                    progress.chunks += 1;
+                    consume(reused);
+                }
+                Ok(false) => break,
+                Err(e) => {
+                    return Err(if got_any {
+                        StreamAttemptError::MidStream(e)
+                    } else {
+                        StreamAttemptError::OpenFailed(e)
+                    })
+                }
+            }
         }
-        let summary = sub.finish().map_err(StreamAttemptError::MidStream)?;
-        debug_assert_eq!(summary.cots, cots);
-        pushed = summary.chunks;
+        let ended_early = sub.chunks_remaining() > 0;
+        sub.finish().map_err(StreamAttemptError::MidStream)?;
+        if ended_early {
+            return Ok(()); // partial but clean; the caller resumes elsewhere
+        }
     }
     if remainder > 0 {
         // Served one-shot, so it does not count toward `chunks` (that
-        // field means chunks the server *pushed*). Before the
-        // subscription ran nothing was consumed, so a failure here may
-        // still fail over to another server.
-        let wrap: fn(ChannelError) -> StreamAttemptError = if chunks > 0 {
+        // field means subscription chunks). Before anything was consumed
+        // a failure here may still fail over to another server.
+        let wrap: fn(ChannelError) -> StreamAttemptError = if got_any {
             StreamAttemptError::MidStream
         } else {
             StreamAttemptError::OpenFailed
         };
-        client
-            .request_cots_into(remainder, &mut reused)
-            .map_err(wrap)?;
-        cots += reused.len() as u64;
-        consume(&reused);
+        client.request_cots_into(remainder, reused).map_err(wrap)?;
+        progress.cots += reused.len() as u64;
+        consume(reused);
     }
-    Ok(StreamSummary {
-        chunks: pushed,
-        cots,
-    })
+    Ok(())
 }

@@ -1,27 +1,52 @@
-//! The cluster directory: which servers exist, and which one owns a
-//! session.
+//! The cluster control plane: an epoch-versioned, mutable membership
+//! [`Directory`] publishing copy-on-write [`RingSnapshot`]s.
 //!
-//! Routing is a consistent-hash ring: each server contributes
-//! [`VIRTUAL_NODES`] points (hashes of `addr#replica`), and a session
-//! lands on the first point clockwise of its own hash. Two properties
-//! matter for a COT fleet:
+//! PR 2's `ClusterDirectory` was an immutable fleet snapshot: a crash,
+//! join, or drain meant rebuilding every client by hand. The [`Directory`]
+//! replaces it with a control plane:
 //!
-//! * **Stickiness** — a session always resolves to the same *home*
-//!   server, so its correlations keep coming from one pool (one `Δ`
-//!   stream per server session, warm state stays warm).
-//! * **Minimal reshuffle** — adding or removing a server moves only the
-//!   sessions whose arc it owned, not the whole fleet's routing table.
+//! * **Membership mutations** — [`Directory::join`], [`Directory::leave`],
+//!   [`Directory::drain`], and the health checker's
+//!   [`Directory::mark_suspect`]/[`Directory::mark_up`] — happen under one
+//!   mutex and bump a monotonically increasing **epoch**.
+//! * Every mutation **publishes** a fresh immutable [`RingSnapshot`]
+//!   (members + consistent-hash ring) behind a read lock held only for an
+//!   `Arc` clone, so the request path routes on an immutable snapshot and
+//!   never contends with membership churn.
+//! * A bounded **change log** lets servers answer `Sync{epoch}` with the
+//!   exact membership delta ([`Directory::delta_since`]); clients apply it
+//!   with [`Directory::apply_delta`]. When the log no longer reaches back
+//!   to the requested epoch, a full snapshot is sent instead.
 //!
-//! [`ClusterDirectory::route`] additionally yields the deterministic
-//! failover order (the ring walked clockwise from the home, deduplicated)
-//! that [`ClusterClient`](crate::ClusterClient) uses when a server is
-//! unreachable.
+//! Routing stays a consistent-hash ring: each *routable* member
+//! contributes [`VIRTUAL_NODES`] points (hashes of `addr#replica`), and a
+//! session lands on the first point clockwise of its own hash. Two
+//! properties matter for a COT fleet:
+//!
+//! * **Stickiness** — a session resolves to the same *home* server for as
+//!   long as the membership holds (one `Δ` stream per server session).
+//! * **Minimal reshuffle** — a join or leave moves only the sessions
+//!   whose arcs the changed server owned (property-tested in
+//!   `tests/directory_props.rs`).
+//!
+//! Draining and suspect members stay *in* the membership but out of the
+//! ring: existing sessions may finish their work there (hitless drain),
+//! while no new session homes on them. If no member is `Up`, the ring
+//! falls back to every live member — degraded routing beats none.
 
+use ironman_net::{DirectoryDelta, DirectoryView, MemberRecord, MemberWireState};
+use std::collections::VecDeque;
+use std::fmt;
 use std::net::SocketAddr;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Virtual nodes per server on the hash ring; enough that a 3-server
 /// directory spreads sessions within a few percent of evenly.
 pub const VIRTUAL_NODES: usize = 64;
+
+/// Change-log entries retained for delta replies; a client whose epoch
+/// fell further behind than this receives a full snapshot instead.
+const LOG_CAP: usize = 128;
 
 /// FNV-1a with a murmur-style finalizer: plain FNV does not avalanche
 /// its high bits on short, similar strings (all `session-N` names would
@@ -39,7 +64,77 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h ^ (h >> 33)
 }
 
+/// A stable server identity, assigned at [`Directory::join`] and kept
+/// across state changes; the unit clients key their per-server sessions
+/// and load counters by (directory *indices* shift as members come and
+/// go — ids never do).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub u64);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A fleet member's lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemberState {
+    /// Serving and routable.
+    Up,
+    /// Finishing existing sessions; receives no new homes (hitless
+    /// drain).
+    Draining,
+    /// Failed recent health probes; out of the ring until it recovers or
+    /// the checker evicts it.
+    Suspect,
+}
+
+impl MemberState {
+    fn to_wire(self) -> MemberWireState {
+        match self {
+            MemberState::Up => MemberWireState::Up,
+            MemberState::Draining => MemberWireState::Draining,
+            MemberState::Suspect => MemberWireState::Suspect,
+        }
+    }
+
+    fn from_wire(state: MemberWireState) -> Option<Self> {
+        match state {
+            MemberWireState::Up => Some(MemberState::Up),
+            MemberWireState::Draining => Some(MemberState::Draining),
+            MemberWireState::Suspect => Some(MemberState::Suspect),
+            MemberWireState::Left => None,
+        }
+    }
+}
+
 /// One server known to the directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Member {
+    /// Stable identity.
+    pub id: ServerId,
+    /// The server's listening address.
+    pub addr: SocketAddr,
+    /// Display name (logs, stats).
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: MemberState,
+}
+
+impl Member {
+    fn to_record(&self) -> MemberRecord {
+        MemberRecord {
+            id: self.id.0,
+            state: self.state.to_wire(),
+            addr: self.addr.to_string(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// A bare address + name pair for bootstrapping a directory before ids
+/// are assigned.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServerEntry {
     /// The server's listening address.
@@ -48,94 +143,466 @@ pub struct ServerEntry {
     pub name: String,
 }
 
-/// An immutable snapshot of the fleet: N [`CotService`](ironman_net::CotService)
-/// endpoints and the consistent-hash ring over them.
+/// An immutable point-in-time view of the fleet: the members at one
+/// epoch and the consistent-hash ring over the routable ones. The
+/// request path routes on a snapshot and never touches the directory's
+/// locks.
 #[derive(Clone, Debug)]
-pub struct ClusterDirectory {
-    servers: Vec<ServerEntry>,
-    /// Sorted `(ring point, server index)` pairs.
+pub struct RingSnapshot {
+    epoch: u64,
+    members: Vec<Member>,
+    /// Sorted `(ring point, members index)` pairs over routable members.
     ring: Vec<(u64, usize)>,
 }
 
-impl ClusterDirectory {
-    /// Builds a directory over `servers`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty server list — a cluster of zero servers can
-    /// route nothing.
-    pub fn new(servers: Vec<ServerEntry>) -> Self {
-        assert!(!servers.is_empty(), "directory needs at least one server");
-        let mut ring = Vec::with_capacity(servers.len() * VIRTUAL_NODES);
-        for (idx, server) in servers.iter().enumerate() {
+impl RingSnapshot {
+    fn build(epoch: u64, members: Vec<Member>) -> Self {
+        // Up members own the ring; with none up, every live member does
+        // (degraded routing beats an unroutable fleet).
+        let routable: Vec<usize> = {
+            let up: Vec<usize> = members
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.state == MemberState::Up)
+                .map(|(i, _)| i)
+                .collect();
+            if up.is_empty() {
+                (0..members.len()).collect()
+            } else {
+                up
+            }
+        };
+        let mut ring = Vec::with_capacity(routable.len() * VIRTUAL_NODES);
+        for &idx in &routable {
             for replica in 0..VIRTUAL_NODES {
-                let point = fnv1a(format!("{}#{replica}", server.addr).as_bytes());
+                let point = fnv1a(format!("{}#{replica}", members[idx].addr).as_bytes());
                 ring.push((point, idx));
             }
         }
         ring.sort_unstable();
-        ClusterDirectory { servers, ring }
+        RingSnapshot {
+            epoch,
+            members,
+            ring,
+        }
     }
 
-    /// Builds a directory from bare addresses (names derived from them).
-    pub fn from_addrs<I: IntoIterator<Item = SocketAddr>>(addrs: I) -> Self {
-        Self::new(
-            addrs
-                .into_iter()
-                .map(|addr| ServerEntry {
-                    addr,
-                    name: format!("cot-server@{addr}"),
-                })
-                .collect(),
-        )
+    /// The membership epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// Number of servers.
+    /// All members, in join order (every state, including draining and
+    /// suspect).
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// The member with id `id`, if present.
+    pub fn member(&self, id: ServerId) -> Option<&Member> {
+        self.members.iter().find(|m| m.id == id)
+    }
+
+    /// Number of members (every state).
     pub fn len(&self) -> usize {
-        self.servers.len()
+        self.members.len()
     }
 
-    /// Whether the directory is empty (never true; see [`ClusterDirectory::new`]).
+    /// Whether the fleet has no members at all.
     pub fn is_empty(&self) -> bool {
-        self.servers.is_empty()
-    }
-
-    /// All servers, in directory order.
-    pub fn servers(&self) -> &[ServerEntry] {
-        &self.servers
-    }
-
-    /// The server at directory index `idx`.
-    pub fn server(&self, idx: usize) -> &ServerEntry {
-        &self.servers[idx]
+        self.members.is_empty()
     }
 
     /// The session's home server: the first ring point clockwise of the
-    /// session's hash.
-    pub fn home(&self, session: &str) -> usize {
+    /// session's hash, or `None` when the fleet is empty.
+    pub fn home(&self, session: &str) -> Option<ServerId> {
+        if self.ring.is_empty() {
+            return None;
+        }
         let h = fnv1a(session.as_bytes());
         let at = self.ring.partition_point(|&(point, _)| point < h);
-        self.ring[at % self.ring.len()].1
+        Some(self.members[self.ring[at % self.ring.len()].1].id)
     }
 
     /// The session's full routing order: home first, then each remaining
-    /// server in the order the ring walk first reaches it. Every server
-    /// appears exactly once, so walking this list is the deterministic
-    /// failover policy.
-    pub fn route(&self, session: &str) -> Vec<usize> {
-        let h = fnv1a(session.as_bytes());
-        let start = self.ring.partition_point(|&(point, _)| point < h);
-        let mut order = Vec::with_capacity(self.servers.len());
-        for offset in 0..self.ring.len() {
-            let idx = self.ring[(start + offset) % self.ring.len()].1;
-            if !order.contains(&idx) {
-                order.push(idx);
-                if order.len() == self.servers.len() {
-                    break;
+    /// *routable* server in the order the ring walk first reaches it,
+    /// then any non-routable members (draining/suspect) as a last
+    /// resort. Every member appears exactly once; walking this list is
+    /// the deterministic failover policy.
+    pub fn route(&self, session: &str) -> Vec<ServerId> {
+        let mut order = Vec::with_capacity(self.members.len());
+        if !self.ring.is_empty() {
+            let h = fnv1a(session.as_bytes());
+            let start = self.ring.partition_point(|&(point, _)| point < h);
+            for offset in 0..self.ring.len() {
+                let id = self.members[self.ring[(start + offset) % self.ring.len()].1].id;
+                if !order.contains(&id) {
+                    order.push(id);
                 }
             }
         }
+        for m in &self.members {
+            if !order.contains(&m.id) {
+                order.push(m.id);
+            }
+        }
         order
+    }
+}
+
+#[derive(Debug)]
+struct DirInner {
+    epoch: u64,
+    next_id: u64,
+    members: Vec<Member>,
+    /// `(epoch, change)` entries, oldest first; covers `(log_floor,
+    /// epoch]`.
+    log: VecDeque<(u64, MemberRecord)>,
+    /// Epoch below which the log has been truncated.
+    log_floor: u64,
+}
+
+impl DirInner {
+    /// Bumps the epoch, records `record` in the change log, and returns
+    /// the snapshot to publish.
+    fn commit(&mut self, record: MemberRecord) -> Arc<RingSnapshot> {
+        self.epoch += 1;
+        self.log.push_back((self.epoch, record));
+        self.truncate_log();
+        Arc::new(RingSnapshot::build(self.epoch, self.members.clone()))
+    }
+
+    fn truncate_log(&mut self) {
+        while self.log.len() > LOG_CAP {
+            if let Some((epoch, _)) = self.log.pop_front() {
+                self.log_floor = epoch;
+            }
+        }
+    }
+
+    fn member_mut(&mut self, id: ServerId) -> Option<&mut Member> {
+        self.members.iter_mut().find(|m| m.id == id)
+    }
+}
+
+/// The mutable, epoch-versioned membership directory (see the module
+/// docs). Cheap to share: servers, clients, the health checker, and the
+/// fleet warm-up controller all hold the same `Arc<Directory>`.
+#[derive(Debug)]
+pub struct Directory {
+    inner: Mutex<DirInner>,
+    published: RwLock<Arc<RingSnapshot>>,
+}
+
+/// Recovers a poisoned lock: every mutation leaves the directory state
+/// consistent before unlocking, so a panicking *caller* must not wedge
+/// membership for the whole fleet.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Directory {
+    /// An empty directory at epoch 0 (members join dynamically).
+    pub fn new() -> Self {
+        Directory {
+            inner: Mutex::new(DirInner {
+                epoch: 0,
+                next_id: 0,
+                members: Vec::new(),
+                log: VecDeque::new(),
+                log_floor: 0,
+            }),
+            published: RwLock::new(Arc::new(RingSnapshot::build(0, Vec::new()))),
+        }
+    }
+
+    /// A directory pre-populated with `entries` (one join per entry, so
+    /// the resulting epoch equals the entry count).
+    pub fn bootstrap<I: IntoIterator<Item = ServerEntry>>(entries: I) -> Self {
+        let dir = Directory::new();
+        for entry in entries {
+            dir.join(entry.addr, &entry.name);
+        }
+        dir
+    }
+
+    /// A directory cloned from a published snapshot, preserving ids and
+    /// epoch — how a remote client bootstraps its local membership view
+    /// before keeping it current through `DirectoryUpdate` deltas.
+    pub fn from_snapshot(snapshot: &RingSnapshot) -> Self {
+        let members = snapshot.members().to_vec();
+        let next_id = members.iter().map(|m| m.id.0 + 1).max().unwrap_or(0);
+        let epoch = snapshot.epoch();
+        Directory {
+            inner: Mutex::new(DirInner {
+                epoch,
+                next_id,
+                members: members.clone(),
+                log: VecDeque::new(),
+                // Nothing before `epoch` is replayable from here.
+                log_floor: epoch,
+            }),
+            published: RwLock::new(Arc::new(RingSnapshot::build(epoch, members))),
+        }
+    }
+
+    /// The current membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// The current published snapshot (an `Arc` clone under a read lock;
+    /// the request path's only touch on the control plane).
+    pub fn snapshot(&self) -> Arc<RingSnapshot> {
+        Arc::clone(
+            &self
+                .published
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Publishes a committed snapshot. Mutations commit under the inner
+    /// mutex but publish after dropping it, so two racing mutations can
+    /// arrive here out of order — the epoch guard keeps the published
+    /// view (which `epoch()`, `snapshot()`, and the server fence all
+    /// read) from ever regressing to a stale membership.
+    fn publish(&self, snapshot: Arc<RingSnapshot>) {
+        let mut published = self
+            .published
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if snapshot.epoch() > published.epoch() {
+            *published = snapshot;
+        }
+    }
+
+    /// Adds a server (state `Up`) and returns its stable id, bumping the
+    /// epoch. Joining an address that is already a live member marks
+    /// that member `Up` again and returns its existing id (idempotent
+    /// rejoin after a suspect mark or an aborted drain); re-joining an
+    /// already-`Up` member is a pure no-op — no epoch bump, so a retried
+    /// bootstrap does not fence the whole fleet for nothing.
+    pub fn join(&self, addr: SocketAddr, name: &str) -> ServerId {
+        let mut inner = lock(&self.inner);
+        if let Some(existing) = inner.members.iter_mut().find(|m| m.addr == addr) {
+            let id = existing.id;
+            if existing.state == MemberState::Up {
+                return id;
+            }
+            existing.state = MemberState::Up;
+            let record = existing.to_record();
+            let snap = inner.commit(record);
+            drop(inner);
+            self.publish(snap);
+            return id;
+        }
+        let id = ServerId(inner.next_id);
+        inner.next_id += 1;
+        let member = Member {
+            id,
+            addr,
+            name: name.to_string(),
+            state: MemberState::Up,
+        };
+        let record = member.to_record();
+        inner.members.push(member);
+        let snap = inner.commit(record);
+        drop(inner);
+        self.publish(snap);
+        id
+    }
+
+    /// Removes a member (crash eviction or completed drain), bumping the
+    /// epoch. Returns whether the member existed.
+    pub fn leave(&self, id: ServerId) -> bool {
+        self.mutate(id, None)
+    }
+
+    /// Marks a member draining: it stays in the membership (existing
+    /// sessions finish there) but leaves the ring, so no new session
+    /// homes on it. Returns whether the member existed.
+    pub fn drain(&self, id: ServerId) -> bool {
+        self.mutate(id, Some(MemberState::Draining))
+    }
+
+    /// Marks a member suspect (failed health probes): out of the ring
+    /// until [`Directory::mark_up`] or eviction. Returns whether the
+    /// member existed.
+    pub fn mark_suspect(&self, id: ServerId) -> bool {
+        self.mutate(id, Some(MemberState::Suspect))
+    }
+
+    /// Marks a member healthy and routable again. Returns whether the
+    /// member existed.
+    pub fn mark_up(&self, id: ServerId) -> bool {
+        self.mutate(id, Some(MemberState::Up))
+    }
+
+    /// Compare-and-set state transition: moves the member from `from` to
+    /// `to` only if it is currently in `from`; returns whether the
+    /// transition happened. This is what the health checker uses — its
+    /// probe verdicts are based on a sweep-start snapshot that may be
+    /// seconds stale, and an unconditional `mark_up` after a successful
+    /// probe could override a `drain` issued mid-sweep.
+    pub fn transition(&self, id: ServerId, from: MemberState, to: MemberState) -> bool {
+        let mut inner = lock(&self.inner);
+        let Some(member) = inner.member_mut(id) else {
+            return false;
+        };
+        if member.state != from || from == to {
+            return false;
+        }
+        member.state = to;
+        let record = member.to_record();
+        let snap = inner.commit(record);
+        drop(inner);
+        self.publish(snap);
+        true
+    }
+
+    /// The shared mutation path: `None` removes, `Some(state)` restates.
+    /// No-op (and no epoch bump) when the member is absent or already in
+    /// the requested state.
+    fn mutate(&self, id: ServerId, state: Option<MemberState>) -> bool {
+        let mut inner = lock(&self.inner);
+        let record = match state {
+            None => {
+                let Some(pos) = inner.members.iter().position(|m| m.id == id) else {
+                    return false;
+                };
+                let removed = inner.members.remove(pos);
+                MemberRecord {
+                    state: MemberWireState::Left,
+                    ..removed.to_record()
+                }
+            }
+            Some(new_state) => {
+                let Some(member) = inner.member_mut(id) else {
+                    return false;
+                };
+                if member.state == new_state {
+                    return true;
+                }
+                member.state = new_state;
+                member.to_record()
+            }
+        };
+        let snap = inner.commit(record);
+        drop(inner);
+        self.publish(snap);
+        true
+    }
+
+    /// Applies a membership delta received from a server (see
+    /// [`Directory::delta_since`]); no-op when `delta.epoch` does not
+    /// advance this directory. Returns whether anything changed.
+    pub fn apply_delta(&self, delta: &DirectoryDelta) -> bool {
+        let mut inner = lock(&self.inner);
+        if delta.epoch <= inner.epoch {
+            return false;
+        }
+        if delta.full {
+            inner.members.clear();
+        }
+        for record in &delta.members {
+            match MemberState::from_wire(record.state) {
+                None => inner.members.retain(|m| m.id.0 != record.id),
+                Some(state) => {
+                    // A record whose address does not parse cannot be
+                    // routed to; drop it rather than poison the ring.
+                    let Ok(addr) = record.addr.parse::<SocketAddr>() else {
+                        continue;
+                    };
+                    match inner.members.iter_mut().find(|m| m.id.0 == record.id) {
+                        Some(member) => {
+                            member.addr = addr;
+                            member.name = record.name.clone();
+                            member.state = state;
+                        }
+                        None => inner.members.push(Member {
+                            id: ServerId(record.id),
+                            addr,
+                            name: record.name.clone(),
+                            state,
+                        }),
+                    }
+                }
+            }
+            inner.log.push_back((delta.epoch, record.clone()));
+        }
+        inner.next_id = inner
+            .next_id
+            .max(delta.members.iter().map(|r| r.id + 1).max().unwrap_or(0));
+        inner.epoch = delta.epoch;
+        if delta.full {
+            // A snapshot replaced the membership wholesale: the log no
+            // longer knows which members were *removed* between our old
+            // epoch and the snapshot's, so nothing older than the
+            // snapshot epoch may be answered incrementally from here.
+            inner.log.clear();
+            inner.log_floor = delta.epoch;
+        }
+        inner.truncate_log();
+        let snap = Arc::new(RingSnapshot::build(inner.epoch, inner.members.clone()));
+        drop(inner);
+        self.publish(snap);
+        true
+    }
+
+    /// The membership changes between `epoch` and now, deduplicated to
+    /// each member's latest state — or a full snapshot when the change
+    /// log has been truncated past `epoch`. The empty delta (current
+    /// epoch, no members) answers an already-current requester.
+    pub fn delta_since(&self, epoch: u64) -> DirectoryDelta {
+        let inner = lock(&self.inner);
+        if epoch >= inner.epoch {
+            return DirectoryDelta {
+                epoch: inner.epoch,
+                full: false,
+                members: Vec::new(),
+            };
+        }
+        if epoch >= inner.log_floor {
+            // Dedup keep-last: later changes to the same member override
+            // earlier ones within the window.
+            let mut members: Vec<MemberRecord> = Vec::new();
+            for (change_epoch, record) in &inner.log {
+                if *change_epoch <= epoch {
+                    continue;
+                }
+                match members.iter_mut().find(|r| r.id == record.id) {
+                    Some(existing) => *existing = record.clone(),
+                    None => members.push(record.clone()),
+                }
+            }
+            return DirectoryDelta {
+                epoch: inner.epoch,
+                full: false,
+                members,
+            };
+        }
+        DirectoryDelta {
+            epoch: inner.epoch,
+            full: true,
+            members: inner.members.iter().map(Member::to_record).collect(),
+        }
+    }
+}
+
+impl DirectoryView for Directory {
+    fn epoch(&self) -> u64 {
+        Directory::epoch(self)
+    }
+
+    fn delta_since(&self, epoch: u64) -> DirectoryDelta {
+        Directory::delta_since(self, epoch)
     }
 }
 
@@ -143,41 +610,51 @@ impl ClusterDirectory {
 mod tests {
     use super::*;
 
-    fn dir(n: usize) -> ClusterDirectory {
-        ClusterDirectory::from_addrs((0..n).map(|i| {
-            format!("10.0.0.{}:7000", i + 1)
-                .parse()
-                .expect("valid addr")
+    fn addr(i: usize) -> SocketAddr {
+        format!("10.0.0.{}:7000", i + 1)
+            .parse()
+            .expect("valid addr")
+    }
+
+    fn dir(n: usize) -> Directory {
+        Directory::bootstrap((0..n).map(|i| ServerEntry {
+            addr: addr(i),
+            name: format!("local-{i}"),
         }))
     }
 
     #[test]
     fn home_is_deterministic_and_sticky() {
         let d = dir(3);
+        let snap = d.snapshot();
         for session in ["alice", "bob", "resnet-worker-17", ""] {
-            assert_eq!(d.home(session), d.home(session));
-            assert!(d.home(session) < 3);
+            assert_eq!(snap.home(session), snap.home(session));
+            assert!(snap.member(snap.home(session).unwrap()).is_some());
         }
     }
 
     #[test]
     fn route_covers_every_server_once_starting_at_home() {
         let d = dir(5);
+        let snap = d.snapshot();
         for session in ["a", "b", "c", "worker-9000"] {
-            let route = d.route(session);
-            assert_eq!(route[0], d.home(session));
+            let route = snap.route(session);
+            assert_eq!(route[0], snap.home(session).unwrap());
             let mut sorted = route.clone();
             sorted.sort_unstable();
-            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+            assert_eq!(
+                sorted,
+                (0..5).map(|i| ServerId(i as u64)).collect::<Vec<_>>()
+            );
         }
     }
 
     #[test]
     fn sessions_spread_across_servers() {
-        let d = dir(3);
+        let snap = dir(3).snapshot();
         let mut hits = [0usize; 3];
         for i in 0..300 {
-            hits[d.home(&format!("session-{i}"))] += 1;
+            hits[snap.home(&format!("session-{i}")).unwrap().0 as usize] += 1;
         }
         // Consistent hashing with 64 vnodes/server is not perfectly even,
         // but nothing should be starved or dominant.
@@ -187,25 +664,165 @@ mod tests {
     }
 
     #[test]
-    fn growing_the_fleet_moves_few_sessions() {
-        let small = dir(3);
-        let big = dir(4);
-        let moved = (0..1000)
-            .filter(|i| {
-                let s = format!("session-{i}");
-                // Servers 0..3 have identical addresses in both
-                // directories, so a changed home means the session moved.
-                small.home(&s) != big.home(&s)
-            })
-            .count();
-        // Ideal consistent hashing moves ~1/4 of sessions; allow slack
-        // but rule out the "everything rehashed" failure mode.
-        assert!(moved < 500, "consistent hashing reshuffled {moved}/1000");
+    fn epoch_bumps_on_every_mutation_and_is_monotonic() {
+        let d = dir(2);
+        assert_eq!(d.epoch(), 2);
+        let id = d.join(addr(9), "late");
+        assert_eq!(d.epoch(), 3);
+        assert!(d.drain(id));
+        assert_eq!(d.epoch(), 4);
+        assert!(d.mark_suspect(id));
+        assert_eq!(d.epoch(), 5);
+        assert!(d.mark_up(id));
+        assert_eq!(d.epoch(), 6);
+        assert!(d.leave(id));
+        assert_eq!(d.epoch(), 7);
+        // Absent members are no-ops with no epoch bump.
+        assert!(!d.leave(id));
+        assert!(!d.drain(ServerId(404)));
+        assert_eq!(d.epoch(), 7);
     }
 
     #[test]
-    #[should_panic(expected = "at least one server")]
-    fn empty_directory_rejected() {
-        let _ = ClusterDirectory::new(Vec::new());
+    fn draining_member_leaves_the_ring_but_not_the_membership() {
+        let d = dir(3);
+        let snap = d.snapshot();
+        // Find a session homed on each server, then drain one server.
+        let victim = snap.home("victim-session").unwrap();
+        assert!(d.drain(victim));
+        let drained = d.snapshot();
+        assert_eq!(drained.len(), 3, "drained member stays a member");
+        assert_ne!(drained.home("victim-session").unwrap(), victim);
+        // And no session homes on it any more.
+        for i in 0..200 {
+            assert_ne!(drained.home(&format!("s{i}")).unwrap(), victim);
+        }
+        // Last-resort failover still reaches it at the end of the route.
+        assert!(drained.route("victim-session").contains(&victim));
+    }
+
+    #[test]
+    fn all_members_down_fall_back_to_degraded_routing() {
+        let d = dir(2);
+        let ids: Vec<ServerId> = d.snapshot().members().iter().map(|m| m.id).collect();
+        for id in &ids {
+            d.mark_suspect(*id);
+        }
+        let snap = d.snapshot();
+        assert!(snap.home("anyone").is_some(), "degraded ring still routes");
+    }
+
+    #[test]
+    fn rejoin_same_addr_is_idempotent() {
+        let d = dir(2);
+        let snap = d.snapshot();
+        let id = snap.members()[0].id;
+        d.mark_suspect(id);
+        let rejoined = d.join(snap.members()[0].addr, "ignored");
+        assert_eq!(rejoined, id, "same address keeps its stable id");
+        assert_eq!(
+            d.snapshot().member(id).unwrap().state,
+            MemberState::Up,
+            "rejoin heals the suspect mark"
+        );
+        // Re-joining an already-Up member changes nothing and must not
+        // fence the fleet with a pointless epoch bump.
+        let epoch = d.epoch();
+        assert_eq!(d.join(snap.members()[0].addr, "ignored"), id);
+        assert_eq!(d.epoch(), epoch);
+    }
+
+    #[test]
+    fn transition_is_compare_and_set() {
+        let d = dir(1);
+        let id = d.snapshot().members()[0].id;
+        // Wrong `from` is a no-op with no epoch bump.
+        let epoch = d.epoch();
+        assert!(!d.transition(id, MemberState::Suspect, MemberState::Up));
+        assert_eq!(d.epoch(), epoch);
+        // A drain is never overridden by the suspect-recovery CAS (the
+        // health checker's stale-snapshot hazard).
+        d.drain(id);
+        assert!(!d.transition(id, MemberState::Suspect, MemberState::Up));
+        assert_eq!(
+            d.snapshot().member(id).unwrap().state,
+            MemberState::Draining
+        );
+        d.mark_suspect(id);
+        assert!(d.transition(id, MemberState::Suspect, MemberState::Up));
+        assert_eq!(d.snapshot().member(id).unwrap().state, MemberState::Up);
+    }
+
+    #[test]
+    fn delta_since_replays_changes_and_applies_cleanly() {
+        let d = dir(3);
+        let follower = Directory::from_snapshot(&d.snapshot());
+        assert_eq!(follower.epoch(), d.epoch());
+
+        let late = d.join(addr(7), "late");
+        let victim = d.snapshot().members()[0].id;
+        d.drain(victim);
+        d.leave(victim);
+
+        let delta = d.delta_since(follower.epoch());
+        assert!(!delta.full, "log covers the follower's epoch");
+        assert!(follower.apply_delta(&delta));
+        assert_eq!(follower.epoch(), d.epoch());
+        let snap = follower.snapshot();
+        assert!(snap.member(late).is_some());
+        assert!(snap.member(victim).is_none());
+        // The two views now route identically.
+        let leader = d.snapshot();
+        for i in 0..100 {
+            let s = format!("s{i}");
+            assert_eq!(snap.home(&s), leader.home(&s));
+        }
+        // Re-applying the same delta is a no-op.
+        assert!(!follower.apply_delta(&delta));
+    }
+
+    #[test]
+    fn truncated_log_falls_back_to_full_snapshot() {
+        let d = dir(1);
+        let follower = Directory::from_snapshot(&d.snapshot());
+        // Push far more changes than the log retains.
+        for i in 0..(LOG_CAP + 40) {
+            let id = d.join(addr(2 + (i % 8)), "churner");
+            d.leave(id);
+        }
+        let id = d.join(addr(99), "kept");
+        let delta = d.delta_since(follower.epoch());
+        assert!(delta.full, "ancient epoch must get a snapshot");
+        assert!(follower.apply_delta(&delta));
+        assert_eq!(follower.epoch(), d.epoch());
+        assert!(follower.snapshot().member(id).is_some());
+        assert_eq!(follower.snapshot().len(), d.snapshot().len());
+    }
+
+    #[test]
+    fn full_snapshot_apply_truncates_incremental_history() {
+        let d = dir(2);
+        let follower = Directory::from_snapshot(&d.snapshot());
+        // Evolve the leader far past its change log.
+        for i in 0..(LOG_CAP + 10) {
+            let id = d.join(addr(10 + (i as u64 % 5) as usize), "x");
+            d.leave(id);
+        }
+        let gap_epoch = follower.epoch() + 1;
+        let delta = d.delta_since(follower.epoch());
+        assert!(delta.full);
+        assert!(follower.apply_delta(&delta));
+        // The follower cannot reconstruct removals inside the gap it
+        // jumped over: an in-gap epoch must be answered with a full
+        // snapshot, never an incremental delta missing `Left` records.
+        assert!(follower.delta_since(gap_epoch).full);
+    }
+
+    #[test]
+    fn empty_directory_routes_nothing() {
+        let d = Directory::new();
+        assert_eq!(d.epoch(), 0);
+        assert!(d.snapshot().home("anyone").is_none());
+        assert!(d.snapshot().route("anyone").is_empty());
     }
 }

@@ -1,51 +1,59 @@
-//! # `ironman-cluster` — sharded multi-server COT pools
+//! # `ironman-cluster` — a dynamic fleet of COT pools
 //!
 //! `ironman-net` (PR 1) made one process serve correlations over sockets;
-//! this crate makes a *fleet* of them behave like one elastic pool. It is
-//! the serving-layer translation of the Ironman paper's core idea — keep
-//! extension output streaming toward the consumer instead of computing it
-//! on the demand path — applied at datacenter shape:
+//! PR 2 made a fleet of them behave like one elastic pool; this crate now
+//! gives that fleet a **control plane**, so membership is dynamic:
+//! servers join, drain, fail health checks, die, and get replaced while
+//! clients keep serving. It is the serving-layer translation of the
+//! Ironman paper's core idea — keep extension output streaming toward the
+//! consumer instead of computing it on the demand path — at datacenter
+//! shape:
 //!
-//! * [`ClusterDirectory`] — the fleet snapshot: N `CotService` endpoints
-//!   and a consistent-hash ring (sticky session→server homes, minimal
-//!   reshuffle when the fleet grows).
+//! * [`Directory`] — the epoch-versioned membership: `join`/`leave`/
+//!   `drain` mutations bump a monotonic epoch and publish copy-on-write
+//!   [`RingSnapshot`]s (consistent-hash ring over the routable members),
+//!   so the request path routes lock-free while membership churns. A
+//!   bounded change log answers `Sync` requests with exact deltas.
+//! * [`HealthChecker`] — probes every member with the `Hello`/`Stats`
+//!   round trip, marks repeat offenders suspect (out of the ring, still
+//!   members), and evicts the dead — each an ordinary epoch bump.
 //! * [`ClusterClient`] — one handle that routes demand: consistent-hash
 //!   home first, transparent splitting of oversized requests with
-//!   least-outstanding spill, and automatic failover to the next ring
-//!   server on connect/IO errors.
-//! * [`Warmup`] — a background refiller per server that keeps every
-//!   [`SharedCotPool`](ironman_core::SharedCotPool) shard above a
-//!   low-watermark *before* demand arrives, so requests drain buffers
-//!   instead of waiting on inline FERRET extensions.
-//! * [`ClusterServer`] / [`LocalCluster`] — service + warm-up composed,
-//!   and a whole loopback fleet in one call for tests and benches.
-//! * Streaming rides the `ironman-net` v2 protocol: a
-//!   [`ClusterClient::stream_cots`] subscription pulls chunk pushes with
-//!   credit-based backpressure instead of per-request round trips.
+//!   least-outstanding spill, failure *cooldowns* (a dead server is
+//!   skipped, not re-dialed, until the cooldown or an epoch bump clears
+//!   it), and epoch awareness: a `WrongEpoch` fence pulls the
+//!   `DirectoryUpdate` delta, re-resolves, and retries — including
+//!   **mid-stream**, resuming a subscription on the new home server with
+//!   exact accounting.
+//! * [`FleetWarmup`] — the fleet-level refill controller: reads each
+//!   server's per-shard `Stats` and subscription backlog
+//!   (`pending_stream_cots`) and splits a global refill budget across
+//!   servers proportionally to demand via budgeted `Warm` RPCs
+//!   (cross-server demand balancing). [`Warmup`] remains as the
+//!   single-server refiller, now with adaptive cadence (bounded
+//!   exponential back-off while everything is above watermark).
+//! * [`ClusterServer`] / [`LocalCluster`] — service, directory, health,
+//!   and warm-up composed; a whole dynamic loopback fleet in a few calls
+//!   for tests and benches.
 //!
 //! # Topology
 //!
 //! ```text
-//!                        ClusterDirectory
-//!                 (addresses + consistent-hash ring)
-//!                               |
-//!            +------------------+------------------+
-//!            v                  v                  v
-//!      ClusterClient      ClusterClient      ClusterClient      (sessions)
-//!       "alice"            "bob"              "carol"
-//!          |  home(alice)     |  home(bob)       |  home(carol)
-//!          |  + spill/failover|                  |
-//!     =====+==================+==================+=====  TCP, framed v2
-//!          v                  v                  v
-//!     +---------+        +---------+        +---------+
-//!     | CotSvc  |        | CotSvc  |        | CotSvc  |    (servers)
-//!     | shards: |        | shards: |        | shards: |
-//!     | [p0..p3]|        | [p0..p3]|        | [p0..p3]|
-//!     +----^----+        +----^----+        +----^----+
-//!          |                  |                  |
-//!       Warmup             Warmup             Warmup      (background
-//!     (refill below      (refill below      (refill below  FERRET
-//!      low-watermark)     low-watermark)     low-watermark) extensions)
+//!                    Directory (epoch-versioned control plane)
+//!        join/leave/drain -> epoch++ -> publish RingSnapshot (COW)
+//!          ^           ^                        |
+//!     HealthChecker    FleetWarmup       ClusterClient(s)
+//!     (probe, mark     (read Stats       (route on snapshot; on
+//!      suspect, evict)  backlogs, steer    WrongEpoch: Sync delta,
+//!          |            Warm budget)       re-resolve, resume streams)
+//!          v                 v                  v
+//!     =====+=================+==================+=====  TCP, framed v4
+//!          v                 v                  v
+//!     +---------+       +---------+        +---------+
+//!     | CotSvc  |       | CotSvc  |        | CotSvc  |   (members; each
+//!     | shards: |       | shards: |        | shards: |    an independent
+//!     | [p0..p3]|       | [p0..p3]|        | [p0..p3]|    FERRET dealer)
+//!     +---------+       +---------+        +---------+
 //! ```
 //!
 //! Each server is an independent FERRET dealer (its own `Δ` stream per
@@ -61,7 +69,7 @@
 //! use ironman_ot::params::FerretParams;
 //!
 //! let engine = Engine::new(FerretConfig::new(FerretParams::toy()), Backend::ironman_default());
-//! let cluster = LocalCluster::spawn(
+//! let mut cluster = LocalCluster::spawn(
 //!     3,
 //!     &engine,
 //!     &ClusterServerConfig {
@@ -75,18 +83,32 @@
 //! for batch in client.request_cots(1024).unwrap() {
 //!     batch.verify().unwrap();
 //! }
+//! // Membership is dynamic: kill a server, join a replacement — the
+//! // client re-resolves through the epoch fence and keeps serving.
+//! let victim = cluster.server_ids()[0];
+//! cluster.kill_server(victim);
+//! cluster.directory().leave(victim);
+//! cluster.spawn_server().unwrap();
+//! for batch in client.request_cots(1024).unwrap() {
+//!     batch.verify().unwrap();
+//! }
 //! cluster.shutdown();
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod background;
 pub mod client;
 pub mod directory;
+pub mod health;
 pub mod server;
 pub mod warmup;
 
-pub use client::{ClusterClient, ClusterSubscription};
-pub use directory::{ClusterDirectory, ServerEntry, VIRTUAL_NODES};
+pub use client::{ClusterClient, ClusterSubscription, FAILOVER_COOLDOWN};
+pub use directory::{
+    Directory, Member, MemberState, RingSnapshot, ServerEntry, ServerId, VIRTUAL_NODES,
+};
+pub use health::{HealthChecker, HealthConfig};
 pub use server::{ClusterServer, ClusterServerConfig, LocalCluster};
-pub use warmup::{Warmup, WarmupConfig};
+pub use warmup::{allocate_budget, FleetWarmup, FleetWarmupConfig, Warmup, WarmupConfig};

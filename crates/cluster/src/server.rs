@@ -1,11 +1,16 @@
-//! Cluster-side server composition: a [`CotService`] plus its [`Warmup`]
-//! refiller, and the [`LocalCluster`] helper that spins a whole fleet in
-//! one process for tests, benches, and demos.
+//! Cluster-side server composition: a [`CotService`] attached to the
+//! shared [`Directory`] (so it can fence stale epochs and answer
+//! membership syncs), plus the [`LocalCluster`] helper that runs a whole
+//! *dynamic* fleet in one process for tests, benches, and demos —
+//! servers join, drain, die, and get replaced while clients keep
+//! serving.
 
-use crate::directory::{ClusterDirectory, ServerEntry};
-use crate::warmup::{Warmup, WarmupConfig};
+use crate::directory::{Directory, ServerId};
+use crate::health::{HealthChecker, HealthConfig};
+use crate::warmup::{FleetWarmup, FleetWarmupConfig, Warmup, WarmupConfig};
 use ironman_core::{Engine, SharedCotPool};
-use ironman_net::{CotService, CotServiceConfig, ServiceStats};
+use ironman_net::{CotService, CotServiceConfig, DirectoryView, ServiceStats};
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -15,13 +20,15 @@ use std::time::{Duration, Instant};
 pub struct ClusterServerConfig {
     /// The underlying service configuration (shards, seed).
     pub service: CotServiceConfig,
-    /// Warm-up refiller; `None` serves cold (extensions inline on
-    /// demand), the PR-1 behavior.
+    /// Per-server warm-up refiller; `None` serves cold (extensions
+    /// inline on demand) unless a fleet-level [`FleetWarmup`] steers
+    /// refills from outside — the preferred fleet shape, since it
+    /// balances refill capacity across servers by demand.
     pub warmup: Option<WarmupConfig>,
 }
 
-/// One member of the fleet: a running COT service with an optional
-/// background warm-up refiller over its pool.
+/// One member of the fleet: a running COT service (directory-attached
+/// when spawned with one) with an optional per-server warm-up refiller.
 #[derive(Debug)]
 pub struct ClusterServer {
     service: CotService,
@@ -30,7 +37,10 @@ pub struct ClusterServer {
 
 impl ClusterServer {
     /// Binds `addr` and starts the service (and, if configured, its
-    /// warm-up refiller).
+    /// warm-up refiller). With a directory attached, the service fences
+    /// stale-epoch sessions and answers `Sync` with membership deltas;
+    /// registering the server *in* that directory is the caller's move
+    /// (bind first, then [`Directory::join`] with the bound address).
     ///
     /// # Errors
     ///
@@ -39,10 +49,12 @@ impl ClusterServer {
         addr: A,
         engine: &Engine,
         cfg: ClusterServerConfig,
+        directory: Option<Arc<Directory>>,
     ) -> std::io::Result<ClusterServer> {
         let listener = TcpListener::bind(addr)?;
         let pool = Arc::new(cfg.service.build_pool(engine));
-        let service = CotService::serve_on(listener, Arc::clone(&pool));
+        let view = directory.map(|d| d as Arc<dyn DirectoryView>);
+        let service = CotService::serve_on_with(listener, Arc::clone(&pool), view);
         let warmup = cfg.warmup.map(|wcfg| Warmup::spawn(pool, wcfg));
         Ok(ClusterServer { service, warmup })
     }
@@ -72,22 +84,31 @@ impl ClusterServer {
     }
 }
 
-/// A whole fleet on loopback: N [`ClusterServer`]s with per-server seeds
-/// (each server is an independent FERRET dealer with its own `Δ` stream)
-/// and the matching [`ClusterDirectory`].
+/// A whole dynamic fleet on loopback: N [`ClusterServer`]s (each an
+/// independent FERRET dealer with its own `Δ` stream) registered in one
+/// shared [`Directory`], plus optional health checking and fleet-level
+/// warm-up. Servers are keyed by their stable [`ServerId`]; killing one
+/// and joining a replacement is the membership-churn scenario the epoch
+/// fence exists for.
 #[derive(Debug)]
 pub struct LocalCluster {
-    /// Slot `i` is directory index `i` for the fleet's whole lifetime; a
-    /// shut-down server leaves a `None` behind so later indices stay
-    /// valid (failover tests kill servers by directory index).
-    servers: Vec<Option<ClusterServer>>,
-    entries: Vec<ServerEntry>,
+    directory: Arc<Directory>,
+    servers: HashMap<ServerId, ClusterServer>,
+    engine: Engine,
+    cfg: ClusterServerConfig,
+    /// Servers spawned so far (drives per-server seed derivation, so a
+    /// replacement never shares a correlation stream with any earlier
+    /// server).
+    spawned: u64,
+    health: Option<HealthChecker>,
+    fleet_warmup: Option<FleetWarmup>,
 }
 
 impl LocalCluster {
-    /// Spawns `n` servers on ephemeral loopback ports. Server `i` uses
-    /// `cfg.service.seed` offset by `i`, so no two servers share a
-    /// correlation stream.
+    /// Spawns `n` servers on ephemeral loopback ports, all joined into a
+    /// fresh shared directory (epoch `n` afterwards). Server `i` uses
+    /// `cfg.service.seed` offset by a per-spawn multiplier, so no two
+    /// servers — original or replacement — share a correlation stream.
     ///
     /// # Errors
     ///
@@ -98,64 +119,131 @@ impl LocalCluster {
     /// Panics if `n == 0`.
     pub fn spawn(n: usize, engine: &Engine, cfg: &ClusterServerConfig) -> std::io::Result<Self> {
         assert!(n > 0, "cluster needs at least one server");
-        let servers = (0..n)
-            .map(|i| {
-                let mut server_cfg = cfg.clone();
-                server_cfg.service.seed = cfg
-                    .service
-                    .seed
-                    .wrapping_add(0x517c_c1b7_2722_0a95u64.wrapping_mul(i as u64 + 1));
-                ClusterServer::spawn("127.0.0.1:0", engine, server_cfg).map(Some)
-            })
-            .collect::<std::io::Result<Vec<_>>>()?;
-        let entries = servers
-            .iter()
-            .enumerate()
-            .map(|(i, s)| ServerEntry {
-                addr: s.as_ref().expect("just spawned").addr(),
-                name: format!("local-{i}"),
-            })
-            .collect();
-        Ok(LocalCluster { servers, entries })
+        let mut cluster = LocalCluster {
+            directory: Arc::new(Directory::new()),
+            servers: HashMap::new(),
+            engine: engine.clone(),
+            cfg: cfg.clone(),
+            spawned: 0,
+            health: None,
+            fleet_warmup: None,
+        };
+        for _ in 0..n {
+            cluster.spawn_server()?;
+        }
+        Ok(cluster)
     }
 
-    /// The directory describing this fleet. Indices are stable: a server
-    /// shut down via [`LocalCluster::shutdown_server`] keeps its entry
-    /// (clients discover it is dead by failing to connect — the failover
-    /// scenario).
-    pub fn directory(&self) -> ClusterDirectory {
-        ClusterDirectory::new(self.entries.clone())
+    /// Spawns one more server and joins it into the directory (an epoch
+    /// bump every client observes) — the "replacement joins" half of
+    /// membership churn. Returns its stable id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_server(&mut self) -> std::io::Result<ServerId> {
+        let mut server_cfg = self.cfg.clone();
+        server_cfg.service.seed = self
+            .cfg
+            .service
+            .seed
+            .wrapping_add(0x517c_c1b7_2722_0a95u64.wrapping_mul(self.spawned + 1));
+        self.spawned += 1;
+        let server = ClusterServer::spawn(
+            "127.0.0.1:0",
+            &self.engine,
+            server_cfg,
+            Some(Arc::clone(&self.directory)),
+        )?;
+        let id = self
+            .directory
+            .join(server.addr(), &format!("local-{}", self.spawned - 1));
+        self.servers.insert(id, server);
+        Ok(id)
     }
 
-    /// The individual servers, by directory index (`None` where one has
-    /// been shut down).
-    pub fn servers(&self) -> &[Option<ClusterServer>] {
-        &self.servers
+    /// The shared control-plane directory (clients, the health checker,
+    /// and the fleet warm-up controller all hold the same one).
+    pub fn directory(&self) -> Arc<Directory> {
+        Arc::clone(&self.directory)
     }
 
-    /// Shuts down one server by directory index (for failover tests);
-    /// returns its final statistics. Other indices remain valid.
+    /// Stable ids of the currently running servers, sorted.
+    pub fn server_ids(&self) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self.servers.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The running server with id `id`, if any.
+    pub fn server(&self, id: ServerId) -> Option<&ClusterServer> {
+        self.servers.get(&id)
+    }
+
+    /// Starts a health checker over the fleet's directory: probe
+    /// failures mark members suspect and then evict them, bumping the
+    /// epoch clients re-resolve on.
+    pub fn enable_health(&mut self, cfg: HealthConfig) {
+        self.health
+            .get_or_insert_with(|| HealthChecker::spawn(Arc::clone(&self.directory), cfg));
+    }
+
+    /// Starts the fleet-level warm-up controller (the demand-steered
+    /// replacement for per-server refillers; see [`FleetWarmup`]).
+    pub fn enable_fleet_warmup(&mut self, cfg: FleetWarmupConfig) {
+        self.fleet_warmup
+            .get_or_insert_with(|| FleetWarmup::spawn(Arc::clone(&self.directory), cfg));
+    }
+
+    /// Kills a server **without telling the directory** — crash
+    /// semantics: clients discover it through connect failures and the
+    /// health checker (if running) evicts it. Returns its final
+    /// statistics.
     ///
     /// # Panics
     ///
-    /// Panics if the server at `idx` was already shut down.
-    pub fn shutdown_server(&mut self, idx: usize) -> ServiceStats {
-        self.servers[idx]
-            .take()
-            .expect("server already shut down")
+    /// Panics if no server with `id` is running.
+    pub fn kill_server(&mut self, id: ServerId) -> ServiceStats {
+        self.servers
+            .remove(&id)
+            .expect("server not running")
             .shutdown()
     }
 
-    /// Blocks until every live server's pool holds at least `per_server`
-    /// buffered correlations, or `timeout` passes. Returns whether the
-    /// fleet got warm.
+    /// Gracefully removes a server: [`Directory::drain`] first (no new
+    /// homes), then shutdown, then [`Directory::leave`]. Returns its
+    /// final statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no server with `id` is running.
+    pub fn remove_server(&mut self, id: ServerId) -> ServiceStats {
+        self.directory.drain(id);
+        let stats = self
+            .servers
+            .remove(&id)
+            .expect("server not running")
+            .shutdown();
+        self.directory.leave(id);
+        stats
+    }
+
+    /// Marks a server draining (it keeps serving existing sessions but
+    /// receives no new homes). The server keeps running until
+    /// [`LocalCluster::kill_server`]/[`LocalCluster::remove_server`].
+    pub fn drain_server(&self, id: ServerId) {
+        self.directory.drain(id);
+    }
+
+    /// Blocks until every running server's pool holds at least
+    /// `per_server` buffered correlations, or `timeout` passes. Returns
+    /// whether the fleet got warm.
     pub fn wait_warm(&self, per_server: usize, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
             if self
                 .servers
-                .iter()
-                .flatten()
+                .values()
                 .all(|s| s.pool().available() >= per_server)
             {
                 return true;
@@ -167,13 +255,25 @@ impl LocalCluster {
         }
     }
 
-    /// Shuts the whole fleet down; returns final statistics of the
-    /// servers that were still live.
-    pub fn shutdown(self) -> Vec<ServiceStats> {
-        self.servers
-            .into_iter()
-            .flatten()
-            .map(ClusterServer::shutdown)
+    /// Shuts the whole fleet down (controllers first, then every
+    /// running server); returns the final statistics of the servers
+    /// that were still live.
+    pub fn shutdown(mut self) -> Vec<ServiceStats> {
+        if let Some(health) = self.health.take() {
+            health.stop();
+        }
+        if let Some(warmup) = self.fleet_warmup.take() {
+            warmup.stop();
+        }
+        let mut ids: Vec<ServerId> = self.servers.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| {
+                self.servers
+                    .remove(&id)
+                    .expect("listed id is running")
+                    .shutdown()
+            })
             .collect()
     }
 }

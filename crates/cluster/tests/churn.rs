@@ -1,0 +1,141 @@
+//! Membership-churn smoke: a 3-server fleet under live one-shot +
+//! streaming load survives one server being killed (the health checker
+//! evicts it) and a replacement joining — **no client request returns an
+//! error**, subscriptions resume with exact accounting, and `Stats`
+//! shows the directory epoch advanced on every survivor. This is the
+//! acceptance scenario of the dynamic-membership control plane, run by
+//! `scripts/ci.sh`.
+
+use ironman_cluster::{
+    ClusterClient, ClusterServerConfig, HealthConfig, LocalCluster, WarmupConfig,
+};
+use ironman_core::{Backend, Engine};
+use ironman_net::CotServiceConfig;
+use ironman_ot::ferret::FerretConfig;
+use ironman_ot::params::FerretParams;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn fleet_survives_kill_and_rejoin_under_load() {
+    let engine = Engine::new(
+        FerretConfig::new(FerretParams::toy()),
+        Backend::ironman_default(),
+    );
+    let cfg = ClusterServerConfig {
+        service: CotServiceConfig {
+            shards: 2,
+            seed: 0xC4A0,
+            ..CotServiceConfig::default()
+        },
+        warmup: Some(WarmupConfig::default()),
+    };
+    let mut cluster = LocalCluster::spawn(3, &engine, &cfg).expect("spawn fleet");
+    // A single failed probe only suspects (a blip recovers); a dead
+    // server is evicted within ~3 probe intervals.
+    cluster.enable_health(HealthConfig {
+        interval: Duration::from_millis(10),
+        suspect_after: 1,
+        evict_after: 3,
+        ..HealthConfig::default()
+    });
+    let directory = cluster.directory();
+    let epoch_before = directory.epoch();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Two one-shot workers hammer the fleet for the whole churn window;
+    // every request must succeed (failover + epoch resync are internal).
+    let oneshot_workers: Vec<_> = (0..2)
+        .map(|w| {
+            let directory = Arc::clone(&directory);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = ClusterClient::connect(directory, &format!("churn-oneshot-{w}"))
+                    .expect("connect");
+                let mut served = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    for batch in client.request_cots(400).expect("one-shot under churn") {
+                        batch.verify().expect("verified under churn");
+                        served += batch.len() as u64;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+    // One streaming worker runs a long subscription across the kill.
+    let streamer = {
+        let directory = Arc::clone(&directory);
+        std::thread::spawn(move || {
+            let mut client = ClusterClient::connect(directory, "churn-streamer").expect("connect");
+            let total = 120_000u64;
+            let mut seen = 0u64;
+            let summary = client
+                .stream_cots(total, 800, |batch| {
+                    batch.verify().expect("stream chunk verified");
+                    seen += batch.len() as u64;
+                    // Throttle so the subscription is guaranteed to still
+                    // be in flight when the kill lands.
+                    std::thread::sleep(Duration::from_millis(1));
+                })
+                .expect("stream survives churn");
+            assert_eq!(summary.cots, total, "stream accounting mismatch");
+            assert_eq!(seen, total, "consumer saw a different total");
+            total
+        })
+    };
+
+    // Let the load build, then kill one server *without* telling the
+    // directory — the health checker must notice and evict it.
+    std::thread::sleep(Duration::from_millis(150));
+    let victim = cluster.server_ids()[0];
+    cluster.kill_server(victim);
+    let evicted_by = Instant::now() + Duration::from_secs(20);
+    while directory.snapshot().member(victim).is_some() {
+        assert!(
+            Instant::now() < evicted_by,
+            "health checker never evicted the dead server"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // A replacement joins mid-load.
+    let replacement = cluster.spawn_server().expect("replacement joins");
+    std::thread::sleep(Duration::from_millis(150));
+
+    stop.store(true, Ordering::SeqCst);
+    let oneshot_total: u64 = oneshot_workers
+        .into_iter()
+        .map(|t| t.join().expect("one-shot worker"))
+        .sum();
+    let streamed = streamer.join().expect("streamer");
+    assert!(oneshot_total > 0, "one-shot load never ran");
+    assert_eq!(streamed, 120_000);
+
+    // Let the health checker settle (every member healthy means no
+    // further epoch movement) before reading the fleet-wide epoch.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Every survivor observed the advanced epoch (kill eviction + join,
+    // at minimum two bumps past the baseline).
+    let final_epoch = directory.epoch();
+    assert!(
+        final_epoch >= epoch_before + 2,
+        "epoch must advance on eviction and join"
+    );
+    let mut observer =
+        ClusterClient::connect(Arc::clone(&directory), "churn-observer").expect("connect");
+    let mut survivors = 0;
+    for (id, _, stats) in observer.stats_all() {
+        let stats = stats.unwrap_or_else(|| panic!("survivor {id} unreachable"));
+        assert_eq!(
+            stats.directory_epoch, final_epoch,
+            "survivor {id} reports a stale epoch"
+        );
+        survivors += 1;
+    }
+    assert_eq!(survivors, 3, "two originals plus the replacement");
+    assert!(directory.snapshot().member(replacement).is_some());
+
+    cluster.shutdown();
+}

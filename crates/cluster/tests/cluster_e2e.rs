@@ -1,13 +1,19 @@
-//! Multi-server loopback end-to-end: a 3-server fleet with warm-up, a
-//! routed client doing one-shot, split, and streaming requests, and
-//! failover when the home server dies.
+//! Multi-server loopback end-to-end: a dynamic 3-server fleet with
+//! warm-up, a routed client doing one-shot, split, and streaming
+//! requests, failover when the home server dies — including **mid
+//! subscription** — and the epoch fence (`WrongEpoch` →
+//! `DirectoryUpdate` → re-resolve) for clients whose membership view
+//! went stale.
 
-use ironman_cluster::{ClusterClient, ClusterServerConfig, LocalCluster, WarmupConfig};
+use ironman_cluster::{
+    ClusterClient, ClusterServerConfig, Directory, FleetWarmupConfig, LocalCluster, WarmupConfig,
+};
 use ironman_core::{Backend, Engine};
 use ironman_net::CotServiceConfig;
 use ironman_ot::channel::ChannelError;
 use ironman_ot::ferret::FerretConfig;
 use ironman_ot::params::FerretParams;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn toy_engine() -> Engine {
@@ -32,18 +38,17 @@ fn warm_cluster_cfg() -> ClusterServerConfig {
 fn three_server_fleet_serves_routed_and_split_requests() {
     let engine = toy_engine();
     let cluster = LocalCluster::spawn(3, &engine, &warm_cluster_cfg()).expect("spawn fleet");
-    let directory = cluster.directory();
 
-    let mut client = ClusterClient::connect(directory, "e2e-router").expect("connect");
+    let mut client = ClusterClient::connect(cluster.directory(), "e2e-router").expect("connect");
     let max = client.max_request().expect("connected") as usize;
+    let home = client.home().expect("non-empty fleet");
 
     // In-limit request: single batch, single (home) server.
     let small = client.request_cots(max / 2).unwrap();
     assert_eq!(small.len(), 1);
     assert_eq!(small[0].len(), max / 2);
     small[0].verify().unwrap();
-    let after_small = client.served_per_server();
-    assert_eq!(after_small[client.home()], (max / 2) as u64);
+    assert_eq!(client.served_for(home), (max / 2) as u64);
 
     // Oversized request: transparently split across servers, every chunk
     // within the per-server limit, total exact, every batch verified.
@@ -65,14 +70,31 @@ fn three_server_fleet_serves_routed_and_split_requests() {
     let spread = client
         .served_per_server()
         .iter()
-        .filter(|&&cots| cots > 0)
+        .filter(|&&(_, cots)| cots > 0)
         .count();
     assert!(spread >= 2, "spill never left the home server");
 
+    // The coalescing visitor path delivers the same totals through one
+    // reused batch (no owned batch per chunk).
+    let served_before = client.served_total();
+    let mut visited = 0u64;
+    let chunks = client
+        .request_cots_with(want, |batch| {
+            batch.verify().unwrap();
+            assert!(batch.len() <= max);
+            visited += batch.len() as u64;
+        })
+        .unwrap();
+    assert!(chunks >= 3);
+    assert_eq!(visited, want as u64);
+    assert_eq!(client.served_total(), served_before + want as u64);
+
     // Per-shard observability: the stats request reports every shard and
-    // the warm-up refills that filled them.
+    // the warm-up refills that filled them, plus the directory epoch
+    // every member agrees on.
+    let epoch = cluster.directory().epoch();
     let mut warm_refills = 0;
-    for (_, stats) in client.stats_all() {
+    for (_, _, stats) in client.stats_all() {
         let stats = stats.expect("all servers reachable");
         assert_eq!(stats.shards, 2);
         assert_eq!(stats.shard_stats.len(), 2);
@@ -80,6 +102,7 @@ fn three_server_fleet_serves_routed_and_split_requests() {
             stats.available,
             stats.shard_stats.iter().map(|s| s.available).sum::<u64>()
         );
+        assert_eq!(stats.directory_epoch, epoch);
         warm_refills += stats.warmup_refills;
     }
     assert!(warm_refills > 0, "warm-up never refilled any server");
@@ -118,15 +141,14 @@ fn streaming_subscription_over_the_fleet() {
 
     // The raw subscription handle also feeds the per-server load
     // counters (spill routing must see streamed load).
-    let served_before: u64 = client.served_per_server().iter().sum();
+    let served_before = client.served_total();
     let mut sub = client.subscribe(128, 4).unwrap();
     while let Some(batch) = sub.next_chunk().unwrap() {
         batch.verify().unwrap();
     }
     let sub_summary = sub.finish().unwrap();
     assert_eq!(sub_summary.cots, 4 * 128);
-    let served_after: u64 = client.served_per_server().iter().sum();
-    assert_eq!(served_after, served_before + 4 * 128);
+    assert_eq!(client.served_total(), served_before + 4 * 128);
 
     cluster.shutdown();
 }
@@ -146,19 +168,20 @@ fn failover_routes_around_a_dead_home_server() {
     let mut cluster = LocalCluster::spawn(3, &engine, &cfg).expect("spawn fleet");
     let directory = cluster.directory();
     let session = "failover-session";
-    let home = directory.home(session);
+    let home = directory.snapshot().home(session).expect("non-empty");
 
-    // Kill the session's home server before the client ever connects.
-    cluster.shutdown_server(home);
+    // Crash the session's home server before the client ever connects —
+    // the directory still lists it (nobody told it), so the client must
+    // discover the corpse by failing to connect.
+    cluster.kill_server(home);
 
-    let mut client = ClusterClient::connect(directory.clone(), session).expect("connect");
+    let mut client = ClusterClient::connect(directory, session).expect("connect");
     let batches = client.request_cots(100).unwrap();
     assert_eq!(batches.len(), 1);
     batches[0].verify().unwrap();
     // The correlations came from a fallback, not the dead home.
-    let served = client.served_per_server();
-    assert_eq!(served[home], 0);
-    assert_eq!(served.iter().sum::<u64>(), 100);
+    assert_eq!(client.served_for(home), 0);
+    assert_eq!(client.served_total(), 100);
 
     // Streaming also routes around the dead home.
     let summary = client
@@ -170,20 +193,20 @@ fn failover_routes_around_a_dead_home_server() {
 }
 
 #[test]
-fn shutting_down_multiple_servers_keeps_indices_stable() {
+fn killing_servers_keeps_ids_stable_and_survivor_serves() {
     let engine = toy_engine();
     let cfg = ClusterServerConfig::default();
     let mut cluster = LocalCluster::spawn(3, &engine, &cfg).expect("spawn fleet");
-    let directory = cluster.directory();
-    // Regression: killing index 0 then index 2 used to shift the vec and
-    // panic (or kill the wrong server).
-    cluster.shutdown_server(0);
-    cluster.shutdown_server(2);
-    // Only directory index 1 is left; any session must end up there.
-    let mut client = ClusterClient::connect(directory.clone(), "survivor").expect("connect");
+    let ids = cluster.server_ids();
+    // Kill two of three by stable id; the ids of the remaining server do
+    // not shift.
+    cluster.kill_server(ids[0]);
+    cluster.kill_server(ids[2]);
+    assert_eq!(cluster.server_ids(), vec![ids[1]]);
+    let mut client = ClusterClient::connect(cluster.directory(), "survivor").expect("connect");
     let batches = client.request_cots(64).unwrap();
     batches[0].verify().unwrap();
-    assert_eq!(client.served_per_server()[1], 64);
+    assert_eq!(client.served_for(ids[1]), 64);
     cluster.shutdown();
 }
 
@@ -212,7 +235,7 @@ fn two_clients_share_the_fleet() {
 
     let threads: Vec<_> = (0..2)
         .map(|id| {
-            let directory = directory.clone();
+            let directory = Arc::clone(&directory);
             std::thread::spawn(move || {
                 let mut client =
                     ClusterClient::connect(directory, &format!("shared-{id}")).expect("connect");
@@ -233,4 +256,183 @@ fn two_clients_share_the_fleet() {
     let final_stats = cluster.shutdown();
     let cots_served: u64 = final_stats.iter().map(|s| s.cots_served).sum();
     assert_eq!(cots_served, total);
+}
+
+#[test]
+fn stale_client_is_fenced_synced_and_rerouted() {
+    // The wire-v4 tentpole path, end to end: a client whose *private*
+    // directory falls behind the fleet's is fenced with WrongEpoch, pulls
+    // the DirectoryUpdate delta, applies it, re-resolves, and serves —
+    // all inside one request_cots call.
+    let engine = toy_engine();
+    let mut cluster = LocalCluster::spawn(3, &engine, &warm_cluster_cfg()).expect("spawn fleet");
+    let shared = cluster.directory();
+
+    // The client's view is a snapshot clone, NOT the shared directory:
+    // membership changes leave it stale until a server's delta lands.
+    let follower = Arc::new(Directory::from_snapshot(&shared.snapshot()));
+    let mut client = ClusterClient::connect(Arc::clone(&follower), "stale-view").expect("connect");
+    let home = client.home().expect("non-empty");
+    client.request_cots(64).unwrap()[0].verify().unwrap();
+
+    // Drain the client's home (epoch bump in the shared directory only)
+    // and add a fresh server. The follower still routes to the drained
+    // home; the server must fence and re-educate it.
+    cluster.drain_server(home);
+    cluster.spawn_server().expect("replacement joins");
+    let fleet_epoch = shared.epoch();
+    assert!(client.epoch() < fleet_epoch, "client view must be stale");
+
+    let served_on_home = client.served_for(home);
+    let batches = client.request_cots(64).unwrap();
+    batches[0].verify().unwrap();
+    // The fence + delta brought the client current...
+    assert_eq!(client.epoch(), fleet_epoch);
+    // ...and the new work avoided the draining home.
+    assert_eq!(client.served_for(home), served_on_home);
+
+    cluster.shutdown();
+}
+
+#[test]
+fn kill_mid_subscription_resumes_on_new_home_with_exact_accounting() {
+    let engine = toy_engine();
+    let mut cluster = LocalCluster::spawn(3, &engine, &warm_cluster_cfg()).expect("spawn fleet");
+    let directory = cluster.directory();
+
+    let mut client =
+        ClusterClient::connect(Arc::clone(&directory), "doomed-stream").expect("connect");
+    let home = client.home().expect("non-empty");
+
+    const BATCH: usize = 200;
+    const TOTAL: u64 = 40 * BATCH as u64 + 57;
+    let mut seen = 0u64;
+    let mut chunks_seen = 0u64;
+    let mut killed = false;
+    let summary = client
+        .stream_cots(TOTAL, BATCH, |batch| {
+            batch.verify().unwrap();
+            seen += batch.len() as u64;
+            chunks_seen += 1;
+            // Kill the serving home after a few chunks, mid-stream. The
+            // eviction bumps the epoch; the stream must resume on the new
+            // home for exactly the remainder.
+            if !killed && seen >= 3 * BATCH as u64 {
+                cluster.kill_server(home);
+                directory.leave(home);
+                killed = true;
+            }
+        })
+        .expect("stream survives the kill");
+    assert!(killed, "the kill never triggered");
+    // Zero lost, zero duplicated: the consumer saw exactly the total.
+    assert_eq!(seen, TOTAL);
+    assert_eq!(summary.cots, TOTAL);
+    assert_eq!(summary.chunks, chunks_seen.min(40));
+    // The resumed portion really came from a different server.
+    assert!(client.served_for(home) >= 3 * BATCH as u64);
+    assert!(client.served_total() >= TOTAL);
+    let others: u64 = client
+        .served_per_server()
+        .iter()
+        .filter(|&&(id, _)| id != home)
+        .map(|&(_, cots)| cots)
+        .sum();
+    assert!(others > 0, "resume never left the dead home");
+
+    cluster.shutdown();
+}
+
+#[test]
+fn fleet_warmup_steers_refills_toward_the_demand_backlog() {
+    let engine = toy_engine();
+    // No per-server warm-up: every refill is the fleet controller's
+    // doing, so the per-shard warm_refills counters measure its steering
+    // and nothing else.
+    let cfg = ClusterServerConfig {
+        service: CotServiceConfig {
+            shards: 2,
+            seed: 0x57EE,
+            ..CotServiceConfig::default()
+        },
+        warmup: None,
+    };
+    let mut cluster = LocalCluster::spawn(3, &engine, &cfg).expect("spawn fleet");
+    cluster.enable_fleet_warmup(FleetWarmupConfig {
+        budget: 2,
+        interval: Duration::from_millis(2),
+        max_interval: Duration::from_millis(8),
+        ..FleetWarmupConfig::default()
+    });
+    // Let the controller top every shard up to the full merge-refill
+    // watermark (2 extensions per shard) first: with zero deficit and
+    // zero backlog everywhere, every weight is zero and the controller
+    // spends nothing — the steering delta below is pure demand response.
+    let watermark_per_server = 2 * 2 * engine.config().usable_outputs();
+    assert!(
+        cluster.wait_warm(watermark_per_server, Duration::from_secs(120)),
+        "controller never warmed the idle fleet"
+    );
+
+    let mut client = ClusterClient::connect(cluster.directory(), "hungry").expect("connect");
+    let home = client.home().expect("non-empty");
+    let warm_before: Vec<(u64, u64)> = client
+        .stats_all()
+        .iter()
+        .map(|(id, _, stats)| {
+            let s = stats.as_ref().expect("reachable");
+            (id.0, s.shard_stats.iter().map(|sh| sh.warm_refills).sum())
+        })
+        .collect();
+
+    // One server gets all the subscription demand; its peers stay idle.
+    let total = 60_000u64;
+    let summary = client
+        .stream_cots(total, 1500, |b| b.verify().unwrap())
+        .expect("stream");
+    assert_eq!(summary.cots, total);
+
+    // Give the controller time to respond to the drain: its budget must
+    // flow to the demand-loaded server until it is back above watermark
+    // (the idle peers have zero weight and receive nothing meanwhile).
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    while cluster.server(home).expect("home runs").pool().available() < watermark_per_server {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "controller never restored the drained server"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut home_delta = 0u64;
+    let mut peer_deltas = Vec::new();
+    for (id, _, stats) in client.stats_all() {
+        let s = stats.expect("reachable");
+        let warm: u64 = s.shard_stats.iter().map(|sh| sh.warm_refills).sum();
+        let before = warm_before
+            .iter()
+            .find(|&&(bid, _)| bid == id.0)
+            .map_or(0, |&(_, w)| w);
+        let delta = warm - before;
+        if id == home {
+            home_delta = delta;
+        } else {
+            peer_deltas.push(delta);
+        }
+    }
+    // The drained server's shards received a measurably larger share of
+    // the refill budget than the idle peers' (who were already at
+    // watermark and carried no backlog).
+    for &peer in &peer_deltas {
+        assert!(
+            home_delta >= 2 * peer.max(1),
+            "steering failed: home got {home_delta} refills vs peers {peer_deltas:?}"
+        );
+    }
+    assert!(
+        home_delta > 0,
+        "the demand-loaded server was never refilled"
+    );
+
+    cluster.shutdown();
 }

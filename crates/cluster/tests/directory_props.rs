@@ -1,0 +1,146 @@
+//! Property-based membership invariants (proptest): consistent-hash
+//! reshuffle on `join`/`leave` is *minimal* (only sessions homed on the
+//! changed server move), epochs are strictly monotone across arbitrary
+//! mutation sequences, and delta sync always converges a follower to the
+//! leader's routing.
+
+use ironman_cluster::{Directory, ServerEntry, ServerId};
+use proptest::prelude::*;
+use std::net::SocketAddr;
+
+fn addr(octet: u64) -> SocketAddr {
+    format!("10.1.{}.{}:7000", octet / 256, octet % 256)
+        .parse()
+        .expect("valid addr")
+}
+
+fn fleet(n: usize, salt: u64) -> Directory {
+    Directory::bootstrap((0..n).map(|i| ServerEntry {
+        addr: addr(salt * 40 + i as u64 + 1),
+        name: format!("m{i}"),
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Joining a server moves a session's home only if it moves *to the
+    /// joined server*: nobody else's arc changed.
+    #[test]
+    fn join_reshuffle_is_minimal(
+        n in 1usize..6,
+        salt in 0u64..4,
+        sessions in proptest::collection::vec(any::<u32>(), 1..60),
+    ) {
+        let dir = fleet(n, salt);
+        let before = dir.snapshot();
+        let joined = dir.join(addr(salt * 40 + 39), "late");
+        let after = dir.snapshot();
+        for s in &sessions {
+            let session = format!("session-{s}");
+            let old = before.home(&session).unwrap();
+            let new = after.home(&session).unwrap();
+            prop_assert!(
+                new == old || new == joined,
+                "session moved {old:?} -> {new:?}, but only moves to {joined:?} are allowed"
+            );
+        }
+    }
+
+    /// Removing a server moves only the sessions that were homed on it;
+    /// every other session keeps its home.
+    #[test]
+    fn leave_reshuffle_is_minimal(
+        n in 2usize..6,
+        salt in 0u64..4,
+        victim_seed in any::<u64>(),
+        sessions in proptest::collection::vec(any::<u32>(), 1..60),
+    ) {
+        let dir = fleet(n, salt);
+        let before = dir.snapshot();
+        let members: Vec<ServerId> = before.members().iter().map(|m| m.id).collect();
+        let victim = members[(victim_seed % members.len() as u64) as usize];
+        prop_assert!(dir.leave(victim));
+        let after = dir.snapshot();
+        for s in &sessions {
+            let session = format!("session-{s}");
+            let old = before.home(&session).unwrap();
+            let new = after.home(&session).unwrap();
+            if old == victim {
+                prop_assert!(new != victim, "session still homed on the removed server");
+            } else {
+                prop_assert_eq!(new, old, "session moved although its home stayed");
+            }
+        }
+    }
+
+    /// Epochs are strictly monotone over any mutation sequence, and every
+    /// *effective* mutation bumps exactly once.
+    #[test]
+    fn epochs_are_strictly_monotone(
+        ops in proptest::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let dir = fleet(2, 9);
+        let mut last = dir.epoch();
+        for op in &ops {
+            let ids: Vec<ServerId> = dir.snapshot().members().iter().map(|m| m.id).collect();
+            let joined = match op % 5 {
+                0 => {
+                    // A join of an address that is already a live Up
+                    // member is deliberately a no-op (no epoch bump);
+                    // only a genuinely new/healing join must advance.
+                    let a = addr(200 + (op % 30));
+                    let already_up = dir
+                        .snapshot()
+                        .members()
+                        .iter()
+                        .any(|m| m.addr == a && m.state == ironman_cluster::MemberState::Up);
+                    dir.join(a, "j");
+                    !already_up
+                }
+                1 if ids.len() > 1 => { dir.leave(ids[(op / 5) as usize % ids.len()]); false }
+                2 if !ids.is_empty() => { dir.drain(ids[(op / 5) as usize % ids.len()]); false }
+                3 if !ids.is_empty() => { dir.mark_suspect(ids[(op / 5) as usize % ids.len()]); false }
+                4 if !ids.is_empty() => { dir.mark_up(ids[(op / 5) as usize % ids.len()]); false }
+                _ => false,
+            };
+            let now = dir.epoch();
+            prop_assert!(now >= last, "epoch went backwards: {last} -> {now}");
+            if joined {
+                prop_assert!(now > last, "a join must strictly advance the epoch");
+            }
+            last = now;
+        }
+    }
+
+    /// After any mutation run, a follower syncing by delta (or full
+    /// snapshot fallback) routes identically to the leader.
+    #[test]
+    fn delta_sync_converges_routing(
+        ops in proptest::collection::vec(any::<u64>(), 0..30),
+        sessions in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let dir = fleet(3, 21);
+        let follower = Directory::from_snapshot(&dir.snapshot());
+        for op in &ops {
+            let ids: Vec<ServerId> = dir.snapshot().members().iter().map(|m| m.id).collect();
+            match op % 4 {
+                0 => { dir.join(addr(600 + (op % 20)), "j"); }
+                1 if ids.len() > 1 => { dir.leave(ids[(op / 4) as usize % ids.len()]); }
+                2 if !ids.is_empty() => { dir.drain(ids[(op / 4) as usize % ids.len()]); }
+                3 if !ids.is_empty() => { dir.mark_up(ids[(op / 4) as usize % ids.len()]); }
+                _ => {}
+            }
+        }
+        let delta = dir.delta_since(follower.epoch());
+        follower.apply_delta(&delta);
+        prop_assert_eq!(follower.epoch(), dir.epoch());
+        let leader_snap = dir.snapshot();
+        let follower_snap = follower.snapshot();
+        prop_assert_eq!(leader_snap.len(), follower_snap.len());
+        for s in &sessions {
+            let session = format!("session-{s}");
+            prop_assert_eq!(leader_snap.home(&session), follower_snap.home(&session));
+        }
+    }
+}

@@ -35,5 +35,5 @@ pub mod speedup;
 pub use engine::{Backend, Engine, ExtensionRun, Timing};
 pub use pool::{CotBatch, CotPool, CotSlice};
 pub use rot::{RotReceiver, RotSender};
-pub use shared_pool::SharedCotPool;
+pub use shared_pool::{ShardSnapshot, SharedCotPool};
 pub use speedup::{speedup_table, SpeedupRow};

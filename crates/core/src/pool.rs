@@ -178,6 +178,8 @@ pub struct CotPool {
     y: Vec<Block>,
     cursor: usize,
     extensions_run: usize,
+    taken_cots: u64,
+    warm_refills: u64,
     last_timing: Option<Timing>,
     /// Timing template for pipelined refills (the session runs off the
     /// demand path, so per-refill byte counts are not re-measured).
@@ -198,6 +200,8 @@ impl CotPool {
             y: Vec::new(),
             cursor: 0,
             extensions_run: 0,
+            taken_cots: 0,
+            warm_refills: 0,
             last_timing: None,
             session_timing: None,
         }
@@ -220,6 +224,8 @@ impl CotPool {
             y: Vec::new(),
             cursor: 0,
             extensions_run: 0,
+            taken_cots: 0,
+            warm_refills: 0,
             last_timing: None,
             session_timing: Some(session_timing),
         }
@@ -244,6 +250,18 @@ impl CotPool {
     /// Extensions executed so far.
     pub fn extensions_run(&self) -> usize {
         self.extensions_run
+    }
+
+    /// Correlations drained from this pool so far — the per-shard demand
+    /// signal a fleet-level refill controller steers by.
+    pub fn taken_cots(&self) -> u64 {
+        self.taken_cots
+    }
+
+    /// Refills performed through [`CotPool::ensure`] (the warm-up path,
+    /// as opposed to inline refills on the demand path).
+    pub fn warm_refills(&self) -> u64 {
+        self.warm_refills
     }
 
     /// Timing of the most recent extension, if any (pipelined refills
@@ -340,6 +358,14 @@ impl CotPool {
     /// extensions' output so a sweeping refiller cannot grow the buffer
     /// without bound.
     pub fn ensure(&mut self, min_available: usize) -> bool {
+        let refilled = self.ensure_inner(min_available);
+        if refilled {
+            self.warm_refills += 1;
+        }
+        refilled
+    }
+
+    fn ensure_inner(&mut self, min_available: usize) -> bool {
         let per = self.engine.config().usable_outputs();
         let mut refilled = false;
         if let Supply::Session(_) = &self.supply {
@@ -399,6 +425,7 @@ impl CotPool {
         self.top_up(count);
         let start = self.cursor;
         self.cursor += count;
+        self.taken_cots += count as u64;
         CotSlice {
             delta: self.delta.expect("refill sets delta"),
             z: &self.z[start..start + count],

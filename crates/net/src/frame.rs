@@ -39,8 +39,14 @@ pub const MAGIC: [u8; 4] = *b"IRNM";
 /// backpressure (`Subscribe`/`Credit`/`Unsubscribe`, `CotChunk`/
 /// `StreamEnd`) and the per-shard `Stats` reply layout; **3** — the
 /// `Stats` reply grew the hot-path observability counters
-/// (scratch-buffer reuse/allocation and session-registration failures).
-pub const VERSION: u16 = 3;
+/// (scratch-buffer reuse/allocation and session-registration failures);
+/// **4** — dynamic cluster membership: `Hello` carries the client's
+/// directory epoch, `Sync`/`DirectoryUpdate` exchange membership deltas,
+/// stale-epoch requests are fenced with `WrongEpoch`, `Warm`/`Warmed`
+/// expose budgeted refill steering, and the `Stats` reply carries the
+/// directory epoch, pending streamed demand, and per-shard demand/refill
+/// counters.
+pub const VERSION: u16 = 4;
 
 /// Per-frame header size (the `u32` length prefix).
 pub const FRAME_HEADER_LEN: usize = 4;

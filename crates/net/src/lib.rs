@@ -13,25 +13,31 @@
 //!   Every protocol in `ironman-ot` (IKNP, SPCOT, FERRET) runs over them
 //!   unmodified.
 //! * [`proto`] — the request/response protocol of the COT service:
-//!   one-shot (`Hello`, `RequestCot{n}`, `Stats`, `Shutdown`) plus the v2
+//!   one-shot (`Hello`, `RequestCot{n}`, `Stats`, `Shutdown`), the v2
 //!   streaming mode (`Subscribe{batch, credits}`, `Credit{n}`,
 //!   `Unsubscribe` answered by pushed `CotChunk`s and a `StreamEnd`
-//!   accounting trailer) with credit-based backpressure.
+//!   accounting trailer) with credit-based backpressure, and the v4
+//!   membership ops (`Sync{epoch}` answered by `DirectoryUpdate`,
+//!   `Warm{watermark, max_refills}` answered by `Warmed`, and the
+//!   `WrongEpoch` fence).
 //! * [`service`] — [`CotService`]: a thread-per-connection server over a
 //!   mutex-sharded [`SharedCotPool`](ironman_core::SharedCotPool) that
-//!   replenishes via FERRET extension on demand, [`CotClient`], and
+//!   replenishes via FERRET extension on demand, optionally attached to
+//!   an epoch-versioned membership [`DirectoryView`]; [`CotClient`]; and
 //!   [`CotSubscription`] (the client half of a stream: it manages the
 //!   credit window and enforces exact chunk/credit/byte accounting).
 //!
 //! One process serving many sockets is the smallest deployment; the
-//! fleet-shaped one — a directory of these services with client-side
-//! consistent-hash routing, failover, and background pool warm-up — lives
-//! in `ironman-cluster` and speaks exactly this protocol:
+//! fleet-shaped one — an epoch-versioned membership directory of these
+//! services with client-side consistent-hash routing, health checking,
+//! failover, and demand-steered pool warm-up — lives in `ironman-cluster`
+//! and speaks exactly this protocol:
 //!
 //! ```text
-//!   ClusterClient ──┬─> CotService (pool shards + Warmup refiller)
-//!   (routing,       ├─> CotService      ...
-//!    failover)      └─> CotService      ...
+//!   ClusterClient ──┬─> CotService ──┐ DirectoryView (epoch fence,
+//!   (routing,       ├─> CotService ──┤  membership deltas; the cluster
+//!    failover,      └─> CotService ──┘  crate's Directory implements it)
+//!    epoch resync)
 //! ```
 //!
 //! # The hot path: buffer-reuse contract
@@ -91,7 +97,8 @@
 //! of misparsing frames. Version **2** added the streaming subscription
 //! opcodes and the per-shard `Stats` reply layout; version **3** added
 //! the hot-path observability counters (scratch reuse/allocation,
-//! registration failures) to the `Stats` reply. **Hardening:** frames above
+//! registration failures) to the `Stats` reply; version **4** added
+//! dynamic-membership epochs — see below. **Hardening:** frames above
 //! [`frame::MAX_FRAME_LEN`] (1 GiB) are rejected before allocation,
 //! truncation and bad magic are errors (never panics), and a session that
 //! sends garbage gets an error response and its connection — only its
@@ -101,6 +108,33 @@
 //! `LocalChannel`, so a protocol run over TCP reports the same
 //! `bytes_sent`; the real wire adds exactly 4 bytes per message plus the
 //! 6-byte handshake (see [`StreamTransport::wire_bytes_sent`]).
+//!
+//! # Membership epochs (v4)
+//!
+//! A server attached to a [`DirectoryView`] carries an epoch-versioned
+//! view of its fleet's membership; the epoch increases monotonically on
+//! every join/leave/drain/health transition. The protocol keeps clients'
+//! routing views honest:
+//!
+//! * `Hello{name, epoch}` announces the client's directory epoch
+//!   ([`EPOCH_UNAWARE`] opts plain clients out entirely — they are never
+//!   fenced); `Welcome{…, epoch}` answers with the server's.
+//! * A correlation-serving request (`RequestCot`/`Subscribe`) made under
+//!   a stale epoch is **fenced** with `WrongEpoch{epoch}` instead of
+//!   served: the client's view predates a membership change, and serving
+//!   it could hide a drain or route work to a corpse. Control ops
+//!   (`Stats`, `Sync`, `Warm`, `Shutdown`) are never fenced.
+//! * `Sync{epoch}` answers with `DirectoryUpdate{epoch, full, members}`
+//!   — the membership changes since the client's epoch, deduplicated to
+//!   each member's latest state (`Left` records removals), or a complete
+//!   snapshot (`full = true`) when the server's bounded change log no
+//!   longer reaches back that far. After a `Sync` the session is current
+//!   and passes the fence until the directory moves again.
+//! * `Warm{watermark, max_refills}` runs one budgeted warm-up sweep
+//!   (driest shards first) and answers `Warmed{refills}` — the hook a
+//!   fleet-level controller steers refill budget through, using the
+//!   `Stats` reply's `pending_stream_cots` backlog and per-shard
+//!   demand/refill counters as its signal.
 //!
 //! # Quickstart
 //!
@@ -128,8 +162,13 @@ pub mod service;
 pub mod transport;
 
 pub use frame::{FrameError, MAGIC, MAX_FRAME_LEN, VERSION};
-pub use proto::{Request, Response, ServiceStats, ShardStat};
-pub use service::{CotClient, CotService, CotServiceConfig, CotSubscription, StreamSummary};
+pub use proto::{
+    DirectoryDelta, MemberRecord, MemberWireState, Request, Response, ServiceStats, ShardStat,
+    EPOCH_UNAWARE,
+};
+pub use service::{
+    CotClient, CotService, CotServiceConfig, CotSubscription, DirectoryView, StreamSummary,
+};
 #[cfg(unix)]
 pub use transport::UnixTransport;
 pub use transport::{tcp_loopback_pair, StreamTransport, TcpTransport};

@@ -8,18 +8,24 @@
 //!
 //! ```text
 //! requests                              responses
-//! 0x01 Hello     { name: lp-bytes }     0x81 Welcome   { version: u16, max_request: u64 }
+//! 0x01 Hello     { name: lp-bytes,      0x81 Welcome   { version: u16, max_request: u64,
+//!                  epoch: u64 }                          epoch: u64 }
 //! 0x02 Request   { n: u64 }             0x82 Cots      { batch }
-//! 0x03 Stats                            0x83 Stats     { 6 × u64, s, s × {avail, ext} }
+//! 0x03 Stats                            0x83 Stats     { 11 × u64, s, s × shard }
 //! 0x04 Shutdown                         0x84 Goodbye
 //! 0x05 Subscribe { batch: u64,          0x85 CotChunk  { seq: u64, batch }
 //!                  credits: u64 }       0x86 StreamEnd { chunks: u64, cots: u64 }
-//! 0x06 Credit    { n: u64 }             0xFF Error     { message: lp-bytes }
-//! 0x07 Unsubscribe
+//! 0x06 Credit    { n: u64 }             0x87 WrongEpoch{ epoch: u64 }
+//! 0x07 Unsubscribe                      0x88 DirUpdate { epoch: u64, full: u8,
+//! 0x08 Sync      { epoch: u64 }                          m, m × member }
+//! 0x09 Warm      { watermark: u64,      0x89 Warmed    { refills: u64 }
+//!                  max_refills: u64 }   0xFF Error     { message: lp-bytes }
 //! ```
 //!
 //! (`lp-bytes` = `u64` length + raw bytes; `batch` = `delta, n, z[n],
-//! y[n], bits(x)` with the shared [`encode_bits`] layout.)
+//! y[n], bits(x)` with the shared [`encode_bits`] layout; `shard` =
+//! `{avail, ext, taken, warm} × u64`; `member` = `{id: u64, state: u8,
+//! addr: lp-bytes, name: lp-bytes}`.)
 //!
 //! # Streaming subscriptions (v2)
 //!
@@ -33,10 +39,33 @@
 //! backpressure: the server can never have more chunks in flight than the
 //! client has explicitly granted, so a slow consumer bounds server-side
 //! work and socket buffering instead of being buried.
+//!
+//! # Membership epochs (v4)
+//!
+//! A fleet-attached server carries an epoch-versioned membership
+//! directory. `Hello` announces the client's directory epoch
+//! ([`EPOCH_UNAWARE`] opts a plain client out of fencing entirely);
+//! `Welcome` answers with the server's. A correlation-serving request
+//! (`RequestCot`/`Subscribe`) made under a stale epoch is *fenced* with
+//! `WrongEpoch{epoch}` instead of served — the client's routing view is
+//! out of date, and serving it could hide a drain or a dead home. The
+//! client then sends `Sync{epoch}` and receives
+//! `DirectoryUpdate{epoch, full, members}` — the membership delta since
+//! its epoch (or a full snapshot when the server's change log no longer
+//! reaches back that far) — applies it, re-resolves, and retries. `Warm`
+//! asks the server to run one budgeted warm-up sweep (at most
+//! `max_refills` shards, driest first); the fleet-level warm-up
+//! controller in `ironman-cluster` steers its global refill budget
+//! through this op.
 
 use ironman_core::{CotBatch, CotSlice};
 use ironman_ot::channel::{decode_bits_into, encode_bits_into, ChannelError};
 use ironman_prg::Block;
+
+/// The `Hello.epoch` value of a client with no directory: such sessions
+/// are never epoch-fenced (they opted out of membership routing, so
+/// there is no stale view to protect them from).
+pub const EPOCH_UNAWARE: u64 = u64::MAX;
 
 /// Client → server messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +74,9 @@ pub enum Request {
     Hello {
         /// Client display name.
         name: String,
+        /// The client's directory epoch ([`EPOCH_UNAWARE`] for clients
+        /// without a membership view; they are never fenced).
+        epoch: u64,
     },
     /// Asks for `n` fresh correlations.
     RequestCot {
@@ -70,6 +102,22 @@ pub enum Request {
     /// Ends the active subscription; the server answers with
     /// [`Response::StreamEnd`] once it has stopped pushing.
     Unsubscribe,
+    /// Announces the client's directory epoch and asks for the membership
+    /// delta since it; answered with [`Response::DirectoryUpdate`].
+    Sync {
+        /// The epoch of the client's current membership view.
+        epoch: u64,
+    },
+    /// Asks the server to run one budgeted warm-up sweep over its pool
+    /// (at most `max_refills` shard refills, driest shards first);
+    /// answered with [`Response::Warmed`]. The fleet-level warm-up
+    /// controller steers its global refill budget through this op.
+    Warm {
+        /// Per-shard low watermark (clamped server-side per supply mode).
+        watermark: u64,
+        /// Largest number of shard refills this sweep may perform.
+        max_refills: u64,
+    },
 }
 
 /// Server → client messages.
@@ -81,6 +129,9 @@ pub enum Response {
         version: u16,
         /// Largest `RequestCot::n` one request may carry.
         max_request: u64,
+        /// The server's directory epoch (0 when the server carries no
+        /// membership directory).
+        epoch: u64,
     },
     /// A correlation batch (trusted-dealer style: both endpoints' shares).
     Cots(CotBatch),
@@ -102,11 +153,86 @@ pub enum Response {
         /// Correlations pushed over the subscription's lifetime.
         cots: u64,
     },
+    /// The request was fenced: it was made under a directory epoch older
+    /// than the server's. Sync the delta, re-resolve, retry.
+    WrongEpoch {
+        /// The server's current directory epoch.
+        epoch: u64,
+    },
+    /// The membership delta answering a [`Request::Sync`].
+    DirectoryUpdate(DirectoryDelta),
+    /// Acknowledges a [`Request::Warm`] sweep.
+    Warmed {
+        /// Shards actually refilled by the sweep.
+        refills: u64,
+    },
     /// The request could not be served.
     Error(
         /// Human-readable reason.
         String,
     ),
+}
+
+/// A fleet member's state as carried on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemberWireState {
+    /// Serving and routable.
+    Up,
+    /// Finishing existing sessions; receives no new homes.
+    Draining,
+    /// Failed recent health probes; deprioritized for routing.
+    Suspect,
+    /// Removed from the membership (only meaningful inside a delta).
+    Left,
+}
+
+impl MemberWireState {
+    fn to_u8(self) -> u8 {
+        match self {
+            MemberWireState::Up => 0,
+            MemberWireState::Draining => 1,
+            MemberWireState::Suspect => 2,
+            MemberWireState::Left => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ChannelError> {
+        Ok(match v {
+            0 => MemberWireState::Up,
+            1 => MemberWireState::Draining,
+            2 => MemberWireState::Suspect,
+            3 => MemberWireState::Left,
+            other => return Err(malformed(3, other as usize)),
+        })
+    }
+}
+
+/// One fleet member (or membership change) inside a
+/// [`DirectoryDelta`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberRecord {
+    /// Stable server id (assigned at join; survives state changes).
+    pub id: u64,
+    /// The member's state at the delta's epoch.
+    pub state: MemberWireState,
+    /// Listening address, as a parseable socket-address string.
+    pub addr: String,
+    /// Display name.
+    pub name: String,
+}
+
+/// A membership update: either the changes since the requester's epoch
+/// (`full == false`; [`MemberWireState::Left`] records removals) or a
+/// complete snapshot (`full == true`, sent when the server's change log
+/// no longer reaches back to the requested epoch).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirectoryDelta {
+    /// The epoch this update brings the receiver to.
+    pub epoch: u64,
+    /// Whether `members` is a complete snapshot rather than a delta.
+    pub full: bool,
+    /// The changed (or, for a snapshot, all) members.
+    pub members: Vec<MemberRecord>,
 }
 
 /// A point-in-time view of the service's counters.
@@ -145,19 +271,31 @@ pub struct ServiceStats {
     /// registered for shutdown tracking (`try_clone` failure): serving an
     /// untracked session would leave its thread unreachable at shutdown.
     pub register_failures: u64,
+    /// The server's directory epoch at snapshot time (0 when the server
+    /// carries no membership directory) — how tests and operators observe
+    /// that a membership change propagated to every survivor.
+    pub directory_epoch: u64,
+    /// Correlations promised to active subscriptions but not yet pushed
+    /// (granted credits × chunk size, summed over live streams): the
+    /// demand backlog a fleet-level warm-up controller steers toward.
+    pub pending_stream_cots: u64,
     /// Per-shard occupancy and refill counters (in shard order); the
     /// spread across shards is what makes warm-up effectiveness and
     /// routing skew observable from a plain `Stats` request.
     pub shard_stats: Vec<ShardStat>,
 }
 
-/// One pool shard's occupancy and refill counters.
+/// One pool shard's occupancy, demand, and refill counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShardStat {
     /// Correlations currently buffered in this shard.
     pub available: u64,
     /// Extensions this shard has executed (inline or warm-up).
     pub extensions_run: u64,
+    /// Correlations drained from this shard since start (demand).
+    pub taken: u64,
+    /// Refills this shard received through the warm-up path.
+    pub warm_refills: u64,
 }
 
 const OP_HELLO: u8 = 0x01;
@@ -167,12 +305,17 @@ const OP_SHUTDOWN: u8 = 0x04;
 const OP_SUBSCRIBE: u8 = 0x05;
 const OP_CREDIT: u8 = 0x06;
 const OP_UNSUBSCRIBE: u8 = 0x07;
+const OP_SYNC: u8 = 0x08;
+const OP_WARM: u8 = 0x09;
 const OP_WELCOME: u8 = 0x81;
 const OP_COTS: u8 = 0x82;
 const OP_STATS_REPLY: u8 = 0x83;
 const OP_GOODBYE: u8 = 0x84;
 const OP_COT_CHUNK: u8 = 0x85;
 const OP_STREAM_END: u8 = 0x86;
+const OP_WRONG_EPOCH: u8 = 0x87;
+const OP_DIRECTORY_UPDATE: u8 = 0x88;
+const OP_WARMED: u8 = 0x89;
 const OP_ERROR: u8 = 0xFF;
 
 fn put_lp_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -214,6 +357,10 @@ impl<'a> Reader<'a> {
         Ok(u16::from_le_bytes(
             self.take(2)?.try_into().expect("2-byte slice"),
         ))
+    }
+
+    fn u8(&mut self) -> Result<u8, ChannelError> {
+        Ok(self.take(1)?[0])
     }
 
     fn block(&mut self) -> Result<Block, ChannelError> {
@@ -325,9 +472,10 @@ impl Request {
     /// Serializes to one message payload.
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            Request::Hello { name } => {
+            Request::Hello { name, epoch } => {
                 let mut out = vec![OP_HELLO];
                 put_lp_bytes(&mut out, name.as_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
                 out
             }
             Request::RequestCot { n } => {
@@ -349,6 +497,20 @@ impl Request {
                 out
             }
             Request::Unsubscribe => vec![OP_UNSUBSCRIBE],
+            Request::Sync { epoch } => {
+                let mut out = vec![OP_SYNC];
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out
+            }
+            Request::Warm {
+                watermark,
+                max_refills,
+            } => {
+                let mut out = vec![OP_WARM];
+                out.extend_from_slice(&watermark.to_le_bytes());
+                out.extend_from_slice(&max_refills.to_le_bytes());
+                out
+            }
         }
     }
 
@@ -364,6 +526,7 @@ impl Request {
         let req = match op {
             OP_HELLO => Request::Hello {
                 name: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
+                epoch: r.u64()?,
             },
             OP_REQUEST_COT => Request::RequestCot { n: r.u64()? },
             OP_STATS => Request::Stats,
@@ -374,6 +537,11 @@ impl Request {
             },
             OP_CREDIT => Request::Credit { n: r.u64()? },
             OP_UNSUBSCRIBE => Request::Unsubscribe,
+            OP_SYNC => Request::Sync { epoch: r.u64()? },
+            OP_WARM => Request::Warm {
+                watermark: r.u64()?,
+                max_refills: r.u64()?,
+            },
             _ => return Err(malformed(OP_HELLO as usize, op as usize)),
         };
         r.finish()?;
@@ -396,10 +564,12 @@ impl Response {
             Response::Welcome {
                 version,
                 max_request,
+                epoch,
             } => {
                 out.push(OP_WELCOME);
                 out.extend_from_slice(&version.to_le_bytes());
                 out.extend_from_slice(&max_request.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
             }
             Response::Cots(batch) => encode_cots_into(out, batch.as_slice()),
             Response::Stats(s) => {
@@ -414,6 +584,8 @@ impl Response {
                     s.scratch_reuses,
                     s.scratch_allocs,
                     s.register_failures,
+                    s.directory_epoch,
+                    s.pending_stream_cots,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
@@ -421,6 +593,8 @@ impl Response {
                 for shard in &s.shard_stats {
                     out.extend_from_slice(&shard.available.to_le_bytes());
                     out.extend_from_slice(&shard.extensions_run.to_le_bytes());
+                    out.extend_from_slice(&shard.taken.to_le_bytes());
+                    out.extend_from_slice(&shard.warm_refills.to_le_bytes());
                 }
             }
             Response::Goodbye => out.push(OP_GOODBYE),
@@ -429,6 +603,26 @@ impl Response {
                 out.push(OP_STREAM_END);
                 out.extend_from_slice(&chunks.to_le_bytes());
                 out.extend_from_slice(&cots.to_le_bytes());
+            }
+            Response::WrongEpoch { epoch } => {
+                out.push(OP_WRONG_EPOCH);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Response::DirectoryUpdate(delta) => {
+                out.push(OP_DIRECTORY_UPDATE);
+                out.extend_from_slice(&delta.epoch.to_le_bytes());
+                out.push(u8::from(delta.full));
+                out.extend_from_slice(&(delta.members.len() as u64).to_le_bytes());
+                for m in &delta.members {
+                    out.extend_from_slice(&m.id.to_le_bytes());
+                    out.push(m.state.to_u8());
+                    put_lp_bytes(out, m.addr.as_bytes());
+                    put_lp_bytes(out, m.name.as_bytes());
+                }
+            }
+            Response::Warmed { refills } => {
+                out.push(OP_WARMED);
+                out.extend_from_slice(&refills.to_le_bytes());
             }
             Response::Error(msg) => encode_error_into(out, msg),
         }
@@ -447,6 +641,7 @@ impl Response {
             OP_WELCOME => Response::Welcome {
                 version: r.u16()?,
                 max_request: r.u64()?,
+                epoch: r.u64()?,
             },
             OP_COTS => Response::Cots(read_batch(&mut r, rest)?),
             OP_STATS_REPLY => {
@@ -459,18 +654,22 @@ impl Response {
                 let scratch_reuses = r.u64()?;
                 let scratch_allocs = r.u64()?;
                 let register_failures = r.u64()?;
+                let directory_epoch = r.u64()?;
+                let pending_stream_cots = r.u64()?;
                 let count = r.u64()? as usize;
                 // A hostile shard count must not drive allocation past the
-                // actual payload (16 bytes per shard entry).
+                // actual payload (32 bytes per shard entry).
                 let remaining = rest.len().saturating_sub(r.pos);
-                if count.checked_mul(16).is_none_or(|need| need > remaining) {
-                    return Err(malformed(count.saturating_mul(16), remaining));
+                if count.checked_mul(32).is_none_or(|need| need > remaining) {
+                    return Err(malformed(count.saturating_mul(32), remaining));
                 }
                 let shard_stats = (0..count)
                     .map(|_| {
                         Ok(ShardStat {
                             available: r.u64()?,
                             extensions_run: r.u64()?,
+                            taken: r.u64()?,
+                            warm_refills: r.u64()?,
                         })
                     })
                     .collect::<Result<Vec<_>, ChannelError>>()?;
@@ -484,6 +683,8 @@ impl Response {
                     scratch_reuses,
                     scratch_allocs,
                     register_failures,
+                    directory_epoch,
+                    pending_stream_cots,
                     shard_stats,
                 })
             }
@@ -499,6 +700,35 @@ impl Response {
                 chunks: r.u64()?,
                 cots: r.u64()?,
             },
+            OP_WRONG_EPOCH => Response::WrongEpoch { epoch: r.u64()? },
+            OP_DIRECTORY_UPDATE => {
+                let epoch = r.u64()?;
+                let full = r.u8()? != 0;
+                let count = r.u64()? as usize;
+                // Each member record is at least 9 bytes (id + state) plus
+                // two length prefixes; a hostile count must not drive
+                // allocation past the actual payload.
+                let remaining = rest.len().saturating_sub(r.pos);
+                if count.checked_mul(25).is_none_or(|need| need > remaining) {
+                    return Err(malformed(count.saturating_mul(25), remaining));
+                }
+                let members = (0..count)
+                    .map(|_| {
+                        Ok(MemberRecord {
+                            id: r.u64()?,
+                            state: MemberWireState::from_u8(r.u8()?)?,
+                            addr: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
+                            name: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ChannelError>>()?;
+                Response::DirectoryUpdate(DirectoryDelta {
+                    epoch,
+                    full,
+                    members,
+                })
+            }
+            OP_WARMED => Response::Warmed { refills: r.u64()? },
             OP_ERROR => Response::Error(String::from_utf8_lossy(r.lp_bytes()?).into_owned()),
             _ => return Err(malformed(OP_WELCOME as usize, op as usize)),
         };
@@ -573,6 +803,11 @@ mod tests {
     fn requests_round_trip() {
         round_trip_request(Request::Hello {
             name: "resnet-worker-3".into(),
+            epoch: 12,
+        });
+        round_trip_request(Request::Hello {
+            name: "legacy".into(),
+            epoch: EPOCH_UNAWARE,
         });
         round_trip_request(Request::RequestCot { n: 1 << 20 });
         round_trip_request(Request::Stats);
@@ -583,6 +818,11 @@ mod tests {
         });
         round_trip_request(Request::Credit { n: 3 });
         round_trip_request(Request::Unsubscribe);
+        round_trip_request(Request::Sync { epoch: 41 });
+        round_trip_request(Request::Warm {
+            watermark: 9000,
+            max_refills: 2,
+        });
     }
 
     #[test]
@@ -590,9 +830,35 @@ mod tests {
         round_trip_response(Response::Welcome {
             version: 1,
             max_request: 9000,
+            epoch: 17,
         });
         round_trip_response(Response::Goodbye);
         round_trip_response(Response::Error("pool exhausted".into()));
+        round_trip_response(Response::WrongEpoch { epoch: 18 });
+        round_trip_response(Response::Warmed { refills: 3 });
+        round_trip_response(Response::DirectoryUpdate(DirectoryDelta {
+            epoch: 9,
+            full: false,
+            members: vec![
+                MemberRecord {
+                    id: 2,
+                    state: MemberWireState::Left,
+                    addr: "10.0.0.2:7000".into(),
+                    name: "cot-2".into(),
+                },
+                MemberRecord {
+                    id: 5,
+                    state: MemberWireState::Up,
+                    addr: "10.0.0.5:7000".into(),
+                    name: "cot-5".into(),
+                },
+            ],
+        }));
+        round_trip_response(Response::DirectoryUpdate(DirectoryDelta {
+            epoch: 1,
+            full: true,
+            members: Vec::new(),
+        }));
         round_trip_response(Response::Stats(ServiceStats {
             clients_served: 4,
             cots_served: 1 << 22,
@@ -603,14 +869,20 @@ mod tests {
             scratch_reuses: 990,
             scratch_allocs: 6,
             register_failures: 1,
+            directory_epoch: 13,
+            pending_stream_cots: 16_000,
             shard_stats: vec![
                 ShardStat {
                     available: 40,
                     extensions_run: 2,
+                    taken: 900,
+                    warm_refills: 2,
                 },
                 ShardStat {
                     available: 37,
                     extensions_run: 1,
+                    taken: 400,
+                    warm_refills: 0,
                 },
             ],
         }));
@@ -666,9 +938,18 @@ mod tests {
     #[test]
     fn hostile_shard_count_rejected_without_allocation() {
         let mut bytes = vec![OP_STATS_REPLY];
-        for _ in 0..9 {
+        for _ in 0..11 {
             bytes.extend_from_slice(&0u64.to_le_bytes());
         }
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_member_count_rejected_without_allocation() {
+        let mut bytes = vec![OP_DIRECTORY_UPDATE];
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // epoch
+        bytes.push(0); // full
         bytes.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(Response::decode(&bytes).is_err());
     }

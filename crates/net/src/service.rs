@@ -11,8 +11,8 @@
 
 use crate::frame::{self, VERSION};
 use crate::proto::{
-    decode_response_into, encode_cot_chunk_into, encode_cots_into, encode_error_into, HotResponse,
-    Request, Response, ServiceStats, ShardStat,
+    decode_response_into, encode_cot_chunk_into, encode_cots_into, encode_error_into,
+    DirectoryDelta, HotResponse, Request, Response, ServiceStats, ShardStat, EPOCH_UNAWARE,
 };
 use crate::transport::TcpTransport;
 use ironman_core::{CotBatch, Engine, SharedCotPool};
@@ -23,6 +23,24 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+/// The service's read-only view of an epoch-versioned membership
+/// directory. `ironman-cluster`'s `Directory` implements it; a service
+/// constructed without one (the plain single-server shape) never fences
+/// requests and reports epoch 0.
+///
+/// The two methods are the whole fencing contract: `epoch` tells the
+/// serve path whether a session's announced epoch is stale, and
+/// `delta_since` builds the `DirectoryUpdate` that brings the session
+/// current again.
+pub trait DirectoryView: Send + Sync + std::fmt::Debug {
+    /// The directory's current epoch (monotonically increasing).
+    fn epoch(&self) -> u64;
+
+    /// The membership changes between `epoch` and now (or a full
+    /// snapshot when the change log no longer reaches back that far).
+    fn delta_since(&self, epoch: u64) -> DirectoryDelta;
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     clients_served: AtomicU64,
@@ -30,6 +48,10 @@ struct Counters {
     scratch_reuses: AtomicU64,
     scratch_allocs: AtomicU64,
     register_failures: AtomicU64,
+    /// Correlations promised to active subscriptions but not yet pushed
+    /// (granted credits × chunk size) — the backlog signal a fleet-level
+    /// warm-up controller steers refill budget by.
+    pending_stream_cots: AtomicU64,
 }
 
 /// A session's retained response scratch: two alternating frame buffers
@@ -98,6 +120,9 @@ struct ServiceShared {
     counters: Counters,
     pool: Arc<SharedCotPool>,
     sessions: Mutex<HashMap<u64, TcpStream>>,
+    /// The membership directory this server is attached to (`None` for a
+    /// plain standalone service: no fencing, epoch 0).
+    directory: Option<Arc<dyn DirectoryView>>,
 }
 
 impl ServiceShared {
@@ -112,14 +137,21 @@ impl ServiceShared {
         let _ = TcpStream::connect(self.addr);
     }
 
+    /// The attached directory's epoch, or 0 for a standalone service.
+    fn dir_epoch(&self) -> u64 {
+        self.directory.as_ref().map_or(0, |d| d.epoch())
+    }
+
     fn stats(&self) -> ServiceStats {
         let shard_stats: Vec<ShardStat> = self
             .pool
             .shard_stats()
             .into_iter()
-            .map(|(available, extensions_run)| ShardStat {
-                available: available as u64,
-                extensions_run: extensions_run as u64,
+            .map(|snap| ShardStat {
+                available: snap.available as u64,
+                extensions_run: snap.extensions_run as u64,
+                taken: snap.taken_cots,
+                warm_refills: snap.warm_refills,
             })
             .collect();
         ServiceStats {
@@ -132,6 +164,8 @@ impl ServiceShared {
             scratch_reuses: self.counters.scratch_reuses.load(Ordering::Relaxed),
             scratch_allocs: self.counters.scratch_allocs.load(Ordering::Relaxed),
             register_failures: self.counters.register_failures.load(Ordering::Relaxed),
+            directory_epoch: self.dir_epoch(),
+            pending_stream_cots: self.counters.pending_stream_cots.load(Ordering::Relaxed),
             shard_stats,
         }
     }
@@ -205,6 +239,19 @@ impl CotService {
     /// existing pool (lets tests and embedders share pools across
     /// services).
     pub fn serve_on(listener: TcpListener, pool: Arc<SharedCotPool>) -> CotService {
+        Self::serve_on_with(listener, pool, None)
+    }
+
+    /// Like [`CotService::serve_on`], but attaches an epoch-versioned
+    /// membership directory: epoch-aware sessions whose announced epoch
+    /// falls behind the directory's are fenced with
+    /// [`Response::WrongEpoch`] and brought current through
+    /// `Sync`/`DirectoryUpdate`.
+    pub fn serve_on_with(
+        listener: TcpListener,
+        pool: Arc<SharedCotPool>,
+        directory: Option<Arc<dyn DirectoryView>>,
+    ) -> CotService {
         let addr = listener
             .local_addr()
             .expect("bound listener has an address");
@@ -214,6 +261,7 @@ impl CotService {
             counters: Counters::default(),
             pool,
             sessions: Mutex::new(HashMap::new()),
+            directory,
         });
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -342,8 +390,22 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServiceShared>) {
     }
 }
 
+/// Whether a correlation-serving request from this session must be
+/// fenced: the session is epoch-aware, a directory is attached, and the
+/// directory has moved past the epoch the session last announced.
+/// Returns the current epoch to report when fencing.
+fn fence_epoch(shared: &ServiceShared, session_epoch: Option<u64>) -> Option<u64> {
+    let directory = shared.directory.as_ref()?;
+    let announced = session_epoch?;
+    let current = directory.epoch();
+    (announced < current).then_some(current)
+}
+
 fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), ChannelError> {
     let max_request = shared.pool.max_request() as u64;
+    // The directory epoch this session last announced (`Hello`/`Sync`);
+    // `None` for epoch-unaware sessions, which are never fenced.
+    let mut session_epoch: Option<u64> = None;
     // Per-session retained buffers: requests land in `recv`, responses
     // are encoded in place into the alternating `scratch` frame buffers.
     // After the first few exchanges size them, the session's steady state
@@ -366,16 +428,21 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
         // the zero-copy reuse counters (see Scratch::finish_and_send).
         let mut counted = false;
         match request {
-            Request::Hello { .. } => {
+            Request::Hello { epoch, .. } => {
+                session_epoch = (epoch != EPOCH_UNAWARE).then_some(epoch);
                 scratch.begin();
                 Response::Welcome {
                     version: VERSION,
                     max_request,
+                    epoch: shared.dir_epoch(),
                 }
                 .encode_into(scratch.buf());
             }
             Request::RequestCot { n } => {
-                if n == 0 || n > max_request {
+                if let Some(current) = fence_epoch(shared, session_epoch) {
+                    scratch.begin();
+                    Response::WrongEpoch { epoch: current }.encode_into(scratch.buf());
+                } else if n == 0 || n > max_request {
                     scratch.begin();
                     encode_error_into(
                         scratch.buf(),
@@ -421,7 +488,10 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
                 return Ok(());
             }
             Request::Subscribe { batch, credits } => {
-                if batch == 0 || batch > max_request {
+                if let Some(current) = fence_epoch(shared, session_epoch) {
+                    scratch.begin();
+                    Response::WrongEpoch { epoch: current }.encode_into(scratch.buf());
+                } else if batch == 0 || batch > max_request {
                     scratch.begin();
                     encode_error_into(
                         scratch.buf(),
@@ -446,6 +516,41 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
                 scratch.begin();
                 encode_error_into(scratch.buf(), "no active subscription");
             }
+            Request::Sync { epoch } => {
+                scratch.begin();
+                match &shared.directory {
+                    Some(directory) => {
+                        let delta = directory.delta_since(epoch);
+                        // The delta brings the session to the directory's
+                        // current epoch; record it so the next serving
+                        // request passes the fence.
+                        session_epoch = Some(delta.epoch);
+                        Response::DirectoryUpdate(delta).encode_into(scratch.buf());
+                    }
+                    None => encode_error_into(scratch.buf(), "no directory attached"),
+                }
+            }
+            Request::Warm {
+                watermark,
+                max_refills,
+            } => {
+                scratch.begin();
+                // Same panic containment as the take paths: a poisoned
+                // refill answers this client instead of hanging it.
+                let sweep = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.pool.warm_budgeted(
+                        usize::try_from(watermark).unwrap_or(usize::MAX),
+                        usize::try_from(max_refills).unwrap_or(usize::MAX),
+                    )
+                }));
+                match sweep {
+                    Ok(refills) => Response::Warmed {
+                        refills: refills as u64,
+                    }
+                    .encode_into(scratch.buf()),
+                    Err(_) => encode_error_into(scratch.buf(), "internal pool failure"),
+                }
+            }
         }
         scratch.finish_and_send(&mut ch, counted.then_some(&shared.counters))?;
     }
@@ -467,6 +572,48 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
 /// still draining chunk `n`'s bytes from the other (`write_all` returns
 /// once the socket buffer holds the frame, not once the peer read it),
 /// so serialization overlaps transmission without any extra copies.
+/// Exit-safe tracking of one subscription's promised-but-unpushed
+/// correlations in the service-wide backlog counter: grants raise it,
+/// pushes lower it, and whatever is still outstanding when the
+/// subscription ends (any exit path, including errors) is released by
+/// `Drop`, so the counter never leaks a dead stream's demand.
+struct PendingCots<'a> {
+    counter: &'a AtomicU64,
+    outstanding: u64,
+}
+
+impl<'a> PendingCots<'a> {
+    fn new(counter: &'a AtomicU64) -> Self {
+        PendingCots {
+            counter,
+            outstanding: 0,
+        }
+    }
+
+    fn grant(&mut self, cots: u64) {
+        // The shared counter moves by exactly what `outstanding` records
+        // (both saturate together), so Drop's release always balances —
+        // a hostile credit flood cannot leak phantom backlog into the
+        // fleet-wide demand signal.
+        let grown = self.outstanding.saturating_add(cots);
+        self.counter
+            .fetch_add(grown - self.outstanding, Ordering::Relaxed);
+        self.outstanding = grown;
+    }
+
+    fn push(&mut self, cots: u64) {
+        let n = cots.min(self.outstanding);
+        self.outstanding -= n;
+        self.counter.fetch_sub(n, Ordering::Relaxed);
+    }
+}
+
+impl Drop for PendingCots<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(self.outstanding, Ordering::Relaxed);
+    }
+}
+
 fn serve_subscription(
     ch: &mut TcpTransport,
     shared: &ServiceShared,
@@ -477,6 +624,8 @@ fn serve_subscription(
 ) -> Result<(), ChannelError> {
     let mut chunks = 0u64;
     let mut cots = 0u64;
+    let mut pending = PendingCots::new(&shared.counters.pending_stream_cots);
+    pending.grant(credits.saturating_mul(batch as u64));
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             // Server-initiated shutdown ends the stream cleanly: the
@@ -491,7 +640,10 @@ fn serve_subscription(
             // usually already queued by the time we look).
             ch.recv_bytes_into(recv)?;
             match Request::decode(recv) {
-                Ok(Request::Credit { n }) => credits = credits.saturating_add(n),
+                Ok(Request::Credit { n }) => {
+                    credits = credits.saturating_add(n);
+                    pending.grant(n.saturating_mul(batch as u64));
+                }
                 Ok(Request::Unsubscribe) => {
                     scratch.begin();
                     Response::StreamEnd { chunks, cots }.encode_into(scratch.buf());
@@ -533,6 +685,7 @@ fn serve_subscription(
                     scratch.finish_and_send(ch, Some(&shared.counters))?;
                     chunks += 1;
                     credits -= 1;
+                    pending.push(batch as u64);
                 }
                 Err(_) => {
                     scratch.begin(); // the chunk frame may be half-written
@@ -558,40 +711,151 @@ fn serve_subscription(
 pub struct CotClient {
     ch: TcpTransport,
     max_request: u64,
+    /// The server's directory epoch as of the last `Welcome` or
+    /// `DirectoryUpdate` (0 for a directory-less server).
+    server_epoch: u64,
     /// Retained frame receive buffer (the wire side of the zero-copy
     /// receive path).
     recv_buf: Vec<u8>,
 }
 
 impl CotClient {
-    /// Connects, handshakes, and exchanges `Hello`/`Welcome`.
+    /// Connects, handshakes, and exchanges `Hello`/`Welcome` as an
+    /// epoch-unaware session (never fenced; see
+    /// [`CotClient::connect_with_epoch`] for fleet-aware sessions).
     ///
     /// # Errors
     ///
     /// Fails on connection/handshake errors or an unexpected first
     /// response.
     pub fn connect<A: ToSocketAddrs>(addr: A, name: &str) -> Result<CotClient, ChannelError> {
-        let mut ch = TcpTransport::connect(addr).map_err(ChannelError::from)?;
+        Self::connect_with_epoch(addr, name, EPOCH_UNAWARE)
+    }
+
+    /// Connects announcing the caller's directory epoch: the server will
+    /// fence correlation-serving requests with
+    /// [`ChannelError::WrongEpoch`] once its directory moves past it
+    /// (resync with [`CotClient::sync_directory`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CotClient::connect`].
+    pub fn connect_with_epoch<A: ToSocketAddrs>(
+        addr: A,
+        name: &str,
+        epoch: u64,
+    ) -> Result<CotClient, ChannelError> {
+        let ch = TcpTransport::connect(addr).map_err(ChannelError::from)?;
+        Self::open_session(ch, name, epoch)
+    }
+
+    /// Like [`CotClient::connect_with_epoch`], but with every step —
+    /// connect, and each read/write of the session thereafter — bounded
+    /// by `timeout`. Background controllers (health probes, the fleet
+    /// warm-up) use this so one blackholed server costs a timeout, not
+    /// an OS-default connect stall.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CotClient::connect`], plus timeouts
+    /// (surfaced as I/O errors).
+    pub fn connect_timeout(
+        addr: std::net::SocketAddr,
+        name: &str,
+        epoch: u64,
+        timeout: std::time::Duration,
+    ) -> Result<CotClient, ChannelError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout).map_err(ChannelError::from)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ChannelError::from)?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(ChannelError::from)?;
+        let ch = TcpTransport::from_stream(stream).map_err(ChannelError::from)?;
+        Self::open_session(ch, name, epoch)
+    }
+
+    /// The shared `Hello`/`Welcome` exchange over an already-handshaken
+    /// transport.
+    fn open_session(
+        mut ch: TcpTransport,
+        name: &str,
+        epoch: u64,
+    ) -> Result<CotClient, ChannelError> {
         ch.send_bytes(
             Request::Hello {
                 name: name.to_string(),
+                epoch,
             }
             .encode(),
         )?;
         match Response::decode(&ch.recv_bytes()?)? {
-            Response::Welcome { max_request, .. } => Ok(CotClient {
+            Response::Welcome {
+                max_request,
+                epoch: server_epoch,
+                ..
+            } => Ok(CotClient {
                 ch,
                 max_request,
+                server_epoch,
                 recv_buf: Vec::new(),
             }),
-            Response::Error(msg) => Err(service_error(&msg)),
-            other => Err(unexpected_response(&other)),
+            other => Err(reject(other)),
         }
     }
 
     /// Largest batch one [`CotClient::request_cots`] call may ask for.
     pub fn max_request(&self) -> u64 {
         self.max_request
+    }
+
+    /// The server's directory epoch as last observed (from `Welcome` or
+    /// the most recent [`CotClient::sync_directory`]).
+    pub fn server_epoch(&self) -> u64 {
+        self.server_epoch
+    }
+
+    /// Announces `have_epoch` as this session's directory epoch and
+    /// fetches the membership delta since it. After this call the
+    /// session passes the server's fence until the directory moves again.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, on a server without a directory, or an
+    /// unexpected response.
+    pub fn sync_directory(&mut self, have_epoch: u64) -> Result<DirectoryDelta, ChannelError> {
+        self.ch
+            .send_bytes(Request::Sync { epoch: have_epoch }.encode())?;
+        match Response::decode(&self.ch.recv_bytes()?)? {
+            Response::DirectoryUpdate(delta) => {
+                self.server_epoch = delta.epoch;
+                Ok(delta)
+            }
+            other => Err(reject(other)),
+        }
+    }
+
+    /// Asks the server to run one budgeted warm-up sweep (at most
+    /// `max_refills` shard refills toward `watermark`, driest shards
+    /// first); returns the number of shards actually refilled. The
+    /// fleet-level warm-up controller steers refill budget through this.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response.
+    pub fn warm(&mut self, watermark: u64, max_refills: u64) -> Result<u64, ChannelError> {
+        self.ch.send_bytes(
+            Request::Warm {
+                watermark,
+                max_refills,
+            }
+            .encode(),
+        )?;
+        match Response::decode(&self.ch.recv_bytes()?)? {
+            Response::Warmed { refills } => Ok(refills),
+            other => Err(reject(other)),
+        }
     }
 
     /// Fetches `n` fresh correlations.
@@ -630,8 +894,7 @@ impl CotClient {
         self.ch.recv_bytes_into(&mut self.recv_buf)?;
         match decode_response_into(&self.recv_buf, out)? {
             HotResponse::Cots => Ok(()),
-            HotResponse::Other(Response::Error(msg)) => Err(service_error(&msg)),
-            HotResponse::Other(other) => Err(unexpected_response(&other)),
+            HotResponse::Other(other) => Err(reject(other)),
             HotResponse::CotChunk { seq } => Err(stream_violation(&format!(
                 "chunk seq {seq} outside a subscription"
             ))),
@@ -647,8 +910,7 @@ impl CotClient {
         self.ch.send_bytes(Request::Stats.encode())?;
         match Response::decode(&self.ch.recv_bytes()?)? {
             Response::Stats(s) => Ok(s),
-            Response::Error(msg) => Err(service_error(&msg)),
-            other => Err(unexpected_response(&other)),
+            other => Err(reject(other)),
         }
     }
 
@@ -661,8 +923,7 @@ impl CotClient {
         self.ch.send_bytes(Request::Shutdown.encode())?;
         match Response::decode(&self.ch.recv_bytes()?)? {
             Response::Goodbye => Ok(()),
-            Response::Error(msg) => Err(service_error(&msg)),
-            other => Err(unexpected_response(&other)),
+            other => Err(reject(other)),
         }
     }
 
@@ -830,8 +1091,14 @@ impl CotSubscription<'_> {
                 self.verify_trailer(chunks, cots)?;
                 Ok(false)
             }
-            HotResponse::Other(Response::Error(msg)) => Err(service_error(&msg)),
-            HotResponse::Other(other) => Err(unexpected_response(&other)),
+            // A fenced Subscribe never started the stream: surface the
+            // typed error and mark the subscription over, so the session
+            // stays in lockstep for the caller's resync.
+            HotResponse::Other(Response::WrongEpoch { epoch }) => {
+                self.ended = true;
+                Err(ChannelError::WrongEpoch { current: epoch })
+            }
+            HotResponse::Other(other) => Err(reject(other)),
             HotResponse::Cots => Err(stream_violation(
                 "one-shot Cots response inside a subscription",
             )),
@@ -915,8 +1182,13 @@ impl CotSubscription<'_> {
                     self.ended = true;
                     return self.verify_trailer(chunks, cots);
                 }
-                HotResponse::Other(Response::Error(msg)) => return Err(service_error(&msg)),
-                HotResponse::Other(other) => return Err(unexpected_response(&other)),
+                HotResponse::Other(Response::WrongEpoch { epoch }) => {
+                    // A fenced Subscribe answered with WrongEpoch is the
+                    // whole "stream": there is no trailer to wait for.
+                    self.ended = true;
+                    return Err(ChannelError::WrongEpoch { current: epoch });
+                }
+                HotResponse::Other(other) => return Err(reject(other)),
                 HotResponse::Cots => {
                     return Err(stream_violation(
                         "one-shot Cots response inside a subscription",
@@ -935,6 +1207,16 @@ impl Drop for CotSubscription<'_> {
         if !self.ended {
             let _ = self.close();
         }
+    }
+}
+
+/// Maps a non-success response to its typed error: service rejections,
+/// epoch fences, and everything else as a protocol violation.
+fn reject(resp: Response) -> ChannelError {
+    match resp {
+        Response::Error(msg) => service_error(&msg),
+        Response::WrongEpoch { epoch } => ChannelError::WrongEpoch { current: epoch },
+        other => unexpected_response(&other),
     }
 }
 

@@ -5,7 +5,9 @@
 //! on arbitrary input.
 
 use ironman_core::CotBatch;
-use ironman_net::proto::{self, Request, Response, ServiceStats, ShardStat};
+use ironman_net::proto::{
+    self, DirectoryDelta, MemberRecord, MemberWireState, Request, Response, ServiceStats, ShardStat,
+};
 use ironman_prg::Block;
 use proptest::prelude::*;
 
@@ -15,7 +17,7 @@ proptest! {
     /// Every request variant round-trips, whatever its field values.
     #[test]
     fn requests_round_trip(
-        variant in 0usize..7,
+        variant in 0usize..9,
         a in any::<u64>(),
         b in any::<u64>(),
         name in proptest::collection::vec(any::<u8>(), 0..32),
@@ -23,12 +25,15 @@ proptest! {
         let req = match variant {
             0 => Request::Hello {
                 name: String::from_utf8_lossy(&name).into_owned(),
+                epoch: b,
             },
             1 => Request::RequestCot { n: a },
             2 => Request::Stats,
             3 => Request::Shutdown,
             4 => Request::Subscribe { batch: a, credits: b },
             5 => Request::Credit { n: a },
+            6 => Request::Sync { epoch: a },
+            7 => Request::Warm { watermark: a, max_refills: b },
             _ => Request::Unsubscribe,
         };
         prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -64,12 +69,17 @@ proptest! {
     /// including zero shards.
     #[test]
     fn stats_round_trip(
-        fixed in proptest::collection::vec(any::<u64>(), 9..10),
-        shard_words in proptest::collection::vec(any::<u64>(), 0..17),
+        fixed in proptest::collection::vec(any::<u64>(), 11..12),
+        shard_words in proptest::collection::vec(any::<u64>(), 0..33),
     ) {
         let shard_stats: Vec<ShardStat> = shard_words
-            .chunks_exact(2)
-            .map(|c| ShardStat { available: c[0], extensions_run: c[1] })
+            .chunks_exact(4)
+            .map(|c| ShardStat {
+                available: c[0],
+                extensions_run: c[1],
+                taken: c[2],
+                warm_refills: c[3],
+            })
             .collect();
         let resp = Response::Stats(ServiceStats {
             clients_served: fixed[0],
@@ -81,6 +91,8 @@ proptest! {
             scratch_reuses: fixed[6],
             scratch_allocs: fixed[7],
             register_failures: fixed[8],
+            directory_epoch: fixed[9],
+            pending_stream_cots: fixed[10],
             shard_stats,
         });
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -89,7 +101,7 @@ proptest! {
     /// The remaining fixed-shape responses round-trip.
     #[test]
     fn control_responses_round_trip(
-        variant in 0usize..4,
+        variant in 0usize..6,
         a in any::<u64>(),
         b in any::<u64>(),
         msg in proptest::collection::vec(any::<u8>(), 0..48),
@@ -98,11 +110,42 @@ proptest! {
             0 => Response::Welcome {
                 version: a as u16,
                 max_request: b,
+                epoch: a ^ b,
             },
             1 => Response::Goodbye,
             2 => Response::StreamEnd { chunks: a, cots: b },
+            3 => Response::WrongEpoch { epoch: a },
+            4 => Response::Warmed { refills: a },
             _ => Response::Error(String::from_utf8_lossy(&msg).into_owned()),
         };
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// Membership deltas round-trip for arbitrary member sets, states,
+    /// and (possibly non-UTF-8 / non-address) payload strings.
+    #[test]
+    fn directory_updates_round_trip(
+        epoch in any::<u64>(),
+        full in any::<bool>(),
+        seeds in proptest::collection::vec(any::<u64>(), 0..6),
+        raw in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let members: Vec<MemberRecord> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| MemberRecord {
+                id: seed,
+                state: match seed % 4 {
+                    0 => MemberWireState::Up,
+                    1 => MemberWireState::Draining,
+                    2 => MemberWireState::Suspect,
+                    _ => MemberWireState::Left,
+                },
+                addr: format!("10.0.0.{i}:{}", 7000 + (seed % 1000)),
+                name: String::from_utf8_lossy(&raw).into_owned(),
+            })
+            .collect();
+        let resp = Response::DirectoryUpdate(DirectoryDelta { epoch, full, members });
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 

@@ -36,6 +36,13 @@ pub enum ChannelError {
         /// Size actually requested.
         requested: u64,
     },
+    /// The peer fenced a request made under a stale cluster-membership
+    /// epoch: the caller's routing view is out of date. Sync the
+    /// directory delta, re-resolve, and retry — the server is healthy.
+    WrongEpoch {
+        /// The peer's current directory epoch.
+        current: u64,
+    },
 }
 
 impl fmt::Display for ChannelError {
@@ -52,6 +59,9 @@ impl fmt::Display for ChannelError {
             ChannelError::Service(msg) => write!(f, "service error: {msg}"),
             ChannelError::RequestTooLarge { max, requested } => {
                 write!(f, "request of {requested} exceeds per-request limit {max}")
+            }
+            ChannelError::WrongEpoch { current } => {
+                write!(f, "request fenced: peer is at directory epoch {current}")
             }
         }
     }

@@ -1,12 +1,16 @@
-//! A 3-server COT fleet on loopback: consistent-hash routing, background
-//! warm-up, transparent splitting, and a streaming subscription.
+//! A dynamic 3-server COT fleet on loopback: consistent-hash routing,
+//! demand-steered fleet warm-up, transparent splitting, a streaming
+//! subscription — and live membership churn (drain, kill, replace) that
+//! clients ride out without an error.
 //!
 //! Run with `cargo run --example cluster_demo --release`. Each server is
-//! an independent FERRET dealer whose `Warmup` refiller keeps its pool
-//! shards full before demand arrives; the routed clients then drain
-//! buffers instead of waiting on inline extensions.
+//! an independent FERRET dealer; the fleet-level warm-up controller
+//! steers refill budget toward whichever server carries the deepest
+//! subscription backlog.
 
-use ironman_cluster::{ClusterClient, ClusterServerConfig, LocalCluster, WarmupConfig};
+use ironman_cluster::{
+    ClusterClient, ClusterServerConfig, FleetWarmupConfig, HealthConfig, LocalCluster,
+};
 use ironman_core::{Backend, Engine};
 use ironman_ot::ferret::FerretConfig;
 use ironman_ot::params::FerretParams;
@@ -17,18 +21,18 @@ fn main() {
         FerretConfig::new(FerretParams::toy()),
         Backend::ironman_default(),
     );
-    let cluster = LocalCluster::spawn(
-        3,
-        &engine,
-        &ClusterServerConfig {
-            warmup: Some(WarmupConfig::default()),
-            ..ClusterServerConfig::default()
-        },
-    )
-    .expect("spawn fleet");
+    let mut cluster =
+        LocalCluster::spawn(3, &engine, &ClusterServerConfig::default()).expect("spawn fleet");
+    cluster.enable_fleet_warmup(FleetWarmupConfig::default());
+    cluster.enable_health(HealthConfig::default());
     let directory = cluster.directory();
-    for server in directory.servers() {
-        println!("fleet member {} at {}", server.name, server.addr);
+    let snapshot = directory.snapshot();
+    println!("directory at epoch {}", snapshot.epoch());
+    for member in snapshot.members() {
+        println!(
+            "  member {} ({}) at {}",
+            member.id, member.name, member.addr
+        );
     }
 
     let warm_target = engine.config().usable_outputs();
@@ -39,26 +43,28 @@ fn main() {
     for session in ["alice", "bob", "carol", "dave"] {
         println!(
             "session {session:>6} -> home server {}",
-            directory.home(session)
+            snapshot.home(session).expect("non-empty fleet")
         );
     }
 
-    // An oversized request splits transparently across the fleet.
-    let mut client = ClusterClient::connect(directory, "alice").expect("connect");
+    // An oversized request splits transparently across the fleet — the
+    // visitor form reuses one batch across every chunk.
+    let mut client = ClusterClient::connect(directory.clone(), "alice").expect("connect");
     let max = client.max_request().expect("connected") as usize;
     let want = 2 * max + 500;
     let start = Instant::now();
-    let batches = client.request_cots(want).expect("request");
-    let split_elapsed = start.elapsed();
-    let total: usize = batches.iter().map(ironman_core::CotBatch::len).sum();
+    let mut total = 0usize;
+    let chunks = client
+        .request_cots_with(want, |batch| {
+            batch.verify().expect("verified correlation");
+            total += batch.len();
+        })
+        .expect("request");
     assert_eq!(total, want, "split request must deliver the exact total");
-    for batch in &batches {
-        batch.verify().expect("verified correlation");
-    }
     println!(
-        "\nsplit request: {want} COTs (> per-server max {max}) arrived as {} verified \
-         batches in {split_elapsed:.2?}; per-server spread {:?}",
-        batches.len(),
+        "\nsplit request: {want} COTs (> per-server max {max}) arrived as {chunks} verified \
+         chunks through one reused batch in {:.2?}; per-server spread {:?}",
+        start.elapsed(),
         client.served_per_server()
     );
 
@@ -75,15 +81,42 @@ fn main() {
         summary.cots as f64 / elapsed.as_secs_f64()
     );
 
-    // Warm-up effectiveness is visible in the per-shard stats.
+    // Membership churn, live: drain one server (hitless — no new homes),
+    // kill another (the health checker evicts it), join a replacement.
+    // The client keeps serving through every step.
+    let ids = cluster.server_ids();
+    cluster.drain_server(ids[0]);
+    println!("\ndrained {} -> epoch {}", ids[0], directory.epoch());
+    cluster.kill_server(ids[1]);
+    let evicted_by = Instant::now() + Duration::from_secs(10);
+    while directory.snapshot().member(ids[1]).is_some() && Instant::now() < evicted_by {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!(
+        "killed {} -> health checker evicted it at epoch {}",
+        ids[1],
+        directory.epoch()
+    );
+    let replacement = cluster.spawn_server().expect("replacement joins");
+    println!("joined {replacement} -> epoch {}", directory.epoch());
+    let batches = client.request_cots(1000).expect("serve through churn");
+    let churn_total: usize = batches.iter().map(|b| b.len()).sum();
+    assert_eq!(churn_total, 1000);
+    println!("served {churn_total} COTs straight through the churn, zero errors");
+
+    // Warm-up steering and the epoch are visible in the per-shard stats.
     println!();
-    for (addr, stats) in client.stats_all() {
-        let stats = stats.expect("reachable");
+    for (id, addr, stats) in client.stats_all() {
+        let Some(stats) = stats else {
+            println!("server {id} at {addr}: unreachable");
+            continue;
+        };
         let occupancy: Vec<u64> = stats.shard_stats.iter().map(|s| s.available).collect();
+        let warm: Vec<u64> = stats.shard_stats.iter().map(|s| s.warm_refills).collect();
         println!(
-            "server {addr}: served {} COTs, {} extensions ({} by warm-up), \
-             shard occupancy {occupancy:?}",
-            stats.cots_served, stats.extensions_run, stats.warmup_refills
+            "server {id} at {addr}: epoch {}, served {} COTs, {} extensions, \
+             shard occupancy {occupancy:?}, warm refills {warm:?}",
+            stats.directory_epoch, stats.cots_served, stats.extensions_run
         );
     }
 

@@ -16,6 +16,9 @@ cargo test -q --test net_loopback
 echo "==> cluster smoke: 3-server fleet, routed clients, one-shot + streaming paths"
 cargo test -q -p ironman-cluster --test cluster_e2e
 
+echo "==> membership-churn smoke: kill + rejoin one of three servers under load"
+cargo test -q -p ironman-cluster --test churn
+
 echo "==> cluster_loopback bench (--quick; refreshes BENCH_cluster.json)"
 cargo run --release -p ironman-bench --bin cluster_loopback -- --quick
 
