@@ -188,7 +188,7 @@ fn bench_streaming(engine: &Engine, total: u64, batch: usize) -> Result {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = FerretConfig::new(FerretParams::toy());
+    let cfg = FerretConfig::recommended(FerretParams::toy());
     let engine = Engine::new(cfg, Backend::ironman_default());
 
     // Identical one-shot demand on both paths.

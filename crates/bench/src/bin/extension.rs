@@ -1,0 +1,341 @@
+//! Raw FERRET supply-ceiling bench: the extension compute core measured
+//! kernel by kernel and end to end, head-to-head in one run.
+//!
+//! PR 3/4 made *serving* nearly free, so the supply ceiling is the
+//! extension itself — dominated at Table-4 scale by the memory-bound LPN
+//! encode (paper §5.3, Fig. 1c). This bench measures:
+//!
+//! * **LPN block kernels** on an `OT_2POW20`-class matrix (`k = 168_000`,
+//!   `d = 10`): row-major naive vs cache-blocked tiled, each with and
+//!   without the §5.3 offline sort — all four against the same matrix
+//!   and inputs, best-of-N.
+//! * **LPN bit kernels**: the receiver's `x = e·A ⊕ u` half as
+//!   `Vec<bool>` (naive) vs packed `u64` words, row-major and tiled.
+//! * **Session LPN composite**: one extension's LPN compute across both
+//!   party threads (sender blocks + receiver bits/blocks pair — they
+//!   share the single core in a `CotSession`), naive vs tiled+packed —
+//!   the paper-mechanism pairing the tile schedule and packed words
+//!   were built for, and the quantity that gates raw supply.
+//! * **Raw single-session `extend`**: a persistent [`CotSession`] at an
+//!   LPN-heavy parameter set, naive kernels vs
+//!   [`FerretConfig::recommended`], COTs/s.
+//!
+//! Emits the human table plus `BENCH_extension.json`. `--quick` shrinks
+//! `n` and iteration counts for CI smoke use (same `k`, so the kernels
+//! still see the 2^20-class input working set).
+
+use ironman_bench::{best_of, f2, header, row, times};
+use ironman_lpn::sorting::SortConfig;
+use ironman_lpn::{encoder, LpnMatrix, PackedBits, SortedLpnMatrix};
+use ironman_ot::ferret::{FerretConfig, LpnKernel};
+use ironman_ot::params::FerretParams;
+use ironman_ot::session::CotSession;
+use ironman_prg::Block;
+use std::time::Instant;
+
+/// An LPN-dominated parameter set for the raw-`extend` measurement: the
+/// 2^20-class input (`k = 168_000`, `d = 10`) with small, cheap GGM
+/// trees, so the extension's wall time is the encode the kernels
+/// rewrote rather than tree PRG calls. **Bench-only, not secure.**
+fn lpn_heavy() -> FerretParams {
+    FerretParams {
+        log_target: 20,
+        n: 1 << 20,
+        leaves: 512,
+        k: 168_000,
+        t: 128,
+    }
+}
+
+struct ExtendResult {
+    name: &'static str,
+    cots: u64,
+    secs: f64,
+}
+
+impl ExtendResult {
+    fn cots_per_sec(&self) -> f64 {
+        self.cots as f64 / self.secs
+    }
+}
+
+/// Raw single-session supply: one pipelined [`CotSession`] (both party
+/// threads on this core), draining `batches` staged extensions. The
+/// session bootstrap (dealer, matrix + tile-schedule build, thread
+/// spawns) happens before the clock starts; the first batch is awaited
+/// untimed so the measurement sees the steady pipeline.
+fn bench_extend(name: &'static str, cfg: &FerretConfig, batches: usize) -> ExtendResult {
+    let session = CotSession::spawn(cfg, 808, 2);
+    let first = session.recv().expect("session alive");
+    let delta = session.delta();
+    let per = first.len() as u64;
+    let t = Instant::now();
+    let mut cots = 0u64;
+    let mut last = first;
+    for _ in 0..batches {
+        last = session.recv().expect("session alive");
+        cots += last.len() as u64;
+    }
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(last.len() as u64, per);
+    for i in (0..last.len()).step_by(997) {
+        assert_eq!(last.z[i], last.y[i] ^ delta.and_bit(last.x[i]), "COT {i}");
+    }
+    ExtendResult { name, cots, secs }
+}
+
+struct KernelResult {
+    name: &'static str,
+    gathers: u64,
+    secs: f64,
+}
+
+impl KernelResult {
+    fn gathers_per_sec(&self) -> f64 {
+        self.gathers as f64 / self.secs
+    }
+}
+
+/// One timed pass of a kernel closure over `iters` repetitions.
+fn time_kernel(
+    name: &'static str,
+    iters: usize,
+    gathers_per_iter: u64,
+    mut run: impl FnMut(),
+) -> KernelResult {
+    let t = Instant::now();
+    for _ in 0..iters {
+        run();
+    }
+    KernelResult {
+        name,
+        gathers: gathers_per_iter * iters as u64,
+        secs: t.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // OT_2POW20-class geometry: the real k and row weight; quick mode
+    // shrinks n (fewer rows = fewer timed gathers) but keeps the input
+    // working set — the quantity the cache-blocking targets — identical.
+    let (n, k, d) = if quick {
+        (262_144usize, 168_000usize, 10usize)
+    } else {
+        (1_221_516usize, 168_000usize, 10usize)
+    };
+    let attempts = if quick { 3 } else { 5 };
+    let kernel_iters = if quick { 2 } else { 3 };
+
+    println!("generating OT_2POW20-class matrix: n={n}, k={k}, d={d}");
+    let t = Instant::now();
+    let matrix = LpnMatrix::generate(n, k, d, Block::from(0x7e57u128));
+    let gen_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let tiles = matrix.tile_schedule();
+    let tile_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let sorted = SortedLpnMatrix::sort(
+        &matrix,
+        SortConfig {
+            // The deployed 256 KB memory-side cache model; the smaller
+            // window bounds the offline greedy at bench scale.
+            cache_lines: 4096,
+            window: 8,
+            block_rows: 4096,
+        },
+    );
+    let sort_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let sorted_tiles_len = sorted.tile_schedule().len();
+    let sorted_tile_secs = t.elapsed().as_secs_f64();
+    println!(
+        "offline costs: generate {gen_secs:.2}s, tile {tile_secs:.2}s, \
+         sort {sort_secs:.2}s, tile(sorted) {sorted_tile_secs:.2}s \
+         ({sorted_tiles_len} gathers)"
+    );
+
+    // Shared inputs: pseudorandom blocks/bits, dirty accumulators.
+    let input_blocks: Vec<Block> = (0..k as u128)
+        .map(|i| Block::from(i * 0x9e37 + 1))
+        .collect();
+    let input_bools: Vec<bool> = (0..k).map(|i| (i * 7 + i / 11) % 3 == 0).collect();
+    let input_packed = PackedBits::from_bools(&input_bools);
+    let gathers = (n * d) as u64;
+
+    let mut acc_blocks = vec![Block::from(0xA5u128); n];
+    let mut acc_bools = vec![false; n];
+    let mut acc_packed = PackedBits::zeros(n);
+
+    let score = KernelResult::gathers_per_sec;
+    let block_results = [
+        best_of(attempts, score, || {
+            time_kernel("blocks_naive", kernel_iters, gathers, || {
+                encoder::encode_blocks(&matrix, &input_blocks, &mut acc_blocks)
+            })
+        }),
+        best_of(attempts, score, || {
+            time_kernel("blocks_tiled", kernel_iters, gathers, || {
+                tiles.encode_blocks(&input_blocks, &mut acc_blocks)
+            })
+        }),
+        best_of(attempts, score, || {
+            time_kernel("blocks_sorted", kernel_iters, gathers, || {
+                sorted.encode_blocks(&input_blocks, &mut acc_blocks)
+            })
+        }),
+        best_of(attempts, score, || {
+            time_kernel("blocks_tiled_sorted", kernel_iters, gathers, || {
+                sorted.encode_blocks_tiled(&input_blocks, &mut acc_blocks)
+            })
+        }),
+    ];
+    let bit_results = [
+        best_of(attempts, score, || {
+            time_kernel("bits_bool_naive", kernel_iters, gathers, || {
+                encoder::encode_bits(&matrix, &input_bools, &mut acc_bools)
+            })
+        }),
+        best_of(attempts, score, || {
+            time_kernel("bits_packed_naive", kernel_iters, gathers, || {
+                encoder::encode_bits_packed(&matrix, &input_packed, &mut acc_packed)
+            })
+        }),
+        best_of(attempts, score, || {
+            time_kernel("bits_packed_tiled", kernel_iters, gathers, || {
+                tiles.encode_bits_packed(&input_packed, &mut acc_packed)
+            })
+        }),
+    ];
+    // Session-level composite: one extension's LPN compute across both
+    // party threads (they share this core in a `CotSession`) — the
+    // sender's `z = r·A ⊕ w` block pass plus the receiver's
+    // `x = e·A ⊕ u` / `y = s·A ⊕ v` pair. Naive runs the pre-PR shape
+    // (row-major, separate passes, `bool` bits); tiled+packed runs the
+    // new supply path (tiled sender blocks + fused receiver pair on
+    // packed words).
+    let composite_results = [
+        best_of(attempts, score, || {
+            time_kernel("session_lpn_naive", kernel_iters, 3 * gathers, || {
+                encoder::encode_blocks(&matrix, &input_blocks, &mut acc_blocks);
+                encoder::encode_bits(&matrix, &input_bools, &mut acc_bools);
+                encoder::encode_blocks(&matrix, &input_blocks, &mut acc_blocks);
+            })
+        }),
+        best_of(attempts, score, || {
+            time_kernel(
+                "session_lpn_tiled_packed",
+                kernel_iters,
+                3 * gathers,
+                || {
+                    tiles.encode_blocks(&input_blocks, &mut acc_blocks);
+                    tiles.encode_cot_pair(
+                        &input_blocks,
+                        &input_packed,
+                        &mut acc_blocks,
+                        &mut acc_packed,
+                    );
+                },
+            )
+        }),
+    ];
+
+    // Raw single-session extend: the same code path a pipelined pool
+    // shard runs, naive kernels vs the recommended config, at the
+    // LPN-heavy set where the encode dominates.
+    let heavy = lpn_heavy();
+    let naive_cfg = FerretConfig {
+        kernel: LpnKernel::Naive,
+        ..FerretConfig::new(heavy)
+    };
+    let rec_cfg = FerretConfig::recommended(heavy);
+    assert_eq!(rec_cfg.kernel, LpnKernel::Tiled, "2^20-class k must tile");
+    let extend_batches = if quick { 3 } else { 6 };
+    let extend_score = ExtendResult::cots_per_sec;
+    let extends = [
+        best_of(attempts, extend_score, || {
+            bench_extend("extend_naive", &naive_cfg, extend_batches)
+        }),
+        best_of(attempts, extend_score, || {
+            bench_extend("extend_recommended", &rec_cfg, extend_batches)
+        }),
+    ];
+
+    header(
+        "LPN kernels, OT_2POW20-class (gathers/s)",
+        &["kernel", "gathers", "secs", "gathers/s", "vs naive"],
+    );
+    let print_group = |results: &[KernelResult], base: f64| {
+        for r in results {
+            row(&[
+                r.name.to_string(),
+                r.gathers.to_string(),
+                f2(r.secs),
+                format!("{:.3e}", r.gathers_per_sec()),
+                times(r.gathers_per_sec() / base),
+            ]);
+        }
+    };
+    print_group(&block_results, block_results[0].gathers_per_sec());
+    print_group(&bit_results, bit_results[0].gathers_per_sec());
+    print_group(&composite_results, composite_results[0].gathers_per_sec());
+
+    header(
+        "raw single-session extend (LPN-heavy set)",
+        &["config", "COTs", "secs", "COTs/s"],
+    );
+    for r in &extends {
+        row(&[
+            r.name.to_string(),
+            r.cots.to_string(),
+            f2(r.secs),
+            format!("{:.0}", r.cots_per_sec()),
+        ]);
+    }
+
+    let tiled_packed_speedup =
+        composite_results[1].gathers_per_sec() / composite_results[0].gathers_per_sec();
+    let extend_speedup = extends[1].cots_per_sec() / extends[0].cots_per_sec();
+    println!(
+        "\nsession LPN tiled+packed vs naive: {}",
+        times(tiled_packed_speedup)
+    );
+    println!("extend recommended vs naive: {}", times(extend_speedup));
+
+    let mut json = String::from("{\n  \"bench\": \"extension\",\n");
+    json.push_str(&format!(
+        "  \"quick\": {quick},\n  \"params\": {{\"n\": {n}, \"k\": {k}, \"d\": {d}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"tiled_packed_speedup\": {tiled_packed_speedup:.3},\n  \"extend_speedup\": {extend_speedup:.3},\n  \"extends\": [\n"
+    ));
+    for (i, r) in extends.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cots\": {}, \"secs\": {:.6}, \"cots_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.cots,
+            r.secs,
+            r.cots_per_sec(),
+            if i + 1 < extends.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"kernels\": [\n");
+    let all: Vec<&KernelResult> = block_results
+        .iter()
+        .chain(&bit_results)
+        .chain(&composite_results)
+        .collect();
+    for (i, r) in all.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"gathers\": {}, \"secs\": {:.6}, \"gathers_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.gathers,
+            r.secs,
+            r.gathers_per_sec(),
+            if i + 1 < all.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_extension.json", &json).expect("write bench json");
+    println!("wrote BENCH_extension.json");
+}

@@ -152,7 +152,7 @@ fn bench_stream(engine: &Engine, chunks: u64, batch: usize) -> Result {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = FerretConfig::new(FerretParams::toy());
+    let cfg = FerretConfig::recommended(FerretParams::toy());
     let engine = Engine::new(cfg, Backend::ironman_default());
     let batch = 2000;
     let attempts = if quick { 3 } else { 5 };

@@ -97,7 +97,7 @@ fn bench_service(engine: &Engine, clients: usize, requests: usize, batch: usize)
 
 fn main() {
     let params = FerretParams::toy();
-    let cfg = FerretConfig::new(params);
+    let cfg = FerretConfig::recommended(params);
     let engine = Engine::new(cfg.clone(), Backend::ironman_default());
     let iters = 6;
 

@@ -264,6 +264,26 @@ impl CotPool {
         self.warm_refills
     }
 
+    /// Extensions the pipelined session's party threads have completed
+    /// ahead of demand (0 for inline supply — inline extensions show up
+    /// in [`CotPool::extensions_run`]).
+    pub fn session_extensions(&self) -> u64 {
+        match &self.supply {
+            Supply::Session(session) => session.extensions_staged(),
+            Supply::Inline => 0,
+        }
+    }
+
+    /// Times a drain had to block on the session because the staging
+    /// buffer was empty — the supply-pressure signal: demand reached
+    /// this shard faster than its session extends (0 for inline supply).
+    pub fn session_stalls(&self) -> u64 {
+        match &self.supply {
+            Supply::Session(session) => session.consumer_stalls(),
+            Supply::Inline => 0,
+        }
+    }
+
     /// Timing of the most recent extension, if any (pipelined refills
     /// report the engine's analytical estimate: the session extends off
     /// the demand path, so per-refill wall time is not re-measured here).

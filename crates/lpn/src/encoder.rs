@@ -1,5 +1,5 @@
 //! The LPN encoder: sparse matrix–vector products over GF(2) and
-//! GF(2^128).
+//! GF(2^128), shared by every kernel variant.
 //!
 //! Each output element is the XOR of `d` randomly indexed input elements,
 //! accumulated onto the SPCOT output in place. The same routine serves:
@@ -7,9 +7,317 @@
 //! * the sender (`z = r·A ⊕ w`, blocks),
 //! * the receiver's block half (`y = s·A ⊕ v`), and
 //! * the receiver's bit half (`x = e·A ⊕ u`).
+//!
+//! All kernels are expressed over one generic XOR-accumulate core — the
+//! [`XorLane`] trait, whose defining operation is `acc[row] ^= input[col]`
+//! — so the row-major (naive) and tile-major ([`crate::tile`]) traversals
+//! each exist **once** and serve blocks, `bool` bits, packed bits and the
+//! receiver's fused block+bit pair alike. Monomorphization inlines the
+//! lane into each traversal; there is no dynamic dispatch on the hot
+//! path. Lanes override the batched trait methods only to keep their
+//! accumulation state in registers (one store per row / per packed word
+//! instead of one read-modify-write per gather).
 
+use crate::bits::PackedBits;
 use crate::LpnMatrix;
 use ironman_prg::Block;
+use std::ops::BitXorAssign;
+
+/// One gather-XOR lane: an input vector indexed by column, an accumulator
+/// indexed by row, and the single operation every LPN kernel is built
+/// from. Implementations are expected to be `#[inline]`-friendly structs
+/// borrowing their vectors; the traversals ([`encode_rows`],
+/// [`crate::tile::TileSchedule::encode`]) are generic over the lane.
+pub trait XorLane {
+    /// `acc[row] ^= input[col]`.
+    fn xor_gather(&mut self, row: usize, col: usize);
+
+    /// Row-batched form: `acc[row] ^= ⊕_{c∈cols} input[c]`, equivalent
+    /// to `xor_gather` per column. The row-major traversal calls this so
+    /// lanes can accumulate the row in a register and touch the
+    /// accumulator once per row instead of once per gather.
+    #[inline]
+    fn xor_gather_row(&mut self, row: usize, cols: &[u32]) {
+        for &c in cols {
+            self.xor_gather(row, c as usize);
+        }
+    }
+
+    /// Bucket-batched form, driven by [`crate::tile::TileSchedule`]:
+    /// every entry packs `(local_row << col_bits) | local_col` relative
+    /// to the bucket's `(row_base, col_base)` origin, in the schedule's
+    /// emission order. Implementations must be correct for **any** row
+    /// order — `TileSchedule::build` happens to emit rows ascending
+    /// (which is what makes the packed lanes' pending-word buffering
+    /// fast), but the sorted-matrix schedule emits look-ahead execution
+    /// order. Equivalent to `xor_gather` per entry.
+    #[inline]
+    fn xor_gather_bucket(
+        &mut self,
+        row_base: usize,
+        col_base: usize,
+        col_bits: u32,
+        entries: &[u32],
+    ) {
+        let mask = (1u32 << col_bits) - 1;
+        for &e in entries {
+            self.xor_gather(
+                row_base + (e >> col_bits) as usize,
+                col_base + (e & mask) as usize,
+            );
+        }
+    }
+}
+
+/// The dense-slice lane: serves both `Block` vectors (GF(2^128)) and
+/// `bool` vectors (GF(2) carried one byte per element).
+pub struct SliceLane<'a, T> {
+    /// The length-`k` input vector.
+    pub input: &'a [T],
+    /// The length-`n` accumulator.
+    pub acc: &'a mut [T],
+}
+
+impl<T: Copy + BitXorAssign> XorLane for SliceLane<'_, T> {
+    #[inline(always)]
+    fn xor_gather(&mut self, row: usize, col: usize) {
+        let v = self.input[col];
+        self.acc[row] ^= v;
+    }
+
+    #[inline(always)]
+    fn xor_gather_row(&mut self, row: usize, cols: &[u32]) {
+        // Accumulate in a register; one accumulator store per row.
+        let mut x = self.acc[row];
+        for &c in cols {
+            x ^= self.input[c as usize];
+        }
+        self.acc[row] = x;
+    }
+}
+
+/// Single-bit masks indexed by bit position (`BIT_MASK[i] == 1 << i`).
+const BIT_MASK: [u64; 64] = {
+    let mut m = [0u64; 64];
+    let mut i = 0;
+    while i < 64 {
+        m[i] = 1u64 << i;
+        i += 1;
+    }
+    m
+};
+
+/// Tests bit `col` of a packed word slice: one word load plus one mask
+/// load (64-entry table, a pair of L1 lines) and an AND. The table
+/// lookup replaces a variable shift, which baseline x86-64 serializes
+/// through the shift-count register.
+#[inline(always)]
+fn packed_bit(words: &[u64], col: usize) -> bool {
+    words[col >> 6] & BIT_MASK[col & 63] != 0
+}
+
+/// The packed-bit lane: input and accumulator are [`PackedBits`] words,
+/// so the `k`-bit input window is 8× smaller than its `bool` twin
+/// (L1-resident at Table-4 scale).
+pub struct PackedLane<'a> {
+    input: &'a PackedBits,
+    acc: &'a mut PackedBits,
+}
+
+impl<'a> PackedLane<'a> {
+    /// Borrows the input/accumulator pair.
+    pub fn new(input: &'a PackedBits, acc: &'a mut PackedBits) -> Self {
+        PackedLane { input, acc }
+    }
+}
+
+impl XorLane for PackedLane<'_> {
+    #[inline(always)]
+    fn xor_gather(&mut self, row: usize, col: usize) {
+        let b = packed_bit(self.input.words(), col);
+        self.acc.xor_bit(row, b);
+    }
+
+    #[inline(always)]
+    fn xor_gather_row(&mut self, row: usize, cols: &[u32]) {
+        let words = self.input.words();
+        self.acc.xor_bit(row, row_parity(words, cols));
+    }
+
+    #[inline(always)]
+    fn xor_gather_bucket(
+        &mut self,
+        row_base: usize,
+        col_base: usize,
+        col_bits: u32,
+        entries: &[u32],
+    ) {
+        let mask = (1u32 << col_bits) - 1;
+        let words = self.input.words();
+        let mut pending = PendingWord::at(row_base);
+        for &e in entries {
+            let row = row_base + (e >> col_bits) as usize;
+            let b = packed_bit(words, col_base + (e & mask) as usize);
+            pending.xor_bit(self.acc, row, b);
+        }
+        pending.flush(self.acc);
+    }
+}
+
+/// One packed accumulator word buffered in locals (registers) across a
+/// bucket: `TileSchedule::build` emits rows ascending within a bucket,
+/// so consecutive entries share a 64-row word for long runs and the
+/// write-back branch is rare and well predicted. Correct for *any* row
+/// order (each word change writes back), ascending order is only what
+/// makes it fast.
+struct PendingWord {
+    bits: u64,
+    idx: usize,
+}
+
+impl PendingWord {
+    #[inline(always)]
+    fn at(row: usize) -> Self {
+        PendingWord {
+            bits: 0,
+            idx: row >> 6,
+        }
+    }
+
+    #[inline(always)]
+    fn xor_bit(&mut self, acc: &mut PackedBits, row: usize, b: bool) {
+        let idx = row >> 6;
+        if idx != self.idx {
+            acc.xor_word(self.idx, self.bits);
+            self.bits = 0;
+            self.idx = idx;
+        }
+        self.bits ^= (b as u64) << (row & 63);
+    }
+
+    #[inline(always)]
+    fn flush(self, acc: &mut PackedBits) {
+        acc.xor_word(self.idx, self.bits);
+    }
+}
+
+/// Two-lane parity of `cols`' bits in `words` — short XOR chains, no
+/// accumulator traffic.
+#[inline(always)]
+fn row_parity(words: &[u64], cols: &[u32]) -> bool {
+    let mut even = false;
+    let mut odd = false;
+    let mut pairs = cols.chunks_exact(2);
+    for pair in &mut pairs {
+        even ^= packed_bit(words, pair[0] as usize);
+        odd ^= packed_bit(words, pair[1] as usize);
+    }
+    for &c in pairs.remainder() {
+        even ^= packed_bit(words, c as usize);
+    }
+    even ^ odd
+}
+
+/// The receiver's fused lane: one traversal drives **both** receiver
+/// halves — `y[row] ^= s[col]` (blocks) and `x[row] ^= e[col]` (packed
+/// bits) — sharing a single pass over the index stream and a single
+/// gather address per entry. The bit half rides almost free on the
+/// block gathers: its input is an L1-resident packed word away from the
+/// block element just fetched.
+pub struct CotPairLane<'a> {
+    s: &'a [Block],
+    e: &'a PackedBits,
+    y: &'a mut [Block],
+    x: &'a mut PackedBits,
+}
+
+impl<'a> CotPairLane<'a> {
+    /// Borrows the receiver's two input/accumulator pairs.
+    pub fn new(
+        s: &'a [Block],
+        e: &'a PackedBits,
+        y: &'a mut [Block],
+        x: &'a mut PackedBits,
+    ) -> Self {
+        CotPairLane { s, e, y, x }
+    }
+}
+
+impl XorLane for CotPairLane<'_> {
+    #[inline(always)]
+    fn xor_gather(&mut self, row: usize, col: usize) {
+        let v = self.s[col];
+        self.y[row] ^= v;
+        self.x.xor_bit(row, packed_bit(self.e.words(), col));
+    }
+
+    #[inline(always)]
+    fn xor_gather_row(&mut self, row: usize, cols: &[u32]) {
+        let words = self.e.words();
+        let mut v = self.y[row];
+        for &c in cols {
+            v ^= self.s[c as usize];
+        }
+        self.y[row] = v;
+        self.x.xor_bit(row, row_parity(words, cols));
+    }
+
+    #[inline(always)]
+    fn xor_gather_bucket(
+        &mut self,
+        row_base: usize,
+        col_base: usize,
+        col_bits: u32,
+        entries: &[u32],
+    ) {
+        let mask = (1u32 << col_bits) - 1;
+        let words = self.e.words();
+        // The y half read-modify-writes per entry (rows change too
+        // unpredictably for run accumulation to beat the store buffer);
+        // the packed x half buffers its 64-row word ([`PendingWord`]).
+        let mut pending = PendingWord::at(row_base);
+        for &en in entries {
+            let row = row_base + (en >> col_bits) as usize;
+            let col = col_base + (en & mask) as usize;
+            let v = self.s[col];
+            self.y[row] ^= v;
+            pending.xor_bit(self.x, row, packed_bit(words, col));
+        }
+        pending.flush(self.x);
+    }
+}
+
+/// Remaps lane rows through a translation table — how the §5.3
+/// row-look-ahead order ([`crate::sorting::SortedLpnMatrix`]) scatters
+/// execution-position results back to their original rows while reusing
+/// the same traversals as the plain matrix.
+pub struct RowMappedLane<'a, L> {
+    /// `rows[pos]` = the accumulator row for traversal position `pos`.
+    pub rows: &'a [u32],
+    /// The underlying lane.
+    pub lane: L,
+}
+
+impl<L: XorLane> XorLane for RowMappedLane<'_, L> {
+    #[inline(always)]
+    fn xor_gather(&mut self, row: usize, col: usize) {
+        self.lane.xor_gather(self.rows[row] as usize, col);
+    }
+
+    #[inline(always)]
+    fn xor_gather_row(&mut self, row: usize, cols: &[u32]) {
+        self.lane.xor_gather_row(self.rows[row] as usize, cols);
+    }
+}
+
+/// The row-major (naive) traversal: for each output row, gather its `d`
+/// columns. Sequential on the accumulator, random on the input — the
+/// access pattern of Fig. 1(c) that the tile schedule reorders.
+pub fn encode_rows(matrix: &LpnMatrix, lane: &mut impl XorLane) {
+    for j in 0..matrix.rows() {
+        lane.xor_gather_row(j, matrix.row(j));
+    }
+}
 
 /// Accumulates `A·input` onto `acc` (blocks): `acc[j] ^= ⊕_{i∈row_j} input[i]`.
 ///
@@ -19,13 +327,7 @@ use ironman_prg::Block;
 pub fn encode_blocks(matrix: &LpnMatrix, input: &[Block], acc: &mut [Block]) {
     assert_eq!(input.len(), matrix.cols(), "input length must equal k");
     assert_eq!(acc.len(), matrix.rows(), "accumulator length must equal n");
-    for (j, out) in acc.iter_mut().enumerate() {
-        let mut x = *out;
-        for &c in matrix.row(j) {
-            x ^= input[c as usize];
-        }
-        *out = x;
-    }
+    encode_rows(matrix, &mut SliceLane { input, acc });
 }
 
 /// Accumulates `A·input` onto `acc` (bits): `acc[j] ^= ⊕_{i∈row_j} input[i]`.
@@ -36,13 +338,48 @@ pub fn encode_blocks(matrix: &LpnMatrix, input: &[Block], acc: &mut [Block]) {
 pub fn encode_bits(matrix: &LpnMatrix, input: &[bool], acc: &mut [bool]) {
     assert_eq!(input.len(), matrix.cols(), "input length must equal k");
     assert_eq!(acc.len(), matrix.rows(), "accumulator length must equal n");
-    for (j, out) in acc.iter_mut().enumerate() {
-        let mut x = *out;
-        for &c in matrix.row(j) {
-            x ^= input[c as usize];
-        }
-        *out = x;
-    }
+    encode_rows(matrix, &mut SliceLane { input, acc });
+}
+
+/// Packed-bit variant of [`encode_bits`]: same algebra, 8× smaller
+/// working set for the receiver's `x = e·A ⊕ u` half.
+///
+/// # Panics
+///
+/// Panics if lengths do not match the matrix dimensions.
+pub fn encode_bits_packed(matrix: &LpnMatrix, input: &PackedBits, acc: &mut PackedBits) {
+    assert_eq!(input.len(), matrix.cols(), "input length must equal k");
+    assert_eq!(acc.len(), matrix.rows(), "accumulator length must equal n");
+    encode_rows(matrix, &mut PackedLane::new(input, acc));
+}
+
+/// Fused receiver encode (row-major): one pass computing
+/// `y ^= s·A` (blocks) and `x ^= e·A` (packed bits) together — see
+/// [`CotPairLane`].
+///
+/// # Panics
+///
+/// Panics if lengths do not match the matrix dimensions.
+pub fn encode_cot_pair(
+    matrix: &LpnMatrix,
+    s: &[Block],
+    e: &PackedBits,
+    y: &mut [Block],
+    x: &mut PackedBits,
+) {
+    assert_eq!(s.len(), matrix.cols(), "block input length must equal k");
+    assert_eq!(e.len(), matrix.cols(), "bit input length must equal k");
+    assert_eq!(
+        y.len(),
+        matrix.rows(),
+        "block accumulator length must equal n"
+    );
+    assert_eq!(
+        x.len(),
+        matrix.rows(),
+        "bit accumulator length must equal n"
+    );
+    encode_rows(matrix, &mut CotPairLane::new(s, e, y, x));
 }
 
 /// The random-access address trace of one encode pass: the sequence of
@@ -91,6 +428,35 @@ mod tests {
             }
             assert_eq!(acc[j], expect, "row {j}");
         }
+    }
+
+    #[test]
+    fn packed_bits_match_bool_bits() {
+        let m = toy_matrix();
+        let input: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        let mut acc: Vec<bool> = (0..64).map(|j| j % 5 == 0).collect();
+        let mut packed_acc = PackedBits::from_bools(&acc);
+        let packed_input = PackedBits::from_bools(&input);
+        encode_bits(&m, &input, &mut acc);
+        encode_bits_packed(&m, &packed_input, &mut packed_acc);
+        assert_eq!(packed_acc.to_bools(), acc);
+    }
+
+    #[test]
+    fn fused_pair_matches_separate_passes() {
+        let m = toy_matrix();
+        let s: Vec<Block> = (0..32u128).map(|i| Block::from(i * 13 + 2)).collect();
+        let e: Vec<bool> = (0..32).map(|i| i % 5 == 2).collect();
+        let e_packed = PackedBits::from_bools(&e);
+        let mut y_sep: Vec<Block> = (0..64u128).map(Block::from).collect();
+        let mut x_sep: Vec<bool> = (0..64).map(|j| j % 3 == 0).collect();
+        let mut y_fused = y_sep.clone();
+        let mut x_fused = PackedBits::from_bools(&x_sep);
+        encode_blocks(&m, &s, &mut y_sep);
+        encode_bits(&m, &e, &mut x_sep);
+        encode_cot_pair(&m, &s, &e_packed, &mut y_fused, &mut x_fused);
+        assert_eq!(y_fused, y_sep);
+        assert_eq!(x_fused.to_bools(), x_sep);
     }
 
     #[test]

@@ -14,8 +14,22 @@
 //! Ironman sorts the index matrix at compile time (§5.3).
 //!
 //! This crate provides the matrix ([`LpnMatrix`]), the encoder
-//! ([`encoder`]), and the locality-improving sorting pass
-//! ([`sorting::SortedLpnMatrix`]: column swapping + row look-ahead).
+//! ([`encoder`]), the locality-improving sorting pass
+//! ([`sorting::SortedLpnMatrix`]: column swapping + row look-ahead), the
+//! cache-blocked online schedule ([`tile::TileSchedule`]) and the
+//! packed-bit lane ([`bits::PackedBits`]).
+//!
+//! # Software kernels ↔ paper mechanisms
+//!
+//! Ironman fixes LPN's memory-boundedness with near-memory hardware; this
+//! crate applies each mechanism's *idea* in software, on the online path:
+//!
+//! | software kernel | paper mechanism | shared idea |
+//! |---|---|---|
+//! | [`tile::TileSchedule`] — offline (row-block × column-tile) bucketing of the fixed gather set, executed tile-major | memory-side cache fed by §5.3 offline index sorting | the access stream is known ahead of time, so reorder it **once** so the live window always fits the nearest memory |
+//! | [`bits::PackedBits`] — the receiver's `e`/`u`/`x` bit lane in `u64` words (8× smaller than `Vec<bool>`; `k = 168K` shrinks 168 KB → ~21 KB, L1-resident) | rank-level bandwidth: NMP wins by moving fewer DRAM bytes per useful bit | shrink bytes-per-bit so the same cache holds 8× more of the working set |
+//! | [`sorting::SortedLpnMatrix`] column swap + row look-ahead (offline), composable with tiling via [`sorting::SortedLpnMatrix::tile_schedule`] | §5.3 `Colidx`/`Rowidx` sorting | spatial + temporal locality mined from the fixed matrix offline |
+//! | [`encoder::XorLane`] — one generic XOR-accumulate core behind every traversal × element type | the paper's single LPN datapath parameterized by operand width | the kernel is one circuit; only the operand format varies |
 //!
 //! # Example
 //!
@@ -27,17 +41,25 @@
 //! let r: Vec<Block> = (0..40u128).map(Block::from).collect();
 //! let mut w = vec![Block::ZERO; 100];
 //! encoder::encode_blocks(&m, &r, &mut w);
+//! // The cache-blocked schedule computes the same product tile-major.
+//! let mut w2 = vec![Block::ZERO; 100];
+//! m.tile_schedule().encode_blocks(&r, &mut w2);
+//! assert_eq!(w, w2);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bits;
 pub mod encoder;
 pub mod matrix;
 pub mod sorting;
+pub mod tile;
 
+pub use bits::PackedBits;
 pub use matrix::LpnMatrix;
 pub use sorting::SortedLpnMatrix;
+pub use tile::{TileConfig, TileSchedule};
 
 /// The paper's row weight: every row of `A` has exactly ten nonzeros.
 pub const DEFAULT_ROW_WEIGHT: usize = 10;

@@ -8,17 +8,34 @@
 //! "LPN uses AES to generate indices of random access" — and the matrix is
 //! generated **once** and reused across all OTE executions.
 
+use crate::tile::{TileConfig, TileSchedule};
 use ironman_prg::{Aes128, Block};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A fixed `n × k` sparse binary matrix with `d` nonzeros per row.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LpnMatrix {
     rows: usize,
     cols: usize,
     weight: usize,
     colidx: Vec<u32>,
+    /// Default-geometry tile schedule, built once on first use (the
+    /// matrix never changes, so the schedule is a pure function of it —
+    /// derived state, excluded from equality).
+    tiles: OnceLock<TileSchedule>,
 }
+
+impl PartialEq for LpnMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.weight == other.weight
+            && self.colidx == other.colidx
+    }
+}
+
+impl Eq for LpnMatrix {}
 
 impl LpnMatrix {
     /// Generates the matrix from `seed` (deterministic).
@@ -67,6 +84,7 @@ impl LpnMatrix {
             cols,
             weight,
             colidx,
+            tiles: OnceLock::new(),
         }
     }
 
@@ -122,7 +140,18 @@ impl LpnMatrix {
             cols,
             weight,
             colidx,
+            tiles: OnceLock::new(),
         }
+    }
+
+    /// The default-geometry cache-blocked execution schedule for this
+    /// matrix, built on first use and cached for the matrix's lifetime —
+    /// the online analogue of §5.3's offline index sorting (see
+    /// [`crate::tile`]). Custom geometries go through
+    /// [`TileSchedule::build`] directly.
+    pub fn tile_schedule(&self) -> &TileSchedule {
+        self.tiles
+            .get_or_init(|| TileSchedule::build(self, TileConfig::default()))
     }
 
     /// The memory footprint of the matrix plus a `k`-vector of blocks in

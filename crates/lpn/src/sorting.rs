@@ -19,10 +19,14 @@
 //! The paper's sorting-overhead mitigation — "divide the matrix into
 //! smaller blocks and sort them separately" — is the `block_rows` knob.
 
-use crate::{encoder, LpnMatrix};
+use crate::bits::PackedBits;
+use crate::encoder::{self, PackedLane, RowMappedLane, SliceLane, XorLane};
+use crate::tile::{TileConfig, TileSchedule};
+use crate::LpnMatrix;
 use ironman_prg::Block;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
 
 /// Blocks (16-byte elements) per 64-byte cache line.
 pub const ELEMS_PER_LINE: usize = 4;
@@ -72,6 +76,9 @@ pub struct SortedLpnMatrix {
     row_order: Vec<u32>,
     /// `col_perm[old]` = new location of input element `old`.
     col_perm: Vec<u32>,
+    /// Cache-blocked schedule composing both permutations with tiling
+    /// (derived state, built on first use).
+    tiles: OnceLock<TileSchedule>,
 }
 
 impl SortedLpnMatrix {
@@ -111,6 +118,7 @@ impl SortedLpnMatrix {
             matrix,
             row_order,
             col_perm,
+            tiles: OnceLock::new(),
         }
     }
 
@@ -149,6 +157,39 @@ impl SortedLpnMatrix {
         out
     }
 
+    /// Permutes a packed-bit input vector to match the relabeled columns
+    /// (the [`PackedBits`] twin of [`Self::permute_input`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != cols`.
+    pub fn permute_input_packed(&self, input: &PackedBits) -> PackedBits {
+        assert_eq!(
+            input.len(),
+            self.col_perm.len(),
+            "input length must equal k"
+        );
+        let mut out = PackedBits::zeros(input.len());
+        for (i, &p) in self.col_perm.iter().enumerate() {
+            out.set(p as usize, input.get(i));
+        }
+        out
+    }
+
+    /// Runs the sorted traversal (execution-order rows, original-row
+    /// scatter) over any lane — the single sorted kernel behind the
+    /// blocks/bits/packed variants. `lane` must index its input in the
+    /// *relabeled* column space (see [`Self::permute_input`]).
+    fn encode_sorted(&self, lane: impl XorLane) {
+        encoder::encode_rows(
+            &self.matrix,
+            &mut RowMappedLane {
+                rows: &self.row_order,
+                lane,
+            },
+        );
+    }
+
     /// Encodes blocks with the sorted matrix, scattering results to their
     /// original row positions. Produces bit-identical output to
     /// [`encoder::encode_blocks`] on the unsorted matrix.
@@ -163,13 +204,10 @@ impl SortedLpnMatrix {
             "accumulator length must equal n"
         );
         let permuted = self.permute_input(input);
-        for (pos, &orig_row) in self.row_order.iter().enumerate() {
-            let mut x = acc[orig_row as usize];
-            for &c in self.matrix.row(pos) {
-                x ^= permuted[c as usize];
-            }
-            acc[orig_row as usize] = x;
-        }
+        self.encode_sorted(SliceLane {
+            input: &permuted,
+            acc,
+        });
     }
 
     /// Bit-vector variant of [`Self::encode_blocks`].
@@ -184,13 +222,87 @@ impl SortedLpnMatrix {
             "accumulator length must equal n"
         );
         let permuted = self.permute_input(input);
-        for (pos, &orig_row) in self.row_order.iter().enumerate() {
-            let mut x = acc[orig_row as usize];
-            for &c in self.matrix.row(pos) {
-                x ^= permuted[c as usize];
-            }
-            acc[orig_row as usize] = x;
-        }
+        self.encode_sorted(SliceLane {
+            input: &permuted,
+            acc,
+        });
+    }
+
+    /// Packed-bit variant of [`Self::encode_bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths do not match the matrix dimensions.
+    pub fn encode_bits_packed(&self, input: &PackedBits, acc: &mut PackedBits) {
+        assert_eq!(
+            acc.len(),
+            self.matrix.rows(),
+            "accumulator length must equal n"
+        );
+        let permuted = self.permute_input_packed(input);
+        self.encode_sorted(PackedLane::new(&permuted, acc));
+    }
+
+    /// The cache-blocked schedule composing §5.3's permutations with
+    /// tiling: gathers are emitted in look-ahead execution order with
+    /// relabeled columns, then re-bucketed tile-major with the scatter to
+    /// original rows baked into the entries. Built once, cached.
+    /// Inputs handed to the returned schedule must be permuted first
+    /// ([`Self::permute_input`]/[`Self::permute_input_packed`]).
+    pub fn tile_schedule(&self) -> &TileSchedule {
+        self.tiles.get_or_init(|| {
+            TileSchedule::build_with(
+                self.matrix.rows(),
+                self.matrix.cols(),
+                TileConfig::default(),
+                |emit| {
+                    for (pos, &orig_row) in self.row_order.iter().enumerate() {
+                        for &c in self.matrix.row(pos) {
+                            emit(orig_row, c);
+                        }
+                    }
+                },
+            )
+        })
+    }
+
+    /// Tiled [`Self::encode_blocks`] (same output, tile-major traversal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths do not match the matrix dimensions.
+    pub fn encode_blocks_tiled(&self, input: &[Block], acc: &mut [Block]) {
+        let permuted = self.permute_input(input);
+        self.tile_schedule().encode_blocks(&permuted, acc);
+    }
+
+    /// Tiled [`Self::encode_bits_packed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths do not match the matrix dimensions.
+    pub fn encode_bits_packed_tiled(&self, input: &PackedBits, acc: &mut PackedBits) {
+        let permuted = self.permute_input_packed(input);
+        self.tile_schedule().encode_bits_packed(&permuted, acc);
+    }
+
+    /// Tiled fused receiver encode over the sorted matrix: both halves
+    /// in one tile-major pass (see [`crate::tile::TileSchedule::encode_cot_pair`]),
+    /// with the column permutation applied to both inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths do not match the matrix dimensions.
+    pub fn encode_cot_pair_tiled(
+        &self,
+        s: &[Block],
+        e: &PackedBits,
+        y: &mut [Block],
+        x: &mut PackedBits,
+    ) {
+        let s_perm = self.permute_input(s);
+        let e_perm = self.permute_input_packed(e);
+        self.tile_schedule().encode_cot_pair(&s_perm, &e_perm, y, x);
     }
 
     /// The sorted access trace (element indices in execution order) — what

@@ -1,0 +1,143 @@
+//! Kernel-equivalence properties: every LPN kernel variant — row-major
+//! naive, cache-blocked tiled (arbitrary geometries), §5.3-sorted,
+//! sorted+tiled, packed bits, and the fused receiver pair — computes the
+//! same GF(2)/GF(2^128) product, onto dirty accumulators, across
+//! matrix shapes including the `toy()` and `OT_2POW20` parameter
+//! classes.
+
+use ironman_lpn::encoder;
+use ironman_lpn::sorting::{SortConfig, SortStrategy};
+use ironman_lpn::{LpnMatrix, PackedBits, SortedLpnMatrix, TileConfig, TileSchedule};
+use ironman_prg::Block;
+use proptest::prelude::*;
+
+/// Pseudorandom but deterministic fill helpers (proptest's collection
+/// strategies at `n`-element scale would dominate runtime).
+fn blocks_from(seed: u64, len: usize) -> Vec<Block> {
+    (0..len)
+        .map(|i| {
+            let x = (seed ^ i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            Block::from_halves(x, x.rotate_left(17) ^ 0xABCD)
+        })
+        .collect()
+}
+
+fn bools_from(seed: u64, len: usize) -> Vec<bool> {
+    (0..len)
+        .map(|i| (seed ^ i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) & 4 != 0)
+        .collect()
+}
+
+/// Asserts all block-kernel variants match the naive encoder on the
+/// given matrix with dirty accumulators, and likewise for bits.
+fn assert_all_kernels_equal(m: &LpnMatrix, tile_cfg: TileConfig, sort_cfg: SortConfig, seed: u64) {
+    let n = m.rows();
+    let k = m.cols();
+    let s = blocks_from(seed, k);
+    let e = bools_from(seed ^ 1, k);
+    let e_packed = PackedBits::from_bools(&e);
+    let dirty_blocks = blocks_from(seed ^ 2, n);
+    let dirty_bits = bools_from(seed ^ 3, n);
+
+    // Reference: row-major naive.
+    let mut y_ref = dirty_blocks.clone();
+    let mut x_ref = dirty_bits.clone();
+    encoder::encode_blocks(m, &s, &mut y_ref);
+    encoder::encode_bits(m, &e, &mut x_ref);
+
+    // Tiled (explicit geometry + the cached default schedule).
+    let tiles = TileSchedule::build(m, tile_cfg);
+    let mut y = dirty_blocks.clone();
+    tiles.encode_blocks(&s, &mut y);
+    assert_eq!(y, y_ref, "tiled blocks ({tile_cfg:?})");
+    let mut y = dirty_blocks.clone();
+    m.tile_schedule().encode_blocks(&s, &mut y);
+    assert_eq!(y, y_ref, "default-schedule blocks");
+
+    // Packed bits: row-major and tiled.
+    let mut x = PackedBits::from_bools(&dirty_bits);
+    encoder::encode_bits_packed(m, &e_packed, &mut x);
+    assert_eq!(x.to_bools(), x_ref, "packed bits");
+    let mut x = PackedBits::from_bools(&dirty_bits);
+    tiles.encode_bits_packed(&e_packed, &mut x);
+    assert_eq!(x.to_bools(), x_ref, "tiled packed bits ({tile_cfg:?})");
+
+    // Fused receiver pair: row-major and tiled.
+    let mut y = dirty_blocks.clone();
+    let mut x = PackedBits::from_bools(&dirty_bits);
+    encoder::encode_cot_pair(m, &s, &e_packed, &mut y, &mut x);
+    assert_eq!(y, y_ref, "fused row-major blocks");
+    assert_eq!(x.to_bools(), x_ref, "fused row-major bits");
+    let mut y = dirty_blocks.clone();
+    let mut x = PackedBits::from_bools(&dirty_bits);
+    tiles.encode_cot_pair(&s, &e_packed, &mut y, &mut x);
+    assert_eq!(y, y_ref, "fused tiled blocks");
+    assert_eq!(x.to_bools(), x_ref, "fused tiled bits");
+
+    // Sorted, sorted+tiled, sorted packed, sorted fused.
+    for strategy in [SortStrategy::ColumnOnly, SortStrategy::Full] {
+        let sorted = SortedLpnMatrix::sort_with(m, sort_cfg, strategy);
+        let mut y = dirty_blocks.clone();
+        sorted.encode_blocks(&s, &mut y);
+        assert_eq!(y, y_ref, "sorted blocks ({strategy:?})");
+        let mut y = dirty_blocks.clone();
+        sorted.encode_blocks_tiled(&s, &mut y);
+        assert_eq!(y, y_ref, "sorted tiled blocks ({strategy:?})");
+        let mut x = PackedBits::from_bools(&dirty_bits);
+        sorted.encode_bits_packed(&e_packed, &mut x);
+        assert_eq!(x.to_bools(), x_ref, "sorted packed bits ({strategy:?})");
+        let mut y = dirty_blocks.clone();
+        let mut x = PackedBits::from_bools(&dirty_bits);
+        sorted.encode_cot_pair_tiled(&s, &e_packed, &mut y, &mut x);
+        assert_eq!(y, y_ref, "sorted fused blocks ({strategy:?})");
+        assert_eq!(x.to_bools(), x_ref, "sorted fused bits ({strategy:?})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small matrices × random tile geometries × dirty
+    /// accumulators: every kernel equals the naive encoder.
+    #[test]
+    fn all_kernels_agree_on_random_matrices(
+        rows in 1usize..400,
+        cols in 1usize..300,
+        weight in 0usize..12,
+        row_block in 1usize..512,
+        col_tile in 1usize..512,
+        seed in any::<u64>(),
+    ) {
+        let weight = weight.min(cols);
+        let m = LpnMatrix::generate(rows, cols, weight, Block::from(seed as u128));
+        let tile_cfg = TileConfig { row_block, col_tile };
+        let sort_cfg = SortConfig { cache_lines: 64, window: 4, block_rows: 128 };
+        assert_all_kernels_equal(&m, tile_cfg, sort_cfg, seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The `FerretParams::toy()` shape (n=5000, k=1024, d=10) — the CI
+    /// parameter class — under random seeds and the default geometries.
+    #[test]
+    fn all_kernels_agree_on_toy_class(seed in any::<u64>()) {
+        let m = LpnMatrix::generate(5000, 1024, 10, Block::from(seed as u128));
+        assert_all_kernels_equal(&m, TileConfig::default(), SortConfig {
+            cache_lines: 256, window: 8, block_rows: 1024,
+        }, seed);
+    }
+
+    /// The `OT_2POW20` shape (n ≈ 7.3k, d = 10) at 1/100 linear scale,
+    /// keeping the n:k ratio, plus the production tile geometry scaled
+    /// the same way — the shape the tiled kernels were built for.
+    #[test]
+    fn all_kernels_agree_on_ot2pow20_class(seed in any::<u64>()) {
+        let m = LpnMatrix::generate(12_215, 1_680, 10, Block::from(seed as u128));
+        let tile_cfg = TileConfig { row_block: 1310, col_tile: 327 };
+        assert_all_kernels_equal(&m, tile_cfg, SortConfig {
+            cache_lines: 256, window: 8, block_rows: 2048,
+        }, seed);
+    }
+}

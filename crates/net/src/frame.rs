@@ -45,8 +45,10 @@ pub const MAGIC: [u8; 4] = *b"IRNM";
 /// stale-epoch requests are fenced with `WrongEpoch`, `Warm`/`Warmed`
 /// expose budgeted refill steering, and the `Stats` reply carries the
 /// directory epoch, pending streamed demand, and per-shard demand/refill
-/// counters.
-pub const VERSION: u16 = 4;
+/// counters; **5** — per-shard `Stats` entries grew the raw-supply
+/// pressure counters (pipelined-session extensions and staging-buffer
+/// stalls), making "demand outruns the extension rate" observable.
+pub const VERSION: u16 = 5;
 
 /// Per-frame header size (the `u32` length prefix).
 pub const FRAME_HEADER_LEN: usize = 4;

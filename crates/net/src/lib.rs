@@ -98,7 +98,10 @@
 //! opcodes and the per-shard `Stats` reply layout; version **3** added
 //! the hot-path observability counters (scratch reuse/allocation,
 //! registration failures) to the `Stats` reply; version **4** added
-//! dynamic-membership epochs — see below. **Hardening:** frames above
+//! dynamic-membership epochs — see below; version **5** added the
+//! per-shard raw-supply pressure counters (`session_extensions` /
+//! `session_stalls`) so an extension-bound shard is distinguishable
+//! from a serving-bound one. **Hardening:** frames above
 //! [`frame::MAX_FRAME_LEN`] (1 GiB) are rejected before allocation,
 //! truncation and bad magic are errors (never panics), and a session that
 //! sends garbage gets an error response and its connection — only its

@@ -296,6 +296,14 @@ pub struct ShardStat {
     pub taken: u64,
     /// Refills this shard received through the warm-up path.
     pub warm_refills: u64,
+    /// Extensions completed by the shard's pipelined FERRET session
+    /// threads ahead of demand (0 for inline shards).
+    pub session_extensions: u64,
+    /// Times a drain blocked on the session's staging buffer because it
+    /// was empty — the raw-supply pressure signal (v5): a shard whose
+    /// `session_stalls` grows under load is extension-bound, not
+    /// serving-bound.
+    pub session_stalls: u64,
 }
 
 const OP_HELLO: u8 = 0x01;
@@ -595,6 +603,8 @@ impl Response {
                     out.extend_from_slice(&shard.extensions_run.to_le_bytes());
                     out.extend_from_slice(&shard.taken.to_le_bytes());
                     out.extend_from_slice(&shard.warm_refills.to_le_bytes());
+                    out.extend_from_slice(&shard.session_extensions.to_le_bytes());
+                    out.extend_from_slice(&shard.session_stalls.to_le_bytes());
                 }
             }
             Response::Goodbye => out.push(OP_GOODBYE),
@@ -658,10 +668,10 @@ impl Response {
                 let pending_stream_cots = r.u64()?;
                 let count = r.u64()? as usize;
                 // A hostile shard count must not drive allocation past the
-                // actual payload (32 bytes per shard entry).
+                // actual payload (48 bytes per shard entry).
                 let remaining = rest.len().saturating_sub(r.pos);
-                if count.checked_mul(32).is_none_or(|need| need > remaining) {
-                    return Err(malformed(count.saturating_mul(32), remaining));
+                if count.checked_mul(48).is_none_or(|need| need > remaining) {
+                    return Err(malformed(count.saturating_mul(48), remaining));
                 }
                 let shard_stats = (0..count)
                     .map(|_| {
@@ -670,6 +680,8 @@ impl Response {
                             extensions_run: r.u64()?,
                             taken: r.u64()?,
                             warm_refills: r.u64()?,
+                            session_extensions: r.u64()?,
+                            session_stalls: r.u64()?,
                         })
                     })
                     .collect::<Result<Vec<_>, ChannelError>>()?;
@@ -877,12 +889,16 @@ mod tests {
                     extensions_run: 2,
                     taken: 900,
                     warm_refills: 2,
+                    session_extensions: 6,
+                    session_stalls: 1,
                 },
                 ShardStat {
                     available: 37,
                     extensions_run: 1,
                     taken: 400,
                     warm_refills: 0,
+                    session_extensions: 5,
+                    session_stalls: 0,
                 },
             ],
         }));

@@ -152,6 +152,8 @@ impl ServiceShared {
                 extensions_run: snap.extensions_run as u64,
                 taken: snap.taken_cots,
                 warm_refills: snap.warm_refills,
+                session_extensions: snap.session_extensions,
+                session_stalls: snap.session_stalls,
             })
             .collect();
         ServiceStats {

@@ -73,12 +73,14 @@ proptest! {
         shard_words in proptest::collection::vec(any::<u64>(), 0..33),
     ) {
         let shard_stats: Vec<ShardStat> = shard_words
-            .chunks_exact(4)
+            .chunks_exact(6)
             .map(|c| ShardStat {
                 available: c[0],
                 extensions_run: c[1],
                 taken: c[2],
                 warm_refills: c[3],
+                session_extensions: c[4],
+                session_stalls: c[5],
             })
             .collect();
         let resp = Response::Stats(ServiceStats {

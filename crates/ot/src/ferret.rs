@@ -23,11 +23,28 @@ use crate::cot::{CotReceiver, CotSender};
 use crate::dealer::Dealer;
 use crate::params::FerretParams;
 use crate::spcot::{spcot_recv, spcot_send, SpcotConfig};
-use crate::spcot_batch::{spcot_batch_recv, spcot_batch_send};
+use crate::spcot_batch::{spcot_batch_recv_into, spcot_batch_send_into};
 use ironman_ggm::Arity;
 use ironman_lpn::sorting::SortConfig;
-use ironman_lpn::{encoder, LpnMatrix, SortedLpnMatrix, DEFAULT_ROW_WEIGHT};
+use ironman_lpn::{encoder, LpnMatrix, PackedBits, SortedLpnMatrix, DEFAULT_ROW_WEIGHT};
 use ironman_prg::{Block, PrgCounter, PrgKind};
+use serde::{Deserialize, Serialize};
+
+/// Which LPN kernel family the extension's online encode runs — the
+/// traversals of `ironman_lpn` over the same matrix, bit-identical in
+/// output and interchangeable per party (the choice never touches the
+/// wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpnKernel {
+    /// Row-major gathers, separate passes per output vector — the CPU
+    /// baseline shape of Fig. 1(c).
+    Naive,
+    /// Cache-blocked (tile-major) gathers from the matrix's precomputed
+    /// [`ironman_lpn::TileSchedule`]; the receiver's two halves run as
+    /// one fused pass ([`encoder::CotPairLane`]). The software twin of
+    /// the paper's memory-side cache (§5.3).
+    Tiled,
+}
 
 /// Full configuration of a Ferret session (must be identical on both
 /// parties: it pins the LPN matrix, tree shape and PRG).
@@ -47,6 +64,9 @@ pub struct FerretConfig {
     pub row_weight: usize,
     /// Optional compile-time index sorting (§5.3). `None` = plain CSR.
     pub sort: Option<SortConfig>,
+    /// LPN kernel family for the online encode (output-identical; see
+    /// [`LpnKernel`]).
+    pub kernel: LpnKernel,
     /// Level-batched SPCOT (one message per GGM level across all `t`
     /// trees, as production Ferret implementations do) instead of one
     /// conversation per tree. Outputs are identical either way.
@@ -65,7 +85,41 @@ impl FerretConfig {
             lpn_seed: Block::from(0x004c_504e_u128),
             row_weight: DEFAULT_ROW_WEIGHT,
             sort: None,
+            kernel: LpnKernel::Naive,
             batched_spcot: true,
+        }
+    }
+
+    /// The fastest known (matrix kind × kernel) combination for `params`
+    /// on the reference single-core box, per the checked-in
+    /// `BENCH_extension.json` kernel head-to-head:
+    ///
+    /// * the **tiled** kernels win decisively (≥1.5× the naive composite
+    ///   at the 2^20 row) once the LPN block input `k · 16 B` spills the
+    ///   L2-class window — every Table-4 row qualifies;
+    /// * at toy scale the whole input is cache-resident and the two
+    ///   kernels tie, so the naive encoder keeps its simpler code path;
+    /// * the §5.3 **sorted** matrix never wins in software — its
+    ///   look-ahead order targets the NMP memory-side cache, and on a CPU
+    ///   the row scatter it adds costs more than the locality it buys
+    ///   (`blocks_sorted` measures ~0.5× naive) — so the unsorted matrix
+    ///   is recommended for every set.
+    ///
+    /// Serving-path constructors (`CotSession`-backed pools, the bench
+    /// and example binaries) build their configs through this.
+    pub fn recommended(params: FerretParams) -> Self {
+        /// Block-input bytes above which the tiled kernels win (the
+        /// L2-class boundary between the toy and Table-4 regimes on the
+        /// bench table; the exact crossover is far from both).
+        const TILED_INPUT_BYTES: usize = 1 << 20;
+        let kernel = if params.k * Block::BYTES >= TILED_INPUT_BYTES {
+            LpnKernel::Tiled
+        } else {
+            LpnKernel::Naive
+        };
+        FerretConfig {
+            kernel,
+            ..FerretConfig::new(params)
         }
     }
 
@@ -102,31 +156,67 @@ impl FerretConfig {
     fn build_matrix(&self) -> MatrixKind {
         let plain =
             LpnMatrix::generate(self.params.n, self.params.k, self.row_weight, self.lpn_seed);
-        match self.sort {
-            Some(cfg) => MatrixKind::Sorted(Box::new(SortedLpnMatrix::sort(&plain, cfg))),
-            None => MatrixKind::Plain(plain),
+        let kind = match self.sort {
+            Some(cfg) => {
+                MatrixKind::Sorted(Box::new(SortedLpnMatrix::sort(&plain, cfg)), self.kernel)
+            }
+            None => MatrixKind::Plain(plain, self.kernel),
+        };
+        if self.kernel == LpnKernel::Tiled {
+            // Build the tile schedule now (offline, cached on the
+            // matrix) so no extension pays for it on the hot path.
+            match &kind {
+                MatrixKind::Plain(m, _) => {
+                    m.tile_schedule();
+                }
+                MatrixKind::Sorted(s, _) => {
+                    s.tile_schedule();
+                }
+            }
         }
+        kind
     }
 }
 
+/// The session's fixed matrix plus the kernel family that traverses it.
+/// Every combination produces bit-identical outputs; only the memory
+/// access order differs.
 #[derive(Clone, Debug)]
 enum MatrixKind {
-    Plain(LpnMatrix),
-    Sorted(Box<SortedLpnMatrix>),
+    Plain(LpnMatrix, LpnKernel),
+    Sorted(Box<SortedLpnMatrix>, LpnKernel),
 }
 
 impl MatrixKind {
     fn encode_blocks(&self, input: &[Block], acc: &mut [Block]) {
         match self {
-            MatrixKind::Plain(m) => encoder::encode_blocks(m, input, acc),
-            MatrixKind::Sorted(s) => s.encode_blocks(input, acc),
+            MatrixKind::Plain(m, LpnKernel::Naive) => encoder::encode_blocks(m, input, acc),
+            MatrixKind::Plain(m, LpnKernel::Tiled) => m.tile_schedule().encode_blocks(input, acc),
+            MatrixKind::Sorted(s, LpnKernel::Naive) => s.encode_blocks(input, acc),
+            MatrixKind::Sorted(s, LpnKernel::Tiled) => s.encode_blocks_tiled(input, acc),
         }
     }
 
-    fn encode_bits(&self, input: &[bool], acc: &mut [bool]) {
+    /// The receiver's online encode: `x ^= e·A` (packed bits) and
+    /// `y ^= s·A` (blocks). The tiled kernels run both halves as one
+    /// fused pass over the index stream; the naive kernels run the
+    /// legacy separate row-major passes.
+    fn encode_receiver(&self, e: &PackedBits, s: &[Block], x: &mut PackedBits, y: &mut [Block]) {
         match self {
-            MatrixKind::Plain(m) => encoder::encode_bits(m, input, acc),
-            MatrixKind::Sorted(s) => s.encode_bits(input, acc),
+            MatrixKind::Plain(m, LpnKernel::Naive) => {
+                encoder::encode_bits_packed(m, e, x);
+                encoder::encode_blocks(m, s, y);
+            }
+            MatrixKind::Plain(m, LpnKernel::Tiled) => {
+                m.tile_schedule().encode_cot_pair(s, e, y, x);
+            }
+            MatrixKind::Sorted(srt, LpnKernel::Naive) => {
+                srt.encode_bits_packed(e, x);
+                srt.encode_blocks(s, y);
+            }
+            MatrixKind::Sorted(srt, LpnKernel::Tiled) => {
+                srt.encode_cot_pair_tiled(s, e, y, x);
+            }
         }
     }
 }
@@ -189,43 +279,45 @@ impl FerretSender {
         let spcot_cfg = self.cfg.spcot_config();
         let spcot_budget = p.t * p.leaves.trailing_zeros() as usize;
         let mut spcot_base = self.base.split_off_front(spcot_budget);
-        // What remains in self.base are the k LPN inputs.
-        let r: Vec<Block> = self.base.r0().to_vec();
-        debug_assert_eq!(r.len(), p.k);
+        // What remains in self.base are the k LPN inputs, borrowed
+        // directly at encode time (no staging copy).
+        debug_assert_eq!(self.base.len(), p.k);
 
-        // SPCOT phase: t trees, stripes assigned round-robin.
+        // SPCOT phase: t trees, stripes assigned round-robin; each
+        // tree's leaves accumulate straight into the LPN accumulator
+        // stripe (no per-tree leaf vectors on the batched path).
         let stripes = p.stripes();
         let mut w_full = vec![Block::ZERO; p.n];
-        let outs = if self.cfg.batched_spcot {
+        if self.cfg.batched_spcot {
             let seeds: Vec<Block> = (0..p.t).map(|_| self.seeds.random_block()).collect();
-            spcot_batch_send(ch, &spcot_cfg, &mut spcot_base, &seeds, &mut self.tweak)?
+            let prg_counter = &mut self.prg_counter;
+            spcot_batch_send_into(
+                ch,
+                &spcot_cfg,
+                &mut spcot_base,
+                &seeds,
+                &mut self.tweak,
+                |i, leaves, counter| {
+                    *prg_counter += counter;
+                    let start = (i % stripes) * p.leaves;
+                    let width = p.leaves.min(p.n - start);
+                    Block::xor_into(&mut w_full[start..start + width], &leaves[..width]);
+                },
+            )?;
         } else {
-            let mut outs = Vec::with_capacity(p.t);
-            for _ in 0..p.t {
+            for i in 0..p.t {
                 let seed = self.seeds.random_block();
-                outs.push(spcot_send(
-                    ch,
-                    &spcot_cfg,
-                    &mut spcot_base,
-                    seed,
-                    &mut self.tweak,
-                )?);
-            }
-            outs
-        };
-        for (i, out) in outs.into_iter().enumerate() {
-            self.prg_counter += out.counter;
-            let stripe = i % stripes;
-            let start = stripe * p.leaves;
-            let width = p.leaves.min(p.n - start);
-            for (j, &leaf) in out.w[..width].iter().enumerate() {
-                w_full[start + j] ^= leaf;
+                let out = spcot_send(ch, &spcot_cfg, &mut spcot_base, seed, &mut self.tweak)?;
+                self.prg_counter += out.counter;
+                let start = (i % stripes) * p.leaves;
+                let width = p.leaves.min(p.n - start);
+                Block::xor_into(&mut w_full[start..start + width], &out.w[..width]);
             }
         }
 
         // LPN phase: z = r·A ⊕ w.
         let mut z = w_full;
-        self.matrix.encode_blocks(&r, &mut z);
+        self.matrix.encode_blocks(self.base.r0(), &mut z);
 
         // Bootstrap: retain the front as next iteration's base.
         let required = self.cfg.base_cots_required();
@@ -236,10 +328,20 @@ impl FerretSender {
 }
 
 /// The receiver's long-lived extension state.
+///
+/// The bit half of the base correlations lives **packed**
+/// ([`PackedBits`]) for the receiver's whole lifetime: the constructor
+/// packs the dealt choice bits once, every extension's `x = e·A ⊕ u`
+/// runs entirely on packed words, and bits are only unpacked at the
+/// output boundary (the application's `Vec<bool>`) plus the few
+/// `t·log2(ℓ)` bits the SPCOT layer consumes.
 #[derive(Debug)]
 pub struct FerretReceiver {
     cfg: FerretConfig,
-    base: CotReceiver,
+    /// Choice bits of the base correlations (length `k + t·log2(ℓ)`).
+    base_bits: PackedBits,
+    /// Blocks of the base correlations (same length).
+    base_rb: Vec<Block>,
     matrix: MatrixKind,
     alphas: Dealer,
     tweak: u64,
@@ -259,9 +361,12 @@ impl FerretReceiver {
             "receiver base must hold exactly k + t*log2(l) correlations"
         );
         let matrix = cfg.build_matrix();
+        let base_bits = PackedBits::from_bools(base.bits());
+        let base_rb = base.rb().to_vec();
         FerretReceiver {
             cfg,
-            base,
+            base_bits,
+            base_rb,
             matrix,
             alphas: Dealer::new(seed ^ 0xa1fa),
             tweak: 0,
@@ -287,56 +392,69 @@ impl FerretReceiver {
         let p = self.cfg.params;
         let spcot_cfg = self.cfg.spcot_config();
         let spcot_budget = p.t * p.leaves.trailing_zeros() as usize;
-        let mut spcot_base = self.base.split_off_front(spcot_budget);
-        let e: Vec<bool> = self.base.bits().to_vec();
-        let s: Vec<Block> = self.base.rb().to_vec();
-        debug_assert_eq!(e.len(), p.k);
+        // SPCOT consumes the first `budget` base correlations (the only
+        // bits unpacked this extension besides the output boundary);
+        // the remaining k stay packed as the LPN input `e`.
+        let mut spcot_bits = Vec::with_capacity(spcot_budget);
+        self.base_bits
+            .extend_bools(0, spcot_budget, &mut spcot_bits);
+        let mut spcot_base = CotReceiver::new(spcot_bits, self.base_rb[..spcot_budget].to_vec());
 
+        // SPCOT phase: the one-hot noise bits land directly in the
+        // packed x accumulator and each tree's leaves XOR straight into
+        // the y accumulator stripe (no per-tree vectors on the batched
+        // path).
         let stripes = p.stripes();
-        let mut u_full = vec![false; p.n];
-        let mut v_full = vec![Block::ZERO; p.n];
+        let mut x = PackedBits::zeros(p.n);
+        let mut y = vec![Block::ZERO; p.n];
         let stripe_width = |i: usize| {
             let start = (i % stripes) * p.leaves;
             (start, p.leaves.min(p.n - start))
         };
-        let outs = if self.cfg.batched_spcot {
+        if self.cfg.batched_spcot {
             let alphas: Vec<usize> = (0..p.t)
                 .map(|i| self.alphas.random_index(stripe_width(i).1))
                 .collect();
-            spcot_batch_recv(ch, &spcot_cfg, &mut spcot_base, &alphas, &mut self.tweak)?
+            let prg_counter = &mut self.prg_counter;
+            spcot_batch_recv_into(
+                ch,
+                &spcot_cfg,
+                &mut spcot_base,
+                &alphas,
+                &mut self.tweak,
+                |i, alpha, leaves, counter| {
+                    *prg_counter += counter;
+                    let (start, width) = stripe_width(i);
+                    x.xor_bit(start + alpha, true);
+                    Block::xor_into(&mut y[start..start + width], &leaves[..width]);
+                },
+            )?;
         } else {
-            let mut outs = Vec::with_capacity(p.t);
             for i in 0..p.t {
-                let alpha = self.alphas.random_index(stripe_width(i).1);
-                outs.push(spcot_recv(
-                    ch,
-                    &spcot_cfg,
-                    &mut spcot_base,
-                    alpha,
-                    &mut self.tweak,
-                )?);
-            }
-            outs
-        };
-        for (i, out) in outs.into_iter().enumerate() {
-            let (start, width) = stripe_width(i);
-            self.prg_counter += out.counter;
-            u_full[start + out.alpha] ^= true;
-            for (j, &leaf) in out.v[..width].iter().enumerate() {
-                v_full[start + j] ^= leaf;
+                let (start, width) = stripe_width(i);
+                let alpha = self.alphas.random_index(width);
+                let out = spcot_recv(ch, &spcot_cfg, &mut spcot_base, alpha, &mut self.tweak)?;
+                self.prg_counter += out.counter;
+                x.xor_bit(start + out.alpha, true);
+                Block::xor_into(&mut y[start..start + width], &out.v[..width]);
             }
         }
 
-        // LPN phase: x = e·A ⊕ u, y = s·A ⊕ v.
-        let mut x = u_full;
-        let mut y = v_full;
-        self.matrix.encode_bits(&e, &mut x);
-        self.matrix.encode_blocks(&s, &mut y);
+        // LPN phase: x = e·A ⊕ u, y = s·A ⊕ v (one fused pass under the
+        // tiled kernels).
+        let e = self.base_bits.slice(spcot_budget, p.k);
+        self.matrix
+            .encode_receiver(&e, &self.base_rb[spcot_budget..], &mut x, &mut y);
 
+        // Bootstrap: the front `k + t·log2(ℓ)` outputs become the next
+        // iteration's base (bits stay packed); the rest unpack at the
+        // application boundary.
         let required = self.cfg.base_cots_required();
-        let out_x = x.split_off(required);
         let out_y = y.split_off(required);
-        self.base = CotReceiver::new(x, y);
+        let mut out_x = Vec::with_capacity(p.n - required);
+        x.extend_bools(required, p.n - required, &mut out_x);
+        self.base_bits = x.slice(0, required);
+        self.base_rb = y;
         Ok((out_x, out_y))
     }
 }
@@ -525,6 +643,83 @@ mod tests {
         assert_eq!(plain.x, sorted.x);
         assert_eq!(plain.y, sorted.y);
         sorted.verify().unwrap();
+    }
+
+    #[test]
+    fn tiled_kernel_matches_naive() {
+        // Same randomness through both kernel families ⇒ bit-identical
+        // outputs: the tile schedule only reorders XOR accumulation.
+        let naive_cfg = FerretConfig::new(FerretParams::toy());
+        let tiled_cfg = FerretConfig {
+            kernel: LpnKernel::Tiled,
+            ..naive_cfg.clone()
+        };
+        let naive = run_extensions(&naive_cfg, 40, 2);
+        let tiled = run_extensions(&tiled_cfg, 40, 2);
+        for (a, b) in naive.iter().zip(&tiled) {
+            assert_eq!(a.z, b.z);
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.y, b.y);
+        }
+        tiled.last().unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn tiled_sorted_matches_plain() {
+        // The full combination: §5.3 sorting composed with tiling.
+        let plain_cfg = FerretConfig::new(FerretParams::toy());
+        let both_cfg = FerretConfig {
+            kernel: LpnKernel::Tiled,
+            sort: Some(SortConfig::default()),
+            ..plain_cfg.clone()
+        };
+        let plain = run_extension(&plain_cfg, 41);
+        let both = run_extension(&both_cfg, 41);
+        assert_eq!(plain.z, both.z);
+        assert_eq!(plain.x, both.x);
+        assert_eq!(plain.y, both.y);
+        both.verify().unwrap();
+    }
+
+    #[test]
+    fn mixed_kernel_parties_interoperate() {
+        // The kernel choice never touches the wire, so a tiled party
+        // correlates with a naive peer.
+        let naive_cfg = FerretConfig::new(FerretParams::toy());
+        let tiled_cfg = FerretConfig {
+            kernel: LpnKernel::Tiled,
+            ..naive_cfg.clone()
+        };
+        let mut dealer = Dealer::new(42);
+        let delta = dealer.random_delta();
+        let (s_base, r_base) = dealer.deal_cot(delta, naive_cfg.base_cots_required());
+        let (out_z, (out_x, out_y), _, _) = crate::channel::run_protocol(
+            move |ch| {
+                let mut sender = FerretSender::new(tiled_cfg, s_base, 42);
+                sender.extend(ch).expect("sender extension")
+            },
+            move |ch| {
+                let mut receiver = FerretReceiver::new(naive_cfg, r_base, 42);
+                receiver.extend(ch).expect("receiver extension")
+            },
+        );
+        for i in 0..out_z.len() {
+            assert_eq!(out_z[i], out_y[i] ^ delta.and_bit(out_x[i]), "index {i}");
+        }
+    }
+
+    #[test]
+    fn recommended_picks_tiled_for_table4() {
+        for p in FerretParams::TABLE4 {
+            let cfg = FerretConfig::recommended(p);
+            assert_eq!(cfg.kernel, LpnKernel::Tiled, "{p}");
+            assert!(cfg.sort.is_none(), "software sort never wins ({p})");
+        }
+        // Toy-scale inputs are cache-resident; the simple path stays.
+        assert_eq!(
+            FerretConfig::recommended(FerretParams::toy()).kernel,
+            LpnKernel::Naive
+        );
     }
 
     #[test]

@@ -22,8 +22,24 @@ use crate::channel::LocalChannel;
 use crate::dealer::Dealer;
 use crate::ferret::{FerretConfig, FerretReceiver, FerretSender};
 use ironman_prg::Block;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+
+/// Supply-pressure counters shared between a session's party threads
+/// and its consumer — the signals a pool/service surfaces through its
+/// `Stats` so "demand outruns the extension rate" is observable instead
+/// of inferred from latency.
+#[derive(Debug, Default)]
+struct SessionCounters {
+    /// Extensions completed and staged by the party threads.
+    extensions: AtomicU64,
+    /// Consumer receives that found the staging buffer empty and had to
+    /// block on the party threads (a *stall*: demand arrived faster than
+    /// the session extends). Steady state for a well-provisioned pool is
+    /// `stalls ≪ extensions`.
+    stalls: AtomicU64,
+}
 
 /// One extension's matched output from a [`CotSession`] (all under the
 /// session's fixed `Δ`).
@@ -68,6 +84,7 @@ impl std::error::Error for SessionStopped {}
 pub struct CotSession {
     delta: Block,
     per_extension: usize,
+    counters: Arc<SessionCounters>,
     /// `Option` so `Drop` can hang up before joining the threads.
     out_rx: Option<mpsc::Receiver<SessionBatch>>,
     sender_thread: Option<JoinHandle<()>>,
@@ -102,6 +119,8 @@ impl CotSession {
                 }
             }
         });
+        let counters = Arc::new(SessionCounters::default());
+        let thread_counters = Arc::clone(&counters);
         let receiver_thread = std::thread::spawn(move || {
             // The receiver thread also merges: iteration i's (x, y) pairs
             // with iteration i's z (both sides run extensions in lockstep,
@@ -109,6 +128,7 @@ impl CotSession {
             let mut receiver = FerretReceiver::new(cfg_r, r_base, seed);
             while let Ok((x, y)) = receiver.extend(&mut cr) {
                 let Ok(z) = z_rx.recv() else { return };
+                thread_counters.extensions.fetch_add(1, Ordering::Relaxed);
                 if out_tx.send(SessionBatch { z, x, y }).is_err() {
                     return;
                 }
@@ -118,6 +138,7 @@ impl CotSession {
         CotSession {
             delta,
             per_extension: cfg.usable_outputs(),
+            counters,
             out_rx: Some(out_rx),
             sender_thread: Some(sender_thread),
             receiver_thread: Some(receiver_thread),
@@ -134,17 +155,36 @@ impl CotSession {
         self.per_extension
     }
 
-    /// Blocks for the next staged extension output.
+    /// Extensions completed and staged by the party threads so far.
+    pub fn extensions_staged(&self) -> u64 {
+        self.counters.extensions.load(Ordering::Relaxed)
+    }
+
+    /// Consumer receives that found the staging buffer empty and had to
+    /// block — the session's supply-pressure signal (see
+    /// [`CotSession::recv`]).
+    pub fn consumer_stalls(&self) -> u64 {
+        self.counters.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Blocks for the next staged extension output. A call that finds
+    /// the staging buffer empty counts one *stall* (demand outran the
+    /// extension rate), observable via
+    /// [`CotSession::consumer_stalls`].
     ///
     /// # Errors
     ///
     /// [`SessionStopped`] when the party threads have exited.
     pub fn recv(&self) -> Result<SessionBatch, SessionStopped> {
-        self.out_rx
-            .as_ref()
-            .expect("receiver present until drop")
-            .recv()
-            .map_err(|_| SessionStopped)
+        let rx = self.out_rx.as_ref().expect("receiver present until drop");
+        match rx.try_recv() {
+            Ok(batch) => Ok(batch),
+            Err(mpsc::TryRecvError::Disconnected) => Err(SessionStopped),
+            Err(mpsc::TryRecvError::Empty) => {
+                self.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                rx.recv().map_err(|_| SessionStopped)
+            }
+        }
     }
 
     /// Takes a staged extension output if one is ready; `Ok(None)` when
@@ -235,6 +275,20 @@ mod tests {
         let first = session.recv().unwrap();
         assert_eq!(first.len(), cfg.usable_outputs());
         drop(session); // joins threads; hangs if backpressure deadlocks
+    }
+
+    #[test]
+    fn counters_track_extensions_and_stalls() {
+        let cfg = toy_cfg();
+        let session = CotSession::spawn(&cfg, 17, 1);
+        for _ in 0..4 {
+            session.recv().unwrap();
+        }
+        // Four batches consumed ⇒ at least four extensions completed.
+        assert!(session.extensions_staged() >= 4);
+        // A stall is counted per empty-buffer receive, never more than
+        // one per consumed batch.
+        assert!(session.consumer_stalls() <= 4);
     }
 
     #[test]

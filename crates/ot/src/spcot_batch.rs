@@ -38,6 +38,33 @@ pub fn spcot_batch_send<T: Transport + ?Sized>(
     seeds: &[Block],
     tweak: &mut u64,
 ) -> Result<Vec<SpcotSenderOutput>, ChannelError> {
+    let mut outs = Vec::with_capacity(seeds.len());
+    spcot_batch_send_into(ch, cfg, base, seeds, tweak, |_, leaves, counter| {
+        outs.push(SpcotSenderOutput {
+            w: leaves.to_vec(),
+            counter,
+        });
+    })?;
+    Ok(outs)
+}
+
+/// [`spcot_batch_send`] without intermediate leaf vectors: `sink` is
+/// handed each tree's index, its leaf slice (borrowed from the expanded
+/// tree) and its PRG counter, and accumulates wherever the caller wants
+/// — the extension loop XORs straight into its length-`n` LPN
+/// accumulator stripe.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn spcot_batch_send_into<T: Transport + ?Sized>(
+    ch: &mut T,
+    cfg: &SpcotConfig,
+    base: &mut CotSender,
+    seeds: &[Block],
+    tweak: &mut u64,
+    mut sink: impl FnMut(usize, &[Block], PrgCounter),
+) -> Result<(), ChannelError> {
     let prg = build_tree_prg(cfg.prg, cfg.session_key, cfg.arity.get());
     let trees: Vec<GgmTree> = seeds
         .iter()
@@ -92,13 +119,10 @@ pub fn spcot_batch_send<T: Transport + ?Sized>(
     let finals: Vec<Block> = trees.iter().map(|t| base.delta() ^ t.leaf_sum()).collect();
     ch.send_blocks(&finals)?;
 
-    Ok(trees
-        .into_iter()
-        .map(|t| SpcotSenderOutput {
-            w: t.leaves().to_vec(),
-            counter: t.counter(),
-        })
-        .collect())
+    for (i, t) in trees.iter().enumerate() {
+        sink(i, t.leaves(), t.counter());
+    }
+    Ok(())
 }
 
 /// Receiver side of the batched protocol.
@@ -117,6 +141,36 @@ pub fn spcot_batch_recv<T: Transport + ?Sized>(
     alphas: &[usize],
     tweak: &mut u64,
 ) -> Result<Vec<SpcotReceiverOutput>, ChannelError> {
+    let mut outs = Vec::with_capacity(alphas.len());
+    spcot_batch_recv_into(ch, cfg, base, alphas, tweak, |_, alpha, leaves, counter| {
+        outs.push(SpcotReceiverOutput {
+            alpha,
+            v: leaves.to_vec(),
+            counter,
+        });
+    })?;
+    Ok(outs)
+}
+
+/// [`spcot_batch_recv`] without intermediate leaf vectors: `sink` is
+/// handed each tree's index, its punctured position `α`, its recovered
+/// leaf slice and its PRG counter (see [`spcot_batch_send_into`]).
+///
+/// # Errors
+///
+/// Propagates channel failures.
+///
+/// # Panics
+///
+/// Panics if any `alpha` is out of range for `cfg.leaves`.
+pub fn spcot_batch_recv_into<T: Transport + ?Sized>(
+    ch: &mut T,
+    cfg: &SpcotConfig,
+    base: &mut CotReceiver,
+    alphas: &[usize],
+    tweak: &mut u64,
+    mut sink: impl FnMut(usize, usize, &[Block], PrgCounter),
+) -> Result<(), ChannelError> {
     let prg = build_tree_prg(cfg.prg, cfg.session_key, cfg.arity.get());
     let shape = LevelShape::new(cfg.arity, cfg.leaves);
     let digits: Vec<Vec<usize>> = alphas.iter().map(|&a| shape.digits(a)).collect();
@@ -180,8 +234,6 @@ pub fn spcot_batch_recv<T: Transport + ?Sized>(
 
     let finals = ch.recv_blocks()?;
     assert_eq!(finals.len(), alphas.len(), "final masked-sum batch size");
-    let mut outputs = Vec::with_capacity(alphas.len());
-    let mut counter_total = PrgCounter::new();
     for (t, &alpha) in alphas.iter().enumerate() {
         let mut punct =
             PuncturedTree::reconstruct(prg.as_ref(), cfg.arity, cfg.leaves, alpha, |l, j| {
@@ -189,16 +241,9 @@ pub fn spcot_batch_recv<T: Transport + ?Sized>(
                 level_sums[t][l][j]
             });
         punct.recover_punctured(finals[t]);
-        counter_total += punct.counter();
-        let counter = punct.counter();
-        outputs.push(SpcotReceiverOutput {
-            alpha,
-            v: punct.into_leaves(),
-            counter,
-        });
+        sink(t, alpha, punct.leaves(), punct.counter());
     }
-    let _ = counter_total;
-    Ok(outputs)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -134,6 +134,21 @@ impl Block {
         iter.into_iter().fold(Block::ZERO, |a, b| a ^ b)
     }
 
+    /// XORs `src` onto `dst` element-wise — the bulk word-XOR the
+    /// extension pipeline uses to fold SPCOT leaf stripes into the LPN
+    /// accumulator without an intermediate vector (each `Block` is two
+    /// machine words; the loop autovectorizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn xor_into(dst: &mut [Block], src: &[Block]) {
+        assert_eq!(dst.len(), src.len(), "slice lengths must match");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+    }
+
     /// Interprets the block as a pair of `u64`s and mixes them with an
     /// avalanche step. Used only for non-cryptographic hashing in tests and
     /// workload generators.
@@ -280,6 +295,22 @@ mod tests {
     #[test]
     fn xor_all_empty_is_zero() {
         assert_eq!(Block::xor_all(std::iter::empty()), Block::ZERO);
+    }
+
+    #[test]
+    fn xor_into_matches_elementwise() {
+        let src: Vec<Block> = (0..9u128).map(|i| Block::from(i * 3 + 1)).collect();
+        let mut dst: Vec<Block> = (0..9u128).map(|i| Block::from(i + 100)).collect();
+        let expect: Vec<Block> = dst.iter().zip(&src).map(|(&d, &s)| d ^ s).collect();
+        Block::xor_into(&mut dst, &src);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice lengths")]
+    fn xor_into_length_mismatch_panics() {
+        let mut dst = vec![Block::ZERO; 3];
+        Block::xor_into(&mut dst, &[Block::ZERO; 2]);
     }
 
     #[test]

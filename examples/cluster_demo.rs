@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let engine = Engine::new(
-        FerretConfig::new(FerretParams::toy()),
+        FerretConfig::recommended(FerretParams::toy()),
         Backend::ironman_default(),
     );
     let mut cluster =

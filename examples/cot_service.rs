@@ -12,7 +12,7 @@ use std::time::Instant;
 
 fn main() {
     let engine = Engine::new(
-        FerretConfig::new(FerretParams::toy()),
+        FerretConfig::recommended(FerretParams::toy()),
         Backend::ironman_default(),
     );
     let service = CotService::serve(

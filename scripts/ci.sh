@@ -25,6 +25,9 @@ cargo run --release -p ironman-bench --bin cluster_loopback -- --quick
 echo "==> hot-path bench (--quick; refreshes BENCH_hot_path.json)"
 cargo run --release -p ironman-bench --bin hot_path -- --quick
 
+echo "==> extension bench (--quick; refreshes BENCH_extension.json)"
+cargo run --release -p ironman-bench --bin extension -- --quick
+
 echo "==> serving-throughput floors (quick mode, best-of-N)"
 # Floors derived from the refreshed BENCH_cluster.json after the zero-copy
 # hot-path PR: quick-mode cot_service_single measures ~225-280K COTs/s on
@@ -33,16 +36,26 @@ echo "==> serving-throughput floors (quick mode, best-of-N)"
 # ~200K before. The floors sit between the two regimes with margin for
 # scheduler noise, so a regression to the old copy-heavy path fails CI
 # while an unlucky run does not.
-check_floor() { # name floor
-  v=$(sed -n "s/.*\"name\": \"$1\".*\"cots_per_sec\": \([0-9.]*\).*/\1/p" BENCH_cluster.json)
-  if [ -z "$v" ]; then echo "FLOOR CHECK: $1 missing from BENCH_cluster.json"; exit 1; fi
-  awk -v v="$v" -v f="$2" -v n="$1" 'BEGIN {
+check_floor() { # file name floor
+  v=$(sed -n "s/.*\"name\": \"$2\".*\"cots_per_sec\": \([0-9.]*\).*/\1/p" "$1")
+  if [ -z "$v" ]; then echo "FLOOR CHECK: $2 missing from $1"; exit 1; fi
+  awk -v v="$v" -v f="$3" -v n="$2" 'BEGIN {
     if (v + 0 < f + 0) { printf "FLOOR CHECK: %s at %.0f COTs/s is below floor %.0f\n", n, v, f; exit 1 }
     printf "floor ok: %s at %.0f COTs/s (floor %.0f)\n", n, v, f
   }'
 }
-check_floor cot_service_single 180000
-check_floor cluster_streaming 1000000
+check_floor BENCH_cluster.json cot_service_single 180000
+check_floor BENCH_cluster.json cluster_streaming 1000000
+# Raw-extension floor: a single pipelined session on the LPN-heavy set
+# measures ~8-10M COTs/s (best-of-N quick mode) with the recommended
+# tiled+packed kernels, ~6-7M with the naive kernels, and well under 2M
+# if the supply path regresses structurally (per-refill bootstraps,
+# extra copies, broken schedule caching). The floor sits between the
+# structural-regression and naive regimes so scheduler noise on the
+# one-core box cannot trip it; kernel-selection regressions are guarded
+# separately by the kernel head-to-head in BENCH_extension.json and the
+# equivalence proptests.
+check_floor BENCH_extension.json extend_recommended 4000000
 
 echo "==> cargo fmt --check"
 cargo fmt --check
