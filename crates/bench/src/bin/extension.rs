@@ -23,6 +23,12 @@
 //! Emits the human table plus `BENCH_extension.json`. `--quick` shrinks
 //! `n` and iteration counts for CI smoke use (same `k`, so the kernels
 //! still see the 2^20-class input working set).
+//!
+//! `trace_dump` mode (`-- trace_dump [--quick]`) skips the kernel
+//! matrix entirely: it runs a pipelined session while draining it
+//! faster than it extends, then prints the session's v6 event ring as a
+//! per-extension SPCOT vs LPN vs stall breakdown — the trace-level view
+//! of the same supply story the throughput numbers summarize.
 
 use ironman_bench::{best_of, f2, header, row, times};
 use ironman_lpn::sorting::SortConfig;
@@ -31,6 +37,7 @@ use ironman_ot::ferret::{FerretConfig, LpnKernel};
 use ironman_ot::params::FerretParams;
 use ironman_ot::session::CotSession;
 use ironman_prg::Block;
+use ironman_telemetry::{unpack_phase_split, EventKind};
 use std::time::Instant;
 
 /// An LPN-dominated parameter set for the raw-`extend` measurement: the
@@ -114,8 +121,102 @@ fn time_kernel(
     }
 }
 
+/// `trace_dump` mode: drain a pipelined session end to end, then replay
+/// its event ring as a per-extension table. Every `ExtensionEnd` carries
+/// the SPCOT/LPN phase split packed in its argument; `StallEnd` carries
+/// the consumer's blocked time — so the dump shows, extension by
+/// extension, where one FERRET iteration's wall time went and when the
+/// consumer outran the supply.
+fn run_trace_dump(quick: bool) {
+    let params = lpn_heavy();
+    let cfg = FerretConfig::recommended(params);
+    let batches = if quick { 4 } else { 8 };
+    let session = CotSession::spawn(&cfg, 808, 2);
+    let mut cots = 0u64;
+    for _ in 0..batches {
+        // recv() faster than extensions complete: the stall path (and
+        // its StallStart/StallEnd trace edges) triggers naturally.
+        cots += session.recv().expect("session alive").len() as u64;
+    }
+    let events = session.telemetry().trace.dump();
+    drop(session);
+    if events.is_empty() {
+        println!(
+            "trace ring is empty: this binary was built with the telemetry no-op \
+             feature (telemetry-noop), which compiles event recording out"
+        );
+        return;
+    }
+
+    header(
+        &format!("per-extension trace breakdown ({cots} COTs over {batches} batches)"),
+        &[
+            "ext",
+            "wall us",
+            "spcot us",
+            "lpn us",
+            "other us",
+            "stalled consumer us",
+        ],
+    );
+    let us = |nanos: u64| format!("{:.1}", nanos as f64 / 1_000.0);
+    let mut started_at: Option<u64> = None;
+    let mut ext = 0u64;
+    let mut stalled_since_last_end = 0u64;
+    let mut totals = (0u64, 0u64, 0u64); // wall, spcot, lpn
+    let mut stall_total = 0u64;
+    for event in &events {
+        match event.kind {
+            EventKind::ExtensionStart => started_at = Some(event.at_nanos),
+            EventKind::ExtensionEnd => {
+                let wall = started_at
+                    .take()
+                    .map_or(0, |s| event.at_nanos.saturating_sub(s));
+                let (spcot, lpn) = unpack_phase_split(event.arg);
+                let other = wall.saturating_sub(spcot + lpn);
+                row(&[
+                    ext.to_string(),
+                    us(wall),
+                    us(spcot),
+                    us(lpn),
+                    us(other),
+                    us(stalled_since_last_end),
+                ]);
+                totals.0 += wall;
+                totals.1 += spcot;
+                totals.2 += lpn;
+                stall_total += stalled_since_last_end;
+                stalled_since_last_end = 0;
+                ext += 1;
+            }
+            EventKind::StallEnd => stalled_since_last_end += event.arg,
+            _ => {}
+        }
+    }
+    if stalled_since_last_end > 0 {
+        stall_total += stalled_since_last_end;
+        println!(
+            "trailing consumer stall (no extension completed after it): {} us",
+            us(stalled_since_last_end)
+        );
+    }
+    if totals.0 > 0 {
+        println!(
+            "\n{ext} extensions: spcot {:.1}% / lpn {:.1}% of extension wall time; \
+             consumer stalled {} us total",
+            100.0 * totals.1 as f64 / totals.0 as f64,
+            100.0 * totals.2 as f64 / totals.0 as f64,
+            us(stall_total)
+        );
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "trace_dump" || a == "--trace-dump") {
+        run_trace_dump(quick);
+        return;
+    }
     // OT_2POW20-class geometry: the real k and row weight; quick mode
     // shrinks n (fewer rows = fewer timed gathers) but keeps the input
     // working set — the quantity the cache-blocking targets — identical.

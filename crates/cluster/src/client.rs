@@ -32,6 +32,7 @@ use crate::directory::{Directory, RingSnapshot, ServerId};
 use ironman_core::CotBatch;
 use ironman_net::{CotClient, CotSubscription, ServiceStats, StreamSummary};
 use ironman_ot::channel::ChannelError;
+use ironman_telemetry::{EventKind, TraceEvent, TraceLog, DEFAULT_TRACE_CAPACITY};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -71,6 +72,11 @@ pub struct ClusterClient {
     snapshot: Arc<RingSnapshot>,
     slots: HashMap<ServerId, Slot>,
     cooldown: Duration,
+    /// Routing events this client has lived through — `Failover` (arg:
+    /// the cooled server's id) and `EpochFence` (arg: the epoch routed
+    /// under after resync) — in a bounded ring; see
+    /// [`ClusterClient::trace_events`].
+    trace: TraceLog,
 }
 
 impl ClusterClient {
@@ -90,6 +96,7 @@ impl ClusterClient {
             snapshot,
             slots: HashMap::new(),
             cooldown: FAILOVER_COOLDOWN,
+            trace: TraceLog::new(DEFAULT_TRACE_CAPACITY),
         };
         client.first_available()?;
         Ok(client)
@@ -565,13 +572,25 @@ impl ClusterClient {
         if current.epoch() != self.snapshot.epoch() {
             self.refresh();
         }
+        self.trace
+            .push(EventKind::EpochFence, self.snapshot.epoch());
         Ok(())
     }
 
     fn mark_failed(&mut self, id: ServerId) {
+        self.trace.push(EventKind::Failover, id.0);
         let slot = self.slots.entry(id).or_default();
         slot.failed_at = Some(Instant::now());
         slot.client = None;
+    }
+
+    /// This client's recent routing events, oldest first: a `Failover`
+    /// per server cooled down (arg: the server id) and an `EpochFence`
+    /// per membership resync (arg: the epoch routed under afterwards).
+    /// The log is a bounded ring ([`DEFAULT_TRACE_CAPACITY`] events), so
+    /// a long-lived session keeps the recent history, not all of it.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.dump()
     }
 }
 

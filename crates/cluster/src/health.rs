@@ -29,6 +29,7 @@
 use crate::background::BackgroundLoop;
 use crate::directory::{Directory, MemberState, ServerId};
 use ironman_net::{CotClient, EPOCH_UNAWARE};
+use ironman_telemetry::{Histogram, HistogramSnapshot, Stopwatch};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -66,6 +67,7 @@ impl Default for HealthConfig {
 #[derive(Debug)]
 pub struct HealthChecker {
     inner: BackgroundLoop,
+    probe_rtt: Arc<Histogram>,
 }
 
 impl HealthChecker {
@@ -75,18 +77,30 @@ impl HealthChecker {
         let suspect_after = cfg.suspect_after.max(1);
         let timeout = cfg.timeout.max(Duration::from_millis(1));
         let mut strikes: HashMap<ServerId, u32> = HashMap::new();
-        HealthChecker {
-            inner: BackgroundLoop::spawn(move || {
+        let probe_rtt = Arc::new(Histogram::new());
+        let inner = {
+            let probe_rtt = Arc::clone(&probe_rtt);
+            BackgroundLoop::spawn(move || {
                 sweep(
                     &directory,
                     &mut strikes,
                     suspect_after,
                     evict_after,
                     timeout,
+                    &probe_rtt,
                 );
                 Some(cfg.interval)
-            }),
-        }
+            })
+        };
+        HealthChecker { inner, probe_rtt }
+    }
+
+    /// The distribution of successful probe round-trip times (connect +
+    /// `Hello`/`Welcome` + `Stats`), in nanoseconds. Failed probes are
+    /// not recorded — their "RTT" is the timeout, which would drown the
+    /// signal this histogram exists for: how slow the *live* fleet is.
+    pub fn probe_rtt(&self) -> HistogramSnapshot {
+        self.probe_rtt.snapshot()
     }
 
     /// Stops the prober and waits for its thread to exit.
@@ -102,13 +116,16 @@ fn sweep(
     suspect_after: u32,
     evict_after: u32,
     timeout: Duration,
+    probe_rtt: &Histogram,
 ) {
     let snapshot = directory.snapshot();
     // Forget strikes of members that are gone (manual leave, or our own
     // eviction last sweep) so a rejoining id starts clean.
     strikes.retain(|id, _| snapshot.member(*id).is_some());
     for member in snapshot.members() {
+        let watch = Stopwatch::start();
         if probe(member.addr, timeout) {
+            probe_rtt.record_elapsed(watch);
             strikes.remove(&member.id);
             // Recovery is a compare-and-set from Suspect only: the
             // member's snapshot state may be seconds stale by now, and an

@@ -32,9 +32,13 @@
 //!   (cross-server demand balancing). [`Warmup`] remains as the
 //!   single-server refiller, now with adaptive cadence (bounded
 //!   exponential back-off while everything is above watermark).
+//! * [`FleetObserver`] — the v6 telemetry roll-up: scrapes every
+//!   member's `Stats` latency histograms on the health prober's cadence
+//!   and merges them into one model-ready [`FleetSnapshot`] (per-server
+//!   observations plus their exact bucket-level fleet-wide merge).
 //! * [`ClusterServer`] / [`LocalCluster`] — service, directory, health,
-//!   and warm-up composed; a whole dynamic loopback fleet in a few calls
-//!   for tests and benches.
+//!   warm-up, and observation composed; a whole dynamic loopback fleet
+//!   in a few calls for tests and benches.
 //!
 //! # Topology
 //!
@@ -102,6 +106,7 @@ mod background;
 pub mod client;
 pub mod directory;
 pub mod health;
+pub mod observe;
 pub mod server;
 pub mod warmup;
 
@@ -110,5 +115,6 @@ pub use directory::{
     Directory, Member, MemberState, RingSnapshot, ServerEntry, ServerId, VIRTUAL_NODES,
 };
 pub use health::{HealthChecker, HealthConfig};
+pub use observe::{FleetObserver, FleetObserverConfig, FleetSnapshot, ServerObservation};
 pub use server::{ClusterServer, ClusterServerConfig, LocalCluster};
 pub use warmup::{allocate_budget, FleetWarmup, FleetWarmupConfig, Warmup, WarmupConfig};

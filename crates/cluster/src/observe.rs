@@ -1,0 +1,209 @@
+//! Fleet observability: scraping every member's v6 `Stats` telemetry
+//! and merging it into one model-ready [`FleetSnapshot`].
+//!
+//! The serving layer records latency distributions locally (lock-free
+//! histograms in each server's pool shards and serve paths — see
+//! `ironman-net`'s *Telemetry (v6)* docs); this module is the roll-up:
+//! a [`FleetObserver`] thread rides the health prober's cadence, pulls
+//! each reachable member's `Stats` reply over a cached session, and
+//! merges the per-server [`LatencyStats`] into one fleet-wide view. The
+//! merge is exact at the bucket level, so a fleet-wide p99 read from the
+//! snapshot carries the same ≤6.25% bucket error as a single server's —
+//! and a merged quantile never leaves the range its inputs span, which
+//! is what makes the roll-up trustworthy for steering decisions
+//! (`observe` answers "is the fleet extension-bound?" the way `Stats`
+//! counters answer "is this shard?").
+//!
+//! Unreachable members are *absent* from a snapshot, not zeroed: a
+//! scrape reports what it saw, and the health checker owns deciding what
+//! a silent member means.
+
+use crate::background::BackgroundLoop;
+use crate::directory::{Directory, MemberState, ServerId};
+use ironman_net::{CotClient, LatencyStats, EPOCH_UNAWARE};
+use ironman_telemetry::{Histogram, HistogramSnapshot, Stopwatch};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of a [`FleetObserver`].
+#[derive(Clone, Copy, Debug)]
+pub struct FleetObserverConfig {
+    /// Pause between scrape sweeps. Defaults to the health prober's
+    /// cadence, so the fleet view is as fresh as the fleet's liveness
+    /// view.
+    pub interval: Duration,
+    /// Per-step timeout for the observer's server sessions (connect and
+    /// each `Stats` round trip): a blackholed member costs one timeout,
+    /// never an OS-default connect stall.
+    pub timeout: Duration,
+}
+
+impl Default for FleetObserverConfig {
+    fn default() -> Self {
+        FleetObserverConfig {
+            interval: Duration::from_millis(25),
+            timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// One member's contribution to a [`FleetSnapshot`].
+#[derive(Clone, Debug)]
+pub struct ServerObservation {
+    /// The member's stable server id.
+    pub id: ServerId,
+    /// Correlations this server has handed out since start.
+    pub cots_served: u64,
+    /// Correlations currently buffered across this server's shards.
+    pub available: u64,
+    /// This server's streamed-demand backlog (promised, unpushed).
+    pub pending_stream_cots: u64,
+    /// The server's service-wide latency distributions (its own merge
+    /// over its shards).
+    pub latency: LatencyStats,
+}
+
+/// A point-in-time roll-up of the whole fleet's telemetry — the
+/// model-ready shape: per-server observations plus their fleet-wide
+/// merge, ready for a capacity model or steering policy to consume
+/// without touching any server again.
+#[derive(Clone, Debug, Default)]
+pub struct FleetSnapshot {
+    /// The directory epoch the scrape ran under.
+    pub epoch: u64,
+    /// Every member scraped successfully this pass, in membership order
+    /// (unreachable members are absent, not zeroed).
+    pub servers: Vec<ServerObservation>,
+    /// The fleet-wide merge of every scraped server's latency
+    /// distributions. Merged quantiles are bounded by the per-server
+    /// ones they roll up (see the module docs).
+    pub latency: LatencyStats,
+    /// Sum of scraped servers' buffered correlations.
+    pub available: u64,
+    /// Sum of scraped servers' streamed-demand backlogs.
+    pub pending_stream_cots: u64,
+}
+
+/// One fleet scrape over fresh sessions: poll every routable member's
+/// `Stats` and merge. The background [`FleetObserver`] keeps sessions
+/// cached across sweeps; this free function is the one-shot form for
+/// tests and benches.
+pub fn scrape(directory: &Directory, timeout: Duration) -> FleetSnapshot {
+    let mut sessions = HashMap::new();
+    scrape_with(directory, timeout, &mut sessions)
+}
+
+/// The shared scrape body: cached sessions in, [`FleetSnapshot`] out.
+fn scrape_with(
+    directory: &Directory,
+    timeout: Duration,
+    sessions: &mut HashMap<ServerId, CotClient>,
+) -> FleetSnapshot {
+    let snapshot = directory.snapshot();
+    sessions.retain(|id, _| snapshot.member(*id).is_some());
+    let mut fleet = FleetSnapshot {
+        epoch: snapshot.epoch(),
+        ..FleetSnapshot::default()
+    };
+    for member in snapshot.members() {
+        // Suspect members are skipped outright rather than re-dialed
+        // every sweep — the same discipline as the warm-up controller;
+        // the health checker owns deciding their fate.
+        if member.state == MemberState::Suspect {
+            sessions.remove(&member.id);
+            continue;
+        }
+        let client = match sessions.entry(member.id) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                match CotClient::connect_timeout(
+                    member.addr,
+                    "fleet-observer",
+                    EPOCH_UNAWARE,
+                    timeout,
+                ) {
+                    Ok(c) => v.insert(c),
+                    Err(_) => continue,
+                }
+            }
+        };
+        let stats = match client.stats() {
+            Ok(s) => s,
+            Err(_) => {
+                sessions.remove(&member.id);
+                continue;
+            }
+        };
+        fleet.latency.merge(&stats.latency);
+        fleet.available += stats.available;
+        fleet.pending_stream_cots += stats.pending_stream_cots;
+        fleet.servers.push(ServerObservation {
+            id: member.id,
+            cots_served: stats.cots_served,
+            available: stats.available,
+            pending_stream_cots: stats.pending_stream_cots,
+            latency: stats.latency,
+        });
+    }
+    fleet
+}
+
+/// A running background fleet scraper: one thread polling every member's
+/// `Stats` on the configured cadence (sessions cached across sweeps) and
+/// publishing the merged [`FleetSnapshot`] for lock-cheap reads via
+/// [`FleetObserver::latest`].
+///
+/// Stops (and joins its thread) on [`FleetObserver::stop`] or drop.
+#[derive(Debug)]
+pub struct FleetObserver {
+    inner: BackgroundLoop,
+    latest: Arc<Mutex<Option<FleetSnapshot>>>,
+    scrape_latency: Arc<Histogram>,
+}
+
+impl FleetObserver {
+    /// Starts the scraper thread over the shared `directory`.
+    pub fn spawn(directory: Arc<Directory>, cfg: FleetObserverConfig) -> FleetObserver {
+        let latest = Arc::new(Mutex::new(None));
+        let scrape_latency = Arc::new(Histogram::new());
+        let inner = {
+            let latest = Arc::clone(&latest);
+            let scrape_latency = Arc::clone(&scrape_latency);
+            let mut sessions: HashMap<ServerId, CotClient> = HashMap::new();
+            BackgroundLoop::spawn(move || {
+                let watch = Stopwatch::start();
+                let snap = scrape_with(&directory, cfg.timeout, &mut sessions);
+                scrape_latency.record_elapsed(watch);
+                *latest.lock().unwrap_or_else(|p| p.into_inner()) = Some(snap);
+                Some(cfg.interval)
+            })
+        };
+        FleetObserver {
+            inner,
+            latest,
+            scrape_latency,
+        }
+    }
+
+    /// The most recent completed scrape (`None` until the first sweep
+    /// finishes). Cloned out so the caller never holds the publisher's
+    /// lock across its own work.
+    pub fn latest(&self) -> Option<FleetSnapshot> {
+        self.latest
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// The distribution of whole-scrape wall times (connect + `Stats` +
+    /// merge across the fleet) — the cost of observing, observed.
+    pub fn scrape_latency(&self) -> HistogramSnapshot {
+        self.scrape_latency.snapshot()
+    }
+
+    /// Stops the scraper and waits for its thread to exit.
+    pub fn stop(self) {
+        self.inner.stop();
+    }
+}

@@ -7,6 +7,7 @@
 
 use crate::directory::{Directory, ServerId};
 use crate::health::{HealthChecker, HealthConfig};
+use crate::observe::{FleetObserver, FleetObserverConfig};
 use crate::warmup::{FleetWarmup, FleetWarmupConfig, Warmup, WarmupConfig};
 use ironman_core::{Engine, SharedCotPool};
 use ironman_net::{CotService, CotServiceConfig, DirectoryView, ServiceStats};
@@ -102,6 +103,7 @@ pub struct LocalCluster {
     spawned: u64,
     health: Option<HealthChecker>,
     fleet_warmup: Option<FleetWarmup>,
+    observer: Option<FleetObserver>,
 }
 
 impl LocalCluster {
@@ -127,6 +129,7 @@ impl LocalCluster {
             spawned: 0,
             health: None,
             fleet_warmup: None,
+            observer: None,
         };
         for _ in 0..n {
             cluster.spawn_server()?;
@@ -193,6 +196,21 @@ impl LocalCluster {
     pub fn enable_fleet_warmup(&mut self, cfg: FleetWarmupConfig) {
         self.fleet_warmup
             .get_or_insert_with(|| FleetWarmup::spawn(Arc::clone(&self.directory), cfg));
+    }
+
+    /// Starts the fleet telemetry scraper (see [`FleetObserver`]): every
+    /// member's v6 `Stats` latency histograms merged into one
+    /// [`crate::FleetSnapshot`] on the configured cadence, readable via
+    /// [`LocalCluster::observer`].
+    pub fn enable_observer(&mut self, cfg: FleetObserverConfig) {
+        self.observer
+            .get_or_insert_with(|| FleetObserver::spawn(Arc::clone(&self.directory), cfg));
+    }
+
+    /// The running fleet observer, if [`LocalCluster::enable_observer`]
+    /// started one.
+    pub fn observer(&self) -> Option<&FleetObserver> {
+        self.observer.as_ref()
     }
 
     /// Kills a server **without telling the directory** — crash
@@ -264,6 +282,9 @@ impl LocalCluster {
         }
         if let Some(warmup) = self.fleet_warmup.take() {
             warmup.stop();
+        }
+        if let Some(observer) = self.observer.take() {
+            observer.stop();
         }
         let mut ids: Vec<ServerId> = self.servers.keys().copied().collect();
         ids.sort_unstable();

@@ -29,6 +29,7 @@ use crate::background::BackgroundLoop;
 use crate::directory::{Directory, ServerId};
 use ironman_core::SharedCotPool;
 use ironman_net::CotClient;
+use ironman_telemetry::{Histogram, HistogramSnapshot, Stopwatch};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -72,6 +73,7 @@ impl Default for WarmupConfig {
 #[derive(Debug)]
 pub struct Warmup {
     inner: BackgroundLoop,
+    sweep_latency: Arc<Histogram>,
 }
 
 impl Warmup {
@@ -83,16 +85,20 @@ impl Warmup {
         let low_watermark = cfg.low_watermark.max(1);
         let max_interval = cfg.max_interval.max(cfg.interval);
         let mut pause = cfg.interval;
-        Warmup {
-            inner: BackgroundLoop::spawn(move || {
+        let sweep_latency = Arc::new(Histogram::new());
+        let inner = {
+            let sweep_latency = Arc::clone(&sweep_latency);
+            BackgroundLoop::spawn(move || {
                 // A panicking refill must not poison shutdown (the serve
                 // paths guard their pool calls the same way); the
                 // refiller retires and the service degrades to inline
                 // extensions, which `warmup_refills` stalling makes
                 // observable.
+                let watch = Stopwatch::start();
                 let sweep = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     pool.warm(low_watermark)
                 }));
+                sweep_latency.record_elapsed(watch);
                 pause = match sweep {
                     Err(_) => return None,
                     // Bounded exponential back-off while every shard sits
@@ -102,8 +108,19 @@ impl Warmup {
                     Ok(_) => cfg.interval,
                 };
                 Some(pause)
-            }),
+            })
+        };
+        Warmup {
+            inner,
+            sweep_latency,
         }
+    }
+
+    /// The distribution of warm-up sweep wall times in nanoseconds (both
+    /// no-op sweeps, which bound the refiller's idle cost, and refilling
+    /// ones, which bound how long one shard top-up occupies the thread).
+    pub fn sweep_latency(&self) -> HistogramSnapshot {
+        self.sweep_latency.snapshot()
     }
 
     /// Stops the refiller and waits for its thread to exit.
@@ -158,6 +175,7 @@ impl Default for FleetWarmupConfig {
 #[derive(Debug)]
 pub struct FleetWarmup {
     inner: BackgroundLoop,
+    sweep_latency: Arc<Histogram>,
 }
 
 impl FleetWarmup {
@@ -166,17 +184,32 @@ impl FleetWarmup {
         let max_interval = cfg.max_interval.max(cfg.interval);
         let mut sessions: HashMap<ServerId, CotClient> = HashMap::new();
         let mut pause = cfg.interval;
-        FleetWarmup {
-            inner: BackgroundLoop::spawn(move || {
+        let sweep_latency = Arc::new(Histogram::new());
+        let inner = {
+            let sweep_latency = Arc::clone(&sweep_latency);
+            BackgroundLoop::spawn(move || {
+                let watch = Stopwatch::start();
                 let refills = sweep(&directory, &cfg, &mut sessions);
+                sweep_latency.record_elapsed(watch);
                 pause = if refills == 0 {
                     (pause * 2).min(max_interval)
                 } else {
                     cfg.interval
                 };
                 Some(pause)
-            }),
+            })
+        };
+        FleetWarmup {
+            inner,
+            sweep_latency,
         }
+    }
+
+    /// The distribution of controller sweep wall times in nanoseconds
+    /// (polling every member's `Stats`, weighing demand, and issuing the
+    /// budgeted `Warm` RPCs).
+    pub fn sweep_latency(&self) -> HistogramSnapshot {
+        self.sweep_latency.snapshot()
     }
 
     /// Stops the controller and waits for its thread to exit.

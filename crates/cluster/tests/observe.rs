@@ -1,0 +1,167 @@
+//! Fleet telemetry end-to-end: a 3-server loopback fleet serving real
+//! traffic, scraped into one [`FleetSnapshot`] whose merged latency
+//! quantiles must bracket the per-server ones — the property that makes
+//! the fleet-wide roll-up trustworthy for steering decisions.
+
+use ironman_cluster::{
+    observe, ClusterServerConfig, FleetObserverConfig, LocalCluster, WarmupConfig,
+};
+use ironman_net::{CotClient, CotServiceConfig, LatencyStats};
+use ironman_telemetry::HistogramSnapshot;
+use std::time::{Duration, Instant};
+
+fn toy_engine() -> ironman_core::Engine {
+    ironman_core::Engine::new(
+        ironman_ot::ferret::FerretConfig::new(ironman_ot::params::FerretParams::toy()),
+        ironman_core::Backend::ironman_default(),
+    )
+}
+
+fn observed_cluster_cfg() -> ClusterServerConfig {
+    ClusterServerConfig {
+        service: CotServiceConfig {
+            shards: 2,
+            seed: 0x0B5u64,
+            ..CotServiceConfig::default()
+        },
+        warmup: Some(WarmupConfig::default()),
+    }
+}
+
+/// Drives a few one-shot requests through every member directly, so
+/// every server has request→first-byte (and extension) samples to
+/// contribute to the scrape.
+fn exercise_every_server(cluster: &LocalCluster) {
+    let snapshot = cluster.directory().snapshot();
+    for member in snapshot.members() {
+        let mut client = CotClient::connect(member.addr, "observe-driver").expect("connect member");
+        for _ in 0..4 {
+            client.request_cots(48).expect("serve").verify().unwrap();
+        }
+    }
+}
+
+/// The merge-bounds property, per quantile: a merged quantile must lie
+/// within `[min, max]` of the non-empty inputs' same quantile.
+fn assert_merged_brackets(merged: &HistogramSnapshot, inputs: &[&HistogramSnapshot], what: &str) {
+    let present: Vec<&&HistogramSnapshot> = inputs.iter().filter(|h| !h.is_empty()).collect();
+    if present.is_empty() {
+        assert!(
+            merged.is_empty(),
+            "{what}: merged samples from empty inputs"
+        );
+        return;
+    }
+    assert_eq!(
+        merged.count(),
+        present.iter().map(|h| h.count()).sum::<u64>(),
+        "{what}: merged count must be the sum of the inputs'"
+    );
+    for q in [0.50, 0.90, 0.99, 0.999] {
+        let qs: Vec<u64> = present.iter().map(|h| h.quantile(q)).collect();
+        let (lo, hi) = (
+            *qs.iter().min().expect("non-empty"),
+            *qs.iter().max().expect("non-empty"),
+        );
+        let got = merged.quantile(q);
+        assert!(
+            (lo..=hi).contains(&got),
+            "{what}: merged q{q} = {got} outside its inputs' span [{lo}, {hi}] ({qs:?})"
+        );
+    }
+    assert_eq!(
+        merged.max(),
+        present.iter().map(|h| h.max()).max().expect("non-empty"),
+        "{what}: merged max must be the largest input max"
+    );
+}
+
+fn assert_latency_brackets(merged: &LatencyStats, per_server: &[&LatencyStats]) {
+    let field = |f: fn(&LatencyStats) -> &HistogramSnapshot| -> Vec<&HistogramSnapshot> {
+        per_server.iter().map(|l| f(l)).collect()
+    };
+    assert_merged_brackets(
+        &merged.request_first_byte,
+        &field(|l| &l.request_first_byte),
+        "request_first_byte",
+    );
+    assert_merged_brackets(&merged.chunk_push, &field(|l| &l.chunk_push), "chunk_push");
+    assert_merged_brackets(&merged.extension, &field(|l| &l.extension), "extension");
+    assert_merged_brackets(&merged.stall, &field(|l| &l.stall), "stall");
+}
+
+#[test]
+fn fleet_scrape_merges_and_merged_quantiles_bound_per_server_ones() {
+    let engine = toy_engine();
+    let cluster = LocalCluster::spawn(3, &engine, &observed_cluster_cfg()).expect("spawn fleet");
+    exercise_every_server(&cluster);
+
+    let directory = cluster.directory();
+    let fleet = observe::scrape(&directory, Duration::from_millis(500));
+    assert_eq!(fleet.epoch, directory.epoch());
+    assert_eq!(
+        fleet.servers.len(),
+        3,
+        "all three live members must be scraped"
+    );
+
+    // Under the telemetry no-op build the histograms are (correctly)
+    // empty; the scrape shape above still holds, and the bracket checks
+    // below degrade to asserting emptiness everywhere.
+    let per_server: Vec<&LatencyStats> = fleet.servers.iter().map(|s| &s.latency).collect();
+    let measuring = per_server.iter().any(|l| !l.request_first_byte.is_empty());
+    if measuring {
+        assert!(
+            per_server.iter().all(|l| !l.request_first_byte.is_empty()),
+            "every exercised server must have request latency samples"
+        );
+    }
+    assert_latency_brackets(&fleet.latency, &per_server);
+
+    // The scalar roll-ups agree with their inputs too.
+    assert_eq!(
+        fleet.available,
+        fleet.servers.iter().map(|s| s.available).sum::<u64>()
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn background_observer_publishes_snapshots_on_cadence() {
+    let engine = toy_engine();
+    let mut cluster = LocalCluster::spawn(3, &engine, &observed_cluster_cfg()).expect("spawn");
+    exercise_every_server(&cluster);
+    cluster.enable_observer(FleetObserverConfig {
+        interval: Duration::from_millis(5),
+        ..FleetObserverConfig::default()
+    });
+
+    // The observer must publish a complete fleet view within a few
+    // sweeps — and keep it fresh (epoch tracks the directory).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let fleet = loop {
+        assert!(
+            Instant::now() < deadline,
+            "observer never published a 3-server snapshot"
+        );
+        if let Some(snap) = cluster.observer().expect("enabled").latest() {
+            if snap.servers.len() == 3 {
+                break snap;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(fleet.epoch, cluster.directory().epoch());
+    let per_server: Vec<&LatencyStats> = fleet.servers.iter().map(|s| &s.latency).collect();
+    assert_latency_brackets(&fleet.latency, &per_server);
+
+    // The cost of observing is itself observed: one scrape-latency
+    // sample per completed sweep (empty only under the no-op build).
+    let scrape = cluster.observer().expect("enabled").scrape_latency();
+    let measuring = per_server.iter().any(|l| !l.request_first_byte.is_empty());
+    if measuring {
+        assert!(!scrape.is_empty(), "scrape latency must be recorded");
+        assert!(scrape.p50() > 0);
+    }
+    cluster.shutdown();
+}

@@ -30,8 +30,9 @@
 //! remains for callers that want owned batches.
 
 use crate::engine::{Engine, Timing};
-use ironman_ot::session::{CotSession, SessionBatch};
+use ironman_ot::session::{CotSession, SessionBatch, SessionTelemetry};
 use ironman_prg::Block;
+use ironman_telemetry::{EventKind, Stopwatch};
 
 /// A matched batch of correlations handed to the application.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -184,12 +185,25 @@ pub struct CotPool {
     /// Timing template for pipelined refills (the session runs off the
     /// demand path, so per-refill byte counts are not re-measured).
     session_timing: Option<Timing>,
+    /// Extension/stall histograms and the event trace this pool records
+    /// into. Pipelined supply shares these with its session (the session
+    /// threads record extension durations); inline refills record here
+    /// directly, so both supply modes feed the same sinks.
+    telemetry: SessionTelemetry,
 }
 
 impl CotPool {
     /// Creates an empty inline-mode pool; the first request triggers a
-    /// fresh-session extension.
+    /// fresh-session extension. Records into fresh private telemetry
+    /// sinks; use [`CotPool::new_with`] to share a caller's.
     pub fn new(engine: Engine, seed: u64) -> Self {
+        CotPool::new_with(engine, seed, SessionTelemetry::default())
+    }
+
+    /// [`CotPool::new`] recording into caller-provided telemetry sinks
+    /// (a sharded pool shares one set per shard so the serving layer
+    /// can snapshot latencies without locking the shard).
+    pub fn new_with(engine: Engine, seed: u64, telemetry: SessionTelemetry) -> Self {
         CotPool {
             engine,
             seed,
@@ -204,14 +218,26 @@ impl CotPool {
             warm_refills: 0,
             last_timing: None,
             session_timing: None,
+            telemetry,
         }
     }
 
     /// Creates a pool over a persistent pipelined session: extensions run
     /// on background threads ahead of demand, `Δ` is fixed for the pool's
-    /// lifetime, and refills merge with any buffered remnant.
+    /// lifetime, and refills merge with any buffered remnant. Records
+    /// into fresh private telemetry sinks; use
+    /// [`CotPool::pipelined_with`] to share a caller's.
     pub fn pipelined(engine: Engine, seed: u64) -> Self {
-        let session = CotSession::spawn(engine.config(), seed, SESSION_LOOKAHEAD);
+        CotPool::pipelined_with(engine, seed, SessionTelemetry::default())
+    }
+
+    /// [`CotPool::pipelined`] recording into caller-provided telemetry
+    /// sinks, shared with the session's party threads (extension
+    /// durations and their SPCOT/LPN phase split come from the session;
+    /// stalls and refill events from the drain path).
+    pub fn pipelined_with(engine: Engine, seed: u64, telemetry: SessionTelemetry) -> Self {
+        let session =
+            CotSession::spawn_with(engine.config(), seed, SESSION_LOOKAHEAD, telemetry.clone());
         let delta = session.delta();
         let session_timing = engine.estimate_timing(seed);
         CotPool {
@@ -228,7 +254,14 @@ impl CotPool {
             warm_refills: 0,
             last_timing: None,
             session_timing: Some(session_timing),
+            telemetry,
         }
+    }
+
+    /// The telemetry sinks this pool (and its session, when pipelined)
+    /// records into.
+    pub fn telemetry(&self) -> &SessionTelemetry {
+        &self.telemetry
     }
 
     /// The engine this pool extends with.
@@ -298,7 +331,12 @@ impl CotPool {
             .seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(1);
+        let watch = Stopwatch::start();
         let run = self.engine.run_one(self.seed);
+        // Inline extensions run on the demand path, so they record into
+        // the same extension histogram the pipelined session threads
+        // use — either supply mode shows up in the shard's latencies.
+        self.telemetry.extension.record(watch.elapsed_nanos());
         let out = run.cots;
         match self.delta {
             None => self.delta = Some(out.delta),
@@ -315,12 +353,18 @@ impl CotPool {
         self.cursor = 0;
         self.extensions_run += 1;
         self.last_timing = Some(run.timing);
+        self.telemetry
+            .trace
+            .push(EventKind::Refill, self.available() as u64);
     }
 
     /// Merges one staged session batch into the buffer (same `Δ`, so the
     /// remnant survives). When the buffer is fully drained this is a
     /// wholesale adoption of the staged vectors — zero copies.
     fn append(&mut self, batch: SessionBatch) {
+        self.telemetry
+            .trace
+            .push(EventKind::Refill, batch.len() as u64);
         if self.cursor == self.z.len() {
             self.z = batch.z;
             self.x = batch.x;

@@ -15,6 +15,8 @@
 
 use crate::engine::Engine;
 use crate::pool::{CotBatch, CotPool, CotSlice};
+use ironman_ot::session::SessionTelemetry;
+use ironman_telemetry::HistogramSnapshot;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -27,11 +29,12 @@ fn lock_shard(shard: &Mutex<CotPool>) -> MutexGuard<'_, CotPool> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// One shard's self-consistent counter snapshot (read under a single
-/// lock acquisition): occupancy, extension work, demand drained, and
-/// warm-up refills — the per-shard signals a fleet-level refill
-/// controller steers by.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// One shard's self-consistent counter snapshot (counters read under a
+/// single lock acquisition): occupancy, extension work, demand drained,
+/// and warm-up refills — the per-shard signals a fleet-level refill
+/// controller steers by — plus the shard's latency distributions
+/// (lock-free histograms, snapshotted without the shard lock).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardSnapshot {
     /// Correlations currently buffered in this shard.
     pub available: usize,
@@ -47,12 +50,22 @@ pub struct ShardSnapshot {
     /// Times a drain blocked on the session's staging buffer — the
     /// shard's supply-pressure counter (0 for inline shards).
     pub session_stalls: u64,
+    /// Per-extension wall time, nanoseconds (pipelined session runs and
+    /// inline demand-path refills both record here).
+    pub extension_latency: HistogramSnapshot,
+    /// Time drains spent blocked on the session's empty staging buffer,
+    /// nanoseconds (one sample per stall).
+    pub stall_latency: HistogramSnapshot,
 }
 
 /// A fixed set of independently locked [`CotPool`] shards.
 #[derive(Debug)]
 pub struct SharedCotPool {
     shards: Vec<Mutex<CotPool>>,
+    /// Per-shard telemetry sinks (parallel to `shards`), shared with
+    /// each shard's pool and session so latency snapshots and trace
+    /// dumps never take a shard lock.
+    telemetry: Vec<SessionTelemetry>,
     next: AtomicUsize,
     max_request: usize,
     warmup_refills: AtomicU64,
@@ -84,24 +97,36 @@ impl SharedCotPool {
 
     fn build(engine: &Engine, shards: usize, seed: u64, pipelined: bool) -> Self {
         assert!(shards > 0, "need at least one shard");
-        let shards = (0..shards)
-            .map(|i| {
+        let telemetry: Vec<SessionTelemetry> =
+            (0..shards).map(|_| SessionTelemetry::default()).collect();
+        let shards = telemetry
+            .iter()
+            .enumerate()
+            .map(|(i, shard_telemetry)| {
                 let shard_seed =
                     seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
                 let pool = if pipelined {
-                    CotPool::pipelined(engine.clone(), shard_seed)
+                    CotPool::pipelined_with(engine.clone(), shard_seed, shard_telemetry.clone())
                 } else {
-                    CotPool::new(engine.clone(), shard_seed)
+                    CotPool::new_with(engine.clone(), shard_seed, shard_telemetry.clone())
                 };
                 Mutex::new(pool)
             })
             .collect();
         SharedCotPool {
             shards,
+            telemetry,
             next: AtomicUsize::new(0),
             max_request: engine.config().usable_outputs(),
             warmup_refills: AtomicU64::new(0),
         }
+    }
+
+    /// The per-shard telemetry sinks (in shard order) — lock-free to
+    /// snapshot, so the serving layer reads latency distributions and
+    /// dumps traces without touching the shard locks.
+    pub fn shard_telemetry(&self) -> &[SessionTelemetry] {
+        &self.telemetry
     }
 
     /// Whether **every** shard still merges remnants across refills
@@ -160,18 +185,31 @@ impl SharedCotPool {
     ///
     /// Panics if `count` exceeds [`SharedCotPool::max_request`].
     pub fn take_with<R>(&self, count: usize, f: impl FnOnce(CotSlice<'_>) -> R) -> R {
+        self.take_with_shard(count, |slice, _shard| f(slice))
+    }
+
+    /// [`SharedCotPool::take_with`] that also hands `f` the index of the
+    /// shard that served the request, so the serving layer can attribute
+    /// per-request measurements (latency histograms) to the shard that
+    /// actually did the work rather than the round-robin home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds [`SharedCotPool::max_request`].
+    pub fn take_with_shard<R>(&self, count: usize, f: impl FnOnce(CotSlice<'_>, usize) -> R) -> R {
         let n = self.shards.len();
         let home = self.next.fetch_add(1, Ordering::Relaxed) % n;
         for offset in 0..n {
-            match self.shards[(home + offset) % n].try_lock() {
-                Ok(mut pool) => return f(pool.take_slice(count)),
+            let shard = (home + offset) % n;
+            match self.shards[shard].try_lock() {
+                Ok(mut pool) => return f(pool.take_slice(count), shard),
                 Err(std::sync::TryLockError::Poisoned(poisoned)) => {
-                    return f(poisoned.into_inner().take_slice(count))
+                    return f(poisoned.into_inner().take_slice(count), shard)
                 }
                 Err(std::sync::TryLockError::WouldBlock) => {}
             }
         }
-        f(lock_shard(&self.shards[home]).take_slice(count))
+        f(lock_shard(&self.shards[home]).take_slice(count), home)
     }
 
     /// Total correlations buffered across all shards right now.
@@ -211,7 +249,8 @@ impl SharedCotPool {
     pub fn shard_stats(&self) -> Vec<ShardSnapshot> {
         self.shards
             .iter()
-            .map(|s| {
+            .zip(&self.telemetry)
+            .map(|(s, telemetry)| {
                 let pool = lock_shard(s);
                 ShardSnapshot {
                     available: pool.available(),
@@ -220,6 +259,8 @@ impl SharedCotPool {
                     warm_refills: pool.warm_refills(),
                     session_extensions: pool.session_extensions(),
                     session_stalls: pool.session_stalls(),
+                    extension_latency: telemetry.extension.snapshot(),
+                    stall_latency: telemetry.stall.snapshot(),
                 }
             })
             .collect()

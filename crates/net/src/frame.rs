@@ -47,8 +47,12 @@ pub const MAGIC: [u8; 4] = *b"IRNM";
 /// directory epoch, pending streamed demand, and per-shard demand/refill
 /// counters; **5** — per-shard `Stats` entries grew the raw-supply
 /// pressure counters (pipelined-session extensions and staging-buffer
-/// stalls), making "demand outruns the extension rate" observable.
-pub const VERSION: u16 = 5;
+/// stalls), making "demand outruns the extension rate" observable;
+/// **6** — fleet telemetry: the `Stats` reply carries log-bucketed
+/// latency histogram snapshots (request→first-byte, chunk-push,
+/// extension, stall) per shard and merged service-wide, and the new
+/// `Trace`/`TraceDump` pair returns the server's recent event log.
+pub const VERSION: u16 = 6;
 
 /// Per-frame header size (the `u32` length prefix).
 pub const FRAME_HEADER_LEN: usize = 4;

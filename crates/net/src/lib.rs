@@ -101,7 +101,9 @@
 //! dynamic-membership epochs — see below; version **5** added the
 //! per-shard raw-supply pressure counters (`session_extensions` /
 //! `session_stalls`) so an extension-bound shard is distinguishable
-//! from a serving-bound one. **Hardening:** frames above
+//! from a serving-bound one; version **6** added the latency histogram
+//! snapshots to the `Stats` reply and the `Trace`/`TraceDump` event-log
+//! ops — see *Telemetry (v6)* below. **Hardening:** frames above
 //! [`frame::MAX_FRAME_LEN`] (1 GiB) are rejected before allocation,
 //! truncation and bad magic are errors (never panics), and a session that
 //! sends garbage gets an error response and its connection — only its
@@ -139,6 +141,41 @@
 //!   `Stats` reply's `pending_stream_cots` backlog and per-shard
 //!   demand/refill counters as its signal.
 //!
+//! # Telemetry (v6)
+//!
+//! Wire version 6 makes the serving stack's *latency distributions*
+//! observable, not just its counters. Every `Stats` reply carries four
+//! log-bucketed histogram snapshots per shard and merged service-wide
+//! ([`proto::LatencyStats`]): request→first-byte for one-shot requests,
+//! per-chunk push latency for streams, FERRET extension wall time, and
+//! consumer-stall time (how long drains blocked on the extension
+//! pipeline). A new `Trace{max_events}` / `TraceDump` pair returns the
+//! server's recent event ring — extension start/end (with the SPCOT/LPN
+//! phase split packed into the end event's argument), stall start/end,
+//! chunk pushes, credit waits, epoch fences — merged by timestamp across
+//! the service and every pool shard.
+//!
+//! Two contracts make this usable in production:
+//!
+//! * **Overhead.** Recording is lock-free and allocation-free: one
+//!   relaxed atomic increment per histogram sample, a bounded ring behind
+//!   a short mutex for trace events, and *zero* work — including the
+//!   clock reads, since `Stopwatch` becomes a ZST — when the
+//!   `ironman-telemetry/noop` feature compiles telemetry out. CI runs the
+//!   serving hot path head-to-head in both configurations and fails if
+//!   the instrumented build falls more than 3% below the no-op one
+//!   (`BENCH_telemetry.json`).
+//! * **Quantile error.** Histograms bucket values at 16 sub-buckets per
+//!   octave: quantiles read from a snapshot (p50/p90/p99/p999) are upper
+//!   bucket bounds within 6.25% of the true sample quantile (exact below
+//!   32 ns), the recorded maximum is exact, and merging snapshots —
+//!   shards into a service, servers into a fleet — never moves a merged
+//!   quantile outside the range its inputs span.
+//!
+//! The fleet-level roll-up (scraping every member's `Stats` on the
+//! health-probe cadence and merging into one `FleetSnapshot`) lives in
+//! `ironman-cluster`'s `FleetObserver`.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -166,8 +203,8 @@ pub mod transport;
 
 pub use frame::{FrameError, MAGIC, MAX_FRAME_LEN, VERSION};
 pub use proto::{
-    DirectoryDelta, MemberRecord, MemberWireState, Request, Response, ServiceStats, ShardStat,
-    EPOCH_UNAWARE,
+    DirectoryDelta, LatencyStats, MemberRecord, MemberWireState, Request, Response, ServiceStats,
+    ShardStat, EPOCH_UNAWARE,
 };
 pub use service::{
     CotClient, CotService, CotServiceConfig, CotSubscription, DirectoryView, StreamSummary,

@@ -11,21 +11,26 @@
 //! 0x01 Hello     { name: lp-bytes,      0x81 Welcome   { version: u16, max_request: u64,
 //!                  epoch: u64 }                          epoch: u64 }
 //! 0x02 Request   { n: u64 }             0x82 Cots      { batch }
-//! 0x03 Stats                            0x83 Stats     { 11 × u64, s, s × shard }
-//! 0x04 Shutdown                         0x84 Goodbye
-//! 0x05 Subscribe { batch: u64,          0x85 CotChunk  { seq: u64, batch }
-//!                  credits: u64 }       0x86 StreamEnd { chunks: u64, cots: u64 }
-//! 0x06 Credit    { n: u64 }             0x87 WrongEpoch{ epoch: u64 }
-//! 0x07 Unsubscribe                      0x88 DirUpdate { epoch: u64, full: u8,
-//! 0x08 Sync      { epoch: u64 }                          m, m × member }
-//! 0x09 Warm      { watermark: u64,      0x89 Warmed    { refills: u64 }
-//!                  max_refills: u64 }   0xFF Error     { message: lp-bytes }
+//! 0x03 Stats                            0x83 Stats     { 11 × u64, latency,
+//! 0x04 Shutdown                                          s, s × shard }
+//! 0x05 Subscribe { batch: u64,          0x84 Goodbye
+//!                  credits: u64 }       0x85 CotChunk  { seq: u64, batch }
+//! 0x06 Credit    { n: u64 }             0x86 StreamEnd { chunks: u64, cots: u64 }
+//! 0x07 Unsubscribe                      0x87 WrongEpoch{ epoch: u64 }
+//! 0x08 Sync      { epoch: u64 }         0x88 DirUpdate { epoch: u64, full: u8,
+//! 0x09 Warm      { watermark: u64,                       m, m × member }
+//!                  max_refills: u64 }   0x89 Warmed    { refills: u64 }
+//! 0x0A Trace     { max_events: u64 }    0x8A TraceDump { e, e × event }
+//!                                       0xFF Error     { message: lp-bytes }
 //! ```
 //!
 //! (`lp-bytes` = `u64` length + raw bytes; `batch` = `delta, n, z[n],
 //! y[n], bits(x)` with the shared [`encode_bits`] layout; `shard` =
-//! `{avail, ext, taken, warm} × u64`; `member` = `{id: u64, state: u8,
-//! addr: lp-bytes, name: lp-bytes}`.)
+//! `{avail, ext, taken, warm, sess_ext, sess_stall} × u64 ‖ latency`;
+//! `latency` = 4 histogram snapshots (request→first-byte, chunk-push,
+//! extension, stall — each `count, sum, max: u64, e: u16, e × {index:
+//! u16, count: u64}`); `member` = `{id: u64, state: u8, addr: lp-bytes,
+//! name: lp-bytes}`; `event` = `{at: u64, kind: u8, arg: u64}`.)
 //!
 //! # Streaming subscriptions (v2)
 //!
@@ -61,6 +66,7 @@
 use ironman_core::{CotBatch, CotSlice};
 use ironman_ot::channel::{decode_bits_into, encode_bits_into, ChannelError};
 use ironman_prg::Block;
+use ironman_telemetry::{EventKind, HistogramSnapshot, TraceEvent};
 
 /// The `Hello.epoch` value of a client with no directory: such sessions
 /// are never epoch-fenced (they opted out of membership routing, so
@@ -118,6 +124,14 @@ pub enum Request {
         /// Largest number of shard refills this sweep may perform.
         max_refills: u64,
     },
+    /// Asks for the server's recent trace events (v6): the service-level
+    /// and per-shard trace rings merged by timestamp; answered with
+    /// [`Response::TraceDump`].
+    Trace {
+        /// Largest number of events the reply may carry (the newest are
+        /// kept; a server-side cap applies on top).
+        max_events: u64,
+    },
 }
 
 /// Server → client messages.
@@ -166,6 +180,13 @@ pub enum Response {
         /// Shards actually refilled by the sweep.
         refills: u64,
     },
+    /// The recent event log answering a [`Request::Trace`] (v6).
+    TraceDump(
+        /// Events in ascending timestamp order, newest last. Timestamps
+        /// are the *server's* monotonic nanoseconds — comparable within
+        /// one dump, not across servers.
+        Vec<TraceEvent>,
+    ),
     /// The request could not be served.
     Error(
         /// Human-readable reason.
@@ -279,14 +300,73 @@ pub struct ServiceStats {
     /// (granted credits × chunk size, summed over live streams): the
     /// demand backlog a fleet-level warm-up controller steers toward.
     pub pending_stream_cots: u64,
+    /// Service-wide latency distributions (v6): the per-shard extension
+    /// and stall histograms merged across shards, plus the serving path's
+    /// request→first-byte and chunk-push timings (those two are recorded
+    /// per shard and merged the same way). Like the aggregate counters,
+    /// this is denormalized — the decoder does not cross-check it against
+    /// `shard_stats`.
+    pub latency: LatencyStats,
     /// Per-shard occupancy and refill counters (in shard order); the
     /// spread across shards is what makes warm-up effectiveness and
     /// routing skew observable from a plain `Stats` request.
     pub shard_stats: Vec<ShardStat>,
 }
 
+/// The four serving-path latency distributions carried by a v6 `Stats`
+/// reply, each as a compact log-bucketed histogram snapshot (values are
+/// nanoseconds; quantiles read from these carry at most the bucket's
+/// 6.25% relative error — see `ironman-telemetry`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Request arrival (frame decoded) → first response byte handed to
+    /// the transport, for correlation-serving requests.
+    pub request_first_byte: HistogramSnapshot,
+    /// Per-chunk push latency of streaming subscriptions: pool drain →
+    /// chunk bytes handed to the transport.
+    pub chunk_push: HistogramSnapshot,
+    /// FERRET extension wall time (pipelined session threads and inline
+    /// refills both land here).
+    pub extension: HistogramSnapshot,
+    /// Consumer-stall time: how long pool drains blocked waiting on the
+    /// extension pipeline's staging buffer.
+    pub stall: HistogramSnapshot,
+}
+
+impl LatencyStats {
+    /// Smallest wire footprint of one `LatencyStats` (four empty
+    /// snapshots).
+    pub const ENCODED_MIN_LEN: usize = 4 * ironman_telemetry::ENCODED_MIN_LEN;
+
+    /// Folds `other`'s distributions into `self` (bucket counts add,
+    /// maxima take the larger side) — how per-shard and per-server
+    /// summaries roll up into service- and fleet-wide ones.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.request_first_byte.merge(&other.request_first_byte);
+        self.chunk_push.merge(&other.chunk_push);
+        self.extension.merge(&other.extension);
+        self.stall.merge(&other.stall);
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.request_first_byte.encode_into(out);
+        self.chunk_push.encode_into(out);
+        self.extension.encode_into(out);
+        self.stall.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<LatencyStats, ChannelError> {
+        Ok(LatencyStats {
+            request_first_byte: r.histogram()?,
+            chunk_push: r.histogram()?,
+            extension: r.histogram()?,
+            stall: r.histogram()?,
+        })
+    }
+}
+
 /// One pool shard's occupancy, demand, and refill counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardStat {
     /// Correlations currently buffered in this shard.
     pub available: u64,
@@ -297,13 +377,21 @@ pub struct ShardStat {
     /// Refills this shard received through the warm-up path.
     pub warm_refills: u64,
     /// Extensions completed by the shard's pipelined FERRET session
-    /// threads ahead of demand (0 for inline shards).
+    /// threads ahead of demand (0 for inline shards). Interpretation:
+    /// this is *supply-side* throughput — it growing while
+    /// `session_stalls` stays flat means the extension pipeline is
+    /// keeping ahead of demand (serving-bound, the healthy state); read
+    /// the two together to tell which side of the shard is bound.
     pub session_extensions: u64,
     /// Times a drain blocked on the session's staging buffer because it
     /// was empty — the raw-supply pressure signal (v5): a shard whose
     /// `session_stalls` grows under load is extension-bound, not
-    /// serving-bound.
+    /// serving-bound. The v6 `latency.stall` histogram adds *how long*
+    /// each of those blocks lasted.
     pub session_stalls: u64,
+    /// This shard's latency distributions (v6); the service-wide
+    /// [`ServiceStats::latency`] is the merge of these across shards.
+    pub latency: LatencyStats,
 }
 
 const OP_HELLO: u8 = 0x01;
@@ -315,6 +403,7 @@ const OP_CREDIT: u8 = 0x06;
 const OP_UNSUBSCRIBE: u8 = 0x07;
 const OP_SYNC: u8 = 0x08;
 const OP_WARM: u8 = 0x09;
+const OP_TRACE: u8 = 0x0A;
 const OP_WELCOME: u8 = 0x81;
 const OP_COTS: u8 = 0x82;
 const OP_STATS_REPLY: u8 = 0x83;
@@ -324,7 +413,11 @@ const OP_STREAM_END: u8 = 0x86;
 const OP_WRONG_EPOCH: u8 = 0x87;
 const OP_DIRECTORY_UPDATE: u8 = 0x88;
 const OP_WARMED: u8 = 0x89;
+const OP_TRACE_DUMP: u8 = 0x8A;
 const OP_ERROR: u8 = 0xFF;
+
+/// Wire footprint of one [`TraceEvent`] (`at: u64, kind: u8, arg: u64`).
+const TRACE_EVENT_LEN: usize = 17;
 
 fn put_lp_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
@@ -389,6 +482,20 @@ impl<'a> Reader<'a> {
     fn lp_bytes(&mut self) -> Result<&'a [u8], ChannelError> {
         let len = self.u64()? as usize;
         self.take(len)
+    }
+
+    /// One histogram snapshot, delegating validation (canonical sparse
+    /// encoding, hostile entry counts) to the telemetry decoder.
+    fn histogram(&mut self) -> Result<HistogramSnapshot, ChannelError> {
+        let (snap, used) =
+            HistogramSnapshot::decode_from(&self.bytes[self.pos..]).ok_or_else(|| {
+                malformed(
+                    self.pos + ironman_telemetry::ENCODED_MIN_LEN,
+                    self.bytes.len(),
+                )
+            })?;
+        self.pos += used;
+        Ok(snap)
     }
 
     fn finish(self) -> Result<(), ChannelError> {
@@ -519,6 +626,11 @@ impl Request {
                 out.extend_from_slice(&max_refills.to_le_bytes());
                 out
             }
+            Request::Trace { max_events } => {
+                let mut out = vec![OP_TRACE];
+                out.extend_from_slice(&max_events.to_le_bytes());
+                out
+            }
         }
     }
 
@@ -549,6 +661,9 @@ impl Request {
             OP_WARM => Request::Warm {
                 watermark: r.u64()?,
                 max_refills: r.u64()?,
+            },
+            OP_TRACE => Request::Trace {
+                max_events: r.u64()?,
             },
             _ => return Err(malformed(OP_HELLO as usize, op as usize)),
         };
@@ -597,6 +712,7 @@ impl Response {
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
+                s.latency.encode_into(out);
                 out.extend_from_slice(&(s.shard_stats.len() as u64).to_le_bytes());
                 for shard in &s.shard_stats {
                     out.extend_from_slice(&shard.available.to_le_bytes());
@@ -605,6 +721,7 @@ impl Response {
                     out.extend_from_slice(&shard.warm_refills.to_le_bytes());
                     out.extend_from_slice(&shard.session_extensions.to_le_bytes());
                     out.extend_from_slice(&shard.session_stalls.to_le_bytes());
+                    shard.latency.encode_into(out);
                 }
             }
             Response::Goodbye => out.push(OP_GOODBYE),
@@ -633,6 +750,15 @@ impl Response {
             Response::Warmed { refills } => {
                 out.push(OP_WARMED);
                 out.extend_from_slice(&refills.to_le_bytes());
+            }
+            Response::TraceDump(events) => {
+                out.push(OP_TRACE_DUMP);
+                out.extend_from_slice(&(events.len() as u64).to_le_bytes());
+                for e in events {
+                    out.extend_from_slice(&e.at_nanos.to_le_bytes());
+                    out.push(e.kind.as_u8());
+                    out.extend_from_slice(&e.arg.to_le_bytes());
+                }
             }
             Response::Error(msg) => encode_error_into(out, msg),
         }
@@ -666,12 +792,18 @@ impl Response {
                 let register_failures = r.u64()?;
                 let directory_epoch = r.u64()?;
                 let pending_stream_cots = r.u64()?;
+                let latency = LatencyStats::decode(&mut r)?;
                 let count = r.u64()? as usize;
                 // A hostile shard count must not drive allocation past the
-                // actual payload (48 bytes per shard entry).
+                // actual payload (48 bytes of counters plus four empty
+                // histograms is the smallest shard entry).
+                const SHARD_MIN: usize = 48 + LatencyStats::ENCODED_MIN_LEN;
                 let remaining = rest.len().saturating_sub(r.pos);
-                if count.checked_mul(48).is_none_or(|need| need > remaining) {
-                    return Err(malformed(count.saturating_mul(48), remaining));
+                if count
+                    .checked_mul(SHARD_MIN)
+                    .is_none_or(|need| need > remaining)
+                {
+                    return Err(malformed(count.saturating_mul(SHARD_MIN), remaining));
                 }
                 let shard_stats = (0..count)
                     .map(|_| {
@@ -682,6 +814,7 @@ impl Response {
                             warm_refills: r.u64()?,
                             session_extensions: r.u64()?,
                             session_stalls: r.u64()?,
+                            latency: LatencyStats::decode(&mut r)?,
                         })
                     })
                     .collect::<Result<Vec<_>, ChannelError>>()?;
@@ -697,6 +830,7 @@ impl Response {
                     register_failures,
                     directory_epoch,
                     pending_stream_cots,
+                    latency,
                     shard_stats,
                 })
             }
@@ -741,6 +875,32 @@ impl Response {
                 })
             }
             OP_WARMED => Response::Warmed { refills: r.u64()? },
+            OP_TRACE_DUMP => {
+                let count = r.u64()? as usize;
+                // A hostile event count must not drive allocation past the
+                // actual payload.
+                let remaining = rest.len().saturating_sub(r.pos);
+                if count
+                    .checked_mul(TRACE_EVENT_LEN)
+                    .is_none_or(|need| need > remaining)
+                {
+                    return Err(malformed(count.saturating_mul(TRACE_EVENT_LEN), remaining));
+                }
+                let events = (0..count)
+                    .map(|_| {
+                        let at_nanos = r.u64()?;
+                        let raw_kind = r.u8()?;
+                        let kind = EventKind::from_u8(raw_kind)
+                            .ok_or_else(|| malformed(EventKind::ALL.len(), raw_kind as usize))?;
+                        Ok(TraceEvent {
+                            at_nanos,
+                            kind,
+                            arg: r.u64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ChannelError>>()?;
+                Response::TraceDump(events)
+            }
             OP_ERROR => Response::Error(String::from_utf8_lossy(r.lp_bytes()?).into_owned()),
             _ => return Err(malformed(OP_WELCOME as usize, op as usize)),
         };
@@ -763,7 +923,9 @@ pub enum HotResponse {
         seq: u64,
     },
     /// Any non-batch response, decoded the ordinary (allocating) way.
-    Other(Response),
+    /// Boxed so the hot variants stay register-sized — this arm is the
+    /// cold path, where one allocation is already happening anyway.
+    Other(Box<Response>),
 }
 
 /// Decodes one response payload, steering the batch-carrying hot cases
@@ -795,7 +957,7 @@ pub fn decode_response_into(
             r.finish()?;
             Ok(HotResponse::CotChunk { seq })
         }
-        _ => Response::decode(bytes).map(HotResponse::Other),
+        _ => Response::decode(bytes).map(|resp| HotResponse::Other(Box::new(resp))),
     }
 }
 
@@ -805,6 +967,25 @@ mod tests {
 
     fn round_trip_request(req: Request) {
         assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    /// A `LatencyStats` with distinguishable content per field. Under the
+    /// telemetry `noop` feature all four snapshots come back empty, which
+    /// still exercises the (degenerate) wire layout.
+    fn sample_latency(seed: u64) -> LatencyStats {
+        let fill = |scale: u64| {
+            let h = ironman_telemetry::Histogram::new();
+            for i in 1..=16u64 {
+                h.record(seed.wrapping_add(i * scale));
+            }
+            h.snapshot()
+        };
+        LatencyStats {
+            request_first_byte: fill(3),
+            chunk_push: fill(97),
+            extension: fill(12_041),
+            stall: fill(1_000_003),
+        }
     }
 
     fn round_trip_response(resp: Response) {
@@ -835,6 +1016,7 @@ mod tests {
             watermark: 9000,
             max_refills: 2,
         });
+        round_trip_request(Request::Trace { max_events: 256 });
     }
 
     #[test]
@@ -883,6 +1065,7 @@ mod tests {
             register_failures: 1,
             directory_epoch: 13,
             pending_stream_cots: 16_000,
+            latency: sample_latency(7),
             shard_stats: vec![
                 ShardStat {
                     available: 40,
@@ -891,6 +1074,7 @@ mod tests {
                     warm_refills: 2,
                     session_extensions: 6,
                     session_stalls: 1,
+                    latency: sample_latency(11),
                 },
                 ShardStat {
                     available: 37,
@@ -899,9 +1083,22 @@ mod tests {
                     warm_refills: 0,
                     session_extensions: 5,
                     session_stalls: 0,
+                    latency: LatencyStats::default(),
                 },
             ],
         }));
+        round_trip_response(Response::TraceDump(Vec::new()));
+        round_trip_response(Response::TraceDump(
+            EventKind::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| TraceEvent {
+                    at_nanos: 1_000 * i as u64,
+                    kind,
+                    arg: u64::MAX - i as u64,
+                })
+                .collect(),
+        ));
         round_trip_response(Response::StreamEnd {
             chunks: 12,
             cots: 12 * 4096,
@@ -957,8 +1154,45 @@ mod tests {
         for _ in 0..11 {
             bytes.extend_from_slice(&0u64.to_le_bytes());
         }
+        LatencyStats::default().encode_into(&mut bytes); // service-wide
         bytes.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_event_count_rejected_without_allocation() {
+        let mut bytes = vec![OP_TRACE_DUMP];
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_event_kind_rejected() {
+        let mut bytes = vec![OP_TRACE_DUMP];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&42u64.to_le_bytes()); // at_nanos
+        bytes.push(EventKind::ALL.len() as u8); // one past the last kind
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // arg
+        assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_stats_histogram_rejected() {
+        let good = Response::Stats(ServiceStats {
+            shards: 1,
+            latency: sample_latency(3),
+            shard_stats: vec![ShardStat {
+                latency: sample_latency(5),
+                ..ShardStat::default()
+            }],
+            ..ServiceStats::default()
+        })
+        .encode();
+        // Chop the tail off: every truncation point must be rejected, not
+        // silently decoded as fewer/emptier histograms.
+        for cut in 1..=LatencyStats::ENCODED_MIN_LEN {
+            assert!(Response::decode(&good[..good.len() - cut]).is_err());
+        }
     }
 
     #[test]
@@ -996,7 +1230,7 @@ mod tests {
         }
         // Non-batch responses pass through untouched.
         match decode_response_into(&Response::Goodbye.encode(), &mut reused).unwrap() {
-            HotResponse::Other(Response::Goodbye) => {}
+            HotResponse::Other(other) => assert_eq!(*other, Response::Goodbye),
             other => panic!("unexpected {other:?}"),
         }
     }

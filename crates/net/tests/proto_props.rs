@@ -6,10 +6,33 @@
 
 use ironman_core::CotBatch;
 use ironman_net::proto::{
-    self, DirectoryDelta, MemberRecord, MemberWireState, Request, Response, ServiceStats, ShardStat,
+    self, DirectoryDelta, LatencyStats, MemberRecord, MemberWireState, Request, Response,
+    ServiceStats, ShardStat,
 };
 use ironman_prg::Block;
+use ironman_telemetry::{EventKind, Histogram, TraceEvent};
 use proptest::prelude::*;
+
+/// A `LatencyStats` built by recording `words` (split four ways) into
+/// real histograms — the only way snapshots are produced in production.
+/// Under the telemetry `noop` feature this degenerates to four empty
+/// snapshots, which still exercises the wire layout.
+fn latency_from(words: &[u64]) -> LatencyStats {
+    let fill = |vals: &[u64]| {
+        let h = Histogram::new();
+        for &v in vals {
+            h.record(v);
+        }
+        h.snapshot()
+    };
+    let q = words.len() / 4;
+    LatencyStats {
+        request_first_byte: fill(&words[..q]),
+        chunk_push: fill(&words[q..2 * q]),
+        extension: fill(&words[2 * q..3 * q]),
+        stall: fill(&words[3 * q..4 * q]),
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -17,7 +40,7 @@ proptest! {
     /// Every request variant round-trips, whatever its field values.
     #[test]
     fn requests_round_trip(
-        variant in 0usize..9,
+        variant in 0usize..10,
         a in any::<u64>(),
         b in any::<u64>(),
         name in proptest::collection::vec(any::<u8>(), 0..32),
@@ -34,6 +57,7 @@ proptest! {
             5 => Request::Credit { n: a },
             6 => Request::Sync { epoch: a },
             7 => Request::Warm { watermark: a, max_refills: b },
+            8 => Request::Trace { max_events: a },
             _ => Request::Unsubscribe,
         };
         prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -65,22 +89,25 @@ proptest! {
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
-    /// The per-shard stats reply round-trips for any shard count,
-    /// including zero shards.
+    /// The per-shard stats reply round-trips for any shard count
+    /// (including zero shards) with arbitrary latency histograms (v6).
     #[test]
     fn stats_round_trip(
         fixed in proptest::collection::vec(any::<u64>(), 11..12),
         shard_words in proptest::collection::vec(any::<u64>(), 0..33),
+        lat_words in proptest::collection::vec(any::<u64>(), 0..48),
     ) {
         let shard_stats: Vec<ShardStat> = shard_words
             .chunks_exact(6)
-            .map(|c| ShardStat {
+            .enumerate()
+            .map(|(i, c)| ShardStat {
                 available: c[0],
                 extensions_run: c[1],
                 taken: c[2],
                 warm_refills: c[3],
                 session_extensions: c[4],
                 session_stalls: c[5],
+                latency: latency_from(&lat_words[..lat_words.len() - (i % (lat_words.len().max(1)))]),
             })
             .collect();
         let resp = Response::Stats(ServiceStats {
@@ -95,8 +122,25 @@ proptest! {
             register_failures: fixed[8],
             directory_epoch: fixed[9],
             pending_stream_cots: fixed[10],
+            latency: latency_from(&lat_words),
             shard_stats,
         });
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// Trace dumps round-trip for arbitrary event sequences covering
+    /// every event kind (v6).
+    #[test]
+    fn trace_dumps_round_trip(seeds in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let events: Vec<TraceEvent> = seeds
+            .iter()
+            .map(|&s| TraceEvent {
+                at_nanos: s,
+                kind: EventKind::ALL[(s % EventKind::ALL.len() as u64) as usize],
+                arg: s.rotate_left(17),
+            })
+            .collect();
+        let resp = Response::TraceDump(events);
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 

@@ -346,6 +346,11 @@ pub struct FerretReceiver {
     alphas: Dealer,
     tweak: u64,
     prg_counter: PrgCounter,
+    /// `(SPCOT, LPN)` nanoseconds of the most recent extension — the
+    /// per-phase split the session trace surfaces (zeros under the
+    /// telemetry `noop` feature, where the stopwatch never reads the
+    /// clock).
+    last_phase_nanos: (u64, u64),
 }
 
 impl FerretReceiver {
@@ -371,12 +376,21 @@ impl FerretReceiver {
             alphas: Dealer::new(seed ^ 0xa1fa),
             tweak: 0,
             prg_counter: PrgCounter::new(),
+            last_phase_nanos: (0, 0),
         }
     }
 
     /// PRG calls consumed so far (all extensions).
     pub fn prg_counter(&self) -> PrgCounter {
         self.prg_counter
+    }
+
+    /// `(SPCOT, LPN)` nanoseconds of the most recent
+    /// [`FerretReceiver::extend`] — the phase split behind the paper's
+    /// Fig. 1c-style latency breakdowns. Zeros before the first
+    /// extension and under the telemetry `noop` feature.
+    pub fn last_phase_nanos(&self) -> (u64, u64) {
+        self.last_phase_nanos
     }
 
     /// Runs one extension, returning the application's fresh `(x, y)`
@@ -405,6 +419,7 @@ impl FerretReceiver {
         // the y accumulator stripe (no per-tree vectors on the batched
         // path).
         let stripes = p.stripes();
+        let spcot_watch = ironman_telemetry::Stopwatch::start();
         let mut x = PackedBits::zeros(p.n);
         let mut y = vec![Block::ZERO; p.n];
         let stripe_width = |i: usize| {
@@ -440,11 +455,15 @@ impl FerretReceiver {
             }
         }
 
+        let spcot_nanos = spcot_watch.elapsed_nanos();
+
         // LPN phase: x = e·A ⊕ u, y = s·A ⊕ v (one fused pass under the
         // tiled kernels).
+        let lpn_watch = ironman_telemetry::Stopwatch::start();
         let e = self.base_bits.slice(spcot_budget, p.k);
         self.matrix
             .encode_receiver(&e, &self.base_rb[spcot_budget..], &mut x, &mut y);
+        self.last_phase_nanos = (spcot_nanos, lpn_watch.elapsed_nanos());
 
         // Bootstrap: the front `k + t·log2(ℓ)` outputs become the next
         // iteration's base (bits stay packed); the rest unpack at the

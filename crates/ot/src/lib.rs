@@ -51,4 +51,4 @@ pub use channel::{run_protocol, ChannelStats, LocalChannel, Transport};
 pub use cot::{CotReceiver, CotSender};
 pub use dealer::Dealer;
 pub use params::FerretParams;
-pub use session::{CotSession, SessionBatch, SessionStopped};
+pub use session::{CotSession, SessionBatch, SessionStopped, SessionTelemetry};

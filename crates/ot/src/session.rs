@@ -22,9 +22,29 @@ use crate::channel::LocalChannel;
 use crate::dealer::Dealer;
 use crate::ferret::{FerretConfig, FerretReceiver, FerretSender};
 use ironman_prg::Block;
+use ironman_telemetry::{pack_phase_split, EventKind, Histogram, Stopwatch, TraceLog};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+
+/// Telemetry sinks a session records into: extension and stall duration
+/// histograms plus an event trace (extension edges with their
+/// SPCOT/LPN phase split, stall edges). A pool passes shared handles so
+/// its shard aggregates what its session measures;
+/// [`CotSession::spawn`] wires fresh private ones. All recording is
+/// relaxed-atomic/ring-buffer work off the consumer's critical path,
+/// and compiles out entirely under the telemetry crate's `noop`
+/// feature.
+#[derive(Clone, Debug, Default)]
+pub struct SessionTelemetry {
+    /// Per-extension wall time (nanoseconds).
+    pub extension: Arc<Histogram>,
+    /// Consumer stall time: nanoseconds blocked on an empty staging
+    /// buffer (one sample per stall, not per receive).
+    pub stall: Arc<Histogram>,
+    /// Extension/stall event timeline.
+    pub trace: Arc<TraceLog>,
+}
 
 /// Supply-pressure counters shared between a session's party threads
 /// and its consumer — the signals a pool/service surfaces through its
@@ -85,6 +105,7 @@ pub struct CotSession {
     delta: Block,
     per_extension: usize,
     counters: Arc<SessionCounters>,
+    telemetry: SessionTelemetry,
     /// `Option` so `Drop` can hang up before joining the threads.
     out_rx: Option<mpsc::Receiver<SessionBatch>>,
     sender_thread: Option<JoinHandle<()>>,
@@ -97,7 +118,21 @@ impl CotSession {
     /// as in [`crate::ferret::run_extensions`], so the output stream is
     /// bit-identical to per-call runs with the same seed. `lookahead` is
     /// the number of extensions staged ahead of demand (clamped to ≥ 1).
+    /// The session records into fresh private telemetry sinks; use
+    /// [`CotSession::spawn_with`] to share a pool's.
     pub fn spawn(cfg: &FerretConfig, seed: u64, lookahead: usize) -> CotSession {
+        CotSession::spawn_with(cfg, seed, lookahead, SessionTelemetry::default())
+    }
+
+    /// [`CotSession::spawn`] recording into caller-provided telemetry
+    /// sinks (a pool shard shares its histograms and trace so what the
+    /// session measures shows up in the shard's `Stats`).
+    pub fn spawn_with(
+        cfg: &FerretConfig,
+        seed: u64,
+        lookahead: usize,
+        telemetry: SessionTelemetry,
+    ) -> CotSession {
         let mut dealer = Dealer::new(seed);
         let delta = dealer.random_delta();
         let (s_base, r_base) = dealer.deal_cot(delta, cfg.base_cots_required());
@@ -121,12 +156,27 @@ impl CotSession {
         });
         let counters = Arc::new(SessionCounters::default());
         let thread_counters = Arc::clone(&counters);
+        let thread_telemetry = telemetry.clone();
         let receiver_thread = std::thread::spawn(move || {
             // The receiver thread also merges: iteration i's (x, y) pairs
             // with iteration i's z (both sides run extensions in lockstep,
             // so the z queue is index-aligned).
             let mut receiver = FerretReceiver::new(cfg_r, r_base, seed);
-            while let Ok((x, y)) = receiver.extend(&mut cr) {
+            let mut ordinal = 0u64;
+            loop {
+                thread_telemetry
+                    .trace
+                    .push(EventKind::ExtensionStart, ordinal);
+                let watch = Stopwatch::start();
+                let Ok((x, y)) = receiver.extend(&mut cr) else {
+                    return;
+                };
+                thread_telemetry.extension.record(watch.elapsed_nanos());
+                let (spcot, lpn) = receiver.last_phase_nanos();
+                thread_telemetry
+                    .trace
+                    .push(EventKind::ExtensionEnd, pack_phase_split(spcot, lpn));
+                ordinal += 1;
                 let Ok(z) = z_rx.recv() else { return };
                 thread_counters.extensions.fetch_add(1, Ordering::Relaxed);
                 if out_tx.send(SessionBatch { z, x, y }).is_err() {
@@ -139,6 +189,7 @@ impl CotSession {
             delta,
             per_extension: cfg.usable_outputs(),
             counters,
+            telemetry,
             out_rx: Some(out_rx),
             sender_thread: Some(sender_thread),
             receiver_thread: Some(receiver_thread),
@@ -182,9 +233,22 @@ impl CotSession {
             Err(mpsc::TryRecvError::Disconnected) => Err(SessionStopped),
             Err(mpsc::TryRecvError::Empty) => {
                 self.counters.stalls.fetch_add(1, Ordering::Relaxed);
-                rx.recv().map_err(|_| SessionStopped)
+                self.telemetry.trace.push(EventKind::StallStart, 0);
+                let watch = Stopwatch::start();
+                let batch = rx.recv().map_err(|_| SessionStopped)?;
+                let stalled = watch.elapsed_nanos();
+                self.telemetry.stall.record(stalled);
+                self.telemetry.trace.push(EventKind::StallEnd, stalled);
+                Ok(batch)
             }
         }
+    }
+
+    /// The telemetry sinks this session records into (the ones passed
+    /// to [`CotSession::spawn_with`], or fresh private ones from
+    /// [`CotSession::spawn`]).
+    pub fn telemetry(&self) -> &SessionTelemetry {
+        &self.telemetry
     }
 
     /// Takes a staged extension output if one is ready; `Ok(None)` when

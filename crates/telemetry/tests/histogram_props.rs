@@ -1,0 +1,128 @@
+//! Property tests pinning the histogram contract: merge brackets the
+//! inputs' quantiles, the wire encoding is lossless, concurrent relaxed
+//! recording loses nothing, and quantiles stay within the documented
+//! bucket error of the true (sorted-sample) quantile.
+
+#![cfg(not(feature = "noop"))]
+
+use ironman_telemetry::{bucket_ceiling, bucket_floor, bucket_index, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The true quantile under the same rank convention the histogram uses:
+/// the `ceil(q·n)`-th smallest sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bucket_mapping_inverts(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(bucket_floor(i) <= v);
+        prop_assert!(v <= bucket_ceiling(i));
+    }
+
+    #[test]
+    fn merged_quantiles_bound_the_inputs(
+        a in proptest::collection::vec(0u64..1u64 << 40, 1..200),
+        b in proptest::collection::vec(0u64..1u64 << 40, 1..200),
+    ) {
+        let sa = snapshot_of(&a);
+        let sb = snapshot_of(&b);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        prop_assert_eq!(merged.count(), sa.count() + sb.count());
+        prop_assert_eq!(merged.max(), sa.max().max(sb.max()));
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let (qa, qb, qm) = (sa.quantile(q), sb.quantile(q), merged.quantile(q));
+            prop_assert!(
+                qa.min(qb) <= qm && qm <= qa.max(qb),
+                "q={}: merged {} outside [{}, {}]", q, qm, qa.min(qb), qa.max(qb)
+            );
+        }
+    }
+
+    #[test]
+    fn wire_encoding_round_trips(values in proptest::collection::vec(any::<u64>(), 0..300)) {
+        let snap = snapshot_of(&values);
+        let mut wire = vec![0xABu8; 3]; // nonzero prefix: decode must not assume offset 0 content
+        let prefix = wire.len();
+        snap.encode_into(&mut wire);
+        let (back, used) = HistogramSnapshot::decode_from(&wire[prefix..]).expect("canonical");
+        prop_assert_eq!(used, wire.len() - prefix);
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn truncated_encodings_are_rejected(
+        values in proptest::collection::vec(any::<u64>(), 1..50),
+        cut in 1usize..10,
+    ) {
+        let snap = snapshot_of(&values);
+        let mut wire = Vec::new();
+        snap.encode_into(&mut wire);
+        let cut = cut.min(wire.len());
+        prop_assert!(HistogramSnapshot::decode_from(&wire[..wire.len() - cut]).is_none());
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact(
+        per_thread in proptest::collection::vec(proptest::collection::vec(0u64..1u64 << 30, 0..64), 1..4),
+    ) {
+        // "Never lose more than the allowed bucket error": relaxed adds
+        // are atomic RMWs, so in fact nothing is lost at all — the
+        // settled per-bucket counts match a sequential replay exactly.
+        let h = std::sync::Arc::new(Histogram::new());
+        let total: usize = per_thread.iter().map(Vec::len).sum();
+        let threads: Vec<_> = per_thread
+            .iter()
+            .map(|values| {
+                let h = std::sync::Arc::clone(&h);
+                let values = values.clone();
+                std::thread::spawn(move || {
+                    for v in values {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let sequential = snapshot_of(&per_thread.concat());
+        let concurrent = h.snapshot();
+        prop_assert_eq!(concurrent.count(), total as u64);
+        prop_assert_eq!(concurrent, sequential);
+    }
+
+    #[test]
+    fn quantiles_stay_within_bucket_error(
+        values in proptest::collection::vec(0u64..1u64 << 48, 1..300),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        for q in [0.01, 0.50, 0.90, 0.99, 1.0] {
+            let truth = exact_quantile(&values, q);
+            let got = snap.quantile(q);
+            // Reported value is the ceiling of the truth's bucket:
+            // never below the truth, at most one bucket width above.
+            prop_assert!(got >= truth, "q={}: {} < {}", q, got, truth);
+            prop_assert!(
+                got <= bucket_ceiling(bucket_index(truth)),
+                "q={}: {} above the truth's bucket ceiling", q, got
+            );
+        }
+    }
+}

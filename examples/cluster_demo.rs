@@ -104,7 +104,10 @@ fn main() {
     assert_eq!(churn_total, 1000);
     println!("served {churn_total} COTs straight through the churn, zero errors");
 
-    // Warm-up steering and the epoch are visible in the per-shard stats.
+    // Warm-up steering, the epoch, and the v6 latency telemetry are
+    // visible in the per-shard stats (quantiles are bucket ceilings,
+    // within 6.25% of the true sample).
+    let us = |nanos: u64| nanos as f64 / 1_000.0;
     println!();
     for (id, addr, stats) in client.stats_all() {
         let Some(stats) = stats else {
@@ -117,6 +120,27 @@ fn main() {
             "server {id} at {addr}: epoch {}, served {} COTs, {} extensions, \
              shard occupancy {occupancy:?}, warm refills {warm:?}",
             stats.directory_epoch, stats.cots_served, stats.extensions_run
+        );
+        for (i, shard) in stats.shard_stats.iter().enumerate() {
+            let req = &shard.latency.request_first_byte;
+            let push = &shard.latency.chunk_push;
+            println!(
+                "  shard {i}: request->first-byte p50 {:.1}us / p99 {:.1}us ({} reqs), \
+                 chunk push p50 {:.1}us / p99 {:.1}us ({} chunks)",
+                us(req.p50()),
+                us(req.p99()),
+                req.count(),
+                us(push.p50()),
+                us(push.p99()),
+                push.count()
+            );
+        }
+        let svc = &stats.latency.request_first_byte;
+        println!(
+            "  service-wide request->first-byte p50 {:.1}us / p99 {:.1}us / p999 {:.1}us",
+            us(svc.p50()),
+            us(svc.p99()),
+            us(svc.p999())
         );
     }
 

@@ -63,4 +63,31 @@ fn main() {
         stats.shards,
         total as f64 / elapsed.as_secs_f64()
     );
+
+    // The v6 latency telemetry, per shard and service-wide: quantiles
+    // are bucket ceilings (within 6.25% of the true sample).
+    let us = |nanos: u64| nanos as f64 / 1_000.0;
+    for (i, shard) in stats.shard_stats.iter().enumerate() {
+        let req = &shard.latency.request_first_byte;
+        let ext = &shard.latency.extension;
+        println!(
+            "shard {i}: request->first-byte p50 {:.1}us / p99 {:.1}us ({} reqs), \
+             extension p50 {:.1}us / p99 {:.1}us ({} runs)",
+            us(req.p50()),
+            us(req.p99()),
+            req.count(),
+            us(ext.p50()),
+            us(ext.p99()),
+            ext.count()
+        );
+    }
+    let req = &stats.latency.request_first_byte;
+    println!(
+        "service-wide: request->first-byte p50 {:.1}us / p99 {:.1}us / p999 {:.1}us \
+         over {} requests",
+        us(req.p50()),
+        us(req.p99()),
+        us(req.p999()),
+        req.count()
+    );
 }

@@ -57,6 +57,25 @@ check_floor BENCH_cluster.json cluster_streaming 1000000
 # equivalence proptests.
 check_floor BENCH_extension.json extend_recommended 4000000
 
+echo "==> telemetry-overhead head-to-head (--quick; refreshes BENCH_telemetry.json)"
+# Two builds of one binary: --features telemetry-noop compiles every
+# histogram record, trace push, and call-site Stopwatch clock read to
+# nothing. The feature unifies across the workspace, so the no-op build
+# is parked aside before the instrumented rebuild clobbers it; the
+# instrumented binary then alternates baseline/live rounds adjacent in
+# time (--pair-with) and reports the median CPU-per-COT ratio, which
+# must show instrumentation costing under 3% of the serving hot path.
+cargo build --release -p ironman-bench --features telemetry-noop --bin telemetry_overhead
+cp target/release/telemetry_overhead target/release/telemetry_overhead_noop
+cargo build --release -p ironman-bench --bin telemetry_overhead
+./target/release/telemetry_overhead --quick --pair-with target/release/telemetry_overhead_noop
+ratio=$(sed -n 's/.*"overhead_ratio": \([0-9.]*\).*/\1/p' BENCH_telemetry.json)
+if [ -z "$ratio" ]; then echo "TELEMETRY GATE: overhead_ratio missing/null in BENCH_telemetry.json"; exit 1; fi
+awk -v r="$ratio" 'BEGIN {
+  if (r + 0 < 0.97) { printf "TELEMETRY GATE: instrumented/no-op ratio %.4f below 0.97 (overhead > 3%%)\n", r; exit 1 }
+  printf "telemetry gate ok: instrumented/no-op CPU-per-COT ratio %.4f (>= 0.97)\n", r
+}'
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
