@@ -544,6 +544,18 @@ impl ClusterClient {
         }
         if slot.epoch_synced < epoch {
             self.resync(id)?;
+            // The resync itself may have found the server dead (it cools
+            // the slot down and drops the connection rather than
+            // erroring, so the caller's walk moves on): only report
+            // connected if a live client actually remains.
+            if self
+                .slots
+                .get(&id)
+                .and_then(|s| s.client.as_ref())
+                .is_none()
+            {
+                return Err(ChannelError::Disconnected);
+            }
         }
         Ok(())
     }

@@ -32,10 +32,25 @@
 //!   (cross-server demand balancing). [`Warmup`] remains as the
 //!   single-server refiller, now with adaptive cadence (bounded
 //!   exponential back-off while everything is above watermark).
-//! * [`FleetObserver`] — the v6 telemetry roll-up: scrapes every
-//!   member's `Stats` latency histograms on the health prober's cadence
-//!   and merges them into one model-ready [`FleetSnapshot`] (per-server
-//!   observations plus their exact bucket-level fleet-wide merge).
+//! * [`FleetObserver`] — the telemetry roll-up, now an observability
+//!   plane (v7): scrapes every member's `Stats` latency histograms on a
+//!   jittered cadence, merges them into model-ready [`FleetSnapshot`]s
+//!   (per-server observations plus their exact bucket-level fleet-wide
+//!   merge), **retains** them in a bounded [`TimeSeries`], and derives
+//!   restart-aware windowed rates/quantiles ([`FleetWindow`]) from any
+//!   two retained points.
+//! * [`SloEngine`] — declarative [`SloSpec`]s (latency p99 ceilings,
+//!   supply-rate floors, stall-ratio ceilings) evaluated against the
+//!   retained series with multi-window burn-rate semantics: a fast
+//!   window arms an alert, fast **and** slow windows fire it, and a
+//!   hysteresis period resolves it.
+//! * [`FleetExporter`] — a scrape endpoint over the vendored HTTP/1.0
+//!   server: `/metrics` in Prometheus text exposition (fleet and
+//!   per-server gauges, counters, SLO states) and `/fleet` for humans.
+//! * [`HeadroomModel`] — model-vs-measured: each server's live windowed
+//!   supply rate compared against the roofline + link prediction of its
+//!   supply ceiling (utilization, headroom, drift — ROADMAP item 5b's
+//!   validation loop).
 //! * [`ClusterServer`] / [`LocalCluster`] — service, directory, health,
 //!   warm-up, and observation composed; a whole dynamic loopback fleet
 //!   in a few calls for tests and benches.
@@ -105,16 +120,26 @@
 mod background;
 pub mod client;
 pub mod directory;
+pub mod exporter;
+pub mod headroom;
 pub mod health;
 pub mod observe;
 pub mod server;
+pub mod slo;
 pub mod warmup;
 
 pub use client::{ClusterClient, ClusterSubscription, FAILOVER_COOLDOWN};
 pub use directory::{
     Directory, Member, MemberState, RingSnapshot, ServerEntry, ServerId, VIRTUAL_NODES,
 };
+pub use exporter::{FleetExporter, FleetExporterConfig};
+pub use headroom::{HeadroomModel, ServerHeadroom};
 pub use health::{HealthChecker, HealthConfig};
-pub use observe::{FleetObserver, FleetObserverConfig, FleetSnapshot, ServerObservation};
+pub use ironman_telemetry::TimeSeries;
+pub use observe::{
+    FleetHandle, FleetObserver, FleetObserverConfig, FleetSnapshot, FleetWindow, ServerObservation,
+    ServerWindow, WindowBaseline,
+};
 pub use server::{ClusterServer, ClusterServerConfig, LocalCluster};
+pub use slo::{AlertState, AlertView, BurnWindows, SloEngine, SloKind, SloSpec};
 pub use warmup::{allocate_budget, FleetWarmup, FleetWarmupConfig, Warmup, WarmupConfig};

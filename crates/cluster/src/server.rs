@@ -6,8 +6,9 @@
 //! serving.
 
 use crate::directory::{Directory, ServerId};
+use crate::exporter::{FleetExporter, FleetExporterConfig};
 use crate::health::{HealthChecker, HealthConfig};
-use crate::observe::{FleetObserver, FleetObserverConfig};
+use crate::observe::{FleetHandle, FleetObserver, FleetObserverConfig};
 use crate::warmup::{FleetWarmup, FleetWarmupConfig, Warmup, WarmupConfig};
 use ironman_core::{Engine, SharedCotPool};
 use ironman_net::{CotService, CotServiceConfig, DirectoryView, ServiceStats};
@@ -104,6 +105,7 @@ pub struct LocalCluster {
     health: Option<HealthChecker>,
     fleet_warmup: Option<FleetWarmup>,
     observer: Option<FleetObserver>,
+    exporter: Option<FleetExporter>,
 }
 
 impl LocalCluster {
@@ -130,6 +132,7 @@ impl LocalCluster {
             health: None,
             fleet_warmup: None,
             observer: None,
+            exporter: None,
         };
         for _ in 0..n {
             cluster.spawn_server()?;
@@ -213,6 +216,41 @@ impl LocalCluster {
         self.observer.as_ref()
     }
 
+    /// A cloneable read handle onto the observer's retained state
+    /// (snapshots, windows, alerts), if the observer is running.
+    pub fn observer_handle(&self) -> Option<FleetHandle> {
+        self.observer.as_ref().map(FleetObserver::handle)
+    }
+
+    /// Starts the scrape exporter on an ephemeral loopback port, serving
+    /// `/metrics` and `/fleet` from the observer's retained state.
+    /// Requires [`LocalCluster::enable_observer`] first; returns the
+    /// bound address.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, and `InvalidInput` when no observer is running.
+    pub fn enable_exporter(&mut self, cfg: FleetExporterConfig) -> std::io::Result<SocketAddr> {
+        if let Some(exporter) = &self.exporter {
+            return Ok(exporter.addr());
+        }
+        let handle = self.observer_handle().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "enable_observer before enable_exporter",
+            )
+        })?;
+        let exporter = FleetExporter::spawn("127.0.0.1:0", handle, cfg)?;
+        let addr = exporter.addr();
+        self.exporter = Some(exporter);
+        Ok(addr)
+    }
+
+    /// The running exporter's address, if one was started.
+    pub fn exporter_addr(&self) -> Option<SocketAddr> {
+        self.exporter.as_ref().map(FleetExporter::addr)
+    }
+
     /// Kills a server **without telling the directory** — crash
     /// semantics: clients discover it through connect failures and the
     /// health checker (if running) evicts it. Returns its final
@@ -277,6 +315,9 @@ impl LocalCluster {
     /// running server); returns the final statistics of the servers
     /// that were still live.
     pub fn shutdown(mut self) -> Vec<ServiceStats> {
+        if let Some(exporter) = self.exporter.take() {
+            exporter.stop();
+        }
         if let Some(health) = self.health.take() {
             health.stop();
         }

@@ -3,8 +3,10 @@
 //! quantiles must bracket the per-server ones — the property that makes
 //! the fleet-wide roll-up trustworthy for steering decisions.
 
+use ironman_cluster::directory::ServerId;
 use ironman_cluster::{
-    observe, ClusterServerConfig, FleetObserverConfig, LocalCluster, WarmupConfig,
+    observe, ClusterServerConfig, FleetObserverConfig, FleetSnapshot, LocalCluster,
+    ServerObservation, WarmupConfig, WindowBaseline,
 };
 use ironman_net::{CotClient, CotServiceConfig, LatencyStats};
 use ironman_telemetry::HistogramSnapshot;
@@ -163,5 +165,122 @@ fn background_observer_publishes_snapshots_on_cadence() {
         assert!(!scrape.is_empty(), "scrape latency must be recorded");
         assert!(scrape.p50() > 0);
     }
+
+    // The v7 handle derives a windowed view from the retained series
+    // (once a second sweep has landed).
+    let handle = cluster.observer_handle().expect("enabled");
+    while handle.series_len() < 2 {
+        assert!(Instant::now() < deadline, "series never retained history");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let window = handle
+        .window(Duration::from_secs(5))
+        .expect("two scrapes retained");
+    assert!(window.to_nanos > window.from_nanos);
+    assert_eq!(window.servers.len(), 3);
+    assert!(window.supply_cots_per_sec >= 0.0);
     cluster.shutdown();
+}
+
+const SEC: u64 = 1_000_000_000;
+
+fn obs(id: u64, extensions: u64, served: u64, uptime: u64) -> ServerObservation {
+    ServerObservation {
+        id: ServerId(id),
+        cots_served: served,
+        extensions_run: extensions,
+        cots_per_extension: 10,
+        available: 0,
+        pending_stream_cots: 0,
+        shards: 1,
+        uptime_nanos: uptime,
+        latency: LatencyStats::default(),
+    }
+}
+
+fn snapshot_at(at: u64, servers: Vec<ServerObservation>) -> FleetSnapshot {
+    FleetSnapshot {
+        at_nanos: at,
+        epoch: 1,
+        servers,
+        ..FleetSnapshot::default()
+    }
+}
+
+/// Membership churn inside a window: a server present in both snapshots
+/// gets an exact delta, a fresh join degrades to a since-start average,
+/// and a server gone from the later snapshot contributes no row —
+/// never a synthesized zero, never a negative rate.
+#[test]
+fn windowed_delta_handles_absent_and_joined_members() {
+    let earlier = snapshot_at(
+        10 * SEC,
+        vec![obs(1, 100, 1_000, 10 * SEC), obs(2, 40, 400, 10 * SEC)],
+    );
+    let later = snapshot_at(
+        12 * SEC,
+        vec![obs(2, 50, 500, 12 * SEC), obs(3, 6, 60, 3 * SEC)],
+    );
+    let window = later.delta(&earlier);
+    assert_eq!(window.servers.len(), 2, "absent server 1 has no row");
+    assert!(window.servers.iter().all(|s| s.id != ServerId(1)));
+
+    let full = window
+        .servers
+        .iter()
+        .find(|s| s.id == ServerId(2))
+        .expect("server 2 windowed");
+    assert_eq!(full.baseline, WindowBaseline::Full);
+    assert_eq!(full.span_nanos, 2 * SEC);
+    // Δ10 extensions × 10 COTs each over 2 s.
+    assert!((full.supply_cots_per_sec - 50.0).abs() < 1e-9);
+    assert!((full.served_cots_per_sec - 50.0).abs() < 1e-9);
+
+    let joined = window
+        .servers
+        .iter()
+        .find(|s| s.id == ServerId(3))
+        .expect("server 3 windowed");
+    assert_eq!(joined.baseline, WindowBaseline::Joined);
+    assert_eq!(joined.span_nanos, 3 * SEC, "joined span = its uptime");
+    // 6 extensions × 10 COTs over its 3 s of life.
+    assert!((joined.supply_cots_per_sec - 20.0).abs() < 1e-9);
+
+    assert!(
+        (window.supply_cots_per_sec - (full.supply_cots_per_sec + joined.supply_cots_per_sec))
+            .abs()
+            < 1e-9,
+        "fleet supply is the sum of the per-server rates"
+    );
+}
+
+/// A restart (uptime goes down) must degrade to since-restart averages
+/// instead of producing negative deltas from the reset counters.
+#[test]
+fn windowed_delta_detects_restart() {
+    let earlier = snapshot_at(60 * SEC, vec![obs(7, 900, 9_000, 60 * SEC)]);
+    // Counters went *down* and so did uptime: the server restarted
+    // 4 s ago and has run 8 extensions since.
+    let later = snapshot_at(62 * SEC, vec![obs(7, 8, 80, 4 * SEC)]);
+    let window = later.delta(&earlier);
+    let sw = &window.servers[0];
+    assert_eq!(sw.baseline, WindowBaseline::Restarted);
+    assert_eq!(sw.span_nanos, 4 * SEC);
+    assert!((sw.supply_cots_per_sec - 20.0).abs() < 1e-9);
+    assert!((sw.served_cots_per_sec - 20.0).abs() < 1e-9);
+    assert!(sw.supply_cots_per_sec >= 0.0 && sw.served_cots_per_sec >= 0.0);
+}
+
+/// A zero-uptime joined server (scraped in its first instant) must not
+/// divide by zero.
+#[test]
+fn windowed_delta_zero_span_is_zero_rate() {
+    let earlier = snapshot_at(SEC, Vec::new());
+    let later = snapshot_at(2 * SEC, vec![obs(9, 5, 50, 0)]);
+    let window = later.delta(&earlier);
+    let sw = &window.servers[0];
+    assert_eq!(sw.baseline, WindowBaseline::Joined);
+    assert_eq!(sw.supply_cots_per_sec, 0.0);
+    assert_eq!(sw.served_cots_per_sec, 0.0);
+    assert_eq!(sw.stall_ratio, 0.0);
 }

@@ -51,8 +51,12 @@ pub const MAGIC: [u8; 4] = *b"IRNM";
 /// **6** — fleet telemetry: the `Stats` reply carries log-bucketed
 /// latency histogram snapshots (request→first-byte, chunk-push,
 /// extension, stall) per shard and merged service-wide, and the new
-/// `Trace`/`TraceDump` pair returns the server's recent event log.
-pub const VERSION: u16 = 6;
+/// `Trace`/`TraceDump` pair returns the server's recent event log;
+/// **7** — observability plane: the `Stats` reply carries the server's
+/// monotonic `uptime_nanos`, so a scraper deriving rates from the
+/// cumulative counters can detect a restart (uptime went *down*) instead
+/// of computing negative rates.
+pub const VERSION: u16 = 7;
 
 /// Per-frame header size (the `u32` length prefix).
 pub const FRAME_HEADER_LEN: usize = 4;

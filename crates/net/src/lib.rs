@@ -103,7 +103,9 @@
 //! `session_stalls`) so an extension-bound shard is distinguishable
 //! from a serving-bound one; version **6** added the latency histogram
 //! snapshots to the `Stats` reply and the `Trace`/`TraceDump` event-log
-//! ops — see *Telemetry (v6)* below. **Hardening:** frames above
+//! ops — see *Telemetry (v6)* below; version **7** added the server's
+//! monotonic `uptime_nanos` to the `Stats` reply — see *Observability
+//! plane (v7)* below. **Hardening:** frames above
 //! [`frame::MAX_FRAME_LEN`] (1 GiB) are rejected before allocation,
 //! truncation and bad magic are errors (never panics), and a session that
 //! sends garbage gets an error response and its connection — only its
@@ -176,6 +178,54 @@
 //! health-probe cadence and merging into one `FleetSnapshot`) lives in
 //! `ironman-cluster`'s `FleetObserver`.
 //!
+//! # Observability plane (v7)
+//!
+//! Wire version 7 turns the v6 raw telemetry into an operable plane.
+//! The wire change itself is one field — [`ServiceStats::uptime_nanos`],
+//! the server's *monotonic* age. Everything a scraper derives over a
+//! window (rates from cumulative counters, windowed histograms via
+//! `HistogramSnapshot::delta`) needs restart detection: a later scrape
+//! whose uptime went *down* proves the counters restarted from zero, so
+//! the deriver degrades to a since-restart rate instead of a negative
+//! one.
+//!
+//! The plane built on top (in `ironman-cluster`, serving through this
+//! crate's [`http`] module — a hand-rolled HTTP/1.0 endpoint with a
+//! nonblocking accept loop, in the same no-crates.io vendored style as
+//! the rest of the workspace):
+//!
+//! * **Exporter format.** `GET /metrics` answers Prometheus text
+//!   exposition (`text/plain`): `# HELP`/`# TYPE` comment pairs, then
+//!   `family{label="value"} number` samples. Families are prefixed
+//!   `ironman_`; per-server samples carry a `server="<id>"` label;
+//!   cumulative counters end in `_total`; windowed gauges state their
+//!   window in a `window` label. `GET /fleet` renders the same snapshot
+//!   as a human-readable page.
+//! * **SLO spec grammar.** An SLO is `(name, objective, windows)` where
+//!   the objective is one of `ChunkPushP99 { max_nanos }` (windowed p99
+//!   of the chunk-push histogram must stay under the bound),
+//!   `SupplyRate { min_cots_per_sec }` (fleet COT supply derived from
+//!   extension counters must stay above the floor), or
+//!   `StallRatio { max_ratio }` (windowed consumer-stall time per second
+//!   of wall time must stay under the bound). Evaluation is multi-window
+//!   burn-rate: a violation over the *fast* window (default 5 s) arms
+//!   the alert (`pending`); the *slow* window (default 60 s) agreeing
+//!   promotes it to `firing`; both windows staying clear for a
+//!   hysteresis interval resolves it. Short-lived spikes never fire,
+//!   real burns fire within the fast window, and flapping cannot
+//!   re-fire through hysteresis.
+//! * **Headroom semantics.** For each server the exporter feeds live
+//!   `Stats` into the perf crate's roofline + network models to get a
+//!   *predicted* supply ceiling (COTs/s at the machine's memory-bandwidth
+//!   bound, optionally capped by the modeled link), and derives the
+//!   *measured* supply rate from windowed extension counters. Exported
+//!   gauges: `predicted` (the model), `utilization` = measured/predicted
+//!   (how close to the modeled ceiling the server runs), and `drift` =
+//!   measured − predicted headroom error, which is the model-validation
+//!   signal: sustained utilization near 1.0 with positive drift means
+//!   the model under-predicts; utilization far below 1.0 under load
+//!   means the fleet is serving-bound, not extension-bound.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -197,11 +247,13 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod http;
 pub mod proto;
 pub mod service;
 pub mod transport;
 
 pub use frame::{FrameError, MAGIC, MAX_FRAME_LEN, VERSION};
+pub use http::{http_get, HttpRequest, HttpResponse, HttpServer};
 pub use proto::{
     DirectoryDelta, LatencyStats, MemberRecord, MemberWireState, Request, Response, ServiceStats,
     ShardStat, EPOCH_UNAWARE,

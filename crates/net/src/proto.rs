@@ -11,7 +11,7 @@
 //! 0x01 Hello     { name: lp-bytes,      0x81 Welcome   { version: u16, max_request: u64,
 //!                  epoch: u64 }                          epoch: u64 }
 //! 0x02 Request   { n: u64 }             0x82 Cots      { batch }
-//! 0x03 Stats                            0x83 Stats     { 11 × u64, latency,
+//! 0x03 Stats                            0x83 Stats     { 12 × u64, latency,
 //! 0x04 Shutdown                                          s, s × shard }
 //! 0x05 Subscribe { batch: u64,          0x84 Goodbye
 //!                  credits: u64 }       0x85 CotChunk  { seq: u64, batch }
@@ -149,8 +149,10 @@ pub enum Response {
     },
     /// A correlation batch (trusted-dealer style: both endpoints' shares).
     Cots(CotBatch),
-    /// Service statistics snapshot.
-    Stats(ServiceStats),
+    /// Service statistics snapshot (boxed: the v7 stats header plus
+    /// four histograms dwarf every hot variant, and `Stats` is off the
+    /// serving path).
+    Stats(Box<ServiceStats>),
     /// Acknowledges a shutdown; the connection closes after this.
     Goodbye,
     /// One pushed chunk of an active subscription.
@@ -300,6 +302,13 @@ pub struct ServiceStats {
     /// (granted credits × chunk size, summed over live streams): the
     /// demand backlog a fleet-level warm-up controller steers toward.
     pub pending_stream_cots: u64,
+    /// Nanoseconds since this server process constructed its service
+    /// (v7) — a *monotonic* age, not wall-clock time. A scraper deriving
+    /// rates from the cumulative counters compares uptimes across two
+    /// snapshots: a later scrape reporting a *smaller* uptime proves the
+    /// process restarted in between, so the counters restarted from
+    /// zero and a naive subtraction would go negative.
+    pub uptime_nanos: u64,
     /// Service-wide latency distributions (v6): the per-shard extension
     /// and stall histograms merged across shards, plus the serving path's
     /// request→first-byte and chunk-push timings (those two are recorded
@@ -346,6 +355,21 @@ impl LatencyStats {
         self.chunk_push.merge(&other.chunk_push);
         self.extension.merge(&other.extension);
         self.stall.merge(&other.stall);
+    }
+
+    /// The windowed difference `self − earlier`, distribution by
+    /// distribution (`HistogramSnapshot::delta`): quantiles read from
+    /// the result describe only the samples recorded between the two
+    /// snapshots. Each histogram independently falls back to its later
+    /// cumulative self if the earlier one is not a pointwise lower bound
+    /// (the recording process restarted), so counts never go negative.
+    pub fn delta(&self, earlier: &LatencyStats) -> LatencyStats {
+        LatencyStats {
+            request_first_byte: self.request_first_byte.delta(&earlier.request_first_byte),
+            chunk_push: self.chunk_push.delta(&earlier.chunk_push),
+            extension: self.extension.delta(&earlier.extension),
+            stall: self.stall.delta(&earlier.stall),
+        }
     }
 
     fn encode_into(&self, out: &mut Vec<u8>) {
@@ -709,6 +733,7 @@ impl Response {
                     s.register_failures,
                     s.directory_epoch,
                     s.pending_stream_cots,
+                    s.uptime_nanos,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
@@ -792,6 +817,7 @@ impl Response {
                 let register_failures = r.u64()?;
                 let directory_epoch = r.u64()?;
                 let pending_stream_cots = r.u64()?;
+                let uptime_nanos = r.u64()?;
                 let latency = LatencyStats::decode(&mut r)?;
                 let count = r.u64()? as usize;
                 // A hostile shard count must not drive allocation past the
@@ -818,7 +844,7 @@ impl Response {
                         })
                     })
                     .collect::<Result<Vec<_>, ChannelError>>()?;
-                Response::Stats(ServiceStats {
+                Response::Stats(Box::new(ServiceStats {
                     clients_served,
                     cots_served,
                     extensions_run,
@@ -830,9 +856,10 @@ impl Response {
                     register_failures,
                     directory_epoch,
                     pending_stream_cots,
+                    uptime_nanos,
                     latency,
                     shard_stats,
-                })
+                }))
             }
             OP_GOODBYE => Response::Goodbye,
             OP_COT_CHUNK => {
@@ -1053,7 +1080,7 @@ mod tests {
             full: true,
             members: Vec::new(),
         }));
-        round_trip_response(Response::Stats(ServiceStats {
+        round_trip_response(Response::Stats(Box::new(ServiceStats {
             clients_served: 4,
             cots_served: 1 << 22,
             extensions_run: 3,
@@ -1065,6 +1092,7 @@ mod tests {
             register_failures: 1,
             directory_epoch: 13,
             pending_stream_cots: 16_000,
+            uptime_nanos: 987_654_321,
             latency: sample_latency(7),
             shard_stats: vec![
                 ShardStat {
@@ -1086,7 +1114,7 @@ mod tests {
                     latency: LatencyStats::default(),
                 },
             ],
-        }));
+        })));
         round_trip_response(Response::TraceDump(Vec::new()));
         round_trip_response(Response::TraceDump(
             EventKind::ALL
@@ -1151,7 +1179,7 @@ mod tests {
     #[test]
     fn hostile_shard_count_rejected_without_allocation() {
         let mut bytes = vec![OP_STATS_REPLY];
-        for _ in 0..11 {
+        for _ in 0..12 {
             bytes.extend_from_slice(&0u64.to_le_bytes());
         }
         LatencyStats::default().encode_into(&mut bytes); // service-wide
@@ -1178,7 +1206,7 @@ mod tests {
 
     #[test]
     fn truncated_stats_histogram_rejected() {
-        let good = Response::Stats(ServiceStats {
+        let good = Response::Stats(Box::new(ServiceStats {
             shards: 1,
             latency: sample_latency(3),
             shard_stats: vec![ShardStat {
@@ -1186,7 +1214,7 @@ mod tests {
                 ..ShardStat::default()
             }],
             ..ServiceStats::default()
-        })
+        }))
         .encode();
         // Chop the tail off: every truncation point must be rejected, not
         // silently decoded as fewer/emptier histograms.

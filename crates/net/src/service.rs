@@ -156,6 +156,9 @@ impl Scratch {
 #[derive(Debug)]
 struct ServiceShared {
     addr: SocketAddr,
+    /// Construction time: the monotonic anchor behind the v7
+    /// `uptime_nanos` stats field (restart detection for scrapers).
+    started: std::time::Instant,
     stop: AtomicBool,
     counters: Counters,
     pool: Arc<SharedCotPool>,
@@ -222,6 +225,7 @@ impl ServiceShared {
             register_failures: self.counters.register_failures.load(Ordering::Relaxed),
             directory_epoch: self.dir_epoch(),
             pending_stream_cots: self.counters.pending_stream_cots.load(Ordering::Relaxed),
+            uptime_nanos: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             latency,
             shard_stats,
         }
@@ -328,6 +332,7 @@ impl CotService {
         let telemetry = ServiceTelemetry::new(pool.shard_count());
         let shared = Arc::new(ServiceShared {
             addr,
+            started: std::time::Instant::now(),
             stop: AtomicBool::new(false),
             counters: Counters::default(),
             pool,
@@ -562,7 +567,7 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
             }
             Request::Stats => {
                 scratch.begin();
-                Response::Stats(shared.stats()).encode_into(scratch.buf());
+                Response::Stats(Box::new(shared.stats())).encode_into(scratch.buf());
             }
             Request::Shutdown => {
                 // Answer first (the requester deserves its Goodbye), then
@@ -1017,7 +1022,7 @@ impl CotClient {
     pub fn stats(&mut self) -> Result<ServiceStats, ChannelError> {
         self.ch.send_bytes(Request::Stats.encode())?;
         match Response::decode(&self.ch.recv_bytes()?)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             other => Err(reject(other)),
         }
     }

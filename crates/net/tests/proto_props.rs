@@ -93,7 +93,7 @@ proptest! {
     /// (including zero shards) with arbitrary latency histograms (v6).
     #[test]
     fn stats_round_trip(
-        fixed in proptest::collection::vec(any::<u64>(), 11..12),
+        fixed in proptest::collection::vec(any::<u64>(), 12..13),
         shard_words in proptest::collection::vec(any::<u64>(), 0..33),
         lat_words in proptest::collection::vec(any::<u64>(), 0..48),
     ) {
@@ -110,7 +110,7 @@ proptest! {
                 latency: latency_from(&lat_words[..lat_words.len() - (i % (lat_words.len().max(1)))]),
             })
             .collect();
-        let resp = Response::Stats(ServiceStats {
+        let resp = Response::Stats(Box::new(ServiceStats {
             clients_served: fixed[0],
             cots_served: fixed[1],
             extensions_run: fixed[2],
@@ -122,9 +122,10 @@ proptest! {
             register_failures: fixed[8],
             directory_epoch: fixed[9],
             pending_stream_cots: fixed[10],
+            uptime_nanos: fixed[11],
             latency: latency_from(&lat_words),
             shard_stats,
-        });
+        }));
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 

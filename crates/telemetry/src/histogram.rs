@@ -345,6 +345,69 @@ impl HistogramSnapshot {
         self.max = self.max.max(other.max);
     }
 
+    /// The windowed difference `self − earlier`: the samples recorded
+    /// between the moment `earlier` was taken and the moment `self`
+    /// was, so quantiles extracted from the result describe the last
+    /// window instead of process lifetime.
+    ///
+    /// The subtraction is monotone-checked bucket by bucket. When
+    /// `earlier` is not a pointwise lower bound of `self` — some bucket
+    /// shrank, which for a cumulative histogram can only mean the
+    /// recording process restarted between the two snapshots — the
+    /// method falls back to returning `self` unchanged: the window then
+    /// covers "since the restart", which is the longest span the later
+    /// snapshot can truthfully describe. Counts therefore never go
+    /// negative.
+    ///
+    /// The result's `max()` is an upper bound, not an exact sample: the
+    /// lifetime maximum may predate the window, so the window max is
+    /// capped at the ceiling of the highest bucket that actually grew
+    /// (and at the lifetime max). Quantiles keep their usual contract —
+    /// ceilings that bound the true windowed samples from above by at
+    /// most one bucket width.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if earlier.count == 0 {
+            return self.clone();
+        }
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        let mut old = earlier.buckets.iter().copied().peekable();
+        for &(i, n) in &self.buckets {
+            if old.peek().is_some_and(|&(io, _)| io < i) {
+                // `earlier` holds a bucket `self` lost entirely: reset.
+                return self.clone();
+            }
+            let was = match old.peek() {
+                Some(&(io, no)) if io == i => {
+                    old.next();
+                    no
+                }
+                _ => 0,
+            };
+            if was > n {
+                return self.clone();
+            }
+            if n > was {
+                buckets.push((i, n - was));
+            }
+        }
+        if old.peek().is_some() {
+            return self.clone();
+        }
+        if buckets.is_empty() {
+            // Nothing recorded in the window; sums of canonical
+            // snapshots agree, so report a clean empty histogram.
+            return HistogramSnapshot::default();
+        }
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        let top = bucket_ceiling(buckets.last().map_or(0, |&(i, _)| i as usize));
+        HistogramSnapshot {
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            max: self.max.min(top),
+            buckets,
+        }
+    }
+
     /// Appends the compact wire encoding: count, sum, max (`u64` LE), a
     /// `u16` sparse-entry count, then `(u16 index, u64 count)` per
     /// entry. The encoding is canonical (sorted, nonzero, in-range
@@ -530,6 +593,57 @@ mod tests {
         assert_eq!(s.count(), 40_000);
         let per_bucket: u64 = s.buckets().iter().map(|&(_, n)| n).sum();
         assert_eq!(per_bucket, 40_000);
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn delta_describes_the_window() {
+        let h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in 0..50u64 {
+            h.record(v * 1000);
+        }
+        let window = h.snapshot().delta(&earlier);
+        assert_eq!(window.count(), 50);
+        // The window holds only the large samples; its median must sit
+        // far above the cumulative one.
+        assert!(window.p50() >= 20_000, "p50 {}", window.p50());
+        assert!(window.max() <= h.snapshot().max());
+    }
+
+    #[test]
+    fn delta_against_reset_falls_back_to_later() {
+        // A restarted process re-records from zero: the "later" snapshot
+        // no longer dominates the earlier one, so delta returns it
+        // unchanged rather than going negative.
+        let before = {
+            let h = Histogram::new();
+            for _ in 0..100 {
+                h.record(500);
+            }
+            h.snapshot()
+        };
+        let after_restart = {
+            let h = Histogram::new();
+            h.record(7);
+            h.snapshot()
+        };
+        let window = after_restart.delta(&before);
+        assert_eq!(window, after_restart);
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_empty() {
+        let h = Histogram::new();
+        h.record(42);
+        h.record(4242);
+        let s = h.snapshot();
+        let window = s.delta(&s);
+        assert!(window.is_empty());
+        assert_eq!(window, HistogramSnapshot::default());
     }
 
     #[cfg(not(feature = "noop"))]

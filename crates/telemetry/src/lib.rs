@@ -21,6 +21,11 @@
 //!   (extension/stall edges, chunk pushes, credit waits, refills,
 //!   epoch fences, failovers) on one process-wide clock
 //!   ([`now_nanos`]), dumpable on demand.
+//! - [`TimeSeries`] — bounded retention of timestamped snapshots, with
+//!   window-baseline lookup and a reset-aware [`counter_rate`]. Paired
+//!   with [`HistogramSnapshot::delta`] (monotone-checked subtraction of
+//!   an older cumulative snapshot) it turns lifetime telemetry into
+//!   windowed views: "p99 over the last 5 s", not "p99 since boot".
 //!
 //! # The `noop` feature
 //!
@@ -37,6 +42,7 @@
 
 mod histogram;
 mod recorder;
+mod timeseries;
 mod trace;
 
 pub use histogram::{
@@ -44,6 +50,7 @@ pub use histogram::{
     ENCODED_MIN_LEN, NUM_BUCKETS,
 };
 pub use recorder::{Counter, Recorder};
+pub use timeseries::{counter_rate, SeriesPoint, TimeSeries};
 pub use trace::{
     merge_dumps, now_nanos, pack_phase_split, unpack_phase_split, EventKind, TraceEvent, TraceLog,
     DEFAULT_TRACE_CAPACITY,

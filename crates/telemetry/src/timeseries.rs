@@ -1,0 +1,168 @@
+//! Bounded retention for periodic snapshots, and counter→rate helpers.
+//!
+//! Cumulative counters and lifetime histograms answer "how much ever",
+//! not "how fast now". [`TimeSeries`] keeps the last N timestamped
+//! snapshots of anything (the fleet observer retains
+//! `FleetSnapshot`s), so windowed views — rates over the last 5 s,
+//! latency quantiles over the last minute — can be derived by pairing
+//! the latest point with a baseline near the window start and
+//! subtracting ([`HistogramSnapshot::delta`] for distributions,
+//! [`counter_rate`] for monotonic counters).
+//!
+//! All timestamps are nanoseconds on one process-wide monotonic clock
+//! ([`now_nanos`]); the ring assumes pushes arrive in nondecreasing
+//! time order, which a single scrape loop guarantees.
+//!
+//! [`HistogramSnapshot::delta`]: crate::HistogramSnapshot::delta
+//! [`now_nanos`]: crate::now_nanos
+
+use std::collections::VecDeque;
+
+/// One retained observation: a value and when it was taken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeriesPoint<T> {
+    /// Monotonic capture time in nanoseconds (the [`crate::now_nanos`]
+    /// clock).
+    pub at_nanos: u64,
+    /// The observed value.
+    pub value: T,
+}
+
+/// A bounded ring of timestamped snapshots, oldest evicted first.
+#[derive(Clone, Debug)]
+pub struct TimeSeries<T> {
+    capacity: usize,
+    points: VecDeque<SeriesPoint<T>>,
+}
+
+impl<T> TimeSeries<T> {
+    /// An empty series retaining at most `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> TimeSeries<T> {
+        assert!(capacity > 0, "time series capacity must be positive");
+        TimeSeries {
+            capacity,
+            points: VecDeque::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Appends a point taken at `at_nanos`, evicting the oldest retained
+    /// point if the ring is full.
+    pub fn push(&mut self, at_nanos: u64, value: T) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back(SeriesPoint { at_nanos, value });
+    }
+
+    /// Points retained.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has been pushed (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The most recent point.
+    pub fn latest(&self) -> Option<&SeriesPoint<T>> {
+        self.points.back()
+    }
+
+    /// The baseline for a window ending at `now_nanos`: the newest
+    /// retained point captured at or before `now_nanos − window_nanos`.
+    /// When retention is shorter than the window, falls back to the
+    /// oldest retained point — the caller derives the actual span from
+    /// the returned timestamp, so a short ring yields a shorter
+    /// (honest) window rather than an error.
+    pub fn baseline(&self, now_nanos: u64, window_nanos: u64) -> Option<&SeriesPoint<T>> {
+        let start = now_nanos.saturating_sub(window_nanos);
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.at_nanos <= start)
+            .or_else(|| self.points.front())
+    }
+
+    /// Iterates the retained points, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SeriesPoint<T>> {
+        self.points.iter()
+    }
+}
+
+/// The per-second rate of a monotonic counter over a window:
+/// `(later − earlier) / dt`. A later value *below* the earlier one can
+/// only mean the counting process restarted; the counter is then
+/// cumulative since the restart, so the rate degrades to
+/// `later / dt` instead of going negative. Returns 0 for an empty
+/// window (`dt_nanos == 0`).
+pub fn counter_rate(later: u64, earlier: u64, dt_nanos: u64) -> f64 {
+    if dt_nanos == 0 {
+        return 0.0;
+    }
+    let grew = if later >= earlier {
+        later - earlier
+    } else {
+        later
+    };
+    grew as f64 * 1e9 / dt_nanos as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut s = TimeSeries::new(3);
+        for t in 0..5u64 {
+            s.push(t * 100, t);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.capacity(), 3);
+        let kept: Vec<u64> = s.iter().map(|p| p.value).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(s.latest().unwrap().at_nanos, 400);
+    }
+
+    #[test]
+    fn baseline_picks_newest_at_or_before_window_start() {
+        let mut s = TimeSeries::new(16);
+        for t in [100u64, 200, 300, 400, 500] {
+            s.push(t, t);
+        }
+        // Window of 250 ending at 500 starts at 250: baseline is the
+        // newest point at or before 250.
+        assert_eq!(s.baseline(500, 250).unwrap().at_nanos, 200);
+        // Exact boundary counts.
+        assert_eq!(s.baseline(500, 200).unwrap().at_nanos, 300);
+        // Window longer than retention: oldest point, honest short span.
+        assert_eq!(s.baseline(500, 10_000).unwrap().at_nanos, 100);
+        assert!(TimeSeries::<u64>::new(4).baseline(500, 100).is_none());
+    }
+
+    #[test]
+    fn counter_rate_is_reset_aware() {
+        // 1000 events over 2 seconds.
+        assert_eq!(counter_rate(3000, 2000, 2_000_000_000), 500.0);
+        // Restarted counter: never negative, degrades to since-restart.
+        assert_eq!(counter_rate(40, 2000, 1_000_000_000), 40.0);
+        // Empty window.
+        assert_eq!(counter_rate(10, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TimeSeries::<u64>::new(0);
+    }
+}

@@ -107,6 +107,62 @@ proptest! {
     }
 
     #[test]
+    fn delta_never_negative_and_bounds_window_quantiles(
+        base in proptest::collection::vec(0u64..1u64 << 40, 0..200),
+        window in proptest::collection::vec(0u64..1u64 << 40, 1..200),
+    ) {
+        // Record `base`, snapshot, record `window` on top, snapshot
+        // again: the delta must reproduce exactly the window's bucket
+        // counts, and its quantile ceilings must bound the true
+        // windowed samples.
+        let h = Histogram::new();
+        for &v in &base {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for &v in &window {
+            h.record(v);
+        }
+        let later = h.snapshot();
+        let d = later.delta(&earlier);
+        let expect = snapshot_of(&window);
+        prop_assert_eq!(d.count(), expect.count());
+        prop_assert_eq!(d.sum(), expect.sum());
+        prop_assert_eq!(d.buckets(), expect.buckets());
+        let mut sorted = window.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.50, 0.90, 0.99, 1.0] {
+            let truth = exact_quantile(&sorted, q);
+            let got = d.quantile(q);
+            prop_assert!(got >= truth, "q={}: {} < {}", q, got, truth);
+            prop_assert!(
+                got <= bucket_ceiling(bucket_index(truth)),
+                "q={}: {} above the truth's bucket ceiling", q, got
+            );
+        }
+        prop_assert!(d.max() >= *sorted.last().unwrap());
+        prop_assert!(d.max() <= later.max());
+    }
+
+    #[test]
+    fn delta_against_unrelated_snapshot_never_goes_negative(
+        a in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+        b in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+    ) {
+        // Even for snapshots of two unrelated histograms (the restart
+        // case), every derived bucket count stays nonnegative and the
+        // snapshot stays internally consistent.
+        let sa = snapshot_of(&a);
+        let sb = snapshot_of(&b);
+        let d = sa.delta(&sb);
+        let total: u64 = d.buckets().iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(total, d.count());
+        for &(_, n) in d.buckets() {
+            prop_assert!(n > 0);
+        }
+    }
+
+    #[test]
     fn quantiles_stay_within_bucket_error(
         values in proptest::collection::vec(0u64..1u64 << 48, 1..300),
     ) {

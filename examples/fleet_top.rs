@@ -1,0 +1,168 @@
+//! `top` for a COT fleet: a live per-server terminal view off the v7
+//! observability plane — windowed supply/serve rates, stall ratios,
+//! model-vs-measured headroom, and SLO alert states, refreshed each
+//! second while background load drives the fleet. A scripted mid-run
+//! fleet outage and heal plays the supply alert's whole lifecycle
+//! (pending → firing → resolved) out on screen: supply is
+//! demand-driven, so only losing the *whole* fleet starves it.
+//!
+//! Run with `cargo run --example fleet_top --release`. Iterations are
+//! bounded, so it doubles as a CI-friendly smoke of the observer,
+//! exporter, and headroom plumbing; the printed URL serves the same
+//! state as Prometheus text (`/metrics`) and HTML (`/fleet`) while the
+//! example runs.
+
+use ironman_cluster::{
+    AlertState, BurnWindows, ClusterClient, ClusterServerConfig, FleetExporterConfig,
+    FleetObserverConfig, HeadroomModel, HealthConfig, LocalCluster, SloKind, SloSpec, WarmupConfig,
+};
+use ironman_core::{Backend, Engine};
+use ironman_ot::ferret::FerretConfig;
+use ironman_ot::params::FerretParams;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TICKS: usize = 14;
+
+fn main() {
+    let params = FerretParams::toy();
+    let engine = Engine::new(FerretConfig::new(params), Backend::ironman_default());
+    let mut cluster = LocalCluster::spawn(
+        3,
+        &engine,
+        &ClusterServerConfig {
+            warmup: Some(WarmupConfig::default()),
+            ..ClusterServerConfig::default()
+        },
+    )
+    .expect("spawn fleet");
+    cluster.enable_health(HealthConfig {
+        interval: Duration::from_millis(25),
+        suspect_after: 1,
+        evict_after: 4,
+        ..HealthConfig::default()
+    });
+    cluster.enable_observer(FleetObserverConfig {
+        interval: Duration::from_millis(50),
+        slos: vec![SloSpec::new(
+            "supply-floor",
+            SloKind::SupplyRate {
+                min_cots_per_sec: 1000.0,
+            },
+        )
+        .with_windows(BurnWindows {
+            fast: Duration::from_secs(1),
+            slow: Duration::from_secs(3),
+            clear_for: Duration::from_secs(1),
+        })],
+        ..FleetObserverConfig::default()
+    });
+    let exporter = cluster
+        .enable_exporter(FleetExporterConfig {
+            window: Duration::from_secs(1),
+            model: Some(HeadroomModel::xeon(params)),
+        })
+        .expect("exporter binds");
+    println!("scrape endpoint: http://{exporter}/metrics (human view: /fleet)\n");
+
+    // Outage-tolerant background load so supply is demand-driven.
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = {
+        let directory = cluster.directory();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = ClusterClient::connect(directory, "fleet-top-load").expect("connect");
+            while !stop.load(Ordering::SeqCst) {
+                if client.request_cots(256).is_err() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        })
+    };
+
+    let handle = cluster.observer_handle().expect("observer enabled");
+    let model = HeadroomModel::xeon(params);
+    for tick in 0..TICKS {
+        std::thread::sleep(Duration::from_secs(1));
+        // Scripted churn: lose the whole fleet a third of the way in,
+        // heal after two-thirds — the alert lifecycle plays out live.
+        if tick == TICKS / 3 {
+            for victim in cluster.server_ids() {
+                cluster.kill_server(victim);
+            }
+            println!("== fleet outage: all servers killed ==");
+        }
+        if tick == 2 * TICKS / 3 {
+            for _ in 0..3 {
+                cluster.spawn_server().expect("replacement");
+            }
+            println!("== healed: three replacement servers joined ==");
+        }
+
+        let Some(snapshot) = handle.latest() else {
+            println!("[{tick:>2}s] waiting for first scrape");
+            continue;
+        };
+        let window = handle.window(Duration::from_secs(1));
+        println!(
+            "[{tick:>2}s] epoch {}  members {}  scraped {}  buffered {}",
+            snapshot.epoch,
+            handle.members().len(),
+            snapshot.servers.len(),
+            snapshot.available,
+        );
+        println!("     server      up   supply/s    served/s   stall   util  headroom/s");
+        for member in handle.members() {
+            let obs = snapshot.server(member.id);
+            let win = window
+                .as_ref()
+                .and_then(|w| w.servers.iter().find(|s| s.id == member.id));
+            let (supply, served, stall) = win
+                .map(|w| (w.supply_cots_per_sec, w.served_cots_per_sec, w.stall_ratio))
+                .unwrap_or((0.0, 0.0, 0.0));
+            let (util, headroom) = obs
+                .map(|o| {
+                    let h = model.server_headroom(o, supply);
+                    (h.utilization, h.headroom_cots_per_sec)
+                })
+                .unwrap_or((0.0, 0.0));
+            println!(
+                "     {:<10}  {:>2}  {:>9.0}  {:>10.0}  {:>6.3}  {:>5.3}  {:>10.0}",
+                member.name,
+                if obs.is_some() { "y" } else { "n" },
+                supply,
+                served,
+                stall,
+                util,
+                headroom,
+            );
+        }
+        for alert in handle.alerts() {
+            println!(
+                "     alert {:<14} {:<9} fast {}  slow {}",
+                alert.slo,
+                alert.state.name(),
+                alert.fast_value.map_or("-".into(), |v| format!("{v:.0}")),
+                alert.slow_value.map_or("-".into(), |v| format!("{v:.0}")),
+            );
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    load.join().expect("load thread");
+    let fired = handle
+        .alerts()
+        .iter()
+        .any(|a| a.state != AlertState::Inactive);
+    let (status, metrics) =
+        ironman_net::http_get(exporter, "/metrics").expect("final exporter scrape");
+    println!(
+        "\nsupply alert {} the churn; final /metrics scrape: HTTP {status}, {} bytes, {} families",
+        if fired { "observed" } else { "slept through" },
+        metrics.len(),
+        metrics.lines().filter(|l| l.starts_with("# TYPE")).count(),
+    );
+    cluster.shutdown();
+    println!("fleet down");
+}

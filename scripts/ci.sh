@@ -19,6 +19,9 @@ cargo test -q -p ironman-cluster --test cluster_e2e
 echo "==> membership-churn smoke: kill + rejoin one of three servers under load"
 cargo test -q -p ironman-cluster --test churn
 
+echo "==> observability e2e: exporter scrape parses + supply SLO fires on kill, resolves on heal"
+cargo test -q -p ironman-cluster --test slo_e2e
+
 echo "==> cluster_loopback bench (--quick; refreshes BENCH_cluster.json)"
 cargo run --release -p ironman-bench --bin cluster_loopback -- --quick
 
