@@ -196,7 +196,11 @@ fn main() {
     let (requests, batch) = if quick { (4, 500) } else { (4, 2000) };
     let stream_total: u64 = if quick { 64_000 } else { 1_000_000 };
     let stream_batch = 2000;
-    let attempts = if quick { 3 } else { 5 };
+    // Best-of-5 on both modes: the quick one-shot window is ~30 ms on
+    // the single-core CI box, so one host-steal event inside a window
+    // costs ~25% — best-of-3 was noise-dominated there and tripped the
+    // CI floor on runs with no code change.
+    let attempts = 5;
 
     let single = best_of(attempts, Result::cots_per_sec, || {
         bench_single(&engine, clients, requests, batch)

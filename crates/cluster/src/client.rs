@@ -16,6 +16,31 @@
 //!    clears the marks, or [`ClusterClient::heal`] is called. Semantic
 //!    errors are *not* failed over: they would recur on every server.
 //!
+//! # Deadlines, retries & degradation (v8)
+//!
+//! Every server session is dialed and driven under [`OpTimeouts`]
+//! deadlines (see [`ClusterClient::set_op_timeouts`]), so a blackholed
+//! or stalled member costs one bounded timeout — surfaced as the typed
+//! `ChannelError::TimedOut` and treated as a connectivity failure
+//! (cooldown + failover), never an indefinite hang. A corrupt link
+//! (`Malformed` frames) fails over the same way: garbage from one
+//! server says nothing about the others.
+//!
+//! When a *whole* routing sweep fails on connectivity, the client may
+//! sleep **one** [`RetryPolicy`] backoff step (decorrelated jitter),
+//! heal, and sweep again — but only while the [`RetryBudget`] token
+//! bucket has credit, so a fleet-wide outage degrades to fast typed
+//! failures instead of a retry storm. One backoff per call, budget or
+//! not: no call blocks longer than its deadlines plus one backoff step.
+//!
+//! A server answering `Unavailable { retry_after_ms }` (supply-starved,
+//! wire v8) is *honored*: it is cooled down for exactly the hinted
+//! window — not the generic failure cooldown — while requests fail over
+//! to healthy members; if the whole fleet is starved the hint also
+//! bounds the single backoff sleep. Timeouts seen, retries spent,
+//! unavailable hints honored, and the backoff-sleep distribution are
+//! all observable ([`ClusterClient::timeouts_seen`] and friends).
+//!
 //! # Epoch handling
 //!
 //! The client announces its directory epoch at connect and keeps each
@@ -30,9 +55,14 @@
 
 use crate::directory::{Directory, RingSnapshot, ServerId};
 use ironman_core::CotBatch;
-use ironman_net::{CotClient, CotSubscription, ServiceStats, StreamSummary};
+use ironman_net::{
+    CotClient, CotSubscription, OpTimeouts, RetryBudget, RetryPolicy, ServiceStats, StreamSummary,
+};
 use ironman_ot::channel::ChannelError;
-use ironman_telemetry::{EventKind, TraceEvent, TraceLog, DEFAULT_TRACE_CAPACITY};
+use ironman_telemetry::{
+    EventKind, Histogram, HistogramSnapshot, Stopwatch, TraceEvent, TraceLog,
+    DEFAULT_TRACE_CAPACITY,
+};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -48,6 +78,11 @@ pub const FAILOVER_COOLDOWN: Duration = Duration::from_millis(250);
 /// is churning too fast to route and the caller should see the error.
 const MAX_EPOCH_RETRIES: usize = 8;
 
+/// Hard ceiling on how long an `Unavailable { retry_after_ms }` hint may
+/// cool a server down — a buggy or hostile hint must not bench a member
+/// for hours.
+const MAX_UNAVAILABLE_HINT: Duration = Duration::from_secs(30);
+
 #[derive(Debug, Default)]
 struct Slot {
     client: Option<CotClient>,
@@ -56,6 +91,10 @@ struct Slot {
     /// When this server last failed (connect or I/O); requests skip it
     /// until [`FAILOVER_COOLDOWN`] elapses.
     failed_at: Option<Instant>,
+    /// Cooldown from an `Unavailable { retry_after_ms }` hint: requests
+    /// skip this server until the hinted instant (the session itself is
+    /// kept — the server is healthy, just starved).
+    unavailable_until: Option<Instant>,
     /// The directory epoch this server session last announced (`Hello`
     /// or `Sync`); lagging behind the snapshot triggers a proactive
     /// resync before the server has to fence us.
@@ -72,6 +111,20 @@ pub struct ClusterClient {
     snapshot: Arc<RingSnapshot>,
     slots: HashMap<ServerId, Slot>,
     cooldown: Duration,
+    /// Deadlines applied to every server session (connect, read, write).
+    timeouts: OpTimeouts,
+    /// Backoff generator for the one budgeted retry sweep per call.
+    retry: RetryPolicy,
+    /// Token bucket bounding retries per unit time across calls.
+    budget: RetryBudget,
+    /// `TimedOut` failures observed on this client's sessions.
+    timeouts_seen: u64,
+    /// Budgeted backoff sweeps actually slept.
+    retries_spent: u64,
+    /// `Unavailable { retry_after_ms }` hints honored.
+    unavailable_seen: u64,
+    /// Distribution of backoff sleeps actually taken.
+    retry_backoff: Histogram,
     /// Routing events this client has lived through — `Failover` (arg:
     /// the cooled server's id) and `EpochFence` (arg: the epoch routed
     /// under after resync) — in a bounded ring; see
@@ -90,12 +143,23 @@ impl ClusterClient {
     /// directory is empty).
     pub fn connect(directory: Arc<Directory>, session: &str) -> Result<Self, ChannelError> {
         let snapshot = directory.snapshot();
+        // Seed the backoff jitter from the session name: deterministic
+        // for a given consumer (replayable tests), decorrelated across
+        // differently-named consumers (no synchronized retry herd).
+        let seed = fnv1a(session.as_bytes());
         let mut client = ClusterClient {
             directory,
             session: session.to_string(),
             snapshot,
             slots: HashMap::new(),
             cooldown: FAILOVER_COOLDOWN,
+            timeouts: OpTimeouts::default(),
+            retry: RetryPolicy::default_with_seed(seed),
+            budget: RetryBudget::default_serving(),
+            timeouts_seen: 0,
+            retries_spent: 0,
+            unavailable_seen: 0,
+            retry_backoff: Histogram::new(),
             trace: TraceLog::new(DEFAULT_TRACE_CAPACITY),
         };
         client.first_available()?;
@@ -106,6 +170,54 @@ impl ClusterClient {
     /// [`FAILOVER_COOLDOWN`]).
     pub fn set_failover_cooldown(&mut self, cooldown: Duration) {
         self.cooldown = cooldown;
+    }
+
+    /// Overrides the per-operation deadlines for every server session.
+    /// Existing sessions are dropped so the next request redials under
+    /// the new deadlines; in-flight calls on other handles are
+    /// unaffected (each `ClusterClient` owns its sessions).
+    pub fn set_op_timeouts(&mut self, timeouts: OpTimeouts) {
+        self.timeouts = timeouts;
+        for slot in self.slots.values_mut() {
+            slot.client = None;
+        }
+    }
+
+    /// The deadlines currently applied to server sessions.
+    pub fn op_timeouts(&self) -> OpTimeouts {
+        self.timeouts
+    }
+
+    /// Replaces the backoff policy for budgeted retry sweeps.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Replaces the retry token bucket (e.g. a zero-refill bucket to
+    /// forbid retries entirely).
+    pub fn set_retry_budget(&mut self, budget: RetryBudget) {
+        self.budget = budget;
+    }
+
+    /// `TimedOut` failures this client has observed on its sessions.
+    pub fn timeouts_seen(&self) -> u64 {
+        self.timeouts_seen
+    }
+
+    /// Budgeted backoff sweeps this client has slept.
+    pub fn retries_spent(&self) -> u64 {
+        self.retries_spent
+    }
+
+    /// `Unavailable { retry_after_ms }` declines this client has
+    /// honored with a hint-length cooldown.
+    pub fn unavailable_seen(&self) -> u64 {
+        self.unavailable_seen
+    }
+
+    /// The distribution of backoff sleeps actually taken (nanoseconds).
+    pub fn retry_backoff(&self) -> HistogramSnapshot {
+        self.retry_backoff.snapshot()
     }
 
     /// The session's current home server, per the latest ring snapshot
@@ -249,8 +361,18 @@ impl ClusterClient {
         let mut reused = CotBatch::default();
         let mut dry_attempts = 0usize;
         let mut epoch_retries = 0usize;
+        let mut retried = false;
         while progress.cots < total {
-            let id = self.first_available()?;
+            let id = match self.first_available() {
+                Ok(id) => id,
+                // Nobody reachable (or everybody cooling down): one
+                // budgeted backoff sweep, then the failure surfaces.
+                Err(e) if !retried && is_connectivity(&e) && self.backoff_once(None) => {
+                    retried = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let remaining = total - progress.cots;
             let chunks = remaining / batch as u64;
             let remainder = (remaining % batch as u64) as usize;
@@ -295,12 +417,24 @@ impl ClusterClient {
                     self.resync(id)?;
                     continue;
                 }
+                Err(StreamAttemptError::OpenFailed(ChannelError::Unavailable {
+                    retry_after_ms,
+                }))
+                | Err(StreamAttemptError::MidStream(ChannelError::Unavailable {
+                    retry_after_ms,
+                })) => {
+                    // Starved server: honor the hint; progress so far is
+                    // preserved and the remainder resumes elsewhere.
+                    self.mark_unavailable(id, retry_after_ms);
+                }
                 Err(StreamAttemptError::OpenFailed(e)) if is_connectivity(&e) => {
+                    self.note_failure(&e);
                     self.mark_failed(id);
                 }
                 Err(StreamAttemptError::MidStream(e)) if is_connectivity(&e) => {
                     // The server died mid-stream. Chunks already consumed
                     // are counted; the remainder resumes elsewhere.
+                    self.note_failure(&e);
                     self.mark_failed(id);
                 }
                 Err(StreamAttemptError::OpenFailed(e)) | Err(StreamAttemptError::MidStream(e)) => {
@@ -398,6 +532,7 @@ impl ClusterClient {
     pub fn heal(&mut self) {
         for slot in self.slots.values_mut() {
             slot.failed_at = None;
+            slot.unavailable_until = None;
         }
         self.snapshot = self.directory.snapshot();
     }
@@ -414,6 +549,7 @@ impl ClusterClient {
         let current = self.directory.snapshot();
         for (id, slot) in self.slots.iter_mut() {
             slot.failed_at = None;
+            slot.unavailable_until = None;
             if current.member(*id).is_none() {
                 slot.client = None;
             }
@@ -421,12 +557,14 @@ impl ClusterClient {
         self.snapshot = current;
     }
 
-    /// Whether `id` is inside its failure cooldown right now.
+    /// Whether `id` is inside its failure cooldown (or an honored
+    /// `Unavailable` hint window) right now.
     fn cooled(&self, id: ServerId) -> bool {
-        self.slots
-            .get(&id)
-            .and_then(|s| s.failed_at)
-            .is_some_and(|at| at.elapsed() < self.cooldown)
+        self.slots.get(&id).is_some_and(|s| {
+            s.failed_at.is_some_and(|at| at.elapsed() < self.cooldown)
+                || s.unavailable_until
+                    .is_some_and(|until| Instant::now() < until)
+        })
     }
 
     /// Issues one chunk of at most `want` correlations into `out`
@@ -441,6 +579,7 @@ impl ClusterClient {
         out: &mut CotBatch,
     ) -> Result<ServerId, ChannelError> {
         self.refresh();
+        let mut retried = false;
         for _ in 0..=MAX_EPOCH_RETRIES {
             let route = self.snapshot.route(&self.session);
             let preferred = if first_chunk {
@@ -459,6 +598,7 @@ impl ClusterClient {
                     continue;
                 }
                 if let Err(e) = self.ensure_connected(id) {
+                    self.note_failure(&e);
                     self.mark_failed(id);
                     last_err = Some(e);
                     continue;
@@ -480,7 +620,14 @@ impl ClusterClient {
                         fenced = true;
                         break;
                     }
+                    Err(ChannelError::Unavailable { retry_after_ms }) => {
+                        // Supply-starved, not broken: honor the hint and
+                        // keep walking to a healthy member.
+                        self.mark_unavailable(id, retry_after_ms);
+                        last_err = Some(ChannelError::Unavailable { retry_after_ms });
+                    }
                     Err(e) if is_connectivity(&e) => {
+                        self.note_failure(&e);
                         self.mark_failed(id);
                         last_err = Some(e);
                     }
@@ -488,7 +635,20 @@ impl ClusterClient {
                 }
             }
             if !fenced {
-                return Err(last_err.unwrap_or(ChannelError::Disconnected));
+                let err = last_err.unwrap_or(ChannelError::Disconnected);
+                let hint = match &err {
+                    ChannelError::Unavailable { retry_after_ms } => Some(*retry_after_ms),
+                    _ => None,
+                };
+                // The whole sweep failed: one budgeted backoff, then one
+                // more sweep. `retried` bounds this call to a single
+                // backoff step regardless of budget.
+                if !retried && (hint.is_some() || is_connectivity(&err)) && self.backoff_once(hint)
+                {
+                    retried = true;
+                    continue;
+                }
+                return Err(err);
             }
         }
         Err(ChannelError::Disconnected)
@@ -517,6 +677,7 @@ impl ClusterClient {
             match self.ensure_connected(id) {
                 Ok(()) => return Ok(id),
                 Err(e) => {
+                    self.note_failure(&e);
                     self.mark_failed(id);
                     last_err = Some(e);
                 }
@@ -538,7 +699,12 @@ impl ClusterClient {
         let slot = self.slots.entry(id).or_default();
         if slot.client.is_none() {
             let name = format!("{}@{}", self.session, member.name);
-            slot.client = Some(CotClient::connect_with_epoch(member.addr, &name, epoch)?);
+            slot.client = Some(CotClient::connect_with_timeouts(
+                member.addr,
+                &name,
+                epoch,
+                self.timeouts,
+            )?);
             slot.epoch_synced = epoch;
             slot.failed_at = None;
         }
@@ -596,11 +762,59 @@ impl ClusterClient {
         slot.client = None;
     }
 
+    /// Books a connectivity failure's *kind*: a deadline expiry is
+    /// counted and traced separately from hard IO errors (same failover
+    /// treatment, different diagnosis).
+    fn note_failure(&mut self, e: &ChannelError) {
+        if matches!(e, ChannelError::TimedOut) {
+            self.timeouts_seen += 1;
+            self.trace
+                .push(EventKind::Timeout, self.timeouts.read.as_nanos() as u64);
+        }
+    }
+
+    /// Honors an `Unavailable { retry_after_ms }` decline: cools the
+    /// server for exactly the hinted window (clamped to
+    /// [`MAX_UNAVAILABLE_HINT`]) while keeping its session — the server
+    /// is healthy, just starved — and books the hint.
+    fn mark_unavailable(&mut self, id: ServerId, retry_after_ms: u64) {
+        self.unavailable_seen += 1;
+        self.trace.push(EventKind::Unavailable, retry_after_ms);
+        let hint = Duration::from_millis(retry_after_ms.max(1)).min(MAX_UNAVAILABLE_HINT);
+        let slot = self.slots.entry(id).or_default();
+        slot.unavailable_until = Some(Instant::now() + hint);
+    }
+
+    /// One budgeted backoff sweep: spends a retry token, sleeps one
+    /// [`RetryPolicy`] step (stretched to a fleet-wide `Unavailable`
+    /// hint when one is in play, still capped by the policy), heals the
+    /// cooldowns, and reports `true`. A dry budget refuses — the caller
+    /// surfaces the failure instead of amplifying an outage.
+    fn backoff_once(&mut self, hint_ms: Option<u64>) -> bool {
+        if !self.budget.try_spend() {
+            return false;
+        }
+        let mut sleep = self.retry.next_backoff();
+        if let Some(ms) = hint_ms {
+            sleep = sleep.max(Duration::from_millis(ms)).min(self.retry.cap());
+        }
+        self.retries_spent += 1;
+        self.trace.push(EventKind::Retry, sleep.as_nanos() as u64);
+        let watch = Stopwatch::start();
+        std::thread::sleep(sleep);
+        self.retry_backoff.record_elapsed(watch);
+        self.heal();
+        true
+    }
+
     /// This client's recent routing events, oldest first: a `Failover`
-    /// per server cooled down (arg: the server id) and an `EpochFence`
-    /// per membership resync (arg: the epoch routed under afterwards).
-    /// The log is a bounded ring ([`DEFAULT_TRACE_CAPACITY`] events), so
-    /// a long-lived session keeps the recent history, not all of it.
+    /// per server cooled down (arg: the server id), an `EpochFence` per
+    /// membership resync (arg: the epoch routed under afterwards), plus
+    /// the v8 fault-tolerance kinds — `Timeout` (arg: the read deadline,
+    /// ns), `Retry` (arg: the backoff slept, ns), and `Unavailable`
+    /// (arg: the server's `retry_after_ms` hint). The log is a bounded
+    /// ring ([`DEFAULT_TRACE_CAPACITY`] events), so a long-lived session
+    /// keeps the recent history, not all of it.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.trace.dump()
     }
@@ -686,9 +900,27 @@ impl Drop for ClusterSubscription<'_> {
 }
 
 /// Connectivity failures trigger failover; anything else would recur on
-/// every server and is surfaced instead.
+/// every server and is surfaced instead. Deadline expiries (`TimedOut`)
+/// and corrupt frames (`Malformed`) are per-link conditions — a stalled
+/// or garbling server says nothing about the rest of the fleet.
 fn is_connectivity(e: &ChannelError) -> bool {
-    matches!(e, ChannelError::Io(_) | ChannelError::Disconnected)
+    matches!(
+        e,
+        ChannelError::Io(_)
+            | ChannelError::Disconnected
+            | ChannelError::TimedOut
+            | ChannelError::Malformed { .. }
+    )
+}
+
+/// FNV-1a over `bytes` — the session-name hash seeding backoff jitter.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Where one streaming attempt failed — before any chunk was consumed

@@ -280,6 +280,21 @@ fn render_servers(
         "counter",
         "FERRET extensions run since server start.",
     );
+    w.family(
+        "ironman_server_subscribers_evicted_total",
+        "counter",
+        "Stuck streaming subscribers evicted past the push write deadline.",
+    );
+    w.family(
+        "ironman_server_unavailable_sent_total",
+        "counter",
+        "Unavailable{retry_after_ms} declines sent while degraded.",
+    );
+    w.family(
+        "ironman_server_faults_injected_total",
+        "counter",
+        "Faults the server's injector fired into its own data path (chaos drills).",
+    );
     if let Some(s) = snapshot {
         for obs in &s.servers {
             let l = [("server", obs.id.0.to_string())];
@@ -298,6 +313,21 @@ fn render_servers(
                 "ironman_server_extensions_total",
                 &l,
                 obs.extensions_run as f64,
+            );
+            w.sample(
+                "ironman_server_subscribers_evicted_total",
+                &l,
+                obs.subscribers_evicted as f64,
+            );
+            w.sample(
+                "ironman_server_unavailable_sent_total",
+                &l,
+                obs.unavailable_sent as f64,
+            );
+            w.sample(
+                "ironman_server_faults_injected_total",
+                &l,
+                obs.faults_injected as f64,
             );
         }
     }

@@ -157,6 +157,9 @@ mod tests {
             pending_stream_cots: 0,
             shards: 1,
             uptime_nanos: 1_000_000_000,
+            subscribers_evicted: 0,
+            unavailable_sent: 0,
+            faults_injected: 0,
             latency: LatencyStats::default(),
         }
     }

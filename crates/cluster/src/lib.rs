@@ -53,7 +53,15 @@
 //!   validation loop).
 //! * [`ClusterServer`] / [`LocalCluster`] — service, directory, health,
 //!   warm-up, and observation composed; a whole dynamic loopback fleet
-//!   in a few calls for tests and benches.
+//!   in a few calls for tests and benches. The client drives every
+//!   session under v8 data-path deadlines with a token-budgeted,
+//!   jittered retry sweep, and honors `Unavailable { retry_after_ms }`
+//!   declines from supply-starved servers with hint-length cooldowns.
+//! * [`ChaosSchedule`] — deterministic scripted chaos against a
+//!   [`LocalCluster`]: seeded fault plans (stalls, resets, bit flips,
+//!   blackholes via `ironman-net`'s `FaultInjector`), degradation
+//!   windows, kills, and heals fired at fixed offsets — the harness the
+//!   chaos soak proves the fault-tolerance invariants with.
 //!
 //! # Topology
 //!
@@ -118,6 +126,7 @@
 #![warn(missing_docs)]
 
 mod background;
+pub mod chaos;
 pub mod client;
 pub mod directory;
 pub mod exporter;
@@ -128,6 +137,7 @@ pub mod server;
 pub mod slo;
 pub mod warmup;
 
+pub use chaos::{ChaosAction, ChaosEvent, ChaosOutcome, ChaosSchedule};
 pub use client::{ClusterClient, ClusterSubscription, FAILOVER_COOLDOWN};
 pub use directory::{
     Directory, Member, MemberState, RingSnapshot, ServerEntry, ServerId, VIRTUAL_NODES,

@@ -102,6 +102,15 @@ pub struct ServerObservation {
     /// (wire v7). A later scrape reporting a *smaller* uptime proves a
     /// restart — the signal windowed derivation keys on.
     pub uptime_nanos: u64,
+    /// Stuck streaming subscribers this server evicted for blowing the
+    /// push write deadline (wire v8).
+    pub subscribers_evicted: u64,
+    /// `Unavailable { retry_after_ms }` declines this server sent while
+    /// degraded (wire v8).
+    pub unavailable_sent: u64,
+    /// Faults the server's injector has fired into its own data path
+    /// (wire v8; nonzero only under chaos drills).
+    pub faults_injected: u64,
     /// The server's service-wide latency distributions (its own merge
     /// over its shards).
     pub latency: LatencyStats,
@@ -346,6 +355,9 @@ fn scrape_with(
             pending_stream_cots: stats.pending_stream_cots,
             shards: stats.shards,
             uptime_nanos: stats.uptime_nanos,
+            subscribers_evicted: stats.subscribers_evicted,
+            unavailable_sent: stats.unavailable_sent,
+            faults_injected: stats.faults_injected,
             latency: stats.latency,
         });
     }

@@ -11,7 +11,7 @@ use crate::health::{HealthChecker, HealthConfig};
 use crate::observe::{FleetHandle, FleetObserver, FleetObserverConfig};
 use crate::warmup::{FleetWarmup, FleetWarmupConfig, Warmup, WarmupConfig};
 use ironman_core::{Engine, SharedCotPool};
-use ironman_net::{CotService, CotServiceConfig, DirectoryView, ServiceStats};
+use ironman_net::{CotService, CotServiceConfig, DirectoryView, FaultPlan, ServiceStats};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::Arc;
@@ -74,6 +74,13 @@ impl ClusterServer {
     /// Current statistics snapshot.
     pub fn stats(&self) -> ServiceStats {
         self.service.stats()
+    }
+
+    /// The underlying running service — the chaos and degradation hooks
+    /// (`set_faults`, `set_unavailable_for`, subscriber write deadlines)
+    /// live there.
+    pub fn service(&self) -> &CotService {
+        &self.service
     }
 
     /// Stops the warm-up refiller (if any) and the service; returns the
@@ -289,6 +296,53 @@ impl LocalCluster {
     /// [`LocalCluster::kill_server`]/[`LocalCluster::remove_server`].
     pub fn drain_server(&self, id: ServerId) {
         self.directory.drain(id);
+    }
+
+    /// Arms a seeded fault plan on server `id`'s data-path sessions (see
+    /// `ironman-net`'s `FaultInjector`). Returns `false` if the server
+    /// is not running.
+    pub fn inject_faults(&self, id: ServerId, plan: FaultPlan) -> bool {
+        self.servers.get(&id).is_some_and(|s| {
+            s.service().set_faults(plan);
+            true
+        })
+    }
+
+    /// Disarms fault injection on server `id` (in-flight injected
+    /// stalls unwind on their own). Returns `false` if not running.
+    pub fn heal_faults(&self, id: ServerId) -> bool {
+        self.servers.get(&id).is_some_and(|s| {
+            s.service().clear_faults();
+            true
+        })
+    }
+
+    /// Puts server `id` into graceful degradation for `window`: serving
+    /// requests are declined with `Unavailable { retry_after_ms }`
+    /// (control ops still answer). Returns `false` if not running.
+    pub fn starve_server(&self, id: ServerId, window: Duration) -> bool {
+        self.servers.get(&id).is_some_and(|s| {
+            s.service().set_unavailable_for(window);
+            true
+        })
+    }
+
+    /// Lifts a [`LocalCluster::starve_server`] window early. Returns
+    /// `false` if the server is not running.
+    pub fn unstarve_server(&self, id: ServerId) -> bool {
+        self.servers.get(&id).is_some_and(|s| {
+            s.service().clear_unavailable();
+            true
+        })
+    }
+
+    /// Heals every running server: disarms fault injection and lifts
+    /// degradation windows fleet-wide (the chaos-drill "all clear").
+    pub fn heal_all(&self) {
+        for server in self.servers.values() {
+            server.service().clear_faults();
+            server.service().clear_unavailable();
+        }
     }
 
     /// Blocks until every running server's pool holds at least

@@ -340,6 +340,9 @@ mod tests {
                 pending_stream_cots: 0,
                 shards: 1,
                 uptime_nanos: at,
+                subscribers_evicted: 0,
+                unavailable_sent: 0,
+                faults_injected: 0,
                 latency: LatencyStats::default(),
             }],
             latency: LatencyStats::default(),

@@ -194,6 +194,9 @@ fn obs(id: u64, extensions: u64, served: u64, uptime: u64) -> ServerObservation 
         pending_stream_cots: 0,
         shards: 1,
         uptime_nanos: uptime,
+        subscribers_evicted: 0,
+        unavailable_sent: 0,
+        faults_injected: 0,
         latency: LatencyStats::default(),
     }
 }

@@ -160,10 +160,16 @@ fn supply_slo_fires_on_fleet_kill_and_resolves_on_heal() {
         warmup: Some(WarmupConfig::default()),
     };
     let mut cluster = LocalCluster::spawn(3, &engine, &cfg).expect("spawn fleet");
+    // Eviction is permanent (rejoin is manual), so the strike budget
+    // must ride out CPU-starvation bursts on a loaded one-core CI box:
+    // with `evict_after: 3` a healthy member that missed three 10 ms
+    // probes during an extension burst was gone for good and the
+    // "all three up" scrape below could never succeed. Eight strikes
+    // still evicts a killed server within seconds in phase 2.
     cluster.enable_health(HealthConfig {
         interval: Duration::from_millis(10),
-        suspect_after: 1,
-        evict_after: 3,
+        suspect_after: 2,
+        evict_after: 8,
         ..HealthConfig::default()
     });
     // Tight burn windows so the whole lifecycle fits a test: a healthy

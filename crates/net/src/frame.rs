@@ -55,8 +55,13 @@ pub const MAGIC: [u8; 4] = *b"IRNM";
 /// **7** — observability plane: the `Stats` reply carries the server's
 /// monotonic `uptime_nanos`, so a scraper deriving rates from the
 /// cumulative counters can detect a restart (uptime went *down*) instead
-/// of computing negative rates.
-pub const VERSION: u16 = 7;
+/// of computing negative rates; **8** — graceful degradation: the new
+/// `Unavailable{retry_after_ms}` response lets a degraded (e.g.
+/// supply-starved) server decline work with a retry hint instead of
+/// hanging or hard-failing clients, and the `Stats` reply grew the
+/// robustness counters (timed-out ops, evicted slow subscribers,
+/// unavailable rejections, injected faults).
+pub const VERSION: u16 = 8;
 
 /// Per-frame header size (the `u32` length prefix).
 pub const FRAME_HEADER_LEN: usize = 4;

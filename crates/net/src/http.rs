@@ -19,7 +19,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on a request head (request line + headers). Anything
 /// longer is rejected with `413` before buffering more.
@@ -28,6 +28,14 @@ const MAX_REQUEST_LEN: usize = 8 * 1024;
 /// Per-connection read/write timeout: a stalled scraper cannot pin the
 /// accept thread for longer than this.
 const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Total deadline for reading one request head. The per-read
+/// [`IO_TIMEOUT`] only bounds a *silent* peer; a slow-loris client that
+/// dribbles one byte per poll resets it forever and would otherwise own
+/// the accept thread for up to `MAX_REQUEST_LEN` reads. Past this
+/// wall-clock budget the request is answered `408` regardless of how
+/// recently bytes arrived (worst case: deadline + one in-flight read).
+const REQUEST_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Accept-loop poll interval while idle (the listener is nonblocking).
 const POLL_INTERVAL: Duration = Duration::from_millis(2);
@@ -231,6 +239,7 @@ fn serve_connection(stream: TcpStream, handler: &HttpHandler) -> io::Result<()> 
 /// Reads and parses the request head (through the blank line).
 /// Returns the HTTP status to answer with on failure.
 fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, u16> {
+    let deadline = Instant::now() + REQUEST_DEADLINE;
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
@@ -239,6 +248,9 @@ fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, u16> {
         }
         if buf.len() >= MAX_REQUEST_LEN {
             return Err(413);
+        }
+        if Instant::now() >= deadline {
+            return Err(408);
         }
         match stream.read(&mut chunk) {
             Ok(0) => break, // peer closed after (or mid-) head
@@ -366,6 +378,42 @@ mod tests {
         // The accept thread exits; a fresh bind on the same port works.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok());
+    }
+
+    #[test]
+    fn slow_loris_dribble_gets_408_at_the_deadline() {
+        let server = demo_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        // Each dribbled byte lands well inside IO_TIMEOUT, so only the
+        // total REQUEST_DEADLINE can cut this connection off.
+        s.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        write!(s, "GET /metrics HTTP/1.0\r\nX-Dribble: ").unwrap();
+        let started = Instant::now();
+        let mut out = Vec::new();
+        loop {
+            assert!(
+                started.elapsed() < REQUEST_DEADLINE + Duration::from_secs(3),
+                "slow-loris held the connection past the deadline"
+            );
+            let _ = s.write_all(b"a");
+            let mut bytes = [0u8; 256];
+            match s.read(&mut bytes) {
+                Ok(0) => break, // server answered and closed
+                Ok(n) => out.extend_from_slice(&bytes[..n]),
+                Err(_) => {} // read timeout: keep dribbling
+            }
+        }
+        let reply = String::from_utf8_lossy(&out);
+        assert!(reply.starts_with("HTTP/1.0 408"), "{reply}");
+        assert!(
+            started.elapsed() >= REQUEST_DEADLINE - Duration::from_millis(100),
+            "408 must be the deadline firing, not an early error"
+        );
+        // The accept thread is free again: a normal scrape succeeds.
+        let (status, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "up 1\n");
+        server.stop();
     }
 
     #[test]

@@ -105,7 +105,11 @@
 //! snapshots to the `Stats` reply and the `Trace`/`TraceDump` event-log
 //! ops — see *Telemetry (v6)* below; version **7** added the server's
 //! monotonic `uptime_nanos` to the `Stats` reply — see *Observability
-//! plane (v7)* below. **Hardening:** frames above
+//! plane (v7)* below; version **8** added graceful degradation — the
+//! `Unavailable{retry_after_ms}` decline and the robustness counters
+//! (evicted subscribers, unavailable declines, injected faults) in the
+//! `Stats` reply — see *Deadlines, retries & fault injection (v8)*
+//! below. **Hardening:** frames above
 //! [`frame::MAX_FRAME_LEN`] (1 GiB) are rejected before allocation,
 //! truncation and bad magic are errors (never panics), and a session that
 //! sends garbage gets an error response and its connection — only its
@@ -226,6 +230,44 @@
 //!   the model under-predicts; utilization far below 1.0 under load
 //!   means the fleet is serving-bound, not extension-bound.
 //!
+//! # Deadlines, retries & fault injection (v8)
+//!
+//! Wire version 8 chaos-hardens the serving stack. Three planes, one
+//! contract: every failure mode is *typed, bounded, and observable*.
+//!
+//! * **Deadlines.** Every data-path session is born with
+//!   [`OpTimeouts`] deadlines — connect, read, and write all bounded
+//!   (defaults via [`CotClient::connect`]; explicit via
+//!   [`CotClient::connect_with_timeouts`]). An expired deadline
+//!   surfaces as the typed `ChannelError::TimedOut`, distinct from hard
+//!   IO errors, so failover logic can treat "slow" differently from
+//!   "gone". Server-side, session sockets carry a write deadline (the
+//!   slow-consumer guard): a subscriber that stops draining its pushes
+//!   is **evicted via tracked close** within the deadline — counted
+//!   ([`ServiceStats::subscribers_evicted`]), traced
+//!   (`SubscriberEvicted`), and without disturbing other streams.
+//! * **Retries.** [`RetryPolicy`] yields exponential backoff with
+//!   decorrelated jitter from a seeded PRNG (deterministic under test,
+//!   desynchronized in a fleet), and [`RetryBudget`] is a token bucket
+//!   that bounds retry volume — when the budget is dry, failures
+//!   propagate instead of amplifying an outage into a retry storm.
+//!   `ironman-cluster`'s `ClusterClient` wires both into its failover
+//!   sweep.
+//! * **Graceful degradation.** A supply-starved server closes its gate
+//!   ([`CotService::set_unavailable_for`]) and answers serving requests
+//!   with `Unavailable{retry_after_ms}` — a machine-usable hint, not a
+//!   hang or a hard error; control ops keep working so the degraded
+//!   server stays observable. Clients surface it as
+//!   `ChannelError::Unavailable` and honor the hint as a cooldown.
+//! * **Fault injection.** [`FaultPlan`] / [`FaultInjector`] /
+//!   [`FaultyStream`] inject seeded, deterministic faults *under* the
+//!   framing layer: added latency, stalls, partial writes, connection
+//!   resets at byte N, bit-flipped reads, blackhole-after-accept. Every
+//!   server session is wrapped (transparent while disarmed: one relaxed
+//!   atomic load per buffered I/O call), so a chaos schedule can corrupt
+//!   and heal **live** links mid-session; injected faults are counted
+//!   into [`ServiceStats::faults_injected`] and traced (`FaultInjected`).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -246,18 +288,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod frame;
 pub mod http;
 pub mod proto;
+pub mod retry;
 pub mod service;
 pub mod transport;
 
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultyStream};
 pub use frame::{FrameError, MAGIC, MAX_FRAME_LEN, VERSION};
 pub use http::{http_get, HttpRequest, HttpResponse, HttpServer};
 pub use proto::{
     DirectoryDelta, LatencyStats, MemberRecord, MemberWireState, Request, Response, ServiceStats,
     ShardStat, EPOCH_UNAWARE,
 };
+pub use retry::{OpTimeouts, RetryBudget, RetryPolicy};
 pub use service::{
     CotClient, CotService, CotServiceConfig, CotSubscription, DirectoryView, StreamSummary,
 };

@@ -11,7 +11,7 @@
 //! 0x01 Hello     { name: lp-bytes,      0x81 Welcome   { version: u16, max_request: u64,
 //!                  epoch: u64 }                          epoch: u64 }
 //! 0x02 Request   { n: u64 }             0x82 Cots      { batch }
-//! 0x03 Stats                            0x83 Stats     { 12 × u64, latency,
+//! 0x03 Stats                            0x83 Stats     { 15 × u64, latency,
 //! 0x04 Shutdown                                          s, s × shard }
 //! 0x05 Subscribe { batch: u64,          0x84 Goodbye
 //!                  credits: u64 }       0x85 CotChunk  { seq: u64, batch }
@@ -21,6 +21,7 @@
 //! 0x09 Warm      { watermark: u64,                       m, m × member }
 //!                  max_refills: u64 }   0x89 Warmed    { refills: u64 }
 //! 0x0A Trace     { max_events: u64 }    0x8A TraceDump { e, e × event }
+//!                                       0x8B Unavail   { retry_after_ms: u64 }
 //!                                       0xFF Error     { message: lp-bytes }
 //! ```
 //!
@@ -189,6 +190,15 @@ pub enum Response {
         /// one dump, not across servers.
         Vec<TraceEvent>,
     ),
+    /// The server is up but degraded (v8; e.g. supply-starved or
+    /// administratively browned out) and declined a correlation-serving
+    /// request. Unlike [`Response::Error`], this carries a machine-usable
+    /// retry hint so clients back off instead of hammering.
+    Unavailable {
+        /// Suggested minimum wait before retrying this server, in
+        /// milliseconds.
+        retry_after_ms: u64,
+    },
     /// The request could not be served.
     Error(
         /// Human-readable reason.
@@ -309,6 +319,17 @@ pub struct ServiceStats {
     /// process restarted in between, so the counters restarted from
     /// zero and a naive subtraction would go negative.
     pub uptime_nanos: u64,
+    /// Subscribers evicted by the slow-consumer guard (v8): their socket
+    /// would not accept a pushed chunk within the service's write
+    /// deadline, so the session was closed (tracked, traced) instead of
+    /// pinning a serving thread on a zero-window reader.
+    pub subscribers_evicted: u64,
+    /// Correlation-serving requests declined with
+    /// [`Response::Unavailable`] while the server was degraded (v8).
+    pub unavailable_sent: u64,
+    /// Faults fired by an attached fault-injection plan (v8; always 0 in
+    /// production — the counter proves chaos tests actually injected).
+    pub faults_injected: u64,
     /// Service-wide latency distributions (v6): the per-shard extension
     /// and stall histograms merged across shards, plus the serving path's
     /// request→first-byte and chunk-push timings (those two are recorded
@@ -438,6 +459,7 @@ const OP_WRONG_EPOCH: u8 = 0x87;
 const OP_DIRECTORY_UPDATE: u8 = 0x88;
 const OP_WARMED: u8 = 0x89;
 const OP_TRACE_DUMP: u8 = 0x8A;
+const OP_UNAVAILABLE: u8 = 0x8B;
 const OP_ERROR: u8 = 0xFF;
 
 /// Wire footprint of one [`TraceEvent`] (`at: u64, kind: u8, arg: u64`).
@@ -734,6 +756,9 @@ impl Response {
                     s.directory_epoch,
                     s.pending_stream_cots,
                     s.uptime_nanos,
+                    s.subscribers_evicted,
+                    s.unavailable_sent,
+                    s.faults_injected,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
@@ -785,6 +810,10 @@ impl Response {
                     out.extend_from_slice(&e.arg.to_le_bytes());
                 }
             }
+            Response::Unavailable { retry_after_ms } => {
+                out.push(OP_UNAVAILABLE);
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
             Response::Error(msg) => encode_error_into(out, msg),
         }
     }
@@ -818,6 +847,9 @@ impl Response {
                 let directory_epoch = r.u64()?;
                 let pending_stream_cots = r.u64()?;
                 let uptime_nanos = r.u64()?;
+                let subscribers_evicted = r.u64()?;
+                let unavailable_sent = r.u64()?;
+                let faults_injected = r.u64()?;
                 let latency = LatencyStats::decode(&mut r)?;
                 let count = r.u64()? as usize;
                 // A hostile shard count must not drive allocation past the
@@ -857,6 +889,9 @@ impl Response {
                     directory_epoch,
                     pending_stream_cots,
                     uptime_nanos,
+                    subscribers_evicted,
+                    unavailable_sent,
+                    faults_injected,
                     latency,
                     shard_stats,
                 }))
@@ -902,6 +937,9 @@ impl Response {
                 })
             }
             OP_WARMED => Response::Warmed { refills: r.u64()? },
+            OP_UNAVAILABLE => Response::Unavailable {
+                retry_after_ms: r.u64()?,
+            },
             OP_TRACE_DUMP => {
                 let count = r.u64()? as usize;
                 // A hostile event count must not drive allocation past the
@@ -1057,6 +1095,9 @@ mod tests {
         round_trip_response(Response::Error("pool exhausted".into()));
         round_trip_response(Response::WrongEpoch { epoch: 18 });
         round_trip_response(Response::Warmed { refills: 3 });
+        round_trip_response(Response::Unavailable {
+            retry_after_ms: 250,
+        });
         round_trip_response(Response::DirectoryUpdate(DirectoryDelta {
             epoch: 9,
             full: false,
@@ -1093,6 +1134,9 @@ mod tests {
             directory_epoch: 13,
             pending_stream_cots: 16_000,
             uptime_nanos: 987_654_321,
+            subscribers_evicted: 2,
+            unavailable_sent: 9,
+            faults_injected: 31,
             latency: sample_latency(7),
             shard_stats: vec![
                 ShardStat {
@@ -1179,7 +1223,7 @@ mod tests {
     #[test]
     fn hostile_shard_count_rejected_without_allocation() {
         let mut bytes = vec![OP_STATS_REPLY];
-        for _ in 0..12 {
+        for _ in 0..15 {
             bytes.extend_from_slice(&0u64.to_le_bytes());
         }
         LatencyStats::default().encode_into(&mut bytes); // service-wide

@@ -9,28 +9,51 @@
 //! pool-shard contention, which the lock-stealing `take` keeps off the
 //! fast path.
 
+use crate::fault::{FaultInjector, FaultPlan, FaultyStream};
 use crate::frame::{self, VERSION};
 use crate::proto::{
     decode_response_into, encode_cot_chunk_into, encode_cots_into, encode_error_into,
     DirectoryDelta, HotResponse, LatencyStats, Request, Response, ServiceStats, ShardStat,
     EPOCH_UNAWARE,
 };
-use crate::transport::TcpTransport;
+use crate::retry::OpTimeouts;
+use crate::transport::{StreamTransport, TcpTransport};
 use ironman_core::{CotBatch, Engine, SharedCotPool};
 use ironman_ot::channel::{ChannelError, ChannelStats, Transport};
 use ironman_telemetry::{
-    merge_dumps, EventKind, Histogram, Stopwatch, TraceEvent, TraceLog, DEFAULT_TRACE_CAPACITY,
+    merge_dumps, now_nanos, EventKind, Histogram, Stopwatch, TraceEvent, TraceLog,
+    DEFAULT_TRACE_CAPACITY,
 };
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Hard server-side cap on the events one [`Request::Trace`] reply may
 /// carry, whatever the client asked for (17 bytes each on the wire, so
 /// this bounds the reply near 1 MiB).
 const TRACE_REPLY_CAP: usize = 65_536;
+
+/// Default write deadline on session sockets — the slow-consumer guard
+/// (v8). A subscriber that stops draining its pushes stalls the server's
+/// `write_all` once the socket buffers fill; the deadline turns that
+/// stall into a typed timeout and the session into a tracked close,
+/// instead of pinning a serving thread forever. Tunable at runtime via
+/// [`CotService::set_subscriber_write_timeout`].
+const DEFAULT_PUSH_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The seed behind every service's [`FaultInjector`]: fixed so a chaos
+/// scenario replays identically run after run (schedules that need
+/// divergent servers perturb their plans, not the seed).
+const FAULT_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The server side of a session: a TCP stream with the service's fault
+/// injector layered *under* the framing, so an armed chaos plan corrupts
+/// live links mid-session and a heal restores them without reconnecting.
+type SessionTransport = StreamTransport<FaultyStream<TcpStream>, FaultyStream<TcpStream>>;
 
 /// The service's read-only view of an epoch-versioned membership
 /// directory. `ironman-cluster`'s `Directory` implements it; a service
@@ -67,8 +90,10 @@ struct ServiceTelemetry {
     /// Per-chunk push latency per shard (subscription streams).
     chunk_push: Vec<Histogram>,
     /// Service-level events (chunk pushes, credit waits, epoch fences);
-    /// extension/stall events live in the pool's per-shard rings.
-    trace: TraceLog,
+    /// extension/stall events live in the pool's per-shard rings. Shared
+    /// (`Arc`) with the fault injector so injected faults land in the
+    /// same timeline.
+    trace: Arc<TraceLog>,
 }
 
 impl ServiceTelemetry {
@@ -76,7 +101,7 @@ impl ServiceTelemetry {
         ServiceTelemetry {
             request_first_byte: (0..shards).map(|_| Histogram::new()).collect(),
             chunk_push: (0..shards).map(|_| Histogram::new()).collect(),
-            trace: TraceLog::new(DEFAULT_TRACE_CAPACITY),
+            trace: Arc::new(TraceLog::new(DEFAULT_TRACE_CAPACITY)),
         }
     }
 }
@@ -92,6 +117,11 @@ struct Counters {
     /// (granted credits × chunk size) — the backlog signal a fleet-level
     /// warm-up controller steers refill budget by.
     pending_stream_cots: AtomicU64,
+    /// Subscribers evicted by the slow-consumer write deadline (v8).
+    subscribers_evicted: AtomicU64,
+    /// Requests declined with `Unavailable{retry_after_ms}` while the
+    /// server was degraded (v8).
+    unavailable_sent: AtomicU64,
 }
 
 /// A session's retained response scratch: two alternating frame buffers
@@ -131,9 +161,9 @@ impl Scratch {
     /// exactly the correlation payload path and can *falsify* the
     /// zero-copy claim — the response is accounted as a buffer reuse or
     /// a growth.
-    fn finish_and_send(
+    fn finish_and_send<R: Read, W: Write>(
         &mut self,
-        ch: &mut TcpTransport,
+        ch: &mut StreamTransport<R, W>,
         counters: Option<&Counters>,
     ) -> Result<(), ChannelError> {
         let cap_before = self.cap_before;
@@ -167,6 +197,16 @@ struct ServiceShared {
     /// The membership directory this server is attached to (`None` for a
     /// plain standalone service: no fencing, epoch 0).
     directory: Option<Arc<dyn DirectoryView>>,
+    /// The service-wide fault injector every session's link is wrapped
+    /// with (disarmed ⇒ one relaxed load per buffered I/O call).
+    faults: FaultInjector,
+    /// Graceful-degradation gate: a [`now_nanos`] deadline before which
+    /// correlation-serving requests are declined with
+    /// `Unavailable{retry_after_ms}` (0 = serving normally).
+    unavailable_until: AtomicU64,
+    /// Write deadline applied to session sockets, in milliseconds (the
+    /// slow-consumer guard).
+    push_timeout_ms: AtomicU64,
 }
 
 impl ServiceShared {
@@ -184,6 +224,23 @@ impl ServiceShared {
     /// The attached directory's epoch, or 0 for a standalone service.
     fn dir_epoch(&self) -> u64 {
         self.directory.as_ref().map_or(0, |d| d.epoch())
+    }
+
+    /// While the degradation gate is closed, the `retry_after_ms` hint to
+    /// decline serving requests with; `None` when serving normally (the
+    /// hot-path cost is this one relaxed load). An expired gate clears
+    /// itself.
+    fn unavailable_ms(&self) -> Option<u64> {
+        let until = self.unavailable_until.load(Ordering::Relaxed);
+        if until == 0 {
+            return None;
+        }
+        let now = now_nanos();
+        if now >= until {
+            self.unavailable_until.store(0, Ordering::Relaxed);
+            return None;
+        }
+        Some(((until - now) / 1_000_000).max(1))
     }
 
     fn stats(&self) -> ServiceStats {
@@ -226,6 +283,9 @@ impl ServiceShared {
             directory_epoch: self.dir_epoch(),
             pending_stream_cots: self.counters.pending_stream_cots.load(Ordering::Relaxed),
             uptime_nanos: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            subscribers_evicted: self.counters.subscribers_evicted.load(Ordering::Relaxed),
+            unavailable_sent: self.counters.unavailable_sent.load(Ordering::Relaxed),
+            faults_injected: self.faults.injected(),
             latency,
             shard_stats,
         }
@@ -330,6 +390,8 @@ impl CotService {
             .local_addr()
             .expect("bound listener has an address");
         let telemetry = ServiceTelemetry::new(pool.shard_count());
+        let faults = FaultInjector::new(FAULT_SEED);
+        faults.set_trace(Arc::clone(&telemetry.trace));
         let shared = Arc::new(ServiceShared {
             addr,
             started: std::time::Instant::now(),
@@ -339,6 +401,9 @@ impl CotService {
             telemetry,
             sessions: Mutex::new(HashMap::new()),
             directory,
+            faults,
+            unavailable_until: AtomicU64::new(0),
+            push_timeout_ms: AtomicU64::new(DEFAULT_PUSH_TIMEOUT.as_millis() as u64),
         });
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -363,6 +428,66 @@ impl CotService {
     /// Current statistics snapshot (same data a [`Request::Stats`] gets).
     pub fn stats(&self) -> ServiceStats {
         self.shared.stats()
+    }
+
+    /// Closes the degradation gate for `window`: correlation-serving
+    /// requests (`RequestCot`/`Subscribe`) are declined with
+    /// [`Response::Unavailable`] carrying the remaining wait as its
+    /// `retry_after_ms` hint, instead of hanging or hard-failing clients.
+    /// Control ops (`Stats`, `Sync`, `Warm`, `Shutdown`, `Trace`) keep
+    /// working — a degraded server stays observable. The gate reopens by
+    /// itself when the window elapses, or early via
+    /// [`CotService::clear_unavailable`].
+    pub fn set_unavailable_for(&self, window: Duration) {
+        let until =
+            now_nanos().saturating_add(u64::try_from(window.as_nanos()).unwrap_or(u64::MAX));
+        self.shared
+            .unavailable_until
+            .store(until.max(1), Ordering::Relaxed);
+    }
+
+    /// Reopens the degradation gate immediately.
+    pub fn clear_unavailable(&self) {
+        self.shared.unavailable_until.store(0, Ordering::Relaxed);
+    }
+
+    /// The service-wide [`FaultInjector`] under every session's link.
+    /// Arm a [`FaultPlan`] on it (or via [`CotService::set_faults`]) to
+    /// corrupt, stall, or blackhole this server's live connections; clear
+    /// it to heal them.
+    pub fn fault_injector(&self) -> FaultInjector {
+        self.shared.faults.clone()
+    }
+
+    /// Arms `plan` on every current and future session of this service.
+    pub fn set_faults(&self, plan: FaultPlan) {
+        self.shared.faults.set_plan(plan);
+    }
+
+    /// Heals this service's links: disarms the fault plan everywhere.
+    pub fn clear_faults(&self) {
+        self.shared.faults.clear();
+    }
+
+    /// Sets the slow-consumer write deadline (default 2 s) — applied to
+    /// every live session socket immediately and to new sessions at
+    /// accept. A subscriber that cannot drain its pushes within the
+    /// deadline is evicted via tracked close (counted in
+    /// `subscribers_evicted`, traced as `SubscriberEvicted`).
+    pub fn set_subscriber_write_timeout(&self, deadline: Duration) {
+        let ms = u64::try_from(deadline.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        self.shared.push_timeout_ms.store(ms, Ordering::Relaxed);
+        for stream in self
+            .shared
+            .sessions
+            .lock()
+            .expect("session stream lock")
+            .values()
+        {
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(ms)));
+        }
     }
 
     /// Stops accepting, waits for the accept loop (and through it all
@@ -431,6 +556,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServiceShared>) {
             .counters
             .clients_served
             .fetch_add(1, Ordering::Relaxed);
+        // The slow-consumer guard: every write this session performs is
+        // bounded by the push deadline, so a subscriber that stops
+        // draining costs one timeout, not a pinned serving thread.
+        let push_timeout = Duration::from_millis(shared.push_timeout_ms.load(Ordering::Relaxed));
+        let _ = stream.set_write_timeout(Some(push_timeout));
         // Reap finished sessions so `threads` tracks live connections, not
         // the server's lifetime total.
         threads.retain(|t| !t.is_finished());
@@ -438,7 +568,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServiceShared>) {
         threads.push(std::thread::spawn(move || {
             // A client that fails its handshake (or drops mid-session) only
             // kills its own session thread.
-            if let Ok(transport) = TcpTransport::from_stream(stream) {
+            if let Ok(transport) = session_transport(stream, &shared.faults) {
                 let _ = serve_session(transport, &shared);
             }
             // Deregister (dropping the last socket handle closes the fd,
@@ -467,6 +597,18 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServiceShared>) {
     }
 }
 
+/// Builds a session's server-side transport: `TCP_NODELAY` plus the
+/// service's fault injector layered under the framing on both halves
+/// (the v8 chaos plane; transparent while the injector is disarmed).
+fn session_transport(
+    stream: TcpStream,
+    faults: &FaultInjector,
+) -> Result<SessionTransport, frame::FrameError> {
+    stream.set_nodelay(true).map_err(frame::FrameError::Io)?;
+    let reader = stream.try_clone().map_err(frame::FrameError::Io)?;
+    StreamTransport::from_split(faults.wrap(reader), faults.wrap(stream))
+}
+
 /// Whether a correlation-serving request from this session must be
 /// fenced: the session is epoch-aware, a directory is attached, and the
 /// directory has moved past the epoch the session last announced.
@@ -483,7 +625,27 @@ fn fence_epoch(shared: &ServiceShared, session_epoch: Option<u64>) -> Option<u64
     }
 }
 
-fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), ChannelError> {
+/// Encodes the graceful-degradation decline (v8): the supply-starved
+/// server answers with a machine-usable retry hint instead of hanging or
+/// hard-failing the client, counted and traced so the outage is
+/// observable fleet-wide.
+fn decline_unavailable(shared: &ServiceShared, retry_after_ms: u64, scratch: &mut Scratch) {
+    shared
+        .counters
+        .unavailable_sent
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .telemetry
+        .trace
+        .push(EventKind::Unavailable, retry_after_ms);
+    scratch.begin();
+    Response::Unavailable { retry_after_ms }.encode_into(scratch.buf());
+}
+
+fn serve_session<R: Read, W: Write>(
+    mut ch: StreamTransport<R, W>,
+    shared: &ServiceShared,
+) -> Result<(), ChannelError> {
     let max_request = shared.pool.max_request() as u64;
     // The directory epoch this session last announced (`Hello`/`Sync`);
     // `None` for epoch-unaware sessions, which are never fenced.
@@ -529,7 +691,9 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
                 .encode_into(scratch.buf());
             }
             Request::RequestCot { n } => {
-                if let Some(current) = fence_epoch(shared, session_epoch) {
+                if let Some(retry_after_ms) = shared.unavailable_ms() {
+                    decline_unavailable(shared, retry_after_ms, &mut scratch);
+                } else if let Some(current) = fence_epoch(shared, session_epoch) {
                     scratch.begin();
                     Response::WrongEpoch { epoch: current }.encode_into(scratch.buf());
                 } else if n == 0 || n > max_request {
@@ -580,7 +744,9 @@ fn serve_session(mut ch: TcpTransport, shared: &ServiceShared) -> Result<(), Cha
                 return Ok(());
             }
             Request::Subscribe { batch, credits } => {
-                if let Some(current) = fence_epoch(shared, session_epoch) {
+                if let Some(retry_after_ms) = shared.unavailable_ms() {
+                    decline_unavailable(shared, retry_after_ms, &mut scratch);
+                } else if let Some(current) = fence_epoch(shared, session_epoch) {
                     scratch.begin();
                     Response::WrongEpoch { epoch: current }.encode_into(scratch.buf());
                 } else if batch == 0 || batch > max_request {
@@ -713,8 +879,8 @@ impl Drop for PendingCots<'_> {
     }
 }
 
-fn serve_subscription(
-    ch: &mut TcpTransport,
+fn serve_subscription<R: Read, W: Write>(
+    ch: &mut StreamTransport<R, W>,
     shared: &ServiceShared,
     batch: usize,
     mut credits: u64,
@@ -790,7 +956,24 @@ fn serve_subscription(
                         .counters
                         .cots_served
                         .fetch_add(batch as u64, Ordering::Relaxed);
-                    scratch.finish_and_send(ch, Some(&shared.counters))?;
+                    if let Err(e) = scratch.finish_and_send(ch, Some(&shared.counters)) {
+                        // The write deadline fired: this subscriber stopped
+                        // draining its pushes. Evict it via tracked close
+                        // (the session thread deregisters the socket on
+                        // return) — counted and traced, with the stream's
+                        // still-promised correlations as the trace arg.
+                        if matches!(e, ChannelError::TimedOut) {
+                            shared
+                                .counters
+                                .subscribers_evicted
+                                .fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .telemetry
+                                .trace
+                                .push(EventKind::SubscriberEvicted, pending.outstanding);
+                        }
+                        return Err(e);
+                    }
                     shared.telemetry.chunk_push[shard].record_elapsed(push_watch);
                     shared
                         .telemetry
@@ -837,6 +1020,13 @@ impl CotClient {
     /// epoch-unaware session (never fenced; see
     /// [`CotClient::connect_with_epoch`] for fleet-aware sessions).
     ///
+    /// Since v8 every data-path session is born with the
+    /// [`OpTimeouts::default`] deadlines — connect, read, and write all
+    /// bounded — so no caller hangs forever on a blackholed peer by
+    /// accident; an expired deadline surfaces as the typed
+    /// [`ChannelError::TimedOut`]. Callers that need different bounds use
+    /// [`CotClient::connect_with_timeouts`].
+    ///
     /// # Errors
     ///
     /// Fails on connection/handshake errors or an unexpected first
@@ -848,7 +1038,8 @@ impl CotClient {
     /// Connects announcing the caller's directory epoch: the server will
     /// fence correlation-serving requests with
     /// [`ChannelError::WrongEpoch`] once its directory moves past it
-    /// (resync with [`CotClient::sync_directory`]).
+    /// (resync with [`CotClient::sync_directory`]). Deadlines as in
+    /// [`CotClient::connect`].
     ///
     /// # Errors
     ///
@@ -858,8 +1049,49 @@ impl CotClient {
         name: &str,
         epoch: u64,
     ) -> Result<CotClient, ChannelError> {
-        let ch = TcpTransport::connect(addr).map_err(ChannelError::from)?;
-        Self::open_session(ch, name, epoch)
+        Self::connect_with_timeouts(addr, name, epoch, OpTimeouts::default())
+    }
+
+    /// The fully explicit connect: every resolved address candidate is
+    /// tried with `timeouts.connect`, and the session socket carries
+    /// `timeouts.read`/`timeouts.write` as its per-op deadlines
+    /// (`SO_RCVTIMEO`/`SO_SNDTIMEO`) thereafter.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CotClient::connect`], plus
+    /// [`ChannelError::TimedOut`] when a deadline expires.
+    pub fn connect_with_timeouts<A: ToSocketAddrs>(
+        addr: A,
+        name: &str,
+        epoch: u64,
+        timeouts: OpTimeouts,
+    ) -> Result<CotClient, ChannelError> {
+        let mut last_err: Option<std::io::Error> = None;
+        for candidate in addr.to_socket_addrs().map_err(ChannelError::from)? {
+            match TcpStream::connect_timeout(&candidate, timeouts.connect) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(timeouts.read))
+                        .map_err(ChannelError::from)?;
+                    stream
+                        .set_write_timeout(Some(timeouts.write))
+                        .map_err(ChannelError::from)?;
+                    let ch = TcpTransport::from_stream(stream).map_err(ChannelError::from)?;
+                    return Self::open_session(ch, name, epoch);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.map_or_else(
+            || {
+                ChannelError::Io(std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    "address resolved to no candidates",
+                ))
+            },
+            ChannelError::from,
+        ))
     }
 
     /// Like [`CotClient::connect_with_epoch`], but with every step —
@@ -1349,6 +1581,7 @@ fn reject(resp: Response) -> ChannelError {
     match resp {
         Response::Error(msg) => service_error(&msg),
         Response::WrongEpoch { epoch } => ChannelError::WrongEpoch { current: epoch },
+        Response::Unavailable { retry_after_ms } => ChannelError::Unavailable { retry_after_ms },
         other => unexpected_response(&other),
     }
 }
@@ -1626,6 +1859,148 @@ mod tests {
                 .iter()
                 .any(|e| e.kind == ironman_telemetry::EventKind::ChunkPush));
         }
+        service.shutdown();
+    }
+
+    #[test]
+    fn unavailable_gate_declines_with_hint_then_reopens() {
+        let service = toy_service(1);
+        let mut client = CotClient::connect(service.addr(), "degraded-consumer").unwrap();
+        service.set_unavailable_for(Duration::from_secs(30));
+        // Serving requests are declined with a usable hint...
+        let err = client.request_cots(8).unwrap_err();
+        match err {
+            ChannelError::Unavailable { retry_after_ms } => {
+                assert!((1..=30_000).contains(&retry_after_ms));
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        assert!(matches!(
+            client.subscribe(8, 2).unwrap().next_chunk().unwrap_err(),
+            ChannelError::Unavailable { .. }
+        ));
+        // ...while control ops keep working: a degraded server stays
+        // observable, and the decline itself is counted.
+        let stats = client.stats().unwrap();
+        assert!(stats.unavailable_sent >= 2);
+        // The gate reopens on clear and the same session serves again.
+        service.clear_unavailable();
+        client.request_cots(8).unwrap().verify().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn armed_faults_fail_typed_and_heal_cleanly() {
+        let service = toy_service(1);
+        let mut client = CotClient::connect_with_timeouts(
+            service.addr(),
+            "corrupted",
+            EPOCH_UNAWARE,
+            crate::retry::OpTimeouts::uniform(Duration::from_millis(500)),
+        )
+        .unwrap();
+        // Corrupt every read the server performs: the session must fail
+        // with a typed error (never a panic, never an unbounded hang).
+        // The server's in-flight blocking read passed the fault gate
+        // before the plan armed, so the first request may still serve
+        // cleanly — keep requesting until a later (corrupted) read kills
+        // the session.
+        service.set_faults(crate::fault::FaultPlan {
+            flip_probability: 1.0,
+            ..crate::fault::FaultPlan::default()
+        });
+        let mut observed = None;
+        for _ in 0..50 {
+            match client.request_cots(8) {
+                Ok(_) => continue,
+                Err(e) => {
+                    observed = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = observed.expect("a fully corrupted link must surface an error");
+        assert!(
+            matches!(
+                err,
+                ChannelError::Service(_)
+                    | ChannelError::Malformed { .. }
+                    | ChannelError::Io(_)
+                    | ChannelError::Disconnected
+                    | ChannelError::TimedOut
+            ),
+            "corrupt link must surface typed, got {err:?}"
+        );
+        // Heal: new sessions serve normally and the injected faults were
+        // counted into the stats surface.
+        service.clear_faults();
+        let mut healed = CotClient::connect(service.addr(), "healed").unwrap();
+        healed.request_cots(8).unwrap().verify().unwrap();
+        let stats = service.stats();
+        assert!(stats.faults_injected > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn blackholed_server_times_out_within_deadline() {
+        let service = toy_service(1);
+        let deadline = Duration::from_millis(300);
+        let mut client = CotClient::connect_with_timeouts(
+            service.addr(),
+            "deadline-bound",
+            EPOCH_UNAWARE,
+            crate::retry::OpTimeouts::uniform(deadline),
+        )
+        .unwrap();
+        service.set_faults(crate::fault::FaultPlan {
+            blackhole: true,
+            ..crate::fault::FaultPlan::default()
+        });
+        let started = std::time::Instant::now();
+        let err = client.request_cots(8).unwrap_err();
+        assert!(matches!(err, ChannelError::TimedOut), "got {err:?}");
+        // The call was bounded by the deadline, not the outage.
+        assert!(started.elapsed() < deadline + Duration::from_secs(2));
+        // Heal before shutdown so the blackholed session thread unblocks.
+        service.clear_faults();
+        service.shutdown();
+    }
+
+    #[test]
+    fn stuck_subscriber_is_evicted_within_write_deadline() {
+        let service = toy_service(1);
+        service.set_subscriber_write_timeout(Duration::from_millis(150));
+        let mut client = CotClient::connect(service.addr(), "stuck").unwrap();
+        let max = client.max_request();
+        // Subscribe with a deep grant and then never read a byte: the
+        // server pushes until the socket buffers fill, its write deadline
+        // fires, and the session is evicted via tracked close.
+        client
+            .ch
+            .send_bytes(
+                Request::Subscribe {
+                    batch: max,
+                    credits: 10_000,
+                }
+                .encode(),
+            )
+            .unwrap();
+        client.ch.flush().unwrap();
+        let started = std::time::Instant::now();
+        while service.stats().subscribers_evicted == 0 {
+            assert!(
+                started.elapsed() < Duration::from_secs(30),
+                "subscriber never evicted"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.subscribers_evicted, 1);
+        // The eviction released the dead stream's promised backlog.
+        assert_eq!(stats.pending_stream_cots, 0);
+        // Other sessions are untouched.
+        let mut healthy = CotClient::connect(service.addr(), "healthy").unwrap();
+        healthy.request_cots(8).unwrap().verify().unwrap();
         service.shutdown();
     }
 

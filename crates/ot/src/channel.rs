@@ -43,6 +43,20 @@ pub enum ChannelError {
         /// The peer's current directory epoch.
         current: u64,
     },
+    /// An operation hit its deadline (`SO_RCVTIMEO`/`SO_SNDTIMEO` or a
+    /// connect timeout) before the peer answered. Distinct from hard IO
+    /// errors: the peer may be alive but slow, so callers back off or
+    /// fail over rather than treating the session as corrupt.
+    TimedOut,
+    /// The peer is up but degraded (e.g. supply-starved) and declined to
+    /// serve; it hints when a retry is worth attempting. Honoring the
+    /// hint instead of hammering is what keeps a brownout from becoming
+    /// a retry storm.
+    Unavailable {
+        /// Suggested minimum wait before retrying this peer, in
+        /// milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for ChannelError {
@@ -63,6 +77,10 @@ impl fmt::Display for ChannelError {
             ChannelError::WrongEpoch { current } => {
                 write!(f, "request fenced: peer is at directory epoch {current}")
             }
+            ChannelError::TimedOut => write!(f, "operation timed out before the peer answered"),
+            ChannelError::Unavailable { retry_after_ms } => {
+                write!(f, "peer unavailable; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -80,11 +98,15 @@ impl From<std::io::Error> for ChannelError {
     fn from(e: std::io::Error) -> Self {
         // A peer closing its socket surfaces as EOF/broken-pipe; fold those
         // into the logical Disconnected case the protocols already handle.
+        // Socket deadlines surface as TimedOut on some platforms and
+        // WouldBlock on others (Unix read timeouts): both mean "deadline
+        // hit", neither means the stream is corrupt.
         match e.kind() {
             std::io::ErrorKind::UnexpectedEof
             | std::io::ErrorKind::ConnectionReset
             | std::io::ErrorKind::ConnectionAborted
             | std::io::ErrorKind::BrokenPipe => ChannelError::Disconnected,
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => ChannelError::TimedOut,
             _ => ChannelError::Io(e),
         }
     }

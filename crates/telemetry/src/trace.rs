@@ -57,11 +57,26 @@ pub enum EventKind {
     /// A cluster client failed over away from a server (arg: the
     /// server id it abandoned).
     Failover = 8,
+    /// An operation hit its data-path deadline before the peer answered
+    /// (arg: the deadline in nanoseconds).
+    Timeout = 9,
+    /// A client retried after backoff under its retry budget (arg: the
+    /// backoff slept in nanoseconds).
+    Retry = 10,
+    /// A subscriber too slow to drain its pushes was evicted via tracked
+    /// close (arg: COTs still pending for the stream at eviction).
+    SubscriberEvicted = 11,
+    /// A deterministic fault-injection layer fired (arg: a
+    /// fault-kind discriminant; see `ironman-net`'s `FaultKind`).
+    FaultInjected = 12,
+    /// A server declined to serve while degraded (arg: the
+    /// `retry_after_ms` hint it sent).
+    Unavailable = 13,
 }
 
 impl EventKind {
     /// Every kind, in wire order.
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::ExtensionStart,
         EventKind::ExtensionEnd,
         EventKind::StallStart,
@@ -71,6 +86,11 @@ impl EventKind {
         EventKind::Refill,
         EventKind::EpochFence,
         EventKind::Failover,
+        EventKind::Timeout,
+        EventKind::Retry,
+        EventKind::SubscriberEvicted,
+        EventKind::FaultInjected,
+        EventKind::Unavailable,
     ];
 
     /// The wire discriminant.
@@ -95,6 +115,11 @@ impl EventKind {
             EventKind::Refill => "refill",
             EventKind::EpochFence => "epoch-fence",
             EventKind::Failover => "failover",
+            EventKind::Timeout => "timeout",
+            EventKind::Retry => "retry",
+            EventKind::SubscriberEvicted => "sub-evicted",
+            EventKind::FaultInjected => "fault",
+            EventKind::Unavailable => "unavailable",
         }
     }
 }

@@ -1,10 +1,14 @@
 //! `top` for a COT fleet: a live per-server terminal view off the v7
 //! observability plane — windowed supply/serve rates, stall ratios,
-//! model-vs-measured headroom, and SLO alert states, refreshed each
-//! second while background load drives the fleet. A scripted mid-run
-//! fleet outage and heal plays the supply alert's whole lifecycle
-//! (pending → firing → resolved) out on screen: supply is
-//! demand-driven, so only losing the *whole* fleet starves it.
+//! model-vs-measured headroom, SLO alert states, and the v8
+//! fault-tolerance counters (injected faults, `Unavailable` declines,
+//! evicted subscribers, client timeouts/retries), refreshed each second
+//! while background load drives the fleet. A scripted mid-run outage —
+//! the whole fleet starved into graceful degradation, one server's
+//! links running with injected latency — and a heal play the supply
+//! alert's whole lifecycle (pending → firing → resolved) out on screen:
+//! supply is demand-driven, so only losing the *whole* fleet starves
+//! it.
 //!
 //! Run with `cargo run --example fleet_top --release`. Iterations are
 //! bounded, so it doubles as a CI-friendly smoke of the observer,
@@ -17,6 +21,7 @@ use ironman_cluster::{
     FleetObserverConfig, HeadroomModel, HealthConfig, LocalCluster, SloKind, SloSpec, WarmupConfig,
 };
 use ironman_core::{Backend, Engine};
+use ironman_net::{FaultPlan, OpTimeouts, RetryPolicy};
 use ironman_ot::ferret::FerretConfig;
 use ironman_ot::params::FerretParams;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -66,18 +71,31 @@ fn main() {
         .expect("exporter binds");
     println!("scrape endpoint: http://{exporter}/metrics (human view: /fleet)\n");
 
-    // Outage-tolerant background load so supply is demand-driven.
+    // Outage-tolerant background load so supply is demand-driven; v8
+    // deadlines and seeded backoff so the outage shows up in the
+    // client-side counters instead of a hang. Returns them at join.
     let stop = Arc::new(AtomicBool::new(false));
     let load = {
         let directory = cluster.directory();
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let mut client = ClusterClient::connect(directory, "fleet-top-load").expect("connect");
+            client.set_op_timeouts(OpTimeouts::uniform(Duration::from_millis(500)));
+            client.set_retry_policy(RetryPolicy::new(
+                Duration::from_millis(10),
+                Duration::from_millis(250),
+                0xF1EE,
+            ));
             while !stop.load(Ordering::SeqCst) {
                 if client.request_cots(256).is_err() {
                     std::thread::sleep(Duration::from_millis(5));
                 }
             }
+            (
+                client.timeouts_seen(),
+                client.retries_spent(),
+                client.unavailable_seen(),
+            )
         })
     };
 
@@ -85,19 +103,27 @@ fn main() {
     let model = HeadroomModel::xeon(params);
     for tick in 0..TICKS {
         std::thread::sleep(Duration::from_secs(1));
-        // Scripted churn: lose the whole fleet a third of the way in,
+        // Scripted chaos: a third of the way in the whole fleet starves
+        // into graceful degradation (`Unavailable` declines, a long
+        // retry hint) and one server's links run with injected latency;
         // heal after two-thirds — the alert lifecycle plays out live.
         if tick == TICKS / 3 {
-            for victim in cluster.server_ids() {
-                cluster.kill_server(victim);
+            let ids = cluster.server_ids();
+            for &id in &ids {
+                cluster.starve_server(id, Duration::from_secs(600));
             }
-            println!("== fleet outage: all servers killed ==");
+            cluster.inject_faults(
+                ids[0],
+                FaultPlan {
+                    read_latency: Duration::from_millis(2),
+                    ..FaultPlan::default()
+                },
+            );
+            println!("== fleet outage: all servers starved, one with laggy links ==");
         }
         if tick == 2 * TICKS / 3 {
-            for _ in 0..3 {
-                cluster.spawn_server().expect("replacement");
-            }
-            println!("== healed: three replacement servers joined ==");
+            cluster.heal_all();
+            println!("== healed: degradation lifted, faults disarmed ==");
         }
 
         let Some(snapshot) = handle.latest() else {
@@ -112,7 +138,9 @@ fn main() {
             snapshot.servers.len(),
             snapshot.available,
         );
-        println!("     server      up   supply/s    served/s   stall   util  headroom/s");
+        println!(
+            "     server      up   supply/s    served/s   stall   util  headroom/s  faults  unavail  evict"
+        );
         for member in handle.members() {
             let obs = snapshot.server(member.id);
             let win = window
@@ -127,8 +155,11 @@ fn main() {
                     (h.utilization, h.headroom_cots_per_sec)
                 })
                 .unwrap_or((0.0, 0.0));
+            let (faults, unavailable, evicted) = obs
+                .map(|o| (o.faults_injected, o.unavailable_sent, o.subscribers_evicted))
+                .unwrap_or((0, 0, 0));
             println!(
-                "     {:<10}  {:>2}  {:>9.0}  {:>10.0}  {:>6.3}  {:>5.3}  {:>10.0}",
+                "     {:<10}  {:>2}  {:>9.0}  {:>10.0}  {:>6.3}  {:>5.3}  {:>10.0}  {:>6}  {:>7}  {:>5}",
                 member.name,
                 if obs.is_some() { "y" } else { "n" },
                 supply,
@@ -136,6 +167,9 @@ fn main() {
                 stall,
                 util,
                 headroom,
+                faults,
+                unavailable,
+                evicted,
             );
         }
         for alert in handle.alerts() {
@@ -150,7 +184,7 @@ fn main() {
     }
 
     stop.store(true, Ordering::SeqCst);
-    load.join().expect("load thread");
+    let (timeouts, retries, unavailable) = load.join().expect("load thread");
     let fired = handle
         .alerts()
         .iter()
@@ -158,8 +192,12 @@ fn main() {
     let (status, metrics) =
         ironman_net::http_get(exporter, "/metrics").expect("final exporter scrape");
     println!(
-        "\nsupply alert {} the churn; final /metrics scrape: HTTP {status}, {} bytes, {} families",
+        "\nsupply alert {} the outage; load client saw {timeouts} timeouts, {retries} retries, \
+         {unavailable} unavailable declines",
         if fired { "observed" } else { "slept through" },
+    );
+    println!(
+        "final /metrics scrape: HTTP {status}, {} bytes, {} families",
         metrics.len(),
         metrics.lines().filter(|l| l.starts_with("# TYPE")).count(),
     );
