@@ -11,14 +11,26 @@
 //!   and inputs, best-of-N.
 //! * **LPN bit kernels**: the receiver's `x = e·A ⊕ u` half as
 //!   `Vec<bool>` (naive) vs packed `u64` words, row-major and tiled.
+//! * **SIMD dispatch head-to-head**: every [`ironman_lpn::simd`] entry
+//!   point (blocks, packed bits, skip-zero probe, fused pair; row-major
+//!   and tiled) at each runtime-available level — scalar vs AVX2/BMI2
+//!   wide — so lane-selection claims are measured, not assumed. The
+//!   skip-zero rows bench the input-bit test against the branchless
+//!   lane honestly (it loses on dense pseudorandom inputs; the rows
+//!   prove it).
 //! * **Session LPN composite**: one extension's LPN compute across both
-//!   party threads (sender blocks + receiver bits/blocks pair — they
-//!   share the single core in a `CotSession`), naive vs tiled+packed —
-//!   the paper-mechanism pairing the tile schedule and packed words
-//!   were built for, and the quantity that gates raw supply.
+//!   party threads (sender blocks + receiver half — they share the
+//!   single core in a `CotSession`), naive vs the fused tiled+packed
+//!   pair vs the split receiver (tiled block half + row-major packed
+//!   bit half) that [`FerretConfig::recommended`] now picks.
 //! * **Raw single-session `extend`**: a persistent [`CotSession`] at an
 //!   LPN-heavy parameter set, naive kernels vs
 //!   [`FerretConfig::recommended`], COTs/s.
+//! * **Shared-matrix spawn costs**: session spawn-to-first-batch with a
+//!   config that builds its own LPN matrix vs one carrying the
+//!   `Arc`-shared prebuilt matrix, plus generation counts and the
+//!   matrix working set — the memory/latency numbers behind sharing
+//!   one matrix across all shard sessions.
 //!
 //! Emits the human table plus `BENCH_extension.json`. `--quick` shrinks
 //! `n` and iteration counts for CI smoke use (same `k`, so the kernels
@@ -32,7 +44,7 @@
 
 use ironman_bench::{best_of, f2, header, row, times};
 use ironman_lpn::sorting::SortConfig;
-use ironman_lpn::{encoder, LpnMatrix, PackedBits, SortedLpnMatrix};
+use ironman_lpn::{encoder, simd, LpnMatrix, PackedBits, SimdLevel, SortedLpnMatrix};
 use ironman_ot::ferret::{FerretConfig, LpnKernel};
 use ironman_ot::params::FerretParams;
 use ironman_ot::session::CotSession;
@@ -308,13 +320,154 @@ fn main() {
             })
         }),
     ];
+    // The simd dispatch layer, lane by lane at every level this host can
+    // run: the scalar row is the dispatch-overhead baseline, the wide
+    // row is the AVX2/BMI2 code path, same matrix and inputs. The
+    // skip-zero rows give the input-bit-testing kernel its honest
+    // head-to-head against the branchless packed lane.
+    let mut simd_results: Vec<KernelResult> = Vec::new();
+    for &level in SimdLevel::available() {
+        let sc = level == SimdLevel::Scalar;
+        simd_results.push(best_of(attempts, score, || {
+            time_kernel(
+                if sc {
+                    "simd_blocks_scalar"
+                } else {
+                    "simd_blocks_wide"
+                },
+                kernel_iters,
+                gathers,
+                || simd::encode_blocks(level, &matrix, &input_blocks, &mut acc_blocks),
+            )
+        }));
+        simd_results.push(best_of(attempts, score, || {
+            time_kernel(
+                if sc {
+                    "simd_blocks_tiled_scalar"
+                } else {
+                    "simd_blocks_tiled_wide"
+                },
+                kernel_iters,
+                gathers,
+                || simd::encode_blocks_tiled(level, tiles, &input_blocks, &mut acc_blocks),
+            )
+        }));
+        simd_results.push(best_of(attempts, score, || {
+            time_kernel(
+                if sc {
+                    "simd_bits_packed_scalar"
+                } else {
+                    "simd_bits_packed_wide"
+                },
+                kernel_iters,
+                gathers,
+                || simd::encode_bits_packed(level, &matrix, &input_packed, &mut acc_packed),
+            )
+        }));
+        simd_results.push(best_of(attempts, score, || {
+            time_kernel(
+                if sc {
+                    "simd_bits_packed_tiled_scalar"
+                } else {
+                    "simd_bits_packed_tiled_wide"
+                },
+                kernel_iters,
+                gathers,
+                || simd::encode_bits_packed_tiled(level, tiles, &input_packed, &mut acc_packed),
+            )
+        }));
+        simd_results.push(best_of(attempts, score, || {
+            time_kernel(
+                if sc {
+                    "skipzero_bits_scalar"
+                } else {
+                    "skipzero_bits_wide"
+                },
+                kernel_iters,
+                gathers,
+                || {
+                    simd::encode_bits_packed_skipzero(
+                        level,
+                        &matrix,
+                        &input_packed,
+                        &mut acc_packed,
+                    )
+                },
+            )
+        }));
+        simd_results.push(best_of(attempts, score, || {
+            time_kernel(
+                if sc {
+                    "skipzero_bits_tiled_scalar"
+                } else {
+                    "skipzero_bits_tiled_wide"
+                },
+                kernel_iters,
+                gathers,
+                || {
+                    simd::encode_bits_packed_skipzero_tiled(
+                        level,
+                        tiles,
+                        &input_packed,
+                        &mut acc_packed,
+                    )
+                },
+            )
+        }));
+        simd_results.push(best_of(attempts, score, || {
+            time_kernel(
+                if sc {
+                    "simd_pair_scalar"
+                } else {
+                    "simd_pair_wide"
+                },
+                kernel_iters,
+                2 * gathers,
+                || {
+                    simd::encode_cot_pair(
+                        level,
+                        &matrix,
+                        &input_blocks,
+                        &input_packed,
+                        &mut acc_blocks,
+                        &mut acc_packed,
+                    )
+                },
+            )
+        }));
+        simd_results.push(best_of(attempts, score, || {
+            time_kernel(
+                if sc {
+                    "simd_pair_tiled_scalar"
+                } else {
+                    "simd_pair_tiled_wide"
+                },
+                kernel_iters,
+                2 * gathers,
+                || {
+                    simd::encode_cot_pair_tiled(
+                        level,
+                        tiles,
+                        &input_blocks,
+                        &input_packed,
+                        &mut acc_blocks,
+                        &mut acc_packed,
+                    )
+                },
+            )
+        }));
+    }
+
     // Session-level composite: one extension's LPN compute across both
     // party threads (they share this core in a `CotSession`) — the
     // sender's `z = r·A ⊕ w` block pass plus the receiver's
-    // `x = e·A ⊕ u` / `y = s·A ⊕ v` pair. Naive runs the pre-PR shape
+    // `x = e·A ⊕ u` / `y = s·A ⊕ v` half. Naive runs the pre-PR shape
     // (row-major, separate passes, `bool` bits); tiled+packed runs the
-    // new supply path (tiled sender blocks + fused receiver pair on
-    // packed words).
+    // fused receiver pair the tile schedule and packed words were built
+    // for; split runs what `recommended()` now picks from measurement —
+    // tiled block passes plus a row-major packed bit pass, at the
+    // auto-detected SIMD level.
+    let auto_level = SimdLevel::detect();
     let composite_results = [
         best_of(attempts, score, || {
             time_kernel("session_lpn_naive", kernel_iters, 3 * gathers, || {
@@ -339,6 +492,35 @@ fn main() {
                 },
             )
         }),
+        best_of(attempts, score, || {
+            time_kernel("session_lpn_split", kernel_iters, 3 * gathers, || {
+                simd::encode_blocks_tiled(auto_level, tiles, &input_blocks, &mut acc_blocks);
+                match auto_level {
+                    SimdLevel::Wide => simd::encode_cot_pair(
+                        auto_level,
+                        &matrix,
+                        &input_blocks,
+                        &input_packed,
+                        &mut acc_blocks,
+                        &mut acc_packed,
+                    ),
+                    SimdLevel::Scalar => {
+                        simd::encode_blocks_tiled(
+                            auto_level,
+                            tiles,
+                            &input_blocks,
+                            &mut acc_blocks,
+                        );
+                        simd::encode_bits_packed(
+                            auto_level,
+                            &matrix,
+                            &input_packed,
+                            &mut acc_packed,
+                        );
+                    }
+                }
+            })
+        }),
     ];
 
     // Raw single-session extend: the same code path a pipelined pool
@@ -350,7 +532,11 @@ fn main() {
         ..FerretConfig::new(heavy)
     };
     let rec_cfg = FerretConfig::recommended(heavy);
-    assert_eq!(rec_cfg.kernel, LpnKernel::Tiled, "2^20-class k must tile");
+    assert_eq!(
+        rec_cfg.kernel,
+        LpnKernel::Split,
+        "2^20-class k must pick the measured split kernel"
+    );
     let extend_batches = if quick { 3 } else { 6 };
     let extend_score = ExtendResult::cots_per_sec;
     let extends = [
@@ -361,6 +547,32 @@ fn main() {
             bench_extend("extend_recommended", &rec_cfg, extend_batches)
         }),
     ];
+
+    // Shared-matrix spawn costs: the same recommended config, once
+    // building its matrix at spawn (the pre-sharing behavior: every
+    // session pays generation + schedule) and once carrying the
+    // Arc-shared prebuilt matrix (what `SharedCotPool` now hands every
+    // shard). Spawn-to-first-batch is the latency a fleet pays per
+    // shard; the generation counter makes the sharing observable.
+    let gen_before = LpnMatrix::generated_count();
+    let t = Instant::now();
+    let session = CotSession::spawn(&rec_cfg, 909, 2);
+    session.recv().expect("session alive");
+    let spawn_unshared_secs = t.elapsed().as_secs_f64();
+    drop(session);
+    let generations_unshared = LpnMatrix::generated_count() - gen_before;
+
+    let mut shared_cfg = rec_cfg.clone();
+    let t = Instant::now();
+    let matrix_bytes = shared_cfg.ensure_shared_matrix().working_set_bytes();
+    let matrix_build_secs = t.elapsed().as_secs_f64();
+    let gen_before = LpnMatrix::generated_count();
+    let t = Instant::now();
+    let session = CotSession::spawn(&shared_cfg, 910, 2);
+    session.recv().expect("session alive");
+    let spawn_shared_secs = t.elapsed().as_secs_f64();
+    drop(session);
+    let generations_shared = LpnMatrix::generated_count() - gen_before;
 
     header(
         "LPN kernels, OT_2POW20-class (gathers/s)",
@@ -379,6 +591,15 @@ fn main() {
     };
     print_group(&block_results, block_results[0].gathers_per_sec());
     print_group(&bit_results, bit_results[0].gathers_per_sec());
+    header(
+        &format!("simd dispatch head-to-head (detected: {auto_level:?})"),
+        &["kernel", "gathers", "secs", "gathers/s", "vs naive"],
+    );
+    print_group(&simd_results, block_results[0].gathers_per_sec());
+    header(
+        "session LPN composites",
+        &["kernel", "gathers", "secs", "gathers/s", "vs naive"],
+    );
     print_group(&composite_results, composite_results[0].gathers_per_sec());
 
     header(
@@ -396,20 +617,35 @@ fn main() {
 
     let tiled_packed_speedup =
         composite_results[1].gathers_per_sec() / composite_results[0].gathers_per_sec();
+    let split_speedup =
+        composite_results[2].gathers_per_sec() / composite_results[0].gathers_per_sec();
     let extend_speedup = extends[1].cots_per_sec() / extends[0].cots_per_sec();
     println!(
         "\nsession LPN tiled+packed vs naive: {}",
         times(tiled_packed_speedup)
     );
+    println!("session LPN split vs naive: {}", times(split_speedup));
     println!("extend recommended vs naive: {}", times(extend_speedup));
+    println!(
+        "spawn-to-first-batch: unshared {spawn_unshared_secs:.2}s \
+         ({generations_unshared} matrix generations) vs shared \
+         {spawn_shared_secs:.2}s ({generations_shared}); one-time shared \
+         build {matrix_build_secs:.2}s, matrix working set {matrix_bytes} B"
+    );
 
     let mut json = String::from("{\n  \"bench\": \"extension\",\n");
     json.push_str(&format!(
-        "  \"quick\": {quick},\n  \"params\": {{\"n\": {n}, \"k\": {k}, \"d\": {d}}},\n"
+        "  \"quick\": {quick},\n  \"simd_level\": \"{auto_level:?}\",\n  \"params\": {{\"n\": {n}, \"k\": {k}, \"d\": {d}}},\n"
     ));
     json.push_str(&format!(
-        "  \"tiled_packed_speedup\": {tiled_packed_speedup:.3},\n  \"extend_speedup\": {extend_speedup:.3},\n  \"extends\": [\n"
+        "  \"tiled_packed_speedup\": {tiled_packed_speedup:.3},\n  \"split_speedup\": {split_speedup:.3},\n  \"extend_speedup\": {extend_speedup:.3},\n"
     ));
+    json.push_str(&format!(
+        "  \"shared_matrix\": {{\"matrix_build_secs\": {matrix_build_secs:.3}, \"matrix_bytes\": {matrix_bytes}, \
+         \"spawn_unshared_secs\": {spawn_unshared_secs:.3}, \"spawn_shared_secs\": {spawn_shared_secs:.3}, \
+         \"generations_unshared\": {generations_unshared}, \"generations_shared\": {generations_shared}}},\n"
+    ));
+    json.push_str("  \"extends\": [\n");
     for (i, r) in extends.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"cots\": {}, \"secs\": {:.6}, \"cots_per_sec\": {:.1}}}{}\n",
@@ -424,6 +660,7 @@ fn main() {
     let all: Vec<&KernelResult> = block_results
         .iter()
         .chain(&bit_results)
+        .chain(&simd_results)
         .chain(&composite_results)
         .collect();
     for (i, r) in all.iter().enumerate() {

@@ -88,6 +88,17 @@ impl Engine {
         &self.cfg
     }
 
+    /// Prebuilds the config's shared LPN matrix (a no-op if already
+    /// present) so every session spawned from this engine — and from its
+    /// clones, e.g. one per pool shard — reuses a single allocation
+    /// instead of regenerating per party thread. Deliberately **not**
+    /// done in [`Engine::new`]: the model-only estimation path
+    /// ([`Engine::estimate_timing`]) never touches the matrix, and
+    /// parameter sweeps construct many engines.
+    pub fn prepare_shared_matrix(&mut self) {
+        self.cfg.ensure_shared_matrix();
+    }
+
     /// The per-execution workload in backend-agnostic units.
     pub fn workload(&self) -> OteWorkload {
         let p = self.cfg.params;

@@ -203,7 +203,10 @@ impl CotPool {
     /// [`CotPool::new`] recording into caller-provided telemetry sinks
     /// (a sharded pool shares one set per shard so the serving layer
     /// can snapshot latencies without locking the shard).
-    pub fn new_with(engine: Engine, seed: u64, telemetry: SessionTelemetry) -> Self {
+    pub fn new_with(mut engine: Engine, seed: u64, telemetry: SessionTelemetry) -> Self {
+        // Inline refills bootstrap a fresh session each time; prebuild
+        // the matrix once so refills only pay for protocol work.
+        engine.prepare_shared_matrix();
         CotPool {
             engine,
             seed,
@@ -235,7 +238,10 @@ impl CotPool {
     /// sinks, shared with the session's party threads (extension
     /// durations and their SPCOT/LPN phase split come from the session;
     /// stalls and refill events from the drain path).
-    pub fn pipelined_with(engine: Engine, seed: u64, telemetry: SessionTelemetry) -> Self {
+    pub fn pipelined_with(mut engine: Engine, seed: u64, telemetry: SessionTelemetry) -> Self {
+        // One matrix for the session's two party threads (and zero new
+        // allocations when a shard pool already prebuilt it).
+        engine.prepare_shared_matrix();
         let session =
             CotSession::spawn_with(engine.config(), seed, SESSION_LOOKAHEAD, telemetry.clone());
         let delta = session.delta();

@@ -97,6 +97,13 @@ impl SharedCotPool {
 
     fn build(engine: &Engine, shards: usize, seed: u64, pipelined: bool) -> Self {
         assert!(shards > 0, "need at least one shard");
+        // Generate the LPN matrix exactly once here; every shard's
+        // engine clone (and both party threads inside each shard's
+        // session) then shares the one `Arc` — N shards would otherwise
+        // pay 2N generations, the dominant spawn cost at Table-4 scale.
+        let mut engine = engine.clone();
+        engine.prepare_shared_matrix();
+        let engine = &engine;
         let telemetry: Vec<SessionTelemetry> =
             (0..shards).map(|_| SessionTelemetry::default()).collect();
         let shards = telemetry

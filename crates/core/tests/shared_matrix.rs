@@ -1,0 +1,68 @@
+//! Matrix-sharing accounting: N shards (2N party threads) must generate
+//! **one** LPN matrix, not 2N.
+//!
+//! This file deliberately holds a single `#[test]` so it compiles to a
+//! test binary with no concurrent tests: [`LpnMatrix::generated_count`]
+//! is a process-global counter, and any test generating a matrix in
+//! parallel would race the deltas asserted here.
+
+use ironman_core::{Backend, CotPool, Engine, SharedCotPool};
+use ironman_lpn::LpnMatrix;
+use ironman_ot::ferret::FerretConfig;
+use ironman_ot::params::FerretParams;
+
+#[test]
+fn n_shards_generate_one_matrix() {
+    let engine = Engine::new(
+        FerretConfig::new(FerretParams::toy()),
+        Backend::ironman_default(),
+    );
+
+    // Engine construction is matrix-free (estimation sweeps build many
+    // engines and never touch the matrix).
+    assert_eq!(LpnMatrix::generated_count(), 0);
+
+    // 3 pipelined shards = 6 party threads + 3 shard pools: one generate.
+    let before = LpnMatrix::generated_count();
+    let pool = SharedCotPool::new_pipelined(&engine, 3, 11);
+    pool.take(64).verify().unwrap();
+    assert_eq!(
+        LpnMatrix::generated_count() - before,
+        1,
+        "3 pipelined shards must share one generated matrix"
+    );
+
+    // Inline shards bootstrap a fresh session per refill; the prebuilt
+    // matrix must survive across refills too.
+    let before = LpnMatrix::generated_count();
+    let inline = SharedCotPool::new(&engine, 2, 12);
+    for _ in 0..3 {
+        inline.take(inline.max_request()).verify().unwrap();
+    }
+    assert_eq!(
+        LpnMatrix::generated_count() - before,
+        1,
+        "inline shards and their refills must share one matrix"
+    );
+
+    // A single pipelined pool still generates exactly once for its two
+    // party threads (the per-session dedup, without shard pre-sharing).
+    let before = LpnMatrix::generated_count();
+    let single = CotPool::pipelined(engine.clone(), 13);
+    drop(single);
+    assert_eq!(LpnMatrix::generated_count() - before, 1);
+
+    // An engine whose config already carries the shared matrix spawns
+    // pools with zero fresh generations.
+    let before = LpnMatrix::generated_count();
+    let mut prepared = engine.clone();
+    prepared.prepare_shared_matrix();
+    assert_eq!(LpnMatrix::generated_count() - before, 1);
+    let pool = SharedCotPool::new_pipelined(&prepared, 2, 14);
+    pool.take(64).verify().unwrap();
+    assert_eq!(
+        LpnMatrix::generated_count() - before,
+        1,
+        "a prepared engine must add no generations at spawn time"
+    );
+}

@@ -21,6 +21,7 @@
 use crate::bits::PackedBits;
 use crate::LpnMatrix;
 use ironman_prg::Block;
+use std::marker::PhantomData;
 use std::ops::BitXorAssign;
 
 /// One gather-XOR lane: an input vector indexed by column, an accumulator
@@ -42,6 +43,13 @@ pub trait XorLane {
             self.xor_gather(row, c as usize);
         }
     }
+
+    /// Hints that `cols` will be gathered shortly (a later row's column
+    /// list, handed down by the row-major driver's lookahead):
+    /// implementations may issue cache prefetches for `input[c]`. The
+    /// default is no hint — scalar lanes compile it away entirely.
+    #[inline]
+    fn prefetch_cols(&self, _cols: &[u32]) {}
 
     /// Bucket-batched form, driven by [`crate::tile::TileSchedule`]:
     /// every entry packs `(local_row << col_bits) | local_col` relative
@@ -107,41 +115,80 @@ const BIT_MASK: [u64; 64] = {
     m
 };
 
-/// Tests bit `col` of a packed word slice: one word load plus one mask
-/// load (64-entry table, a pair of L1 lines) and an AND. The table
-/// lookup replaces a variable shift, which baseline x86-64 serializes
-/// through the shift-count register.
-#[inline(always)]
-fn packed_bit(words: &[u64], col: usize) -> bool {
-    words[col >> 6] & BIT_MASK[col & 63] != 0
+/// How a packed lane tests one bit of its input words — the only
+/// instruction-selection difference between the scalar and wide packed
+/// kernels, factored out so every lane exists once for both.
+pub trait BitProbe {
+    /// Bit `col` of `words` (LSB-first packing, as [`PackedBits`]).
+    fn bit(words: &[u64], col: usize) -> bool;
+}
+
+/// Mask-table bit test: one word load plus one mask load (64-entry
+/// table, a pair of L1 lines) and an AND. The table lookup replaces a
+/// variable shift, which baseline x86-64 serializes through the
+/// shift-count register — the right trade *without* BMI2.
+pub struct TableProbe;
+
+impl BitProbe for TableProbe {
+    #[inline(always)]
+    fn bit(words: &[u64], col: usize) -> bool {
+        words[col >> 6] & BIT_MASK[col & 63] != 0
+    }
+}
+
+/// Variable-shift bit test: `(word >> (col & 63)) & 1`. Loses to the
+/// mask table on baseline x86-64 (shift-count serialization) but wins
+/// once BMI2 is enabled, where it compiles to a single `SHRX` with no
+/// table traffic — the probe the [`crate::simd`] wide kernels
+/// instantiate.
+pub struct ShiftProbe;
+
+impl BitProbe for ShiftProbe {
+    #[inline(always)]
+    fn bit(words: &[u64], col: usize) -> bool {
+        (words[col >> 6] >> (col & 63)) & 1 != 0
+    }
 }
 
 /// The packed-bit lane: input and accumulator are [`PackedBits`] words,
 /// so the `k`-bit input window is 8× smaller than its `bool` twin
-/// (L1-resident at Table-4 scale).
-pub struct PackedLane<'a> {
+/// (L1-resident at Table-4 scale). Generic over the [`BitProbe`]
+/// (defaulting to the baseline-friendly mask table).
+pub struct PackedLane<'a, P: BitProbe = TableProbe> {
     input: &'a PackedBits,
     acc: &'a mut PackedBits,
+    _probe: PhantomData<P>,
 }
 
-impl<'a> PackedLane<'a> {
-    /// Borrows the input/accumulator pair.
+impl<'a> PackedLane<'a, TableProbe> {
+    /// Borrows the input/accumulator pair (mask-table probe).
     pub fn new(input: &'a PackedBits, acc: &'a mut PackedBits) -> Self {
-        PackedLane { input, acc }
+        PackedLane::with_probe(input, acc)
     }
 }
 
-impl XorLane for PackedLane<'_> {
+impl<'a, P: BitProbe> PackedLane<'a, P> {
+    /// Borrows the input/accumulator pair with an explicit probe.
+    pub fn with_probe(input: &'a PackedBits, acc: &'a mut PackedBits) -> Self {
+        PackedLane {
+            input,
+            acc,
+            _probe: PhantomData,
+        }
+    }
+}
+
+impl<P: BitProbe> XorLane for PackedLane<'_, P> {
     #[inline(always)]
     fn xor_gather(&mut self, row: usize, col: usize) {
-        let b = packed_bit(self.input.words(), col);
+        let b = P::bit(self.input.words(), col);
         self.acc.xor_bit(row, b);
     }
 
     #[inline(always)]
     fn xor_gather_row(&mut self, row: usize, cols: &[u32]) {
         let words = self.input.words();
-        self.acc.xor_bit(row, row_parity(words, cols));
+        self.acc.xor_bit(row, row_parity::<P>(words, cols));
     }
 
     #[inline(always)]
@@ -157,8 +204,91 @@ impl XorLane for PackedLane<'_> {
         let mut pending = PendingWord::at(row_base);
         for &e in entries {
             let row = row_base + (e >> col_bits) as usize;
-            let b = packed_bit(words, col_base + (e & mask) as usize);
+            let b = P::bit(words, col_base + (e & mask) as usize);
             pending.xor_bit(self.acc, row, b);
+        }
+        pending.flush(self.acc);
+    }
+}
+
+/// The skip-zero packed lane: identical algebra to [`PackedLane`], but
+/// each gather *tests* the input bit and only touches the accumulator
+/// when it is set. Roughly half of a pseudorandom `e`'s bits are zero,
+/// so half the accumulator XORs disappear — at the price of one
+/// 50/50 data-dependent branch per gather, which is exactly the kind a
+/// predictor cannot learn. Benched head-to-head against the branchless
+/// lane in `BENCH_extension.json`; the branch predictability depends on
+/// the traversal layout (the tiled bucket order revisits the same input
+/// window, the row-major order does not), which is why both layouts get
+/// a bench row.
+pub struct SkipZeroPackedLane<'a, P: BitProbe = TableProbe> {
+    input: &'a PackedBits,
+    acc: &'a mut PackedBits,
+    _probe: PhantomData<P>,
+}
+
+impl<'a> SkipZeroPackedLane<'a, TableProbe> {
+    /// Borrows the input/accumulator pair (mask-table probe).
+    pub fn new(input: &'a PackedBits, acc: &'a mut PackedBits) -> Self {
+        SkipZeroPackedLane::with_probe(input, acc)
+    }
+}
+
+impl<'a, P: BitProbe> SkipZeroPackedLane<'a, P> {
+    /// Borrows the input/accumulator pair with an explicit probe.
+    pub fn with_probe(input: &'a PackedBits, acc: &'a mut PackedBits) -> Self {
+        SkipZeroPackedLane {
+            input,
+            acc,
+            _probe: PhantomData,
+        }
+    }
+}
+
+impl<P: BitProbe> XorLane for SkipZeroPackedLane<'_, P> {
+    #[inline(always)]
+    fn xor_gather(&mut self, row: usize, col: usize) {
+        if P::bit(self.input.words(), col) {
+            self.acc.xor_bit(row, true);
+        }
+    }
+
+    #[inline(always)]
+    fn xor_gather_row(&mut self, row: usize, cols: &[u32]) {
+        // Count set bits with branches (the skip under test), touch the
+        // accumulator only for odd parity.
+        let words = self.input.words();
+        let mut parity = false;
+        for &c in cols {
+            if P::bit(words, c as usize) {
+                parity = !parity;
+            }
+        }
+        if parity {
+            self.acc.xor_bit(row, true);
+        }
+    }
+
+    #[inline(always)]
+    fn xor_gather_bucket(
+        &mut self,
+        row_base: usize,
+        col_base: usize,
+        col_bits: u32,
+        entries: &[u32],
+    ) {
+        let mask = (1u32 << col_bits) - 1;
+        let words = self.input.words();
+        let mut pending = PendingWord::at(row_base);
+        for &e in entries {
+            let col = col_base + (e & mask) as usize;
+            // Zero input bits skip the pending-word update entirely;
+            // the word-change write-back below still triggers on the
+            // next *set* bit, so skipped rows cost nothing.
+            if P::bit(words, col) {
+                let row = row_base + (e >> col_bits) as usize;
+                pending.xor_bit(self.acc, row, true);
+            }
         }
         pending.flush(self.acc);
     }
@@ -170,14 +300,14 @@ impl XorLane for PackedLane<'_> {
 /// write-back branch is rare and well predicted. Correct for *any* row
 /// order (each word change writes back), ascending order is only what
 /// makes it fast.
-struct PendingWord {
+pub(crate) struct PendingWord {
     bits: u64,
     idx: usize,
 }
 
 impl PendingWord {
     #[inline(always)]
-    fn at(row: usize) -> Self {
+    pub(crate) fn at(row: usize) -> Self {
         PendingWord {
             bits: 0,
             idx: row >> 6,
@@ -185,7 +315,7 @@ impl PendingWord {
     }
 
     #[inline(always)]
-    fn xor_bit(&mut self, acc: &mut PackedBits, row: usize, b: bool) {
+    pub(crate) fn xor_bit(&mut self, acc: &mut PackedBits, row: usize, b: bool) {
         let idx = row >> 6;
         if idx != self.idx {
             acc.xor_word(self.idx, self.bits);
@@ -196,7 +326,7 @@ impl PendingWord {
     }
 
     #[inline(always)]
-    fn flush(self, acc: &mut PackedBits) {
+    pub(crate) fn flush(self, acc: &mut PackedBits) {
         acc.xor_word(self.idx, self.bits);
     }
 }
@@ -204,16 +334,16 @@ impl PendingWord {
 /// Two-lane parity of `cols`' bits in `words` — short XOR chains, no
 /// accumulator traffic.
 #[inline(always)]
-fn row_parity(words: &[u64], cols: &[u32]) -> bool {
+fn row_parity<P: BitProbe>(words: &[u64], cols: &[u32]) -> bool {
     let mut even = false;
     let mut odd = false;
     let mut pairs = cols.chunks_exact(2);
     for pair in &mut pairs {
-        even ^= packed_bit(words, pair[0] as usize);
-        odd ^= packed_bit(words, pair[1] as usize);
+        even ^= P::bit(words, pair[0] as usize);
+        odd ^= P::bit(words, pair[1] as usize);
     }
     for &c in pairs.remainder() {
-        even ^= packed_bit(words, c as usize);
+        even ^= P::bit(words, c as usize);
     }
     even ^ odd
 }
@@ -224,14 +354,15 @@ fn row_parity(words: &[u64], cols: &[u32]) -> bool {
 /// gather address per entry. The bit half rides almost free on the
 /// block gathers: its input is an L1-resident packed word away from the
 /// block element just fetched.
-pub struct CotPairLane<'a> {
+pub struct CotPairLane<'a, P: BitProbe = TableProbe> {
     s: &'a [Block],
     e: &'a PackedBits,
     y: &'a mut [Block],
     x: &'a mut PackedBits,
+    _probe: PhantomData<P>,
 }
 
-impl<'a> CotPairLane<'a> {
+impl<'a> CotPairLane<'a, TableProbe> {
     /// Borrows the receiver's two input/accumulator pairs.
     pub fn new(
         s: &'a [Block],
@@ -239,16 +370,35 @@ impl<'a> CotPairLane<'a> {
         y: &'a mut [Block],
         x: &'a mut PackedBits,
     ) -> Self {
-        CotPairLane { s, e, y, x }
+        CotPairLane::with_probe(s, e, y, x)
     }
 }
 
-impl XorLane for CotPairLane<'_> {
+impl<'a, P: BitProbe> CotPairLane<'a, P> {
+    /// Borrows the receiver's two input/accumulator pairs with an
+    /// explicit probe.
+    pub fn with_probe(
+        s: &'a [Block],
+        e: &'a PackedBits,
+        y: &'a mut [Block],
+        x: &'a mut PackedBits,
+    ) -> Self {
+        CotPairLane {
+            s,
+            e,
+            y,
+            x,
+            _probe: PhantomData,
+        }
+    }
+}
+
+impl<P: BitProbe> XorLane for CotPairLane<'_, P> {
     #[inline(always)]
     fn xor_gather(&mut self, row: usize, col: usize) {
         let v = self.s[col];
         self.y[row] ^= v;
-        self.x.xor_bit(row, packed_bit(self.e.words(), col));
+        self.x.xor_bit(row, P::bit(self.e.words(), col));
     }
 
     #[inline(always)]
@@ -259,7 +409,7 @@ impl XorLane for CotPairLane<'_> {
             v ^= self.s[c as usize];
         }
         self.y[row] = v;
-        self.x.xor_bit(row, row_parity(words, cols));
+        self.x.xor_bit(row, row_parity::<P>(words, cols));
     }
 
     #[inline(always)]
@@ -281,7 +431,7 @@ impl XorLane for CotPairLane<'_> {
             let col = col_base + (en & mask) as usize;
             let v = self.s[col];
             self.y[row] ^= v;
-            pending.xor_bit(self.x, row, packed_bit(words, col));
+            pending.xor_bit(self.x, row, P::bit(words, col));
         }
         pending.flush(self.x);
     }
@@ -314,7 +464,17 @@ impl<L: XorLane> XorLane for RowMappedLane<'_, L> {
 /// columns. Sequential on the accumulator, random on the input — the
 /// access pattern of Fig. 1(c) that the tile schedule reorders.
 pub fn encode_rows(matrix: &LpnMatrix, lane: &mut impl XorLane) {
-    for j in 0..matrix.rows() {
+    // Row lookahead: at 2^20-class k the input vector outruns L2, so
+    // the irregular `input[col]` reads miss unless requested ahead of
+    // use. Eight rows ≈ 80 gathers of flight time, far enough to cover
+    // DRAM latency without evicting lines before they are consumed;
+    // scalar lanes keep the default no-op hint and lose nothing.
+    const LOOKAHEAD: usize = 8;
+    let rows = matrix.rows();
+    for j in 0..rows {
+        if let Some(ahead) = (j + LOOKAHEAD < rows).then(|| matrix.row(j + LOOKAHEAD)) {
+            lane.prefetch_cols(ahead);
+        }
         lane.xor_gather_row(j, matrix.row(j));
     }
 }
@@ -351,6 +511,19 @@ pub fn encode_bits_packed(matrix: &LpnMatrix, input: &PackedBits, acc: &mut Pack
     assert_eq!(input.len(), matrix.cols(), "input length must equal k");
     assert_eq!(acc.len(), matrix.rows(), "accumulator length must equal n");
     encode_rows(matrix, &mut PackedLane::new(input, acc));
+}
+
+/// Skip-zero variant of [`encode_bits_packed`]: tests each input bit and
+/// only accumulates the set ones (see [`SkipZeroPackedLane`] for the
+/// branch-prediction trade). Bit-identical output to the branchless lane.
+///
+/// # Panics
+///
+/// Panics if lengths do not match the matrix dimensions.
+pub fn encode_bits_packed_skipzero(matrix: &LpnMatrix, input: &PackedBits, acc: &mut PackedBits) {
+    assert_eq!(input.len(), matrix.cols(), "input length must equal k");
+    assert_eq!(acc.len(), matrix.rows(), "accumulator length must equal n");
+    encode_rows(matrix, &mut SkipZeroPackedLane::new(input, acc));
 }
 
 /// Fused receiver encode (row-major): one pass computing

@@ -11,7 +11,13 @@
 use crate::tile::{TileConfig, TileSchedule};
 use ironman_prg::{Aes128, Block};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// Process-wide count of [`LpnMatrix::generate`] calls — the observable
+/// the matrix-sharing tests assert on (N shards sharing one prebuilt
+/// matrix must bump this once, not N times). Monotonic; never reset.
+static GENERATION_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// A fixed `n × k` sparse binary matrix with `d` nonzeros per row.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -49,6 +55,16 @@ impl LpnMatrix {
     /// Panics if `weight > cols`, `cols == 0`, `rows == 0`, or
     /// `cols > u32::MAX as usize`.
     pub fn generate(rows: usize, cols: usize, weight: usize, seed: Block) -> Self {
+        GENERATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        Self::generate_untracked(rows, cols, weight, seed)
+    }
+
+    /// [`LpnMatrix::generate`] without bumping
+    /// [`LpnMatrix::generated_count`] — for model-side trace *sampling*
+    /// (the NMP simulator generates small throwaway matrices per timing
+    /// estimate), which would otherwise drown the session-spawn
+    /// observable the counter exists for.
+    pub fn generate_untracked(rows: usize, cols: usize, weight: usize, seed: Block) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
         assert!(
             weight <= cols,
@@ -159,6 +175,14 @@ impl LpnMatrix {
     /// defeating CPU caches.
     pub fn working_set_bytes(&self) -> u64 {
         (self.colidx.len() * std::mem::size_of::<u32>()) as u64 + (self.cols * Block::BYTES) as u64
+    }
+
+    /// How many times [`LpnMatrix::generate`] has run in this process.
+    /// Matrix generation at Table-4 scale is the dominant session-spawn
+    /// cost, so shard pools that `Arc`-share one prebuilt matrix assert
+    /// with this counter that spawning N shards generated one matrix.
+    pub fn generated_count() -> u64 {
+        GENERATION_COUNT.load(Ordering::Relaxed)
     }
 }
 

@@ -1,13 +1,19 @@
 //! Kernel-equivalence properties: every LPN kernel variant — row-major
 //! naive, cache-blocked tiled (arbitrary geometries), §5.3-sorted,
-//! sorted+tiled, packed bits, and the fused receiver pair — computes the
-//! same GF(2)/GF(2^128) product, onto dirty accumulators, across
-//! matrix shapes including the `toy()` and `OT_2POW20` parameter
-//! classes.
+//! sorted+tiled, packed bits, the fused receiver pair, the skip-zero
+//! probe lanes, and the whole [`ironman_lpn::simd`] dispatch layer at
+//! every runtime-available SIMD level (scalar always; AVX2/BMI2 where
+//! the host has it) — computes the same GF(2)/GF(2^128) product, onto
+//! dirty accumulators, across matrix shapes including the `toy()` and
+//! `OT_2POW20` parameter classes. Iterating `SimdLevel::available()`
+//! covers both the forced-scalar and auto-detected dispatch outcomes
+//! without racing on the `IRONMAN_SIMD` process environment.
 
 use ironman_lpn::encoder;
 use ironman_lpn::sorting::{SortConfig, SortStrategy};
-use ironman_lpn::{LpnMatrix, PackedBits, SortedLpnMatrix, TileConfig, TileSchedule};
+use ironman_lpn::{
+    simd, LpnMatrix, PackedBits, SimdLevel, SortedLpnMatrix, TileConfig, TileSchedule,
+};
 use ironman_prg::Block;
 use proptest::prelude::*;
 
@@ -73,6 +79,47 @@ fn assert_all_kernels_equal(m: &LpnMatrix, tile_cfg: TileConfig, sort_cfg: SortC
     tiles.encode_cot_pair(&s, &e_packed, &mut y, &mut x);
     assert_eq!(y, y_ref, "fused tiled blocks");
     assert_eq!(x.to_bools(), x_ref, "fused tiled bits");
+
+    // The simd dispatch layer: every entry point × every level the host
+    // can actually run (Scalar everywhere; Wide on AVX2+BMI2 machines),
+    // including both skip-zero probe lanes.
+    for &level in SimdLevel::available() {
+        let mut y = dirty_blocks.clone();
+        simd::encode_blocks(level, m, &s, &mut y);
+        assert_eq!(y, y_ref, "simd blocks ({level:?})");
+        let mut y = dirty_blocks.clone();
+        simd::encode_blocks_tiled(level, &tiles, &s, &mut y);
+        assert_eq!(y, y_ref, "simd tiled blocks ({level:?})");
+
+        let mut x = PackedBits::from_bools(&dirty_bits);
+        simd::encode_bits_packed(level, m, &e_packed, &mut x);
+        assert_eq!(x.to_bools(), x_ref, "simd packed bits ({level:?})");
+        let mut x = PackedBits::from_bools(&dirty_bits);
+        simd::encode_bits_packed_tiled(level, &tiles, &e_packed, &mut x);
+        assert_eq!(x.to_bools(), x_ref, "simd tiled packed bits ({level:?})");
+
+        let mut x = PackedBits::from_bools(&dirty_bits);
+        simd::encode_bits_packed_skipzero(level, m, &e_packed, &mut x);
+        assert_eq!(x.to_bools(), x_ref, "skip-zero packed bits ({level:?})");
+        let mut x = PackedBits::from_bools(&dirty_bits);
+        simd::encode_bits_packed_skipzero_tiled(level, &tiles, &e_packed, &mut x);
+        assert_eq!(
+            x.to_bools(),
+            x_ref,
+            "skip-zero tiled packed bits ({level:?})"
+        );
+
+        let mut y = dirty_blocks.clone();
+        let mut x = PackedBits::from_bools(&dirty_bits);
+        simd::encode_cot_pair(level, m, &s, &e_packed, &mut y, &mut x);
+        assert_eq!(y, y_ref, "simd fused blocks ({level:?})");
+        assert_eq!(x.to_bools(), x_ref, "simd fused bits ({level:?})");
+        let mut y = dirty_blocks.clone();
+        let mut x = PackedBits::from_bools(&dirty_bits);
+        simd::encode_cot_pair_tiled(level, &tiles, &s, &e_packed, &mut y, &mut x);
+        assert_eq!(y, y_ref, "simd fused tiled blocks ({level:?})");
+        assert_eq!(x.to_bools(), x_ref, "simd fused tiled bits ({level:?})");
+    }
 
     // Sorted, sorted+tiled, sorted packed, sorted fused.
     for strategy in [SortStrategy::ColumnOnly, SortStrategy::Full] {

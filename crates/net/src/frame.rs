@@ -208,6 +208,38 @@ pub fn finish_frame(buf: &mut [u8]) -> Result<(), FrameError> {
     Ok(())
 }
 
+/// Completes a frame started with [`begin_frame`] whose payload
+/// *continues beyond* `head` in separately owned slices (a vectored
+/// send): patches the length prefix to `head`'s payload plus `tail_len`
+/// upcoming bytes. The caller then hands `head` and the tail slices to
+/// `StreamTransport::send_frame_parts`, which puts them on the wire with
+/// one `write_vectored` — no concatenation buffer.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] when the combined payload exceeds
+/// [`MAX_FRAME_LEN`].
+///
+/// # Panics
+///
+/// Panics if `head` is shorter than the reserved prefix (i.e. it was not
+/// started with [`begin_frame`]).
+pub fn finish_frame_with_tail(head: &mut [u8], tail_len: usize) -> Result<(), FrameError> {
+    let payload_len = head
+        .len()
+        .checked_sub(FRAME_HEADER_LEN)
+        .expect("frame started with begin_frame")
+        .checked_add(tail_len)
+        .ok_or(FrameError::Oversized { len: u32::MAX })?;
+    if payload_len > MAX_FRAME_LEN as usize {
+        return Err(FrameError::Oversized {
+            len: payload_len.min(u32::MAX as usize) as u32,
+        });
+    }
+    head[..FRAME_HEADER_LEN].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(())
+}
+
 /// Reads one frame's payload into a caller-retained buffer (blocking),
 /// reusing its allocation — the buffer-reusing form of [`read_frame`].
 /// On success `buf` holds exactly the payload.
@@ -304,6 +336,41 @@ mod tests {
         buf.extend_from_slice(&payload);
         finish_frame(&mut buf).unwrap();
         assert_eq!(buf, encode_frame(&payload));
+    }
+
+    #[test]
+    fn tail_finished_frame_matches_contiguous_header() {
+        let payload = b"head-bytes then tail-bytes".to_vec();
+        let split = 10;
+        let mut whole = Vec::new();
+        begin_frame(&mut whole);
+        whole.extend_from_slice(&payload);
+        finish_frame(&mut whole).unwrap();
+
+        let mut head = Vec::new();
+        begin_frame(&mut head);
+        head.extend_from_slice(&payload[..split]);
+        finish_frame_with_tail(&mut head, payload.len() - split).unwrap();
+        // The prefix declares head payload *plus* the upcoming tail, so
+        // concatenating head + tail reproduces the contiguous frame.
+        assert_eq!(head[..FRAME_HEADER_LEN], whole[..FRAME_HEADER_LEN]);
+        let mut glued = head.clone();
+        glued.extend_from_slice(&payload[split..]);
+        assert_eq!(glued, whole);
+    }
+
+    #[test]
+    fn tail_finished_frame_rejects_oversize() {
+        let mut head = Vec::new();
+        begin_frame(&mut head);
+        assert!(matches!(
+            finish_frame_with_tail(&mut head, MAX_FRAME_LEN as usize + 1),
+            Err(FrameError::Oversized { .. })
+        ));
+        assert!(matches!(
+            finish_frame_with_tail(&mut head, usize::MAX),
+            Err(FrameError::Oversized { .. })
+        ));
     }
 
     #[test]

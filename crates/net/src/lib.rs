@@ -40,16 +40,27 @@
 //!    epoch resync)
 //! ```
 //!
-//! # The hot path: buffer-reuse contract
+//! # The hot path: the vectored-write contract
 //!
-//! Correlation payloads cross this crate **copied exactly once** between
-//! pool storage and the socket write. On the server, a request borrows
-//! the pool shard's ring as a
+//! Correlation payloads cross this crate with **zero serialization
+//! copies** of their bulk: a request borrows the pool shard's ring as a
 //! [`CotSlice`](ironman_core::CotSlice) ([`SharedCotPool::take_with`](ironman_core::SharedCotPool::take_with))
-//! and [`proto::encode_cot_batch_into`] serializes it straight into a
-//! per-session *scratch frame buffer* whose length prefix was reserved by
-//! [`frame::begin_frame`]; [`StreamTransport::send_frame`] then hands the
-//! finished frame to the kernel with one `write_all`. On the client,
+//! and the server scatter-gathers the response onto the socket with one
+//! `write_vectored` loop ([`StreamTransport::send_frame_parts`]). The
+//! frame is split into four parts — a fixed-size *head* (length prefix
+//! reserved by [`frame::begin_frame`], opcode, `delta`, `n`), the `z`
+//! and `y` block runs **aliased straight from pool storage** (on
+//! little-endian targets [`Block::wire_bytes`](ironman_prg::Block::wire_bytes)
+//! is a pointer cast), and a *tail* of packed choice bits — by
+//! [`proto::encode_cot_batch_split`], then
+//! [`frame::finish_frame_with_tail`] patches the length prefix to cover
+//! all four. The bytes on the wire are **identical** to the contiguous
+//! [`proto::encode_cot_batch_into`] + [`StreamTransport::send_frame`]
+//! path (which control responses still use); only the number of copies
+//! differs. Because the gather references the ring, the write happens
+//! while the shard's take is still borrowed — i.e. under the shard
+//! lock; the lock-stealing router keeps concurrent clients on other
+//! shards meanwhile. On the client,
 //! [`CotClient::request_cots_into`] / `CotSubscription::next_chunk_into`
 //! receive into a retained frame buffer and decode into a caller-retained
 //! [`CotBatch`](ironman_core::CotBatch), reusing its allocations.
@@ -57,11 +68,11 @@
 //! Ownership rules:
 //!
 //! * **Server scratch buffers** belong to the session thread. Each
-//!   session keeps *two*, used alternately, so the frame most recently
-//!   handed to the kernel stays intact while the next response (chunk
-//!   `n + 1` of a subscription) is encoded into the other buffer. A
-//!   buffer may be reused the moment `send_frame` returns for the frame
-//!   *after* it.
+//!   session keeps *two*, used alternately, so a control frame most
+//!   recently handed to the kernel stays intact while the next response
+//!   is encoded into the other buffer; batch responses additionally
+//!   retain a bit-tail buffer. A vectored send completes its socket
+//!   write before returning, so ring borrows never outlive the take.
 //! * **Client receive buffers** belong to the `CotClient`; they are
 //!   valid between a receive and the next call on the same session.
 //! * **Caller-retained batches** (`*_into` targets) are cleared and

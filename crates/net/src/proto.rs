@@ -589,6 +589,67 @@ pub fn encode_cot_chunk_into(out: &mut Vec<u8>, seq: u64, batch: CotSlice<'_>) {
     encode_cot_batch_into(out, batch);
 }
 
+/// Splits the shared batch layout across a scatter-gather send: the
+/// fixed-size prefix (`delta, n`) is appended to `head`, the packed
+/// choice bits to `tail` (cleared first), and the bulk `z`/`y` block
+/// runs are **borrowed** from pool storage via [`Block::wire_bytes`] —
+/// zero-copy on little-endian targets; the staging vectors exist only
+/// for the big-endian fallback and stay empty otherwise.
+///
+/// Writing the returned views in `[head-suffix, z, y, tail]` order
+/// reproduces [`encode_cot_batch_into`]'s bytes exactly: the wire
+/// format is identical, only the number of copies differs. Callers
+/// hand all four parts to
+/// [`StreamTransport::send_frame_parts`](crate::transport::StreamTransport::send_frame_parts)
+/// so the block runs go from the pool ring to the socket without ever
+/// landing in a scratch buffer.
+pub fn encode_cot_batch_split<'a>(
+    head: &mut Vec<u8>,
+    tail: &mut Vec<u8>,
+    z_staging: &'a mut Vec<u8>,
+    y_staging: &'a mut Vec<u8>,
+    batch: CotSlice<'a>,
+) -> (&'a [u8], &'a [u8]) {
+    head.extend_from_slice(&batch.delta.to_le_bytes());
+    head.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+    tail.clear();
+    encode_bits_into(batch.x, tail);
+    (
+        Block::wire_bytes(batch.z, z_staging),
+        Block::wire_bytes(batch.y, y_staging),
+    )
+}
+
+/// [`encode_cots_into`] in split form: the [`Response::Cots`] opcode
+/// joins the fixed prefix in `head`; everything else as
+/// [`encode_cot_batch_split`].
+pub fn encode_cots_split<'a>(
+    head: &mut Vec<u8>,
+    tail: &mut Vec<u8>,
+    z_staging: &'a mut Vec<u8>,
+    y_staging: &'a mut Vec<u8>,
+    batch: CotSlice<'a>,
+) -> (&'a [u8], &'a [u8]) {
+    head.push(OP_COTS);
+    encode_cot_batch_split(head, tail, z_staging, y_staging, batch)
+}
+
+/// [`encode_cot_chunk_into`] in split form: opcode and sequence number
+/// join the fixed prefix in `head`; everything else as
+/// [`encode_cot_batch_split`].
+pub fn encode_cot_chunk_split<'a>(
+    head: &mut Vec<u8>,
+    tail: &mut Vec<u8>,
+    z_staging: &'a mut Vec<u8>,
+    y_staging: &'a mut Vec<u8>,
+    seq: u64,
+    batch: CotSlice<'a>,
+) -> (&'a [u8], &'a [u8]) {
+    head.push(OP_COT_CHUNK);
+    head.extend_from_slice(&seq.to_le_bytes());
+    encode_cot_batch_split(head, tail, z_staging, y_staging, batch)
+}
+
 /// Appends a complete [`Response::Error`] payload from a borrowed
 /// message (error paths should not clone strings just to encode them).
 pub fn encode_error_into(out: &mut Vec<u8>, message: &str) {
@@ -1331,5 +1392,44 @@ mod tests {
         buf.clear();
         encode_error_into(&mut buf, "nope");
         assert_eq!(buf, Response::Error("nope".into()).encode());
+    }
+
+    #[test]
+    fn split_encoders_reassemble_to_contiguous_bytes() {
+        let batch = CotBatch {
+            delta: Block::from(0xd3317au128),
+            z: (0..13).map(|i| Block::from(i as u128 * 3 + 1)).collect(),
+            x: (0..13).map(|i| i % 3 == 0).collect(),
+            y: (0..13).map(|i| Block::from(i as u128 * 7 + 2)).collect(),
+        };
+        for seq in [None, Some(41u64)] {
+            let mut contiguous = Vec::new();
+            match seq {
+                Some(s) => encode_cot_chunk_into(&mut contiguous, s, batch.as_slice()),
+                None => encode_cots_into(&mut contiguous, batch.as_slice()),
+            }
+
+            let (mut head, mut tail) = (Vec::new(), Vec::new());
+            let (mut zs, mut ys) = (Vec::new(), Vec::new());
+            let (z, y) = match seq {
+                Some(s) => encode_cot_chunk_split(
+                    &mut head,
+                    &mut tail,
+                    &mut zs,
+                    &mut ys,
+                    s,
+                    batch.as_slice(),
+                ),
+                None => encode_cots_split(&mut head, &mut tail, &mut zs, &mut ys, batch.as_slice()),
+            };
+            // [head, z, y, tail] in order is the contiguous encoding.
+            let glued: Vec<u8> = [head.as_slice(), z, y, &tail].concat();
+            assert_eq!(glued, contiguous);
+            // On little-endian targets the block runs alias pool storage:
+            // nothing was staged.
+            if cfg!(target_endian = "little") {
+                assert!(zs.is_empty() && ys.is_empty());
+            }
+        }
     }
 }

@@ -12,13 +12,13 @@
 use crate::fault::{FaultInjector, FaultPlan, FaultyStream};
 use crate::frame::{self, VERSION};
 use crate::proto::{
-    decode_response_into, encode_cot_chunk_into, encode_cots_into, encode_error_into,
+    decode_response_into, encode_cot_chunk_split, encode_cots_split, encode_error_into,
     DirectoryDelta, HotResponse, LatencyStats, Request, Response, ServiceStats, ShardStat,
     EPOCH_UNAWARE,
 };
 use crate::retry::OpTimeouts;
 use crate::transport::{StreamTransport, TcpTransport};
-use ironman_core::{CotBatch, Engine, SharedCotPool};
+use ironman_core::{CotBatch, CotSlice, Engine, SharedCotPool};
 use ironman_ot::channel::{ChannelError, ChannelStats, Transport};
 use ironman_telemetry::{
     merge_dumps, now_nanos, EventKind, Histogram, Stopwatch, TraceEvent, TraceLog,
@@ -133,11 +133,27 @@ struct Counters {
 /// [`Scratch::begin`] until [`Scratch::finish_and_send`] returns, and to
 /// the transport (conceptually, the in-flight frame) until the *next*
 /// `begin` flips back to it. Nothing else may write to it in between.
+///
+/// Batch-carrying responses take the scatter-gather path instead
+/// ([`Scratch::send_batch_vectored`]): the frame buffer then holds only
+/// the fixed-size head (header, opcode, `delta`, `n`), the packed choice
+/// bits land in the retained `tail`, and the bulk `z`/`y` block runs are
+/// written to the socket straight from the pool ring — the copy
+/// `finish_and_send` would have made into the frame buffer no longer
+/// exists. That path completes its socket write before returning, so the
+/// alternating-buffer in-flight contract is vacuously upheld there.
 #[derive(Debug, Default)]
 struct Scratch {
     bufs: [Vec<u8>; 2],
     which: usize,
     cap_before: usize,
+    /// Packed choice bits of the in-flight batch (the only payload piece
+    /// the vectored path still serializes, at 1 bit per correlation).
+    tail: Vec<u8>,
+    /// Big-endian fallback staging for `z`/`y`; stays empty (and
+    /// unallocated) on little-endian targets, where the wire views alias
+    /// the pool ring directly.
+    staging: [Vec<u8>; 2],
 }
 
 impl Scratch {
@@ -177,6 +193,52 @@ impl Scratch {
             }
         }
         ch.send_frame(buf)?;
+        ch.flush()
+    }
+
+    /// Encodes and sends one batch-carrying response as a scatter-gather
+    /// frame: `[head, z, y, tail]` through one `write_vectored` loop,
+    /// with the `z`/`y` block runs borrowed from the pool ring (see
+    /// [`crate::proto::encode_cot_batch_split`]). Must be called with
+    /// the borrow of the shard's ring still live — i.e. inside the
+    /// pool's `take_with_shard` closure — which means the socket write
+    /// happens under the shard lock; that is the deliberate trade for
+    /// deleting the megabyte-scale ring→scratch copy, and the
+    /// lock-stealing router keeps concurrent clients on other shards
+    /// meanwhile.
+    ///
+    /// `seq` selects the chunk (`Some`) vs one-shot (`None`) opcode.
+    /// Wire bytes are identical to the contiguous
+    /// [`Scratch::finish_and_send`] encoding. The reuse counters keep
+    /// their meaning: a response is a reuse only if neither retained
+    /// buffer (head frame, bit tail) had to grow.
+    fn send_batch_vectored<R: Read, W: Write>(
+        &mut self,
+        ch: &mut StreamTransport<R, W>,
+        seq: Option<u64>,
+        slice: CotSlice<'_>,
+        counters: &Counters,
+    ) -> Result<(), ChannelError> {
+        let cap_before = self.cap_before;
+        let tail_cap_before = self.tail.capacity();
+        let head = &mut self.bufs[self.which];
+        let [zs, ys] = &mut self.staging;
+        let (z, y) = match seq {
+            Some(seq) => encode_cot_chunk_split(head, &mut self.tail, zs, ys, seq, slice),
+            None => encode_cots_split(head, &mut self.tail, zs, ys, slice),
+        };
+        frame::finish_frame_with_tail(head, z.len() + y.len() + self.tail.len())
+            .map_err(ChannelError::from)?;
+        if cap_before > 0
+            && head.capacity() == cap_before
+            && tail_cap_before > 0
+            && self.tail.capacity() == tail_cap_before
+        {
+            counters.scratch_reuses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.scratch_allocs.fetch_add(1, Ordering::Relaxed);
+        }
+        ch.send_frame_parts(&[head.as_slice(), z, y, &self.tail])?;
         ch.flush()
     }
 }
@@ -673,12 +735,6 @@ fn serve_session<R: Read, W: Write>(
         // `noop` feature, so starting it unconditionally costs nothing
         // when telemetry is compiled out.
         let first_byte_watch = Stopwatch::start();
-        // The shard a successful one-shot take drained, for attributing
-        // the request's latency to that shard's histogram.
-        let mut latency_shard: Option<usize> = None;
-        // Only a successful batch-carrying response is accounted against
-        // the zero-copy reuse counters (see Scratch::finish_and_send).
-        let mut counted = false;
         match request {
             Request::Hello { epoch, .. } => {
                 session_epoch = (epoch != EPOCH_UNAWARE).then_some(epoch);
@@ -704,25 +760,34 @@ fn serve_session<R: Read, W: Write>(
                     );
                 } else {
                     // The zero-copy hot path: borrow the shard's ring and
-                    // serialize straight into the retained frame buffer —
-                    // pool storage to socket in one copy. A panicking take
+                    // scatter-gather it onto the socket — the z/y block
+                    // runs go from pool storage to the kernel with no
+                    // intermediate copy at all (see
+                    // Scratch::send_batch_vectored). A panicking take
                     // must answer this client, not kill its session
                     // silently (and through the hung socket, the client).
                     scratch.begin();
+                    let mut sent: Result<(), ChannelError> = Ok(());
                     let take = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         shared.pool.take_with_shard(n as usize, |slice, shard| {
-                            encode_cots_into(scratch.buf(), slice);
+                            sent =
+                                scratch.send_batch_vectored(&mut ch, None, slice, &shared.counters);
                             shard
                         })
                     }));
                     match take {
                         Ok(shard) => {
+                            sent?;
                             shared.counters.cots_served.fetch_add(n, Ordering::Relaxed);
-                            counted = true;
-                            latency_shard = Some(shard);
+                            shared.telemetry.request_first_byte[shard]
+                                .record_elapsed(first_byte_watch);
+                            continue; // response already on the wire
                         }
                         Err(_) => {
-                            // The frame may be half-written; restart it.
+                            // A panic lands before the vectored write (the
+                            // take itself failed), so the socket is clean;
+                            // only the frame buffer may be half-written.
+                            // Restart it.
                             scratch.begin();
                             encode_error_into(scratch.buf(), "internal pool failure");
                         }
@@ -814,10 +879,10 @@ fn serve_session<R: Read, W: Write>(
                 Response::TraceDump(shared.trace_dump(max_events)).encode_into(scratch.buf());
             }
         }
-        scratch.finish_and_send(&mut ch, counted.then_some(&shared.counters))?;
-        if let Some(shard) = latency_shard {
-            shared.telemetry.request_first_byte[shard].record_elapsed(first_byte_watch);
-        }
+        // Control responses (the batch path sent vectored and continued
+        // above) never carry correlation payloads, so they bypass the
+        // zero-copy reuse accounting.
+        scratch.finish_and_send(&mut ch, None)?;
     }
 }
 
@@ -832,11 +897,12 @@ fn serve_session<R: Read, W: Write>(
 /// serving-side analogue of the Ironman PU streaming extension outputs at
 /// the rate the compute side absorbs them.
 ///
-/// Chunks ride the session's two alternating scratch buffers: chunk
-/// `n + 1` is taken and encoded into one buffer while the kernel is
-/// still draining chunk `n`'s bytes from the other (`write_all` returns
-/// once the socket buffer holds the frame, not once the peer read it),
-/// so serialization overlaps transmission without any extra copies.
+/// Chunks take the scatter-gather path ([`Scratch::send_batch_vectored`]):
+/// the `z`/`y` block runs are written to the socket straight from the
+/// shard's ring, so a push serializes only the fixed head and the packed
+/// choice bits (`write_vectored` returns once the socket buffer holds
+/// the frame, not once the peer read it — transmission still overlaps
+/// the next take).
 /// Exit-safe tracking of one subscription's promised-but-unpushed
 /// correlations in the service-wide backlog counter: grants raise it,
 /// pushes lower it, and whatever is still outstanding when the
@@ -939,13 +1005,15 @@ fn serve_subscription<R: Read, W: Write>(
                 }
             }
         } else {
-            // Zero-copy push: borrow the shard's ring and serialize the
-            // chunk straight into the retained frame buffer.
+            // Zero-copy push: borrow the shard's ring and scatter-gather
+            // the chunk onto the socket (see Scratch::send_batch_vectored
+            // — the z/y runs never land in the frame buffer).
             scratch.begin();
             let push_watch = Stopwatch::start();
+            let mut sent: Result<(), ChannelError> = Ok(());
             let take = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 shared.pool.take_with_shard(batch, |slice, shard| {
-                    encode_cot_chunk_into(scratch.buf(), chunks, slice);
+                    sent = scratch.send_batch_vectored(ch, Some(chunks), slice, &shared.counters);
                     shard
                 })
             }));
@@ -956,7 +1024,7 @@ fn serve_subscription<R: Read, W: Write>(
                         .counters
                         .cots_served
                         .fetch_add(batch as u64, Ordering::Relaxed);
-                    if let Err(e) = scratch.finish_and_send(ch, Some(&shared.counters)) {
+                    if let Err(e) = sent {
                         // The write deadline fired: this subscriber stopped
                         // draining its pushes. Evict it via tracked close
                         // (the session thread deregisters the socket on

@@ -137,6 +137,72 @@ impl<R: Read, W: Write> StreamTransport<R, W> {
         Ok(())
     }
 
+    /// Sends one frame whose bytes live in several non-contiguous slices
+    /// — `parts[0]` starts with the patched header (see
+    /// [`frame::finish_frame_with_tail`]), the remaining parts are
+    /// payload continuation (e.g. COT blocks borrowed straight from a
+    /// pool's ring) — using **one `write_vectored` pass** instead of
+    /// concatenating into a scratch buffer first. This deletes the last
+    /// ring→scratch copy on the serving path: the kernel (or the
+    /// `BufWriter`, for frames smaller than its buffer) gathers the
+    /// slices itself.
+    ///
+    /// Accounting matches [`StreamTransport::send_frame`]: payload bytes
+    /// (total minus header) count toward [`ChannelStats`], the full frame
+    /// toward the wire totals, and the write is coalesced until the next
+    /// direction switch or [`StreamTransport::flush`].
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Malformed`] when `parts[0]` is shorter than a
+    /// frame header; propagates stream errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the header's declared length matches the total
+    /// payload actually present across all parts.
+    pub fn send_frame_parts(&mut self, parts: &[&[u8]]) -> Result<(), ChannelError> {
+        let head = parts.first().copied().unwrap_or(&[]);
+        if head.len() < FRAME_HEADER_LEN {
+            return Err(ChannelError::Malformed {
+                expected: FRAME_HEADER_LEN,
+                actual: head.len(),
+            });
+        }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let payload_len = total - FRAME_HEADER_LEN;
+        debug_assert_eq!(
+            u32::from_le_bytes(head[..FRAME_HEADER_LEN].try_into().expect("4-byte header")),
+            payload_len as u32,
+            "frame not finished with finish_frame_with_tail"
+        );
+        let mut slices: Vec<std::io::IoSlice<'_>> = parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| std::io::IoSlice::new(p))
+            .collect();
+        let mut slices = slices.as_mut_slice();
+        while !slices.is_empty() {
+            match self.writer.write_vectored(slices) {
+                Ok(0) => {
+                    return Err(ChannelError::from(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "vectored frame write made no progress",
+                    )))
+                }
+                Ok(n) => std::io::IoSlice::advance_slices(&mut slices, n),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ChannelError::from(e)),
+            }
+        }
+        self.stats.bytes_sent += payload_len as u64;
+        self.stats.messages_sent += 1;
+        self.wire_sent += total as u64;
+        self.sent_since_recv = true;
+        self.pending_flush = true;
+        Ok(())
+    }
+
     /// Receives one frame's payload into a caller-retained buffer,
     /// reusing its allocation — the zero-copy counterpart of
     /// [`Transport::recv_bytes`] (same flush-on-direction-switch and
@@ -354,6 +420,61 @@ mod tests {
         a.send_blocks(&blocks).unwrap();
         a.flush().unwrap();
         assert_eq!(b.recv_blocks().unwrap(), blocks);
+    }
+
+    #[test]
+    fn vectored_send_matches_contiguous_send() {
+        let (mut a, mut b) = tcp_loopback_pair().unwrap();
+        let payload: Vec<u8> = (0..=255u8).collect();
+
+        // Contiguous reference frame.
+        let mut whole = Vec::new();
+        frame::begin_frame(&mut whole);
+        whole.extend_from_slice(&payload);
+        frame::finish_frame(&mut whole).unwrap();
+        a.send_frame(&whole).unwrap();
+        let (payload_sent, wire_sent) = (a.stats().bytes_sent, a.wire_bytes_sent());
+
+        // The same payload scattered across head + two tail slices
+        // (with an empty part, which the writer must skip).
+        let mut head = Vec::new();
+        frame::begin_frame(&mut head);
+        head.extend_from_slice(&payload[..100]);
+        frame::finish_frame_with_tail(&mut head, payload.len() - 100).unwrap();
+        a.send_frame_parts(&[&head, &payload[100..200], &[], &payload[200..]])
+            .unwrap();
+        a.flush().unwrap();
+
+        // Identical accounting per frame on both paths.
+        assert_eq!(a.stats().bytes_sent, 2 * payload_sent);
+        assert_eq!(
+            a.wire_bytes_sent() - wire_sent,
+            wire_sent - HANDSHAKE_LEN as u64
+        );
+        assert_eq!(a.stats().messages_sent, 2);
+
+        // Identical bytes on the receiving end.
+        let mut first = Vec::new();
+        b.recv_bytes_into(&mut first).unwrap();
+        let mut second = Vec::new();
+        b.recv_bytes_into(&mut second).unwrap();
+        assert_eq!(first, payload);
+        assert_eq!(second, payload);
+    }
+
+    #[test]
+    fn vectored_send_rejects_short_head() {
+        let (mut a, _b) = tcp_loopback_pair().unwrap();
+        // A head that cannot even hold the length prefix was not started
+        // with begin_frame — refuse before touching the socket.
+        assert!(matches!(
+            a.send_frame_parts(&[&[0u8; 2]]),
+            Err(ChannelError::Malformed { .. })
+        ));
+        assert!(matches!(
+            a.send_frame_parts(&[]),
+            Err(ChannelError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub fn execute(cfg: &NmpConfig, ctx: &ProgramContext, program: &[NmpInst]) -> Pr
                     ctx.n
                 );
                 let rows = (inst.count as usize).min(ctx.sample_rows).max(1);
-                let matrix = LpnMatrix::generate(rows, ctx.k, ctx.weight, ctx.seed);
+                let matrix = LpnMatrix::generate_untracked(rows, ctx.k, ctx.weight, ctx.seed);
                 let work = LpnWork {
                     trace: matrix.colidx().to_vec(),
                     represented_accesses: inst.count as u64 * ctx.weight as u64,

@@ -115,24 +115,50 @@ impl OteSimulator {
 
     /// Builds the per-rank LPN trace: the first simulated rank's row
     /// partition, optionally index-sorted, sampled to `sample_rows`.
+    ///
+    /// The trace is a pure function of `(rows, k, d, seed, sort)` and the
+    /// engine's timing-estimation path rebuilds it with identical inputs
+    /// on every call (e.g. once per pool refill), so the most recent
+    /// trace is memoized process-wide; only a shape change regenerates.
     fn lpn_work(&self, work: &OteWork, seed: u64) -> LpnWork {
+        type TraceKey = (usize, usize, usize, u64, Option<SortConfig>);
+        static LAST_TRACE: std::sync::Mutex<Option<(TraceKey, std::sync::Arc<Vec<u32>>)>> =
+            std::sync::Mutex::new(None);
+
         let rows_per_rank = work.n.div_ceil(self.cfg.ranks);
         let sim_rows = work
             .sample_rows
             .unwrap_or(rows_per_rank)
             .min(rows_per_rank)
             .max(1);
-        let matrix =
-            LpnMatrix::generate(sim_rows, work.k, work.weight, Block::from(seed as u128 | 1));
-        let trace: Vec<u32> = match &work.sort {
-            Some(cfg) => {
-                let sorted = SortedLpnMatrix::sort(&matrix, *cfg);
-                sorted.access_trace().collect()
+        let key: TraceKey = (sim_rows, work.k, work.weight, seed, work.sort);
+        let mut last = LAST_TRACE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let trace = match &*last {
+            Some((cached_key, trace)) if *cached_key == key => std::sync::Arc::clone(trace),
+            _ => {
+                let matrix = LpnMatrix::generate_untracked(
+                    sim_rows,
+                    work.k,
+                    work.weight,
+                    Block::from(seed as u128 | 1),
+                );
+                let trace: Vec<u32> = match &work.sort {
+                    Some(cfg) => {
+                        let sorted = SortedLpnMatrix::sort(&matrix, *cfg);
+                        sorted.access_trace().collect()
+                    }
+                    None => matrix.colidx().to_vec(),
+                };
+                let trace = std::sync::Arc::new(trace);
+                *last = Some((key, std::sync::Arc::clone(&trace)));
+                trace
             }
-            None => matrix.colidx().to_vec(),
         };
+        drop(last);
         LpnWork {
-            trace,
+            trace: trace.to_vec(),
             represented_accesses: (rows_per_rank * work.weight) as u64,
         }
     }

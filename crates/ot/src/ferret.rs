@@ -26,9 +26,12 @@ use crate::spcot::{spcot_recv, spcot_send, SpcotConfig};
 use crate::spcot_batch::{spcot_batch_recv_into, spcot_batch_send_into};
 use ironman_ggm::Arity;
 use ironman_lpn::sorting::SortConfig;
-use ironman_lpn::{encoder, LpnMatrix, PackedBits, SortedLpnMatrix, DEFAULT_ROW_WEIGHT};
+use ironman_lpn::{
+    simd, LpnMatrix, PackedBits, SimdLevel, SimdMode, SortedLpnMatrix, DEFAULT_ROW_WEIGHT,
+};
 use ironman_prg::{Block, PrgCounter, PrgKind};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which LPN kernel family the extension's online encode runs — the
 /// traversals of `ironman_lpn` over the same matrix, bit-identical in
@@ -41,9 +44,17 @@ pub enum LpnKernel {
     Naive,
     /// Cache-blocked (tile-major) gathers from the matrix's precomputed
     /// [`ironman_lpn::TileSchedule`]; the receiver's two halves run as
-    /// one fused pass ([`encoder::CotPairLane`]). The software twin of
+    /// one fused pass ([`ironman_lpn::encoder::CotPairLane`]). The software twin of
     /// the paper's memory-side cache (§5.3).
     Tiled,
+    /// The measured winner at Table-4 scale: the block half runs
+    /// tile-major (its `k · 16 B` input spills L2, so blocking pays) and
+    /// the packed-bit half runs row-major as its own pass (its `k`-bit
+    /// input is L1-resident, where tiling's bucket bookkeeping only adds
+    /// overhead). Separate passes beat the fused [`LpnKernel::Tiled`]
+    /// pair under both SIMD tiers — the fused lane drags the
+    /// cache-resident bit gathers through the block half's tile walk.
+    Split,
 }
 
 /// Full configuration of a Ferret session (must be identical on both
@@ -71,6 +82,22 @@ pub struct FerretConfig {
     /// trees, as production Ferret implementations do) instead of one
     /// conversation per tree. Outputs are identical either way.
     pub batched_spcot: bool,
+    /// SIMD dispatch policy for the plain-matrix LPN kernels
+    /// (output-identical; local to each party, never on the wire). The
+    /// default [`SimdMode::Auto`] uses the widest tier the CPU offers;
+    /// `IRONMAN_SIMD=scalar` in the environment forces scalar regardless.
+    pub simd: SimdMode,
+    /// A prebuilt LPN matrix to share instead of generating one per
+    /// party. Matrix generation dominates session-spawn latency at
+    /// Table-4 scale and every party's matrix is identical (a pure
+    /// function of the config), so pools prebuild once and hand the
+    /// `Arc` to every shard via this field. `None` (the default)
+    /// generates on demand. Local-only state: it never affects outputs
+    /// or the wire, but it must have been built from a config with the
+    /// same matrix parameters — [`FerretConfig::build_matrix`]
+    /// panics on a fingerprint mismatch rather than silently desync the
+    /// parties.
+    pub shared_matrix: Option<SharedLpnMatrix>,
 }
 
 impl FerretConfig {
@@ -87,33 +114,53 @@ impl FerretConfig {
             sort: None,
             kernel: LpnKernel::Naive,
             batched_spcot: true,
+            simd: SimdMode::Auto,
+            shared_matrix: None,
         }
     }
 
     /// The fastest known (matrix kind × kernel) combination for `params`
-    /// on the reference single-core box, per the checked-in
-    /// `BENCH_extension.json` kernel head-to-head:
+    /// on the reference single-core box, regenerated from the per-lane
+    /// head-to-head in `BENCH_extension.json` (the `kernels[]` rows; the
+    /// shape below is `n = 2^18`, `k = 168 000`, `d = 10`, best-of-5 ms):
     ///
-    /// * the **tiled** kernels win decisively (≥1.5× the naive composite
-    ///   at the 2^20 row) once the LPN block input `k · 16 B` spills the
-    ///   L2-class window — every Table-4 row qualifies;
-    /// * at toy scale the whole input is cache-resident and the two
-    ///   kernels tie, so the naive encoder keeps its simpler code path;
+    /// | pass | scalar row | scalar tiled | wide row | wide tiled |
+    /// |---|---|---|---|---|
+    /// | blocks (`s·A`)      | 5.27 | **3.97** | 4.25 | **3.85** |
+    /// | packed bits (`e·A`) | **2.87** | 5.52 | **2.47** | 5.34 |
+    /// | fused COT pair      | 9.74 | 7.88 | 7.49 | 8.02 |
+    ///
+    /// * the **block** half wins tiled under both SIMD tiers — its
+    ///   `k · 16 B` input spills the L2-class window at every Table-4
+    ///   row, so cache-blocking pays;
+    /// * the **packed-bit** half wins row-major — its `k`-bit input is
+    ///   L1-resident, so the tile walk's bucket bookkeeping only adds
+    ///   cost (tiled bits measure ~2× slower);
+    /// * the **fused** pair loses to running the two winning passes
+    ///   separately (wide: 3.85 + 2.47 = 6.32 vs 7.49 fused), so the
+    ///   receiver's best shape is [`LpnKernel::Split`] — which also
+    ///   gives the sender's single block pass the tiled traversal;
     /// * the §5.3 **sorted** matrix never wins in software — its
     ///   look-ahead order targets the NMP memory-side cache, and on a CPU
     ///   the row scatter it adds costs more than the locality it buys
     ///   (`blocks_sorted` measures ~0.5× naive) — so the unsorted matrix
-    ///   is recommended for every set.
+    ///   is recommended for every set;
+    /// * at toy scale the whole input is cache-resident and the kernels
+    ///   tie, so the naive encoder keeps its simpler code path.
+    ///
+    /// SIMD stays [`SimdMode::Auto`]: the wide tier wins or ties every
+    /// lane it covers and `IRONMAN_SIMD=scalar` remains the escape hatch.
     ///
     /// Serving-path constructors (`CotSession`-backed pools, the bench
     /// and example binaries) build their configs through this.
     pub fn recommended(params: FerretParams) -> Self {
-        /// Block-input bytes above which the tiled kernels win (the
-        /// L2-class boundary between the toy and Table-4 regimes on the
-        /// bench table; the exact crossover is far from both).
+        /// Block-input bytes above which the cache-blocked block pass
+        /// wins (the L2-class boundary between the toy and Table-4
+        /// regimes on the bench table; the exact crossover is far from
+        /// both).
         const TILED_INPUT_BYTES: usize = 1 << 20;
         let kernel = if params.k * Block::BYTES >= TILED_INPUT_BYTES {
-            LpnKernel::Tiled
+            LpnKernel::Split
         } else {
             LpnKernel::Naive
         };
@@ -153,68 +200,184 @@ impl FerretConfig {
         }
     }
 
-    fn build_matrix(&self) -> MatrixKind {
-        let plain =
-            LpnMatrix::generate(self.params.n, self.params.k, self.row_weight, self.lpn_seed);
-        let kind = match self.sort {
-            Some(cfg) => {
-                MatrixKind::Sorted(Box::new(SortedLpnMatrix::sort(&plain, cfg)), self.kernel)
+    /// Prebuilds the shared LPN matrix for this config if not already
+    /// present, returning a cheap handle to it. Pools call this **once**
+    /// before cloning the config across parties and shards, so N shards
+    /// (2N party threads) generate one matrix instead of 2N — the
+    /// dominant spawn cost at Table-4 scale.
+    pub fn ensure_shared_matrix(&mut self) -> &SharedLpnMatrix {
+        if self.shared_matrix.is_none() {
+            self.shared_matrix = Some(SharedLpnMatrix::build(self));
+        }
+        self.shared_matrix
+            .as_ref()
+            .expect("just ensured the shared matrix")
+    }
+
+    fn build_matrix(&self) -> SessionMatrix {
+        let repr = match &self.shared_matrix {
+            Some(shared) => {
+                assert_eq!(
+                    shared.fingerprint,
+                    MatrixFingerprint::of(self),
+                    "shared matrix was prebuilt for a different LPN configuration"
+                );
+                shared.repr.clone()
             }
-            None => MatrixKind::Plain(plain, self.kernel),
+            None => SharedLpnMatrix::build(self).repr,
         };
-        if self.kernel == LpnKernel::Tiled {
+        if self.kernel != LpnKernel::Naive {
             // Build the tile schedule now (offline, cached on the
-            // matrix) so no extension pays for it on the hot path.
-            match &kind {
-                MatrixKind::Plain(m, _) => {
+            // matrix) so no extension pays for it on the hot path. A
+            // shared matrix caches it once for every session.
+            match &repr {
+                MatrixRepr::Plain(m) => {
                     m.tile_schedule();
                 }
-                MatrixKind::Sorted(s, _) => {
+                MatrixRepr::Sorted(s) => {
                     s.tile_schedule();
                 }
             }
         }
-        kind
+        SessionMatrix {
+            repr,
+            kernel: self.kernel,
+            level: self.simd.resolve(),
+        }
     }
 }
 
-/// The session's fixed matrix plus the kernel family that traverses it.
-/// Every combination produces bit-identical outputs; only the memory
-/// access order differs.
-#[derive(Clone, Debug)]
-enum MatrixKind {
-    Plain(LpnMatrix, LpnKernel),
-    Sorted(Box<SortedLpnMatrix>, LpnKernel),
+/// The matrix-generation inputs a [`SharedLpnMatrix`] was built from;
+/// [`FerretConfig::build_matrix`] refuses a shared matrix whose
+/// fingerprint disagrees with the config consuming it (a silent mismatch
+/// would desynchronize the parties' LPN encodes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct MatrixFingerprint {
+    rows: usize,
+    cols: usize,
+    weight: usize,
+    seed: Block,
+    sort: Option<SortConfig>,
 }
 
-impl MatrixKind {
+impl MatrixFingerprint {
+    fn of(cfg: &FerretConfig) -> Self {
+        MatrixFingerprint {
+            rows: cfg.params.n,
+            cols: cfg.params.k,
+            weight: cfg.row_weight,
+            seed: cfg.lpn_seed,
+            sort: cfg.sort,
+        }
+    }
+}
+
+/// A prebuilt, reference-counted LPN matrix (plus its cached tile
+/// schedule) shared across sessions whose configs pin the same matrix.
+/// Cloning is an `Arc` bump; see [`FerretConfig::ensure_shared_matrix`].
+#[derive(Clone, Debug)]
+pub struct SharedLpnMatrix {
+    repr: MatrixRepr,
+    fingerprint: MatrixFingerprint,
+}
+
+impl SharedLpnMatrix {
+    /// Generates the matrix `cfg` pins (ignoring any shared matrix
+    /// already attached to `cfg`).
+    pub fn build(cfg: &FerretConfig) -> Self {
+        let plain = LpnMatrix::generate(cfg.params.n, cfg.params.k, cfg.row_weight, cfg.lpn_seed);
+        let repr = match cfg.sort {
+            Some(sort_cfg) => MatrixRepr::Sorted(Arc::new(SortedLpnMatrix::sort(&plain, sort_cfg))),
+            None => MatrixRepr::Plain(Arc::new(plain)),
+        };
+        SharedLpnMatrix {
+            repr,
+            fingerprint: MatrixFingerprint::of(cfg),
+        }
+    }
+
+    /// The matrix-plus-schedule heap bytes this handle keeps alive —
+    /// what each additional sharing session *avoids* allocating.
+    pub fn working_set_bytes(&self) -> u64 {
+        match &self.repr {
+            MatrixRepr::Plain(m) => m.working_set_bytes(),
+            MatrixRepr::Sorted(s) => s.matrix().working_set_bytes(),
+        }
+    }
+}
+
+/// The session's matrix storage: an `Arc` either to the plain CSR matrix
+/// or to its §5.3-sorted form, shared freely across party threads and
+/// shards (the matrix is immutable after generation; its lazily built
+/// tile schedule sits behind a `OnceLock`).
+#[derive(Clone, Debug)]
+enum MatrixRepr {
+    Plain(Arc<LpnMatrix>),
+    Sorted(Arc<SortedLpnMatrix>),
+}
+
+/// The session's fixed matrix plus the kernel family and SIMD tier that
+/// traverse it. Every combination produces bit-identical outputs; only
+/// the memory access order and instruction selection differ.
+#[derive(Clone, Debug)]
+struct SessionMatrix {
+    repr: MatrixRepr,
+    kernel: LpnKernel,
+    level: SimdLevel,
+}
+
+impl SessionMatrix {
+    /// The sender's (and the receiver's block-half) encode: `acc ^= input·A`.
+    /// `Tiled` and `Split` agree here — both run the cache-blocked
+    /// traversal, which wins for the block operand at every Table-4 row.
     fn encode_blocks(&self, input: &[Block], acc: &mut [Block]) {
-        match self {
-            MatrixKind::Plain(m, LpnKernel::Naive) => encoder::encode_blocks(m, input, acc),
-            MatrixKind::Plain(m, LpnKernel::Tiled) => m.tile_schedule().encode_blocks(input, acc),
-            MatrixKind::Sorted(s, LpnKernel::Naive) => s.encode_blocks(input, acc),
-            MatrixKind::Sorted(s, LpnKernel::Tiled) => s.encode_blocks_tiled(input, acc),
+        match (&self.repr, self.kernel) {
+            (MatrixRepr::Plain(m), LpnKernel::Naive) => {
+                simd::encode_blocks(self.level, m, input, acc)
+            }
+            (MatrixRepr::Plain(m), LpnKernel::Tiled | LpnKernel::Split) => {
+                simd::encode_blocks_tiled(self.level, m.tile_schedule(), input, acc)
+            }
+            (MatrixRepr::Sorted(s), LpnKernel::Naive) => s.encode_blocks(input, acc),
+            (MatrixRepr::Sorted(s), LpnKernel::Tiled | LpnKernel::Split) => {
+                s.encode_blocks_tiled(input, acc)
+            }
         }
     }
 
     /// The receiver's online encode: `x ^= e·A` (packed bits) and
-    /// `y ^= s·A` (blocks). The tiled kernels run both halves as one
-    /// fused pass over the index stream; the naive kernels run the
-    /// legacy separate row-major passes.
+    /// `y ^= s·A` (blocks). `Tiled` runs both halves as one fused pass
+    /// over the index stream; `Naive` runs the legacy separate
+    /// row-major passes. `Split` is level-aware, following the measured
+    /// winners: the `Wide` lanes software-prefetch their gather columns,
+    /// which makes the fused *row-major* pair pass fastest (one index
+    /// stream, both operands prefetched); without prefetch the scalar
+    /// tier instead wants the block half tile-major and the
+    /// (L1-resident) bit half row-major. The sorted matrix keeps its
+    /// scalar traversals (§5.3 ordering never wins in software, so it
+    /// gets no SIMD lanes; `Split` there falls back to the fused tiled
+    /// pass).
     fn encode_receiver(&self, e: &PackedBits, s: &[Block], x: &mut PackedBits, y: &mut [Block]) {
-        match self {
-            MatrixKind::Plain(m, LpnKernel::Naive) => {
-                encoder::encode_bits_packed(m, e, x);
-                encoder::encode_blocks(m, s, y);
+        match (&self.repr, self.kernel) {
+            (MatrixRepr::Plain(m), LpnKernel::Naive) => {
+                simd::encode_bits_packed(self.level, m, e, x);
+                simd::encode_blocks(self.level, m, s, y);
             }
-            MatrixKind::Plain(m, LpnKernel::Tiled) => {
-                m.tile_schedule().encode_cot_pair(s, e, y, x);
+            (MatrixRepr::Plain(m), LpnKernel::Tiled) => {
+                simd::encode_cot_pair_tiled(self.level, m.tile_schedule(), s, e, y, x);
             }
-            MatrixKind::Sorted(srt, LpnKernel::Naive) => {
+            (MatrixRepr::Plain(m), LpnKernel::Split) => match self.level {
+                SimdLevel::Wide => simd::encode_cot_pair(self.level, m, s, e, y, x),
+                SimdLevel::Scalar => {
+                    simd::encode_blocks_tiled(self.level, m.tile_schedule(), s, y);
+                    simd::encode_bits_packed(self.level, m, e, x);
+                }
+            },
+            (MatrixRepr::Sorted(srt), LpnKernel::Naive) => {
                 srt.encode_bits_packed(e, x);
                 srt.encode_blocks(s, y);
             }
-            MatrixKind::Sorted(srt, LpnKernel::Tiled) => {
+            (MatrixRepr::Sorted(srt), LpnKernel::Tiled | LpnKernel::Split) => {
                 srt.encode_cot_pair_tiled(s, e, y, x);
             }
         }
@@ -226,7 +389,7 @@ impl MatrixKind {
 pub struct FerretSender {
     cfg: FerretConfig,
     base: CotSender,
-    matrix: MatrixKind,
+    matrix: SessionMatrix,
     seeds: Dealer,
     tweak: u64,
     prg_counter: PrgCounter,
@@ -342,7 +505,7 @@ pub struct FerretReceiver {
     base_bits: PackedBits,
     /// Blocks of the base correlations (same length).
     base_rb: Vec<Block>,
-    matrix: MatrixKind,
+    matrix: SessionMatrix,
     alphas: Dealer,
     tweak: u64,
     prg_counter: PrgCounter,
@@ -570,8 +733,12 @@ where
     let delta = dealer.random_delta();
     let required = cfg.base_cots_required();
     let (s_base, r_base) = dealer.deal_cot(delta, required);
+    // Both parties pin the identical matrix: build it once and hand each
+    // thread the Arc instead of paying two generations.
+    let mut cfg = cfg.clone();
+    cfg.ensure_shared_matrix();
     let cfg_s = cfg.clone();
-    let cfg_r = cfg.clone();
+    let cfg_r = cfg;
 
     let (sender_iters, receiver_iters, s_stats, r_stats) = crate::channel::run_protocol_over(
         sender_ch,
@@ -728,17 +895,103 @@ mod tests {
     }
 
     #[test]
-    fn recommended_picks_tiled_for_table4() {
+    fn recommended_picks_split_for_table4() {
         for p in FerretParams::TABLE4 {
             let cfg = FerretConfig::recommended(p);
-            assert_eq!(cfg.kernel, LpnKernel::Tiled, "{p}");
+            assert_eq!(cfg.kernel, LpnKernel::Split, "{p}");
             assert!(cfg.sort.is_none(), "software sort never wins ({p})");
+            assert_eq!(cfg.simd, SimdMode::Auto, "{p}");
         }
         // Toy-scale inputs are cache-resident; the simple path stays.
         assert_eq!(
             FerretConfig::recommended(FerretParams::toy()).kernel,
             LpnKernel::Naive
         );
+    }
+
+    #[test]
+    fn split_kernel_matches_naive() {
+        // Split only reorders the receiver's two passes (and tiles the
+        // block half) ⇒ bit-identical outputs, bootstrap included.
+        let naive_cfg = FerretConfig::new(FerretParams::toy());
+        let split_cfg = FerretConfig {
+            kernel: LpnKernel::Split,
+            ..naive_cfg.clone()
+        };
+        let naive = run_extensions(&naive_cfg, 44, 2);
+        let split = run_extensions(&split_cfg, 44, 2);
+        for (a, b) in naive.iter().zip(&split) {
+            assert_eq!(a.z, b.z);
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.y, b.y);
+        }
+        split.last().unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn split_sorted_matches_plain() {
+        // Split on a sorted matrix falls back to the fused tiled pass.
+        let plain_cfg = FerretConfig::new(FerretParams::toy());
+        let cfg = FerretConfig {
+            kernel: LpnKernel::Split,
+            sort: Some(SortConfig::default()),
+            ..plain_cfg.clone()
+        };
+        let plain = run_extension(&plain_cfg, 45);
+        let split = run_extension(&cfg, 45);
+        assert_eq!(plain.z, split.z);
+        assert_eq!(plain.x, split.x);
+        assert_eq!(plain.y, split.y);
+    }
+
+    #[test]
+    fn forced_scalar_matches_auto() {
+        // The SIMD tier is pure instruction selection: outputs must be
+        // bit-identical whichever tier dispatch lands on.
+        let auto_cfg = FerretConfig {
+            kernel: LpnKernel::Split,
+            ..FerretConfig::new(FerretParams::toy())
+        };
+        let scalar_cfg = FerretConfig {
+            simd: SimdMode::ForceScalar,
+            ..auto_cfg.clone()
+        };
+        let auto = run_extension(&auto_cfg, 46);
+        let scalar = run_extension(&scalar_cfg, 46);
+        assert_eq!(auto.z, scalar.z);
+        assert_eq!(auto.x, scalar.x);
+        assert_eq!(auto.y, scalar.y);
+    }
+
+    #[test]
+    fn shared_matrix_produces_identical_outputs() {
+        // (The "one generate for N consumers" count is asserted in
+        // `ironman-core`'s single-test `shared_matrix` binary, where the
+        // process-global counter is race-free.)
+        let mut cfg = FerretConfig::new(FerretParams::toy());
+        cfg.ensure_shared_matrix();
+        assert!(cfg.shared_matrix.is_some());
+        run_extensions(&cfg, 47, 2)
+            .last()
+            .unwrap()
+            .verify()
+            .unwrap();
+        // Outputs are identical to the generate-per-party path.
+        let fresh = FerretConfig::new(FerretParams::toy());
+        assert_eq!(run_extension(&fresh, 48).z, run_extension(&cfg, 48).z);
+    }
+
+    #[test]
+    #[should_panic(expected = "different LPN configuration")]
+    fn shared_matrix_fingerprint_mismatch_rejected() {
+        let mut cfg = FerretConfig::new(FerretParams::toy());
+        cfg.ensure_shared_matrix();
+        // Retarget the config at a different matrix without rebuilding.
+        let stale = FerretConfig {
+            lpn_seed: Block::from(0xdead_beefu128),
+            ..cfg
+        };
+        let _ = stale.build_matrix();
     }
 
     #[test]

@@ -141,8 +141,14 @@ impl CotSession {
         // keeps the sender within one extension of the receiver.
         let (z_tx, z_rx) = mpsc::channel::<Vec<Block>>();
         let (out_tx, out_rx) = mpsc::sync_channel::<SessionBatch>(lookahead.max(1));
+        // One matrix generation per session, not per party thread — and
+        // zero if the caller (a shard pool) already prebuilt the shared
+        // matrix into `cfg`.
+        let mut cfg = cfg.clone();
+        cfg.ensure_shared_matrix();
+        let per_extension = cfg.usable_outputs();
         let cfg_s = cfg.clone();
-        let cfg_r = cfg.clone();
+        let cfg_r = cfg;
 
         let sender_thread = std::thread::spawn(move || {
             let mut sender = FerretSender::new(cfg_s, s_base, seed);
@@ -187,7 +193,7 @@ impl CotSession {
 
         CotSession {
             delta,
-            per_extension: cfg.usable_outputs(),
+            per_extension,
             counters,
             telemetry,
             out_rx: Some(out_rx),

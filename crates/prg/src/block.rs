@@ -24,7 +24,12 @@ use std::ops::{BitAnd, BitAndAssign, BitXor, BitXorAssign, Not};
 /// let r1 = r0 ^ delta; // a COT correlation pair: r1 = r0 ⊕ Δ
 /// assert_eq!(r0 ^ r1, delta);
 /// ```
+/// `repr(transparent)` is a wire-format commitment: a `Block` has exactly
+/// the size, alignment and byte representation of its `u128`, which is what
+/// lets [`Block::wire_bytes`] hand a `&[Block]` to the socket as raw bytes
+/// on little-endian targets without a serialization copy.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct Block(pub u128);
 
 impl Block {
@@ -136,16 +141,62 @@ impl Block {
 
     /// XORs `src` onto `dst` element-wise — the bulk word-XOR the
     /// extension pipeline uses to fold SPCOT leaf stripes into the LPN
-    /// accumulator without an intermediate vector (each `Block` is two
-    /// machine words; the loop autovectorizes).
+    /// accumulator without an intermediate vector. On x86-64 with AVX2
+    /// the bulk runs on 256-bit `VPXOR` lanes (two blocks per
+    /// instruction); elsewhere the scalar loop autovectorizes to
+    /// whatever the target offers. `IRONMAN_SIMD=scalar` forces the
+    /// scalar loop (same knob as the `ironman-lpn` kernel dispatch).
     ///
     /// # Panics
     ///
     /// Panics if the slice lengths differ.
+    #[allow(unsafe_code)]
     pub fn xor_into(dst: &mut [Block], src: &[Block]) {
         assert_eq!(dst.len(), src.len(), "slice lengths must match");
+        #[cfg(target_arch = "x86_64")]
+        if wide::enabled() {
+            // SAFETY: AVX2 presence was verified at runtime by `enabled`.
+            unsafe { wide::xor_into_avx2(dst, src) };
+            return;
+        }
         for (d, &s) in dst.iter_mut().zip(src) {
             *d ^= s;
+        }
+    }
+
+    /// The little-endian wire bytes of `blocks` — identical to what
+    /// [`Block::extend_le_bytes`] would append, without the copy where
+    /// the in-memory representation already matches.
+    ///
+    /// On little-endian targets this is a zero-copy view of the slice
+    /// (sound because `Block` is `repr(transparent)` over `u128`, whose
+    /// native byte order *is* its little-endian wire order there); on
+    /// big-endian targets the blocks are serialized into `fallback` and
+    /// a view of it is returned. Callers pass a reusable scratch vector
+    /// and treat the returned slice uniformly — the transport's vectored
+    /// send path uses this to put ring-buffer COTs on the socket without
+    /// a staging copy.
+    #[allow(unsafe_code)]
+    pub fn wire_bytes<'a>(blocks: &'a [Block], fallback: &'a mut Vec<u8>) -> &'a [u8] {
+        #[cfg(target_endian = "little")]
+        {
+            let _ = fallback;
+            // SAFETY: `Block` is `repr(transparent)` over `u128`, so the
+            // slice is `len * 16` contiguous initialized bytes; `u8` has
+            // alignment 1 and no validity requirements. On little-endian
+            // targets the native byte order equals `to_le_bytes` order.
+            unsafe {
+                std::slice::from_raw_parts(
+                    blocks.as_ptr().cast::<u8>(),
+                    std::mem::size_of_val(blocks),
+                )
+            }
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            fallback.clear();
+            Block::extend_le_bytes(blocks, fallback);
+            fallback.as_slice()
         }
     }
 
@@ -159,6 +210,61 @@ impl Block {
         x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         x ^= x >> 32;
         x
+    }
+}
+
+/// The AVX2 bulk-XOR lane for [`Block::xor_into`]: 256-bit unaligned
+/// loads/XORs/stores over pairs of blocks, with a scalar tail for an odd
+/// final block. Feature presence is runtime-checked once per process
+/// (honoring the `IRONMAN_SIMD=scalar` force-scalar knob shared with the
+/// `ironman-lpn` kernels).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod wide {
+    use super::Block;
+    use std::arch::x86_64::{_mm256_loadu_si256, _mm256_storeu_si256, _mm256_xor_si256};
+    use std::sync::OnceLock;
+
+    /// Whether the AVX2 path runs: feature detected and not force-disabled.
+    pub(super) fn enabled() -> bool {
+        static ENABLED: OnceLock<bool> = OnceLock::new();
+        *ENABLED.get_or_init(|| {
+            match std::env::var("IRONMAN_SIMD") {
+                Ok(v) if v.eq_ignore_ascii_case("scalar") || v == "off" || v == "0" => {
+                    return false;
+                }
+                _ => {}
+            }
+            std::arch::is_x86_feature_detected!("avx2")
+        })
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 is available (see [`enabled`]).
+    #[target_feature(enable = "avx2")]
+    pub(super) fn xor_into_avx2(dst: &mut [Block], src: &[Block]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let pairs = dst.len() / 2;
+        let dp = dst.as_mut_ptr().cast::<u8>();
+        let sp = src.as_ptr().cast::<u8>();
+        for i in 0..pairs {
+            let off = i * 32;
+            // SAFETY: `off + 32 <= len * 16` for both slices (pairs =
+            // len / 2), `Block` is plain bytes (`repr(transparent)` over
+            // `u128`), and the unaligned intrinsics have no alignment
+            // requirement. `dst` and `src` are distinct borrows, so the
+            // regions cannot overlap.
+            unsafe {
+                let a = _mm256_loadu_si256(dp.add(off).cast());
+                let b = _mm256_loadu_si256(sp.add(off).cast());
+                _mm256_storeu_si256(dp.add(off).cast(), _mm256_xor_si256(a, b));
+            }
+        }
+        if dst.len() % 2 == 1 {
+            let last = dst.len() - 1;
+            dst[last] ^= src[last];
+        }
     }
 }
 
@@ -311,6 +417,29 @@ mod tests {
     fn xor_into_length_mismatch_panics() {
         let mut dst = vec![Block::ZERO; 3];
         Block::xor_into(&mut dst, &[Block::ZERO; 2]);
+    }
+
+    #[test]
+    fn xor_into_matches_scalar_at_simd_widths() {
+        // Lengths straddling the 2-block AVX2 stride (odd tails, empty,
+        // exact multiples) all match the element-wise definition.
+        for len in [0usize, 1, 2, 3, 7, 8, 31, 64, 65] {
+            let src: Vec<Block> = (0..len as u128).map(|i| Block::from(i * 7 + 3)).collect();
+            let mut dst: Vec<Block> = (0..len as u128).map(|i| Block::from(i + 0xFF)).collect();
+            let expect: Vec<Block> = dst.iter().zip(&src).map(|(&d, &s)| d ^ s).collect();
+            Block::xor_into(&mut dst, &src);
+            assert_eq!(dst, expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wire_bytes_matches_extend_le_bytes() {
+        let blocks: Vec<Block> = (0..5u128).map(|i| Block::from(i << 64 | (i + 1))).collect();
+        let mut expect = Vec::new();
+        Block::extend_le_bytes(&blocks, &mut expect);
+        let mut fallback = Vec::new();
+        assert_eq!(Block::wire_bytes(&blocks, &mut fallback), expect.as_slice());
+        assert!(Block::wire_bytes(&[], &mut fallback).is_empty());
     }
 
     #[test]

@@ -29,7 +29,10 @@
 //! assert!(children.iter().all(|c| *c != Block::ZERO));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so [`block`] alone may opt in to the wide-XOR
+// intrinsics and the little-endian wire cast behind scoped
+// `#[allow(unsafe_code)]`; every other module still rejects `unsafe`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;

@@ -36,7 +36,15 @@ cargo run --release -p ironman-bench --bin cluster_loopback -- --quick
 echo "==> hot-path bench (--quick; refreshes BENCH_hot_path.json)"
 cargo run --release -p ironman-bench --bin hot_path -- --quick
 
-echo "==> extension bench (--quick; refreshes BENCH_extension.json)"
+echo "==> extension bench, forced-scalar dispatch (--quick)"
+# First pass pins IRONMAN_SIMD=scalar so the scalar tier keeps its own
+# throughput floor even on AVX2 hosts; the auto-detect pass runs second
+# so the checked-in BENCH_extension.json always reflects the dispatch
+# the library would actually pick on this machine.
+IRONMAN_SIMD=scalar cargo run --release -p ironman-bench --bin extension -- --quick
+mv BENCH_extension.json BENCH_extension_scalar.json
+
+echo "==> extension bench, auto-detected dispatch (--quick; refreshes BENCH_extension.json)"
 cargo run --release -p ironman-bench --bin extension -- --quick
 
 echo "==> serving-throughput floors (quick mode, best-of-N)"
@@ -75,16 +83,33 @@ if ! cluster_floors; then
     [ "$retry" = 2 ] && { echo "serving floors failed after settled retries"; exit 1; }
   done
 fi
-# Raw-extension floor: a single pipelined session on the LPN-heavy set
-# measures ~8-10M COTs/s (best-of-N quick mode) with the recommended
-# tiled+packed kernels, ~6-7M with the naive kernels, and well under 2M
-# if the supply path regresses structurally (per-refill bootstraps,
-# extra copies, broken schedule caching). The floor sits between the
-# structural-regression and naive regimes so scheduler noise on the
-# one-core box cannot trip it; kernel-selection regressions are guarded
-# separately by the kernel head-to-head in BENCH_extension.json and the
-# equivalence proptests.
-check_floor BENCH_extension.json extend_recommended 4000000
+# Raw-extension floors: a single pipelined session on the LPN-heavy set
+# with the recommended split kernel measures ~10-11M COTs/s under
+# auto-detected AVX2/BMI2 dispatch and ~8.5-9M forced scalar (best-of-N
+# quick mode, slow-host day; a calm host runs ~1.4x those), against
+# ~6-7M for the naive kernels and well under 2M if the supply path
+# regresses structurally (per-refill bootstraps, extra copies, broken
+# schedule caching). Each floor sits between the naive and measured
+# regimes with ~1.5x host-noise margin, so a regression to naive
+# kernels or a broken SIMD tier fails while an unlucky window does not
+# (same settled-retry treatment as the serving floors). Kernel-ranking
+# regressions are guarded separately by the head-to-head table in
+# BENCH_extension.json and the equivalence proptests.
+extension_floors() {
+  check_floor BENCH_extension.json extend_recommended 7000000 \
+    && check_floor BENCH_extension_scalar.json extend_recommended 5500000
+}
+if ! extension_floors; then
+  for retry in 1 2; do
+    echo "extension-floor miss (attempt $retry): settling 60s, re-measuring"
+    sleep 60
+    IRONMAN_SIMD=scalar cargo run --release -q -p ironman-bench --bin extension -- --quick
+    mv BENCH_extension.json BENCH_extension_scalar.json
+    cargo run --release -q -p ironman-bench --bin extension -- --quick
+    if extension_floors; then break; fi
+    [ "$retry" = 2 ] && { echo "extension floors failed after settled retries"; exit 1; }
+  done
+fi
 
 echo "==> telemetry-overhead head-to-head (--quick; refreshes BENCH_telemetry.json)"
 # Two builds of one binary: --features telemetry-noop compiles every
