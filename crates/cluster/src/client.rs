@@ -45,15 +45,20 @@
 //!
 //! The client announces its directory epoch at connect and keeps each
 //! server session current: when the membership changes, a stale session
-//! is fenced with `WrongEpoch`, the client pulls the `DirectoryUpdate`
-//! delta, applies it to its [`Directory`], re-resolves against the fresh
-//! ring snapshot, and retries — transparently to the caller. Streams do
-//! the same mid-flight: [`ClusterClient::stream_cots`] resumes a stream
-//! cut short by a dead or draining server on the new home with exact
-//! accounting (every correlation is consumed exactly once; nothing is
-//! lost or replayed).
+//! is fenced with `WrongEpoch`, the client presents its per-origin epoch
+//! vector in a `Gossip` exchange (v9 — scalar epochs from different
+//! replicas of a replicated fleet are incomparable, vectors name exactly
+//! which writes we hold), merges the returned delta into its
+//! [`Directory`], re-resolves against the fresh ring snapshot, and
+//! retries — transparently to the caller. Streams do the same
+//! mid-flight: [`ClusterClient::stream_cots`] resumes a stream cut short
+//! by a dead or draining server on the new home with exact accounting
+//! (every correlation is consumed exactly once; nothing is lost or
+//! replayed) — and when the draining server announced its successor
+//! in-stream (`DrainHandoff`, v9), the resume goes straight there, zero
+//! extra roundtrips.
 
-use crate::directory::{Directory, RingSnapshot, ServerId};
+use crate::directory::{Directory, RingSnapshot, ServerId, UNATTRIBUTED};
 use ironman_core::CotBatch;
 use ironman_net::{
     CotClient, CotSubscription, OpTimeouts, RetryBudget, RetryPolicy, ServiceStats, StreamSummary,
@@ -363,7 +368,8 @@ impl ClusterClient {
         let mut epoch_retries = 0usize;
         let mut retried = false;
         while progress.cots < total {
-            let id = match self.first_available() {
+            let preferred = progress.handoff.take();
+            let id = match self.first_available_preferring(preferred) {
                 Ok(id) => id,
                 // Nobody reachable (or everybody cooling down): one
                 // budgeted backoff sweep, then the failure surfaces.
@@ -665,6 +671,31 @@ impl ClusterClient {
             .or_else(|| route.first().copied())
     }
 
+    /// Like [`ClusterClient::first_available`], but tries `preferred`
+    /// first when it is still a routable member and not cooling down —
+    /// the drain-handoff resume path (v9): the draining server already
+    /// told us who inherits this session's arc, so the stream resumes
+    /// there with zero extra roundtrips instead of walking ring order.
+    /// An unreachable preference falls through to the ordinary walk.
+    fn first_available_preferring(
+        &mut self,
+        preferred: Option<ServerId>,
+    ) -> Result<ServerId, ChannelError> {
+        self.refresh();
+        if let Some(id) = preferred {
+            if self.snapshot.member(id).is_some() && !self.cooled(id) {
+                match self.ensure_connected(id) {
+                    Ok(()) => return Ok(id),
+                    Err(e) => {
+                        self.note_failure(&e);
+                        self.mark_failed(id);
+                    }
+                }
+            }
+        }
+        self.first_available()
+    }
+
     /// First reachable server in ring order, connecting as needed.
     fn first_available(&mut self) -> Result<ServerId, ChannelError> {
         self.refresh();
@@ -726,14 +757,19 @@ impl ClusterClient {
         Ok(())
     }
 
-    /// Pulls the membership delta from server `id`, applies it to the
-    /// shared directory, records the session as current, and re-pulls
+    /// Pulls the membership delta from server `id` via the v9 gossip
+    /// exchange — presenting our per-origin epoch vector, not the scalar
+    /// epoch, because in a replicated fleet scalar epochs from different
+    /// replicas are incomparable (each counts its own lineage of merges)
+    /// while vectors name exactly which writes we have — applies it to
+    /// the local directory, records the session as current, and re-pulls
     /// the routing snapshot. Connectivity failures cool the server down
     /// (the caller's walk moves on); semantic failures surface.
     fn resync(&mut self, id: ServerId) -> Result<(), ChannelError> {
         let have = self.directory.epoch();
+        let vector = self.directory.epoch_vector();
         if let Some(client) = self.slots.get_mut(&id).and_then(|s| s.client.as_mut()) {
-            match client.sync_directory(have) {
+            match client.gossip(UNATTRIBUTED, vector) {
                 Ok(delta) => {
                     self.directory.apply_delta(&delta);
                     if let Some(slot) = self.slots.get_mut(&id) {
@@ -938,6 +974,10 @@ struct StreamProgress {
     cots: u64,
     /// Subscription chunks consumed (remainder one-shots not counted).
     chunks: u64,
+    /// The successor a draining server announced in-stream
+    /// (`DrainHandoff`, v9) — the zero-roundtrip failover hint the next
+    /// attempt resumes at.
+    handoff: Option<ServerId>,
 }
 
 /// One streaming attempt against one server: subscription, chunk loop,
@@ -968,17 +1008,29 @@ fn stream_on(
                     got_any = true;
                     progress.cots += reused.len() as u64;
                     progress.chunks += 1;
+                    // A draining server announces its successor in-stream
+                    // (v9); remember it so the resume lands there without
+                    // rediscovering the new home the hard way.
+                    if let Some(&(id, _, _)) = sub.handoff() {
+                        progress.handoff = Some(ServerId(id));
+                    }
                     consume(reused);
                 }
                 Ok(false) => break,
                 Err(e) => {
+                    if let Some(&(id, _, _)) = sub.handoff() {
+                        progress.handoff = Some(ServerId(id));
+                    }
                     return Err(if got_any {
                         StreamAttemptError::MidStream(e)
                     } else {
                         StreamAttemptError::OpenFailed(e)
-                    })
+                    });
                 }
             }
+        }
+        if let Some(&(id, _, _)) = sub.handoff() {
+            progress.handoff = Some(ServerId(id));
         }
         let ended_early = sub.chunks_remaining() > 0;
         sub.finish().map_err(StreamAttemptError::MidStream)?;

@@ -295,6 +295,25 @@ fn render_servers(
         "counter",
         "Faults the server's injector fired into its own data path (chaos drills).",
     );
+    w.family(
+        "ironman_server_directory_epoch",
+        "gauge",
+        "The server's own directory-replica epoch at scrape time (v9).",
+    );
+    w.family(
+        "ironman_server_directory_epoch_lag",
+        "gauge",
+        "Gossip lag: the most advanced scraped replica's epoch minus this server's.",
+    );
+    // Lag is relative to the fleet's most advanced *scraped* replica —
+    // an unreachable server cannot drag everyone else's lag up.
+    let max_epoch = snapshot.map_or(0, |s| {
+        s.servers
+            .iter()
+            .map(|o| o.directory_epoch)
+            .max()
+            .unwrap_or(0)
+    });
     if let Some(s) = snapshot {
         for obs in &s.servers {
             let l = [("server", obs.id.0.to_string())];
@@ -328,6 +347,16 @@ fn render_servers(
                 "ironman_server_faults_injected_total",
                 &l,
                 obs.faults_injected as f64,
+            );
+            w.sample(
+                "ironman_server_directory_epoch",
+                &l,
+                obs.directory_epoch as f64,
+            );
+            w.sample(
+                "ironman_server_directory_epoch_lag",
+                &l,
+                max_epoch.saturating_sub(obs.directory_epoch) as f64,
             );
         }
     }

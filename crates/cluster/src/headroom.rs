@@ -150,6 +150,7 @@ mod tests {
     fn toy_observation(per_extension: u64) -> ServerObservation {
         ServerObservation {
             id: ServerId(3),
+            directory_epoch: 0,
             cots_served: 0,
             extensions_run: 10,
             cots_per_extension: per_extension,

@@ -48,6 +48,14 @@ pub struct HealthConfig {
     /// Consecutive failed probes before a member is evicted. Clamped to
     /// at least `suspect_after`.
     pub evict_after: u32,
+    /// The id of the server this checker runs on, in replicated fleets.
+    /// With it set, *evictions* are leader-gated: a struck-out member is
+    /// only removed while this server holds the membership lease (lowest
+    /// live id), so a minority partition suspects its unreachable peers
+    /// but cannot evict the majority. Suspect/up marks are never gated —
+    /// they *are* the lease-expiry mechanism. `None` (the default, and
+    /// the shared-directory shape) keeps the ungated v4 behavior.
+    pub self_id: Option<ServerId>,
 }
 
 impl Default for HealthConfig {
@@ -57,6 +65,7 @@ impl Default for HealthConfig {
             timeout: Duration::from_millis(500),
             suspect_after: 2,
             evict_after: 4,
+            self_id: None,
         }
     }
 }
@@ -87,6 +96,7 @@ impl HealthChecker {
                     suspect_after,
                     evict_after,
                     timeout,
+                    cfg.self_id,
                     &probe_rtt,
                 );
                 Some(cfg.interval)
@@ -116,13 +126,23 @@ fn sweep(
     suspect_after: u32,
     evict_after: u32,
     timeout: Duration,
+    self_id: Option<ServerId>,
     probe_rtt: &Histogram,
 ) {
     let snapshot = directory.snapshot();
     // Forget strikes of members that are gone (manual leave, or our own
     // eviction last sweep) so a rejoining id starts clean.
     strikes.retain(|id, _| snapshot.member(*id).is_some());
+    // Leader-gated eviction (replicated fleets): only the lease holder
+    // removes members. Re-read per sweep — when the holder goes suspect
+    // everywhere, the lease lands here without any extra protocol.
+    let may_evict = self_id.is_none_or(|me| snapshot.lease_holder() == Some(me));
     for member in snapshot.members() {
+        if Some(member.id) == self_id {
+            // A replica never probes itself over loopback-of-one: its own
+            // liveness is its peers' verdict.
+            continue;
+        }
         let watch = Stopwatch::start();
         if probe(member.addr, timeout) {
             probe_rtt.record_elapsed(watch);
@@ -136,7 +156,7 @@ fn sweep(
         }
         let count = strikes.entry(member.id).or_insert(0);
         *count += 1;
-        if *count >= evict_after {
+        if *count >= evict_after && may_evict {
             directory.leave(member.id);
             strikes.remove(&member.id);
         } else if *count >= suspect_after {

@@ -130,6 +130,7 @@ pub mod chaos;
 pub mod client;
 pub mod directory;
 pub mod exporter;
+pub mod gossip;
 pub mod headroom;
 pub mod health;
 pub mod observe;
@@ -140,9 +141,11 @@ pub mod warmup;
 pub use chaos::{ChaosAction, ChaosEvent, ChaosOutcome, ChaosSchedule};
 pub use client::{ClusterClient, ClusterSubscription, FAILOVER_COOLDOWN};
 pub use directory::{
-    Directory, Member, MemberState, RingSnapshot, ServerEntry, ServerId, VIRTUAL_NODES,
+    Directory, Member, MemberState, RingSnapshot, ServerEntry, ServerId, Stamp, MAX_WEIGHT,
+    TOMBSTONE_CAP, UNATTRIBUTED, VIRTUAL_NODES,
 };
 pub use exporter::{FleetExporter, FleetExporterConfig};
+pub use gossip::{GossipHandle, GossipIdentity, GossipStats, Gossiper, GossiperConfig};
 pub use headroom::{HeadroomModel, ServerHeadroom};
 pub use health::{HealthChecker, HealthConfig};
 pub use ironman_telemetry::TimeSeries;

@@ -111,6 +111,10 @@ pub struct ServerObservation {
     /// Faults the server's injector has fired into its own data path
     /// (wire v8; nonzero only under chaos drills).
     pub faults_injected: u64,
+    /// The server's own directory epoch at scrape time (v9: each server
+    /// carries a replica, so members can disagree transiently — the
+    /// spread across a snapshot's servers is the fleet's gossip lag).
+    pub directory_epoch: u64,
     /// The server's service-wide latency distributions (its own merge
     /// over its shards).
     pub latency: LatencyStats,
@@ -358,6 +362,7 @@ fn scrape_with(
             subscribers_evicted: stats.subscribers_evicted,
             unavailable_sent: stats.unavailable_sent,
             faults_injected: stats.faults_injected,
+            directory_epoch: stats.directory_epoch,
             latency: stats.latency,
         });
     }

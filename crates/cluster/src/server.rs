@@ -7,6 +7,7 @@
 
 use crate::directory::{Directory, ServerId};
 use crate::exporter::{FleetExporter, FleetExporterConfig};
+use crate::gossip::{GossipIdentity, Gossiper, GossiperConfig};
 use crate::health::{HealthChecker, HealthConfig};
 use crate::observe::{FleetHandle, FleetObserver, FleetObserverConfig};
 use crate::warmup::{FleetWarmup, FleetWarmupConfig, Warmup, WarmupConfig};
@@ -83,6 +84,13 @@ impl ClusterServer {
         &self.service
     }
 
+    /// Tells the service which directory member it is (see
+    /// [`CotService::set_self_id`]) — required for the v9 drain-handoff
+    /// announcement on replicated servers.
+    pub fn set_self_id(&self, id: ServerId) {
+        self.service.set_self_id(id.0);
+    }
+
     /// Stops the warm-up refiller (if any) and the service; returns the
     /// final statistics.
     pub fn shutdown(self) -> ServiceStats {
@@ -109,10 +117,26 @@ pub struct LocalCluster {
     /// replacement never shares a correlation stream with any earlier
     /// server).
     spawned: u64,
-    health: Option<HealthChecker>,
+    health: Vec<HealthChecker>,
     fleet_warmup: Option<FleetWarmup>,
     observer: Option<FleetObserver>,
     exporter: Option<FleetExporter>,
+    /// Replicated mode (v9): each server's own directory replica, keyed
+    /// by id. Empty = shared-directory mode (`self.directory` is the one
+    /// truth); non-empty = `self.directory` is a pull-only observer view
+    /// converged by its own gossiper.
+    replicas: HashMap<ServerId, Arc<Directory>>,
+    /// Running anti-entropy loops, one per replica. A killed server's
+    /// gossiper is stopped with it — a dead server must not keep
+    /// re-announcing itself from beyond the grave.
+    gossipers: HashMap<ServerId, Gossiper>,
+    /// The observer view's own pull loop (replicated mode).
+    view_gossiper: Option<Gossiper>,
+    /// Gossip rendezvous: every server address ever spawned in
+    /// replicated mode (static seeds survive mutual eviction).
+    seeds: Vec<SocketAddr>,
+    /// Gossip/standby cadence template for replicated spawns.
+    gossip_cfg: GossiperConfig,
 }
 
 impl LocalCluster {
@@ -130,21 +154,173 @@ impl LocalCluster {
     /// Panics if `n == 0`.
     pub fn spawn(n: usize, engine: &Engine, cfg: &ClusterServerConfig) -> std::io::Result<Self> {
         assert!(n > 0, "cluster needs at least one server");
-        let mut cluster = LocalCluster {
+        let mut cluster = Self::empty(engine, cfg);
+        for _ in 0..n {
+            cluster.spawn_server()?;
+        }
+        Ok(cluster)
+    }
+
+    /// Like [`LocalCluster::spawn`], but **replicated** (v9): each
+    /// server carries its own [`Directory`] replica, announced through
+    /// [`Directory::join_as`] and converged by a per-server [`Gossiper`]
+    /// (anti-entropy pulls against every peer, with all server addresses
+    /// — including later joiners' — as rendezvous seeds). `self.directory()` then returns a pull-only
+    /// *observer view* — a directory converged by its own gossiper but
+    /// never written locally — which clients route on exactly as they
+    /// would the shared one. Membership mutations issued through the
+    /// cluster handle ([`LocalCluster::drain_server`] etc.) are applied
+    /// to the lease holder's replica and spread by gossip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn spawn_replicated(
+        n: usize,
+        engine: &Engine,
+        cfg: &ClusterServerConfig,
+        gossip: GossiperConfig,
+    ) -> std::io::Result<Self> {
+        assert!(n > 0, "cluster needs at least one server");
+        let mut cluster = Self::empty(engine, cfg);
+        cluster.gossip_cfg = gossip;
+        for _ in 0..n {
+            cluster.spawn_replicated_server()?;
+        }
+        // The observer view: converges through pulls from the seeds, so
+        // the coordinator (and clients bootstrapping off it) sees the
+        // merged fleet without being a member.
+        cluster.view_gossiper = Some(Gossiper::spawn(
+            Arc::clone(&cluster.directory),
+            GossiperConfig {
+                identity: None,
+                seeds: cluster.seeds.clone(),
+                standby: false,
+                ..cluster.gossip_cfg.clone()
+            },
+        ));
+        Ok(cluster)
+    }
+
+    fn empty(engine: &Engine, cfg: &ClusterServerConfig) -> Self {
+        LocalCluster {
             directory: Arc::new(Directory::new()),
             servers: HashMap::new(),
             engine: engine.clone(),
             cfg: cfg.clone(),
             spawned: 0,
-            health: None,
+            health: Vec::new(),
             fleet_warmup: None,
             observer: None,
             exporter: None,
-        };
-        for _ in 0..n {
-            cluster.spawn_server()?;
+            replicas: HashMap::new(),
+            gossipers: HashMap::new(),
+            view_gossiper: None,
+            seeds: Vec::new(),
+            gossip_cfg: GossiperConfig::default(),
         }
-        Ok(cluster)
+    }
+
+    /// Whether this cluster runs per-server directory replicas (v9)
+    /// rather than one shared directory.
+    pub fn is_replicated(&self) -> bool {
+        !self.replicas.is_empty()
+    }
+
+    /// The directory membership mutations should be issued against: in
+    /// shared mode the one directory; in replicated mode the lease
+    /// holder's replica (gossip spreads the write). Falls back to any
+    /// replica when the observer view has not converged yet.
+    pub fn control_directory(&self) -> Arc<Directory> {
+        if self.replicas.is_empty() {
+            return Arc::clone(&self.directory);
+        }
+        self.directory
+            .lease_holder()
+            .and_then(|holder| self.replicas.get(&holder))
+            .or_else(|| {
+                let mut ids: Vec<&ServerId> = self.replicas.keys().collect();
+                ids.sort_unstable();
+                ids.first().and_then(|id| self.replicas.get(id))
+            })
+            .map(Arc::clone)
+            .expect("replicated cluster has at least one replica")
+    }
+
+    /// Server `id`'s own directory replica (replicated mode only).
+    pub fn replica(&self, id: ServerId) -> Option<Arc<Directory>> {
+        self.replicas.get(&id).map(Arc::clone)
+    }
+
+    fn next_server_cfg(&mut self) -> ClusterServerConfig {
+        let mut server_cfg = self.cfg.clone();
+        server_cfg.service.seed = self
+            .cfg
+            .service
+            .seed
+            .wrapping_add(0x517c_c1b7_2722_0a95u64.wrapping_mul(self.spawned + 1));
+        self.spawned += 1;
+        server_cfg
+    }
+
+    /// Spawns one more server in replicated mode: a fresh replica that
+    /// self-announces via `join_as` and converges through its gossiper.
+    /// Returns its stable id (`spawned - 1`, operator-assigned — gossip
+    /// has no central id allocator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_replicated_server(&mut self) -> std::io::Result<ServerId> {
+        let server_cfg = self.next_server_cfg();
+        let id = ServerId(self.spawned - 1);
+        let name = format!("local-{}", id.0);
+        let replica = Arc::new(Directory::new_replica(id));
+        let server = ClusterServer::spawn(
+            "127.0.0.1:0",
+            &self.engine,
+            server_cfg,
+            Some(Arc::clone(&replica)),
+        )?;
+        server.set_self_id(id);
+        let addr = server.addr();
+        replica.join_as(id, addr, &name, 1);
+        self.seeds.push(addr);
+        // Introduce the newcomer to every gossiper already running
+        // (members and the observer view). Pull-only anti-entropy never
+        // discovers a peer nobody points at: without this the first
+        // server's gossiper — whose seed snapshot predates the rest of
+        // the fleet — would pull from no one and its replica would never
+        // converge, and late joiners would stay invisible to incumbents.
+        for gossiper in self.gossipers.values() {
+            gossiper.add_seed(addr);
+        }
+        if let Some(view) = &self.view_gossiper {
+            view.add_seed(addr);
+        }
+        self.gossipers.insert(
+            id,
+            Gossiper::spawn(
+                Arc::clone(&replica),
+                GossiperConfig {
+                    identity: Some(GossipIdentity {
+                        id,
+                        addr,
+                        name,
+                        weight: 1,
+                    }),
+                    seeds: self.seeds.clone(),
+                    ..self.gossip_cfg.clone()
+                },
+            ),
+        );
+        self.replicas.insert(id, replica);
+        self.servers.insert(id, server);
+        Ok(id)
     }
 
     /// Spawns one more server and joins it into the directory (an epoch
@@ -155,13 +331,11 @@ impl LocalCluster {
     ///
     /// Propagates bind failures.
     pub fn spawn_server(&mut self) -> std::io::Result<ServerId> {
-        let mut server_cfg = self.cfg.clone();
-        server_cfg.service.seed = self
-            .cfg
-            .service
-            .seed
-            .wrapping_add(0x517c_c1b7_2722_0a95u64.wrapping_mul(self.spawned + 1));
-        self.spawned += 1;
+        assert!(
+            self.replicas.is_empty(),
+            "use spawn_replicated_server on a replicated cluster"
+        );
+        let server_cfg = self.next_server_cfg();
         let server = ClusterServer::spawn(
             "127.0.0.1:0",
             &self.engine,
@@ -193,12 +367,28 @@ impl LocalCluster {
         self.servers.get(&id)
     }
 
-    /// Starts a health checker over the fleet's directory: probe
-    /// failures mark members suspect and then evict them, bumping the
-    /// epoch clients re-resolve on.
+    /// Starts health checking: in shared mode one checker over the
+    /// fleet directory; in replicated mode one checker *per replica*,
+    /// each gated so only the lease holder evicts (suspect marks stay
+    /// ungated — they are how the lease expires). Idempotent.
     pub fn enable_health(&mut self, cfg: HealthConfig) {
-        self.health
-            .get_or_insert_with(|| HealthChecker::spawn(Arc::clone(&self.directory), cfg));
+        if !self.health.is_empty() {
+            return;
+        }
+        if self.replicas.is_empty() {
+            self.health
+                .push(HealthChecker::spawn(Arc::clone(&self.directory), cfg));
+            return;
+        }
+        for (&id, replica) in &self.replicas {
+            self.health.push(HealthChecker::spawn(
+                Arc::clone(replica),
+                HealthConfig {
+                    self_id: Some(id),
+                    ..cfg
+                },
+            ));
+        }
     }
 
     /// Starts the fleet-level warm-up controller (the demand-steered
@@ -267,6 +457,15 @@ impl LocalCluster {
     ///
     /// Panics if no server with `id` is running.
     pub fn kill_server(&mut self, id: ServerId) -> ServiceStats {
+        // In replicated mode the dead server's gossiper dies with it:
+        // its job was announcing and converging that replica, and a
+        // ghost that keeps re-announcing an evicted member would fight
+        // the health checker forever. The replica itself stays in the
+        // map so post-mortem inspection (tests asserting convergence)
+        // still works.
+        if let Some(gossiper) = self.gossipers.remove(&id) {
+            gossiper.stop();
+        }
         self.servers
             .remove(&id)
             .expect("server not running")
@@ -281,21 +480,28 @@ impl LocalCluster {
     ///
     /// Panics if no server with `id` is running.
     pub fn remove_server(&mut self, id: ServerId) -> ServiceStats {
-        self.directory.drain(id);
+        self.control_directory().drain(id);
+        if let Some(gossiper) = self.gossipers.remove(&id) {
+            gossiper.stop();
+        }
         let stats = self
             .servers
             .remove(&id)
             .expect("server not running")
             .shutdown();
-        self.directory.leave(id);
+        self.replicas.remove(&id);
+        self.control_directory().leave(id);
         stats
     }
 
     /// Marks a server draining (it keeps serving existing sessions but
     /// receives no new homes). The server keeps running until
     /// [`LocalCluster::kill_server`]/[`LocalCluster::remove_server`].
+    /// In replicated mode the drain lands on the lease holder's replica
+    /// and gossip spreads it — including to the drained server itself,
+    /// whose push loops then announce `DrainHandoff` in-stream.
     pub fn drain_server(&self, id: ServerId) {
-        self.directory.drain(id);
+        self.control_directory().drain(id);
     }
 
     /// Arms a seeded fault plan on server `id`'s data-path sessions (see
@@ -372,8 +578,14 @@ impl LocalCluster {
         if let Some(exporter) = self.exporter.take() {
             exporter.stop();
         }
-        if let Some(health) = self.health.take() {
+        for health in self.health.drain(..) {
             health.stop();
+        }
+        if let Some(gossiper) = self.view_gossiper.take() {
+            gossiper.stop();
+        }
+        for (_, gossiper) in self.gossipers.drain() {
+            gossiper.stop();
         }
         if let Some(warmup) = self.fleet_warmup.take() {
             warmup.stop();

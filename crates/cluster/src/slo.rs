@@ -333,6 +333,7 @@ mod tests {
             epoch: 1,
             servers: vec![ServerObservation {
                 id: ServerId(1),
+                directory_epoch: 0,
                 cots_served: 0,
                 extensions_run: cumulative_cots,
                 cots_per_extension: 1,

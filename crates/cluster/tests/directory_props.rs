@@ -3,6 +3,13 @@
 //! changed server move), epochs are strictly monotone across arbitrary
 //! mutation sequences, and delta sync always converges a follower to the
 //! leader's routing.
+//!
+//! The replication block below exercises the v9 `apply_delta` conflict
+//! edges: vector deltas commute (out-of-order delivery converges), are
+//! idempotent (duplicate delivery is a no-op), a stale delta arriving
+//! after a full-snapshot fallback cannot regress the replica, and two
+//! independently-mutating replicas converge bidirectionally to one
+//! membership and one epoch vector.
 
 use ironman_cluster::{Directory, ServerEntry, ServerId};
 use proptest::prelude::*;
@@ -142,5 +149,188 @@ proptest! {
             let session = format!("session-{s}");
             prop_assert_eq!(leader_snap.home(&session), follower_snap.home(&session));
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// v9 replication conflict edges.
+// ---------------------------------------------------------------------
+
+/// One scripted replica mutation. Joins go through `join_as` on a small
+/// shared id range so two independently-mutating replicas race
+/// conflicting writes *for the same id* — the interesting merge edge —
+/// instead of allocator-fresh ids that can never collide.
+fn replica_mutate(dir: &Directory, op: u64, lane: u64) {
+    let ids: Vec<ServerId> = dir.snapshot().members().iter().map(|m| m.id).collect();
+    let pick = |ids: &[ServerId]| ids[(op / 7) as usize % ids.len()];
+    match op % 7 {
+        0 | 5 => {
+            dir.join_as(
+                ServerId(50 + (op / 7) % 4),
+                addr(700 + lane * 50 + op % 40),
+                "r",
+                1 + (op % 3) as u32,
+            );
+        }
+        1 if ids.len() > 1 => {
+            dir.leave(pick(&ids));
+        }
+        2 if !ids.is_empty() => {
+            dir.drain(pick(&ids));
+        }
+        3 if !ids.is_empty() => {
+            dir.mark_suspect(pick(&ids));
+        }
+        4 if !ids.is_empty() => {
+            dir.mark_up(pick(&ids));
+        }
+        _ => {}
+    }
+}
+
+/// A replica's observable state, comparison-friendly: sorted member
+/// tuples plus the epoch vector. Two replicas with equal fingerprints
+/// route identically (the ring is a pure function of the members).
+fn fingerprint(dir: &Directory) -> (Vec<String>, Vec<(u64, u64)>) {
+    let snap = dir.snapshot();
+    let mut members: Vec<String> = snap
+        .members()
+        .iter()
+        .map(|m| {
+            format!(
+                "{}|{}|{}|{:?}|{}",
+                m.id.0, m.addr, m.name, m.state, m.weight
+            )
+        })
+        .collect();
+    members.sort();
+    (members, dir.epoch_vector())
+}
+
+/// A fresh replica bootstrapped from `base`'s full snapshot.
+fn seeded_replica(origin: u64, base: &Directory) -> Directory {
+    let replica = Directory::new_replica(ServerId(origin));
+    replica.apply_delta(&base.delta_since(0));
+    replica
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Out-of-order anti-entropy delivery converges. Deltas are fetched
+    /// the way the protocol fetches them — each against the vector the
+    /// follower holds at fetch time — but *applied* in an arbitrary
+    /// later order (racing in-flight pulls, stale re-delivery) while
+    /// the leader keeps mutating; one fresh pull at the end must land
+    /// the follower exactly on the leader.
+    #[test]
+    fn out_of_order_racing_pulls_converge(
+        ops in proptest::collection::vec(any::<u64>(), 1..40),
+        schedule in proptest::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let base = fleet(3, 11);
+        let leader = seeded_replica(90, &base);
+        let follower = seeded_replica(91, &base);
+        let mut pending: Vec<ironman_net::DirectoryDelta> = Vec::new();
+        for (op, choice) in ops.iter().zip(schedule.iter().cycle()) {
+            replica_mutate(&leader, *op, 0);
+            match choice % 3 {
+                0 => pending.push(leader.delta_by_vector(&follower.epoch_vector())),
+                1 if !pending.is_empty() => {
+                    let delta = pending.remove((choice / 3) as usize % pending.len());
+                    follower.apply_delta(&delta);
+                }
+                _ => {}
+            }
+        }
+        // Drain the in-flight deltas newest-first — the maximally
+        // reordered delivery — then complete one clean pull.
+        for delta in pending.drain(..).rev() {
+            follower.apply_delta(&delta);
+        }
+        follower.apply_delta(&leader.delta_by_vector(&follower.epoch_vector()));
+        prop_assert_eq!(fingerprint(&follower), fingerprint(&leader));
+    }
+
+    /// Duplicate delivery is a no-op: re-applying a delta the replica
+    /// has already merged reports no change and perturbs nothing.
+    #[test]
+    fn duplicate_delta_is_idempotent(
+        ops in proptest::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let base = fleet(3, 12);
+        let leader = seeded_replica(90, &base);
+        let follower = seeded_replica(91, &base);
+        for op in &ops {
+            replica_mutate(&leader, *op, 0);
+        }
+        let delta = leader.delta_by_vector(&follower.epoch_vector());
+        follower.apply_delta(&delta);
+        let once = fingerprint(&follower);
+        prop_assert!(!follower.apply_delta(&delta), "duplicate delta claimed changes");
+        prop_assert_eq!(fingerprint(&follower), once);
+    }
+
+    /// A stale incremental delta arriving *after* the replica has
+    /// bootstrapped from a newer full-snapshot fallback cannot regress
+    /// it: every stale record loses to a stamp (or tombstone) the
+    /// snapshot already carried, or is rejected as covered-but-unknown.
+    #[test]
+    fn stale_delta_after_snapshot_fallback_cannot_regress(
+        early in proptest::collection::vec(any::<u64>(), 1..20),
+        late in proptest::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let base = fleet(3, 13);
+        let leader = seeded_replica(90, &base);
+        let follower = Directory::new_replica(ServerId(91));
+        for op in &early {
+            replica_mutate(&leader, *op, 0);
+        }
+        // In flight while the follower instead bootstraps from a full
+        // snapshot taken after further churn (leaves included, so the
+        // stale delta carries records the snapshot has since removed).
+        let stale = leader.delta_by_vector(&follower.epoch_vector());
+        for op in &late {
+            replica_mutate(&leader, *op, 0);
+        }
+        // Grind suspect/up flaps until the change log truncates past
+        // epoch 0 — only then is a from-zero delta a genuine snapshot
+        // fallback rather than an incremental replay.
+        while !leader.delta_since(0).full {
+            let id = leader.snapshot().members()[0].id;
+            leader.mark_suspect(id);
+            leader.mark_up(id);
+        }
+        let full = leader.delta_since(0);
+        prop_assert!(full.full, "a from-zero delta must be a snapshot fallback");
+        follower.apply_delta(&full);
+        let synced = fingerprint(&follower);
+        prop_assert!(!follower.apply_delta(&stale), "stale delta claimed changes");
+        prop_assert_eq!(fingerprint(&follower), synced);
+    }
+
+    /// Two replicas mutating independently — including conflicting
+    /// writes to the *same* member ids — converge to one membership and
+    /// one epoch vector after bidirectional anti-entropy, regardless of
+    /// what either side did.
+    #[test]
+    fn bidirectional_gossip_converges(
+        ops_a in proptest::collection::vec(any::<u64>(), 0..30),
+        ops_b in proptest::collection::vec(any::<u64>(), 0..30),
+    ) {
+        let base = fleet(3, 14);
+        let a = seeded_replica(90, &base);
+        let b = seeded_replica(91, &base);
+        for op in &ops_a {
+            replica_mutate(&a, *op, 0);
+        }
+        for op in &ops_b {
+            replica_mutate(&b, *op, 1);
+        }
+        for _ in 0..2 {
+            b.apply_delta(&a.delta_by_vector(&b.epoch_vector()));
+            a.apply_delta(&b.delta_by_vector(&a.epoch_vector()));
+        }
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
     }
 }

@@ -187,6 +187,7 @@ const SEC: u64 = 1_000_000_000;
 fn obs(id: u64, extensions: u64, served: u64, uptime: u64) -> ServerObservation {
     ServerObservation {
         id: ServerId(id),
+        directory_epoch: 0,
         cots_served: served,
         extensions_run: extensions,
         cots_per_extension: 10,

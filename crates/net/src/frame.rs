@@ -60,8 +60,15 @@ pub const MAGIC: [u8; 4] = *b"IRNM";
 /// supply-starved) server decline work with a retry hint instead of
 /// hanging or hard-failing clients, and the `Stats` reply grew the
 /// robustness counters (timed-out ops, evicted slow subscribers,
-/// unavailable rejections, injected faults).
-pub const VERSION: u16 = 8;
+/// unavailable rejections, injected faults); **9** — replicated
+/// directories: membership records carry per-origin version stamps
+/// (`weight`/`origin`/`version` joined the member layout), directory
+/// deltas carry the sender's per-origin epoch vector, the server↔server
+/// `Gossip`/`GossipDelta` pair runs anti-entropy convergence between
+/// directory replicas, and a draining server announces its ring
+/// successor in-stream with the `DrainHandoff` push so failover costs
+/// the client zero extra roundtrips.
+pub const VERSION: u16 = 9;
 
 /// Per-frame header size (the `u32` length prefix).
 pub const FRAME_HEADER_LEN: usize = 4;

@@ -120,7 +120,11 @@
 //! `Unavailable{retry_after_ms}` decline and the robustness counters
 //! (evicted subscribers, unavailable declines, injected faults) in the
 //! `Stats` reply — see *Deadlines, retries & fault injection (v8)*
-//! below. **Hardening:** frames above
+//! below; version **9** added directory replication — the
+//! `Gossip`/`GossipDelta` anti-entropy exchange, per-origin stamps and
+//! epoch vectors on membership records, the pushed `DrainHandoff`, and
+//! the server's replica epoch in the `Stats` reply — see *Directory
+//! replication (v9)* below. **Hardening:** frames above
 //! [`frame::MAX_FRAME_LEN`] (1 GiB) are rejected before allocation,
 //! truncation and bad magic are errors (never panics), and a session that
 //! sends garbage gets an error response and its connection — only its
@@ -278,6 +282,48 @@
 //!   atomic load per buffered I/O call), so a chaos schedule can corrupt
 //!   and heal **live** links mid-session; injected faults are counted
 //!   into [`ServiceStats::faults_injected`] and traced (`FaultInjected`).
+//!
+//! # Directory replication (v9)
+//!
+//! Through v8 a fleet's membership lived in **one** in-process
+//! directory that every server shared. Wire version 9 gives each server
+//! its *own* replica and makes the replicas converge over this
+//! protocol, so membership survives process and network boundaries:
+//!
+//! * **Stamped records.** Every [`MemberRecord`] carries a last-writer
+//!   stamp — `origin` (the replica that wrote it) and a per-origin
+//!   Lamport `version` — plus its routing `weight` and `addr`/`name`.
+//!   [`DirectoryDelta`] carries the sender's per-origin epoch `vector`
+//!   alongside the scalar epoch. The merge rule is deterministic on
+//!   every replica: higher version wins, ties go to the lower origin,
+//!   removals persist as tombstones, and an unknown record already
+//!   covered by the receiver's vector is rejected rather than
+//!   resurrected.
+//! * **Anti-entropy pull.** `Gossip{from, vector}` presents a replica's
+//!   epoch vector; the answer `GossipDelta(delta)` contains exactly the
+//!   records that vector does not cover, never a full-snapshot claim —
+//!   anti-entropy merges record by record so concurrent writes on the
+//!   receiver survive. Pulls piggyback on the health-probe cadence
+//!   (`ironman-cluster`'s `Gossiper`); a client can present
+//!   `from = u64::MAX` to sync its routing view without announcing
+//!   itself. After a gossip exchange the session is epoch-current, like
+//!   a v4 `Sync`.
+//! * **Membership writes** stay local to a replica and spread by being
+//!   pulled: joins self-announce (a member that finds its own record
+//!   evicted re-announces over the tombstone with a winning stamp),
+//!   evictions are gated on a leader lease (lowest live id), and
+//!   conflicting writes from a partition resolve by the stamp rule the
+//!   moment the islands can pull from each other again.
+//! * **Drain handoff.** A draining server pushes `DrainHandoff{id,
+//!   addr, name}` — its ring successor for the subscriber's session —
+//!   once per subscription, costing no credits. The client fails over
+//!   to the named successor directly instead of burning a probe on
+//!   rediscovery.
+//! * **Warm standbys.** `Warm{watermark, max_refills}` (v4) aimed at a
+//!   ring successor on the gossip cadence keeps a crash-failover target
+//!   buffer-warm; `Stats` carries the serving replica's
+//!   [`ServiceStats::directory_epoch`] so observers can chart gossip
+//!   lag as the spread between replicas' epochs.
 //!
 //! # Quickstart
 //!

@@ -21,7 +21,10 @@
 //! 0x09 Warm      { watermark: u64,                       m, m × member }
 //!                  max_refills: u64 }   0x89 Warmed    { refills: u64 }
 //! 0x0A Trace     { max_events: u64 }    0x8A TraceDump { e, e × event }
-//!                                       0x8B Unavail   { retry_after_ms: u64 }
+//! 0x0B Gossip    { from: u64,           0x8B Unavail   { retry_after_ms: u64 }
+//!                  v, v × vec-entry }   0x8C GossipDelta { delta }
+//!                                       0x8D DrainHandoff { id: u64, addr: lp-bytes,
+//!                                                           name: lp-bytes }
 //!                                       0xFF Error     { message: lp-bytes }
 //! ```
 //!
@@ -30,8 +33,11 @@
 //! `{avail, ext, taken, warm, sess_ext, sess_stall} × u64 ‖ latency`;
 //! `latency` = 4 histogram snapshots (request→first-byte, chunk-push,
 //! extension, stall — each `count, sum, max: u64, e: u16, e × {index:
-//! u16, count: u64}`); `member` = `{id: u64, state: u8, addr: lp-bytes,
-//! name: lp-bytes}`; `event` = `{at: u64, kind: u8, arg: u64}`.)
+//! u16, count: u64}`); `member` = `{id: u64, state: u8, weight: u32,
+//! origin: u64, version: u64, addr: lp-bytes, name: lp-bytes}`;
+//! `vec-entry` = `{origin: u64, version: u64}`; `delta` = `{epoch: u64,
+//! full: u8, v, v × vec-entry, m, m × member}`; `event` = `{at: u64,
+//! kind: u8, arg: u64}`.)
 //!
 //! # Streaming subscriptions (v2)
 //!
@@ -63,6 +69,26 @@
 //! `max_refills` shards, driest first); the fleet-level warm-up
 //! controller in `ironman-cluster` steers its global refill budget
 //! through this op.
+//!
+//! # Directory replication (v9)
+//!
+//! Each server carries its *own* directory replica; replicas converge
+//! through pull-based anti-entropy. Every membership record carries a
+//! stamp `(origin, version)` naming which replica wrote it and at what
+//! per-origin version; a replica's summary of everything it has seen is
+//! its *epoch vector* (`origin → highest version`). `Gossip{from,
+//! vector}` presents the requester's vector; the responder answers with
+//! `GossipDelta` carrying exactly the records whose stamps the vector
+//! has not covered (removals travel as [`MemberWireState::Left`]
+//! tombstones, never as full-snapshot clears — a clear would erase
+//! concurrent writes the responder hasn't seen). The merge rule is
+//! last-writer-wins on the stamp: higher `version` wins, ties break to
+//! the *lower* `origin` — deterministic, commutative, and idempotent,
+//! so any gossip order converges every replica to the same membership.
+//! `DrainHandoff{id, addr, name}` is a server-initiated push inside an
+//! active subscription: a draining server names the session's ring
+//! successor so the client fails over directly, spending zero extra
+//! roundtrips discovering where its stream went.
 
 use ironman_core::{CotBatch, CotSlice};
 use ironman_ot::channel::{decode_bits_into, encode_bits_into, ChannelError};
@@ -133,6 +159,16 @@ pub enum Request {
         /// kept; a server-side cap applies on top).
         max_events: u64,
     },
+    /// Anti-entropy pull (v9): presents the requester's per-origin epoch
+    /// vector; answered with [`Response::GossipDelta`] carrying every
+    /// membership record the vector has not covered.
+    Gossip {
+        /// The requesting replica's server id (its stamp origin).
+        from: u64,
+        /// The requester's epoch vector: `(origin, highest version
+        /// seen)`, ascending by origin.
+        vector: Vec<(u64, u64)>,
+    },
 }
 
 /// Server → client messages.
@@ -199,6 +235,22 @@ pub enum Response {
         /// milliseconds.
         retry_after_ms: u64,
     },
+    /// The anti-entropy delta answering a [`Request::Gossip`] (v9):
+    /// every record whose stamp the requester's vector had not covered,
+    /// plus the responder's own vector.
+    GossipDelta(DirectoryDelta),
+    /// A server-initiated push inside an active subscription (v9): this
+    /// server is draining and the named member is the session's ring
+    /// successor. The client should finish the stream there; the push
+    /// consumes no credit and carries no chunk.
+    DrainHandoff {
+        /// The successor's stable server id.
+        id: u64,
+        /// The successor's listening address.
+        addr: String,
+        /// The successor's display name.
+        name: String,
+    },
     /// The request could not be served.
     Error(
         /// Human-readable reason.
@@ -248,6 +300,18 @@ pub struct MemberRecord {
     pub id: u64,
     /// The member's state at the delta's epoch.
     pub state: MemberWireState,
+    /// Relative ring weight (v9): a weight-`w` member takes `w×` the
+    /// base member's share of virtual ring nodes. 1 for homogeneous
+    /// fleets; 0 decodes but is clamped up by the directory.
+    pub weight: u32,
+    /// Stamp origin (v9): the replica (server id) that wrote this
+    /// record's current value. [`u64::MAX`] for unattributed writers
+    /// (plain clients), which lose every stamp tie.
+    pub origin: u64,
+    /// Stamp version (v9): the writing origin's per-origin mutation
+    /// counter at write time. Higher version wins a merge; equal
+    /// versions break to the lower origin.
+    pub version: u64,
     /// Listening address, as a parseable socket-address string.
     pub addr: String,
     /// Display name.
@@ -264,6 +328,10 @@ pub struct DirectoryDelta {
     pub epoch: u64,
     /// Whether `members` is a complete snapshot rather than a delta.
     pub full: bool,
+    /// The sender's per-origin epoch vector (v9), ascending by origin.
+    /// Empty from pre-replication code paths; a receiver folds it in by
+    /// pointwise maximum.
+    pub vector: Vec<(u64, u64)>,
     /// The changed (or, for a snapshot, all) members.
     pub members: Vec<MemberRecord>,
 }
@@ -449,6 +517,7 @@ const OP_UNSUBSCRIBE: u8 = 0x07;
 const OP_SYNC: u8 = 0x08;
 const OP_WARM: u8 = 0x09;
 const OP_TRACE: u8 = 0x0A;
+const OP_GOSSIP: u8 = 0x0B;
 const OP_WELCOME: u8 = 0x81;
 const OP_COTS: u8 = 0x82;
 const OP_STATS_REPLY: u8 = 0x83;
@@ -460,10 +529,21 @@ const OP_DIRECTORY_UPDATE: u8 = 0x88;
 const OP_WARMED: u8 = 0x89;
 const OP_TRACE_DUMP: u8 = 0x8A;
 const OP_UNAVAILABLE: u8 = 0x8B;
+const OP_GOSSIP_DELTA: u8 = 0x8C;
+const OP_DRAIN_HANDOFF: u8 = 0x8D;
 const OP_ERROR: u8 = 0xFF;
 
 /// Wire footprint of one [`TraceEvent`] (`at: u64, kind: u8, arg: u64`).
 const TRACE_EVENT_LEN: usize = 17;
+
+/// Wire footprint of one epoch-vector entry (`origin: u64, version:
+/// u64`).
+const VECTOR_ENTRY_LEN: usize = 16;
+
+/// Smallest wire footprint of one [`MemberRecord`] (`id: u64, state: u8,
+/// weight: u32, origin: u64, version: u64` plus two empty `lp-bytes`
+/// fields).
+const MEMBER_RECORD_MIN_LEN: usize = 8 + 1 + 4 + 8 + 8 + 16;
 
 fn put_lp_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
@@ -497,6 +577,12 @@ impl<'a> Reader<'a> {
     fn u64(&mut self) -> Result<u64, ChannelError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ChannelError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
         ))
     }
 
@@ -558,6 +644,85 @@ impl<'a> Reader<'a> {
 
 fn malformed(expected: usize, actual: usize) -> ChannelError {
     ChannelError::Malformed { expected, actual }
+}
+
+/// Appends an epoch vector (`count, count × {origin, version}`).
+fn put_vector(out: &mut Vec<u8>, vector: &[(u64, u64)]) {
+    out.extend_from_slice(&(vector.len() as u64).to_le_bytes());
+    for (origin, version) in vector {
+        out.extend_from_slice(&origin.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
+    }
+}
+
+/// Parses an epoch vector with the usual hostile-count guard.
+fn read_vector(r: &mut Reader<'_>, rest: &[u8]) -> Result<Vec<(u64, u64)>, ChannelError> {
+    let count = r.u64()? as usize;
+    let remaining = rest.len().saturating_sub(r.pos);
+    if count
+        .checked_mul(VECTOR_ENTRY_LEN)
+        .is_none_or(|need| need > remaining)
+    {
+        return Err(malformed(count.saturating_mul(VECTOR_ENTRY_LEN), remaining));
+    }
+    (0..count).map(|_| Ok((r.u64()?, r.u64()?))).collect()
+}
+
+/// Appends the shared [`DirectoryDelta`] layout (`epoch, full, vector,
+/// m, m × member`) used by both `DirectoryUpdate` and `GossipDelta`.
+fn encode_delta_into(out: &mut Vec<u8>, delta: &DirectoryDelta) {
+    out.extend_from_slice(&delta.epoch.to_le_bytes());
+    out.push(u8::from(delta.full));
+    put_vector(out, &delta.vector);
+    out.extend_from_slice(&(delta.members.len() as u64).to_le_bytes());
+    for m in &delta.members {
+        out.extend_from_slice(&m.id.to_le_bytes());
+        out.push(m.state.to_u8());
+        out.extend_from_slice(&m.weight.to_le_bytes());
+        out.extend_from_slice(&m.origin.to_le_bytes());
+        out.extend_from_slice(&m.version.to_le_bytes());
+        put_lp_bytes(out, m.addr.as_bytes());
+        put_lp_bytes(out, m.name.as_bytes());
+    }
+}
+
+/// Parses the shared [`DirectoryDelta`] layout. A hostile member count
+/// must not drive allocation past the actual payload
+/// ([`MEMBER_RECORD_MIN_LEN`] bytes is the smallest member record).
+fn read_delta<'a>(r: &mut Reader<'a>, rest: &'a [u8]) -> Result<DirectoryDelta, ChannelError> {
+    let epoch = r.u64()?;
+    let full = r.u8()? != 0;
+    let vector = read_vector(r, rest)?;
+    let count = r.u64()? as usize;
+    let remaining = rest.len().saturating_sub(r.pos);
+    if count
+        .checked_mul(MEMBER_RECORD_MIN_LEN)
+        .is_none_or(|need| need > remaining)
+    {
+        return Err(malformed(
+            count.saturating_mul(MEMBER_RECORD_MIN_LEN),
+            remaining,
+        ));
+    }
+    let members = (0..count)
+        .map(|_| {
+            Ok(MemberRecord {
+                id: r.u64()?,
+                state: MemberWireState::from_u8(r.u8()?)?,
+                weight: r.u32()?,
+                origin: r.u64()?,
+                version: r.u64()?,
+                addr: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
+                name: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
+            })
+        })
+        .collect::<Result<Vec<_>, ChannelError>>()?;
+    Ok(DirectoryDelta {
+        epoch,
+        full,
+        vector,
+        members,
+    })
 }
 
 /// Appends the shared batch layout (`delta, n, z[n], y[n], bits(x)`) used
@@ -738,6 +903,12 @@ impl Request {
                 out.extend_from_slice(&max_events.to_le_bytes());
                 out
             }
+            Request::Gossip { from, vector } => {
+                let mut out = vec![OP_GOSSIP];
+                out.extend_from_slice(&from.to_le_bytes());
+                put_vector(&mut out, vector);
+                out
+            }
         }
     }
 
@@ -771,6 +942,10 @@ impl Request {
             },
             OP_TRACE => Request::Trace {
                 max_events: r.u64()?,
+            },
+            OP_GOSSIP => Request::Gossip {
+                from: r.u64()?,
+                vector: read_vector(&mut r, rest)?,
             },
             _ => return Err(malformed(OP_HELLO as usize, op as usize)),
         };
@@ -848,15 +1023,17 @@ impl Response {
             }
             Response::DirectoryUpdate(delta) => {
                 out.push(OP_DIRECTORY_UPDATE);
-                out.extend_from_slice(&delta.epoch.to_le_bytes());
-                out.push(u8::from(delta.full));
-                out.extend_from_slice(&(delta.members.len() as u64).to_le_bytes());
-                for m in &delta.members {
-                    out.extend_from_slice(&m.id.to_le_bytes());
-                    out.push(m.state.to_u8());
-                    put_lp_bytes(out, m.addr.as_bytes());
-                    put_lp_bytes(out, m.name.as_bytes());
-                }
+                encode_delta_into(out, delta);
+            }
+            Response::GossipDelta(delta) => {
+                out.push(OP_GOSSIP_DELTA);
+                encode_delta_into(out, delta);
+            }
+            Response::DrainHandoff { id, addr, name } => {
+                out.push(OP_DRAIN_HANDOFF);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_lp_bytes(out, addr.as_bytes());
+                put_lp_bytes(out, name.as_bytes());
             }
             Response::Warmed { refills } => {
                 out.push(OP_WARMED);
@@ -970,33 +1147,13 @@ impl Response {
                 cots: r.u64()?,
             },
             OP_WRONG_EPOCH => Response::WrongEpoch { epoch: r.u64()? },
-            OP_DIRECTORY_UPDATE => {
-                let epoch = r.u64()?;
-                let full = r.u8()? != 0;
-                let count = r.u64()? as usize;
-                // Each member record is at least 9 bytes (id + state) plus
-                // two length prefixes; a hostile count must not drive
-                // allocation past the actual payload.
-                let remaining = rest.len().saturating_sub(r.pos);
-                if count.checked_mul(25).is_none_or(|need| need > remaining) {
-                    return Err(malformed(count.saturating_mul(25), remaining));
-                }
-                let members = (0..count)
-                    .map(|_| {
-                        Ok(MemberRecord {
-                            id: r.u64()?,
-                            state: MemberWireState::from_u8(r.u8()?)?,
-                            addr: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
-                            name: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
-                        })
-                    })
-                    .collect::<Result<Vec<_>, ChannelError>>()?;
-                Response::DirectoryUpdate(DirectoryDelta {
-                    epoch,
-                    full,
-                    members,
-                })
-            }
+            OP_DIRECTORY_UPDATE => Response::DirectoryUpdate(read_delta(&mut r, rest)?),
+            OP_GOSSIP_DELTA => Response::GossipDelta(read_delta(&mut r, rest)?),
+            OP_DRAIN_HANDOFF => Response::DrainHandoff {
+                id: r.u64()?,
+                addr: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
+                name: String::from_utf8_lossy(r.lp_bytes()?).into_owned(),
+            },
             OP_WARMED => Response::Warmed { refills: r.u64()? },
             OP_UNAVAILABLE => Response::Unavailable {
                 retry_after_ms: r.u64()?,
@@ -1143,6 +1300,14 @@ mod tests {
             max_refills: 2,
         });
         round_trip_request(Request::Trace { max_events: 256 });
+        round_trip_request(Request::Gossip {
+            from: 3,
+            vector: vec![(1, 4), (2, 9), (u64::MAX, 1)],
+        });
+        round_trip_request(Request::Gossip {
+            from: 0,
+            vector: Vec::new(),
+        });
     }
 
     #[test]
@@ -1159,29 +1324,44 @@ mod tests {
         round_trip_response(Response::Unavailable {
             retry_after_ms: 250,
         });
-        round_trip_response(Response::DirectoryUpdate(DirectoryDelta {
+        let delta = DirectoryDelta {
             epoch: 9,
             full: false,
+            vector: vec![(1, 5), (5, 4)],
             members: vec![
                 MemberRecord {
                     id: 2,
                     state: MemberWireState::Left,
+                    weight: 1,
+                    origin: 1,
+                    version: 5,
                     addr: "10.0.0.2:7000".into(),
                     name: "cot-2".into(),
                 },
                 MemberRecord {
                     id: 5,
                     state: MemberWireState::Up,
+                    weight: 4,
+                    origin: 5,
+                    version: 3,
                     addr: "10.0.0.5:7000".into(),
                     name: "cot-5".into(),
                 },
             ],
-        }));
+        };
+        round_trip_response(Response::DirectoryUpdate(delta.clone()));
+        round_trip_response(Response::GossipDelta(delta));
         round_trip_response(Response::DirectoryUpdate(DirectoryDelta {
             epoch: 1,
             full: true,
+            vector: Vec::new(),
             members: Vec::new(),
         }));
+        round_trip_response(Response::DrainHandoff {
+            id: 7,
+            addr: "10.0.0.7:7000".into(),
+            name: "cot-7".into(),
+        });
         round_trip_response(Response::Stats(Box::new(ServiceStats {
             clients_served: 4,
             cots_served: 1 << 22,
@@ -1330,11 +1510,28 @@ mod tests {
 
     #[test]
     fn hostile_member_count_rejected_without_allocation() {
-        let mut bytes = vec![OP_DIRECTORY_UPDATE];
-        bytes.extend_from_slice(&7u64.to_le_bytes()); // epoch
-        bytes.push(0); // full
-        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
-        assert!(Response::decode(&bytes).is_err());
+        for op in [OP_DIRECTORY_UPDATE, OP_GOSSIP_DELTA] {
+            let mut bytes = vec![op];
+            bytes.extend_from_slice(&7u64.to_le_bytes()); // epoch
+            bytes.push(0); // full
+            bytes.extend_from_slice(&0u64.to_le_bytes()); // empty vector
+            bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // member count
+            assert!(Response::decode(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn hostile_vector_count_rejected_without_allocation() {
+        let mut gossip = vec![OP_GOSSIP];
+        gossip.extend_from_slice(&1u64.to_le_bytes()); // from
+        gossip.extend_from_slice(&u64::MAX.to_le_bytes()); // vector count
+        assert!(Request::decode(&gossip).is_err());
+
+        let mut delta = vec![OP_GOSSIP_DELTA];
+        delta.extend_from_slice(&7u64.to_le_bytes()); // epoch
+        delta.push(1); // full
+        delta.extend_from_slice(&u64::MAX.to_le_bytes()); // vector count
+        assert!(Response::decode(&delta).is_err());
     }
 
     #[test]

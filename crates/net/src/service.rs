@@ -60,10 +60,14 @@ type SessionTransport = StreamTransport<FaultyStream<TcpStream>, FaultyStream<Tc
 /// constructed without one (the plain single-server shape) never fences
 /// requests and reports epoch 0.
 ///
-/// The two methods are the whole fencing contract: `epoch` tells the
-/// serve path whether a session's announced epoch is stale, and
+/// The first two methods are the whole fencing contract: `epoch` tells
+/// the serve path whether a session's announced epoch is stale, and
 /// `delta_since` builds the `DirectoryUpdate` that brings the session
-/// current again.
+/// current again. The remaining two are the v9 replication surface,
+/// with defaults that keep pre-replication directories working
+/// unchanged: `gossip_delta` answers an anti-entropy `Gossip` pull, and
+/// `successor_for` names the drain-handoff successor a subscription
+/// push loop should announce.
 pub trait DirectoryView: Send + Sync + std::fmt::Debug {
     /// The directory's current epoch (monotonically increasing).
     fn epoch(&self) -> u64;
@@ -71,6 +75,21 @@ pub trait DirectoryView: Send + Sync + std::fmt::Debug {
     /// The membership changes between `epoch` and now (or a full
     /// snapshot when the change log no longer reaches back that far).
     fn delta_since(&self, epoch: u64) -> DirectoryDelta;
+
+    /// The anti-entropy answer to a peer presenting its per-origin
+    /// epoch `vector`: every record the vector does not cover, or
+    /// `None` from a directory without replication support (the server
+    /// then answers the `Gossip` request with an error).
+    fn gossip_delta(&self, _vector: &[(u64, u64)]) -> Option<DirectoryDelta> {
+        None
+    }
+
+    /// The `Up` member a draining server `self_id` should hand
+    /// `session`'s stream to — `Some` only while `self_id` is actually
+    /// draining, so one call per push doubles as the drain check.
+    fn successor_for(&self, _session: &str, _self_id: u64) -> Option<crate::proto::MemberRecord> {
+        None
+    }
 }
 
 /// The service's own latency sinks (v6): per-shard serving-path
@@ -269,6 +288,10 @@ struct ServiceShared {
     /// Write deadline applied to session sockets, in milliseconds (the
     /// slow-consumer guard).
     push_timeout_ms: AtomicU64,
+    /// This server's own member id in the attached directory
+    /// (`u64::MAX` = unset, e.g. standalone or shared-directory mode) —
+    /// what the drain-handoff check asks the directory about.
+    self_id: AtomicU64,
 }
 
 impl ServiceShared {
@@ -466,6 +489,7 @@ impl CotService {
             faults,
             unavailable_until: AtomicU64::new(0),
             push_timeout_ms: AtomicU64::new(DEFAULT_PUSH_TIMEOUT.as_millis() as u64),
+            self_id: AtomicU64::new(u64::MAX),
         });
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -480,6 +504,15 @@ impl CotService {
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// Tells the service which member of the attached directory it *is*
+    /// (a replicated server's own id). With this set, the push loop of
+    /// every subscription checks the directory for a drain of this
+    /// member and announces the ring successor in-stream with one
+    /// `DrainHandoff` push — the cooperative-drain half of wire v9.
+    pub fn set_self_id(&self, id: u64) {
+        self.shared.self_id.store(id, Ordering::Relaxed);
     }
 
     /// The shared pool backing this service.
@@ -712,6 +745,9 @@ fn serve_session<R: Read, W: Write>(
     // The directory epoch this session last announced (`Hello`/`Sync`);
     // `None` for epoch-unaware sessions, which are never fenced.
     let mut session_epoch: Option<u64> = None;
+    // The session name from `Hello` — the ring-placement key the drain
+    // handoff resolves the successor of.
+    let mut session_name = String::new();
     // Per-session retained buffers: requests land in `recv`, responses
     // are encoded in place into the alternating `scratch` frame buffers.
     // After the first few exchanges size them, the session's steady state
@@ -736,7 +772,8 @@ fn serve_session<R: Read, W: Write>(
         // when telemetry is compiled out.
         let first_byte_watch = Stopwatch::start();
         match request {
-            Request::Hello { epoch, .. } => {
+            Request::Hello { name, epoch } => {
+                session_name = name;
                 session_epoch = (epoch != EPOCH_UNAWARE).then_some(epoch);
                 scratch.begin();
                 Response::Welcome {
@@ -826,6 +863,7 @@ fn serve_session<R: Read, W: Write>(
                         shared,
                         batch as usize,
                         credits,
+                        &session_name,
                         &mut recv,
                         &mut scratch,
                     )?;
@@ -849,6 +887,25 @@ fn serve_session<R: Read, W: Write>(
                         // request passes the fence.
                         session_epoch = Some(delta.epoch);
                         Response::DirectoryUpdate(delta).encode_into(scratch.buf());
+                    }
+                    None => encode_error_into(scratch.buf(), "no directory attached"),
+                }
+            }
+            Request::Gossip { from: _, vector } => {
+                // Anti-entropy pull (v9): answer the peer's epoch vector
+                // with every record it has not seen. Like `Sync`, a
+                // successful pull brings the session current for the
+                // fence — a vector-resyncing client passes it without a
+                // second round trip.
+                scratch.begin();
+                match shared
+                    .directory
+                    .as_ref()
+                    .and_then(|d| d.gossip_delta(&vector))
+                {
+                    Some(delta) => {
+                        session_epoch = Some(delta.epoch);
+                        Response::GossipDelta(delta).encode_into(scratch.buf());
                     }
                     None => encode_error_into(scratch.buf(), "no directory attached"),
                 }
@@ -950,14 +1007,40 @@ fn serve_subscription<R: Read, W: Write>(
     shared: &ServiceShared,
     batch: usize,
     mut credits: u64,
+    session: &str,
     recv: &mut Vec<u8>,
     scratch: &mut Scratch,
 ) -> Result<(), ChannelError> {
     let mut chunks = 0u64;
     let mut cots = 0u64;
+    let mut handoff_sent = false;
+    let self_id = shared.self_id.load(Ordering::Relaxed);
     let mut pending = PendingCots::new(&shared.counters.pending_stream_cots);
     pending.grant(credits.saturating_mul(batch as u64));
     loop {
+        // Cooperative drain (v9): once this server is marked draining,
+        // announce the session's ring successor in-stream — one push,
+        // no credit consumed — so the client can fail over without a
+        // single discovery round trip. `successor_for` is `Some` only
+        // while the member is actually draining, so the steady-state
+        // cost is one relaxed load and one snapshot read per chunk.
+        if !handoff_sent && self_id != u64::MAX {
+            if let Some(succ) = shared
+                .directory
+                .as_ref()
+                .and_then(|d| d.successor_for(session, self_id))
+            {
+                scratch.begin();
+                Response::DrainHandoff {
+                    id: succ.id,
+                    addr: succ.addr,
+                    name: succ.name,
+                }
+                .encode_into(scratch.buf());
+                scratch.finish_and_send(ch, None)?;
+                handoff_sent = true;
+            }
+        }
         if shared.stop.load(Ordering::SeqCst) {
             // Server-initiated shutdown ends the stream cleanly: the
             // trailer tells the client exactly what it was sent.
@@ -1249,6 +1332,33 @@ impl CotClient {
         }
     }
 
+    /// Anti-entropy pull (v9): presents `vector` (this side's per-origin
+    /// epoch vector, `from` identifying the pulling replica —
+    /// `u64::MAX` for unattributed pullers like clients) and returns
+    /// every membership record the vector does not cover. Also brings
+    /// this session current for the server's epoch fence, so a
+    /// vector-based resync needs no separate `Sync` round trip.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, on a server without a
+    /// replication-capable directory, or an unexpected response.
+    pub fn gossip(
+        &mut self,
+        from: u64,
+        vector: Vec<(u64, u64)>,
+    ) -> Result<DirectoryDelta, ChannelError> {
+        self.ch
+            .send_bytes(Request::Gossip { from, vector }.encode())?;
+        match Response::decode(&self.ch.recv_bytes()?)? {
+            Response::GossipDelta(delta) => {
+                self.server_epoch = delta.epoch;
+                Ok(delta)
+            }
+            other => Err(reject(other)),
+        }
+    }
+
     /// Asks the server to run one budgeted warm-up sweep (at most
     /// `max_refills` shard refills toward `watermark`, driest shards
     /// first); returns the number of shards actually refilled. The
@@ -1402,6 +1512,7 @@ impl CotClient {
             next_seq: 0,
             cots_received: 0,
             ended: false,
+            handoff: None,
         })
     }
 }
@@ -1435,6 +1546,9 @@ pub struct CotSubscription<'a> {
     next_seq: u64,
     cots_received: u64,
     ended: bool,
+    /// The draining server's announced successor `(id, addr, name)`,
+    /// recorded when a `DrainHandoff` push arrives mid-stream (v9).
+    handoff: Option<(u64, String, String)>,
 }
 
 impl CotSubscription<'_> {
@@ -1446,6 +1560,13 @@ impl CotSubscription<'_> {
     /// Credits currently granted but not yet consumed by an arrived chunk.
     pub fn credits_outstanding(&self) -> u64 {
         self.granted
+    }
+
+    /// The drain handoff `(successor id, addr, name)` the server
+    /// announced mid-stream, if any — the zero-roundtrip failover hint a
+    /// fleet client resumes the stream at.
+    pub fn handoff(&self) -> Option<&(u64, String, String)> {
+        self.handoff.as_ref()
     }
 
     /// Chunks still expected by this subscription.
@@ -1496,42 +1617,52 @@ impl CotSubscription<'_> {
                 self.granted += add;
             }
         }
-        let client = &mut *self.client;
-        client.ch.recv_bytes_into(&mut client.recv_buf)?;
-        match decode_response_into(&client.recv_buf, out)? {
-            HotResponse::CotChunk { seq } => {
-                if out.len() as u64 != self.batch {
-                    return Err(stream_violation(&format!(
-                        "chunk of {} correlations, subscribed for {}",
-                        out.len(),
-                        self.batch
-                    )));
+        loop {
+            let client = &mut *self.client;
+            client.ch.recv_bytes_into(&mut client.recv_buf)?;
+            match decode_response_into(&client.recv_buf, out)? {
+                HotResponse::CotChunk { seq } => {
+                    if out.len() as u64 != self.batch {
+                        return Err(stream_violation(&format!(
+                            "chunk of {} correlations, subscribed for {}",
+                            out.len(),
+                            self.batch
+                        )));
+                    }
+                    self.account_chunk(seq, out.len() as u64)?;
+                    return Ok(true);
                 }
-                self.account_chunk(seq, out.len() as u64)?;
-                Ok(true)
+                HotResponse::Other(other) => match *other {
+                    // The server may end the stream early (shutdown): its
+                    // trailer must still agree with every chunk this side
+                    // observed. `remaining` is deliberately left non-zero so
+                    // the truncation is observable through `chunks_remaining`.
+                    Response::StreamEnd { chunks, cots } => {
+                        self.ended = true;
+                        self.verify_trailer(chunks, cots)?;
+                        return Ok(false);
+                    }
+                    // A fenced Subscribe never started the stream: surface the
+                    // typed error and mark the subscription over, so the
+                    // session stays in lockstep for the caller's resync.
+                    Response::WrongEpoch { epoch } => {
+                        self.ended = true;
+                        return Err(ChannelError::WrongEpoch { current: epoch });
+                    }
+                    // The draining server's successor announcement (v9):
+                    // record it and keep waiting for the chunk — the push
+                    // consumed no credit and carries no payload.
+                    Response::DrainHandoff { id, addr, name } => {
+                        self.handoff = Some((id, addr, name));
+                    }
+                    other => return Err(reject(other)),
+                },
+                HotResponse::Cots => {
+                    return Err(stream_violation(
+                        "one-shot Cots response inside a subscription",
+                    ))
+                }
             }
-            HotResponse::Other(other) => match *other {
-                // The server may end the stream early (shutdown): its
-                // trailer must still agree with every chunk this side
-                // observed. `remaining` is deliberately left non-zero so
-                // the truncation is observable through `chunks_remaining`.
-                Response::StreamEnd { chunks, cots } => {
-                    self.ended = true;
-                    self.verify_trailer(chunks, cots)?;
-                    Ok(false)
-                }
-                // A fenced Subscribe never started the stream: surface the
-                // typed error and mark the subscription over, so the
-                // session stays in lockstep for the caller's resync.
-                Response::WrongEpoch { epoch } => {
-                    self.ended = true;
-                    Err(ChannelError::WrongEpoch { current: epoch })
-                }
-                other => Err(reject(other)),
-            },
-            HotResponse::Cots => Err(stream_violation(
-                "one-shot Cots response inside a subscription",
-            )),
         }
     }
 
@@ -1619,6 +1750,12 @@ impl CotSubscription<'_> {
                         // for.
                         self.ended = true;
                         return Err(ChannelError::WrongEpoch { current: epoch });
+                    }
+                    // A handoff racing the unsubscribe is still recorded:
+                    // the caller tearing this stream down is usually about
+                    // to resume it elsewhere.
+                    Response::DrainHandoff { id, addr, name } => {
+                        self.handoff = Some((id, addr, name));
                     }
                     other => return Err(reject(other)),
                 },

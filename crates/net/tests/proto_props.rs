@@ -46,11 +46,18 @@ proptest! {
     /// Every request variant round-trips, whatever its field values.
     #[test]
     fn requests_round_trip(
-        variant in 0usize..10,
+        variant in 0usize..11,
         a in any::<u64>(),
         b in any::<u64>(),
         name in proptest::collection::vec(any::<u8>(), 0..32),
+        vector_seeds in proptest::collection::vec(any::<u64>(), 0..6),
     ) {
+        // The vendored proptest has no tuple strategies; derive the
+        // (origin, version) pairs from one seed vector instead.
+        let vector: Vec<(u64, u64)> = vector_seeds
+            .iter()
+            .map(|&s| (s, s.rotate_left(31) ^ 0x9E37_79B9))
+            .collect();
         let req = match variant {
             0 => Request::Hello {
                 name: String::from_utf8_lossy(&name).into_owned(),
@@ -64,6 +71,7 @@ proptest! {
             6 => Request::Sync { epoch: a },
             7 => Request::Warm { watermark: a, max_refills: b },
             8 => Request::Trace { max_events: a },
+            9 => Request::Gossip { from: a, vector },
             _ => Request::Unsubscribe,
         };
         prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -178,14 +186,22 @@ proptest! {
     }
 
     /// Membership deltas round-trip for arbitrary member sets, states,
-    /// and (possibly non-UTF-8 / non-address) payload strings.
+    /// stamps, weights, epoch vectors, and (possibly non-UTF-8 /
+    /// non-address) payload strings — through both the v4
+    /// `DirectoryUpdate` and the v9 `GossipDelta` carriers.
     #[test]
     fn directory_updates_round_trip(
         epoch in any::<u64>(),
         full in any::<bool>(),
+        gossip in any::<bool>(),
         seeds in proptest::collection::vec(any::<u64>(), 0..6),
+        vector_seeds in proptest::collection::vec(any::<u64>(), 0..6),
         raw in proptest::collection::vec(any::<u8>(), 0..24),
     ) {
+        let vector: Vec<(u64, u64)> = vector_seeds
+            .iter()
+            .map(|&s| (s, s.rotate_left(31) ^ 0x9E37_79B9))
+            .collect();
         let members: Vec<MemberRecord> = seeds
             .iter()
             .enumerate()
@@ -197,11 +213,19 @@ proptest! {
                     2 => MemberWireState::Suspect,
                     _ => MemberWireState::Left,
                 },
+                weight: seed as u32,
+                origin: seed.rotate_left(7),
+                version: seed.rotate_right(13),
                 addr: format!("10.0.0.{i}:{}", 7000 + (seed % 1000)),
                 name: String::from_utf8_lossy(&raw).into_owned(),
             })
             .collect();
-        let resp = Response::DirectoryUpdate(DirectoryDelta { epoch, full, members });
+        let delta = DirectoryDelta { epoch, full, vector, members };
+        let resp = if gossip {
+            Response::GossipDelta(delta)
+        } else {
+            Response::DirectoryUpdate(delta)
+        };
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 

@@ -138,8 +138,17 @@ fn main() {
             snapshot.servers.len(),
             snapshot.available,
         );
+        // Gossip lag (v9): each server answers Stats with its *own*
+        // replica's epoch; the spread against the most advanced scraped
+        // replica is how far anti-entropy still has to travel.
+        let max_epoch = snapshot
+            .servers
+            .iter()
+            .map(|o| o.directory_epoch)
+            .max()
+            .unwrap_or(0);
         println!(
-            "     server      up   supply/s    served/s   stall   util  headroom/s  faults  unavail  evict"
+            "     server      up   supply/s    served/s   stall   util  headroom/s  faults  unavail  evict  epoch  lag"
         );
         for member in handle.members() {
             let obs = snapshot.server(member.id);
@@ -158,8 +167,16 @@ fn main() {
             let (faults, unavailable, evicted) = obs
                 .map(|o| (o.faults_injected, o.unavailable_sent, o.subscribers_evicted))
                 .unwrap_or((0, 0, 0));
+            let (epoch, lag) = obs
+                .map(|o| {
+                    (
+                        o.directory_epoch.to_string(),
+                        max_epoch.saturating_sub(o.directory_epoch).to_string(),
+                    )
+                })
+                .unwrap_or_else(|| ("-".into(), "-".into()));
             println!(
-                "     {:<10}  {:>2}  {:>9.0}  {:>10.0}  {:>6.3}  {:>5.3}  {:>10.0}  {:>6}  {:>7}  {:>5}",
+                "     {:<10}  {:>2}  {:>9.0}  {:>10.0}  {:>6.3}  {:>5.3}  {:>10.0}  {:>6}  {:>7}  {:>5}  {:>5}  {:>3}",
                 member.name,
                 if obs.is_some() { "y" } else { "n" },
                 supply,
@@ -170,6 +187,8 @@ fn main() {
                 faults,
                 unavailable,
                 evicted,
+                epoch,
+                lag,
             );
         }
         for alert in handle.alerts() {

@@ -4,6 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Self-tee instead of `ci.sh | tee log`: piping from the outside makes the
+# pipeline's exit status tee's, so a red run reads as green to anything
+# checking $?. Writing the log from inside keeps our own exit status, and
+# the EXIT trap prints an unmissable trailer either way.
+CI_LOG="${CI_LOG:-ci.log}"
+exec > >(tee "$CI_LOG") 2>&1
+trap 'status=$?; if [ "$status" -ne 0 ]; then echo "CI FAILED (exit $status)"; fi' EXIT
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
@@ -18,6 +26,15 @@ cargo test -q -p ironman-cluster --test cluster_e2e
 
 echo "==> membership-churn smoke: kill + rejoin one of three servers under load"
 cargo test -q -p ironman-cluster --test churn
+
+echo "==> multi-process partition/heal: child fleet through a blackhole proxy (MULTIPROC_WAIT_SECS=${MULTIPROC_WAIT_SECS:-30})"
+# Real fleet_server child processes with per-replica directories, one
+# partitioned via the FaultInjector proxy, membership mutated on both
+# sides, healed, and required to converge to one epoch vector — plus the
+# warm-standby vs cold failover timing race. MULTIPROC_WAIT_SECS bounds
+# every convergence wait (and thus the whole test's runtime on a wedged
+# fleet); the happy path finishes in ~10 s regardless.
+MULTIPROC_WAIT_SECS="${MULTIPROC_WAIT_SECS:-30}" cargo test -q -p ironman-cluster --test multiproc
 
 echo "==> observability e2e: exporter scrape parses + supply SLO fires on kill, resolves on heal"
 cargo test -q -p ironman-cluster --test slo_e2e
